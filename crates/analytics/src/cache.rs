@@ -1,0 +1,146 @@
+//! Result caches.
+//!
+//! §IV-C: "for the subsequent requests of analysis on the same accounts,
+//! all the tools output the results in less than 5 seconds" — every tool
+//! caches. Three StatusPeople rows and one Twitteraudit row of Table II
+//! were *already* cached at the first request (2–3 s responses); the cache
+//! supports pre-warming to reproduce that.
+
+use fakeaudit_detectors::AuditOutcome;
+use fakeaudit_twittersim::{AccountId, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A cached audit result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// The cached outcome.
+    pub outcome: AuditOutcome,
+    /// When the audit that produced it ran.
+    pub assessed_at: SimTime,
+}
+
+/// A per-target result cache with an optional TTL (`None` = results never
+/// expire, as Twitteraudit's months-old reports demonstrate).
+#[derive(Debug, Clone, Default)]
+pub struct ResultCache {
+    ttl: Option<SimDuration>,
+    entries: HashMap<AccountId, CacheEntry>,
+}
+
+impl ResultCache {
+    /// A cache whose entries never expire.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A cache whose entries expire `ttl` after assessment.
+    pub fn with_ttl(ttl: SimDuration) -> Self {
+        Self {
+            ttl: Some(ttl),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The configured TTL.
+    pub fn ttl(&self) -> Option<SimDuration> {
+        self.ttl
+    }
+
+    /// Looks up a still-valid entry at time `now`.
+    pub fn get(&self, target: AccountId, now: SimTime) -> Option<&CacheEntry> {
+        let entry = self.entries.get(&target)?;
+        match self.ttl {
+            Some(ttl) if now.abs_diff(entry.assessed_at) > ttl => None,
+            _ => Some(entry),
+        }
+    }
+
+    /// Stores an outcome assessed at `assessed_at`.
+    pub fn put(&mut self, target: AccountId, outcome: AuditOutcome, assessed_at: SimTime) {
+        self.entries.insert(
+            target,
+            CacheEntry {
+                outcome,
+                assessed_at,
+            },
+        );
+    }
+
+    /// Number of entries (including expired ones not yet evicted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_detectors::VerdictCounts;
+
+    fn outcome(target: AccountId) -> AuditOutcome {
+        AuditOutcome {
+            tool_name: "t".into(),
+            target,
+            assessed: vec![],
+            counts: VerdictCounts::default(),
+            audited_at: SimTime::EPOCH,
+            api_elapsed_secs: 1.0,
+            api_calls: 1,
+        }
+    }
+
+    #[test]
+    fn unbounded_cache_never_expires() {
+        let mut c = ResultCache::unbounded();
+        c.put(AccountId(1), outcome(AccountId(1)), SimTime::from_days(0));
+        assert!(c.get(AccountId(1), SimTime::from_days(10_000)).is_some());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut c = ResultCache::with_ttl(SimDuration::from_days(7));
+        c.put(AccountId(1), outcome(AccountId(1)), SimTime::from_days(0));
+        assert!(c.get(AccountId(1), SimTime::from_days(6)).is_some());
+        assert!(c.get(AccountId(1), SimTime::from_days(8)).is_none());
+    }
+
+    #[test]
+    fn miss_on_unknown_target() {
+        let c = ResultCache::unbounded();
+        assert!(c.get(AccountId(9), SimTime::EPOCH).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let mut c = ResultCache::unbounded();
+        c.put(AccountId(1), outcome(AccountId(1)), SimTime::from_days(1));
+        c.put(AccountId(1), outcome(AccountId(1)), SimTime::from_days(5));
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.get(AccountId(1), SimTime::from_days(5))
+                .unwrap()
+                .assessed_at,
+            SimTime::from_days(5)
+        );
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = ResultCache::unbounded();
+        c.put(AccountId(1), outcome(AccountId(1)), SimTime::EPOCH);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

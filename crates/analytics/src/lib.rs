@@ -1,0 +1,35 @@
+//! Online analytics-service simulation.
+//!
+//! The paper measures the tools *as web services*: response times to the
+//! first analysis request (Table II), evidence of result caching (the 2–3 s
+//! responses for three StatusPeople targets and one Twitteraudit target),
+//! Socialbakers' ten-requests-per-day quota, and sub-5-second responses on
+//! repeat requests for every tool. This crate wraps the
+//! [`fakeaudit_detectors`] engines in that service behaviour:
+//!
+//! * [`cache`] — result caches with optional TTL and pre-warming (to
+//!   reproduce the Table II rows the vendors had evidently pre-computed);
+//! * [`quota`] — daily request quotas ("the tool can be used ten times a
+//!   day");
+//! * [`service`] — the [`service::OnlineService`] wrapper: per-request API
+//!   session, service overhead, cache consultation, quota enforcement;
+//! * [`profiles`] — the calibrated per-tool service profiles (API token
+//!   pools, HTTP parallelism, per-call latency, site overhead) that place
+//!   each tool's first-response time in its Table II band;
+//! * [`report`] — rendering of each tool's public output format (including
+//!   Twitteraudit's three charts);
+//! * [`monitor`] — daily follower-growth monitoring with a sudden-jump
+//!   detector (the §I Romney incident, as the bloggers ran it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod monitor;
+pub mod profiles;
+pub mod quota;
+pub mod report;
+pub mod service;
+
+pub use profiles::ServiceProfile;
+pub use service::{OnlineService, ServiceError, ServiceResponse};

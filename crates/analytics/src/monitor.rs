@@ -1,0 +1,258 @@
+//! Follower-growth monitoring — the "sudden jump" detector.
+//!
+//! The paper opens with the 2012 Romney incident: "bloggers and Twitter
+//! analysts noticed that the Twitter account of challenger Romney
+//! experienced a sudden jump in the number of followers" (§I). What those
+//! analysts ran was exactly this: a daily follower-count series plus a
+//! burst detector. The monitor is also how a CRM platform like
+//! Socialbakers amortises its data collection (§IV-C).
+
+use fakeaudit_twittersim::{AccountId, Platform, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One daily observation of a target's follower count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrowthSample {
+    /// When the count was observed.
+    pub at: SimTime,
+    /// The (nominal) follower count.
+    pub followers: u64,
+}
+
+/// A detected growth anomaly: day-over-day growth far above the trailing
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GrowthBurst {
+    /// When the burst was observed.
+    pub at: SimTime,
+    /// Followers gained since the previous sample.
+    pub gained: u64,
+    /// The trailing mean daily gain the burst is compared against.
+    pub baseline: f64,
+    /// `gained / max(baseline, 1)` — how many "normal days" arrived at
+    /// once.
+    pub factor: f64,
+}
+
+impl fmt::Display for GrowthBurst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "burst at {}: +{} followers ({:.1}x the {:.0}/day baseline)",
+            self.at, self.gained, self.factor, self.baseline
+        )
+    }
+}
+
+/// A follower-count monitor for one target.
+///
+/// Record one sample per observation period (the paper's methodology used
+/// daily snapshots); [`AccountMonitor::bursts`] then flags the jumps.
+///
+/// ```
+/// use fakeaudit_analytics::monitor::AccountMonitor;
+/// use fakeaudit_twittersim::timeline::TimelineModel;
+/// use fakeaudit_twittersim::{Platform, Profile, SimDuration, SimTime};
+///
+/// let mut platform = Platform::new();
+/// let target = platform.register(
+///     Profile::new("watched", SimTime::EPOCH),
+///     TimelineModel::empty(),
+/// )?;
+/// let mut monitor = AccountMonitor::new(target, 5.0, 1);
+/// for _ in 0..3 {
+///     monitor.observe(&platform);
+///     platform.advance_clock(SimDuration::from_days(1));
+/// }
+/// assert_eq!(monitor.samples().len(), 3);
+/// assert!(monitor.bursts().is_empty(), "no growth, no bursts");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccountMonitor {
+    target: AccountId,
+    samples: Vec<GrowthSample>,
+    /// Gains at least this multiple of the trailing baseline are bursts.
+    burst_factor: f64,
+    /// Minimum absolute gain to consider (ignore noise on tiny accounts).
+    min_gain: u64,
+}
+
+impl AccountMonitor {
+    /// Creates a monitor for `target` flagging gains of at least
+    /// `burst_factor`× the trailing baseline and at least `min_gain`
+    /// followers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `burst_factor > 1`.
+    pub fn new(target: AccountId, burst_factor: f64, min_gain: u64) -> Self {
+        assert!(burst_factor > 1.0, "burst factor must exceed 1");
+        Self {
+            target,
+            samples: Vec::new(),
+            burst_factor,
+            min_gain,
+        }
+    }
+
+    /// The monitored target.
+    pub fn target(&self) -> AccountId {
+        self.target
+    }
+
+    /// Records the target's current follower count from the platform.
+    ///
+    /// Returns `false` (recording nothing) if the target is unknown.
+    pub fn observe(&mut self, platform: &Platform) -> bool {
+        let Some(profile) = platform.profile(self.target) else {
+            return false;
+        };
+        self.samples.push(GrowthSample {
+            at: platform.now(),
+            followers: profile.followers_count,
+        });
+        true
+    }
+
+    /// The recorded series.
+    pub fn samples(&self) -> &[GrowthSample] {
+        &self.samples
+    }
+
+    /// Detected bursts, oldest first. The baseline for each step is the
+    /// mean gain over the preceding steps (at least one step of history is
+    /// required, so the earliest possible burst is at the third sample).
+    pub fn bursts(&self) -> Vec<GrowthBurst> {
+        let mut out = Vec::new();
+        if self.samples.len() < 3 {
+            return out;
+        }
+        let gains: Vec<u64> = self
+            .samples
+            .windows(2)
+            .map(|w| w[1].followers.saturating_sub(w[0].followers))
+            .collect();
+        for (i, &gained) in gains.iter().enumerate().skip(1) {
+            let history = &gains[..i];
+            let baseline = history.iter().sum::<u64>() as f64 / history.len() as f64;
+            let factor = gained as f64 / baseline.max(1.0);
+            if gained >= self.min_gain && factor >= self.burst_factor {
+                out.push(GrowthBurst {
+                    at: self.samples[i + 1].at,
+                    gained,
+                    baseline,
+                    factor,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_population::archetype::{self, TrueClass};
+    use fakeaudit_population::scenario::grow_organic_daily;
+    use fakeaudit_population::{ClassMix, TargetScenario};
+    use fakeaudit_stats::rng::rng_for_indexed;
+    use fakeaudit_twittersim::SimDuration;
+
+    #[test]
+    fn steady_growth_raises_no_bursts() {
+        let mut platform = Platform::new();
+        let built = TargetScenario::new("steady", 500, ClassMix::all_genuine())
+            .build(&mut platform, 1)
+            .unwrap();
+        let mut monitor = AccountMonitor::new(built.target, 5.0, 50);
+        monitor.observe(&platform);
+        for _ in 0..6 {
+            grow_organic_daily(&mut platform, built.target, 1, 20, 2).unwrap();
+            monitor.observe(&platform);
+        }
+        assert_eq!(monitor.samples().len(), 7);
+        assert!(monitor.bursts().is_empty(), "{:?}", monitor.bursts());
+    }
+
+    #[test]
+    fn bought_batch_is_flagged() {
+        let mut platform = Platform::new();
+        let built = TargetScenario::new("romney", 2_000, ClassMix::all_genuine())
+            .build(&mut platform, 3)
+            .unwrap();
+        let mut monitor = AccountMonitor::new(built.target, 5.0, 100);
+        monitor.observe(&platform);
+        // Three quiet days, then the purchase, then quiet again.
+        for day in 0..5 {
+            grow_organic_daily(&mut platform, built.target, 1, 15, 4).unwrap();
+            if day == 3 {
+                for i in 0..800u64 {
+                    let mut rng = rng_for_indexed(5, "romney-bought", i);
+                    let now = platform.now();
+                    let mut acc = archetype::generate(
+                        &mut rng,
+                        TrueClass::Fake,
+                        format!("romney_bought_{i}"),
+                        now,
+                    );
+                    if acc.profile.created_at > now {
+                        acc.profile.created_at = now;
+                    }
+                    let id = platform.register(acc.profile, acc.timeline).unwrap();
+                    platform.follow(id, built.target).unwrap();
+                }
+            }
+            monitor.observe(&platform);
+        }
+        let bursts = monitor.bursts();
+        assert_eq!(bursts.len(), 1, "{bursts:?}");
+        assert!(bursts[0].gained >= 800);
+        assert!(bursts[0].factor > 5.0);
+        assert!(bursts[0].to_string().contains("burst at"));
+    }
+
+    #[test]
+    fn too_few_samples_yield_nothing() {
+        let mut platform = Platform::new();
+        let built = TargetScenario::new("short", 100, ClassMix::all_genuine())
+            .build(&mut platform, 6)
+            .unwrap();
+        let mut monitor = AccountMonitor::new(built.target, 3.0, 1);
+        monitor.observe(&platform);
+        platform.advance_clock(SimDuration::from_days(1));
+        monitor.observe(&platform);
+        assert!(monitor.bursts().is_empty());
+    }
+
+    #[test]
+    fn min_gain_filters_small_accounts() {
+        let mut platform = Platform::new();
+        let built = TargetScenario::new("tiny", 50, ClassMix::all_genuine())
+            .build(&mut platform, 7)
+            .unwrap();
+        let mut monitor = AccountMonitor::new(built.target, 2.0, 1_000);
+        monitor.observe(&platform);
+        for _ in 0..4 {
+            grow_organic_daily(&mut platform, built.target, 1, 30, 8).unwrap();
+            monitor.observe(&platform);
+        }
+        // 30/day jumps relative to tiny baselines, but below min_gain.
+        assert!(monitor.bursts().is_empty());
+    }
+
+    #[test]
+    fn unknown_target_records_nothing() {
+        let platform = Platform::new();
+        let mut monitor = AccountMonitor::new(AccountId(404), 5.0, 1);
+        assert!(!monitor.observe(&platform));
+        assert!(monitor.samples().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "burst factor must exceed 1")]
+    fn rejects_degenerate_factor() {
+        AccountMonitor::new(AccountId(1), 1.0, 1);
+    }
+}

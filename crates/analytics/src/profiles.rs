@@ -1,0 +1,197 @@
+//! Calibrated per-tool service profiles.
+//!
+//! Each profile fixes the tool's API resources (token pool, HTTP
+//! parallelism, per-call latency) and site overhead so that its *first*
+//! response time lands in the band Table II reports, given the tool's call
+//! schedule:
+//!
+//! | tool | call schedule (F followers) | Table II band |
+//! |------|------------------------------|---------------|
+//! | FC   | ⌈F/5000⌉ + ⌈9604/100⌉ calls   | 187–217 s     |
+//! | TA   | 1 + ⌈5000/100⌉ = 51 calls     | 40–55 s       |
+//! | SP   | ⌈min(F,35K)/5000⌉ + 7 calls   | 22–32 s       |
+//! | SB   | 1 + ⌈2000/100⌉ = 21 calls     | 7–13 s        |
+//!
+//! FC's ~190 s at 100 calls implies ≈1.8 s per sequential call; its 16
+//! `followers/ids` pages at 79.7 K followers exceed the single-token window
+//! quota of 15, so FC runs two tokens (as the authors' crawler did). SB's
+//! ~10 s for 21 calls implies ~4 concurrent HTTP requests; TA's ~47 s for
+//! 51 calls implies 2.
+
+use crate::cache::ResultCache;
+use crate::quota::DailyQuota;
+use fakeaudit_twitter_api::ApiConfig;
+use fakeaudit_twittersim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How an analytics web service behaves around its detector engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceProfile {
+    /// API session resources for fresh audits.
+    pub api: ApiConfig,
+    /// Fixed site overhead added to fresh responses (report rendering,
+    /// queueing), in seconds.
+    pub overhead_secs: f64,
+    /// Uniform jitter added to the overhead, in seconds.
+    pub overhead_jitter: f64,
+    /// Base latency of a cache-served response, in seconds.
+    pub cached_base_secs: f64,
+    /// Uniform jitter on cache-served responses, in seconds.
+    pub cached_jitter: f64,
+    /// Result-cache TTL; `None` = results never expire.
+    pub cache_ttl_days: Option<u64>,
+    /// Daily request quota, if the service imposes one.
+    pub daily_quota: Option<u32>,
+}
+
+impl ServiceProfile {
+    /// The Fake Project service: two API tokens, sequential calls,
+    /// ~1.8 s/call, modest overhead, 7-day cache.
+    pub fn fake_classifier() -> Self {
+        Self {
+            api: ApiConfig {
+                token_pool: 2,
+                parallelism: 1,
+                base_latency: 1.65,
+                latency_jitter: 0.4,
+                seed: 0,
+            },
+            overhead_secs: 4.0,
+            overhead_jitter: 2.0,
+            cached_base_secs: 2.0,
+            cached_jitter: 2.0,
+            cache_ttl_days: Some(7),
+            daily_quota: None,
+        }
+    }
+
+    /// Twitteraudit: two concurrent requests, permanent cache (the site
+    /// reports months-old assessment dates).
+    pub fn twitteraudit() -> Self {
+        Self {
+            api: ApiConfig {
+                token_pool: 1,
+                parallelism: 2,
+                base_latency: 1.55,
+                latency_jitter: 0.4,
+                seed: 0,
+            },
+            overhead_secs: 3.0,
+            overhead_jitter: 2.0,
+            cached_base_secs: 2.0,
+            cached_jitter: 1.5,
+            cache_ttl_days: None,
+            daily_quota: None,
+        }
+    }
+
+    /// StatusPeople Fakers: sequential calls over a small schedule,
+    /// 30-day cache.
+    pub fn statuspeople() -> Self {
+        Self {
+            api: ApiConfig {
+                token_pool: 1,
+                parallelism: 1,
+                base_latency: 1.55,
+                latency_jitter: 0.5,
+                seed: 0,
+            },
+            overhead_secs: 4.0,
+            overhead_jitter: 2.0,
+            cached_base_secs: 2.0,
+            cached_jitter: 1.0,
+            cache_ttl_days: Some(30),
+            daily_quota: None,
+        }
+    }
+
+    /// Socialbakers Fake Follower Check: four concurrent requests backed by
+    /// their monitoring index, ten requests per day, 30-day cache.
+    pub fn socialbakers() -> Self {
+        Self {
+            api: ApiConfig {
+                token_pool: 1,
+                parallelism: 4,
+                base_latency: 1.7,
+                latency_jitter: 0.5,
+                seed: 0,
+            },
+            overhead_secs: 1.5,
+            overhead_jitter: 1.5,
+            cached_base_secs: 2.0,
+            cached_jitter: 1.5,
+            cache_ttl_days: Some(30),
+            daily_quota: Some(10),
+        }
+    }
+
+    /// Builds the result cache this profile prescribes.
+    pub fn build_cache(&self) -> ResultCache {
+        match self.cache_ttl_days {
+            Some(days) => ResultCache::with_ttl(SimDuration::from_days(days)),
+            None => ResultCache::unbounded(),
+        }
+    }
+
+    /// Builds the daily quota this profile prescribes, if any.
+    pub fn build_quota(&self) -> Option<DailyQuota> {
+        self.daily_quota.map(DailyQuota::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fc_runs_two_tokens() {
+        assert_eq!(ServiceProfile::fake_classifier().api.token_pool, 2);
+    }
+
+    #[test]
+    fn sb_has_daily_quota_of_ten() {
+        let p = ServiceProfile::socialbakers();
+        assert_eq!(p.daily_quota, Some(10));
+        assert_eq!(p.build_quota().unwrap().limit(), 10);
+    }
+
+    #[test]
+    fn ta_cache_is_unbounded() {
+        let p = ServiceProfile::twitteraudit();
+        assert_eq!(p.cache_ttl_days, None);
+        assert_eq!(p.build_cache().ttl(), None);
+    }
+
+    #[test]
+    fn sp_cache_has_ttl() {
+        let p = ServiceProfile::statuspeople();
+        assert_eq!(p.build_cache().ttl(), Some(SimDuration::from_days(30)));
+    }
+
+    #[test]
+    fn first_response_bands_from_call_schedules() {
+        // Sanity-check the calibration arithmetic against Table II bands
+        // using mean latencies (jitter midpoint).
+        let mean = |api: &ApiConfig| {
+            (api.base_latency + api.latency_jitter / 2.0) / f64::from(api.parallelism)
+        };
+        let fc = ServiceProfile::fake_classifier();
+        let fc_time = |pages: f64| (pages + 97.0) * mean(&fc.api) + fc.overhead_secs + 1.0;
+        assert!((180.0..200.0).contains(&fc_time(3.0)), "{}", fc_time(3.0));
+        assert!((200.0..225.0).contains(&fc_time(16.0)), "{}", fc_time(16.0));
+
+        let ta = ServiceProfile::twitteraudit();
+        let ta_time = 51.0 * mean(&ta.api) + ta.overhead_secs + 1.0;
+        assert!((40.0..56.0).contains(&ta_time), "{ta_time}");
+
+        let sp = ServiceProfile::statuspeople();
+        let sp_low = 10.0 * mean(&sp.api) + sp.overhead_secs + 1.0;
+        let sp_high = 14.0 * mean(&sp.api) + sp.overhead_secs + 1.0;
+        assert!((20.0..33.0).contains(&sp_low), "{sp_low}");
+        assert!((20.0..33.0).contains(&sp_high), "{sp_high}");
+
+        let sb = ServiceProfile::socialbakers();
+        let sb_time = 21.0 * mean(&sb.api) + sb.overhead_secs + 0.75;
+        assert!((7.0..14.0).contains(&sb_time), "{sb_time}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Daily request quotas.
+//!
+//! Socialbakers' Fake Follower Check "can be used ten times a day" (§II-B).
+
+use fakeaudit_twittersim::SimTime;
+use std::fmt;
+
+/// Error returned when the daily quota is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaExceeded {
+    /// The quota that applies.
+    pub limit: u32,
+    /// The simulated day of the rejected request.
+    pub day: i64,
+}
+
+impl fmt::Display for QuotaExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "daily quota of {} requests exhausted (day {})",
+            self.limit, self.day
+        )
+    }
+}
+
+impl std::error::Error for QuotaExceeded {}
+
+/// A per-calendar-day request counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DailyQuota {
+    limit: u32,
+    day: i64,
+    used: u32,
+}
+
+impl DailyQuota {
+    /// Creates a quota of `limit` requests per simulated day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0`.
+    pub fn new(limit: u32) -> Self {
+        assert!(limit > 0, "quota limit must be positive");
+        Self {
+            limit,
+            day: i64::MIN,
+            used: 0,
+        }
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// Requests still available on the day containing `now`.
+    pub fn remaining(&self, now: SimTime) -> u32 {
+        if now.as_days() == self.day {
+            self.limit - self.used
+        } else {
+            self.limit
+        }
+    }
+
+    /// Consumes one request at `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`QuotaExceeded`] when the day's allowance is used up.
+    pub fn consume(&mut self, now: SimTime) -> Result<(), QuotaExceeded> {
+        let day = now.as_days();
+        if day != self.day {
+            self.day = day;
+            self.used = 0;
+        }
+        if self.used >= self.limit {
+            return Err(QuotaExceeded {
+                limit: self.limit,
+                day,
+            });
+        }
+        self.used += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_twittersim::SimDuration;
+
+    #[test]
+    fn allows_up_to_limit() {
+        let mut q = DailyQuota::new(10);
+        let now = SimTime::from_days(5);
+        for _ in 0..10 {
+            q.consume(now).unwrap();
+        }
+        let err = q.consume(now).unwrap_err();
+        assert_eq!(err.limit, 10);
+        assert_eq!(err.day, 5);
+        assert_eq!(q.remaining(now), 0);
+    }
+
+    #[test]
+    fn resets_at_midnight() {
+        let mut q = DailyQuota::new(2);
+        let day5 = SimTime::from_days(5) + SimDuration::from_secs(80_000);
+        q.consume(day5).unwrap();
+        q.consume(day5).unwrap();
+        assert!(q.consume(day5).is_err());
+        let day6 = SimTime::from_days(6);
+        assert_eq!(q.remaining(day6), 2);
+        q.consume(day6).unwrap();
+    }
+
+    #[test]
+    fn remaining_before_first_use() {
+        let q = DailyQuota::new(7);
+        assert_eq!(q.remaining(SimTime::from_days(1)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "quota limit must be positive")]
+    fn zero_limit_panics() {
+        DailyQuota::new(0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = QuotaExceeded { limit: 10, day: 3 };
+        assert!(e.to_string().contains("10"));
+    }
+}

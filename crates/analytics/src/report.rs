@@ -1,0 +1,197 @@
+//! Rendering of each tool's public output format (§II).
+//!
+//! Twitteraudit outputs the fake percentage plus three charts: how it
+//! considers the checked account (fake / not sure / real), a per-follower
+//! quality-score chart, and the "real points" chart on a 0–5 scale.
+//! StatusPeople renders a Fakers breakdown; Socialbakers adds its declared
+//! "small error margin of roughly 10-15%".
+
+use fakeaudit_detectors::{AuditOutcome, Verdict};
+use fakeaudit_stats::summary::Histogram;
+use std::fmt::Write as _;
+
+/// Twitteraudit's overall judgement of the checked account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccountJudgement {
+    /// Mostly fake followers.
+    Fake,
+    /// Borderline.
+    NotSure,
+    /// Mostly real followers.
+    Real,
+}
+
+impl AccountJudgement {
+    /// Derives the judgement from a fake percentage, using the site's
+    /// visual thresholds.
+    pub fn from_fake_pct(fake_pct: f64) -> Self {
+        if fake_pct >= 50.0 {
+            AccountJudgement::Fake
+        } else if fake_pct >= 25.0 {
+            AccountJudgement::NotSure
+        } else {
+            AccountJudgement::Real
+        }
+    }
+
+    /// Label as the site prints it.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccountJudgement::Fake => "fake",
+            AccountJudgement::NotSure => "not sure",
+            AccountJudgement::Real => "real",
+        }
+    }
+}
+
+fn bar(count: u64, total: u64, width: usize) -> String {
+    if total == 0 {
+        return String::new();
+    }
+    let filled = ((count as f64 / total as f64) * width as f64).round() as usize;
+    "#".repeat(filled.min(width))
+}
+
+/// Renders a Twitteraudit-style report: percentage, judgement and the
+/// real-points chart.
+pub fn render_twitteraudit(outcome: &AuditOutcome, points: &Histogram) -> String {
+    let fake = outcome.fake_pct();
+    let mut out = String::new();
+    let _ = writeln!(out, "== twitteraudit report for {} ==", outcome.target);
+    let _ = writeln!(
+        out,
+        "{:.0}% fake — this account looks {}",
+        fake,
+        AccountJudgement::from_fake_pct(fake).label()
+    );
+    let _ = writeln!(out, "real points per follower (max 5):");
+    let total = points.total();
+    for (i, &count) in points.counts().iter().enumerate() {
+        let (lo, _) = points.bucket_bounds(i);
+        let _ = writeln!(
+            out,
+            "  {:>2} | {:<30} {}",
+            lo as u32,
+            bar(count, total, 30),
+            count
+        );
+    }
+    out
+}
+
+/// Renders a StatusPeople-style Fakers breakdown.
+pub fn render_statuspeople(outcome: &AuditOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== StatusPeople Fakers for {} ==", outcome.target);
+    for v in Verdict::ALL {
+        let _ = writeln!(
+            out,
+            "  {:<9} {:>5.1}%",
+            v.to_string(),
+            outcome.counts.percentage(v)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (sample of {} of your most recent followers)",
+        outcome.sample_size()
+    );
+    out
+}
+
+/// Renders a Socialbakers-style Fake Follower Check report.
+pub fn render_socialbakers(outcome: &AuditOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Socialbakers Fake Follower Check for {} ==",
+        outcome.target
+    );
+    let _ = writeln!(
+        out,
+        "  fake or empty: {:.0}%",
+        outcome.fake_pct() + outcome.inactive_pct()
+    );
+    let _ = writeln!(out, "    of which inactive: {:.0}%", outcome.inactive_pct());
+    let _ = writeln!(out, "  genuine: {:.0}%", outcome.genuine_pct());
+    let _ = writeln!(out, "  (up to 2000 followers; error margin roughly 10-15%)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_detectors::VerdictCounts;
+    use fakeaudit_twittersim::{AccountId, SimTime};
+
+    fn outcome(inactive: u64, fake: u64, genuine: u64) -> AuditOutcome {
+        let mut counts = VerdictCounts::default();
+        for _ in 0..inactive {
+            counts.record(Verdict::Inactive);
+        }
+        for _ in 0..fake {
+            counts.record(Verdict::Fake);
+        }
+        for _ in 0..genuine {
+            counts.record(Verdict::Genuine);
+        }
+        AuditOutcome {
+            tool_name: "t".into(),
+            target: AccountId(1),
+            assessed: vec![],
+            counts,
+            audited_at: SimTime::EPOCH,
+            api_elapsed_secs: 0.0,
+            api_calls: 0,
+        }
+    }
+
+    #[test]
+    fn judgement_thresholds() {
+        assert_eq!(
+            AccountJudgement::from_fake_pct(80.0),
+            AccountJudgement::Fake
+        );
+        assert_eq!(
+            AccountJudgement::from_fake_pct(30.0),
+            AccountJudgement::NotSure
+        );
+        assert_eq!(AccountJudgement::from_fake_pct(5.0), AccountJudgement::Real);
+        assert_eq!(AccountJudgement::Fake.label(), "fake");
+    }
+
+    #[test]
+    fn twitteraudit_report_mentions_judgement() {
+        let o = outcome(0, 60, 40);
+        let mut h = Histogram::new(0.0, 6.0, 6);
+        h.extend([0.0, 5.0, 5.0]);
+        let r = render_twitteraudit(&o, &h);
+        assert!(r.contains("60% fake"));
+        assert!(r.contains("looks fake"));
+        assert!(r.contains("real points"));
+    }
+
+    #[test]
+    fn statuspeople_report_has_three_buckets() {
+        let r = render_statuspeople(&outcome(28, 0, 72));
+        assert!(r.contains("inactive"));
+        assert!(r.contains("fake"));
+        assert!(r.contains("genuine"));
+        assert!(r.contains("28.0%"));
+    }
+
+    #[test]
+    fn socialbakers_report_mentions_margin() {
+        let r = render_socialbakers(&outcome(10, 20, 70));
+        assert!(r.contains("error margin"));
+        assert!(r.contains("fake or empty: 30%"));
+    }
+
+    #[test]
+    fn bar_is_proportional() {
+        assert_eq!(bar(5, 10, 10).len(), 5);
+        assert_eq!(bar(0, 10, 10).len(), 0);
+        assert!(bar(10, 10, 10).len() == 10);
+        assert_eq!(bar(1, 0, 10), "");
+    }
+}

@@ -1,0 +1,50 @@
+//! T1/E3 bench: the simulated REST layer — pagination, bulk hydration, and
+//! the token-bucket rate limiter.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fakeaudit_bench::bench_target;
+use fakeaudit_twitter_api::rate_limit::TokenBucket;
+use fakeaudit_twitter_api::{ApiConfig, ApiSession};
+use std::hint::black_box;
+
+fn bench_api(c: &mut Criterion) {
+    let (platform, target) = bench_target(10_000, 9);
+    let ids: Vec<_> = target
+        .followers_oldest_first
+        .iter()
+        .map(|&(id, _)| id)
+        .collect();
+
+    let mut group = c.benchmark_group("api_session");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("followers_ids_10k", |b| {
+        b.iter(|| {
+            let mut s = ApiSession::new(&platform, ApiConfig::default());
+            black_box(s.followers_ids(target.target).unwrap().len())
+        })
+    });
+    group.bench_function("users_lookup_10k", |b| {
+        b.iter(|| {
+            let mut s = ApiSession::new(&platform, ApiConfig::default());
+            black_box(s.users_lookup(&ids).len())
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("rate_limiter");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("token_bucket_10k_acquires", |b| {
+        b.iter(|| {
+            let mut bucket = TokenBucket::new(180.0, 0.2);
+            let mut t = 0.0;
+            for _ in 0..10_000 {
+                t += bucket.acquire(t) + 0.01;
+            }
+            black_box(t)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_api);
+criterion_main!(benches);

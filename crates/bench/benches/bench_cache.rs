@@ -1,0 +1,31 @@
+//! A2 bench: cache policy impact on service requests (fresh audit vs
+//! cache hit), the mechanism behind the 2-3 s rows of Table II.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fakeaudit_analytics::{OnlineService, ServiceProfile};
+use fakeaudit_bench::bench_target;
+use fakeaudit_detectors::StatusPeople;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let (platform, target) = bench_target(5_000, 3);
+
+    let mut group = c.benchmark_group("service_cache");
+    group.sample_size(20);
+    group.bench_function("fresh_audit_every_time", |b| {
+        b.iter(|| {
+            let mut svc =
+                OnlineService::new(StatusPeople::new(), ServiceProfile::statuspeople(), 1);
+            black_box(svc.request(&platform, target.target).unwrap().response_secs)
+        })
+    });
+    group.bench_function("cache_hit", |b| {
+        let mut svc = OnlineService::new(StatusPeople::new(), ServiceProfile::statuspeople(), 1);
+        svc.prewarm(&platform, target.target).unwrap();
+        b.iter(|| black_box(svc.request(&platform, target.target).unwrap().response_secs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! T3 bench: per-account classification throughput of each tool's criteria
+//! (the inner loop of Table III).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fakeaudit_bench::bench_target;
+use fakeaudit_detectors::data::fetch_profiles_with_indexed_timelines;
+use fakeaudit_detectors::{FakeProjectEngine, Socialbakers, StatusPeople, Twitteraudit};
+use fakeaudit_twitter_api::{ApiConfig, ApiSession};
+use std::hint::black_box;
+
+fn bench_classify(c: &mut Criterion) {
+    let (platform, target) = bench_target(3_000, 7);
+    let ids: Vec<_> = target
+        .followers_oldest_first
+        .iter()
+        .map(|&(id, _)| id)
+        .collect();
+    let mut session = ApiSession::new(&platform, ApiConfig::default());
+    let data = fetch_profiles_with_indexed_timelines(&mut session, &ids, 200);
+    let now = platform.now();
+
+    let sp = StatusPeople::new();
+    let sb = Socialbakers::new();
+    let ta = Twitteraudit::new();
+    let fc = FakeProjectEngine::with_default_model(7);
+
+    let mut group = c.benchmark_group("classify_3000_accounts");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("statuspeople_criteria", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for d in &data {
+                black_box(sp.classify(d, now));
+                n += 1;
+            }
+            n
+        })
+    });
+    group.bench_function("socialbakers_criteria", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for d in &data {
+                black_box(sb.classify(d, now));
+                n += 1;
+            }
+            n
+        })
+    });
+    group.bench_function("twitteraudit_score", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for d in &data {
+                black_box(ta.classify(d, now));
+                n += 1;
+            }
+            n
+        })
+    });
+    group.bench_function("fake_classifier_forest", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for d in &data {
+                black_box(fc.classify(d, now));
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

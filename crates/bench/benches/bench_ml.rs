@@ -1,0 +1,41 @@
+//! E4 bench: the from-scratch learners — CART fit, forest fit, forest
+//! prediction over gold-standard features.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fakeaudit_detectors::features::{dataset_from_gold, FeatureSet};
+use fakeaudit_ml::forest::ForestParams;
+use fakeaudit_ml::tree::TreeParams;
+use fakeaudit_ml::{Classifier, DecisionTree, RandomForest};
+use fakeaudit_population::archetype::recommended_audit_time;
+use fakeaudit_population::goldstandard::GoldStandard;
+use std::hint::black_box;
+
+fn bench_ml(c: &mut Criterion) {
+    let gold = GoldStandard::generate(5, 200, recommended_audit_time());
+    let data = dataset_from_gold(&gold, FeatureSet::ProfileOnly);
+    let forest = RandomForest::fit(&data, ForestParams::default(), 1).unwrap();
+
+    let mut group = c.benchmark_group("ml");
+    group.sample_size(10);
+    group.bench_function("cart_fit_600x10", |b| {
+        b.iter(|| black_box(DecisionTree::fit(&data, TreeParams::default()).unwrap()))
+    });
+    group.bench_function("forest_fit_600x10_25trees", |b| {
+        b.iter(|| black_box(RandomForest::fit(&data, ForestParams::default(), 1).unwrap()))
+    });
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("forest_predict_600", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in data.rows() {
+                black_box(forest.predict(r));
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ml);
+criterion_main!(benches);

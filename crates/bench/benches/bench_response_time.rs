@@ -1,0 +1,50 @@
+//! T2 bench: end-to-end audit pipeline per tool (the machinery behind
+//! Table II). Criterion measures harness wall-time; the *simulated*
+//! response seconds are printed by the `table2` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fakeaudit_analytics::{OnlineService, ServiceProfile};
+use fakeaudit_bench::bench_target;
+use fakeaudit_detectors::{FakeProjectEngine, Socialbakers, StatusPeople, Twitteraudit};
+use std::hint::black_box;
+
+fn bench_tools(c: &mut Criterion) {
+    let (platform, target) = bench_target(5_000, 42);
+    let fc_engine = FakeProjectEngine::with_default_model(42).with_sample_size(2_000);
+
+    let mut group = c.benchmark_group("response_time_pipeline");
+    group.sample_size(10);
+
+    group.bench_function("fake_classifier", |b| {
+        b.iter(|| {
+            let mut svc =
+                OnlineService::new(fc_engine.clone(), ServiceProfile::fake_classifier(), 1);
+            black_box(svc.request(&platform, target.target).unwrap().response_secs)
+        })
+    });
+    group.bench_function("twitteraudit", |b| {
+        b.iter(|| {
+            let mut svc =
+                OnlineService::new(Twitteraudit::new(), ServiceProfile::twitteraudit(), 1);
+            black_box(svc.request(&platform, target.target).unwrap().response_secs)
+        })
+    });
+    group.bench_function("statuspeople", |b| {
+        b.iter(|| {
+            let mut svc =
+                OnlineService::new(StatusPeople::new(), ServiceProfile::statuspeople(), 1);
+            black_box(svc.request(&platform, target.target).unwrap().response_secs)
+        })
+    });
+    group.bench_function("socialbakers", |b| {
+        b.iter(|| {
+            let mut svc =
+                OnlineService::new(Socialbakers::new(), ServiceProfile::socialbakers(), 1);
+            black_box(svc.request(&platform, target.target).unwrap().response_secs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tools);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E2 bench: the sampling machinery of §II-D — uniform versus prefix draws
+//! and the estimator-error measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fakeaudit_stats::bias::{burst_population, measure_estimator_error};
+use fakeaudit_stats::rng::rng_for;
+use fakeaudit_stats::sampling::{PrefixSampler, Sampler, SamplingScheme, UniformSampler};
+use std::hint::black_box;
+
+fn bench_samplers(c: &mut Criterion) {
+    let labels = burst_population(10_000, 100_000);
+
+    let mut group = c.benchmark_group("sampling");
+    group.bench_function("uniform_9604_of_110k", |b| {
+        let mut rng = rng_for(1, "bench");
+        b.iter(|| black_box(UniformSampler.draw_indices(&mut rng, labels.len(), 9_604)))
+    });
+    group.bench_function("prefix_1000_of_110k", |b| {
+        let mut rng = rng_for(2, "bench");
+        let s = PrefixSampler::new(1_000);
+        b.iter(|| black_box(s.draw_indices(&mut rng, labels.len(), 1_000)))
+    });
+    group.bench_function("estimator_error_uniform", |b| {
+        let mut rng = rng_for(3, "bench");
+        b.iter(|| {
+            black_box(measure_estimator_error(
+                &mut rng,
+                &labels,
+                SamplingScheme::Uniform,
+                9_604,
+                5,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates the sampling ablation (A1): the commercial tools with their
+//! prefix windows versus the same criteria over uniform samples.
+
+use fakeaudit_bench::options_from_env;
+use fakeaudit_core::experiments::ablation::{render, run_ablation, AblationParams};
+use fakeaudit_core::experiments::Scale;
+
+fn main() {
+    let opts = options_from_env();
+    let params = if opts.scale == Scale::quick() {
+        AblationParams {
+            followers: 6_000,
+            ..AblationParams::default()
+        }
+    } else {
+        AblationParams::default()
+    };
+    println!("{}", render(&run_ablation(params, opts.seed)));
+}

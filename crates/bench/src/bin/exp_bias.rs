@@ -1,0 +1,21 @@
+//! Regenerates the §II-D sampling-bias worked example (E2).
+
+use fakeaudit_bench::options_from_env;
+use fakeaudit_core::experiments::bias::{render, run_bias, BiasParams};
+use fakeaudit_core::experiments::Scale;
+
+fn main() {
+    let opts = options_from_env();
+    let params = if opts.scale == Scale::quick() {
+        BiasParams {
+            genuine: 20_000,
+            bought: 2_000,
+            window: 500,
+            sample_size: 500,
+            repetitions: 30,
+        }
+    } else {
+        BiasParams::default()
+    };
+    println!("{}", render(&run_bias(params, opts.seed)));
+}

@@ -1,0 +1,20 @@
+//! Regenerates the post-burst reporting timeline (E7).
+
+use fakeaudit_bench::options_from_env;
+use fakeaudit_core::experiments::burst::{render, run_burst, BurstParams};
+use fakeaudit_core::experiments::Scale;
+
+fn main() {
+    let opts = options_from_env();
+    let params = if opts.scale == Scale::quick() {
+        BurstParams {
+            organic_followers: 3_000,
+            bought: 300,
+            fc_sample: 1_000,
+            ..BurstParams::default()
+        }
+    } else {
+        BurstParams::default()
+    };
+    println!("{}", render(&run_burst(params, opts.seed)));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the cache-policy ablation (A2).
+
+use fakeaudit_bench::options_from_env;
+use fakeaudit_core::experiments::cache_ablation::{render, run_cache_ablation};
+
+fn main() {
+    let opts = options_from_env();
+    println!("{}", render(&run_cache_ablation(opts.seed)));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the crawl-budget analysis (E3): Table I sustained rates over
+//! every testbed target, including the ~27-day Obama crawl.
+
+use fakeaudit_core::experiments::crawl::{render, run_crawl_budgets};
+
+fn main() {
+    println!("{}", render(&run_crawl_budgets()));
+}

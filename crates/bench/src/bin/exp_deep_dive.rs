@@ -1,0 +1,9 @@
+//! Regenerates the Fakers-vs-Deep-Dive comparison (E6).
+
+use fakeaudit_bench::options_from_env;
+use fakeaudit_core::experiments::deep_dive::{render, run_deep_dive};
+
+fn main() {
+    let opts = options_from_env();
+    println!("{}", render(&run_deep_dive(opts.scale, opts.seed)));
+}

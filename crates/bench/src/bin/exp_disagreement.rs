@@ -1,0 +1,12 @@
+//! Regenerates the disagreement analysis (E5) from a fresh Table III run.
+
+use fakeaudit_bench::options_from_env;
+use fakeaudit_core::experiments::disagreement::{render, run_disagreement};
+use fakeaudit_core::experiments::table3::run_table3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = options_from_env();
+    let table = run_table3(opts.scale, opts.seed)?;
+    println!("{}", render(&run_disagreement(&table)));
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Regenerates the FC-construction comparison (E4): literature rule sets vs
+//! trained forests on a gold standard.
+
+use fakeaudit_bench::options_from_env;
+use fakeaudit_core::experiments::fc_training::{render, run_fc_training};
+
+fn main() {
+    let opts = options_from_env();
+    println!(
+        "{}",
+        render(&run_fc_training(opts.scale.gold_per_class, opts.seed))
+    );
+}

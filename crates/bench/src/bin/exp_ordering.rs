@@ -1,0 +1,19 @@
+//! Regenerates the §IV-B follower-ordering experiment (E1).
+
+use fakeaudit_bench::options_from_env;
+use fakeaudit_core::experiments::ordering::{render, run_ordering, OrderingParams};
+
+fn main() {
+    let opts = options_from_env();
+    let params = if opts.scale == fakeaudit_core::experiments::Scale::quick() {
+        OrderingParams {
+            initial_followers: 500,
+            days: 10,
+            arrivals_per_day: 15,
+            unfollows_per_day: 2,
+        }
+    } else {
+        OrderingParams::default()
+    };
+    println!("{}", render(&run_ordering(params, opts.seed)));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table I: Twitter API types and limitations.
+
+use fakeaudit_core::experiments::table1;
+
+fn main() {
+    println!("{}", table1::render());
+}

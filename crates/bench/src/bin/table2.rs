@@ -1,0 +1,12 @@
+//! Regenerates Table II: response time to the first analysis request for
+//! the thirteen average-class accounts, measured against the paper's rows.
+
+use fakeaudit_bench::options_from_env;
+use fakeaudit_core::experiments::table2::{render, run_table2};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = options_from_env();
+    let table = run_table2(opts.scale, opts.seed)?;
+    println!("{}", render(&table));
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table III: per-target inactive/fake/genuine percentages for
+//! all twenty testbed accounts under the four tools, plus the ground-truth
+//! scoring annex the paper could not produce.
+
+use fakeaudit_bench::options_from_env;
+use fakeaudit_core::experiments::table3::{render, render_scores, run_table3};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = options_from_env();
+    let table = run_table3(opts.scale, opts.seed)?;
+    println!("{}", render(&table));
+    println!("{}", render_scores(&table));
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Shared plumbing for the benchmark harness: a tiny CLI-argument parser
+//! used by every table-regeneration binary, plus common fixtures for the
+//! Criterion benches.
+//!
+//! Binaries (one per table/experiment of the paper — see DESIGN.md §5):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table I (API limits) |
+//! | `table2` | Table II (response times) |
+//! | `table3` | Table III (analysis results + ground-truth scoring) |
+//! | `exp_ordering` | §IV-B follower-ordering experiment (E1) |
+//! | `exp_bias` | §II-D sampling-bias example (E2) |
+//! | `exp_crawl_budget` | §IV-B crawl budgets (E3) |
+//! | `exp_fc_training` | §III FC construction (E4) |
+//! | `exp_disagreement` | §IV-D disagreement analysis (E5) |
+//! | `exp_ablation_sampling` | sampling ablation (A1) |
+//!
+//! All binaries accept `--quick` (reduced scale) and `--seed <n>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fakeaudit_core::experiments::Scale;
+use fakeaudit_population::{BuiltTarget, ClassMix, TargetScenario};
+use fakeaudit_twittersim::Platform;
+
+/// Parsed command-line options shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            scale: Scale::full(),
+            seed: 2014, // the paper's year
+        }
+    }
+}
+
+/// Parses `--quick` and `--seed <n>` from arbitrary argument iterators.
+///
+/// Unknown arguments are rejected with an error message so typos do not
+/// silently run the wrong configuration.
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown flags or malformed seeds.
+///
+/// ```
+/// use fakeaudit_bench::{parse_args, RunOptions};
+/// let opts = parse_args(["--quick", "--seed", "7"].iter().map(|s| s.to_string()))?;
+/// assert_eq!(opts.seed, 7);
+/// assert_ne!(opts.scale, RunOptions::default().scale);
+/// # Ok::<(), String>(())
+/// ```
+pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<RunOptions, String> {
+    let mut opts = RunOptions::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.scale = Scale::quick(),
+            "--seed" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--seed needs a value".to_string())?;
+                opts.seed = v.parse().map_err(|e| format!("invalid seed {v:?}: {e}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?} (try --quick, --seed N)"
+                ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Parses the process's own arguments, exiting with a usage message on
+/// error — the entry point every binary calls first.
+pub fn options_from_env() -> RunOptions {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Builds the standard bench fixture: a mid-size target with a purchased
+/// burst, the shape most benches exercise.
+pub fn bench_target(followers: usize, seed: u64) -> (Platform, BuiltTarget) {
+    let mut platform = Platform::new();
+    let target = TargetScenario::new("bench_target", followers, standard_mix())
+        .fake_recency_bias(15.0)
+        .build(&mut platform, seed)
+        .expect("bench scenario builds");
+    (platform, target)
+}
+
+/// The ground-truth mix the bench fixture uses.
+pub fn standard_mix() -> ClassMix {
+    ClassMix::new(0.30, 0.15, 0.55).expect("valid mix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args<'a>(v: &'a [&'a str]) -> impl Iterator<Item = String> + 'a {
+        v.iter().map(|s| s.to_string())
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse_args(args(&[])).unwrap();
+        assert_eq!(o, RunOptions::default());
+        assert_eq!(o.seed, 2014);
+        assert_eq!(o.scale, Scale::full());
+    }
+
+    #[test]
+    fn quick_and_seed() {
+        let o = parse_args(args(&["--quick", "--seed", "99"])).unwrap();
+        assert_eq!(o.scale, Scale::quick());
+        assert_eq!(o.seed, 99);
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse_args(args(&["--fast"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_seed_value() {
+        assert!(parse_args(args(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_seed() {
+        assert!(parse_args(args(&["--seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn fixture_builds() {
+        let (platform, target) = bench_target(500, 1);
+        assert_eq!(platform.materialized_follower_count(target.target), 500);
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal dependency-free argument parsing for the `fakeaudit` binary.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors from argument parsing and extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// An option value failed to parse.
+    InvalidValue {
+        /// The option name.
+        option: String,
+        /// The raw value.
+        value: String,
+        /// Parser error text.
+        message: String,
+    },
+    /// A positional argument appeared after the subcommand.
+    UnexpectedPositional(
+        /// The stray argument.
+        String,
+    ),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::InvalidValue {
+                option,
+                value,
+                message,
+            } => write!(f, "invalid value {value:?} for {option}: {message}"),
+            ArgsError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument {arg:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl ParsedArgs {
+    /// Parses an iterator of arguments (without the program name).
+    ///
+    /// Grammar: `[command] (--flag | --option value)*`. Every `--name`
+    /// followed by another `--name` or end of input is a boolean flag;
+    /// otherwise it consumes the next token as its value.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::UnexpectedPositional`] for stray positionals.
+    pub fn parse<I: Iterator<Item = String>>(args: I) -> Result<Self, ArgsError> {
+        let mut parsed = ParsedArgs::default();
+        let mut args = args.peekable();
+        if let Some(first) = args.peek() {
+            if !first.starts_with("--") {
+                parsed.command = args.next();
+            }
+        }
+        while let Some(arg) = args.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let takes_value = args.peek().is_some_and(|next| !next.starts_with("--"));
+                if takes_value {
+                    parsed
+                        .options
+                        .insert(name.to_string(), args.next().expect("peeked"));
+                } else {
+                    parsed.flags.push(name.to_string());
+                }
+            } else {
+                return Err(ArgsError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A raw option value.
+    pub fn raw(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A typed option value, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::InvalidValue`] when the value does not parse.
+    pub fn get_or<T>(&self, name: &str, default: T) -> Result<T, ArgsError>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e: T::Err| ArgsError::InvalidValue {
+                option: format!("--{name}"),
+                value: raw.clone(),
+                message: e.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<ParsedArgs, ArgsError> {
+        ParsedArgs::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = parse(&[]).unwrap();
+        assert_eq!(p.command, None);
+        assert!(!p.flag("x"));
+    }
+
+    #[test]
+    fn command_and_options() {
+        let p = parse(&["audit", "--followers", "5000", "--seed", "7"]).unwrap();
+        assert_eq!(p.command.as_deref(), Some("audit"));
+        assert_eq!(p.get_or("followers", 0usize).unwrap(), 5_000);
+        assert_eq!(p.get_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(p.get_or("absent", 42u32).unwrap(), 42);
+    }
+
+    #[test]
+    fn flags_without_values() {
+        let p = parse(&["audit", "--quick", "--seed", "3", "--verbose"]).unwrap();
+        assert!(p.flag("quick"));
+        assert!(p.flag("verbose"));
+        assert!(!p.flag("seed"));
+        assert_eq!(p.raw("seed"), Some("3"));
+    }
+
+    #[test]
+    fn invalid_value_reports_option() {
+        let p = parse(&["audit", "--followers", "lots"]).unwrap();
+        let err = p.get_or("followers", 0usize).unwrap_err();
+        assert!(matches!(err, ArgsError::InvalidValue { .. }));
+        assert!(err.to_string().contains("--followers"));
+    }
+
+    #[test]
+    fn stray_positional_rejected() {
+        assert!(matches!(
+            parse(&["audit", "extra"]),
+            Err(ArgsError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn fractional_options() {
+        let p = parse(&["audit", "--fake", "0.15"]).unwrap();
+        assert_eq!(p.get_or("fake", 0.0f64).unwrap(), 0.15);
+    }
+}

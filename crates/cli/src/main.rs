@@ -1,0 +1,177 @@
+//! `fakeaudit` — audit a synthetic Twitter account with the four
+//! fake-follower analytics of Cresci et al. (2014).
+//!
+//! ```text
+//! fakeaudit audit --followers 20000 --inactive 0.30 --fake 0.15 \
+//!                 --recency-bias 20 --seed 42
+//! fakeaudit crawl --followers 41000000
+//! fakeaudit sample-size --margin 0.01 --confidence 95
+//! ```
+
+mod args;
+
+use args::ParsedArgs;
+use fakeaudit_analytics::report;
+use fakeaudit_core::panel::AuditPanel;
+use fakeaudit_core::scoring::score_against_truth;
+use fakeaudit_detectors::{FakeProjectEngine, ToolId, Twitteraudit};
+use fakeaudit_population::{ClassMix, TargetScenario};
+use fakeaudit_stats::sample_size::{required_sample_size, worst_case_margin};
+use fakeaudit_stats::ConfidenceLevel;
+use fakeaudit_twitter_api::crawl::CrawlBudget;
+use fakeaudit_twitter_api::{ApiConfig, ApiSession};
+use fakeaudit_twittersim::Platform;
+
+const USAGE: &str = "\
+fakeaudit — the fake-follower analytics of Cresci et al. (2014), offline
+
+USAGE:
+  fakeaudit audit [--followers N] [--inactive F] [--fake F] [--name S]
+                  [--recency-bias K] [--fc-sample N] [--seed S] [--reports]
+      Build a synthetic target with the given ground-truth mix and audit it
+      with FC, Twitteraudit, StatusPeople and Socialbakers, scoring every
+      tool against the hidden truth.
+
+  fakeaudit crawl --followers N
+      Print the full-crawl budget under the paper's Table I rate limits.
+
+  fakeaudit sample-size [--margin F] [--confidence 90|95|99]
+      Cochran sample-size arithmetic (the paper's n = 9604) and the
+      best-case margins of the commercial tools' windows.
+
+  fakeaudit help
+      Show this message.
+";
+
+fn main() {
+    let parsed = match ParsedArgs::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_deref() {
+        Some("audit") => cmd_audit(&parsed),
+        Some("crawl") => cmd_crawl(&parsed),
+        Some("sample-size") => cmd_sample_size(&parsed),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_audit(args: &ParsedArgs) -> Result<(), String> {
+    let followers: usize = args
+        .get_or("followers", 10_000)
+        .map_err(|e| e.to_string())?;
+    let inactive: f64 = args.get_or("inactive", 0.30).map_err(|e| e.to_string())?;
+    let fake: f64 = args.get_or("fake", 0.15).map_err(|e| e.to_string())?;
+    let recency: f64 = args
+        .get_or("recency-bias", 15.0)
+        .map_err(|e| e.to_string())?;
+    let fc_sample: u64 = args.get_or("fc-sample", 9_604).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 2_014).map_err(|e| e.to_string())?;
+    if followers == 0 {
+        return Err("--followers must be positive".into());
+    }
+    let name = args.raw("name").unwrap_or("cli_target").to_string();
+    let genuine = 1.0 - inactive - fake;
+    let mix = ClassMix::new(inactive, fake, genuine)
+        .map_err(|e| format!("bad mix (--inactive + --fake must be <= 1): {e}"))?;
+
+    eprintln!("building target ({followers} followers, truth: {mix}) ...");
+    let mut platform = Platform::new();
+    let target = TargetScenario::new(name, followers, mix)
+        .fake_recency_bias(recency.max(1.0))
+        .build(&mut platform, seed)
+        .map_err(|e| e.to_string())?;
+
+    eprintln!("training the FC classifier ...");
+    let fc = FakeProjectEngine::with_default_model(seed).with_sample_size(fc_sample);
+    let mut panel = AuditPanel::with_fc_engine(fc, seed);
+    let result = panel
+        .request_all(&platform, target.target)
+        .map_err(|e| e.to_string())?;
+
+    println!("tool responses (first request):");
+    for (tool, r) in result.responses() {
+        println!("  {:<34} {r}", tool.to_string());
+    }
+    println!(
+        "\nscored against the hidden ground truth ({}):",
+        target.true_mix()
+    );
+    for (tool, r) in result.responses() {
+        let score = score_against_truth(&r.outcome, &target, &platform);
+        println!("  {:<4} {score}", tool.abbrev());
+    }
+
+    if args.flag("reports") {
+        println!(
+            "\n{}",
+            report::render_statuspeople(&result.of(ToolId::StatusPeople).outcome)
+        );
+        println!(
+            "{}",
+            report::render_socialbakers(&result.of(ToolId::Socialbakers).outcome)
+        );
+        let ta = Twitteraudit::new();
+        let mut session = ApiSession::new(&platform, ApiConfig::default());
+        let (outcome, chart) = ta
+            .audit_with_chart(&mut session, target.target, seed)
+            .map_err(|e| e.to_string())?;
+        println!("{}", report::render_twitteraudit(&outcome, &chart));
+    }
+    Ok(())
+}
+
+fn cmd_crawl(args: &ParsedArgs) -> Result<(), String> {
+    let followers: u64 = args
+        .get_or("followers", 41_000_000)
+        .map_err(|e| e.to_string())?;
+    let profiles = CrawlBudget::for_followers(followers, false);
+    let with_tl = CrawlBudget::for_followers(followers, true);
+    println!("{profiles}");
+    println!("{with_tl}");
+    println!("(the paper crawled @BarackObama's 41M followers in \"around 27 days\")");
+    Ok(())
+}
+
+fn cmd_sample_size(args: &ParsedArgs) -> Result<(), String> {
+    let margin: f64 = args.get_or("margin", 0.01).map_err(|e| e.to_string())?;
+    let confidence: u32 = args.get_or("confidence", 95).map_err(|e| e.to_string())?;
+    let level = match confidence {
+        90 => ConfidenceLevel::P90,
+        95 => ConfidenceLevel::P95,
+        99 => ConfidenceLevel::P99,
+        other => return Err(format!("--confidence must be 90, 95 or 99, got {other}")),
+    };
+    if !(margin > 0.0 && margin < 1.0) {
+        return Err("--margin must be in (0, 1)".into());
+    }
+    println!(
+        "required sample size at {level} confidence, +/-{:.1}% margin: {}",
+        margin * 100.0,
+        required_sample_size(level, margin, 0.5)
+    );
+    println!("\nbest-case margins of the tools' fixed windows at {level} confidence:");
+    for (name, n) in [
+        ("StatusPeople (700)", 700u64),
+        ("Socialbakers (2000)", 2_000),
+        ("Twitteraudit (5000)", 5_000),
+        ("Fake Classifier (9604)", 9_604),
+    ] {
+        println!(
+            "  {name:<24} +/-{:.2}%",
+            worst_case_margin(level, n) * 100.0
+        );
+    }
+    Ok(())
+}

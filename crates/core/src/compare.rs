@@ -1,0 +1,176 @@
+//! Disagreement metrics over Table III rows (§IV-D).
+//!
+//! "Overall, we may observe that there is a general disagreement on such
+//! results … it seems that the more followers a target has, the less the
+//! fake followers analytics agree." This module quantifies that
+//! observation: ranges and dispersions of the tools' percentages, and a
+//! chi-square test of homogeneity over their verdict counts.
+
+use fakeaudit_detectors::{AuditOutcome, Verdict};
+use fakeaudit_stats::hypothesis::{chi_square, ChiSquareTest};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Disagreement across a set of tool outcomes for one target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Disagreement {
+    /// Number of tools compared.
+    pub tools: usize,
+    /// Max − min of the fake percentages.
+    pub fake_range: f64,
+    /// Population standard deviation of the fake percentages.
+    pub fake_std: f64,
+    /// Max − min of the genuine percentages.
+    pub genuine_range: f64,
+    /// Population standard deviation of the genuine percentages.
+    pub genuine_std: f64,
+    /// Chi-square homogeneity p-value over the fake/genuine counts
+    /// (`None` when the table is degenerate, e.g. a tool found nothing).
+    pub homogeneity_p: Option<f64>,
+}
+
+fn spread(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    (max - min, var.sqrt())
+}
+
+/// Computes disagreement metrics over at least two outcomes.
+///
+/// # Panics
+///
+/// Panics with fewer than two outcomes.
+pub fn disagreement(outcomes: &[&AuditOutcome]) -> Disagreement {
+    assert!(outcomes.len() >= 2, "need at least two tools to disagree");
+    let fakes: Vec<f64> = outcomes.iter().map(|o| o.fake_pct()).collect();
+    let genuines: Vec<f64> = outcomes.iter().map(|o| o.genuine_pct()).collect();
+    let (fake_range, fake_std) = spread(&fakes);
+    let (genuine_range, genuine_std) = spread(&genuines);
+    // Homogeneity over non-genuine vs genuine counts (the 2-column view
+    // every tool supports, since TA lacks an inactive bucket).
+    let table: Vec<Vec<u64>> = outcomes
+        .iter()
+        .map(|o| vec![o.counts.fake + o.counts.inactive, o.counts.genuine])
+        .collect();
+    let homogeneity_p = chi_square(&table).ok().map(|t: ChiSquareTest| t.p_value);
+    Disagreement {
+        tools: outcomes.len(),
+        fake_range,
+        fake_std,
+        genuine_range,
+        genuine_std,
+        homogeneity_p,
+    }
+}
+
+impl fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fake% range {:.1} (sd {:.1}), genuine% range {:.1} (sd {:.1})",
+            self.fake_range, self.fake_std, self.genuine_range, self.genuine_std
+        )?;
+        if let Some(p) = self.homogeneity_p {
+            write!(f, ", homogeneity p={p:.2e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds synthetic outcome values for quick what-if comparisons (used by
+/// tests and the disagreement experiment's unit checks).
+pub fn outcome_from_row(
+    tool_name: &str,
+    target: fakeaudit_twittersim::AccountId,
+    inactive: u64,
+    fake: u64,
+    genuine: u64,
+) -> AuditOutcome {
+    let mut counts = fakeaudit_detectors::VerdictCounts::default();
+    for _ in 0..inactive {
+        counts.record(Verdict::Inactive);
+    }
+    for _ in 0..fake {
+        counts.record(Verdict::Fake);
+    }
+    for _ in 0..genuine {
+        counts.record(Verdict::Genuine);
+    }
+    AuditOutcome {
+        tool_name: tool_name.to_string(),
+        target,
+        assessed: Vec::new(),
+        counts,
+        audited_at: fakeaudit_twittersim::SimTime::EPOCH,
+        api_elapsed_secs: 0.0,
+        api_calls: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_twittersim::AccountId;
+
+    #[test]
+    fn identical_tools_have_zero_disagreement() {
+        let a = outcome_from_row("a", AccountId(1), 30, 20, 50);
+        let b = outcome_from_row("b", AccountId(1), 30, 20, 50);
+        let d = disagreement(&[&a, &b]);
+        assert_eq!(d.fake_range, 0.0);
+        assert_eq!(d.genuine_range, 0.0);
+        assert!(d.homogeneity_p.unwrap() > 0.9);
+    }
+
+    #[test]
+    fn opposite_tools_disagree_significantly() {
+        let a = outcome_from_row("a", AccountId(1), 0, 90, 10);
+        let b = outcome_from_row("b", AccountId(1), 0, 10, 90);
+        let d = disagreement(&[&a, &b]);
+        assert_eq!(d.fake_range, 80.0);
+        assert!(d.homogeneity_p.unwrap() < 0.001);
+    }
+
+    #[test]
+    fn four_tool_spread() {
+        let outs = [
+            outcome_from_row("fc", AccountId(1), 97, 1, 2),
+            outcome_from_row("ta", AccountId(1), 0, 55, 45),
+            outcome_from_row("sp", AccountId(1), 48, 44, 8),
+            outcome_from_row("sb", AccountId(1), 17, 35, 48),
+        ];
+        let refs: Vec<&AuditOutcome> = outs.iter().collect();
+        let d = disagreement(&refs);
+        assert_eq!(d.tools, 4);
+        assert!(d.fake_range > 50.0);
+        assert!(d.genuine_range > 40.0);
+        assert!(d.fake_std > 15.0);
+    }
+
+    #[test]
+    fn degenerate_table_yields_no_p() {
+        // Both tools put everything in one column: chi-square degenerates.
+        let a = outcome_from_row("a", AccountId(1), 0, 10, 0);
+        let b = outcome_from_row("b", AccountId(1), 0, 20, 0);
+        let d = disagreement(&[&a, &b]);
+        assert!(d.homogeneity_p.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two tools")]
+    fn single_outcome_panics() {
+        let a = outcome_from_row("a", AccountId(1), 1, 1, 1);
+        disagreement(&[&a]);
+    }
+
+    #[test]
+    fn display_mentions_ranges() {
+        let a = outcome_from_row("a", AccountId(1), 0, 90, 10);
+        let b = outcome_from_row("b", AccountId(1), 0, 10, 90);
+        let s = disagreement(&[&a, &b]).to_string();
+        assert!(s.contains("range 80.0"));
+    }
+}

@@ -1,0 +1,221 @@
+//! A2 — ablation: what result caching does to freshness.
+//!
+//! §IV-C shows every tool serving repeat requests from cache in under five
+//! seconds, and Twitteraudit serving a *seven-month-old* report as the
+//! first response. Caching buys the Table II latencies at the price of
+//! staleness: a purchased burst is invisible until the cache entry
+//! expires. This driver sweeps the TTL and measures both sides of that
+//! trade.
+
+use fakeaudit_analytics::{OnlineService, ServiceProfile};
+use fakeaudit_detectors::Socialbakers;
+use fakeaudit_population::archetype::{self, TrueClass};
+use fakeaudit_population::{ClassMix, TargetScenario};
+use fakeaudit_stats::rng::{derive_seed, rng_for_indexed};
+use fakeaudit_twittersim::{Platform, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One TTL configuration's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheAblationRow {
+    /// Cache TTL in days; `None` = never expires.
+    pub ttl_days: Option<u64>,
+    /// Fraction of the daily requests served from cache.
+    pub cache_hit_rate: f64,
+    /// Mean response seconds across the window.
+    pub mean_response_secs: f64,
+    /// Days after the burst until a response first reflected it (fake share
+    /// jumped); `None` if it never did within the window.
+    pub burst_visible_after_days: Option<u32>,
+}
+
+/// Outcome of the cache ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheAblationResult {
+    /// One row per TTL configuration.
+    pub rows: Vec<CacheAblationRow>,
+    /// Day (0-based, within the observation window) the burst landed.
+    pub burst_day: u32,
+    /// Observation days.
+    pub days: u32,
+}
+
+/// Runs the cache ablation: one Socialbakers-style service per TTL, one
+/// request per simulated day, a purchased burst landing mid-window.
+///
+/// # Panics
+///
+/// Panics on internal inconsistencies only.
+pub fn run_cache_ablation(seed: u64) -> CacheAblationResult {
+    const DAYS: u32 = 14;
+    const BURST_DAY: u32 = 5;
+    const FOLLOWERS: usize = 6_000;
+    const BOUGHT: usize = 900;
+
+    let ttls: [Option<u64>; 3] = [Some(0), Some(7), None];
+    let mut rows = Vec::new();
+    for (cfg_idx, ttl_days) in ttls.into_iter().enumerate() {
+        let mut platform = Platform::new();
+        let built = TargetScenario::new(
+            "cache_target",
+            FOLLOWERS,
+            ClassMix::new(0.25, 0.01, 0.74).expect("valid mix"),
+        )
+        .build(&mut platform, derive_seed(seed, "a2-build"))
+        .expect("scenario builds");
+
+        let profile = ServiceProfile {
+            cache_ttl_days: ttl_days,
+            daily_quota: None,
+            ..ServiceProfile::socialbakers()
+        };
+        let mut service = OnlineService::new(
+            Socialbakers::new(),
+            profile,
+            derive_seed(seed, &format!("a2-svc-{cfg_idx}")),
+        );
+
+        let baseline_fake = {
+            let r = service
+                .request(&platform, built.target)
+                .expect("audit runs");
+            r.outcome.fake_pct()
+        };
+
+        let mut hits = 0u32;
+        let mut total_secs = 0.0;
+        let mut requests = 0u32;
+        let mut burst_visible: Option<u32> = None;
+        for day in 0..DAYS {
+            platform.advance_clock(SimDuration::from_days(1));
+            if day == BURST_DAY {
+                for i in 0..BOUGHT {
+                    let mut rng = rng_for_indexed(seed, &format!("a2-bought-{cfg_idx}"), i as u64);
+                    let now = platform.now();
+                    let mut acc = archetype::generate(
+                        &mut rng,
+                        TrueClass::Fake,
+                        format!("a2_bought_{cfg_idx}_{i}"),
+                        now,
+                    );
+                    if acc.profile.created_at > now {
+                        acc.profile.created_at = now;
+                    }
+                    let id = platform
+                        .register(acc.profile, acc.timeline)
+                        .expect("unique names");
+                    platform.follow(id, built.target).expect("valid follow");
+                }
+            }
+            let r = service
+                .request(&platform, built.target)
+                .expect("audit runs");
+            requests += 1;
+            total_secs += r.response_secs;
+            if r.served_from_cache {
+                hits += 1;
+            }
+            if burst_visible.is_none()
+                && day >= BURST_DAY
+                && r.outcome.fake_pct() > baseline_fake + 5.0
+            {
+                burst_visible = Some(day - BURST_DAY);
+            }
+        }
+        rows.push(CacheAblationRow {
+            ttl_days,
+            cache_hit_rate: f64::from(hits) / f64::from(requests),
+            mean_response_secs: total_secs / f64::from(requests),
+            burst_visible_after_days: burst_visible,
+        });
+    }
+    CacheAblationResult {
+        rows,
+        burst_day: BURST_DAY,
+        days: DAYS,
+    }
+}
+
+/// Renders the TTL sweep.
+pub fn render(r: &CacheAblationResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "A2: cache-policy ablation ({} daily requests, burst on day {})\n\
+         {:>10}{:>12}{:>16}{:>22}",
+        r.days, r.burst_day, "TTL", "hit rate", "mean resp (s)", "burst visible after"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "{:>10}{:>11.0}%{:>16.1}{:>22}",
+            row.ttl_days
+                .map_or("never".to_string(), |d| format!("{d}d")),
+            row.cache_hit_rate * 100.0,
+            row.mean_response_secs,
+            row.burst_visible_after_days
+                .map_or("never".to_string(), |d| format!("{d} days")),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "caching buys the sub-5s repeat responses of §IV-C at the price of\n\
+         staleness: with an unbounded cache (Twitteraudit's policy) a\n\
+         purchased burst never surfaces."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> &'static CacheAblationResult {
+        static R: std::sync::OnceLock<CacheAblationResult> = std::sync::OnceLock::new();
+        R.get_or_init(|| run_cache_ablation(1))
+    }
+
+    #[test]
+    fn three_ttl_configurations() {
+        assert_eq!(result().rows.len(), 3);
+        assert_eq!(result().rows[0].ttl_days, Some(0));
+        assert_eq!(result().rows[2].ttl_days, None);
+    }
+
+    #[test]
+    fn no_cache_sees_the_burst_immediately() {
+        let no_cache = &result().rows[0];
+        assert_eq!(no_cache.cache_hit_rate, 0.0);
+        assert_eq!(no_cache.burst_visible_after_days, Some(0));
+    }
+
+    #[test]
+    fn unbounded_cache_never_sees_the_burst() {
+        let unbounded = &result().rows[2];
+        assert!(unbounded.cache_hit_rate > 0.99);
+        assert_eq!(unbounded.burst_visible_after_days, None);
+    }
+
+    #[test]
+    fn ttl_trades_latency_for_freshness() {
+        let rows = &result().rows;
+        // Hit rate rises with TTL; mean response falls.
+        assert!(rows[0].cache_hit_rate < rows[1].cache_hit_rate);
+        assert!(rows[1].cache_hit_rate <= rows[2].cache_hit_rate + 1e-9);
+        assert!(rows[0].mean_response_secs > rows[2].mean_response_secs);
+        // The 7-day TTL sees the burst when the entry expires (within 7d).
+        let visible = rows[1]
+            .burst_visible_after_days
+            .expect("eventually visible");
+        assert!(visible <= 7, "visible after {visible} days");
+    }
+
+    #[test]
+    fn render_lists_policies() {
+        let s = render(result());
+        assert!(s.contains("never"));
+        assert!(s.contains("7d"));
+        assert!(s.contains("0d"));
+    }
+}

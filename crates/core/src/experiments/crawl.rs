@@ -1,0 +1,96 @@
+//! E3 — §IV-B: crawl budgets ("gathering Obama's followers took ~27 days").
+
+use fakeaudit_population::testbed::PAPER_TARGETS;
+use fakeaudit_twitter_api::crawl::CrawlBudget;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One crawl-budget row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrawlRow {
+    /// Screen name.
+    pub screen_name: String,
+    /// Follower count.
+    pub followers: u64,
+    /// Budget for the id list + all profiles (what the authors crawled).
+    pub profiles: CrawlBudget,
+    /// Budget including one timeline page per follower.
+    pub with_timelines: CrawlBudget,
+}
+
+/// Crawl budgets for every testbed target.
+pub fn run_crawl_budgets() -> Vec<CrawlRow> {
+    PAPER_TARGETS
+        .iter()
+        .map(|t| CrawlRow {
+            screen_name: t.screen_name.to_string(),
+            followers: t.followers,
+            profiles: CrawlBudget::for_followers(t.followers, false),
+            with_timelines: CrawlBudget::for_followers(t.followers, true),
+        })
+        .collect()
+}
+
+/// Renders the crawl-budget table.
+pub fn render(rows: &[CrawlRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E3: full-crawl budgets at Table I sustained rates\n\
+         {:<18}{:>11} {:>14} {:>18}",
+        "profile", "followers", "ids+profiles", "+timelines"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "@{:<17}{:>11} {:>14} {:>18}",
+            r.screen_name,
+            r.followers,
+            r.profiles.total.to_string(),
+            r.with_timelines.total.to_string()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(paper: crawling @BarackObama's full follower set took \"around 27 days\")"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_rows() {
+        assert_eq!(run_crawl_budgets().len(), 20);
+    }
+
+    #[test]
+    fn obama_row_matches_paper_claim() {
+        let rows = run_crawl_budgets();
+        let obama = rows
+            .iter()
+            .find(|r| r.screen_name == "BarackObama")
+            .unwrap();
+        let days = obama.profiles.total_days();
+        assert!((25.0..32.0).contains(&days), "Obama crawl {days:.1} days");
+    }
+
+    #[test]
+    fn budgets_grow_with_followers() {
+        let rows = run_crawl_budgets();
+        for w in rows.windows(2) {
+            if w[0].followers <= w[1].followers {
+                assert!(w[0].profiles.total <= w[1].profiles.total);
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_27_days() {
+        let s = render(&run_crawl_budgets());
+        assert!(s.contains("27 days"));
+        assert!(s.contains("@BarackObama"));
+    }
+}

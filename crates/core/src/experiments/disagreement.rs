@@ -1,0 +1,182 @@
+//! E5 — §IV-D: "the more followers a target has, the less the fake
+//! followers analytics agree."
+//!
+//! Quantifies the claim over the Table III rows: per-target disagreement
+//! (range and dispersion of the tools' fake percentages) correlated with
+//! the target's follower count.
+
+use crate::compare::{disagreement, outcome_from_row, Disagreement};
+use crate::experiments::table3::Table3;
+use fakeaudit_stats::correlation;
+use fakeaudit_twittersim::AccountId;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Disagreement for one target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisagreementRow {
+    /// Screen name.
+    pub screen_name: String,
+    /// Follower count.
+    pub followers: u64,
+    /// Cross-tool disagreement.
+    pub disagreement: Disagreement,
+}
+
+/// Outcome of the disagreement experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisagreementResult {
+    /// Per-target rows, in Table III order.
+    pub rows: Vec<DisagreementRow>,
+    /// Pearson correlation between log10(followers) and the fake-percentage
+    /// range.
+    pub correlation_log_followers_vs_fake_range: f64,
+    /// Spearman rank correlation between follower count and the
+    /// fake-percentage range (robust to the count skew).
+    pub spearman_followers_vs_fake_range: f64,
+}
+
+/// Pearson correlation of two equal-length samples.
+///
+/// # Panics
+///
+/// Panics when lengths differ or fewer than 2 points are given.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+/// Derives the disagreement analysis from a (measured) Table III.
+pub fn run_disagreement(table: &Table3) -> DisagreementResult {
+    let rows: Vec<DisagreementRow> = table
+        .rows
+        .iter()
+        .map(|r| {
+            let target = AccountId(0);
+            // Rebuild count-level outcomes from the percentage rows on a
+            // common base so chi-square sees comparable totals.
+            let base = 1_000.0;
+            let from = |inact: f64, fake: f64, good: f64| {
+                outcome_from_row(
+                    "row",
+                    target,
+                    (inact / 100.0 * base) as u64,
+                    (fake / 100.0 * base) as u64,
+                    (good / 100.0 * base) as u64,
+                )
+            };
+            let outs = [
+                from(r.fc.0, r.fc.1, r.fc.2),
+                from(0.0, r.ta.0, r.ta.1),
+                from(r.sp.0, r.sp.1, r.sp.2),
+                from(r.sb.0, r.sb.1, r.sb.2),
+            ];
+            let refs: Vec<_> = outs.iter().collect();
+            DisagreementRow {
+                screen_name: r.screen_name.clone(),
+                followers: r.followers,
+                disagreement: disagreement(&refs),
+            }
+        })
+        .collect();
+    let xs: Vec<f64> = rows.iter().map(|r| (r.followers as f64).log10()).collect();
+    let raw: Vec<f64> = rows.iter().map(|r| r.followers as f64).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| r.disagreement.fake_range).collect();
+    let (correlation, spearman) = if rows.len() >= 2 {
+        (
+            pearson(&xs, &ys),
+            correlation::spearman(&raw, &ys).expect("validated samples"),
+        )
+    } else {
+        (0.0, 0.0)
+    };
+    DisagreementResult {
+        rows,
+        correlation_log_followers_vs_fake_range: correlation,
+        spearman_followers_vs_fake_range: spearman,
+    }
+}
+
+/// Renders the disagreement table and correlation.
+pub fn render(r: &DisagreementResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E5: cross-tool disagreement vs follower count\n\
+         {:<18}{:>11}{:>14}{:>12}",
+        "profile", "followers", "fake% range", "fake% sd"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "@{:<17}{:>11}{:>14.1}{:>12.1}",
+            row.screen_name, row.followers, row.disagreement.fake_range, row.disagreement.fake_std
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Pearson correlation, log10(followers) vs fake% range: {:+.2}",
+        r.correlation_log_followers_vs_fake_range
+    );
+    let _ = writeln!(
+        out,
+        "Spearman rank correlation, followers vs fake% range:  {:+.2}",
+        r.spearman_followers_vs_fake_range
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::table3::run_table3_filtered;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn pearson_reference_cases() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pearson_length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn disagreement_rows_from_measured_table() {
+        let t = run_table3_filtered(Scale::quick(), 13, |x| x.followers < 4_000).unwrap();
+        let d = run_disagreement(&t);
+        assert_eq!(d.rows.len(), t.rows.len());
+        for row in &d.rows {
+            assert!(row.disagreement.fake_range >= 0.0);
+            assert_eq!(row.disagreement.tools, 4);
+        }
+    }
+
+    #[test]
+    fn render_shows_correlation() {
+        let t = run_table3_filtered(Scale::quick(), 13, |x| x.followers < 4_000).unwrap();
+        let s = render(&run_disagreement(&t));
+        assert!(s.contains("Pearson correlation"));
+        assert!(s.contains("Spearman rank correlation"));
+    }
+}

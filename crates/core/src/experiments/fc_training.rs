@@ -1,0 +1,321 @@
+//! E4 — §III: how the FC engine was constructed.
+//!
+//! The Fake Project methodology tested literature rule sets and feature
+//! sets on a gold standard and found that "algorithms based on
+//! classification rules do not succeed in detecting the fakes … while
+//! better results were achieved by relying on those features proposed by
+//! Academia for spam accounts detection". This driver reproduces that
+//! comparison: Camisani-Calzolari rules, StateOfSearch signals, the
+//! Socialbakers criteria (as a binary fake detector), and random forests on
+//! the profile-only and with-timeline feature sets, all evaluated on a
+//! held-out gold standard plus 5-fold cross-validation.
+
+use fakeaudit_detectors::data::AccountData;
+use fakeaudit_detectors::features::{dataset_from_gold, FeatureSet};
+use fakeaudit_detectors::rules::{CamisaniCalzolari, RuleSet, StateOfSearch};
+use fakeaudit_detectors::Socialbakers;
+use fakeaudit_ml::eval::cross_validate;
+use fakeaudit_ml::forest::ForestParams;
+use fakeaudit_ml::tree::TreeParams;
+use fakeaudit_ml::{
+    Classifier, ConfusionMatrix, DecisionTree, GaussianNaiveBayes, KNearestNeighbors, RandomForest,
+};
+use fakeaudit_population::archetype::recommended_audit_time;
+use fakeaudit_population::goldstandard::GoldStandard;
+use fakeaudit_population::TrueClass;
+use fakeaudit_stats::rng::derive_seed;
+use fakeaudit_twittersim::AccountId;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Binary detection metrics of one approach on the held-out set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E4Row {
+    /// Approach name.
+    pub name: String,
+    /// Accuracy on the held-out gold standard.
+    pub accuracy: f64,
+    /// Precision on the fake class.
+    pub precision: f64,
+    /// Recall on the fake class.
+    pub recall: f64,
+    /// F1 on the fake class.
+    pub f1: f64,
+    /// Matthews correlation coefficient.
+    pub mcc: f64,
+}
+
+/// Outcome of the FC-construction experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FcTrainingResult {
+    /// Gold-standard accounts per class.
+    pub per_class: usize,
+    /// One row per approach, rule sets first, learners after.
+    pub rows: Vec<E4Row>,
+    /// 5-fold cross-validated accuracy of the profile-only forest.
+    pub forest_cv_accuracy: f64,
+    /// `(feature name, importance)` of the profile-only forest, sorted by
+    /// importance — which signals the optimised classifier actually leans
+    /// on.
+    pub feature_importance: Vec<(String, f64)>,
+}
+
+fn row_from_matrix(name: &str, cm: &ConfusionMatrix) -> E4Row {
+    E4Row {
+        name: name.to_string(),
+        accuracy: cm.accuracy(),
+        precision: cm.precision(1),
+        recall: cm.recall(1),
+        f1: cm.f1(1),
+        mcc: cm.mcc(),
+    }
+}
+
+fn evaluate_rule_set<R: RuleSet + ?Sized>(rules: &R, gold: &GoldStandard) -> E4Row {
+    let now = gold.observed_at();
+    let mut cm = ConfusionMatrix::new(2);
+    for (i, acc) in gold.accounts().iter().enumerate() {
+        let data = AccountData {
+            id: AccountId(i as u64),
+            profile: acc.profile.clone(),
+            recent_tweets: Some(acc.timeline.recent_tweets(AccountId(i as u64), 200)),
+        };
+        let actual = usize::from(acc.class == TrueClass::Fake);
+        let predicted = usize::from(rules.is_fake(&data, now));
+        cm.record(actual, predicted);
+    }
+    row_from_matrix(rules.name(), &cm)
+}
+
+fn evaluate_socialbakers_criteria(gold: &GoldStandard) -> E4Row {
+    let sb = Socialbakers::new();
+    let now = gold.observed_at();
+    let mut cm = ConfusionMatrix::new(2);
+    for (i, acc) in gold.accounts().iter().enumerate() {
+        let data = AccountData {
+            id: AccountId(i as u64),
+            profile: acc.profile.clone(),
+            recent_tweets: Some(acc.timeline.recent_tweets(AccountId(i as u64), 200)),
+        };
+        let actual = usize::from(acc.class == TrueClass::Fake);
+        // As a fake detector: suspicious (whether the flow would later call
+        // it inactive or fake) counts as a fake call.
+        let predicted = usize::from(sb.suspicion_points(&data, now) >= 3);
+        cm.record(actual, predicted);
+    }
+    row_from_matrix("Socialbakers criteria", &cm)
+}
+
+/// Runs the FC-construction experiment with `per_class` gold accounts per
+/// class.
+///
+/// # Panics
+///
+/// Panics if `per_class < 10` (folds would degenerate).
+pub fn run_fc_training(per_class: usize, seed: u64) -> FcTrainingResult {
+    assert!(per_class >= 10, "need at least 10 accounts per class");
+    let now = recommended_audit_time();
+    let train_gold = GoldStandard::generate(derive_seed(seed, "e4-train"), per_class, now);
+    let test_gold = GoldStandard::generate(derive_seed(seed, "e4-test"), per_class, now);
+
+    let mut rows = vec![
+        evaluate_rule_set(&CamisaniCalzolari, &test_gold),
+        evaluate_rule_set(&StateOfSearch, &test_gold),
+        evaluate_socialbakers_criteria(&test_gold),
+    ];
+
+    let train_profile = dataset_from_gold(&train_gold, FeatureSet::ProfileOnly);
+    let test_profile = dataset_from_gold(&test_gold, FeatureSet::ProfileOnly);
+
+    // The learner families [12] compared, all on the cheap profile set.
+    let eval_learner = |clf: &dyn Classifier, name: &str| {
+        row_from_matrix(name, &ConfusionMatrix::evaluate(clf, &test_profile))
+    };
+    let nb = GaussianNaiveBayes::fit(&train_profile).expect("non-empty training set");
+    rows.push(eval_learner(&nb, "Gaussian naive Bayes (profile)"));
+    let knn = KNearestNeighbors::fit(&train_profile, 7).expect("non-empty training set");
+    rows.push(eval_learner(&knn, "7-NN (profile)"));
+    let cart =
+        DecisionTree::fit(&train_profile, TreeParams::default()).expect("non-empty training set");
+    rows.push(eval_learner(&cart, "CART tree (profile)"));
+
+    let mut feature_importance = Vec::new();
+    for (name, set) in [
+        ("Random forest (profile features)", FeatureSet::ProfileOnly),
+        (
+            "Random forest (+timeline features)",
+            FeatureSet::WithTimeline,
+        ),
+    ] {
+        let train = dataset_from_gold(&train_gold, set);
+        let test = dataset_from_gold(&test_gold, set);
+        let forest = RandomForest::fit(&train, ForestParams::default(), derive_seed(seed, name))
+            .expect("non-empty training set");
+        let cm = ConfusionMatrix::evaluate(&forest, &test);
+        rows.push(row_from_matrix(name, &cm));
+        if set == FeatureSet::ProfileOnly {
+            feature_importance = train
+                .feature_names()
+                .iter()
+                .cloned()
+                .zip(forest.feature_importance())
+                .collect();
+            feature_importance.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+        }
+    }
+
+    let cv_data = dataset_from_gold(&train_gold, FeatureSet::ProfileOnly);
+    let cv = cross_validate(&cv_data, 5, derive_seed(seed, "e4-cv"), |fold| {
+        RandomForest::fit(
+            fold,
+            ForestParams::default(),
+            derive_seed(seed, "e4-cv-fit"),
+        )
+        .expect("non-empty fold")
+    });
+
+    FcTrainingResult {
+        per_class,
+        rows,
+        forest_cv_accuracy: cv.mean_accuracy(),
+        feature_importance,
+    }
+}
+
+/// Renders the approach-comparison table.
+pub fn render(r: &FcTrainingResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E4: FC construction — rule sets vs trained classifiers\n\
+         (held-out gold standard, {} accounts per class)\n\
+         {:<36}{:>9}{:>10}{:>8}{:>8}{:>8}",
+        r.per_class, "approach", "accuracy", "precision", "recall", "F1", "MCC"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "{:<36}{:>9.3}{:>10.3}{:>8.3}{:>8.3}{:>8.3}",
+            row.name, row.accuracy, row.precision, row.recall, row.f1, row.mcc
+        );
+    }
+    let _ = writeln!(
+        out,
+        "profile-feature forest, 5-fold CV accuracy: {:.3}",
+        r.forest_cv_accuracy
+    );
+    let _ = writeln!(out, "forest feature importances (profile set):");
+    for (name, imp) in &r.feature_importance {
+        let _ = writeln!(out, "  {name:<28}{imp:>7.3}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> FcTrainingResult {
+        run_fc_training(60, 1)
+    }
+
+    #[test]
+    fn eight_approaches_compared() {
+        let r = quick();
+        assert_eq!(r.rows.len(), 8);
+        assert!(r.rows[0].name.contains("Camisani"));
+        assert!(r.rows[3].name.contains("Bayes"));
+        assert!(r.rows[7].name.contains("timeline"));
+    }
+
+    #[test]
+    fn trained_forest_beats_rule_sets() {
+        // The paper's central E4 finding.
+        let r = quick();
+        let best_rules = r.rows[..3].iter().map(|x| x.f1).fold(f64::MIN, f64::max);
+        let forest = r
+            .rows
+            .iter()
+            .find(|x| x.name.contains("profile features"))
+            .unwrap();
+        assert!(
+            forest.f1 >= best_rules,
+            "forest F1 {:.3} must be at least the best rule set {:.3}",
+            forest.f1,
+            best_rules
+        );
+        assert!(
+            forest.accuracy > 0.9,
+            "forest accuracy {:.3}",
+            forest.accuracy
+        );
+    }
+
+    #[test]
+    fn cross_validation_is_consistent_with_holdout() {
+        let r = quick();
+        let forest = r
+            .rows
+            .iter()
+            .find(|x| x.name.contains("profile features"))
+            .unwrap();
+        assert!(
+            (r.forest_cv_accuracy - forest.accuracy).abs() < 0.1,
+            "CV {:.3} vs hold-out {:.3}",
+            r.forest_cv_accuracy,
+            forest.accuracy
+        );
+    }
+
+    #[test]
+    fn metrics_are_probabilities() {
+        for row in &quick().rows {
+            for v in [row.accuracy, row.precision, row.recall, row.f1] {
+                assert!((0.0..=1.0).contains(&v), "{}: {v}", row.name);
+            }
+            assert!((-1.0..=1.0).contains(&row.mcc));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run_fc_training(30, 2), run_fc_training(30, 2));
+    }
+
+    #[test]
+    fn feature_importances_are_a_sorted_distribution() {
+        let r = quick();
+        assert_eq!(r.feature_importance.len(), 10);
+        let total: f64 = r.feature_importance.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        for w in r.feature_importance.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // The follow-graph ratio family should matter: either the ratio
+        // itself or its friends/followers constituents rank highly.
+        let top4: Vec<&str> = r.feature_importance[..4]
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert!(
+            top4.iter()
+                .any(|n| n.contains("ratio") || n.contains("friends") || n.contains("followers")),
+            "top features {top4:?}"
+        );
+    }
+
+    #[test]
+    fn render_lists_all_approaches() {
+        let r = quick();
+        let s = render(&r);
+        for row in &r.rows {
+            assert!(s.contains(&row.name));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10 accounts")]
+    fn tiny_gold_standard_panics() {
+        run_fc_training(5, 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! One driver per table/figure/experiment of the paper.
+//!
+//! | id | paper artefact | module |
+//! |----|----------------|--------|
+//! | T1 | Table I (API limits) | [`table1`] |
+//! | T2 | Table II (response times) | [`table2`] |
+//! | T3 | Table III (analysis results) | [`table3`] |
+//! | E1 | §IV-B follower ordering | [`ordering`] |
+//! | E2 | §II-D sampling-bias example | [`bias`] |
+//! | E3 | §IV-B Obama crawl budget | [`crawl`] |
+//! | E4 | §III FC construction (rules vs learner) | [`fc_training`] |
+//! | E5 | §IV-D disagreement vs follower count | [`disagreement`] |
+//! | E6 | §II-A Fakers vs Deep Dive | [`deep_dive`] |
+//! | E7 | post-burst reporting timeline (extension) | [`burst`] |
+//! | A1 | ablation: prefix vs uniform sampling | [`ablation`] |
+//! | A2 | ablation: cache policy (latency vs staleness) | [`cache_ablation`] |
+//!
+//! Every driver takes a [`Scale`] and a seed and returns a structured
+//! result plus a rendered text table; the `fakeaudit-bench` binaries print
+//! those renders, and EXPERIMENTS.md archives them next to the paper's
+//! numbers.
+
+pub mod ablation;
+pub mod bias;
+pub mod burst;
+pub mod cache_ablation;
+pub mod crawl;
+pub mod deep_dive;
+pub mod disagreement;
+pub mod fc_training;
+pub mod ordering;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use serde::{Deserialize, Serialize};
+
+/// How much of each target to materialise — the knob between fast checks
+/// and full reproduction runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Maximum materialised followers per target (the nominal count is
+    /// pinned above this; percentages are scale-invariant).
+    pub materialize_cap: usize,
+    /// FC sample size (the paper's 9 604, or smaller for quick runs).
+    pub fc_sample: u64,
+    /// Gold-standard accounts per class for FC model training.
+    pub gold_per_class: usize,
+}
+
+impl Scale {
+    /// The full reproduction scale used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        Self {
+            materialize_cap: 50_000,
+            fc_sample: 9_604,
+            gold_per_class: 400,
+        }
+    }
+
+    /// A reduced scale for debug-mode tests and smoke runs.
+    pub fn quick() -> Self {
+        Self {
+            materialize_cap: 2_500,
+            fc_sample: 1_200,
+            gold_per_class: 120,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Formats a `(inactive, fake, genuine)` row as Table III prints it.
+pub(crate) fn fmt_row3(row: (f64, f64, f64)) -> String {
+    format!("{:>5.1} {:>5.1} {:>5.1}", row.0, row.1, row.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.materialize_cap < f.materialize_cap);
+        assert!(q.fc_sample < f.fc_sample);
+        assert_eq!(f.fc_sample, 9_604);
+        assert_eq!(Scale::default(), f);
+    }
+
+    #[test]
+    fn row_formatting() {
+        assert_eq!(fmt_row3((25.0, 1.4, 73.6)), " 25.0   1.4  73.6");
+    }
+}

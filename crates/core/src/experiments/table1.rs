@@ -1,0 +1,55 @@
+//! T1 — Table I: Twitter API types and limitations.
+//!
+//! Table I is configuration, not measurement; the reproduction renders it
+//! from the same endpoint catalogue every other experiment consumes, so a
+//! drift between the table and the simulator is impossible.
+
+use fakeaudit_twitter_api::endpoint::{render_table1, Endpoint};
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// The endpoint.
+    pub endpoint: Endpoint,
+    /// Elements per request.
+    pub items_per_request: usize,
+    /// Max requests per minute.
+    pub requests_per_minute: u32,
+}
+
+/// The four rows of Table I.
+pub fn run_table1() -> Vec<Table1Row> {
+    Endpoint::ALL
+        .iter()
+        .map(|&e| Table1Row {
+            endpoint: e,
+            items_per_request: e.items_per_request(),
+            requests_per_minute: e.requests_per_minute(),
+        })
+        .collect()
+}
+
+/// Renders Table I as the paper prints it.
+pub fn render() -> String {
+    render_table1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_paper() {
+        let rows = run_table1();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].items_per_request, 5_000);
+        assert_eq!(rows[0].requests_per_minute, 1);
+        assert_eq!(rows[2].items_per_request, 100);
+        assert_eq!(rows[2].requests_per_minute, 12);
+    }
+
+    #[test]
+    fn render_is_nonempty() {
+        assert!(render().contains("GET followers/ids"));
+    }
+}

@@ -1,0 +1,342 @@
+//! T3 — Table III: fake-follower analysis results for the twenty targets.
+//!
+//! Each synthetic target's ground truth is calibrated to the paper's FC
+//! row (DESIGN.md §7); the commercial tools' rows then *emerge* from their
+//! documented methodologies run over the simulated API. The reproduction
+//! additionally scores every tool against ground truth — the measurement
+//! the paper could not make on live accounts.
+
+use crate::experiments::{fmt_row3, Scale};
+use crate::panel::AuditPanel;
+use crate::scoring::{score_against_truth, ToolScore};
+use fakeaudit_analytics::ServiceError;
+use fakeaudit_detectors::{FakeProjectEngine, ToolId};
+use fakeaudit_population::testbed::{PaperTarget, PAPER_TARGETS};
+use fakeaudit_population::ClassMix;
+use fakeaudit_stats::bootstrap::bootstrap_ci;
+use fakeaudit_stats::rng::{derive_seed, rng_for};
+use fakeaudit_twittersim::Platform;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One measured row of Table III.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table3Row {
+    /// Screen name.
+    pub screen_name: String,
+    /// Published follower count.
+    pub followers: u64,
+    /// Realised ground-truth mix of the materialised follower base.
+    pub truth: ClassMix,
+    /// Measured FC row (inactive %, fake %, genuine %).
+    pub fc: (f64, f64, f64),
+    /// Measured Twitteraudit row (fake %, genuine %).
+    pub ta: (f64, f64),
+    /// Measured StatusPeople row.
+    pub sp: (f64, f64, f64),
+    /// Measured Socialbakers row.
+    pub sb: (f64, f64, f64),
+    /// The paper's rows, for side-by-side comparison.
+    pub paper: PaperTarget,
+    /// Ground-truth scores per tool (FC, TA, SP, SB order).
+    pub scores: Vec<(ToolId, ToolScore)>,
+}
+
+/// The full Table III result.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table3 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table3Row>,
+}
+
+/// Runs the Table III experiment over all twenty targets (or a subset via
+/// `filter`, e.g. only the low class for smoke tests).
+///
+/// # Errors
+///
+/// Propagates [`ServiceError`] from any audit.
+pub fn run_table3_filtered<F>(scale: Scale, seed: u64, filter: F) -> Result<Table3, ServiceError>
+where
+    F: Fn(&PaperTarget) -> bool,
+{
+    let fc_engine = FakeProjectEngine::with_default_model(derive_seed(seed, "t3-model"))
+        .with_sample_size(scale.fc_sample);
+    let mut rows = Vec::new();
+    for (i, target) in PAPER_TARGETS.iter().enumerate() {
+        if !filter(target) {
+            continue;
+        }
+        let target_seed = derive_seed(seed, &format!("t3-{i}"));
+        let mut platform = Platform::new();
+        let built = target
+            .scenario(scale.materialize_cap)
+            .build(&mut platform, target_seed)
+            .expect("scenario builds");
+        let mut panel = AuditPanel::with_fc_engine(fc_engine.clone(), target_seed);
+        let result = panel.request_all(&platform, built.target)?;
+        let row3 = |tool: ToolId| result.of(tool).outcome.counts.as_row();
+        let scores = ToolId::ALL
+            .iter()
+            .map(|&tool| {
+                (
+                    tool,
+                    score_against_truth(&result.of(tool).outcome, &built, &platform),
+                )
+            })
+            .collect();
+        let ta_full = row3(ToolId::Twitteraudit);
+        rows.push(Table3Row {
+            screen_name: target.screen_name.to_string(),
+            followers: target.followers,
+            truth: built.true_mix(),
+            fc: row3(ToolId::FakeClassifier),
+            ta: (ta_full.1, ta_full.2),
+            sp: row3(ToolId::StatusPeople),
+            sb: row3(ToolId::Socialbakers),
+            paper: *target,
+            scores,
+        });
+    }
+    Ok(Table3 { rows })
+}
+
+/// Runs the full twenty-target Table III.
+///
+/// # Errors
+///
+/// Propagates [`ServiceError`].
+pub fn run_table3(scale: Scale, seed: u64) -> Result<Table3, ServiceError> {
+    run_table3_filtered(scale, seed, |_| true)
+}
+
+/// Renders measured rows beside the paper's rows.
+pub fn render(table: &Table3) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table III: fake follower analysis results (measured | paper)\n\
+         {:<18}{:>9} | {:^17} | {:^11} | {:^17} | {:^17}",
+        "profile",
+        "followers",
+        "FC inact/fake/good",
+        "TA fake/good",
+        "SP inact/fake/good",
+        "SB inact/fake/good"
+    );
+    for r in &table.rows {
+        let _ = writeln!(
+            out,
+            "@{:<17}{:>9} | {} | {:>5.1} {:>5.1} | {} | {}",
+            r.screen_name,
+            r.followers,
+            fmt_row3(r.fc),
+            r.ta.0,
+            r.ta.1,
+            fmt_row3(r.sp),
+            fmt_row3(r.sb)
+        );
+        let _ = writeln!(
+            out,
+            "  paper:{:>20} {} | {:>5.1} {:>5.1} | {} | {}",
+            "",
+            fmt_row3(r.paper.fc),
+            r.paper.ta.0,
+            r.paper.ta.1,
+            fmt_row3(r.paper.sp),
+            fmt_row3(r.paper.sb)
+        );
+    }
+    out
+}
+
+/// Per-tool summary of the scoring annex: mean lenient accuracy across
+/// targets with a percentile-bootstrap 95% interval.
+pub fn score_summary(table: &Table3) -> Vec<(ToolId, f64, f64, f64)> {
+    let mut rng = rng_for(0, "t3-score-boot");
+    ToolId::ALL
+        .iter()
+        .map(|&tool| {
+            let accs: Vec<f64> = table
+                .rows
+                .iter()
+                .map(|r| {
+                    r.scores
+                        .iter()
+                        .find(|(t, _)| *t == tool)
+                        .expect("all tools scored")
+                        .1
+                        .lenient_accuracy
+                })
+                .collect();
+            let mean = accs.iter().sum::<f64>() / accs.len().max(1) as f64;
+            if accs.len() < 2 {
+                return (tool, mean, mean, mean);
+            }
+            let ci = bootstrap_ci(
+                &mut rng,
+                &accs,
+                |xs| xs.iter().sum::<f64>() / xs.len() as f64,
+                1_000,
+                0.95,
+            );
+            (tool, mean, ci.low, ci.high)
+        })
+        .collect()
+}
+
+/// Renders the ground-truth scoring annex (reproduction-only data).
+pub fn render_scores(table: &Table3) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ground-truth scoring (lenient accuracy / |fake% error| / |genuine% error|)\n\
+         {:<18} {:>22} {:>22} {:>22} {:>22}",
+        "profile", "FC", "TA", "SP", "SB"
+    );
+    for r in &table.rows {
+        let cell = |tool: ToolId| {
+            let (_, s) = r
+                .scores
+                .iter()
+                .find(|(t, _)| *t == tool)
+                .expect("all tools scored");
+            format!(
+                "{:>5.1}% {:>6.1} {:>6.1}",
+                s.lenient_accuracy * 100.0,
+                s.fake_pct_error,
+                s.genuine_pct_error
+            )
+        };
+        let _ = writeln!(
+            out,
+            "@{:<17} {:>22} {:>22} {:>22} {:>22}",
+            r.screen_name,
+            cell(ToolId::FakeClassifier),
+            cell(ToolId::Twitteraudit),
+            cell(ToolId::StatusPeople),
+            cell(ToolId::Socialbakers)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "mean lenient accuracy (bootstrap 95% CI over targets):"
+    );
+    for (tool, mean, lo, hi) in score_summary(table) {
+        let _ = writeln!(
+            out,
+            "  {:<4} {:>5.1}%  [{:>5.1}%, {:>5.1}%]",
+            tool.abbrev(),
+            mean * 100.0,
+            lo * 100.0,
+            hi * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_population::testbed::FollowerClass;
+
+    fn low_class_table() -> &'static Table3 {
+        static TABLE: std::sync::OnceLock<Table3> = std::sync::OnceLock::new();
+        TABLE.get_or_init(|| {
+            run_table3_filtered(Scale::quick(), 11, |t| t.class == FollowerClass::Low).unwrap()
+        })
+    }
+
+    #[test]
+    fn low_class_has_four_rows() {
+        let t = low_class_table();
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[0].screen_name, "RobDWaller");
+    }
+
+    #[test]
+    fn fc_row_tracks_paper_fc_row() {
+        // The FC engine on the calibrated population must land near the
+        // paper's FC percentages (the calibration anchor).
+        let t = low_class_table();
+        for r in &t.rows {
+            let (pi, _, pg) = r.paper.fc;
+            assert!(
+                (r.fc.0 - pi).abs() < 12.0,
+                "@{} FC inactive {:.1} vs paper {:.1}",
+                r.screen_name,
+                r.fc.0,
+                pi
+            );
+            assert!(
+                (r.fc.2 - pg).abs() < 12.0,
+                "@{} FC genuine {:.1} vs paper {:.1}",
+                r.screen_name,
+                r.fc.2,
+                pg
+            );
+        }
+    }
+
+    #[test]
+    fn fc_outscores_commercial_tools_on_truth() {
+        let t = low_class_table();
+        for r in &t.rows {
+            let acc = |tool: ToolId| {
+                r.scores
+                    .iter()
+                    .find(|(x, _)| *x == tool)
+                    .unwrap()
+                    .1
+                    .lenient_accuracy
+            };
+            let fc = acc(ToolId::FakeClassifier);
+            assert!(fc > 0.8, "@{} FC lenient accuracy {fc:.2}", r.screen_name);
+        }
+    }
+
+    #[test]
+    fn rows_sum_to_100() {
+        let t = low_class_table();
+        for r in &t.rows {
+            for row in [r.fc, r.sp, r.sb] {
+                assert!((row.0 + row.1 + row.2 - 100.0).abs() < 1e-6);
+            }
+            assert!((r.ta.0 + r.ta.1 - 100.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn renders_contain_paper_rows() {
+        let t = low_class_table();
+        let s = render(t);
+        assert!(s.contains("@RobDWaller"));
+        assert!(s.contains("paper:"));
+        let sc = render_scores(t);
+        assert!(sc.contains("Ground-truth scoring"));
+        assert!(sc.contains("bootstrap 95% CI"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_table3_filtered(Scale::quick(), 5, |t| t.followers < 3_000).unwrap();
+        let b = run_table3_filtered(Scale::quick(), 5, |t| t.followers < 3_000).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn score_summary_bounds() {
+        let t = low_class_table();
+        let summary = score_summary(t);
+        assert_eq!(summary.len(), 4);
+        for (tool, mean, lo, hi) in summary {
+            assert!(lo <= mean && mean <= hi, "{tool}: {lo} {mean} {hi}");
+            assert!((0.0..=1.0).contains(&mean));
+        }
+        // FC's mean accuracy beats every commercial tool's.
+        let s = score_summary(t);
+        let fc = s[0].1;
+        for &(_, mean, _, _) in &s[1..] {
+            assert!(fc >= mean - 0.02, "FC {fc} vs {mean}");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! *fakeaudit* — a full reproduction of
+//! "A Criticism to Society (as seen by Twitter analytics)"
+//! (Cresci, Di Pietro, Petrocchi, Spognardi, Tesconi — IIT-CNR / ICDCS
+//! workshops, 2014).
+//!
+//! The paper audits the trustworthiness of commercial Twitter fake-follower
+//! analytics (StatusPeople, Socialbakers, Twitteraudit) by comparing them
+//! against the authors' statistically sound Fake Project classifier. This
+//! crate assembles the full reproduction stack —
+//! [`fakeaudit_twittersim`] (synthetic platform), [`fakeaudit_twitter_api`]
+//! (rate-limited API), [`fakeaudit_population`] (ground-truth workloads),
+//! [`fakeaudit_ml`] + [`fakeaudit_detectors`] (the four engines),
+//! [`fakeaudit_analytics`] (web-service behaviour) — into:
+//!
+//! * [`panel`] — the [`panel::AuditPanel`]: all four services run over the
+//!   same target, as §IV does;
+//! * [`scoring`] — scoring every tool against the hidden ground truth
+//!   (something the paper could not do with live accounts);
+//! * [`compare`] — disagreement metrics over Table III rows;
+//! * [`experiments`] — one driver per table/figure/experiment of the
+//!   paper, each returning structured results plus a rendered text table
+//!   (see DESIGN.md §5 for the experiment index).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fakeaudit_core::panel::AuditPanel;
+//! use fakeaudit_population::{ClassMix, TargetScenario};
+//! use fakeaudit_twittersim::Platform;
+//!
+//! // A 2000-follower account whose ground truth we control: 30% inactive,
+//! // 20% fake (bought recently), 50% genuine.
+//! let mut platform = Platform::new();
+//! let target = TargetScenario::new("celebrity", 2_000, ClassMix::new(0.3, 0.2, 0.5)?)
+//!     .fake_recency_bias(10.0)
+//!     .build(&mut platform, 42)?;
+//!
+//! // Audit it with all four tools.
+//! let mut panel = AuditPanel::new(42);
+//! let result = panel.request_all(&platform, target.target)?;
+//! for (tool, response) in result.responses() {
+//!     println!("{tool}: {response}");
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod experiments;
+pub mod panel;
+pub mod scoring;
+
+pub use compare::Disagreement;
+pub use panel::{AuditPanel, PanelResult};
+pub use scoring::ToolScore;

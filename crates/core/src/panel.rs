@@ -1,0 +1,232 @@
+//! The audit panel: all four analytics run over the same target.
+
+use fakeaudit_analytics::{OnlineService, ServiceError, ServiceProfile, ServiceResponse};
+use fakeaudit_detectors::{FakeProjectEngine, Socialbakers, StatusPeople, ToolId, Twitteraudit};
+use fakeaudit_stats::rng::derive_seed;
+use fakeaudit_twittersim::{AccountId, Platform};
+use std::fmt;
+
+/// The four services of §IV, sharing one seed family.
+#[derive(Debug)]
+pub struct AuditPanel {
+    fc: OnlineService<FakeProjectEngine>,
+    ta: OnlineService<Twitteraudit>,
+    sp: OnlineService<StatusPeople>,
+    sb: OnlineService<Socialbakers>,
+}
+
+impl AuditPanel {
+    /// Builds a panel with default engines and calibrated service profiles.
+    /// The FC engine trains its default model from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self::with_fc_engine(FakeProjectEngine::with_default_model(seed), seed)
+    }
+
+    /// Builds a panel around a caller-supplied FC engine (pre-trained model
+    /// or modified sample size).
+    pub fn with_fc_engine(fc: FakeProjectEngine, seed: u64) -> Self {
+        Self {
+            fc: OnlineService::new(
+                fc,
+                ServiceProfile::fake_classifier(),
+                derive_seed(seed, "svc-fc"),
+            ),
+            ta: OnlineService::new(
+                Twitteraudit::new(),
+                ServiceProfile::twitteraudit(),
+                derive_seed(seed, "svc-ta"),
+            ),
+            sp: OnlineService::new(
+                StatusPeople::new(),
+                ServiceProfile::statuspeople(),
+                derive_seed(seed, "svc-sp"),
+            ),
+            sb: OnlineService::new(
+                Socialbakers::new(),
+                ServiceProfile::socialbakers(),
+                derive_seed(seed, "svc-sb"),
+            ),
+        }
+    }
+
+    /// The FC service.
+    pub fn fc(&mut self) -> &mut OnlineService<FakeProjectEngine> {
+        &mut self.fc
+    }
+
+    /// The Twitteraudit service.
+    pub fn ta(&mut self) -> &mut OnlineService<Twitteraudit> {
+        &mut self.ta
+    }
+
+    /// The StatusPeople service.
+    pub fn sp(&mut self) -> &mut OnlineService<StatusPeople> {
+        &mut self.sp
+    }
+
+    /// The Socialbakers service.
+    pub fn sb(&mut self) -> &mut OnlineService<Socialbakers> {
+        &mut self.sb
+    }
+
+    /// Pre-computes (and caches) one tool's result for `target` — used to
+    /// reproduce the pre-cached rows of Table II.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServiceError`].
+    pub fn prewarm(
+        &mut self,
+        tool: ToolId,
+        platform: &Platform,
+        target: AccountId,
+    ) -> Result<(), ServiceError> {
+        match tool {
+            ToolId::FakeClassifier => self.fc.prewarm(platform, target),
+            ToolId::Twitteraudit => self.ta.prewarm(platform, target),
+            ToolId::StatusPeople => self.sp.prewarm(platform, target),
+            ToolId::Socialbakers => self.sb.prewarm(platform, target),
+        }
+    }
+
+    /// Requests an analysis of `target` from one tool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServiceError`].
+    pub fn request(
+        &mut self,
+        tool: ToolId,
+        platform: &Platform,
+        target: AccountId,
+    ) -> Result<ServiceResponse, ServiceError> {
+        match tool {
+            ToolId::FakeClassifier => self.fc.request(platform, target),
+            ToolId::Twitteraudit => self.ta.request(platform, target),
+            ToolId::StatusPeople => self.sp.request(platform, target),
+            ToolId::Socialbakers => self.sb.request(platform, target),
+        }
+    }
+
+    /// Requests an analysis from all four tools (Table III row order).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first tool error.
+    pub fn request_all(
+        &mut self,
+        platform: &Platform,
+        target: AccountId,
+    ) -> Result<PanelResult, ServiceError> {
+        let mut responses = Vec::with_capacity(4);
+        for tool in ToolId::ALL {
+            responses.push((tool, self.request(tool, platform, target)?));
+        }
+        Ok(PanelResult { responses })
+    }
+}
+
+/// Responses from all four tools for one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanelResult {
+    responses: Vec<(ToolId, ServiceResponse)>,
+}
+
+impl PanelResult {
+    /// The `(tool, response)` pairs in Table III order.
+    pub fn responses(&self) -> &[(ToolId, ServiceResponse)] {
+        &self.responses
+    }
+
+    /// The response of one tool.
+    pub fn of(&self, tool: ToolId) -> &ServiceResponse {
+        &self
+            .responses
+            .iter()
+            .find(|(t, _)| *t == tool)
+            .expect("panel ran all tools")
+            .1
+    }
+}
+
+impl fmt::Display for PanelResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (tool, r) in &self.responses {
+            writeln!(f, "{:<4} {}", tool.abbrev(), r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_population::{ClassMix, TargetScenario};
+
+    fn built(n: usize) -> (Platform, fakeaudit_population::BuiltTarget) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("panel", n, ClassMix::new(0.3, 0.2, 0.5).unwrap())
+            .build(&mut platform, 101)
+            .unwrap();
+        (platform, t)
+    }
+
+    fn small_panel(seed: u64) -> AuditPanel {
+        // Reduced FC sample to keep debug-mode tests quick, but still large
+        // enough that FC's call schedule dominates the other tools'
+        // (the Table II ordering only emerges when FC hydrates more
+        // profiles than anyone else).
+        AuditPanel::with_fc_engine(
+            FakeProjectEngine::with_default_model(seed).with_sample_size(2_000),
+            seed,
+        )
+    }
+
+    #[test]
+    fn panel_runs_all_four_tools() {
+        let (platform, t) = built(2_000);
+        let mut panel = small_panel(1);
+        let result = panel.request_all(&platform, t.target).unwrap();
+        assert_eq!(result.responses().len(), 4);
+        for tool in ToolId::ALL {
+            let r = result.of(tool);
+            assert!(r.outcome.counts.total() > 0, "{tool} produced no verdicts");
+        }
+    }
+
+    #[test]
+    fn fc_is_slowest_first_response() {
+        // The Table II ordering: FC >> TA > SP > SB.
+        let (platform, t) = built(3_000);
+        let mut panel = small_panel(2);
+        let result = panel.request_all(&platform, t.target).unwrap();
+        let secs = |tool| result.of(tool).response_secs;
+        assert!(secs(ToolId::FakeClassifier) > secs(ToolId::Twitteraudit));
+        assert!(secs(ToolId::Twitteraudit) > secs(ToolId::StatusPeople));
+        assert!(secs(ToolId::StatusPeople) > secs(ToolId::Socialbakers));
+    }
+
+    #[test]
+    fn prewarm_caches_one_tool_only() {
+        let (platform, t) = built(1_500);
+        let mut panel = small_panel(3);
+        panel
+            .prewarm(ToolId::StatusPeople, &platform, t.target)
+            .unwrap();
+        let result = panel.request_all(&platform, t.target).unwrap();
+        assert!(result.of(ToolId::StatusPeople).served_from_cache);
+        assert!(!result.of(ToolId::Twitteraudit).served_from_cache);
+        assert!(!result.of(ToolId::Socialbakers).served_from_cache);
+    }
+
+    #[test]
+    fn display_lists_abbrevs() {
+        let (platform, t) = built(1_000);
+        let mut panel = small_panel(4);
+        let result = panel.request_all(&platform, t.target).unwrap();
+        let s = result.to_string();
+        for tool in ToolId::ALL {
+            assert!(s.contains(tool.abbrev()), "missing {tool}");
+        }
+    }
+}

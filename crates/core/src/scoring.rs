@@ -1,0 +1,160 @@
+//! Scoring tool outputs against hidden ground truth.
+//!
+//! The paper could only show that the tools *disagree*; with synthetic
+//! targets every follower carries a hidden [`TrueClass`], so the
+//! reproduction can additionally measure how *wrong* each tool is.
+
+use fakeaudit_detectors::{AuditOutcome, Verdict};
+use fakeaudit_population::archetype::presents_inactive;
+use fakeaudit_population::{BuiltTarget, TrueClass};
+use fakeaudit_twittersim::Platform;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+fn verdict_of(class: TrueClass) -> Verdict {
+    match class {
+        TrueClass::Inactive => Verdict::Inactive,
+        TrueClass::Fake => Verdict::Fake,
+        TrueClass::Genuine => Verdict::Genuine,
+    }
+}
+
+/// Ground-truth scoring of one tool run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ToolScore {
+    /// Assessed accounts with known ground truth.
+    pub scored: usize,
+    /// Fraction of verdicts exactly matching the hidden class.
+    pub strict_accuracy: f64,
+    /// Accuracy when a dormant fake judged `Inactive` also counts as
+    /// correct — FC's published semantics, under which its inactive bucket
+    /// deliberately absorbs dormant fakes.
+    pub lenient_accuracy: f64,
+    /// Absolute error of the tool's fake percentage versus the ground-truth
+    /// fake share of the **whole** follower base (percentage points).
+    pub fake_pct_error: f64,
+    /// Absolute error of the genuine percentage (percentage points).
+    pub genuine_pct_error: f64,
+}
+
+impl fmt::Display for ToolScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "strict {:.1}% / lenient {:.1}% accurate; fake% off by {:.1}, genuine% off by {:.1}",
+            self.strict_accuracy * 100.0,
+            self.lenient_accuracy * 100.0,
+            self.fake_pct_error,
+            self.genuine_pct_error
+        )
+    }
+}
+
+/// Scores an outcome against the target's ground truth.
+///
+/// Accounts in the sample without ground truth (none, in practice) are
+/// skipped. Percentage errors compare the tool's reported percentages with
+/// the population truth over **all** materialised followers — exactly the
+/// error a magazine quoting the tool would commit.
+pub fn score_against_truth(
+    outcome: &AuditOutcome,
+    target: &BuiltTarget,
+    platform: &Platform,
+) -> ToolScore {
+    let now = outcome.audited_at;
+    let mut scored = 0usize;
+    let mut strict = 0usize;
+    let mut lenient = 0usize;
+    for &(id, verdict) in &outcome.assessed {
+        let Some(class) = target.ground_truth(id) else {
+            continue;
+        };
+        scored += 1;
+        let exact = verdict == verdict_of(class);
+        if exact {
+            strict += 1;
+            lenient += 1;
+            continue;
+        }
+        let dormant_fake_as_inactive = class == TrueClass::Fake
+            && verdict == Verdict::Inactive
+            && platform
+                .profile(id)
+                .is_some_and(|p| presents_inactive(p, now));
+        if dormant_fake_as_inactive {
+            lenient += 1;
+        }
+    }
+    let truth = target.true_mix();
+    let denom = scored.max(1) as f64;
+    ToolScore {
+        scored,
+        strict_accuracy: strict as f64 / denom,
+        lenient_accuracy: lenient as f64 / denom,
+        fake_pct_error: (outcome.fake_pct() - truth.fake() * 100.0).abs(),
+        genuine_pct_error: (outcome.genuine_pct() - truth.genuine() * 100.0).abs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_detectors::engine::FollowerAuditor;
+    use fakeaudit_detectors::{FakeProjectEngine, Twitteraudit};
+    use fakeaudit_population::{ClassMix, TargetScenario};
+    use fakeaudit_twitter_api::{ApiConfig, ApiSession};
+
+    fn built() -> (Platform, BuiltTarget) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("score", 3_000, ClassMix::new(0.30, 0.15, 0.55).unwrap())
+            .fake_recency_bias(15.0)
+            .build(&mut platform, 111)
+            .unwrap();
+        (platform, t)
+    }
+
+    use fakeaudit_population::BuiltTarget;
+
+    #[test]
+    fn fc_beats_prefix_tools_on_fake_error() {
+        let (platform, t) = built();
+        let mut s1 = ApiSession::new(&platform, ApiConfig::default());
+        let fc = FakeProjectEngine::with_default_model(1)
+            .with_sample_size(2_000)
+            .audit(&mut s1, t.target, 1)
+            .unwrap();
+        let mut s2 = ApiSession::new(&platform, ApiConfig::default());
+        let ta = Twitteraudit::new().audit(&mut s2, t.target, 2).unwrap();
+        let fc_score = score_against_truth(&fc, &t, &platform);
+        let ta_score = score_against_truth(&ta, &t, &platform);
+        assert!(
+            fc_score.genuine_pct_error < ta_score.genuine_pct_error,
+            "FC genuine error {:.1} should beat TA {:.1}",
+            fc_score.genuine_pct_error,
+            ta_score.genuine_pct_error
+        );
+        assert!(fc_score.lenient_accuracy > 0.85, "{fc_score}");
+    }
+
+    #[test]
+    fn lenient_is_at_least_strict() {
+        let (platform, t) = built();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let out = FakeProjectEngine::with_default_model(1)
+            .with_sample_size(1_000)
+            .audit(&mut s, t.target, 3)
+            .unwrap();
+        let score = score_against_truth(&out, &t, &platform);
+        assert!(score.lenient_accuracy >= score.strict_accuracy);
+        assert_eq!(score.scored, 1_000);
+    }
+
+    #[test]
+    fn display_mentions_accuracy() {
+        let (platform, t) = built();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let out = Twitteraudit::new().audit(&mut s, t.target, 4).unwrap();
+        let score = score_against_truth(&out, &t, &platform);
+        assert!(score.to_string().contains("accurate"));
+    }
+}

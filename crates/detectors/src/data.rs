@@ -1,0 +1,157 @@
+//! Per-account observation records and their API fetchers.
+
+use fakeaudit_twitter_api::{ApiError, ApiSession};
+use fakeaudit_twittersim::tweet::TimelineStats;
+use fakeaudit_twittersim::{AccountId, Profile, Tweet};
+use serde::{Deserialize, Serialize};
+
+/// Everything a detector may observe about one account: the hydrated
+/// profile and (optionally) its recent tweets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccountData {
+    /// The account id.
+    pub id: AccountId,
+    /// Profile as returned by `users/lookup`.
+    pub profile: Profile,
+    /// Recent tweets (newest first), when the tool fetched them; `None`
+    /// when the tool works from the profile alone.
+    pub recent_tweets: Option<Vec<Tweet>>,
+}
+
+impl AccountData {
+    /// Timeline statistics over the fetched tweets; `None` when the tool
+    /// did not fetch tweets.
+    pub fn timeline_stats(&self) -> Option<TimelineStats> {
+        self.recent_tweets.as_deref().map(TimelineStats::compute)
+    }
+}
+
+/// Hydrates profiles for `ids` through `users/lookup` (profile-only tools:
+/// StatusPeople, Twitteraudit, the FC engine).
+///
+/// Unknown ids are dropped, as the real endpoint does.
+pub fn fetch_profiles(session: &mut ApiSession<'_>, ids: &[AccountId]) -> Vec<AccountData> {
+    session
+        .users_lookup(ids)
+        .into_iter()
+        .zip(ids.iter())
+        .map(|(profile, &id)| AccountData {
+            id,
+            profile,
+            recent_tweets: None,
+        })
+        .collect()
+}
+
+/// Hydrates profiles *and* recent timelines (up to `timeline_depth` tweets
+/// each) through the API, paying full rate-limit cost.
+///
+/// # Errors
+///
+/// Propagates [`ApiError`] from the timeline fetches.
+pub fn fetch_profiles_with_timelines(
+    session: &mut ApiSession<'_>,
+    ids: &[AccountId],
+    timeline_depth: usize,
+) -> Result<Vec<AccountData>, ApiError> {
+    let mut out = fetch_profiles(session, ids);
+    for acc in &mut out {
+        acc.recent_tweets = Some(session.user_timeline(acc.id, timeline_depth)?);
+    }
+    Ok(out)
+}
+
+/// Hydrates profiles through the API but reads timelines from the
+/// platform's **pre-crawled index** without API charges — how
+/// Socialbakers' monitoring infrastructure amortises data collection
+/// (§IV-C shows SB answering in ~10 s, far below what per-audit timeline
+/// crawls would allow).
+pub fn fetch_profiles_with_indexed_timelines(
+    session: &mut ApiSession<'_>,
+    ids: &[AccountId],
+    timeline_depth: usize,
+) -> Vec<AccountData> {
+    let mut out = fetch_profiles(session, ids);
+    let platform = session.platform();
+    for acc in &mut out {
+        acc.recent_tweets = Some(platform.recent_tweets(acc.id, timeline_depth));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_population::{ClassMix, TargetScenario};
+    use fakeaudit_twitter_api::ApiConfig;
+    use fakeaudit_twittersim::Platform;
+
+    fn built() -> (Platform, fakeaudit_population::BuiltTarget) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("t", 300, ClassMix::new(0.3, 0.2, 0.5).unwrap())
+            .build(&mut platform, 21)
+            .unwrap();
+        (platform, t)
+    }
+
+    fn ids(t: &fakeaudit_population::BuiltTarget, n: usize) -> Vec<AccountId> {
+        t.followers_oldest_first
+            .iter()
+            .map(|&(id, _)| id)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn fetch_profiles_hydrates_all_known() {
+        let (platform, t) = built();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let data = fetch_profiles(&mut s, &ids(&t, 150));
+        assert_eq!(data.len(), 150);
+        assert!(data.iter().all(|d| d.recent_tweets.is_none()));
+        assert_eq!(s.log().users_lookup, 2);
+    }
+
+    #[test]
+    fn fetch_with_timelines_charges_api() {
+        let (platform, t) = built();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let data = fetch_profiles_with_timelines(&mut s, &ids(&t, 20), 200).unwrap();
+        assert_eq!(data.len(), 20);
+        assert!(data.iter().all(|d| d.recent_tweets.is_some()));
+        assert_eq!(s.log().user_timeline, 20);
+    }
+
+    #[test]
+    fn indexed_timelines_are_free() {
+        let (platform, t) = built();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let data = fetch_profiles_with_indexed_timelines(&mut s, &ids(&t, 20), 200);
+        assert_eq!(data.len(), 20);
+        assert!(data.iter().all(|d| d.recent_tweets.is_some()));
+        assert_eq!(s.log().user_timeline, 0, "index reads bypass the API");
+    }
+
+    #[test]
+    fn indexed_and_api_timelines_agree() {
+        // The index is the same platform state the API serves.
+        let (platform, t) = built();
+        let sample = ids(&t, 5);
+        let mut s1 = ApiSession::new(&platform, ApiConfig::default());
+        let via_api = fetch_profiles_with_timelines(&mut s1, &sample, 200).unwrap();
+        let mut s2 = ApiSession::new(&platform, ApiConfig::default());
+        let via_index = fetch_profiles_with_indexed_timelines(&mut s2, &sample, 200);
+        assert_eq!(via_api, via_index);
+    }
+
+    #[test]
+    fn timeline_stats_roundtrip() {
+        let (platform, t) = built();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let data = fetch_profiles_with_indexed_timelines(&mut s, &ids(&t, 30), 200);
+        for d in &data {
+            let stats = d.timeline_stats().unwrap();
+            assert_eq!(stats.count as u64, d.profile.statuses_count.min(200));
+        }
+    }
+}

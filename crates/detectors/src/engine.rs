@@ -1,0 +1,247 @@
+//! The common auditor interface and shared sampling plumbing.
+
+use crate::verdict::AuditOutcome;
+use fakeaudit_stats::rng::rng_for;
+use fakeaudit_stats::sampling::SamplingScheme;
+use fakeaudit_twitter_api::{ApiError, ApiSession};
+use fakeaudit_twittersim::AccountId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one of the four analytics engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ToolId {
+    /// The Fake Project classifier (§III).
+    FakeClassifier,
+    /// Twitteraudit.com.
+    Twitteraudit,
+    /// StatusPeople "Fakers".
+    StatusPeople,
+    /// Socialbakers "Fake Follower Check".
+    Socialbakers,
+}
+
+impl ToolId {
+    /// All tools in Table III column order.
+    pub const ALL: [ToolId; 4] = [
+        ToolId::FakeClassifier,
+        ToolId::Twitteraudit,
+        ToolId::StatusPeople,
+        ToolId::Socialbakers,
+    ];
+
+    /// Short name used in tables (FC / TA / SP / SB).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ToolId::FakeClassifier => "FC",
+            ToolId::Twitteraudit => "TA",
+            ToolId::StatusPeople => "SP",
+            ToolId::Socialbakers => "SB",
+        }
+    }
+
+    /// Full display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ToolId::FakeClassifier => "Fake Classifier",
+            ToolId::Twitteraudit => "Twitteraudit",
+            ToolId::StatusPeople => "StatusPeople Fakers",
+            ToolId::Socialbakers => "Socialbakers Fake Follower Check",
+        }
+    }
+}
+
+impl fmt::Display for ToolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors from an audit run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// The underlying API returned an error.
+    Api(ApiError),
+    /// The target has no followers to assess.
+    NoFollowers(
+        /// The audited target.
+        AccountId,
+    ),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::Api(e) => write!(f, "api error: {e}"),
+            AuditError::NoFollowers(id) => write!(f, "target {id} has no followers"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AuditError::Api(e) => Some(e),
+            AuditError::NoFollowers(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ApiError> for AuditError {
+    fn from(e: ApiError) -> Self {
+        AuditError::Api(e)
+    }
+}
+
+/// A fake-follower analytics engine: samples a target's followers through
+/// an API session and classifies them.
+pub trait FollowerAuditor {
+    /// Which tool this is.
+    fn tool(&self) -> ToolId;
+
+    /// Runs one audit of `target` through `session`. `seed` drives the
+    /// sampling randomness (distinct from the session's latency stream).
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::NoFollowers`] for targets without followers and
+    /// [`AuditError::Api`] for propagated API failures.
+    fn audit(
+        &self,
+        session: &mut ApiSession<'_>,
+        target: AccountId,
+        seed: u64,
+    ) -> Result<AuditOutcome, AuditError>;
+}
+
+/// The sampling frame a commercial tool uses: fetch the newest `window`
+/// follower ids, then assess `assess` of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixFrame {
+    /// Newest-followers window fetched via `followers/ids`.
+    pub window: usize,
+    /// Accounts actually assessed (drawn at random within the window).
+    pub assess: usize,
+}
+
+impl PrefixFrame {
+    /// Fetches the frame and draws the assessment sample, newest first.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::NoFollowers`] / [`AuditError::Api`].
+    pub fn draw(
+        &self,
+        session: &mut ApiSession<'_>,
+        target: AccountId,
+        seed: u64,
+    ) -> Result<Vec<AccountId>, AuditError> {
+        let frame = session.followers_ids_prefix(target, self.window)?;
+        if frame.is_empty() {
+            return Err(AuditError::NoFollowers(target));
+        }
+        let mut rng = rng_for(seed, "prefix-frame");
+        let idx = SamplingScheme::Uniform.draw_indices(&mut rng, frame.len(), self.assess);
+        Ok(idx.into_iter().map(|i| frame[i]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_population::{ClassMix, TargetScenario};
+    use fakeaudit_twitter_api::ApiConfig;
+    use fakeaudit_twittersim::Platform;
+
+    #[test]
+    fn tool_ids() {
+        assert_eq!(ToolId::ALL.len(), 4);
+        assert_eq!(ToolId::StatusPeople.abbrev(), "SP");
+        assert_eq!(ToolId::FakeClassifier.to_string(), "Fake Classifier");
+    }
+
+    #[test]
+    fn audit_error_display_and_source() {
+        use std::error::Error;
+        let e = AuditError::Api(ApiError::UnknownAccount(AccountId(1)));
+        assert!(e.to_string().contains("api error"));
+        assert!(e.source().is_some());
+        assert!(AuditError::NoFollowers(AccountId(2)).source().is_none());
+    }
+
+    #[test]
+    fn prefix_frame_draws_within_window() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("t", 1_000, ClassMix::all_genuine())
+            .build(&mut platform, 31)
+            .unwrap();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let frame = PrefixFrame {
+            window: 100,
+            assess: 30,
+        };
+        let sample = frame.draw(&mut s, t.target, 9).unwrap();
+        assert_eq!(sample.len(), 30);
+        let head: std::collections::HashSet<_> = platform
+            .followers_newest_first(t.target)
+            .into_iter()
+            .take(100)
+            .collect();
+        assert!(sample.iter().all(|id| head.contains(id)));
+    }
+
+    #[test]
+    fn prefix_frame_caps_at_population() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("small", 10, ClassMix::all_genuine())
+            .build(&mut platform, 32)
+            .unwrap();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let frame = PrefixFrame {
+            window: 35_000,
+            assess: 700,
+        };
+        let sample = frame.draw(&mut s, t.target, 9).unwrap();
+        assert_eq!(sample.len(), 10);
+    }
+
+    #[test]
+    fn prefix_frame_errors_on_followerless_target() {
+        let mut platform = Platform::new();
+        let lonely = platform
+            .register(
+                fakeaudit_twittersim::Profile::new("lonely", fakeaudit_twittersim::SimTime::EPOCH),
+                fakeaudit_twittersim::timeline::TimelineModel::empty(),
+            )
+            .unwrap();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let frame = PrefixFrame {
+            window: 100,
+            assess: 10,
+        };
+        assert_eq!(
+            frame.draw(&mut s, lonely, 1).unwrap_err(),
+            AuditError::NoFollowers(lonely)
+        );
+    }
+
+    #[test]
+    fn prefix_frame_is_deterministic_per_seed() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("t", 500, ClassMix::all_genuine())
+            .build(&mut platform, 33)
+            .unwrap();
+        let draw = |seed| {
+            let mut s = ApiSession::new(&platform, ApiConfig::default());
+            PrefixFrame {
+                window: 200,
+                assess: 50,
+            }
+            .draw(&mut s, t.target, seed)
+            .unwrap()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+}

@@ -1,0 +1,44 @@
+//! The four fake-follower analytics engines the paper compares (§II–III),
+//! reimplemented from their documented methodologies.
+//!
+//! * [`statuspeople`] — the "Fakers" app: newest-35 K window, 700 assessed,
+//!   "simple spam criteria" (few followers / few tweets / follows many),
+//!   plus the late-2013 "Deep Dive" variant (1.25 M window, 33 K assessed);
+//! * [`socialbakers`] — "Fake Follower Check": newest-2 000 window, the
+//!   eight published criteria with a points system, inactivity tested
+//!   *only* on suspicious accounts (which is why SB under-reports
+//!   inactives);
+//! * [`twitteraudit`] — 5 000-follower sample, a 0–5 score from tweet
+//!   count, last-tweet date and follower/friend ratio; no inactive bucket;
+//! * [`fake_project`] — the authors' FC engine (§III): full follower list,
+//!   uniform random sample of 9 604 (95 % ± 1 %), inactivity rule first,
+//!   then a trained classifier (a [`fakeaudit_ml::RandomForest`] here);
+//! * [`rules`] — the literature rule sets FC was distilled from
+//!   (Camisani-Calzolari's human scores, StateOfSearch's seven bot
+//!   signals), for the E4 comparison;
+//! * [`features`] — feature extraction (profile-only and with-timeline
+//!   sets, mirroring [12]'s crawling-cost classes);
+//! * [`engine`] — the [`engine::FollowerAuditor`] trait every tool
+//!   implements, plus shared sampling plumbing;
+//! * [`data`] — the per-account observation record and its API fetchers;
+//! * [`verdict`] — verdicts, counts, audit outcomes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod engine;
+pub mod fake_project;
+pub mod features;
+pub mod rules;
+pub mod socialbakers;
+pub mod statuspeople;
+pub mod twitteraudit;
+pub mod verdict;
+
+pub use engine::{AuditError, FollowerAuditor, ToolId};
+pub use fake_project::FakeProjectEngine;
+pub use socialbakers::Socialbakers;
+pub use statuspeople::StatusPeople;
+pub use twitteraudit::Twitteraudit;
+pub use verdict::{AuditOutcome, Verdict, VerdictCounts};

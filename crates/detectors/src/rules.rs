@@ -1,0 +1,265 @@
+//! Literature rule sets (§III, experiment E4).
+//!
+//! The Fake Project methodology first evaluated "algorithms based on single
+//! classification rules proposed by [13], [14], [15]" — Camisani-Calzolari's
+//! human/bot scores, Socialbakers' criteria (already implemented in
+//! [`crate::socialbakers`]) and StateOfSearch's "7 signals to look out for"
+//! — and found that rule sets underperform trained classifiers on fake
+//! followers. This module implements the two remaining rule sets so the E4
+//! experiment can reproduce that comparison.
+
+use crate::data::AccountData;
+use fakeaudit_twittersim::clock::{SimTime, SECS_PER_DAY};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A binary rule-based account classifier: fake or not.
+pub trait RuleSet: fmt::Debug {
+    /// The rule set's name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether the rule set calls this account fake at observation time
+    /// `now`.
+    fn is_fake(&self, data: &AccountData, now: SimTime) -> bool;
+}
+
+/// Camisani-Calzolari's human-score rules ([13]): an account earns
+/// "humanity" points for profile completeness and engagement; accounts
+/// below a threshold are bots. The published analysis scored the 2012 US
+/// presidential candidates' followers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CamisaniCalzolari;
+
+impl CamisaniCalzolari {
+    /// Humanity points (0–7) from the observable subset of the published
+    /// criteria: profile image, bio, location, ≥30 followers, ≥50 tweets,
+    /// a balanced follow graph, and recent activity.
+    pub fn human_points(&self, data: &AccountData, now: SimTime) -> u32 {
+        let p = &data.profile;
+        let mut pts = 0;
+        if !p.default_profile_image {
+            pts += 1;
+        }
+        if p.has_bio {
+            pts += 1;
+        }
+        if p.has_location {
+            pts += 1;
+        }
+        if p.followers_count >= 30 {
+            pts += 1;
+        }
+        if p.statuses_count >= 50 {
+            pts += 1;
+        }
+        if p.following_follower_ratio() < 10.0 {
+            pts += 1;
+        }
+        if p.seconds_since_last_tweet(now)
+            .is_some_and(|s| s <= 180 * SECS_PER_DAY as u64)
+        {
+            pts += 1;
+        }
+        pts
+    }
+}
+
+impl RuleSet for CamisaniCalzolari {
+    fn name(&self) -> &'static str {
+        "Camisani-Calzolari"
+    }
+
+    fn is_fake(&self, data: &AccountData, now: SimTime) -> bool {
+        self.human_points(data, now) <= 2
+    }
+}
+
+/// StateOfSearch's "How to recognize Twitterbots: 7 signals" ([15]):
+/// biography absent, skewed follow graph, very young account, bursty tweet
+/// rate, repeated tweets, link-heavy tweets, default profile image. An
+/// account showing enough signals is a bot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StateOfSearch;
+
+impl StateOfSearch {
+    /// Bot signals present (0–8, including the Chu et al. automated-source
+    /// signal). Timeline-derived signals only fire when tweets were
+    /// fetched.
+    pub fn bot_signals(&self, data: &AccountData, now: SimTime) -> u32 {
+        let p = &data.profile;
+        let mut signals = 0;
+        if !p.has_bio {
+            signals += 1;
+        }
+        if p.following_follower_ratio() >= 20.0 {
+            signals += 1;
+        }
+        if p.age_at(now).as_days_f64() < 60.0 {
+            signals += 1;
+        }
+        let age_days = p.age_at(now).as_days_f64().max(1.0);
+        if p.statuses_count as f64 / age_days > 50.0 {
+            signals += 1;
+        }
+        if p.default_profile_image {
+            signals += 1;
+        }
+        if let Some(stats) = data.timeline_stats() {
+            if stats.max_duplicates > 3 {
+                signals += 1;
+            }
+            if stats.count > 0 && stats.link_frac > 0.8 {
+                signals += 1;
+            }
+            // The Chu et al. device signal: posting predominantly through
+            // the API or scheduling services.
+            if stats.count > 0 && stats.automated_frac > 0.5 {
+                signals += 1;
+            }
+        }
+        signals
+    }
+}
+
+impl RuleSet for StateOfSearch {
+    fn name(&self) -> &'static str {
+        "StateOfSearch 7-signals"
+    }
+
+    fn is_fake(&self, data: &AccountData, now: SimTime) -> bool {
+        self.bot_signals(data, now) >= 3
+    }
+}
+
+/// Evaluates a rule set as a binary fake detector over labelled accounts,
+/// returning `(true_positive, false_positive, true_negative, false_negative)`.
+pub fn evaluate_rules<R: RuleSet + ?Sized>(
+    rules: &R,
+    labelled: &[(AccountData, bool)],
+    now: SimTime,
+) -> (u64, u64, u64, u64) {
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut tn = 0;
+    let mut fne = 0;
+    for (data, truly_fake) in labelled {
+        match (rules.is_fake(data, now), truly_fake) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, false) => tn += 1,
+            (false, true) => fne += 1,
+        }
+    }
+    (tp, fp, tn, fne)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_population::archetype::recommended_audit_time;
+    use fakeaudit_population::goldstandard::GoldStandard;
+    use fakeaudit_population::TrueClass;
+    use fakeaudit_twittersim::{AccountId, Profile};
+
+    fn labelled() -> (Vec<(AccountData, bool)>, SimTime) {
+        let gold = GoldStandard::generate(21, 120, recommended_audit_time());
+        let now = gold.observed_at();
+        let data = gold
+            .accounts()
+            .iter()
+            .enumerate()
+            .map(|(i, acc)| {
+                (
+                    AccountData {
+                        id: AccountId(i as u64),
+                        profile: acc.profile.clone(),
+                        recent_tweets: Some(acc.timeline.recent_tweets(AccountId(i as u64), 200)),
+                    },
+                    acc.class == TrueClass::Fake,
+                )
+            })
+            .collect();
+        (data, now)
+    }
+
+    #[test]
+    fn camisani_scores_obvious_cases() {
+        let now = recommended_audit_time();
+        let mut human = Profile::new("h", SimTime::from_days(100));
+        human.followers_count = 200;
+        human.friends_count = 180;
+        human.statuses_count = 900;
+        human.last_tweet_at = Some(SimTime::from_days(2_995));
+        human.default_profile_image = false;
+        human.has_bio = true;
+        human.has_location = true;
+        let hd = AccountData {
+            id: AccountId(1),
+            profile: human,
+            recent_tweets: None,
+        };
+        assert_eq!(CamisaniCalzolari.human_points(&hd, now), 7);
+        assert!(!CamisaniCalzolari.is_fake(&hd, now));
+
+        let bot = Profile::new("b", SimTime::from_days(2_990));
+        let bd = AccountData {
+            id: AccountId(2),
+            profile: bot,
+            recent_tweets: None,
+        };
+        assert!(CamisaniCalzolari.human_points(&bd, now) <= 2);
+        assert!(CamisaniCalzolari.is_fake(&bd, now));
+    }
+
+    #[test]
+    fn stateofsearch_counts_signals() {
+        let now = recommended_audit_time();
+        let mut bot = Profile::new("b", SimTime::from_days(2_990)); // 10 days old
+        bot.friends_count = 4_000;
+        bot.followers_count = 3;
+        bot.default_profile_image = true;
+        let bd = AccountData {
+            id: AccountId(3),
+            profile: bot,
+            recent_tweets: None,
+        };
+        assert!(StateOfSearch.bot_signals(&bd, now) >= 4);
+        assert!(StateOfSearch.is_fake(&bd, now));
+    }
+
+    #[test]
+    fn rule_sets_have_signal_on_gold_standard() {
+        let (data, now) = labelled();
+        for rules in [&CamisaniCalzolari as &dyn RuleSet, &StateOfSearch] {
+            let (tp, fp, tn, fne) = evaluate_rules(rules, &data, now);
+            assert_eq!(tp + fp + tn + fne, data.len() as u64);
+            let recall = tp as f64 / (tp + fne).max(1) as f64;
+            assert!(
+                recall > 0.5,
+                "{} recall {recall:.2} should beat chance",
+                rules.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rule_sets_misfire_more_than_a_trained_model_would() {
+        // The paper's E4 claim in miniature: rules carry substantial error.
+        let (data, now) = labelled();
+        let (tp, fp, _tn, fne) = evaluate_rules(&CamisaniCalzolari, &data, now);
+        let precision = tp as f64 / (tp + fp).max(1) as f64;
+        let recall = tp as f64 / (tp + fne).max(1) as f64;
+        let f1 = 2.0 * precision * recall / (precision + recall).max(1e-9);
+        assert!(
+            f1 < 0.98,
+            "rules should not be near-perfect (f1 {f1:.3}) — that would \
+             contradict the motivation for a trained classifier"
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(CamisaniCalzolari.name(), "Camisani-Calzolari");
+        assert_eq!(StateOfSearch.name(), "StateOfSearch 7-signals");
+    }
+}

@@ -1,0 +1,390 @@
+//! The Socialbakers "Fake Follower Check" (§II-B).
+//!
+//! The published criteria (verbatim from the paper):
+//!
+//! 1. following/follower ratio 50:1 or more;
+//! 2. more than 30 % of tweets use spam phrases;
+//! 3. the same tweets repeated more than three times;
+//! 4. more than 90 % of tweets are retweets;
+//! 5. more than 90 % of tweets are links;
+//! 6. the account has never tweeted;
+//! 7. older than two months with a default profile image;
+//! 8. neither bio nor location and following more than 100 accounts.
+//!
+//! Each criterion carries "a given number of points valuation"; accounts
+//! whose points exceed "a certain number of points" are *suspicious*.
+//! Suspicious accounts are then tested for inactivity (fewer than 3 tweets
+//! or last tweet older than 90 days) — note that per the published flow
+//! **only suspicious accounts can be called inactive**, which is exactly
+//! why SB's inactive column in Table III sits far below FC's. Accounts
+//! neither suspicious nor inactive are genuine. The tool considers "up to
+//! 2000 followers per account".
+
+use crate::data::{fetch_profiles_with_indexed_timelines, AccountData};
+use crate::engine::{AuditError, FollowerAuditor, PrefixFrame, ToolId};
+use crate::verdict::{AuditOutcome, Verdict, VerdictCounts};
+use fakeaudit_twitter_api::ApiSession;
+use fakeaudit_twittersim::clock::{SimTime, SECS_PER_DAY};
+use fakeaudit_twittersim::AccountId;
+use serde::{Deserialize, Serialize};
+
+/// Point weights for the eight criteria (undisclosed by Socialbakers; these
+/// weights order the criteria by specificity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SbWeights {
+    /// Criterion 1: ratio ≥ 50:1.
+    pub ratio: u32,
+    /// Criterion 2: spam phrases in > 30 % of tweets.
+    pub spam_phrases: u32,
+    /// Criterion 3: same tweet repeated > 3 times.
+    pub duplicates: u32,
+    /// Criterion 4: > 90 % retweets.
+    pub retweets: u32,
+    /// Criterion 5: > 90 % links.
+    pub links: u32,
+    /// Criterion 6: never tweeted.
+    pub never_tweeted: u32,
+    /// Criterion 7: > 2 months old with default image.
+    pub default_image: u32,
+    /// Criterion 8: empty bio and location, following > 100.
+    pub empty_profile: u32,
+    /// Points at or above which an account is suspicious.
+    pub suspicious_threshold: u32,
+}
+
+impl Default for SbWeights {
+    fn default() -> Self {
+        Self {
+            ratio: 3,
+            spam_phrases: 2,
+            duplicates: 2,
+            retweets: 1,
+            links: 1,
+            never_tweeted: 2,
+            default_image: 1,
+            empty_profile: 1,
+            suspicious_threshold: 3,
+        }
+    }
+}
+
+/// The Socialbakers Fake Follower Check engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Socialbakers {
+    frame: PrefixFrame,
+    weights: SbWeights,
+}
+
+/// Two months in seconds (criterion 7).
+const TWO_MONTHS_SECS: u64 = 60 * SECS_PER_DAY as u64;
+/// Ninety days in seconds (inactivity rule).
+const NINETY_DAYS_SECS: u64 = 90 * SECS_PER_DAY as u64;
+
+impl Socialbakers {
+    /// The documented production configuration: up to 2 000 (newest)
+    /// followers per account, all assessed.
+    pub fn new() -> Self {
+        Self {
+            frame: PrefixFrame {
+                window: 2_000,
+                assess: 2_000,
+            },
+            weights: SbWeights::default(),
+        }
+    }
+
+    /// Overrides the point weights.
+    pub fn with_weights(mut self, weights: SbWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// The sampling frame in use.
+    pub fn frame(&self) -> PrefixFrame {
+        self.frame
+    }
+
+    /// Suspicion points for one account (criteria 1–8).
+    pub fn suspicion_points(&self, data: &AccountData, now: SimTime) -> u32 {
+        let p = &data.profile;
+        let w = &self.weights;
+        let stats = data.timeline_stats().unwrap_or_default();
+        let mut pts = 0;
+        if p.following_follower_ratio() >= 50.0 {
+            pts += w.ratio;
+        }
+        if stats.count > 0 && stats.spam_frac > 0.30 {
+            pts += w.spam_phrases;
+        }
+        if stats.max_duplicates > 3 {
+            pts += w.duplicates;
+        }
+        if stats.count > 0 && stats.retweet_frac > 0.90 {
+            pts += w.retweets;
+        }
+        if stats.count > 0 && stats.link_frac > 0.90 {
+            pts += w.links;
+        }
+        if p.never_tweeted() {
+            pts += w.never_tweeted;
+        }
+        if p.age_at(now).as_secs() > TWO_MONTHS_SECS && p.default_profile_image {
+            pts += w.default_image;
+        }
+        if !p.has_bio && !p.has_location && p.friends_count > 100 {
+            pts += w.empty_profile;
+        }
+        pts
+    }
+
+    /// The two inactivity rules: fewer than 3 tweets, or last tweet older
+    /// than 90 days.
+    pub fn is_inactive(&self, data: &AccountData, now: SimTime) -> bool {
+        let p = &data.profile;
+        p.statuses_count < 3
+            || p.seconds_since_last_tweet(now)
+                .is_some_and(|s| s > NINETY_DAYS_SECS)
+    }
+
+    /// Classifies one account per the published flow: suspicious accounts
+    /// are split into inactive/fake; everything else is genuine.
+    pub fn classify(&self, data: &AccountData, now: SimTime) -> Verdict {
+        if self.suspicion_points(data, now) >= self.weights.suspicious_threshold {
+            if self.is_inactive(data, now) {
+                Verdict::Inactive
+            } else {
+                Verdict::Fake
+            }
+        } else {
+            Verdict::Genuine
+        }
+    }
+}
+
+impl Default for Socialbakers {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FollowerAuditor for Socialbakers {
+    fn tool(&self) -> ToolId {
+        ToolId::Socialbakers
+    }
+
+    fn audit(
+        &self,
+        session: &mut ApiSession<'_>,
+        target: AccountId,
+        seed: u64,
+    ) -> Result<AuditOutcome, AuditError> {
+        let now = session.platform().now();
+        let sample = self.frame.draw(session, target, seed)?;
+        // Profiles via the API; timelines from Socialbakers' own monitoring
+        // index (see data module docs).
+        let data = fetch_profiles_with_indexed_timelines(session, &sample, 200);
+        let assessed: Vec<(AccountId, Verdict)> =
+            data.iter().map(|d| (d.id, self.classify(d, now))).collect();
+        let counts: VerdictCounts = assessed.iter().map(|&(_, v)| v).collect();
+        Ok(AuditOutcome {
+            tool_name: self.tool().name().to_string(),
+            target,
+            assessed,
+            counts,
+            audited_at: now,
+            api_elapsed_secs: session.elapsed_secs(),
+            api_calls: session.log().total(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_population::{ClassMix, TargetScenario};
+    use fakeaudit_twitter_api::ApiConfig;
+    use fakeaudit_twittersim::timeline::{TimelineModel, TimelineParams};
+    use fakeaudit_twittersim::{Platform, Profile};
+
+    fn now() -> SimTime {
+        SimTime::from_days(3_000)
+    }
+
+    fn base_profile() -> Profile {
+        let mut p = Profile::new("x", SimTime::from_days(100));
+        p.followers_count = 200;
+        p.friends_count = 150;
+        p.statuses_count = 500;
+        p.last_tweet_at = Some(SimTime::from_days(2_999));
+        p.default_profile_image = false;
+        p.has_bio = true;
+        p.has_location = true;
+        p
+    }
+
+    fn with_timeline(mut profile: Profile, params: TimelineParams) -> AccountData {
+        let model = TimelineModel::new(params, 9);
+        profile.statuses_count = model.statuses_count();
+        profile.last_tweet_at = model.last_tweet_at();
+        let tweets = model.recent_tweets(AccountId(7), 200);
+        AccountData {
+            id: AccountId(7),
+            profile,
+            recent_tweets: Some(tweets),
+        }
+    }
+
+    #[test]
+    fn healthy_account_is_genuine() {
+        let sb = Socialbakers::new();
+        let d = with_timeline(
+            base_profile(),
+            TimelineParams {
+                statuses_count: 300,
+                first_tweet_at: SimTime::from_days(200),
+                last_tweet_at: SimTime::from_days(2_999),
+                retweet_frac: 0.2,
+                link_frac: 0.2,
+                spam_frac: 0.0,
+                duplicate_frac: 0.0,
+                automated_frac: 0.0,
+            },
+        );
+        assert_eq!(sb.suspicion_points(&d, now()), 0);
+        assert_eq!(sb.classify(&d, now()), Verdict::Genuine);
+    }
+
+    #[test]
+    fn ratio_criterion_fires_at_50() {
+        let sb = Socialbakers::new();
+        let mut p = base_profile();
+        p.friends_count = 5_000;
+        p.followers_count = 100;
+        let d = AccountData {
+            id: AccountId(1),
+            profile: p,
+            recent_tweets: Some(vec![]),
+        };
+        assert_eq!(sb.suspicion_points(&d, now()), sb.weights.ratio);
+    }
+
+    #[test]
+    fn spammy_timeline_is_fake() {
+        let sb = Socialbakers::new();
+        let mut p = base_profile();
+        p.friends_count = 5_200; // ratio 26 — below 50, no ratio points
+        let d = with_timeline(
+            p,
+            TimelineParams {
+                statuses_count: 100,
+                first_tweet_at: SimTime::from_days(2_900),
+                last_tweet_at: SimTime::from_days(2_999),
+                retweet_frac: 0.0,
+                link_frac: 0.95,
+                spam_frac: 0.8,
+                duplicate_frac: 0.5,
+                automated_frac: 0.8,
+            },
+        );
+        // spam (2) + duplicates (2) + links (1) ≥ 3 → suspicious, active →
+        // fake.
+        assert!(sb.suspicion_points(&d, now()) >= 3);
+        assert_eq!(sb.classify(&d, now()), Verdict::Fake);
+    }
+
+    #[test]
+    fn never_tweeted_egg_with_empty_profile_is_suspicious_inactive() {
+        let sb = Socialbakers::new();
+        let mut p = Profile::new("egg", SimTime::from_days(100));
+        p.friends_count = 2_000;
+        p.followers_count = 2;
+        p.default_profile_image = true;
+        let d = AccountData {
+            id: AccountId(2),
+            profile: p,
+            recent_tweets: Some(vec![]),
+        };
+        // ratio (3) + never tweeted (2) + egg (1) + empty profile (1).
+        assert_eq!(sb.suspicion_points(&d, now()), 7);
+        // Never tweeted → inactive branch of the suspicious flow.
+        assert_eq!(sb.classify(&d, now()), Verdict::Inactive);
+    }
+
+    #[test]
+    fn dormant_but_unsuspicious_account_reads_genuine() {
+        // The SB pathology the paper highlights: a stale human account is
+        // NOT tested for inactivity because it is not suspicious.
+        let sb = Socialbakers::new();
+        let mut p = base_profile();
+        p.last_tweet_at = Some(SimTime::from_days(2_000)); // 1000 days stale
+        let d = AccountData {
+            id: AccountId(3),
+            profile: p,
+            recent_tweets: Some(vec![]),
+        };
+        assert_eq!(sb.classify(&d, now()), Verdict::Genuine);
+    }
+
+    #[test]
+    fn suspicious_and_stale_is_inactive() {
+        let sb = Socialbakers::new();
+        let mut p = base_profile();
+        p.friends_count = 20_000;
+        p.followers_count = 10; // ratio 2000
+        p.last_tweet_at = Some(SimTime::from_days(2_000));
+        let d = AccountData {
+            id: AccountId(4),
+            profile: p,
+            recent_tweets: Some(vec![]),
+        };
+        assert_eq!(sb.classify(&d, now()), Verdict::Inactive);
+    }
+
+    #[test]
+    fn young_egg_gets_no_default_image_point() {
+        let sb = Socialbakers::new();
+        let mut p = Profile::new("young", SimTime::from_days(2_980)); // 20 days old
+        p.default_profile_image = true;
+        p.has_bio = true;
+        p.statuses_count = 10;
+        p.last_tweet_at = Some(SimTime::from_days(2_999));
+        let d = AccountData {
+            id: AccountId(5),
+            profile: p,
+            recent_tweets: Some(vec![]),
+        };
+        assert_eq!(sb.suspicion_points(&d, now()), 0);
+    }
+
+    #[test]
+    fn audit_caps_at_2000_and_reports_counts() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("t", 5_000, ClassMix::new(0.3, 0.2, 0.5).unwrap())
+            .build(&mut platform, 61)
+            .unwrap();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let out = Socialbakers::new().audit(&mut s, t.target, 1).unwrap();
+        assert_eq!(out.sample_size(), 2_000);
+        assert_eq!(out.counts.total(), 2_000);
+        // 1 followers page + 20 lookup pages, no timeline calls (index).
+        assert_eq!(out.api_calls, 21);
+    }
+
+    #[test]
+    fn sb_underreports_inactives_relative_to_truth() {
+        // Truth: 40% inactive with stale accounts at the tail; SB's newest
+        // window + suspicious-first flow must report far fewer.
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("stale", 20_000, ClassMix::new(0.4, 0.1, 0.5).unwrap())
+            .inactive_staleness_bias(4.0)
+            .build(&mut platform, 62)
+            .unwrap();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let out = Socialbakers::new().audit(&mut s, t.target, 2).unwrap();
+        assert!(
+            out.inactive_pct() < 25.0,
+            "SB inactive {:.1}% should sit below the 40% truth",
+            out.inactive_pct()
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Twitteraudit.com (§II-C).
+//!
+//! Documented behaviour: "taking a random sample of 5K Twitter followers",
+//! compute per follower "a score based on i) the number of its tweets,
+//! ii) the date of the last tweet, and iii) the ratio of followers to
+//! friends". The audit output includes a "real points" chart "with a
+//! maximum scale of 5", from which the paper argues "the three criteria
+//! used to evaluate the score can sum up to five". Twitteraudit has no
+//! inactive bucket: every follower is fake or real.
+
+use crate::data::{fetch_profiles, AccountData};
+use crate::engine::{AuditError, FollowerAuditor, PrefixFrame, ToolId};
+use crate::verdict::{AuditOutcome, Verdict, VerdictCounts};
+use fakeaudit_stats::summary::Histogram;
+use fakeaudit_twitter_api::ApiSession;
+use fakeaudit_twittersim::clock::{SimTime, SECS_PER_DAY};
+use fakeaudit_twittersim::AccountId;
+use serde::{Deserialize, Serialize};
+
+/// The Twitteraudit engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Twitteraudit {
+    frame: PrefixFrame,
+    /// Real points at or below which a follower is called fake (of 5).
+    fake_threshold: u32,
+}
+
+impl Twitteraudit {
+    /// The documented production configuration: a 5 000-follower sample
+    /// (drawn from the head of the follower list — the only part one
+    /// `followers/ids` page exposes).
+    pub fn new() -> Self {
+        // Threshold 1 of 5: only near-empty shells are called fake. The
+        // paper's Table III shows TA judging stale-but-tweeting followers
+        // "real" (e.g. 35% fake for @RudyZerbi whose base is 83.8%
+        // inactive), which a harsher threshold cannot produce.
+        Self {
+            frame: PrefixFrame {
+                window: 5_000,
+                assess: 5_000,
+            },
+            fake_threshold: 1,
+        }
+    }
+
+    /// Overrides the fake threshold (0–5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold > 5`.
+    pub fn with_fake_threshold(mut self, threshold: u32) -> Self {
+        assert!(threshold <= 5, "threshold is on the 0-5 scale");
+        self.fake_threshold = threshold;
+        self
+    }
+
+    /// The sampling frame in use.
+    pub fn frame(&self) -> PrefixFrame {
+        self.frame
+    }
+
+    /// "Real points" for one account, 0–5: up to 2 for tweet volume, up to
+    /// 2 for last-tweet recency, 1 for a healthy followers/friends ratio.
+    pub fn real_points(&self, data: &AccountData, now: SimTime) -> u32 {
+        let p = &data.profile;
+        let mut pts = 0;
+        // i) number of tweets.
+        if p.statuses_count >= 10 {
+            pts += 1;
+        }
+        if p.statuses_count >= 100 {
+            pts += 1;
+        }
+        // ii) date of the last tweet.
+        if let Some(secs) = p.seconds_since_last_tweet(now) {
+            if secs <= 90 * SECS_PER_DAY as u64 {
+                pts += 2;
+            } else if secs <= 365 * SECS_PER_DAY as u64 {
+                pts += 1;
+            }
+        }
+        // iii) followers-to-friends ratio.
+        if p.followers_count * 2 >= p.friends_count {
+            pts += 1;
+        }
+        pts
+    }
+
+    /// Classifies one account: fake at or below the threshold, real above.
+    pub fn classify(&self, data: &AccountData, now: SimTime) -> Verdict {
+        if self.real_points(data, now) <= self.fake_threshold {
+            Verdict::Fake
+        } else {
+            Verdict::Genuine
+        }
+    }
+
+    /// The per-follower quality-score chart the site renders: a histogram
+    /// of real points over the assessed sample.
+    pub fn quality_histogram(&self, data: &[AccountData], now: SimTime) -> Histogram {
+        let mut h = Histogram::new(0.0, 6.0, 6);
+        h.extend(data.iter().map(|d| f64::from(self.real_points(d, now))));
+        h
+    }
+
+    /// Runs an audit and also returns the real-points chart the site shows
+    /// alongside the percentage (§II-C describes three charts; this is the
+    /// per-follower one the paper reverse-engineered the 0–5 scale from).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FollowerAuditor::audit`].
+    pub fn audit_with_chart(
+        &self,
+        session: &mut ApiSession<'_>,
+        target: AccountId,
+        seed: u64,
+    ) -> Result<(AuditOutcome, Histogram), AuditError> {
+        let now = session.platform().now();
+        let sample = self.frame.draw(session, target, seed)?;
+        let data = fetch_profiles(session, &sample);
+        let assessed: Vec<(AccountId, Verdict)> =
+            data.iter().map(|d| (d.id, self.classify(d, now))).collect();
+        let counts: VerdictCounts = assessed.iter().map(|&(_, v)| v).collect();
+        let chart = self.quality_histogram(&data, now);
+        Ok((
+            AuditOutcome {
+                tool_name: self.tool().name().to_string(),
+                target,
+                assessed,
+                counts,
+                audited_at: now,
+                api_elapsed_secs: session.elapsed_secs(),
+                api_calls: session.log().total(),
+            },
+            chart,
+        ))
+    }
+}
+
+impl Default for Twitteraudit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FollowerAuditor for Twitteraudit {
+    fn tool(&self) -> ToolId {
+        ToolId::Twitteraudit
+    }
+
+    fn audit(
+        &self,
+        session: &mut ApiSession<'_>,
+        target: AccountId,
+        seed: u64,
+    ) -> Result<AuditOutcome, AuditError> {
+        let now = session.platform().now();
+        let sample = self.frame.draw(session, target, seed)?;
+        let data = fetch_profiles(session, &sample);
+        let assessed: Vec<(AccountId, Verdict)> =
+            data.iter().map(|d| (d.id, self.classify(d, now))).collect();
+        let counts: VerdictCounts = assessed.iter().map(|&(_, v)| v).collect();
+        Ok(AuditOutcome {
+            tool_name: self.tool().name().to_string(),
+            target,
+            assessed,
+            counts,
+            audited_at: now,
+            api_elapsed_secs: session.elapsed_secs(),
+            api_calls: session.log().total(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_population::{ClassMix, TargetScenario};
+    use fakeaudit_twitter_api::ApiConfig;
+    use fakeaudit_twittersim::{Platform, Profile};
+
+    fn now() -> SimTime {
+        SimTime::from_days(3_000)
+    }
+
+    fn data(followers: u64, friends: u64, tweets: u64, last_days_ago: Option<i64>) -> AccountData {
+        let mut p = Profile::new("x", SimTime::from_days(100));
+        p.followers_count = followers;
+        p.friends_count = friends;
+        p.statuses_count = tweets;
+        p.last_tweet_at = last_days_ago.map(|d| SimTime::from_days(3_000 - d));
+        AccountData {
+            id: AccountId(1),
+            profile: p,
+            recent_tweets: None,
+        }
+    }
+
+    #[test]
+    fn active_reciprocal_account_scores_five() {
+        let ta = Twitteraudit::new();
+        let d = data(1_000, 500, 5_000, Some(1));
+        assert_eq!(ta.real_points(&d, now()), 5);
+        assert_eq!(ta.classify(&d, now()), Verdict::Genuine);
+    }
+
+    #[test]
+    fn empty_shell_scores_zero() {
+        let ta = Twitteraudit::new();
+        let d = data(1, 3_000, 0, None);
+        assert_eq!(ta.real_points(&d, now()), 0);
+        assert_eq!(ta.classify(&d, now()), Verdict::Fake);
+    }
+
+    #[test]
+    fn stale_account_loses_recency_points() {
+        let ta = Twitteraudit::new();
+        let recent = data(100, 100, 500, Some(10));
+        let semi = data(100, 100, 500, Some(200));
+        let dead = data(100, 100, 500, Some(900));
+        assert_eq!(ta.real_points(&recent, now()), 5);
+        assert_eq!(ta.real_points(&semi, now()), 4);
+        assert_eq!(ta.real_points(&dead, now()), 3);
+    }
+
+    #[test]
+    fn no_inactive_bucket() {
+        // Whatever the account looks like, TA only says fake or genuine.
+        let ta = Twitteraudit::new();
+        for d in [
+            data(1, 3_000, 0, None),
+            data(100, 100, 500, Some(900)),
+            data(1_000, 10, 10_000, Some(1)),
+        ] {
+            assert_ne!(ta.classify(&d, now()), Verdict::Inactive);
+        }
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let d = data(100, 100, 500, Some(900)); // 3 points
+        assert_eq!(Twitteraudit::new().classify(&d, now()), Verdict::Genuine);
+        assert_eq!(
+            Twitteraudit::new()
+                .with_fake_threshold(3)
+                .classify(&d, now()),
+            Verdict::Fake
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold is on the 0-5 scale")]
+    fn oversized_threshold_panics() {
+        Twitteraudit::new().with_fake_threshold(6);
+    }
+
+    #[test]
+    fn quality_histogram_buckets_points() {
+        let ta = Twitteraudit::new();
+        let sample = vec![
+            data(1, 3_000, 0, None),          // 0 points
+            data(1_000, 500, 5_000, Some(1)), // 5 points
+        ];
+        let h = ta.quality_histogram(&sample, now());
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[5], 1);
+    }
+
+    #[test]
+    fn audit_runs_over_one_page_sample() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("t", 8_000, ClassMix::new(0.3, 0.2, 0.5).unwrap())
+            .build(&mut platform, 71)
+            .unwrap();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let out = Twitteraudit::new().audit(&mut s, t.target, 1).unwrap();
+        assert_eq!(out.sample_size(), 5_000);
+        // 1 followers page + 50 lookup pages.
+        assert_eq!(out.api_calls, 51);
+        assert_eq!(out.counts.inactive, 0, "TA has no inactive bucket");
+    }
+
+    #[test]
+    fn dormant_inactives_read_as_fake() {
+        // TA folds dormant accounts into its fake bucket — part of why
+        // Table III disagrees so much.
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("stale", 4_000, ClassMix::new(0.5, 0.0, 0.5).unwrap())
+            .inactive_staleness_bias(1.0)
+            .build(&mut platform, 72)
+            .unwrap();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let out = Twitteraudit::new().audit(&mut s, t.target, 2).unwrap();
+        assert!(
+            out.fake_pct() > 15.0,
+            "stale accounts should inflate TA's fake rate, got {:.1}%",
+            out.fake_pct()
+        );
+    }
+}

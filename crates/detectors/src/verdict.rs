@@ -1,0 +1,230 @@
+//! Verdicts, counts and audit outcomes.
+
+use fakeaudit_twittersim::{AccountId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A detector's verdict on one follower — the three buckets of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Dormant account.
+    Inactive,
+    /// Fake / bought / bot account.
+    Fake,
+    /// Genuine account.
+    Genuine,
+}
+
+impl Verdict {
+    /// All verdicts in Table III column order.
+    pub const ALL: [Verdict; 3] = [Verdict::Inactive, Verdict::Fake, Verdict::Genuine];
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Inactive => write!(f, "inactive"),
+            Verdict::Fake => write!(f, "fake"),
+            Verdict::Genuine => write!(f, "genuine"),
+        }
+    }
+}
+
+/// Verdict tallies over an assessed sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VerdictCounts {
+    /// Accounts judged inactive.
+    pub inactive: u64,
+    /// Accounts judged fake.
+    pub fake: u64,
+    /// Accounts judged genuine.
+    pub genuine: u64,
+}
+
+impl VerdictCounts {
+    /// Records one verdict.
+    pub fn record(&mut self, v: Verdict) {
+        match v {
+            Verdict::Inactive => self.inactive += 1,
+            Verdict::Fake => self.fake += 1,
+            Verdict::Genuine => self.genuine += 1,
+        }
+    }
+
+    /// Total verdicts recorded.
+    pub fn total(&self) -> u64 {
+        self.inactive + self.fake + self.genuine
+    }
+
+    /// Percentage (0–100) of `v`; 0 for an empty tally.
+    pub fn percentage(&self, v: Verdict) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let k = match v {
+            Verdict::Inactive => self.inactive,
+            Verdict::Fake => self.fake,
+            Verdict::Genuine => self.genuine,
+        };
+        k as f64 / total as f64 * 100.0
+    }
+
+    /// `(inactive %, fake %, genuine %)` — a Table III row.
+    pub fn as_row(&self) -> (f64, f64, f64) {
+        (
+            self.percentage(Verdict::Inactive),
+            self.percentage(Verdict::Fake),
+            self.percentage(Verdict::Genuine),
+        )
+    }
+}
+
+impl FromIterator<Verdict> for VerdictCounts {
+    fn from_iter<T: IntoIterator<Item = Verdict>>(iter: T) -> Self {
+        let mut c = VerdictCounts::default();
+        for v in iter {
+            c.record(v);
+        }
+        c
+    }
+}
+
+impl fmt::Display for VerdictCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (i, k, g) = self.as_row();
+        write!(f, "inactive {i:.1}% / fake {k:.1}% / genuine {g:.1}%")
+    }
+}
+
+/// The result of one tool run over one target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditOutcome {
+    /// Human-readable tool name.
+    pub tool_name: String,
+    /// The audited target.
+    pub target: AccountId,
+    /// Per-account verdicts over the assessed sample.
+    pub assessed: Vec<(AccountId, Verdict)>,
+    /// Verdict tallies (consistent with `assessed`).
+    pub counts: VerdictCounts,
+    /// When the audit ran (platform time).
+    pub audited_at: SimTime,
+    /// Simulated seconds the audit took (API schedule; service overhead is
+    /// added by the analytics layer).
+    pub api_elapsed_secs: f64,
+    /// Total REST calls issued.
+    pub api_calls: u64,
+}
+
+impl AuditOutcome {
+    /// Percentage of the sample judged fake.
+    pub fn fake_pct(&self) -> f64 {
+        self.counts.percentage(Verdict::Fake)
+    }
+
+    /// Percentage judged inactive.
+    pub fn inactive_pct(&self) -> f64 {
+        self.counts.percentage(Verdict::Inactive)
+    }
+
+    /// Percentage judged genuine.
+    pub fn genuine_pct(&self) -> f64 {
+        self.counts.percentage(Verdict::Genuine)
+    }
+
+    /// Sample size assessed.
+    pub fn sample_size(&self) -> usize {
+        self.assessed.len()
+    }
+}
+
+impl fmt::Display for AuditOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {} (n={}, {:.0}s, {} calls)",
+            self.tool_name,
+            self.target,
+            self.counts,
+            self.sample_size(),
+            self.api_elapsed_secs,
+            self.api_calls
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_record_and_percentages() {
+        let mut c = VerdictCounts::default();
+        for _ in 0..25 {
+            c.record(Verdict::Inactive);
+        }
+        for _ in 0..25 {
+            c.record(Verdict::Fake);
+        }
+        for _ in 0..50 {
+            c.record(Verdict::Genuine);
+        }
+        assert_eq!(c.total(), 100);
+        assert_eq!(c.percentage(Verdict::Inactive), 25.0);
+        assert_eq!(c.as_row(), (25.0, 25.0, 50.0));
+    }
+
+    #[test]
+    fn empty_counts_percentages_are_zero() {
+        let c = VerdictCounts::default();
+        assert_eq!(c.percentage(Verdict::Fake), 0.0);
+        assert_eq!(c.as_row(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let c: VerdictCounts = [Verdict::Fake, Verdict::Fake, Verdict::Genuine]
+            .into_iter()
+            .collect();
+        assert_eq!(c.fake, 2);
+        assert_eq!(c.genuine, 1);
+        assert_eq!(c.inactive, 0);
+    }
+
+    #[test]
+    fn row_percentages_sum_to_100() {
+        let c: VerdictCounts = [Verdict::Fake, Verdict::Genuine, Verdict::Inactive]
+            .into_iter()
+            .collect();
+        let (a, b, g) = c.as_row();
+        assert!((a + b + g - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Fake.to_string(), "fake");
+        assert_eq!(Verdict::ALL.len(), 3);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o = AuditOutcome {
+            tool_name: "test".into(),
+            target: AccountId(1),
+            assessed: vec![
+                (AccountId(2), Verdict::Fake),
+                (AccountId(3), Verdict::Genuine),
+            ],
+            counts: [Verdict::Fake, Verdict::Genuine].into_iter().collect(),
+            audited_at: SimTime::EPOCH,
+            api_elapsed_secs: 12.5,
+            api_calls: 3,
+        };
+        assert_eq!(o.sample_size(), 2);
+        assert_eq!(o.fake_pct(), 50.0);
+        assert_eq!(o.genuine_pct(), 50.0);
+        assert_eq!(o.inactive_pct(), 0.0);
+        assert!(o.to_string().contains("test"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the detector engines' invariants.
+
+use fakeaudit_detectors::data::AccountData;
+use fakeaudit_detectors::features::FeatureSet;
+use fakeaudit_detectors::{Socialbakers, StatusPeople, Twitteraudit, Verdict, VerdictCounts};
+use fakeaudit_twittersim::timeline::{TimelineModel, TimelineParams};
+use fakeaudit_twittersim::{AccountId, Profile, SimTime};
+use proptest::prelude::*;
+
+/// Arbitrary but structurally valid account observations.
+fn account_strategy() -> impl Strategy<Value = AccountData> {
+    (
+        0u64..1_000_000,               // followers
+        0u64..1_000_000,               // friends
+        0u64..10_000,                  // statuses
+        0i64..2_900,                   // created days before "now" (day 3000)
+        prop::option::of(0i64..2_900), // last tweet days ago
+        any::<bool>(),                 // default image
+        any::<bool>(),                 // bio
+        any::<bool>(),                 // location
+    )
+        .prop_map(|(followers, friends, statuses, age, last, egg, bio, loc)| {
+            let mut p = Profile::new("prop", SimTime::from_days(3_000 - age));
+            p.followers_count = followers;
+            p.friends_count = friends;
+            p.statuses_count = statuses;
+            p.last_tweet_at = if statuses > 0 {
+                last.map(|d| SimTime::from_days(3_000 - d))
+            } else {
+                None
+            };
+            p.default_profile_image = egg;
+            p.has_bio = bio;
+            p.has_location = loc;
+            AccountData {
+                id: AccountId(1),
+                profile: p,
+                recent_tweets: Some(Vec::new()),
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn every_tool_returns_a_legal_verdict(data in account_strategy()) {
+        let now = SimTime::from_days(3_000);
+        let sp = StatusPeople::new().classify(&data, now);
+        let sb = Socialbakers::new().classify(&data, now);
+        let ta = Twitteraudit::new().classify(&data, now);
+        prop_assert!(Verdict::ALL.contains(&sp));
+        prop_assert!(Verdict::ALL.contains(&sb));
+        prop_assert!(Verdict::ALL.contains(&ta));
+        // Twitteraudit never outputs an inactive bucket.
+        prop_assert_ne!(ta, Verdict::Inactive);
+    }
+
+    #[test]
+    fn classification_is_a_pure_function(data in account_strategy()) {
+        let now = SimTime::from_days(3_000);
+        prop_assert_eq!(
+            StatusPeople::new().classify(&data, now),
+            StatusPeople::new().classify(&data, now)
+        );
+        prop_assert_eq!(
+            Socialbakers::new().classify(&data, now),
+            Socialbakers::new().classify(&data, now)
+        );
+    }
+
+    #[test]
+    fn ta_points_bounded_by_five(data in account_strategy()) {
+        let now = SimTime::from_days(3_000);
+        prop_assert!(Twitteraudit::new().real_points(&data, now) <= 5);
+    }
+
+    #[test]
+    fn sp_points_bounded_by_five(data in account_strategy()) {
+        prop_assert!(StatusPeople::new().spam_points(&data) <= 5);
+    }
+
+    #[test]
+    fn sb_inactive_verdict_requires_suspicion(data in account_strategy()) {
+        // The published SB flow: Inactive is only reachable through the
+        // suspicious branch.
+        let now = SimTime::from_days(3_000);
+        let sb = Socialbakers::new();
+        if sb.classify(&data, now) == Verdict::Inactive {
+            prop_assert!(sb.suspicion_points(&data, now) >= 3);
+            prop_assert!(sb.is_inactive(&data, now));
+        }
+    }
+
+    #[test]
+    fn feature_vectors_are_finite_and_sized(data in account_strategy()) {
+        let now = SimTime::from_days(3_000);
+        for set in [FeatureSet::ProfileOnly, FeatureSet::WithTimeline] {
+            let v = set.extract(&data, now);
+            prop_assert_eq!(v.len(), set.arity());
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn verdict_counts_percentages_sum_to_100(
+        verdicts in prop::collection::vec(0usize..3, 1..200),
+    ) {
+        let counts: VerdictCounts = verdicts
+            .iter()
+            .map(|&i| Verdict::ALL[i])
+            .collect();
+        let (a, b, c) = counts.as_row();
+        prop_assert!((a + b + c - 100.0).abs() < 1e-9);
+        prop_assert_eq!(counts.total(), verdicts.len() as u64);
+    }
+
+    #[test]
+    fn richer_timelines_never_reduce_sb_suspicion_data(
+        statuses in 1u64..300,
+        spam in 0.0f64..1.0,
+        dup in 0.0f64..1.0,
+        seed in 0u64..100,
+    ) {
+        // Structural invariant: suspicion computed from a timeline is the
+        // same whether the tweets come attached to the account or are
+        // recomputed from the same model.
+        let now = SimTime::from_days(3_000);
+        let model = TimelineModel::new(
+            TimelineParams {
+                statuses_count: statuses,
+                first_tweet_at: SimTime::from_days(2_000),
+                last_tweet_at: SimTime::from_days(2_990),
+                retweet_frac: 0.2,
+                link_frac: 0.3,
+                spam_frac: spam,
+                duplicate_frac: dup,
+                automated_frac: 0.3,
+            },
+            seed,
+        );
+        let mut profile = Profile::new("tl", SimTime::from_days(1_500));
+        profile.statuses_count = statuses;
+        profile.last_tweet_at = model.last_tweet_at();
+        let tweets = model.recent_tweets(AccountId(3), 200);
+        let a = AccountData {
+            id: AccountId(3),
+            profile: profile.clone(),
+            recent_tweets: Some(tweets.clone()),
+        };
+        let b = AccountData {
+            id: AccountId(3),
+            profile,
+            recent_tweets: Some(tweets),
+        };
+        let sb = Socialbakers::new();
+        prop_assert_eq!(sb.suspicion_points(&a, now), sb.suspicion_points(&b, now));
+    }
+}

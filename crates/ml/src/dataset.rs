@@ -1,0 +1,366 @@
+//! Feature matrices with named columns and class labels.
+
+use fakeaudit_stats::rng::rng_for;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from dataset construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// No rows were supplied.
+    Empty,
+    /// A row's arity disagrees with the feature names.
+    RaggedRow {
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        len: usize,
+        /// Expected length.
+        expected: usize,
+    },
+    /// A label is outside `0..num_classes`.
+    BadLabel {
+        /// Index of the offending row.
+        row: usize,
+        /// The label value.
+        label: usize,
+    },
+    /// A feature value is NaN or infinite.
+    NonFiniteFeature {
+        /// Row index.
+        row: usize,
+        /// Column index.
+        col: usize,
+    },
+    /// Labels and rows have different lengths.
+    LengthMismatch,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Empty => write!(f, "dataset must contain at least one row"),
+            DatasetError::RaggedRow { row, len, expected } => {
+                write!(f, "row {row} has {len} features, expected {expected}")
+            }
+            DatasetError::BadLabel { row, label } => {
+                write!(f, "row {row} has out-of-range label {label}")
+            }
+            DatasetError::NonFiniteFeature { row, col } => {
+                write!(f, "non-finite feature at row {row}, column {col}")
+            }
+            DatasetError::LengthMismatch => write!(f, "rows and labels differ in length"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A labelled dataset: dense `f64` rows, named feature columns, named
+/// classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    class_names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shape, label range and finiteness.
+    ///
+    /// # Errors
+    ///
+    /// See [`DatasetError`].
+    pub fn new(
+        feature_names: Vec<String>,
+        class_names: Vec<String>,
+        rows: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+    ) -> Result<Self, DatasetError> {
+        if rows.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        if rows.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch);
+        }
+        let arity = feature_names.len();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != arity {
+                return Err(DatasetError::RaggedRow {
+                    row: i,
+                    len: row.len(),
+                    expected: arity,
+                });
+            }
+            if let Some(col) = row.iter().position(|v| !v.is_finite()) {
+                return Err(DatasetError::NonFiniteFeature { row: i, col });
+            }
+        }
+        if let Some((i, &label)) = labels
+            .iter()
+            .enumerate()
+            .find(|&(_, &l)| l >= class_names.len())
+        {
+            return Err(DatasetError::BadLabel { row: i, label });
+        }
+        Ok(Self {
+            feature_names,
+            class_names,
+            rows,
+            labels,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset is empty (never true for a constructed dataset).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn arity(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Feature column names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Class names.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// The feature rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// The labels, parallel to [`Dataset::rows`].
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-class row counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset containing the rows at `indices` (duplicates allowed —
+    /// this is what bootstrap sampling uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `indices` is empty.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        assert!(!indices.is_empty(), "subset must be non-empty");
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            class_names: self.class_names.clone(),
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Splits into `(train, test)` after a seeded shuffle, with
+    /// `train_fraction` of rows in train.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < train_fraction < 1` and both sides end up
+    /// non-empty.
+    pub fn shuffled_split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0, 1)"
+        );
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rng_for(seed, "split"));
+        let cut = ((self.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.len() - 1);
+        (self.subset(&idx[..cut]), self.subset(&idx[cut..]))
+    }
+
+    /// Seeded k-fold partition: returns `k` (train, test) pairs covering
+    /// every row exactly once as test.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= k <= len`.
+    pub fn k_folds(&self, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+        assert!(k >= 2 && k <= self.len(), "k must be in [2, len]");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rng_for(seed, "kfold"));
+        let mut folds = Vec::with_capacity(k);
+        for f in 0..k {
+            let test: Vec<usize> = idx
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(i, _)| i % k == f)
+                .map(|(_, v)| v)
+                .collect();
+            let train: Vec<usize> = idx
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(i, _)| i % k != f)
+                .map(|(_, v)| v)
+                .collect();
+            folds.push((self.subset(&train), self.subset(&test)));
+        }
+        folds
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dataset: {} rows x {} features, {} classes",
+            self.len(),
+            self.arity(),
+            self.num_classes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn small() -> Dataset {
+        Dataset::new(
+            names(&["x", "y"]),
+            names(&["a", "b"]),
+            vec![
+                vec![0.0, 1.0],
+                vec![1.0, 0.0],
+                vec![0.5, 0.5],
+                vec![0.9, 0.1],
+            ],
+            vec![0, 1, 0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = small();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.arity(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.class_counts(), vec![2, 2]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            Dataset::new(names(&["x"]), names(&["a"]), vec![], vec![]).unwrap_err(),
+            DatasetError::Empty
+        );
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let e = Dataset::new(
+            names(&["x", "y"]),
+            names(&["a"]),
+            vec![vec![1.0, 2.0], vec![1.0]],
+            vec![0, 0],
+        )
+        .unwrap_err();
+        assert!(matches!(e, DatasetError::RaggedRow { row: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let e = Dataset::new(names(&["x"]), names(&["a"]), vec![vec![1.0]], vec![1]).unwrap_err();
+        assert!(matches!(e, DatasetError::BadLabel { label: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let e =
+            Dataset::new(names(&["x"]), names(&["a"]), vec![vec![f64::NAN]], vec![0]).unwrap_err();
+        assert!(matches!(e, DatasetError::NonFiniteFeature { .. }));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let e =
+            Dataset::new(names(&["x"]), names(&["a"]), vec![vec![1.0]], vec![0, 0]).unwrap_err();
+        assert_eq!(e, DatasetError::LengthMismatch);
+    }
+
+    #[test]
+    fn subset_with_duplicates() {
+        let d = small();
+        let s = d.subset(&[0, 0, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn shuffled_split_partitions() {
+        let d = small();
+        let (train, test) = d.shuffled_split(0.5, 1);
+        assert_eq!(train.len() + test.len(), 4);
+        assert_eq!(train.len(), 2);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = small();
+        let (a, _) = d.shuffled_split(0.5, 7);
+        let (b, _) = d.shuffled_split(0.5, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_folds_cover_all_rows_once() {
+        let d = small();
+        let folds = d.k_folds(2, 3);
+        assert_eq!(folds.len(), 2);
+        let total_test: usize = folds.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(total_test, d.len());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), d.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in [2, len]")]
+    fn k_folds_rejects_bad_k() {
+        small().k_folds(1, 0);
+    }
+
+    #[test]
+    fn display_shape() {
+        assert_eq!(
+            small().to_string(),
+            "dataset: 4 rows x 2 features, 2 classes"
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! Classifier evaluation: confusion matrices, per-class metrics, k-fold
+//! cross-validation.
+//!
+//! The Fake Project methodology ([12], summarised in §III) evaluated
+//! literature rule sets and feature sets on a gold standard before picking
+//! the classifier; these are the metrics that comparison needs.
+
+use crate::dataset::Dataset;
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A square confusion matrix: `m[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    m: Vec<Vec<u64>>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        Self {
+            classes,
+            m: vec![vec![0; classes]; classes],
+        }
+    }
+
+    /// Builds a matrix by running `clf` over a labelled dataset.
+    pub fn evaluate<C: Classifier + ?Sized>(clf: &C, data: &Dataset) -> Self {
+        let mut cm = Self::new(data.num_classes());
+        for (row, &label) in data.rows().iter().zip(data.labels()) {
+            cm.record(label, clf.predict(row));
+        }
+        cm
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(
+            actual < self.classes && predicted < self.classes,
+            "class out of range"
+        );
+        self.m[actual][predicted] += 1;
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.m.iter().flatten().sum()
+    }
+
+    /// The count at `(actual, predicted)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.m[actual][predicted]
+    }
+
+    /// Overall accuracy; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|i| self.m[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision for `class`: `TP / (TP + FP)`; 0 when nothing was
+    /// predicted as `class`.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.m[class][class];
+        let predicted: u64 = (0..self.classes).map(|a| self.m[a][class]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall for `class`: `TP / (TP + FN)`; 0 when the class never occurs.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.m[class][class];
+        let actual: u64 = self.m[class].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 for `class` (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 over all classes.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.classes).map(|c| self.f1(c)).sum::<f64>() / self.classes as f64
+    }
+
+    /// Matthews correlation coefficient for the binary case.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the matrix has exactly 2 classes.
+    pub fn mcc(&self) -> f64 {
+        assert_eq!(self.classes, 2, "MCC requires a binary matrix");
+        let tp = self.m[1][1] as f64;
+        let tn = self.m[0][0] as f64;
+        let fp = self.m[0][1] as f64;
+        let fne = self.m[1][0] as f64;
+        let denom = ((tp + fp) * (tp + fne) * (tn + fp) * (tn + fne)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fne) / denom
+        }
+    }
+
+    /// Merges another matrix into this one (used to pool k-fold results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.classes, other.classes, "class count mismatch");
+        for (row, orow) in self.m.iter_mut().zip(&other.m) {
+            for (c, oc) in row.iter_mut().zip(orow) {
+                *c += oc;
+            }
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion matrix (rows = actual):")?;
+        for row in &self.m {
+            for c in row {
+                write!(f, "{c:>8}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of a k-fold cross-validation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossValidation {
+    /// Per-fold accuracies.
+    pub fold_accuracies: Vec<f64>,
+    /// The pooled confusion matrix over all folds.
+    pub pooled: ConfusionMatrix,
+}
+
+impl CrossValidation {
+    /// Mean of the per-fold accuracies.
+    pub fn mean_accuracy(&self) -> f64 {
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len().max(1) as f64
+    }
+}
+
+/// Runs seeded k-fold cross-validation, fitting with `fit` on each fold's
+/// training split.
+///
+/// # Panics
+///
+/// Propagates the panics of [`Dataset::k_folds`].
+pub fn cross_validate<C, F>(data: &Dataset, k: usize, seed: u64, mut fit: F) -> CrossValidation
+where
+    C: Classifier,
+    F: FnMut(&Dataset) -> C,
+{
+    let mut pooled = ConfusionMatrix::new(data.num_classes());
+    let mut fold_accuracies = Vec::with_capacity(k);
+    for (train, test) in data.k_folds(k, seed) {
+        let clf = fit(&train);
+        let cm = ConfusionMatrix::evaluate(&clf, &test);
+        fold_accuracies.push(cm.accuracy());
+        pooled.merge(&cm);
+    }
+    CrossValidation {
+        fold_accuracies,
+        pooled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{DecisionTree, TreeParams};
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..5 {
+            cm.record(0, 0);
+            cm.record(1, 1);
+        }
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.precision(0), 1.0);
+        assert_eq!(cm.recall(1), 1.0);
+        assert_eq!(cm.f1(0), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert_eq!(cm.mcc(), 1.0);
+    }
+
+    #[test]
+    fn inverted_predictions() {
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..5 {
+            cm.record(0, 1);
+            cm.record(1, 0);
+        }
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.mcc(), -1.0);
+    }
+
+    #[test]
+    fn known_matrix_metrics() {
+        // actual 0: 8 correct, 2 as 1; actual 1: 3 as 0, 7 correct.
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..8 {
+            cm.record(0, 0);
+        }
+        for _ in 0..2 {
+            cm.record(0, 1);
+        }
+        for _ in 0..3 {
+            cm.record(1, 0);
+        }
+        for _ in 0..7 {
+            cm.record(1, 1);
+        }
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert!((cm.precision(1) - 7.0 / 9.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 0.7).abs() < 1e-12);
+        assert_eq!(cm.total(), 20);
+        assert_eq!(cm.count(1, 0), 3);
+    }
+
+    #[test]
+    fn degenerate_class_yields_zero_not_nan() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0); // class 1 never occurs nor is predicted
+        assert_eq!(cm.precision(1), 0.0);
+        assert_eq!(cm.recall(1), 0.0);
+        assert_eq!(cm.f1(1), 0.0);
+        assert_eq!(cm.mcc(), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_zero() {
+        assert_eq!(ConfusionMatrix::new(3).accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn record_rejects_bad_class() {
+        ConfusionMatrix::new(2).record(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "MCC requires a binary matrix")]
+    fn mcc_requires_binary() {
+        ConfusionMatrix::new(3).mcc();
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix::new(2);
+        a.record(0, 0);
+        let mut b = ConfusionMatrix::new(2);
+        b.record(1, 1);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let d = Dataset::new(names(&["x"]), names(&["a", "b"]), rows, labels).unwrap();
+        let cv = cross_validate(&d, 5, 1, |train| {
+            DecisionTree::fit(train, TreeParams::default()).unwrap()
+        });
+        assert_eq!(cv.fold_accuracies.len(), 5);
+        assert!(cv.mean_accuracy() > 0.9, "mean {}", cv.mean_accuracy());
+        assert_eq!(cv.pooled.total(), 40);
+    }
+
+    #[test]
+    fn evaluate_runs_classifier_over_dataset() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..10).map(|i| usize::from(i >= 5)).collect();
+        let d = Dataset::new(names(&["x"]), names(&["a", "b"]), rows, labels).unwrap();
+        let t = DecisionTree::fit(&d, TreeParams::default()).unwrap();
+        let cm = ConfusionMatrix::evaluate(&t, &d);
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 1);
+        let s = cm.to_string();
+        assert!(s.contains("confusion matrix"));
+        assert!(s.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,302 @@
+//! Random forests: bootstrap bagging plus per-tree feature subsampling.
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, FitError, TreeParams};
+use crate::Classifier;
+use fakeaudit_stats::rng::rng_for_indexed;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for [`RandomForest::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub trees: usize,
+    /// Per-tree CART parameters.
+    pub tree: TreeParams,
+    /// Features considered per tree; `None` = `ceil(sqrt(arity))`.
+    pub features_per_tree: Option<usize>,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self {
+            trees: 25,
+            tree: TreeParams::default(),
+            features_per_tree: None,
+        }
+    }
+}
+
+/// A fitted random forest (majority vote over CART trees).
+///
+/// ```
+/// use fakeaudit_ml::{Classifier, Dataset, RandomForest};
+/// use fakeaudit_ml::forest::ForestParams;
+///
+/// // y = x >= 5, learnable from ten points.
+/// let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
+/// let labels: Vec<usize> = (0..10).map(|i| usize::from(i >= 5)).collect();
+/// let data = Dataset::new(
+///     vec!["x".into()],
+///     vec!["low".into(), "high".into()],
+///     rows,
+///     labels,
+/// )?;
+/// let forest = RandomForest::fit(&data, ForestParams::default(), 42)?;
+/// assert_eq!(forest.predict(&[1.0]), 0);
+/// assert_eq!(forest.predict(&[9.0]), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    num_classes: usize,
+}
+
+impl RandomForest {
+    /// Fits a forest on `data`. Each tree sees a bootstrap resample of the
+    /// rows and a random feature subset; both are derived deterministically
+    /// from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::EmptyTrainingSet`] when `data` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.trees == 0` or `features_per_tree` is 0 or exceeds
+    /// the arity.
+    pub fn fit(data: &Dataset, params: ForestParams, seed: u64) -> Result<Self, FitError> {
+        assert!(params.trees > 0, "forest needs at least one tree");
+        if data.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        let arity = data.arity();
+        let m = params
+            .features_per_tree
+            .unwrap_or_else(|| (arity as f64).sqrt().ceil() as usize)
+            .max(1);
+        assert!(m <= arity, "features_per_tree exceeds arity");
+        let mut trees = Vec::with_capacity(params.trees);
+        for t in 0..params.trees {
+            let mut rng = rng_for_indexed(seed, "forest-tree", t as u64);
+            let n = data.len();
+            let bootstrap: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            let sample = data.subset(&bootstrap);
+            let mut features: Vec<usize> = (0..arity).collect();
+            features.shuffle(&mut rng);
+            features.truncate(m);
+            trees.push(DecisionTree::fit_on_features(
+                &sample,
+                &features,
+                params.tree,
+            )?);
+        }
+        Ok(Self {
+            trees,
+            num_classes: data.num_classes(),
+        })
+    }
+
+    /// Number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Per-class vote counts for one feature vector.
+    pub fn votes(&self, features: &[f64]) -> Vec<usize> {
+        let mut votes = vec![0usize; self.num_classes];
+        for t in &self.trees {
+            votes[t.predict(features)] += 1;
+        }
+        votes
+    }
+
+    /// Mean-decrease-in-impurity feature importances averaged over the
+    /// trees, normalised to sum to 1 (all zeros if no tree ever split).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let arity = self
+            .trees
+            .first()
+            .map_or(0, |t| t.feature_importance().len());
+        let mut acc = vec![0.0; arity];
+        for t in &self.trees {
+            for (a, v) in acc.iter_mut().zip(t.feature_importance()) {
+                *a += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total <= 0.0 {
+            return acc;
+        }
+        for a in &mut acc {
+            *a /= total;
+        }
+        acc
+    }
+
+    /// The fraction of trees voting for the winning class (a crude
+    /// confidence signal).
+    pub fn confidence(&self, features: &[f64]) -> f64 {
+        let votes = self.votes(features);
+        let max = votes.iter().copied().max().unwrap_or(0);
+        max as f64 / self.trees.len() as f64
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict(&self, features: &[f64]) -> usize {
+        let votes = self.votes(features);
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_stats::rng::rng_for;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Noisy two-cluster data in 4 dimensions (2 informative, 2 noise).
+    fn clusters(n: usize, seed: u64) -> Dataset {
+        let mut rng = rng_for(seed, "clusters");
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            let centre = if label == 0 { 0.0 } else { 3.0 };
+            rows.push(vec![
+                centre + rng.gen::<f64>(),
+                centre + rng.gen::<f64>(),
+                rng.gen::<f64>() * 10.0,
+                rng.gen::<f64>() * 10.0,
+            ]);
+            labels.push(label);
+        }
+        Dataset::new(
+            names(&["a", "b", "n1", "n2"]),
+            names(&["c0", "c1"]),
+            rows,
+            labels,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forest_learns_clusters() {
+        let train = clusters(200, 1);
+        let test = clusters(100, 2);
+        let f = RandomForest::fit(&train, ForestParams::default(), 42).unwrap();
+        let correct = test
+            .rows()
+            .iter()
+            .zip(test.labels())
+            .filter(|(r, &l)| f.predict(r) == l)
+            .count();
+        assert!(correct >= 95, "accuracy {correct}/100");
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let d = clusters(100, 3);
+        let a = RandomForest::fit(&d, ForestParams::default(), 7).unwrap();
+        let b = RandomForest::fit(&d, ForestParams::default(), 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = clusters(100, 3);
+        let a = RandomForest::fit(&d, ForestParams::default(), 7).unwrap();
+        let b = RandomForest::fit(&d, ForestParams::default(), 8).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn votes_sum_to_tree_count() {
+        let d = clusters(60, 4);
+        let f = RandomForest::fit(&d, ForestParams::default(), 1).unwrap();
+        let votes = f.votes(&d.rows()[0]);
+        assert_eq!(votes.iter().sum::<usize>(), f.tree_count());
+    }
+
+    #[test]
+    fn confidence_in_unit_interval() {
+        let d = clusters(60, 5);
+        let f = RandomForest::fit(&d, ForestParams::default(), 1).unwrap();
+        for row in d.rows().iter().take(10) {
+            let c = f.confidence(row);
+            assert!((0.0..=1.0).contains(&c));
+            // With two classes the plurality winner holds at least half.
+            assert!(c >= 0.5, "confidence {c}");
+        }
+    }
+
+    #[test]
+    fn single_tree_forest_works() {
+        let d = clusters(60, 6);
+        let f = RandomForest::fit(
+            &d,
+            ForestParams {
+                trees: 1,
+                ..ForestParams::default()
+            },
+            1,
+        )
+        .unwrap();
+        assert_eq!(f.tree_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_panics() {
+        let d = clusters(10, 7);
+        let _ = RandomForest::fit(
+            &d,
+            ForestParams {
+                trees: 0,
+                ..ForestParams::default()
+            },
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "features_per_tree exceeds arity")]
+    fn oversize_feature_subset_panics() {
+        let d = clusters(10, 8);
+        let _ = RandomForest::fit(
+            &d,
+            ForestParams {
+                features_per_tree: Some(10),
+                ..ForestParams::default()
+            },
+            1,
+        );
+    }
+
+    #[test]
+    fn explicit_feature_count_accepted() {
+        let d = clusters(80, 9);
+        let f = RandomForest::fit(
+            &d,
+            ForestParams {
+                features_per_tree: Some(2),
+                ..ForestParams::default()
+            },
+            1,
+        )
+        .unwrap();
+        assert_eq!(f.tree_count(), 25);
+    }
+}

@@ -1,0 +1,225 @@
+//! k-nearest-neighbours with per-feature standardisation.
+//!
+//! The simplest of the learner families the Fake Project methodology
+//! compared ([12]); included for the E4 multi-learner comparison. Features
+//! are z-scored at fit time so the heavily skewed count features
+//! (followers, statuses) do not drown the boolean ones.
+
+use crate::dataset::Dataset;
+use crate::tree::FitError;
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// A fitted (memorising) kNN classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KNearestNeighbors {
+    k: usize,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    means: Vec<f64>,
+    /// Per-feature standard deviations, floored at 1 for constants.
+    stds: Vec<f64>,
+    num_classes: usize,
+}
+
+impl KNearestNeighbors {
+    /// Fits (memorises) the training set with neighbourhood size `k`.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::EmptyTrainingSet`] when `data` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn fit(data: &Dataset, k: usize) -> Result<Self, FitError> {
+        assert!(k > 0, "k must be positive");
+        if data.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        let arity = data.arity();
+        let n = data.len() as f64;
+        let mut means = vec![0.0; arity];
+        for row in data.rows() {
+            for (f, &v) in row.iter().enumerate() {
+                means[f] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; arity];
+        for row in data.rows() {
+            for (f, &v) in row.iter().enumerate() {
+                stds[f] += (v - means[f]).powi(2);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        let rows = data
+            .rows()
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(f, &v)| (v - means[f]) / stds[f])
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            k: k.min(data.len()),
+            rows,
+            labels: data.labels().to_vec(),
+            means,
+            stds,
+            num_classes: data.num_classes(),
+        })
+    }
+
+    /// The effective neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn standardise(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.means.len(), "feature arity mismatch");
+        features
+            .iter()
+            .enumerate()
+            .map(|(f, &v)| (v - self.means[f]) / self.stds[f])
+            .collect()
+    }
+}
+
+impl Classifier for KNearestNeighbors {
+    fn predict(&self, features: &[f64]) -> usize {
+        let q = self.standardise(features);
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, usize)> = self
+            .rows
+            .iter()
+            .zip(&self.labels)
+            .map(|(row, &label)| {
+                let d2: f64 = row.iter().zip(&q).map(|(a, b)| (a - b).powi(2)).sum();
+                (d2, label)
+            })
+            .collect();
+        dists.select_nth_unstable_by(self.k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("distances are finite")
+        });
+        let mut votes = vec![0usize; self.num_classes];
+        for &(_, label) in &dists[..self.k] {
+            votes[label] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn grid() -> Dataset {
+        // Class 0 near origin, class 1 near (10, 10).
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                rows.push(vec![i as f64 * 0.1, j as f64 * 0.1]);
+                labels.push(0);
+                rows.push(vec![10.0 + i as f64 * 0.1, 10.0 + j as f64 * 0.1]);
+                labels.push(1);
+            }
+        }
+        Dataset::new(names(&["x", "y"]), names(&["a", "b"]), rows, labels).unwrap()
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let knn = KNearestNeighbors::fit(&grid(), 5).unwrap();
+        assert_eq!(knn.predict(&[0.2, 0.3]), 0);
+        assert_eq!(knn.predict(&[10.2, 10.3]), 1);
+    }
+
+    #[test]
+    fn k_is_capped_at_training_size() {
+        let d = Dataset::new(
+            names(&["x"]),
+            names(&["a", "b"]),
+            vec![vec![0.0], vec![1.0]],
+            vec![0, 1],
+        )
+        .unwrap();
+        let knn = KNearestNeighbors::fit(&d, 100).unwrap();
+        assert_eq!(knn.k(), 2);
+    }
+
+    #[test]
+    fn standardisation_balances_scales() {
+        // Feature 0 ranges ±1 and separates classes; feature 1 is noise at
+        // a 1000× larger scale. Without z-scoring the noise dominates.
+        let rows = vec![
+            vec![-1.0, 500.0],
+            vec![-0.9, -800.0],
+            vec![-0.8, 700.0],
+            vec![1.0, -600.0],
+            vec![0.9, 900.0],
+            vec![0.8, -400.0],
+        ];
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let d = Dataset::new(names(&["sig", "noise"]), names(&["a", "b"]), rows, labels).unwrap();
+        let knn = KNearestNeighbors::fit(&d, 3).unwrap();
+        assert_eq!(knn.predict(&[-0.95, 0.0]), 0);
+        assert_eq!(knn.predict(&[0.95, 0.0]), 1);
+    }
+
+    #[test]
+    fn single_neighbour_memorises() {
+        let d = grid();
+        let knn = KNearestNeighbors::fit(&d, 1).unwrap();
+        for (row, &label) in d.rows().iter().zip(d.labels()) {
+            assert_eq!(knn.predict(row), label);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = KNearestNeighbors::fit(&grid(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature arity mismatch")]
+    fn arity_mismatch_panics() {
+        let knn = KNearestNeighbors::fit(&grid(), 1).unwrap();
+        knn.predict(&[1.0]);
+    }
+
+    #[test]
+    fn constant_feature_is_harmless() {
+        let rows = vec![
+            vec![7.0, 0.0],
+            vec![7.0, 1.0],
+            vec![7.0, 10.0],
+            vec![7.0, 11.0],
+        ];
+        let labels = vec![0, 0, 1, 1];
+        let d = Dataset::new(names(&["c", "x"]), names(&["a", "b"]), rows, labels).unwrap();
+        let knn = KNearestNeighbors::fit(&d, 1).unwrap();
+        assert_eq!(knn.predict(&[7.0, 0.5]), 0);
+        assert_eq!(knn.predict(&[7.0, 10.5]), 1);
+    }
+}

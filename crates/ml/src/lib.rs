@@ -1,0 +1,52 @@
+//! From-scratch machine learning for the Fake Project classifier (§III).
+//!
+//! The paper's FC engine is "a machine-learning classifier whose methodology
+//! bases on scientific basis and on a sound sampling": trained on a gold
+//! standard, built by first testing literature rule sets and feature sets,
+//! then selecting the best-performing features. No ML crates exist in the
+//! offline dependency set, so the learners are implemented here directly:
+//!
+//! * [`dataset`] — feature matrices with named columns and class labels;
+//! * [`tree`] — CART decision trees (Gini impurity, threshold splits,
+//!   mean-decrease-in-impurity feature importances);
+//! * [`forest`] — random forests (bootstrap bagging + feature subsampling);
+//! * [`naive_bayes`] — Gaussian naive Bayes;
+//! * [`knn`] — k-nearest-neighbours with feature standardisation;
+//! * [`eval`] — confusion matrices, precision/recall/F1/MCC, k-fold
+//!   cross-validation.
+//!
+//! The [`Classifier`] trait is the seam between learners and the detector
+//! layer: anything that maps a feature vector to a class index can back the
+//! Fake Project engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod eval;
+pub mod forest;
+pub mod knn;
+pub mod naive_bayes;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use eval::ConfusionMatrix;
+pub use forest::RandomForest;
+pub use knn::KNearestNeighbors;
+pub use naive_bayes::GaussianNaiveBayes;
+pub use tree::DecisionTree;
+
+/// A trained classifier over dense feature vectors.
+pub trait Classifier: std::fmt::Debug {
+    /// Predicts the class index for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `features` has the wrong arity.
+    fn predict(&self, features: &[f64]) -> usize;
+
+    /// Predicts a batch of rows.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}

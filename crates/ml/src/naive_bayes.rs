@@ -1,0 +1,229 @@
+//! Gaussian naive Bayes.
+//!
+//! One of the classifier families the Fake Project methodology evaluated on
+//! its gold standard before settling on decision forests ([12] §5 compares
+//! several learners); included so E4 can reproduce a multi-learner
+//! comparison rather than a single point.
+
+use crate::dataset::Dataset;
+use crate::tree::FitError;
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// Per-class, per-feature Gaussian parameters plus a log-prior.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianNaiveBayes {
+    /// `means[class][feature]`.
+    means: Vec<Vec<f64>>,
+    /// `variances[class][feature]`, floored for numerical stability.
+    variances: Vec<Vec<f64>>,
+    log_priors: Vec<f64>,
+    arity: usize,
+}
+
+/// Variance floor: features that are constant within a class would
+/// otherwise produce infinite densities.
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNaiveBayes {
+    /// Fits the model on `data`.
+    ///
+    /// Classes absent from the training set receive a `-inf` prior and are
+    /// never predicted.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::EmptyTrainingSet`] when `data` is empty.
+    pub fn fit(data: &Dataset) -> Result<Self, FitError> {
+        if data.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        let classes = data.num_classes();
+        let arity = data.arity();
+        let counts = data.class_counts();
+        let mut means = vec![vec![0.0; arity]; classes];
+        let mut variances = vec![vec![0.0; arity]; classes];
+        for (row, &label) in data.rows().iter().zip(data.labels()) {
+            for (f, &v) in row.iter().enumerate() {
+                means[label][f] += v;
+            }
+        }
+        for (c, class_means) in means.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                continue;
+            }
+            for m in class_means.iter_mut() {
+                *m /= counts[c] as f64;
+            }
+        }
+        for (row, &label) in data.rows().iter().zip(data.labels()) {
+            for (f, &v) in row.iter().enumerate() {
+                let d = v - means[label][f];
+                variances[label][f] += d * d;
+            }
+        }
+        for (c, class_vars) in variances.iter_mut().enumerate() {
+            for v in class_vars.iter_mut() {
+                *v = if counts[c] > 0 {
+                    (*v / counts[c] as f64).max(VAR_FLOOR)
+                } else {
+                    VAR_FLOOR
+                };
+            }
+        }
+        let n = data.len() as f64;
+        let log_priors = counts
+            .iter()
+            .map(|&k| {
+                if k == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (k as f64 / n).ln()
+                }
+            })
+            .collect();
+        Ok(Self {
+            means,
+            variances,
+            log_priors,
+            arity,
+        })
+    }
+
+    /// Joint log-likelihood of `features` under each class.
+    pub fn log_likelihoods(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.arity, "feature arity mismatch");
+        self.log_priors
+            .iter()
+            .enumerate()
+            .map(|(c, &prior)| {
+                if prior == f64::NEG_INFINITY {
+                    return f64::NEG_INFINITY;
+                }
+                let mut ll = prior;
+                for (f, &x) in features.iter().enumerate() {
+                    let mean = self.means[c][f];
+                    let var = self.variances[c][f];
+                    ll += -0.5
+                        * ((x - mean).powi(2) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
+                }
+                ll
+            })
+            .collect()
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn predict(&self, features: &[f64]) -> usize {
+        self.log_likelihoods(features)
+            .into_iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("log-likelihoods are comparable")
+            })
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_stats::rng::rng_for;
+    use rand::Rng;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn gaussian_clusters(n: usize, seed: u64, sep: f64) -> Dataset {
+        let mut rng = rng_for(seed, "nb");
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let centre = label as f64 * sep;
+            rows.push(vec![
+                centre + fakeaudit_stats::dist::standard_normal(&mut rng),
+                centre + fakeaudit_stats::dist::standard_normal(&mut rng),
+            ]);
+            labels.push(label);
+        }
+        Dataset::new(names(&["x", "y"]), names(&["a", "b"]), rows, labels).unwrap()
+    }
+
+    #[test]
+    fn separable_gaussians_classify_well() {
+        let train = gaussian_clusters(400, 1, 6.0);
+        let test = gaussian_clusters(200, 2, 6.0);
+        let nb = GaussianNaiveBayes::fit(&train).unwrap();
+        let correct = test
+            .rows()
+            .iter()
+            .zip(test.labels())
+            .filter(|(r, &l)| nb.predict(r) == l)
+            .count();
+        assert!(correct >= 195, "accuracy {correct}/200");
+    }
+
+    #[test]
+    fn respects_priors_on_imbalanced_data() {
+        // 90% of rows are class 0 at the same location: ties break to the
+        // majority class via the prior.
+        let rows: Vec<Vec<f64>> = (0..100).map(|_| vec![0.0]).collect();
+        let labels: Vec<usize> = (0..100).map(|i| usize::from(i >= 90)).collect();
+        let d = Dataset::new(names(&["x"]), names(&["a", "b"]), rows, labels).unwrap();
+        let nb = GaussianNaiveBayes::fit(&d).unwrap();
+        assert_eq!(nb.predict(&[0.0]), 0);
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let rows = vec![
+            vec![1.0, 5.0],
+            vec![1.0, -5.0],
+            vec![1.0, 5.1],
+            vec![1.0, -5.1],
+        ];
+        let labels = vec![0, 1, 0, 1];
+        let d = Dataset::new(names(&["const", "sig"]), names(&["a", "b"]), rows, labels).unwrap();
+        let nb = GaussianNaiveBayes::fit(&d).unwrap();
+        assert_eq!(nb.predict(&[1.0, 4.0]), 0);
+        assert_eq!(nb.predict(&[1.0, -4.0]), 1);
+        assert!(nb
+            .log_likelihoods(&[1.0, 4.0])
+            .iter()
+            .all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn absent_class_is_never_predicted() {
+        let rows = vec![vec![0.0], vec![1.0]];
+        let labels = vec![0, 0];
+        let d = Dataset::new(names(&["x"]), names(&["a", "b"]), rows, labels).unwrap();
+        let nb = GaussianNaiveBayes::fit(&d).unwrap();
+        let mut rng = rng_for(3, "nb");
+        for _ in 0..20 {
+            let x: f64 = rng.gen_range(-100.0..100.0);
+            assert_eq!(nb.predict(&[x]), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature arity mismatch")]
+    fn arity_mismatch_panics() {
+        let d = gaussian_clusters(10, 4, 3.0);
+        let nb = GaussianNaiveBayes::fit(&d).unwrap();
+        nb.predict(&[1.0]);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let d = gaussian_clusters(100, 5, 3.0);
+        assert_eq!(
+            GaussianNaiveBayes::fit(&d).unwrap(),
+            GaussianNaiveBayes::fit(&d).unwrap()
+        );
+    }
+}

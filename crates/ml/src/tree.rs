@@ -1,0 +1,550 @@
+//! CART decision trees: Gini impurity, axis-aligned threshold splits.
+
+use crate::dataset::Dataset;
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Hyperparameters for [`DecisionTree::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples allowed in a leaf.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Rows with `feature value <= threshold`.
+        left: Box<Node>,
+        /// Rows with `feature value > threshold`.
+        right: Box<Node>,
+    },
+}
+
+/// Errors from tree fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// The training set needs at least one row (guaranteed by `Dataset`,
+    /// kept for forests fitting on filtered subsets).
+    EmptyTrainingSet,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::EmptyTrainingSet => write!(f, "training set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted CART decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    arity: usize,
+    num_classes: usize,
+    /// Per-feature total impurity decrease accumulated at fit time
+    /// (unnormalised mean-decrease-in-impurity importances).
+    importances: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `data` with `params`.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::EmptyTrainingSet`] (unreachable through a validated
+    /// [`Dataset`], but part of the contract).
+    pub fn fit(data: &Dataset, params: TreeParams) -> Result<Self, FitError> {
+        if data.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let all_features: Vec<usize> = (0..data.arity()).collect();
+        let mut importances = vec![0.0; data.arity()];
+        let root = build(data, &indices, &all_features, params, 0, &mut importances);
+        Ok(Self {
+            root,
+            arity: data.arity(),
+            num_classes: data.num_classes(),
+            importances,
+        })
+    }
+
+    /// Fits a tree considering only the feature columns in `features` at
+    /// each split (used by random forests).
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::EmptyTrainingSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` contains an out-of-range column.
+    pub fn fit_on_features(
+        data: &Dataset,
+        features: &[usize],
+        params: TreeParams,
+    ) -> Result<Self, FitError> {
+        if data.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        assert!(
+            features.iter().all(|&f| f < data.arity()),
+            "feature index out of range"
+        );
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut importances = vec![0.0; data.arity()];
+        let root = build(data, &indices, features, params, 0, &mut importances);
+        Ok(Self {
+            root,
+            arity: data.arity(),
+            num_classes: data.num_classes(),
+            importances,
+        })
+    }
+
+    /// The number of classes seen at fit time.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Mean-decrease-in-impurity feature importances, normalised to sum to
+    /// 1 (all zeros for a lone leaf).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let total: f64 = self.importances.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.importances.len()];
+        }
+        self.importances.iter().map(|v| v / total).collect()
+    }
+
+    /// Number of decision (split) nodes.
+    pub fn split_count(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Renders the tree as indented text, for interpretability reports
+    /// (which thresholds the FC classifier actually learned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_names`/`class_names` are shorter than the fitted
+    /// arity/class count.
+    pub fn render_text(&self, feature_names: &[String], class_names: &[String]) -> String {
+        assert!(feature_names.len() >= self.arity, "feature names too short");
+        assert!(
+            class_names.len() >= self.num_classes,
+            "class names too short"
+        );
+        fn walk(
+            node: &Node,
+            depth: usize,
+            features: &[String],
+            classes: &[String],
+            out: &mut String,
+        ) {
+            let pad = "  ".repeat(depth);
+            match node {
+                Node::Leaf { class } => {
+                    out.push_str(&format!("{pad}=> {}\n", classes[*class]));
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}if {} <= {threshold:.3}:\n",
+                        features[*feature]
+                    ));
+                    walk(left, depth + 1, features, classes, out);
+                    out.push_str(&format!("{pad}else:\n"));
+                    walk(right, depth + 1, features, classes, out);
+                }
+            }
+        }
+        let mut out = String::new();
+        walk(&self.root, 0, feature_names, class_names, &mut out);
+        out
+    }
+
+    /// Tree depth (a lone leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, features: &[f64]) -> usize {
+        assert_eq!(
+            features.len(),
+            self.arity,
+            "feature vector arity mismatch: got {}, expected {}",
+            features.len(),
+            self.arity
+        );
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+fn class_counts(data: &Dataset, indices: &[usize]) -> Vec<usize> {
+    let mut counts = vec![0usize; data.num_classes()];
+    for &i in indices {
+        counts[data.labels()[i]] += 1;
+    }
+    counts
+}
+
+fn majority(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    impurity: f64,
+}
+
+fn find_best_split(
+    data: &Dataset,
+    indices: &[usize],
+    features: &[usize],
+    min_leaf: usize,
+) -> Option<BestSplit> {
+    // Accept the best split even at zero Gini gain (as mainstream CART
+    // implementations do): zero-gain first splits are what make parity-like
+    // concepts (XOR) learnable, and termination is unaffected because every
+    // split strictly partitions into two non-empty child sets.
+    let n = indices.len();
+    let parent_counts = class_counts(data, indices);
+    let mut best: Option<BestSplit> = None;
+    for &f in features {
+        // Sort indices by this feature's value.
+        let mut order: Vec<usize> = indices.to_vec();
+        order.sort_by(|&a, &b| {
+            data.rows()[a][f]
+                .partial_cmp(&data.rows()[b][f])
+                .expect("finite features")
+        });
+        let mut left_counts = vec![0usize; data.num_classes()];
+        for cut in 1..n {
+            let prev = order[cut - 1];
+            left_counts[data.labels()[prev]] += 1;
+            let v_prev = data.rows()[prev][f];
+            let v_next = data.rows()[order[cut]][f];
+            if v_prev == v_next {
+                continue; // cannot split between equal values
+            }
+            if cut < min_leaf || n - cut < min_leaf {
+                continue;
+            }
+            let right_counts: Vec<usize> = parent_counts
+                .iter()
+                .zip(&left_counts)
+                .map(|(&p, &l)| p - l)
+                .collect();
+            let w = cut as f64 / n as f64;
+            let impurity = w * gini(&left_counts, cut) + (1.0 - w) * gini(&right_counts, n - cut);
+            if impurity < best.as_ref().map_or(f64::INFINITY, |b| b.impurity) {
+                best = Some(BestSplit {
+                    feature: f,
+                    threshold: (v_prev + v_next) / 2.0,
+                    impurity,
+                });
+            }
+        }
+    }
+    best
+}
+
+fn build(
+    data: &Dataset,
+    indices: &[usize],
+    features: &[usize],
+    params: TreeParams,
+    depth: usize,
+    importances: &mut [f64],
+) -> Node {
+    let counts = class_counts(data, indices);
+    let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+    if pure
+        || depth >= params.max_depth
+        || indices.len() < params.min_samples_split
+        || features.is_empty()
+    {
+        return Node::Leaf {
+            class: majority(&counts),
+        };
+    }
+    match find_best_split(data, indices, features, params.min_samples_leaf.max(1)) {
+        None => Node::Leaf {
+            class: majority(&counts),
+        },
+        Some(split) => {
+            // Mean decrease in impurity, weighted by the node's share of
+            // the training set.
+            let parent_gini = gini(&counts, indices.len());
+            importances[split.feature] += (indices.len() as f64 / data.len() as f64)
+                * (parent_gini - split.impurity).max(0.0);
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| data.rows()[i][split.feature] <= split.threshold);
+            Node::Split {
+                feature: split.feature,
+                threshold: split.threshold,
+                left: Box::new(build(
+                    data,
+                    &left_idx,
+                    features,
+                    params,
+                    depth + 1,
+                    importances,
+                )),
+                right: Box::new(build(
+                    data,
+                    &right_idx,
+                    features,
+                    params,
+                    depth + 1,
+                    importances,
+                )),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Linearly separable 1-D data.
+    fn separable() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        Dataset::new(names(&["x"]), names(&["lo", "hi"]), rows, labels).unwrap()
+    }
+
+    #[test]
+    fn fits_separable_data_perfectly() {
+        let d = separable();
+        let t = DecisionTree::fit(&d, TreeParams::default()).unwrap();
+        for (row, &label) in d.rows().iter().zip(d.labels()) {
+            assert_eq!(t.predict(row), label);
+        }
+        assert_eq!(t.depth(), 1, "one split suffices");
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let d = Dataset::new(
+            names(&["x"]),
+            names(&["only"]),
+            vec![vec![1.0], vec![2.0]],
+            vec![0, 0],
+        )
+        .unwrap();
+        let t = DecisionTree::fit(&d, TreeParams::default()).unwrap();
+        assert_eq!(t.split_count(), 0);
+        assert_eq!(t.predict(&[5.0]), 0);
+    }
+
+    #[test]
+    fn max_depth_zero_is_majority_vote() {
+        let d = separable();
+        let t = DecisionTree::fit(
+            &d,
+            TreeParams {
+                max_depth: 0,
+                ..TreeParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.split_count(), 0);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let labels = vec![0, 1, 1, 0];
+        let d = Dataset::new(names(&["a", "b"]), names(&["z", "o"]), rows, labels).unwrap();
+        let t = DecisionTree::fit(
+            &d,
+            TreeParams {
+                max_depth: 4,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(t.predict(&[0.0, 0.0]), 0);
+        assert_eq!(t.predict(&[0.0, 1.0]), 1);
+        assert_eq!(t.predict(&[1.0, 0.0]), 1);
+        assert_eq!(t.predict(&[1.0, 1.0]), 0);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn identical_features_cannot_split() {
+        let d = Dataset::new(
+            names(&["x"]),
+            names(&["a", "b"]),
+            vec![vec![1.0], vec![1.0], vec![1.0]],
+            vec![0, 1, 1],
+        )
+        .unwrap();
+        let t = DecisionTree::fit(&d, TreeParams::default()).unwrap();
+        assert_eq!(t.split_count(), 0);
+        assert_eq!(t.predict(&[1.0]), 1, "majority class");
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let d = separable();
+        let t = DecisionTree::fit(
+            &d,
+            TreeParams {
+                min_samples_leaf: 8,
+                ..TreeParams::default()
+            },
+        )
+        .unwrap();
+        // Only the middle split keeps both leaves >= 8.
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn fit_on_feature_subset_ignores_other_columns() {
+        // Column 0 separates, column 1 is noise; restrict to column 1.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 0.0]).collect();
+        let labels: Vec<usize> = (0..10).map(|i| usize::from(i >= 5)).collect();
+        let d = Dataset::new(names(&["good", "noise"]), names(&["a", "b"]), rows, labels).unwrap();
+        let t = DecisionTree::fit_on_features(&d, &[1], TreeParams::default()).unwrap();
+        assert_eq!(t.split_count(), 0, "noise column cannot split");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn predict_panics_on_wrong_arity() {
+        let t = DecisionTree::fit(&separable(), TreeParams::default()).unwrap();
+        t.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn three_class_problem() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..30).map(|i| i / 10).collect();
+        let d = Dataset::new(names(&["x"]), names(&["a", "b", "c"]), rows, labels).unwrap();
+        let t = DecisionTree::fit(&d, TreeParams::default()).unwrap();
+        assert_eq!(t.predict(&[5.0]), 0);
+        assert_eq!(t.predict(&[15.0]), 1);
+        assert_eq!(t.predict(&[25.0]), 2);
+    }
+
+    #[test]
+    fn render_text_shows_thresholds_and_classes() {
+        let d = separable();
+        let t = DecisionTree::fit(&d, TreeParams::default()).unwrap();
+        let text = t.render_text(&names(&["x"]), &names(&["lo", "hi"]));
+        assert!(text.contains("if x <= 9.500"), "{text}");
+        assert!(text.contains("=> lo"));
+        assert!(text.contains("=> hi"));
+        assert!(text.contains("else:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature names too short")]
+    fn render_text_checks_names() {
+        let t = DecisionTree::fit(&separable(), TreeParams::default()).unwrap();
+        t.render_text(&[], &names(&["a", "b"]));
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let d = separable();
+        let t = DecisionTree::fit(&d, TreeParams::default()).unwrap();
+        let batch = t.predict_batch(d.rows());
+        let single: Vec<usize> = d.rows().iter().map(|r| t.predict(r)).collect();
+        assert_eq!(batch, single);
+    }
+}

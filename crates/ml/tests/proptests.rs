@@ -1,0 +1,122 @@
+//! Property-based tests for the learners' invariants.
+
+use fakeaudit_ml::dataset::Dataset;
+use fakeaudit_ml::eval::ConfusionMatrix;
+use fakeaudit_ml::forest::ForestParams;
+use fakeaudit_ml::tree::TreeParams;
+use fakeaudit_ml::{Classifier, DecisionTree, RandomForest};
+use proptest::prelude::*;
+
+fn names(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+/// Random (but valid) two-feature, two-class datasets.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(((-100.0f64..100.0, -100.0f64..100.0), 0usize..2), 2..60).prop_map(
+        |rows| {
+            let (features, labels): (Vec<(f64, f64)>, Vec<usize>) = rows.into_iter().unzip();
+            Dataset::new(
+                names(&["x", "y"]),
+                names(&["a", "b"]),
+                features.into_iter().map(|(x, y)| vec![x, y]).collect(),
+                labels,
+            )
+            .unwrap()
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn tree_predictions_are_valid_classes(data in dataset_strategy()) {
+        let tree = DecisionTree::fit(&data, TreeParams::default()).unwrap();
+        for row in data.rows() {
+            prop_assert!(tree.predict(row) < data.num_classes());
+        }
+    }
+
+    #[test]
+    fn tree_fits_training_data_when_unconstrained(data in dataset_strategy()) {
+        // With unlimited depth, a CART tree errs on a training row only if
+        // an identical feature vector carries conflicting labels.
+        let tree = DecisionTree::fit(
+            &data,
+            TreeParams { max_depth: 64, min_samples_split: 2, min_samples_leaf: 1 },
+        )
+        .unwrap();
+        for (i, (row, &label)) in data.rows().iter().zip(data.labels()).enumerate() {
+            let conflicting = data
+                .rows()
+                .iter()
+                .zip(data.labels())
+                .any(|(r2, &l2)| r2 == row && l2 != label);
+            if !conflicting {
+                prop_assert_eq!(tree.predict(row), label, "row {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn forest_fit_is_deterministic_per_seed(data in dataset_strategy(), seed in 0u64..100) {
+        let p = ForestParams { trees: 5, ..ForestParams::default() };
+        let a = RandomForest::fit(&data, p, seed).unwrap();
+        let b = RandomForest::fit(&data, p, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forest_votes_partition_trees(data in dataset_strategy(), seed in 0u64..50) {
+        let p = ForestParams { trees: 7, ..ForestParams::default() };
+        let f = RandomForest::fit(&data, p, seed).unwrap();
+        for row in data.rows().iter().take(10) {
+            let votes = f.votes(row);
+            prop_assert_eq!(votes.iter().sum::<usize>(), 7);
+            let winner = f.predict(row);
+            prop_assert_eq!(votes[winner], *votes.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_accuracy_bounds(
+        records in prop::collection::vec((0usize..3, 0usize..3), 1..100),
+    ) {
+        let mut cm = ConfusionMatrix::new(3);
+        for (a, p) in &records {
+            cm.record(*a, *p);
+        }
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.macro_f1()));
+        prop_assert_eq!(cm.total(), records.len() as u64);
+        for c in 0..3 {
+            prop_assert!((0.0..=1.0).contains(&cm.precision(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.recall(c)));
+        }
+    }
+
+    #[test]
+    fn k_folds_partition_every_row(data in dataset_strategy(), k in 2usize..6) {
+        prop_assume!(k <= data.len());
+        let folds = data.k_folds(k, 9);
+        let total_test: usize = folds.iter().map(|(_, t)| t.len()).sum();
+        prop_assert_eq!(total_test, data.len());
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), data.len());
+            prop_assert!(!test.is_empty());
+        }
+    }
+
+    #[test]
+    fn shuffled_split_preserves_rows(data in dataset_strategy(), frac in 0.1f64..0.9) {
+        prop_assume!(data.len() >= 2);
+        let (train, test) = data.shuffled_split(frac, 3);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        // Multiset of labels is preserved.
+        let mut all: Vec<usize> = train.labels().to_vec();
+        all.extend_from_slice(test.labels());
+        all.sort_unstable();
+        let mut orig = data.labels().to_vec();
+        orig.sort_unstable();
+        prop_assert_eq!(all, orig);
+    }
+}

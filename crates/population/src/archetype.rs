@@ -1,0 +1,377 @@
+//! Behavioural account archetypes.
+//!
+//! Each synthetic follower is drawn from one of three archetypes. The
+//! parameter ranges follow the qualitative descriptions the paper collects
+//! from the tools' documentation and the cited spam-detection literature
+//! (§II): fakes "tend to have few or no followers and few or no tweets, but
+//! follow a lot of other accounts", often keep the default profile image and
+//! an empty bio, and emit spammy, duplicated, link-heavy tweets; inactives
+//! are ordinary accounts whose last tweet is months old (or that never
+//! tweeted); genuine accounts are active, reciprocal and textually diverse.
+
+use fakeaudit_stats::dist::LogNormal;
+use fakeaudit_twittersim::clock::{SimTime, SECS_PER_DAY};
+use fakeaudit_twittersim::timeline::{TimelineModel, TimelineParams};
+use fakeaudit_twittersim::Profile;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The hidden ground-truth class of a synthetic account.
+///
+/// Assignment priority: purchased/bot accounts are `Fake` even when they
+/// also look dormant; `Inactive` means a non-fake account that never
+/// tweeted or whose last tweet is older than 90 days (the definition both
+/// FC and Socialbakers use); everything else is `Genuine`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrueClass {
+    /// Dormant, human-created account.
+    Inactive,
+    /// Purchased / bot account created to inflate follower counts.
+    Fake,
+    /// Active, human account.
+    Genuine,
+}
+
+impl TrueClass {
+    /// All classes, in a fixed order.
+    pub const ALL: [TrueClass; 3] = [TrueClass::Inactive, TrueClass::Fake, TrueClass::Genuine];
+}
+
+impl fmt::Display for TrueClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrueClass::Inactive => write!(f, "inactive"),
+            TrueClass::Fake => write!(f, "fake"),
+            TrueClass::Genuine => write!(f, "genuine"),
+        }
+    }
+}
+
+/// The threshold both FC and Socialbakers use for inactivity.
+pub const INACTIVITY_DAYS: i64 = 90;
+
+/// Share of fake accounts that are dormant shells (never tweet) and hence
+/// *present inactive* under the 90-day rule. Consumers that calibrate
+/// ground-truth mixes against FC rows must account for this absorption
+/// (see [`crate::testbed`]).
+pub const DORMANT_FAKE_SHARE: f64 = 0.30;
+
+/// A generated account: profile + timeline model + hidden label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedAccount {
+    /// The public profile.
+    pub profile: Profile,
+    /// The generative timeline.
+    pub timeline: TimelineModel,
+    /// Hidden ground truth (never exposed to detectors).
+    pub class: TrueClass,
+}
+
+fn days_before(now: SimTime, days: f64) -> SimTime {
+    SimTime::from_secs(now.as_secs() - (days * SECS_PER_DAY as f64) as i64)
+}
+
+/// Generates an account of the given archetype as observed at time `now`.
+///
+/// Deterministic given the RNG state; callers derive a per-account RNG via
+/// [`fakeaudit_stats::rng::rng_for_indexed`].
+///
+/// # Panics
+///
+/// Panics if `now` is earlier than ~3000 simulated days after the epoch —
+/// archetypes need that much history to place creation dates. Use
+/// [`recommended_audit_time`] (or later) as `now`.
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    class: TrueClass,
+    screen_name: impl Into<String>,
+    now: SimTime,
+) -> GeneratedAccount {
+    assert!(
+        now.as_secs() >= 3_000 * SECS_PER_DAY,
+        "audit time too early for archetype history; use recommended_audit_time()"
+    );
+    let mut acc = match class {
+        TrueClass::Genuine => generate_genuine(rng, screen_name.into(), now),
+        TrueClass::Inactive => generate_inactive(rng, screen_name.into(), now),
+        TrueClass::Fake => generate_fake(rng, screen_name.into(), now),
+    };
+    // Keep the profile's derived fields authoritative with the timeline
+    // (Platform::register re-syncs, but standalone consumers — the gold
+    // standard, the ML feature extractor — see consistent pairs too).
+    acc.profile.statuses_count = acc.timeline.statuses_count();
+    acc.profile.last_tweet_at = acc.timeline.last_tweet_at();
+    acc
+}
+
+/// A convenient audit time leaving enough room for account histories.
+pub fn recommended_audit_time() -> SimTime {
+    SimTime::from_days(3_000)
+}
+
+fn ln_count<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64, max: u64) -> u64 {
+    let d = LogNormal::new(mu, sigma).expect("valid parameters");
+    (d.sample(rng).round() as u64).clamp(1, max)
+}
+
+fn generate_genuine<R: Rng + ?Sized>(rng: &mut R, name: String, now: SimTime) -> GeneratedAccount {
+    let age_days = rng.gen_range(200.0..2_500.0);
+    let created_at = days_before(now, age_days);
+    let statuses = ln_count(rng, 5.0, 1.2, 50_000);
+    let last_days = rng.gen_range(0.0..(INACTIVITY_DAYS as f64 - 5.0));
+    let last_tweet_at = days_before(now, last_days);
+    let first_tweet_at = days_before(now, (age_days - 1.0).max(last_days));
+    let mut profile = Profile::new(name, created_at);
+    profile.followers_count = ln_count(rng, 4.0, 1.5, 500_000);
+    profile.friends_count = ln_count(rng, 4.5, 1.0, 10_000);
+    profile.default_profile_image = rng.gen::<f64>() < 0.05;
+    profile.has_bio = rng.gen::<f64>() < 0.85;
+    profile.has_location = rng.gen::<f64>() < 0.70;
+    let timeline = TimelineModel::new(
+        TimelineParams {
+            statuses_count: statuses,
+            first_tweet_at,
+            last_tweet_at,
+            retweet_frac: rng.gen_range(0.10..0.35),
+            link_frac: rng.gen_range(0.05..0.30),
+            spam_frac: rng.gen_range(0.0..0.02),
+            duplicate_frac: 0.0,
+            automated_frac: rng.gen_range(0.0..0.10),
+        },
+        rng.gen(),
+    );
+    GeneratedAccount {
+        profile,
+        timeline,
+        class: TrueClass::Genuine,
+    }
+}
+
+fn generate_inactive<R: Rng + ?Sized>(rng: &mut R, name: String, now: SimTime) -> GeneratedAccount {
+    let age_days = rng.gen_range(500.0..2_900.0);
+    let created_at = days_before(now, age_days);
+    let never_tweeted = rng.gen::<f64>() < 0.35;
+    let mut profile = Profile::new(name, created_at);
+    profile.followers_count = ln_count(rng, 3.0, 1.2, 10_000);
+    profile.friends_count = ln_count(rng, 3.5, 1.0, 5_000);
+    profile.default_profile_image = rng.gen::<f64>() < 0.30;
+    profile.has_bio = rng.gen::<f64>() < 0.50;
+    profile.has_location = rng.gen::<f64>() < 0.40;
+    let timeline = if never_tweeted {
+        TimelineModel::empty()
+    } else {
+        let statuses = ln_count(rng, 3.0, 1.3, 5_000);
+        let last_days = rng.gen_range((INACTIVITY_DAYS as f64 + 1.0)..(age_days - 1.0).max(92.0));
+        TimelineModel::new(
+            TimelineParams {
+                statuses_count: statuses,
+                first_tweet_at: days_before(now, (age_days - 1.0).max(last_days)),
+                last_tweet_at: days_before(now, last_days),
+                retweet_frac: rng.gen_range(0.10..0.35),
+                link_frac: rng.gen_range(0.05..0.25),
+                spam_frac: rng.gen_range(0.0..0.02),
+                duplicate_frac: 0.0,
+                automated_frac: rng.gen_range(0.0..0.08),
+            },
+            rng.gen(),
+        )
+    };
+    GeneratedAccount {
+        profile,
+        timeline,
+        class: TrueClass::Inactive,
+    }
+}
+
+fn generate_fake<R: Rng + ?Sized>(rng: &mut R, name: String, now: SimTime) -> GeneratedAccount {
+    let age_days = rng.gen_range(5.0..400.0);
+    let created_at = days_before(now, age_days);
+    let mut profile = Profile::new(name, created_at);
+    profile.followers_count = rng.gen_range(0..30);
+    profile.friends_count = rng.gen_range(300..4_000);
+    profile.default_profile_image = rng.gen::<f64>() < 0.60;
+    profile.has_bio = rng.gen::<f64>() < 0.15;
+    profile.has_location = rng.gen::<f64>() < 0.10;
+    let behaviour: f64 = rng.gen();
+    let timeline = if behaviour < 0.30 {
+        // Dormant shell: never tweets, exists only to follow.
+        TimelineModel::empty()
+    } else {
+        let (statuses, retweet, spam, dup, link) = if behaviour < 0.85 {
+            // Low-volume spam shell.
+            (
+                rng.gen_range(1..30),
+                rng.gen_range(0.0..0.3),
+                rng.gen_range(0.5..0.9),
+                rng.gen_range(0.3..0.8),
+                rng.gen_range(0.5..0.95),
+            )
+        } else {
+            // High-volume amplification bot: mostly retweets.
+            (
+                rng.gen_range(200..3_000),
+                rng.gen_range(0.85..1.0),
+                rng.gen_range(0.1..0.4),
+                rng.gen_range(0.1..0.5),
+                rng.gen_range(0.3..0.8),
+            )
+        };
+        // Farmed bots keep posting until they are banned: most tweeted
+        // recently, so they present *active* to the 90-day rule.
+        let last_days = rng.gen_range(0.0..(age_days * 0.8).clamp(1.0, 75.0));
+        TimelineModel::new(
+            TimelineParams {
+                statuses_count: statuses,
+                first_tweet_at: days_before(now, (age_days - 1.0).max(last_days)),
+                last_tweet_at: days_before(now, last_days),
+                retweet_frac: retweet,
+                link_frac: link,
+                spam_frac: spam,
+                duplicate_frac: dup,
+                // Farmed accounts post through the API or schedulers —
+                // the Chu et al. automation signal.
+                automated_frac: rng.gen_range(0.5..0.95),
+            },
+            rng.gen(),
+        )
+    };
+    GeneratedAccount {
+        profile,
+        timeline,
+        class: TrueClass::Fake,
+    }
+}
+
+/// Whether an account *presents* as inactive at time `now` under the
+/// FC/Socialbakers definition (never tweeted, or last tweet older than
+/// [`INACTIVITY_DAYS`]). Note this is about observable behaviour, not the
+/// hidden class: many `Fake` accounts also present as inactive.
+pub fn presents_inactive(profile: &Profile, now: SimTime) -> bool {
+    match profile.seconds_since_last_tweet(now) {
+        None => true,
+        Some(secs) => secs > (INACTIVITY_DAYS * SECS_PER_DAY) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_stats::rng::rng_for_indexed;
+    use fakeaudit_twittersim::tweet::TimelineStats;
+    use fakeaudit_twittersim::AccountId;
+
+    fn now() -> SimTime {
+        recommended_audit_time()
+    }
+
+    fn gen_many(class: TrueClass, n: u64) -> Vec<GeneratedAccount> {
+        (0..n)
+            .map(|i| {
+                let mut rng = rng_for_indexed(42, "arch", i);
+                generate(&mut rng, class, format!("{class}{i}"), now())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a_rng = rng_for_indexed(1, "d", 0);
+        let mut b_rng = rng_for_indexed(1, "d", 0);
+        let a = generate(&mut a_rng, TrueClass::Fake, "x", now());
+        let b = generate(&mut b_rng, TrueClass::Fake, "x", now());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn genuine_accounts_are_active() {
+        for acc in gen_many(TrueClass::Genuine, 50) {
+            assert!(!presents_inactive(&acc.profile, now()), "{:?}", acc.profile);
+            assert!(acc.profile.statuses_count > 0);
+        }
+    }
+
+    #[test]
+    fn inactive_accounts_present_inactive() {
+        for acc in gen_many(TrueClass::Inactive, 50) {
+            assert!(presents_inactive(&acc.profile, now()), "{:?}", acc.profile);
+        }
+    }
+
+    #[test]
+    fn fakes_follow_many_and_are_followed_by_few() {
+        for acc in gen_many(TrueClass::Fake, 50) {
+            assert!(acc.profile.friends_count >= 300);
+            assert!(acc.profile.followers_count < 30);
+            assert!(acc.profile.following_follower_ratio() > 10.0);
+        }
+    }
+
+    #[test]
+    fn fake_creation_dates_are_recent() {
+        for acc in gen_many(TrueClass::Fake, 50) {
+            let age = acc.profile.age_at(now());
+            assert!(age.as_days_f64() <= 400.0, "age {age}");
+        }
+    }
+
+    #[test]
+    fn fake_timelines_are_spammy_or_empty() {
+        let accs = gen_many(TrueClass::Fake, 60);
+        let mut tweeting = 0;
+        for (i, acc) in accs.iter().enumerate() {
+            let tweets = acc.timeline.recent_tweets(AccountId(i as u64), 200);
+            if tweets.is_empty() {
+                continue;
+            }
+            tweeting += 1;
+            let s = TimelineStats::compute(&tweets);
+            assert!(
+                s.spam_frac > 0.2
+                    || s.retweet_frac > 0.6
+                    || s.max_duplicates >= 3
+                    || s.link_frac > 0.4,
+                "fake timeline not bot-like: {s:?}"
+            );
+        }
+        assert!(
+            tweeting > 10,
+            "expected some tweeting fakes, got {tweeting}"
+        );
+    }
+
+    #[test]
+    fn genuine_profiles_mostly_complete() {
+        let accs = gen_many(TrueClass::Genuine, 100);
+        let with_bio = accs.iter().filter(|a| a.profile.has_bio).count();
+        let default_img = accs
+            .iter()
+            .filter(|a| a.profile.default_profile_image)
+            .count();
+        assert!(with_bio > 70, "bio count {with_bio}");
+        assert!(default_img < 15, "default image count {default_img}");
+    }
+
+    #[test]
+    fn profile_timeline_consistency() {
+        // generate() returns pairs the Platform will accept; counts agree.
+        for class in TrueClass::ALL {
+            for acc in gen_many(class, 20) {
+                assert_eq!(acc.profile.statuses_count, acc.timeline.statuses_count());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "audit time too early")]
+    fn rejects_too_early_audit_time() {
+        let mut rng = rng_for_indexed(1, "e", 0);
+        generate(&mut rng, TrueClass::Genuine, "x", SimTime::from_days(10));
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(TrueClass::Fake.to_string(), "fake");
+        assert_eq!(TrueClass::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Labelled gold-standard datasets.
+//!
+//! The Fake Project classifier (§III) was trained on "a gold standard of
+//! Twitter accounts, where fake followers, inactive, and genuine accounts
+//! were a priori known" — crawled from @TheFakeProject volunteers and
+//! purchased fake-follower batches. That dataset is private; we substitute a
+//! synthetic gold standard drawn from the same archetypes that populate the
+//! audited targets, which preserves the property the paper needs: labels
+//! are known a priori and independent of any detector.
+
+use crate::archetype::{self, GeneratedAccount, TrueClass};
+use fakeaudit_stats::rng::rng_for_indexed;
+use fakeaudit_twittersim::clock::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A labelled dataset of generated accounts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoldStandard {
+    accounts: Vec<GeneratedAccount>,
+    observed_at: SimTime,
+}
+
+impl GoldStandard {
+    /// Generates a balanced gold standard with `per_class` accounts of each
+    /// class, observed at `observed_at` (must be at least
+    /// [`archetype::recommended_audit_time`]).
+    ///
+    /// The ordering interleaves classes so naive prefix splits stay roughly
+    /// balanced.
+    pub fn generate(seed: u64, per_class: usize, observed_at: SimTime) -> Self {
+        let mut accounts = Vec::with_capacity(per_class * 3);
+        for i in 0..per_class {
+            for (j, class) in TrueClass::ALL.iter().enumerate() {
+                let idx = (i * 3 + j) as u64;
+                let mut rng = rng_for_indexed(seed, "gold", idx);
+                accounts.push(archetype::generate(
+                    &mut rng,
+                    *class,
+                    format!("gold_{class}_{i}"),
+                    observed_at,
+                ));
+            }
+        }
+        Self {
+            accounts,
+            observed_at,
+        }
+    }
+
+    /// The labelled accounts.
+    pub fn accounts(&self) -> &[GeneratedAccount] {
+        &self.accounts
+    }
+
+    /// When the accounts were observed (feature extraction must use this
+    /// same instant).
+    pub fn observed_at(&self) -> SimTime {
+        self.observed_at
+    }
+
+    /// Number of accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Splits into `(train, test)` with the first `train_fraction` of each
+    /// interleaved class sequence in train.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < train_fraction < 1`.
+    pub fn split(&self, train_fraction: f64) -> (Vec<&GeneratedAccount>, Vec<&GeneratedAccount>) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0, 1)"
+        );
+        let cut = ((self.accounts.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.accounts.len().saturating_sub(1));
+        let (a, b) = self.accounts.split_at(cut);
+        (a.iter().collect(), b.iter().collect())
+    }
+
+    /// Count of accounts with the given label.
+    pub fn count_of(&self, class: TrueClass) -> usize {
+        self.accounts.iter().filter(|a| a.class == class).count()
+    }
+}
+
+impl fmt::Display for GoldStandard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gold standard ({} accounts: {} inactive / {} fake / {} genuine)",
+            self.len(),
+            self.count_of(TrueClass::Inactive),
+            self.count_of(TrueClass::Fake),
+            self.count_of(TrueClass::Genuine)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn now() -> SimTime {
+        archetype::recommended_audit_time()
+    }
+
+    #[test]
+    fn balanced_generation() {
+        let g = GoldStandard::generate(1, 40, now());
+        assert_eq!(g.len(), 120);
+        for class in TrueClass::ALL {
+            assert_eq!(g.count_of(class), 40);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = GoldStandard::generate(5, 10, now());
+        let b = GoldStandard::generate(5, 10, now());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GoldStandard::generate(5, 10, now());
+        let b = GoldStandard::generate(6, 10, now());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn split_is_roughly_balanced() {
+        let g = GoldStandard::generate(2, 30, now());
+        let (train, test) = g.split(0.7);
+        assert_eq!(train.len() + test.len(), 90);
+        assert_eq!(train.len(), 63);
+        for class in TrueClass::ALL {
+            let k = train.iter().filter(|a| a.class == class).count();
+            assert!((19..=23).contains(&k), "class {class}: {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction must be in (0, 1)")]
+    fn split_rejects_bad_fraction() {
+        GoldStandard::generate(1, 5, now()).split(1.0);
+    }
+
+    #[test]
+    fn display_counts() {
+        let g = GoldStandard::generate(1, 3, now());
+        let s = g.to_string();
+        assert!(s.contains("9 accounts"));
+    }
+}

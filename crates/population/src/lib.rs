@@ -1,0 +1,32 @@
+//! Synthetic account population generator with ground-truth labels.
+//!
+//! The paper audited 20 real Twitter targets whose true fake/inactive mixes
+//! are unknowable; this crate replaces them with generated targets whose
+//! every follower carries a hidden [`archetype::TrueClass`] label (DESIGN.md
+//! §2). That lets the reproduction do something the paper could not: score
+//! each analytics tool against ground truth.
+//!
+//! * [`archetype`] — behavioural account archetypes (genuine, fake,
+//!   inactive) and the per-class profile/timeline generators;
+//! * [`mix`] — class-mix fractions with validation;
+//! * [`scenario`] — target-account builders: organic growth, purchased
+//!   fake-follower bursts, abandoned accounts, recency-stratified class
+//!   placement;
+//! * [`goldstandard`] — labelled datasets for training and evaluating the
+//!   Fake Project classifier (§III);
+//! * [`testbed`] — the paper's experimental testbed: the 20 Table III
+//!   targets (low/average/high classes) and the 13 Table II accounts, with
+//!   per-target mixes calibrated so the FC row approximates the paper's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archetype;
+pub mod goldstandard;
+pub mod mix;
+pub mod scenario;
+pub mod testbed;
+
+pub use archetype::TrueClass;
+pub use mix::ClassMix;
+pub use scenario::{BuiltTarget, TargetScenario};

@@ -1,0 +1,225 @@
+//! Class-mix fractions.
+
+use crate::archetype::TrueClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A ground-truth class mix: fractions of inactive, fake and genuine
+/// followers. Fractions must be non-negative and sum to 1 (±1e-6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassMix {
+    inactive: f64,
+    fake: f64,
+    genuine: f64,
+}
+
+/// Error returned when mix fractions are invalid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidMix {
+    /// The offending sum of the three fractions.
+    pub sum: f64,
+}
+
+impl fmt::Display for InvalidMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "class fractions must be non-negative and sum to 1, got sum {}",
+            self.sum
+        )
+    }
+}
+
+impl std::error::Error for InvalidMix {}
+
+impl ClassMix {
+    /// Creates a mix from `(inactive, fake, genuine)` fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidMix`] if any fraction is negative/non-finite or the
+    /// sum deviates from 1 by more than 1e-6.
+    ///
+    /// ```
+    /// use fakeaudit_population::ClassMix;
+    /// // @RobDWaller in Table III under FC: 25% inactive, 1.4% fake.
+    /// let mix = ClassMix::new(0.25, 0.014, 0.736)?;
+    /// assert_eq!(mix.genuine(), 0.736);
+    /// # Ok::<(), fakeaudit_population::mix::InvalidMix>(())
+    /// ```
+    pub fn new(inactive: f64, fake: f64, genuine: f64) -> Result<Self, InvalidMix> {
+        let parts = [inactive, fake, genuine];
+        let sum: f64 = parts.iter().sum();
+        if parts.iter().any(|p| !p.is_finite() || *p < 0.0) || (sum - 1.0).abs() > 1e-6 {
+            return Err(InvalidMix { sum });
+        }
+        Ok(Self {
+            inactive,
+            fake,
+            genuine,
+        })
+    }
+
+    /// Creates a mix from percentages (as Table III prints them), e.g.
+    /// `from_percentages(25.0, 1.4, 73.6)`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ClassMix::new`].
+    pub fn from_percentages(inactive: f64, fake: f64, genuine: f64) -> Result<Self, InvalidMix> {
+        Self::new(inactive / 100.0, fake / 100.0, genuine / 100.0)
+    }
+
+    /// An all-genuine mix.
+    pub fn all_genuine() -> Self {
+        Self {
+            inactive: 0.0,
+            fake: 0.0,
+            genuine: 1.0,
+        }
+    }
+
+    /// Fraction of inactive followers.
+    pub fn inactive(&self) -> f64 {
+        self.inactive
+    }
+
+    /// Fraction of fake followers.
+    pub fn fake(&self) -> f64 {
+        self.fake
+    }
+
+    /// Fraction of genuine followers.
+    pub fn genuine(&self) -> f64 {
+        self.genuine
+    }
+
+    /// The fraction for `class`.
+    pub fn fraction(&self, class: TrueClass) -> f64 {
+        match class {
+            TrueClass::Inactive => self.inactive,
+            TrueClass::Fake => self.fake,
+            TrueClass::Genuine => self.genuine,
+        }
+    }
+
+    /// Exact per-class counts for a population of `n`, using largest-
+    /// remainder rounding so the counts always sum to `n`.
+    pub fn counts(&self, n: usize) -> [(TrueClass, usize); 3] {
+        let raw = [
+            (TrueClass::Inactive, self.inactive * n as f64),
+            (TrueClass::Fake, self.fake * n as f64),
+            (TrueClass::Genuine, self.genuine * n as f64),
+        ];
+        let mut counts: Vec<(TrueClass, usize, f64)> = raw
+            .iter()
+            .map(|&(c, x)| (c, x.floor() as usize, x - x.floor()))
+            .collect();
+        let assigned: usize = counts.iter().map(|&(_, k, _)| k).sum();
+        let mut remainder = n - assigned;
+        // Largest remainders first; ties broken by class order for
+        // determinism.
+        counts.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite fractions"));
+        for entry in counts.iter_mut() {
+            if remainder == 0 {
+                break;
+            }
+            entry.1 += 1;
+            remainder -= 1;
+        }
+        let get = |class: TrueClass| {
+            counts
+                .iter()
+                .find(|&&(c, _, _)| c == class)
+                .map(|&(_, k, _)| k)
+                .expect("all classes present")
+        };
+        [
+            (TrueClass::Inactive, get(TrueClass::Inactive)),
+            (TrueClass::Fake, get(TrueClass::Fake)),
+            (TrueClass::Genuine, get(TrueClass::Genuine)),
+        ]
+    }
+}
+
+impl fmt::Display for ClassMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inactive {:.1}% / fake {:.1}% / genuine {:.1}%",
+            self.inactive * 100.0,
+            self.fake * 100.0,
+            self.genuine * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_mix() {
+        let m = ClassMix::new(0.3, 0.2, 0.5).unwrap();
+        assert_eq!(m.inactive(), 0.3);
+        assert_eq!(m.fake(), 0.2);
+        assert_eq!(m.genuine(), 0.5);
+        assert_eq!(m.fraction(TrueClass::Fake), 0.2);
+    }
+
+    #[test]
+    fn rejects_bad_sum() {
+        assert!(ClassMix::new(0.5, 0.5, 0.5).is_err());
+        assert!(ClassMix::new(0.1, 0.1, 0.1).is_err());
+    }
+
+    #[test]
+    fn rejects_negative() {
+        assert!(ClassMix::new(-0.1, 0.6, 0.5).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(ClassMix::new(f64::NAN, 0.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn from_percentages_scales() {
+        let m = ClassMix::from_percentages(25.0, 1.4, 73.6).unwrap();
+        assert!((m.fake() - 0.014).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_sum_to_n() {
+        let m = ClassMix::from_percentages(33.3, 33.3, 33.4).unwrap();
+        for n in [0usize, 1, 2, 3, 10, 101, 9_604] {
+            let total: usize = m.counts(n).iter().map(|&(_, k)| k).sum();
+            assert_eq!(total, n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn counts_match_fractions() {
+        let m = ClassMix::new(0.25, 0.014, 0.736).unwrap();
+        let counts = m.counts(10_000);
+        let find = |c: TrueClass| counts.iter().find(|&&(x, _)| x == c).unwrap().1;
+        assert_eq!(find(TrueClass::Inactive), 2_500);
+        assert_eq!(find(TrueClass::Fake), 140);
+        assert_eq!(find(TrueClass::Genuine), 7_360);
+    }
+
+    #[test]
+    fn all_genuine_shortcut() {
+        let m = ClassMix::all_genuine();
+        assert_eq!(m.genuine(), 1.0);
+        assert_eq!(m.counts(5)[2], (TrueClass::Genuine, 5));
+    }
+
+    #[test]
+    fn display_percentages() {
+        let m = ClassMix::new(0.25, 0.014, 0.736).unwrap();
+        let s = m.to_string();
+        assert!(s.contains("25.0%"));
+        assert!(s.contains("1.4%"));
+    }
+}

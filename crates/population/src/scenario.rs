@@ -1,0 +1,578 @@
+//! Target-account scenario builder.
+//!
+//! Builds an audited target inside a [`Platform`]: the target account plus a
+//! follower base with a configurable ground-truth [`ClassMix`] and a
+//! *recency structure* — fakes skewed towards the newest positions
+//! (purchased bursts arrive last), inactives towards the oldest (§IV-D:
+//! "new followers are less likely to be inactive than long-term
+//! followers"). The recency structure is exactly what makes the commercial
+//! tools' newest-prefix samples diverge from the population truth.
+
+use crate::archetype::{self, GeneratedAccount, TrueClass};
+use crate::mix::ClassMix;
+use fakeaudit_stats::rng::{rng_for, rng_for_indexed};
+use fakeaudit_twittersim::clock::{SimDuration, SimTime};
+use fakeaudit_twittersim::platform::PlatformError;
+use fakeaudit_twittersim::timeline::{TimelineModel, TimelineParams};
+use fakeaudit_twittersim::{AccountId, Platform, Profile};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How the target account itself behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetKind {
+    /// An active celebrity/politician account: thousands of tweets, tweeted
+    /// recently.
+    ActiveCelebrity,
+    /// An abandoned account (the @PC_Chiambretti pathology, §IV-D): a
+    /// handful of old tweets, then silence.
+    Abandoned,
+}
+
+/// Declarative description of an audited target. Construct with
+/// [`TargetScenario::new`], customise with the builder methods, then call
+/// [`TargetScenario::build`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetScenario {
+    screen_name: String,
+    materialized_followers: usize,
+    nominal_followers: Option<u64>,
+    mix: ClassMix,
+    fake_recency_bias: f64,
+    inactive_staleness_bias: f64,
+    growth_span: SimDuration,
+    kind: TargetKind,
+}
+
+impl TargetScenario {
+    /// Creates a scenario for `screen_name` with `followers` materialised
+    /// followers and ground-truth mix `mix`.
+    ///
+    /// Defaults: fakes moderately recency-skewed (bias 3), inactives
+    /// moderately stale-skewed (bias 3), growth over 1000 days, active
+    /// celebrity target.
+    pub fn new(screen_name: impl Into<String>, followers: usize, mix: ClassMix) -> Self {
+        Self {
+            screen_name: screen_name.into(),
+            materialized_followers: followers,
+            nominal_followers: None,
+            mix,
+            fake_recency_bias: 3.0,
+            inactive_staleness_bias: 3.0,
+            growth_span: SimDuration::from_days(1_000),
+            kind: TargetKind::ActiveCelebrity,
+        }
+    }
+
+    /// Pins the target's public follower count to `nominal` while only
+    /// materialising the configured number (scale substitution for
+    /// multi-million-follower targets).
+    pub fn nominal_followers(mut self, nominal: u64) -> Self {
+        self.nominal_followers = Some(nominal);
+        self
+    }
+
+    /// Sets how strongly fakes concentrate among the newest followers.
+    /// `1.0` = no skew (uniform over positions); larger values push the
+    /// fake mass towards the head of the API list. Typical purchased-burst
+    /// targets use 5–20.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bias >= 1.0` and finite.
+    pub fn fake_recency_bias(mut self, bias: f64) -> Self {
+        assert!(bias >= 1.0 && bias.is_finite(), "bias must be >= 1");
+        self.fake_recency_bias = bias;
+        self
+    }
+
+    /// Sets how strongly inactives concentrate among the oldest followers.
+    /// `1.0` = no skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bias >= 1.0` and finite.
+    pub fn inactive_staleness_bias(mut self, bias: f64) -> Self {
+        assert!(bias >= 1.0 && bias.is_finite(), "bias must be >= 1");
+        self.inactive_staleness_bias = bias;
+        self
+    }
+
+    /// Sets the period over which the follower base accumulated.
+    pub fn growth_span(mut self, span: SimDuration) -> Self {
+        self.growth_span = span;
+        self
+    }
+
+    /// Sets the target's own behaviour.
+    pub fn kind(mut self, kind: TargetKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// The configured screen name.
+    pub fn screen_name(&self) -> &str {
+        &self.screen_name
+    }
+
+    /// Builds the scenario into `platform`, advancing its clock to the
+    /// audit time (at least [`archetype::recommended_audit_time`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlatformError`] (e.g. duplicate screen names across
+    /// scenarios sharing a platform).
+    pub fn build(&self, platform: &mut Platform, seed: u64) -> Result<BuiltTarget, PlatformError> {
+        let n = self.materialized_followers;
+        let growth = SimDuration::from_secs(self.growth_span.as_secs().max(n as u64));
+        let audit_time = {
+            let earliest = archetype::recommended_audit_time();
+            let after_growth = platform.now() + growth;
+            if after_growth > earliest {
+                after_growth
+            } else {
+                earliest
+            }
+        };
+        let start_time = SimTime::from_secs(audit_time.as_secs() - growth.as_secs() as i64);
+
+        // 1. Register the target.
+        let target_profile = self.target_profile(seed, audit_time);
+        let target_timeline = self.target_timeline(seed, audit_time);
+        let target = platform.register(target_profile, target_timeline)?;
+
+        // 2. Assign classes to positions (0 = oldest … n-1 = newest) with
+        //    the recency skews, using exact per-class counts.
+        let assignment = self.assign_positions(seed, n);
+
+        // 3. Generate + register followers and follow in time order.
+        let mut followers = Vec::with_capacity(n);
+        for (i, &class) in assignment.iter().enumerate() {
+            let mut rng = rng_for_indexed(seed, "follower", i as u64);
+            let name = format!("{}_f{}", self.screen_name, i);
+            let mut acc: GeneratedAccount = archetype::generate(&mut rng, class, name, audit_time);
+            // Follow time for position i: evenly spread over the growth
+            // span, newest position following last.
+            let follow_at = SimTime::from_secs(
+                start_time.as_secs() + ((i as u64 + 1) * growth.as_secs() / n.max(1) as u64) as i64,
+            );
+            // An account cannot follow before it exists; shift creation
+            // back when the archetype drew a post-follow creation date.
+            if acc.profile.created_at > follow_at {
+                acc.profile.created_at = SimTime::from_secs(follow_at.as_secs() - 86_400);
+            }
+            if platform.now() < follow_at {
+                platform.advance_clock(follow_at - platform.now());
+            }
+            let id = platform.register(acc.profile, acc.timeline)?;
+            platform.follow(id, target)?;
+            followers.push((id, class));
+        }
+        if platform.now() < audit_time {
+            platform.advance_clock(audit_time - platform.now());
+        }
+
+        // 4. Scale substitution.
+        if let Some(nominal) = self.nominal_followers {
+            platform.pin_followers_count(target, nominal)?;
+        }
+
+        let truth: HashMap<AccountId, TrueClass> = followers.iter().copied().collect();
+        Ok(BuiltTarget {
+            target,
+            screen_name: self.screen_name.clone(),
+            followers_oldest_first: followers,
+            truth,
+            audit_time,
+        })
+    }
+
+    fn target_profile(&self, seed: u64, audit_time: SimTime) -> Profile {
+        let mut rng = rng_for(seed, "target-profile");
+        let created_at = SimTime::from_secs(
+            audit_time.as_secs()
+                - SimDuration::from_days(rng.gen_range(800..2_500)).as_secs() as i64,
+        );
+        let mut p = Profile::new(self.screen_name.clone(), created_at);
+        p.friends_count = rng.gen_range(50..2_000);
+        p.default_profile_image = false;
+        p.has_bio = true;
+        p.has_location = true;
+        p
+    }
+
+    fn target_timeline(&self, seed: u64, audit_time: SimTime) -> TimelineModel {
+        let mut rng = rng_for(seed, "target-timeline");
+        match self.kind {
+            TargetKind::ActiveCelebrity => TimelineModel::new(
+                TimelineParams {
+                    statuses_count: rng.gen_range(1_500..12_000),
+                    first_tweet_at: SimTime::from_secs(
+                        audit_time.as_secs() - SimDuration::from_days(700).as_secs() as i64,
+                    ),
+                    last_tweet_at: SimTime::from_secs(audit_time.as_secs() - 3_600),
+                    retweet_frac: 0.1,
+                    link_frac: 0.3,
+                    spam_frac: 0.0,
+                    duplicate_frac: 0.0,
+                    // Celebrity accounts are run through scheduling tools
+                    // by their staff — a legitimate "cyborg" pattern.
+                    automated_frac: 0.3,
+                },
+                rng.gen(),
+            ),
+            TargetKind::Abandoned => TimelineModel::new(
+                TimelineParams {
+                    statuses_count: rng.gen_range(5..20),
+                    first_tweet_at: SimTime::from_secs(
+                        audit_time.as_secs() - SimDuration::from_days(900).as_secs() as i64,
+                    ),
+                    last_tweet_at: SimTime::from_secs(
+                        audit_time.as_secs() - SimDuration::from_days(700).as_secs() as i64,
+                    ),
+                    retweet_frac: 0.0,
+                    link_frac: 0.2,
+                    spam_frac: 0.0,
+                    duplicate_frac: 0.0,
+                    automated_frac: 0.1,
+                },
+                rng.gen(),
+            ),
+        }
+    }
+
+    /// Assigns classes to follow positions with the recency skews. Each
+    /// class instance draws a position score in `[0, 1]` (0 = oldest); fakes
+    /// draw `u^(1/bias)` (skewed to 1 = newest), inactives `u^bias` (skewed
+    /// to 0), genuine uniform. Sorting by score yields the position order.
+    fn assign_positions(&self, seed: u64, n: usize) -> Vec<TrueClass> {
+        let mut rng = rng_for(seed, "positions");
+        let mut scored: Vec<(f64, TrueClass)> = Vec::with_capacity(n);
+        for (class, count) in self.mix.counts(n) {
+            for _ in 0..count {
+                let u: f64 = rng.gen();
+                let score = match class {
+                    TrueClass::Fake => u.powf(1.0 / self.fake_recency_bias),
+                    TrueClass::Inactive => u.powf(self.inactive_staleness_bias),
+                    TrueClass::Genuine => u,
+                };
+                scored.push((score, class));
+            }
+        }
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+        scored.into_iter().map(|(_, c)| c).collect()
+    }
+}
+
+/// A target built into a platform, with its hidden ground truth.
+#[derive(Debug, Clone)]
+pub struct BuiltTarget {
+    /// The audited account.
+    pub target: AccountId,
+    /// Its screen name.
+    pub screen_name: String,
+    /// Followers in follow order (oldest first) with their hidden labels.
+    pub followers_oldest_first: Vec<(AccountId, TrueClass)>,
+    truth: HashMap<AccountId, TrueClass>,
+    /// The time at which audits run (platform clock after build).
+    pub audit_time: SimTime,
+}
+
+impl BuiltTarget {
+    /// The hidden label of `id`, if it is a follower of this target.
+    pub fn ground_truth(&self, id: AccountId) -> Option<TrueClass> {
+        self.truth.get(&id).copied()
+    }
+
+    /// Number of materialised followers.
+    pub fn follower_count(&self) -> usize {
+        self.followers_oldest_first.len()
+    }
+
+    /// The realised ground-truth mix over materialised followers.
+    pub fn true_mix(&self) -> ClassMix {
+        let n = self.follower_count().max(1) as f64;
+        let count = |c: TrueClass| {
+            self.followers_oldest_first
+                .iter()
+                .filter(|&&(_, x)| x == c)
+                .count() as f64
+        };
+        ClassMix::new(
+            count(TrueClass::Inactive) / n,
+            count(TrueClass::Fake) / n,
+            count(TrueClass::Genuine) / n,
+        )
+        .expect("counts always form a valid mix")
+    }
+
+    /// Hidden labels in API order (newest first).
+    pub fn classes_newest_first(&self) -> Vec<TrueClass> {
+        self.followers_oldest_first
+            .iter()
+            .rev()
+            .map(|&(_, c)| c)
+            .collect()
+    }
+}
+
+impl fmt::Display for BuiltTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "@{} ({} materialised followers, truth: {})",
+            self.screen_name,
+            self.follower_count(),
+            self.true_mix()
+        )
+    }
+}
+
+/// Grows `target`'s follower base organically for `days` simulated days,
+/// adding `per_day` genuine/inactive followers each day. Returns the ids
+/// added per day, for snapshot experiments (E1).
+///
+/// # Errors
+///
+/// Propagates [`PlatformError`] from registrations and follows.
+pub fn grow_organic_daily(
+    platform: &mut Platform,
+    target: AccountId,
+    days: u32,
+    per_day: u32,
+    seed: u64,
+) -> Result<Vec<Vec<AccountId>>, PlatformError> {
+    let mut added = Vec::with_capacity(days as usize);
+    let mut counter = 0u64;
+    for day in 0..days {
+        platform.advance_clock(SimDuration::from_days(1));
+        let mut today = Vec::with_capacity(per_day as usize);
+        for _ in 0..per_day {
+            let mut rng = rng_for_indexed(seed, "organic", (u64::from(day) << 32) | counter);
+            counter += 1;
+            let class = if rng.gen::<f64>() < 0.85 {
+                TrueClass::Genuine
+            } else {
+                TrueClass::Inactive
+            };
+            let now = platform.now();
+            // account_count() is strictly increasing, so names stay unique
+            // across repeated grow calls on the same platform.
+            let mut acc = archetype::generate(
+                &mut rng,
+                class,
+                format!("organic_{target}_{}", platform.account_count()),
+                now,
+            );
+            if acc.profile.created_at > now {
+                acc.profile.created_at = now;
+            }
+            let id = platform.register(acc.profile, acc.timeline)?;
+            platform.follow(id, target)?;
+            today.push(id);
+        }
+        added.push(today);
+    }
+    Ok(added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> ClassMix {
+        ClassMix::new(0.3, 0.2, 0.5).unwrap()
+    }
+
+    fn build(n: usize) -> (Platform, BuiltTarget) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("celeb", n, mix())
+            .build(&mut platform, 7)
+            .unwrap();
+        (platform, t)
+    }
+
+    #[test]
+    fn build_materialises_requested_followers() {
+        let (platform, t) = build(500);
+        assert_eq!(t.follower_count(), 500);
+        assert_eq!(platform.materialized_follower_count(t.target), 500);
+        assert_eq!(platform.profile(t.target).unwrap().followers_count, 500);
+    }
+
+    #[test]
+    fn true_mix_matches_request_exactly() {
+        let (_, t) = build(1_000);
+        let m = t.true_mix();
+        assert!((m.inactive() - 0.3).abs() < 1e-9);
+        assert!((m.fake() - 0.2).abs() < 1e-9);
+        assert!((m.genuine() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ground_truth_lookup() {
+        let (_, t) = build(100);
+        let (id, class) = t.followers_oldest_first[0];
+        assert_eq!(t.ground_truth(id), Some(class));
+        assert_eq!(t.ground_truth(AccountId(999_999)), None);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (_, a) = build(200);
+        let (_, b) = build(200);
+        assert_eq!(a.followers_oldest_first, b.followers_oldest_first);
+        assert_eq!(a.audit_time, b.audit_time);
+    }
+
+    #[test]
+    fn fakes_concentrate_at_head_of_api_list() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("burst", 2_000, ClassMix::new(0.2, 0.3, 0.5).unwrap())
+            .fake_recency_bias(10.0)
+            .build(&mut platform, 3)
+            .unwrap();
+        let classes = t.classes_newest_first();
+        let head_fakes = classes[..200]
+            .iter()
+            .filter(|&&c| c == TrueClass::Fake)
+            .count();
+        let tail_fakes = classes[1_800..]
+            .iter()
+            .filter(|&&c| c == TrueClass::Fake)
+            .count();
+        assert!(
+            head_fakes > tail_fakes * 3,
+            "head {head_fakes} vs tail {tail_fakes}"
+        );
+    }
+
+    #[test]
+    fn inactives_concentrate_at_tail_of_api_list() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("stale", 2_000, ClassMix::new(0.4, 0.1, 0.5).unwrap())
+            .inactive_staleness_bias(6.0)
+            .build(&mut platform, 4)
+            .unwrap();
+        let classes = t.classes_newest_first();
+        let head_inact = classes[..200]
+            .iter()
+            .filter(|&&c| c == TrueClass::Inactive)
+            .count();
+        let tail_inact = classes[1_800..]
+            .iter()
+            .filter(|&&c| c == TrueClass::Inactive)
+            .count();
+        assert!(
+            tail_inact > head_inact * 3,
+            "head {head_inact} vs tail {tail_inact}"
+        );
+    }
+
+    #[test]
+    fn no_bias_means_roughly_uniform_placement() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("uni", 3_000, ClassMix::new(0.0, 0.5, 0.5).unwrap())
+            .fake_recency_bias(1.0)
+            .build(&mut platform, 5)
+            .unwrap();
+        let classes = t.classes_newest_first();
+        let head = classes[..300]
+            .iter()
+            .filter(|&&c| c == TrueClass::Fake)
+            .count();
+        let tail = classes[2_700..]
+            .iter()
+            .filter(|&&c| c == TrueClass::Fake)
+            .count();
+        let ratio = head as f64 / tail.max(1) as f64;
+        assert!((0.6..1.7).contains(&ratio), "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn nominal_followers_are_pinned() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("obama", 1_000, mix())
+            .nominal_followers(41_000_000)
+            .build(&mut platform, 6)
+            .unwrap();
+        assert_eq!(
+            platform.profile(t.target).unwrap().followers_count,
+            41_000_000
+        );
+        assert_eq!(platform.materialized_follower_count(t.target), 1_000);
+    }
+
+    #[test]
+    fn follow_times_are_monotone_and_span_growth() {
+        let (platform, t) = build(300);
+        let edges = platform.graph().followers_oldest_first(t.target);
+        for w in edges.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(edges.last().unwrap().at <= t.audit_time);
+    }
+
+    #[test]
+    fn abandoned_target_profile() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("ghost", 50, mix())
+            .kind(TargetKind::Abandoned)
+            .build(&mut platform, 8)
+            .unwrap();
+        let p = platform.profile(t.target).unwrap();
+        assert!(p.statuses_count < 20);
+        // Last tweet long before the audit: presents inactive.
+        assert!(archetype::presents_inactive(p, t.audit_time));
+    }
+
+    #[test]
+    fn two_scenarios_share_a_platform() {
+        let mut platform = Platform::new();
+        let a = TargetScenario::new("one", 100, mix())
+            .build(&mut platform, 1)
+            .unwrap();
+        let b = TargetScenario::new("two", 100, mix())
+            .build(&mut platform, 2)
+            .unwrap();
+        assert_ne!(a.target, b.target);
+        assert_eq!(platform.materialized_follower_count(a.target), 100);
+        assert_eq!(platform.materialized_follower_count(b.target), 100);
+    }
+
+    #[test]
+    fn duplicate_screen_names_error() {
+        let mut platform = Platform::new();
+        TargetScenario::new("same", 10, mix())
+            .build(&mut platform, 1)
+            .unwrap();
+        assert!(matches!(
+            TargetScenario::new("same", 10, mix()).build(&mut platform, 2),
+            Err(PlatformError::DuplicateScreenName(_))
+        ));
+    }
+
+    #[test]
+    fn organic_growth_appends_daily() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("grow", 100, mix())
+            .build(&mut platform, 9)
+            .unwrap();
+        let added = grow_organic_daily(&mut platform, t.target, 5, 10, 11).unwrap();
+        assert_eq!(added.len(), 5);
+        assert!(added.iter().all(|day| day.len() == 10));
+        assert_eq!(platform.materialized_follower_count(t.target), 150);
+        // Newest-first list starts with the last day's additions.
+        let api = platform.followers_newest_first(t.target);
+        let last_day: std::collections::HashSet<_> = added[4].iter().copied().collect();
+        assert!(api[..10].iter().all(|id| last_day.contains(id)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be >= 1")]
+    fn rejects_sub_one_bias() {
+        TargetScenario::new("x", 10, mix()).fake_recency_bias(0.5);
+    }
+}

@@ -1,0 +1,577 @@
+//! The paper's experimental testbed (§IV-A).
+//!
+//! Twenty targets in three classes: **low** (≤ 10 K followers — the
+//! analytics developers' own accounts), **average** (the thirteen Italian
+//! celebrities of Table II), and **high** (three politicians). Every target
+//! carries the paper's published numbers (FC / Twitteraudit / StatusPeople /
+//! Socialbakers rows of Table III, response times of Table II) so the bench
+//! harness can print paper-vs-measured side by side.
+//!
+//! # Calibration
+//!
+//! We set each synthetic target's ground-truth mix to the paper's FC row
+//! (the only statistically sound measurement available) and calibrate the
+//! *recency structure* from the published prefix-window observations: the
+//! fake-recency bias is solved from the head-window fake share the
+//! commercial tools reported, the staleness bias from the ratio of FC to
+//! StatusPeople inactive shares. The commercial tools' outputs are then
+//! **emergent** — produced by running their documented methodologies, not
+//! copied from the paper.
+
+use crate::mix::ClassMix;
+use crate::scenario::{TargetKind, TargetScenario};
+use serde::{Deserialize, Serialize};
+
+/// Follower-count class of a target (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FollowerClass {
+    /// 10 K followers or fewer.
+    Low,
+    /// Tens of thousands of followers (the thirteen Italian accounts).
+    Average,
+    /// Hundreds of thousands to millions.
+    High,
+}
+
+/// Percentages `(inactive, fake, genuine)` as printed in Table III.
+pub type Row3 = (f64, f64, f64);
+
+/// Response times in seconds from Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperResponseTimes {
+    /// Fake Project classifier.
+    pub fc: f64,
+    /// Twitteraudit.
+    pub ta: f64,
+    /// StatusPeople.
+    pub sp: f64,
+    /// Socialbakers.
+    pub sb: f64,
+}
+
+/// One target of the paper's testbed with all published measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PaperTarget {
+    /// Screen name (without `@`).
+    pub screen_name: &'static str,
+    /// Follower count as published.
+    pub followers: u64,
+    /// Low / average / high class.
+    pub class: FollowerClass,
+    /// Table III FC row: (inactive %, fake %, genuine %).
+    pub fc: Row3,
+    /// Table III Twitteraudit row: (fake %, genuine %) — TA has no
+    /// inactive bucket.
+    pub ta: (f64, f64),
+    /// Table III StatusPeople row.
+    pub sp: Row3,
+    /// Table III Socialbakers row.
+    pub sb: Row3,
+    /// Table II response times (the thirteen average-class accounts only).
+    pub response: Option<PaperResponseTimes>,
+    /// Whether Twitteraudit served a cached result in Table II.
+    pub ta_cached: bool,
+    /// Whether StatusPeople served a cached result in Table II.
+    pub sp_cached: bool,
+    /// Whether the account itself is abandoned (the @PC_Chiambretti case).
+    pub abandoned: bool,
+}
+
+const fn t2(fc: f64, ta: f64, sp: f64, sb: f64) -> Option<PaperResponseTimes> {
+    Some(PaperResponseTimes { fc, ta, sp, sb })
+}
+
+/// The twenty targets of Tables II and III, in the paper's row order.
+pub const PAPER_TARGETS: &[PaperTarget] = &[
+    PaperTarget {
+        screen_name: "RobDWaller",
+        followers: 929,
+        class: FollowerClass::Low,
+        fc: (25.0, 1.4, 73.6),
+        ta: (7.0, 93.0),
+        sp: (28.0, 0.0, 72.0),
+        sb: (0.0, 0.0, 100.0),
+        response: None,
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "davc",
+        followers: 2_971,
+        class: FollowerClass::Low,
+        fc: (13.5, 4.1, 82.4),
+        ta: (14.0, 86.0),
+        sp: (26.0, 3.0, 71.0),
+        sb: (0.0, 4.0, 96.0),
+        response: None,
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "grossnasty",
+        followers: 3_344,
+        class: FollowerClass::Low,
+        fc: (12.9, 4.0, 83.1),
+        ta: (4.0, 96.0),
+        sp: (26.0, 3.0, 71.0),
+        sb: (0.0, 2.0, 98.0),
+        response: None,
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "janrezab",
+        followers: 10_800,
+        class: FollowerClass::Low,
+        fc: (18.4, 2.2, 79.4),
+        ta: (11.0, 89.0),
+        sp: (27.0, 3.0, 70.0),
+        sb: (2.0, 2.0, 96.0),
+        response: None,
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "giovanniallevi",
+        followers: 13_900,
+        class: FollowerClass::Average,
+        fc: (44.3, 9.9, 45.8),
+        ta: (34.0, 66.0),
+        sp: (58.0, 18.0, 24.0),
+        sb: (5.0, 27.0, 68.0),
+        response: t2(187.0, 55.0, 27.0, 12.0),
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "StefanoBollani",
+        followers: 22_300,
+        class: FollowerClass::Average,
+        fc: (27.8, 12.8, 59.4),
+        ta: (29.0, 71.0),
+        sp: (49.0, 11.0, 40.0),
+        sb: (12.0, 11.0, 77.0),
+        response: t2(188.0, 52.0, 22.0, 11.0),
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "Federugby",
+        followers: 30_300,
+        class: FollowerClass::Average,
+        fc: (46.5, 15.5, 38.0),
+        ta: (42.0, 58.0),
+        sp: (51.0, 33.0, 16.0),
+        sb: (9.0, 33.0, 58.0),
+        response: t2(193.0, 40.0, 31.0, 13.0),
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "Zerolandia",
+        followers: 33_500,
+        class: FollowerClass::Average,
+        fc: (69.2, 7.3, 23.5),
+        ta: (63.0, 37.0),
+        sp: (55.0, 35.0, 10.0),
+        sb: (24.0, 25.0, 51.0),
+        response: t2(193.0, 51.0, 32.0, 9.0),
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "pinucciotwit",
+        followers: 35_500,
+        class: FollowerClass::Average,
+        fc: (30.0, 6.3, 63.7),
+        ta: (28.0, 72.0),
+        sp: (25.0, 13.0, 62.0),
+        sb: (7.0, 15.0, 78.0),
+        response: t2(192.0, 3.0, 2.0, 13.0),
+        ta_cached: true,
+        sp_cached: true,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "mvbrambilla",
+        followers: 36_900,
+        class: FollowerClass::Average,
+        fc: (75.7, 6.5, 17.8),
+        ta: (47.0, 53.0),
+        sp: (42.0, 30.0, 28.0),
+        sb: (9.0, 34.0, 57.0),
+        response: t2(188.0, 45.0, 2.0, 8.0),
+        ta_cached: false,
+        sp_cached: true,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "PChiambretti",
+        followers: 40_500,
+        class: FollowerClass::Average,
+        fc: (31.6, 21.7, 46.7),
+        ta: (36.0, 64.0),
+        sp: (56.0, 22.0, 22.0),
+        sb: (13.0, 19.0, 68.0),
+        response: t2(198.0, 45.0, 23.0, 9.0),
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "pierofassino",
+        followers: 61_500,
+        class: FollowerClass::Average,
+        fc: (77.9, 4.6, 17.5),
+        ta: (46.0, 54.0),
+        sp: (39.0, 39.0, 22.0),
+        sb: (14.0, 31.0, 55.0),
+        response: t2(203.0, 52.0, 3.0, 10.0),
+        ta_cached: false,
+        sp_cached: true,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "Lbarriales",
+        followers: 69_900,
+        class: FollowerClass::Average,
+        fc: (49.5, 20.6, 29.9),
+        ta: (48.0, 52.0),
+        sp: (57.0, 32.0, 11.0),
+        sb: (13.0, 21.0, 66.0),
+        response: t2(212.0, 50.0, 27.0, 9.0),
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "PC_Chiambretti",
+        followers: 70_900,
+        class: FollowerClass::Average,
+        fc: (97.0, 1.2, 1.8),
+        ta: (55.0, 45.0),
+        sp: (48.0, 44.0, 8.0),
+        sb: (17.0, 35.0, 48.0),
+        response: t2(214.0, 43.0, 31.0, 9.0),
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: true,
+    },
+    PaperTarget {
+        screen_name: "herbertballeri",
+        followers: 72_300,
+        class: FollowerClass::Average,
+        fc: (46.0, 10.4, 43.6),
+        ta: (48.0, 52.0),
+        sp: (56.0, 22.0, 22.0),
+        sb: (14.0, 20.0, 66.0),
+        response: t2(217.0, 54.0, 24.0, 10.0),
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "Flaviaventosole",
+        followers: 75_400,
+        class: FollowerClass::Average,
+        fc: (46.4, 12.8, 40.8),
+        ta: (39.0, 61.0),
+        sp: (46.0, 33.0, 21.0),
+        sb: (12.0, 29.0, 59.0),
+        response: t2(210.0, 49.0, 27.0, 9.0),
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "RudyZerbi",
+        followers: 79_700,
+        class: FollowerClass::Average,
+        fc: (83.8, 5.9, 10.3),
+        ta: (35.0, 65.0),
+        sp: (44.0, 33.0, 23.0),
+        sb: (8.0, 26.0, 66.0),
+        response: t2(216.0, 49.0, 26.0, 10.0),
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "David_Cameron",
+        followers: 595_000,
+        class: FollowerClass::High,
+        fc: (24.0, 11.7, 64.3),
+        ta: (19.5, 80.5),
+        sp: (17.0, 48.0, 35.0),
+        sb: (10.0, 14.0, 76.0),
+        response: None,
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "fhollande",
+        followers: 608_000,
+        class: FollowerClass::High,
+        fc: (63.6, 5.3, 31.1),
+        ta: (64.3, 35.7),
+        sp: (35.0, 44.0, 21.0),
+        sb: (44.0, 14.0, 42.0),
+        response: None,
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+    PaperTarget {
+        screen_name: "BarackObama",
+        followers: 41_000_000,
+        class: FollowerClass::High,
+        fc: (57.1, 8.5, 34.4),
+        ta: (51.2, 48.8),
+        sp: (40.0, 41.0, 19.0),
+        sb: (43.0, 12.0, 45.0),
+        response: None,
+        ta_cached: false,
+        sp_cached: false,
+        abandoned: false,
+    },
+];
+
+impl PaperTarget {
+    /// The ground-truth mix calibrated so that the FC engine's *measured*
+    /// row matches the paper's FC row.
+    ///
+    /// FC's inactivity-rule-first flow absorbs dormant fakes into its
+    /// inactive bucket: with a dormant-fake share `d`
+    /// ([`crate::archetype::DORMANT_FAKE_SHARE`]), FC reports
+    /// `fake = (1 − d)·fake_mix` and `inactive = inactive_mix + d·fake_mix`.
+    /// Inverting gives the generator mix; rounding slack folds into the
+    /// genuine fraction.
+    pub fn fc_mix(&self) -> ClassMix {
+        let (inact, fake, _) = self.fc;
+        let d = crate::archetype::DORMANT_FAKE_SHARE;
+        let fake_mix = (fake / (1.0 - d)).min(inact + fake);
+        let inactive_mix = (inact - fake_mix * d).max(0.0);
+        let genuine = (100.0 - inactive_mix - fake_mix).max(0.0);
+        ClassMix::from_percentages(inactive_mix, fake_mix, genuine)
+            .expect("paper rows are valid mixes")
+    }
+
+    /// Calibrates the fake-recency bias `k` so that the expected fake share
+    /// of the newest-`window` prefix matches `head_share` (the average fake
+    /// share the prefix-sampling tools reported). See module docs.
+    ///
+    /// With position scores `u^(1/k)`, the fraction of all fakes landing in
+    /// the newest `w` fraction of positions is `1 − (1 − w)^k`; the head
+    /// fake share is `fc_fake · (1 − (1 − w)^k) / w`. Solving for `k` and
+    /// clamping to `[1, 80]`.
+    pub fn calibrated_fake_bias(&self, window: usize) -> f64 {
+        let n = self.materialization_reference() as f64;
+        let w = (window as f64 / n).min(1.0);
+        let fc_fake = (self.fc.1 / 100.0).max(1e-4);
+        let head_share = (self.sp.1 + self.sb.1 + self.ta.0) / 3.0 / 100.0;
+        if w >= 1.0 || head_share <= fc_fake {
+            return 1.0;
+        }
+        let captured = (head_share * w / fc_fake).min(0.999_9);
+        let k = (1.0 - captured).ln() / (1.0 - w).ln();
+        k.clamp(1.0, 80.0)
+    }
+
+    /// Calibrates the inactive staleness bias `k'` from the ratio of FC's
+    /// inactive share to StatusPeople's (head-window) inactive share:
+    /// with scores `u^k'`, the head inactive share ≈ `fc_inactive / k'`.
+    pub fn calibrated_staleness_bias(&self) -> f64 {
+        let fc_inact = self.fc.0.max(1e-3);
+        let head_inact = self.sp.0.max(1.0);
+        (fc_inact / head_inact).clamp(1.0, 10.0)
+    }
+
+    /// The follower count the recency calibration refers to (the paper's
+    /// published count, before any materialisation cap).
+    fn materialization_reference(&self) -> u64 {
+        self.followers
+    }
+
+    /// Builds the [`TargetScenario`] for this target, materialising at most
+    /// `cap` followers (scale substitution; the nominal count is pinned when
+    /// capped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn scenario(&self, cap: usize) -> TargetScenario {
+        assert!(cap > 0, "materialisation cap must be positive");
+        let materialized = (self.followers as usize).min(cap);
+        // Calibrate against StatusPeople's 700-record window scaled to the
+        // materialised population so head shares survive the cap.
+        let window = ((700.0 / self.followers as f64) * materialized as f64).ceil() as usize;
+        let mut s = TargetScenario::new(self.screen_name, materialized, self.fc_mix())
+            .fake_recency_bias(self.calibrated_fake_bias(
+                window.max(1) * self.followers as usize / materialized.max(1),
+            ))
+            .inactive_staleness_bias(self.calibrated_staleness_bias());
+        if self.abandoned {
+            s = s.kind(TargetKind::Abandoned);
+        }
+        if (self.followers as usize) > cap {
+            s = s.nominal_followers(self.followers);
+        }
+        s
+    }
+
+    /// The thirteen Table II accounts, in row order.
+    pub fn table2_targets() -> Vec<&'static PaperTarget> {
+        PAPER_TARGETS
+            .iter()
+            .filter(|t| t.response.is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archetype::TrueClass;
+    use fakeaudit_twittersim::Platform;
+
+    #[test]
+    fn twenty_targets_in_three_classes() {
+        assert_eq!(PAPER_TARGETS.len(), 20);
+        let count = |c: FollowerClass| PAPER_TARGETS.iter().filter(|t| t.class == c).count();
+        assert_eq!(count(FollowerClass::Low), 4);
+        assert_eq!(count(FollowerClass::Average), 13);
+        assert_eq!(count(FollowerClass::High), 3);
+    }
+
+    #[test]
+    fn table2_has_thirteen_rows() {
+        let t2 = PaperTarget::table2_targets();
+        assert_eq!(t2.len(), 13);
+        assert!(t2.iter().all(|t| t.class == FollowerClass::Average));
+    }
+
+    #[test]
+    fn rows_are_valid_mixes() {
+        for t in PAPER_TARGETS {
+            let m = t.fc_mix();
+            assert!(m.genuine() >= 0.0, "@{}", t.screen_name);
+        }
+    }
+
+    #[test]
+    fn cached_rows_match_paper() {
+        let cached_sp: Vec<_> = PAPER_TARGETS
+            .iter()
+            .filter(|t| t.sp_cached)
+            .map(|t| t.screen_name)
+            .collect();
+        assert_eq!(
+            cached_sp,
+            vec!["pinucciotwit", "mvbrambilla", "pierofassino"]
+        );
+        let cached_ta: Vec<_> = PAPER_TARGETS
+            .iter()
+            .filter(|t| t.ta_cached)
+            .map(|t| t.screen_name)
+            .collect();
+        assert_eq!(cached_ta, vec!["pinucciotwit"]);
+    }
+
+    #[test]
+    fn fake_bias_is_stronger_when_tools_report_more_fakes() {
+        let pc = PAPER_TARGETS
+            .iter()
+            .find(|t| t.screen_name == "PC_Chiambretti")
+            .unwrap();
+        let rob = PAPER_TARGETS
+            .iter()
+            .find(|t| t.screen_name == "RobDWaller")
+            .unwrap();
+        assert!(pc.calibrated_fake_bias(700) > rob.calibrated_fake_bias(700));
+        assert!(pc.calibrated_fake_bias(700) > 10.0);
+    }
+
+    #[test]
+    fn staleness_bias_reflects_inactive_depletion() {
+        let mv = PAPER_TARGETS
+            .iter()
+            .find(|t| t.screen_name == "mvbrambilla")
+            .unwrap();
+        // FC 75.7 vs SP 42 → bias ≈ 1.8.
+        let k = mv.calibrated_staleness_bias();
+        assert!((1.5..2.2).contains(&k), "bias {k}");
+    }
+
+    #[test]
+    fn scenario_builds_with_cap() {
+        let obama = PAPER_TARGETS.last().unwrap();
+        assert_eq!(obama.screen_name, "BarackObama");
+        let mut platform = Platform::new();
+        let built = obama.scenario(2_000).build(&mut platform, 1).unwrap();
+        assert_eq!(built.follower_count(), 2_000);
+        assert_eq!(
+            platform.profile(built.target).unwrap().followers_count,
+            41_000_000
+        );
+        // Ground-truth mix is the dormant-corrected inversion of the FC
+        // row: fake_mix = 8.5/0.7, inactive_mix = 57.1 − 0.3·fake_mix.
+        let m = built.true_mix();
+        let fake_mix = 0.085 / 0.7;
+        assert!((m.fake() - fake_mix).abs() < 0.01, "{m}");
+        assert!(
+            (m.inactive() - (0.571 - 0.3 * fake_mix)).abs() < 0.01,
+            "{m}"
+        );
+    }
+
+    #[test]
+    fn scenario_without_cap_keeps_real_count() {
+        let rob = &PAPER_TARGETS[0];
+        let mut platform = Platform::new();
+        let built = rob.scenario(10_000).build(&mut platform, 1).unwrap();
+        assert_eq!(built.follower_count(), 929);
+        assert_eq!(platform.profile(built.target).unwrap().followers_count, 929);
+    }
+
+    #[test]
+    fn abandoned_flag_only_for_pc_chiambretti() {
+        let abandoned: Vec<_> = PAPER_TARGETS
+            .iter()
+            .filter(|t| t.abandoned)
+            .map(|t| t.screen_name)
+            .collect();
+        assert_eq!(abandoned, vec!["PC_Chiambretti"]);
+    }
+
+    #[test]
+    fn pc_chiambretti_head_is_fake_heavy() {
+        // The pathology of §IV-D: 97% inactive overall, but the newest
+        // window is dominated by fake/recent accounts.
+        let pc = PAPER_TARGETS
+            .iter()
+            .find(|t| t.screen_name == "PC_Chiambretti")
+            .unwrap();
+        let mut platform = Platform::new();
+        let built = pc.scenario(8_000).build(&mut platform, 2).unwrap();
+        let classes = built.classes_newest_first();
+        let window = 700 * 8_000 / 70_900; // SP window scaled to the cap
+        let head_inactive = classes[..window]
+            .iter()
+            .filter(|&&c| c == TrueClass::Inactive)
+            .count() as f64
+            / window as f64;
+        assert!(
+            head_inactive < 0.8,
+            "head inactive share {head_inactive} should be depleted vs 0.97"
+        );
+    }
+}

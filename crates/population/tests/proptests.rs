@@ -1,0 +1,100 @@
+//! Property-based tests for the population generator's invariants.
+
+use fakeaudit_population::archetype::{self, presents_inactive, TrueClass};
+use fakeaudit_population::{ClassMix, TargetScenario};
+use fakeaudit_stats::rng::rng_for_indexed;
+use fakeaudit_twittersim::Platform;
+use proptest::prelude::*;
+
+/// Valid class mixes via two cut points in [0, 1].
+fn mix_strategy() -> impl Strategy<Value = ClassMix> {
+    (0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        ClassMix::new(lo, hi - lo, 1.0 - hi).expect("cut points form a valid mix")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mix_counts_always_sum_to_n(mix in mix_strategy(), n in 0usize..5_000) {
+        let total: usize = mix.counts(n).iter().map(|&(_, k)| k).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn mix_counts_are_within_one_of_exact(mix in mix_strategy(), n in 1usize..5_000) {
+        for (class, count) in mix.counts(n) {
+            let exact = mix.fraction(class) * n as f64;
+            prop_assert!(
+                (count as f64 - exact).abs() < 1.0 + 1e-9,
+                "{class}: {count} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_accounts_honour_their_class(class_idx in 0usize..3, idx in 0u64..200) {
+        let class = TrueClass::ALL[class_idx];
+        let now = archetype::recommended_audit_time();
+        let mut rng = rng_for_indexed(77, "prop-arch", idx);
+        let acc = archetype::generate(&mut rng, class, format!("p{idx}"), now);
+        prop_assert_eq!(acc.class, class);
+        prop_assert_eq!(acc.profile.statuses_count, acc.timeline.statuses_count());
+        prop_assert!(acc.profile.created_at <= now);
+        match class {
+            TrueClass::Genuine => prop_assert!(!presents_inactive(&acc.profile, now)),
+            TrueClass::Inactive => prop_assert!(presents_inactive(&acc.profile, now)),
+            TrueClass::Fake => prop_assert!(acc.profile.following_follower_ratio() > 10.0),
+        }
+    }
+
+    #[test]
+    fn built_targets_realise_the_requested_mix(mix in mix_strategy(), n in 50usize..400) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("prop_target", n, mix)
+            .build(&mut platform, 5)
+            .unwrap();
+        prop_assert_eq!(t.follower_count(), n);
+        let realised = t.true_mix();
+        for class in TrueClass::ALL {
+            prop_assert!(
+                (realised.fraction(class) - mix.fraction(class)).abs() <= 1.0 / n as f64 + 1e-9,
+                "{class}: realised {} vs requested {}",
+                realised.fraction(class),
+                mix.fraction(class)
+            );
+        }
+    }
+
+    #[test]
+    fn follow_times_are_monotone_for_any_build(n in 10usize..300, seed in 0u64..30) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("prop_mono", n, ClassMix::new(0.3, 0.2, 0.5).unwrap())
+            .build(&mut platform, seed)
+            .unwrap();
+        let edges = platform.graph().followers_oldest_first(t.target);
+        prop_assert_eq!(edges.len(), n);
+        for w in edges.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        // Every follower exists before (or at) its follow time.
+        for e in edges {
+            let created = platform.profile(e.follower).unwrap().created_at;
+            prop_assert!(created <= e.at);
+        }
+    }
+
+    #[test]
+    fn ground_truth_covers_exactly_the_followers(n in 10usize..200) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("prop_truth", n, ClassMix::new(0.3, 0.2, 0.5).unwrap())
+            .build(&mut platform, 3)
+            .unwrap();
+        for &(id, class) in &t.followers_oldest_first {
+            prop_assert_eq!(t.ground_truth(id), Some(class));
+        }
+        prop_assert_eq!(t.ground_truth(t.target), None);
+    }
+}

@@ -1,0 +1,231 @@
+//! Analytic machinery for sampling bias (paper §II-D and §IV-D).
+//!
+//! The paper's worked example: an account with 100K genuine followers buys
+//! 10K fakes. Because the fakes are the *newest* followers and the tools
+//! sample only from the head of the list, a prefix sampler reports ≈100%
+//! fake while the population truth is ≈9%. This module computes the exact
+//! expectation of a prefix-sampled estimator from a positional property
+//! profile, and measures empirical estimator error.
+
+use crate::sampling::SamplingScheme;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The expected value of the proportion estimator when sampling uniformly
+/// **within the newest-`window` prefix** of a population whose per-position
+/// property indicator is `is_positive(i)` (position 0 = newest).
+///
+/// Since every frame position is equally likely to enter the sample, the
+/// expectation is simply the positive fraction of the frame.
+///
+/// ```
+/// use fakeaudit_stats::bias::expected_prefix_estimate;
+/// // Paper example: 10K bought fakes are the newest followers of a
+/// // 110K-follower account. A tool sampling the newest 1000 expects 100%.
+/// let e = expected_prefix_estimate(110_000, 1_000, |i| i < 10_000);
+/// assert_eq!(e, 1.0);
+/// // Population truth is ~9%.
+/// let truth = expected_prefix_estimate(110_000, 110_000, |i| i < 10_000);
+/// assert!((truth - 10_000.0 / 110_000.0).abs() < 1e-12);
+/// ```
+pub fn expected_prefix_estimate<F>(population: usize, window: usize, mut is_positive: F) -> f64
+where
+    F: FnMut(usize) -> bool,
+{
+    let frame = window.min(population);
+    if frame == 0 {
+        return 0.0;
+    }
+    let positives = (0..frame).filter(|&i| is_positive(i)).count();
+    positives as f64 / frame as f64
+}
+
+/// The absolute bias of the prefix-window estimator versus the population
+/// proportion: `|E[p̂_prefix] − p|`.
+pub fn prefix_bias<F>(population: usize, window: usize, mut is_positive: F) -> f64
+where
+    F: FnMut(usize) -> bool,
+{
+    if population == 0 {
+        return 0.0;
+    }
+    let head = expected_prefix_estimate(population, window, &mut is_positive);
+    let truth = expected_prefix_estimate(population, population, &mut is_positive);
+    (head - truth).abs()
+}
+
+/// Result of an empirical estimator-error trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorTrial {
+    /// True population proportion.
+    pub truth: f64,
+    /// Mean of the estimator across repetitions.
+    pub mean_estimate: f64,
+    /// Mean absolute error versus truth.
+    pub mean_abs_error: f64,
+    /// Worst absolute error observed.
+    pub max_abs_error: f64,
+    /// Repetitions performed.
+    pub repetitions: usize,
+}
+
+impl fmt::Display for EstimatorTrial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "truth={:.4} mean_est={:.4} mae={:.4} max_err={:.4} (r={})",
+            self.truth,
+            self.mean_estimate,
+            self.mean_abs_error,
+            self.max_abs_error,
+            self.repetitions
+        )
+    }
+}
+
+/// Empirically measures the error of a sampling scheme against ground truth.
+///
+/// `labels[i]` is the property indicator of the item at position `i`
+/// (position 0 = newest). Draws `sample_size` items `repetitions` times under
+/// `scheme` and compares the resulting estimates with the population truth.
+///
+/// # Panics
+///
+/// Panics if `labels` is empty, or `sample_size == 0`, or `repetitions == 0`.
+pub fn measure_estimator_error<R: Rng + ?Sized>(
+    rng: &mut R,
+    labels: &[bool],
+    scheme: SamplingScheme,
+    sample_size: usize,
+    repetitions: usize,
+) -> EstimatorTrial {
+    assert!(!labels.is_empty(), "population must be non-empty");
+    assert!(sample_size > 0, "sample size must be positive");
+    assert!(repetitions > 0, "repetitions must be positive");
+    let truth = labels.iter().filter(|&&b| b).count() as f64 / labels.len() as f64;
+    let mut sum_est = 0.0;
+    let mut sum_err = 0.0;
+    let mut max_err: f64 = 0.0;
+    for _ in 0..repetitions {
+        let idx = scheme.draw_indices(rng, labels.len(), sample_size);
+        let pos = idx.iter().filter(|&&i| labels[i]).count();
+        let est = pos as f64 / idx.len() as f64;
+        let err = (est - truth).abs();
+        sum_est += est;
+        sum_err += err;
+        max_err = max_err.max(err);
+    }
+    EstimatorTrial {
+        truth,
+        mean_estimate: sum_est / repetitions as f64,
+        mean_abs_error: sum_err / repetitions as f64,
+        max_abs_error: max_err,
+        repetitions,
+    }
+}
+
+/// A synthetic population layout for bias studies: `newest_positives` items
+/// carrying the property at the head of the list, followed by
+/// `older_negatives` items without it — the paper's bought-followers shape.
+pub fn burst_population(newest_positives: usize, older_negatives: usize) -> Vec<bool> {
+    let mut v = vec![true; newest_positives];
+    v.extend(std::iter::repeat_n(false, older_negatives));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    #[test]
+    fn paper_worked_example() {
+        // 10K bought fakes + 100K genuine; tool samples newest 1000.
+        let labels = burst_population(10_000, 100_000);
+        let truth = 10_000.0 / 110_000.0;
+        let bias = prefix_bias(labels.len(), 1_000, |i| labels[i]);
+        assert!((bias - (1.0 - truth)).abs() < 1e-12, "bias {bias}");
+    }
+
+    #[test]
+    fn no_bias_when_window_covers_population() {
+        let labels = burst_population(100, 900);
+        assert_eq!(prefix_bias(labels.len(), 1_000, |i| labels[i]), 0.0);
+    }
+
+    #[test]
+    fn no_bias_for_homogeneous_population() {
+        assert_eq!(prefix_bias(1_000, 10, |_| true), 0.0);
+        assert_eq!(prefix_bias(1_000, 10, |_| false), 0.0);
+    }
+
+    #[test]
+    fn empty_population_edge_cases() {
+        assert_eq!(expected_prefix_estimate(0, 10, |_| true), 0.0);
+        assert_eq!(prefix_bias(0, 10, |_| true), 0.0);
+    }
+
+    #[test]
+    fn uniform_sampling_is_nearly_unbiased() {
+        let labels = burst_population(10_000, 100_000);
+        let mut rng = rng_for(11, "bias");
+        let trial = measure_estimator_error(&mut rng, &labels, SamplingScheme::Uniform, 9_604, 20);
+        assert!(
+            (trial.mean_estimate - trial.truth).abs() < 0.01,
+            "uniform estimator strayed: {trial}"
+        );
+    }
+
+    #[test]
+    fn prefix_sampling_is_grossly_biased_on_burst() {
+        let labels = burst_population(10_000, 100_000);
+        let mut rng = rng_for(12, "bias");
+        let trial = measure_estimator_error(
+            &mut rng,
+            &labels,
+            SamplingScheme::Prefix { window: 1_000 },
+            1_000,
+            20,
+        );
+        assert!(trial.mean_estimate > 0.99, "prefix estimator {trial}");
+        assert!(trial.mean_abs_error > 0.85);
+    }
+
+    #[test]
+    fn deterministic_prefix_equals_expectation() {
+        let labels = burst_population(500, 500);
+        let mut rng = rng_for(13, "bias");
+        let trial = measure_estimator_error(
+            &mut rng,
+            &labels,
+            SamplingScheme::DeterministicPrefix { window: 200 },
+            200,
+            3,
+        );
+        assert_eq!(trial.mean_estimate, 1.0);
+        assert_eq!(trial.max_abs_error, trial.mean_abs_error);
+    }
+
+    #[test]
+    fn sample_larger_than_population_is_census() {
+        let labels = burst_population(3, 7);
+        let mut rng = rng_for(14, "bias");
+        let trial = measure_estimator_error(&mut rng, &labels, SamplingScheme::Uniform, 100, 5);
+        assert_eq!(trial.mean_abs_error, 0.0);
+        assert!((trial.mean_estimate - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be non-empty")]
+    fn empty_labels_panics() {
+        let mut rng = rng_for(15, "bias");
+        measure_estimator_error(&mut rng, &[], SamplingScheme::Uniform, 1, 1);
+    }
+
+    #[test]
+    fn burst_population_layout() {
+        let v = burst_population(2, 3);
+        assert_eq!(v, vec![true, true, false, false, false]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Bootstrap confidence intervals.
+//!
+//! The Wald interval of §II-D assumes the normal approximation; the
+//! experiment drivers use percentile bootstrap as a distribution-free
+//! cross-check when summarising per-target statistics (e.g. the
+//! disagreement ranges of E5, the tool errors of the scoring annex).
+
+use crate::estimator::ConfidenceInterval;
+use crate::summary::percentile_sorted;
+use rand::Rng;
+
+/// Percentile-bootstrap confidence interval for any statistic of an `f64`
+/// sample.
+///
+/// Draws `resamples` bootstrap resamples (with replacement) of `values`,
+/// applies `statistic` to each, and returns the central
+/// `confidence`-probability interval of the resulting distribution.
+///
+/// # Panics
+///
+/// Panics if `values` is empty, `resamples == 0`, or `confidence` is not
+/// in `(0, 1)`.
+///
+/// ```
+/// use fakeaudit_stats::bootstrap::bootstrap_ci;
+/// use fakeaudit_stats::rng::rng_for;
+///
+/// let mut rng = rng_for(1, "doc");
+/// let values = [4.0, 5.0, 6.0, 5.5, 4.5, 5.0];
+/// let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+/// let ci = bootstrap_ci(&mut rng, &values, mean, 500, 0.95);
+/// assert!(ci.contains(5.0));
+/// ```
+pub fn bootstrap_ci<R, F>(
+    rng: &mut R,
+    values: &[f64],
+    mut statistic: F,
+    resamples: usize,
+    confidence: f64,
+) -> ConfidenceInterval
+where
+    R: Rng + ?Sized,
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(!values.is_empty(), "bootstrap of an empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let n = values.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = values[rng.gen_range(0..n)];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let alpha = (1.0 - confidence) / 2.0;
+    ConfidenceInterval {
+        low: percentile_sorted(&stats, alpha * 100.0),
+        high: percentile_sorted(&stats, (1.0 - alpha) * 100.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn interval_brackets_the_sample_mean() {
+        let mut rng = rng_for(1, "boot");
+        let values: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_ci(&mut rng, &values, mean, 1_000, 0.95);
+        let m = mean(&values);
+        assert!(ci.contains(m), "{ci} should contain {m}");
+        assert!(ci.half_width() < 1.0, "{ci}");
+    }
+
+    #[test]
+    fn degenerate_sample_gives_point_interval() {
+        let mut rng = rng_for(2, "boot");
+        let ci = bootstrap_ci(&mut rng, &[7.0, 7.0, 7.0], mean, 200, 0.9);
+        assert_eq!(ci.low, 7.0);
+        assert_eq!(ci.high, 7.0);
+    }
+
+    #[test]
+    fn wider_confidence_is_wider() {
+        let values: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ci90 = bootstrap_ci(&mut rng_for(3, "boot"), &values, mean, 2_000, 0.90);
+        let ci99 = bootstrap_ci(&mut rng_for(3, "boot"), &values, mean, 2_000, 0.99);
+        assert!(ci99.half_width() > ci90.half_width());
+    }
+
+    #[test]
+    fn works_with_other_statistics() {
+        let mut rng = rng_for(4, "boot");
+        let values = [1.0, 2.0, 3.0, 100.0];
+        let median = |xs: &[f64]| {
+            let mut v = xs.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            percentile_sorted(&v, 50.0)
+        };
+        let ci = bootstrap_ci(&mut rng, &values, median, 500, 0.95);
+        // The median bootstrap should not be dragged to 100.
+        assert!(ci.low < 50.0);
+    }
+
+    #[test]
+    fn deterministic_per_rng_stream() {
+        let values = [1.0, 5.0, 9.0];
+        let a = bootstrap_ci(&mut rng_for(5, "boot"), &values, mean, 100, 0.95);
+        let b = bootstrap_ci(&mut rng_for(5, "boot"), &values, mean, 100, 0.95);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        bootstrap_ci(&mut rng_for(6, "boot"), &[], mean, 10, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0, 1)")]
+    fn bad_confidence_panics() {
+        bootstrap_ci(&mut rng_for(7, "boot"), &[1.0], mean, 10, 1.0);
+    }
+}

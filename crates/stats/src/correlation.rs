@@ -1,0 +1,171 @@
+//! Correlation coefficients for the disagreement analyses (E5).
+//!
+//! §IV-D's "the more followers a target has, the less the analytics agree"
+//! is a monotone-association claim over 20 points; Spearman's rank
+//! correlation is the appropriate statistic (robust to the heavy skew of
+//! follower counts), with Pearson on log-counts as a cross-check.
+
+use std::fmt;
+
+/// Errors from correlation computations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrelationError {
+    /// Input slices differ in length.
+    LengthMismatch,
+    /// Fewer than two points.
+    TooFewPoints,
+    /// A value was NaN or infinite.
+    NonFinite,
+}
+
+impl fmt::Display for CorrelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorrelationError::LengthMismatch => write!(f, "samples differ in length"),
+            CorrelationError::TooFewPoints => write!(f, "need at least two points"),
+            CorrelationError::NonFinite => write!(f, "samples must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for CorrelationError {}
+
+fn validate(xs: &[f64], ys: &[f64]) -> Result<(), CorrelationError> {
+    if xs.len() != ys.len() {
+        return Err(CorrelationError::LengthMismatch);
+    }
+    if xs.len() < 2 {
+        return Err(CorrelationError::TooFewPoints);
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(CorrelationError::NonFinite);
+    }
+    Ok(())
+}
+
+/// Pearson product-moment correlation. Returns 0 when either sample is
+/// constant.
+///
+/// # Errors
+///
+/// See [`CorrelationError`].
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, CorrelationError> {
+    validate(xs, ys)?;
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        Ok(0.0)
+    } else {
+        Ok(cov / (vx * vy).sqrt())
+    }
+}
+
+/// Mid-ranks (average ranks for ties), 1-based.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the same value: assign the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman's rank correlation (Pearson over mid-ranks, so ties are
+/// handled correctly).
+///
+/// # Errors
+///
+/// See [`CorrelationError`].
+///
+/// ```
+/// use fakeaudit_stats::correlation::spearman;
+/// // Any monotone transform scores a perfect 1.
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let ys = [1.0, 8.0, 27.0, 64.0];
+/// assert!((spearman(&xs, &ys)? - 1.0).abs() < 1e-12);
+/// # Ok::<(), fakeaudit_stats::correlation::CorrelationError>(())
+/// ```
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, CorrelationError> {
+    validate(xs, ys)?;
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_reference() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_transform_invariant() {
+        let xs = [1.0f64, 5.0, 9.0, 20.0, 100.0];
+        let cubes: Vec<f64> = xs.iter().map(|&x| x.powi(3)).collect();
+        let logs: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+        assert!((spearman(&xs, &cubes).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &logs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_anticorrelation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 7.0, 5.0, 1.0];
+        assert!((spearman(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_with_midranks() {
+        // xs has a tie; classic midrank example.
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let r = spearman(&xs, &ys).unwrap();
+        assert!(r > 0.9 && r < 1.0, "rho {r}");
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            pearson(&[1.0], &[1.0, 2.0]).unwrap_err(),
+            CorrelationError::LengthMismatch
+        );
+        assert_eq!(
+            spearman(&[1.0], &[1.0]).unwrap_err(),
+            CorrelationError::TooFewPoints
+        );
+        assert_eq!(
+            pearson(&[1.0, f64::NAN], &[1.0, 2.0]).unwrap_err(),
+            CorrelationError::NonFinite
+        );
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[5.0]), vec![1.0]);
+        assert_eq!(ranks(&[2.0, 2.0, 2.0]), vec![2.0, 2.0, 2.0]);
+    }
+}

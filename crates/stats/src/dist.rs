@@ -1,0 +1,347 @@
+//! Seeded synthetic distributions built from `rand`'s uniform primitives.
+//!
+//! The offline dependency set does not include `rand_distr`, so the handful
+//! of distributions the population generator needs — Zipf (follower-count
+//! skew), exponential (inter-arrival of follow events), log-normal (tweet
+//! volumes), Poisson (small counts) — are implemented here directly.
+
+use rand::Rng;
+use std::fmt;
+
+/// Errors from distribution constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// A bounded Zipf distribution over `1..=n` with exponent `s`.
+///
+/// Sampling uses inverse-CDF over precomputed cumulative weights (O(log n)
+/// per draw after O(n) setup), which is plenty for populations up to a few
+/// million.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over ranks `1..=n` with exponent `s > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] when `n == 0` or `s <= 0`.
+    pub fn new(n: usize, s: f64) -> Result<Self, DistError> {
+        if n == 0 {
+            return Err(DistError::InvalidParameter {
+                name: "n",
+                value: 0.0,
+            });
+        }
+        if s <= 0.0 || !s.is_finite() {
+            return Err(DistError::InvalidParameter {
+                name: "s",
+                value: s,
+            });
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Self { cdf })
+    }
+
+    /// Draws a rank in `1..=n` (rank 1 is the most probable).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the support is a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Exponential distribution with rate `λ`, sampled by inversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] when `lambda <= 0`.
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(DistError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+            });
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Draws a non-negative value with mean `1/λ`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Map u ∈ [0,1) to (0,1] so ln never sees 0.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.lambda
+    }
+
+    /// The distribution mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(μ + σ·Z)` with `Z` standard normal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with location `mu` and scale
+    /// `sigma >= 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] when `sigma < 0` or either
+    /// parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        if !mu.is_finite() {
+            return Err(DistError::InvalidParameter {
+                name: "mu",
+                value: mu,
+            });
+        }
+        if sigma < 0.0 || !sigma.is_finite() {
+            return Err(DistError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+            });
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Draws a positive value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Poisson distribution with mean `λ`, sampled with Knuth's product method
+/// (fine for the small means used by the account generator).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with mean `lambda > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] when `lambda <= 0` or
+    /// `lambda > 700` (where `exp(-λ)` underflows and Knuth's method stalls).
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        if lambda <= 0.0 || !lambda.is_finite() || lambda > 700.0 {
+            return Err(DistError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+            });
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Draws a non-negative count.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Draws a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zipf_samples_in_support() {
+        let z = Zipf::new(50, 1.2).unwrap();
+        let mut rng = rng_for(1, "zipf");
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(100, 1.5).unwrap();
+        let mut rng = rng_for(2, "zipf");
+        let mut ones = 0;
+        let n = 5000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        // P(rank 1) ≈ 1/ζ(1.5, 100) ≈ 0.39.
+        let frac = ones as f64 / n as f64;
+        assert!(frac > 0.3 && frac < 0.5, "rank-1 fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 2.0).unwrap();
+        let mut rng = rng_for(3, "zipf");
+        assert_eq!(z.sample(&mut rng), 1);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let e = Exponential::new(0.5).unwrap();
+        let mut rng = rng_for(4, "exp");
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "sample mean {mean}, expected 2.0");
+    }
+
+    #[test]
+    fn exponential_nonnegative() {
+        let e = Exponential::new(3.0).unwrap();
+        let mut rng = rng_for(5, "exp");
+        assert!((0..1000).all(|_| e.sample(&mut rng) >= 0.0));
+    }
+
+    #[test]
+    fn exponential_rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let ln = LogNormal::new(1.0, 0.8).unwrap();
+        let mut rng = rng_for(6, "ln");
+        assert!((0..1000).all(|_| ln.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let ln = LogNormal::new(2.0, 1.0).unwrap();
+        let mut rng = rng_for(7, "ln");
+        let mut xs: Vec<f64> = (0..10_001).map(|_| ln.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        let expected = 2.0f64.exp();
+        assert!(
+            (median / expected - 1.0).abs() < 0.15,
+            "median {median} vs exp(mu) {expected}"
+        );
+    }
+
+    #[test]
+    fn lognormal_rejects_negative_sigma() {
+        assert!(LogNormal::new(0.0, -0.1).is_err());
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let ln = LogNormal::new(1.0, 0.0).unwrap();
+        let mut rng = rng_for(8, "ln");
+        let x = ln.sample(&mut rng);
+        assert!((x - 1.0f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_mean_matches() {
+        let p = Poisson::new(4.0).unwrap();
+        let mut rng = rng_for(9, "poi");
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "sample mean {mean}");
+    }
+
+    #[test]
+    fn poisson_rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-2.0).is_err());
+        assert!(Poisson::new(1e6).is_err());
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng_for(10, "norm");
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+}

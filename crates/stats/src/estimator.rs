@@ -1,0 +1,384 @@
+//! The proportion estimator and its confidence machinery (paper §II-D).
+//!
+//! The paper recalls: for a population proportion `p`, the estimator is
+//! `p̂ = X/n` with variance `σ² = p̂(1−p̂)/n`, and the confidence interval is
+//! `p̂ ± Z_α·σ` where `Z_α` is 1.96 at the 0.95 confidence level and 2.58 at
+//! 0.99. This module implements exactly that (the Wald interval), plus the
+//! Wilson score interval (better behaved near 0/1) and the finite-population
+//! correction the commercial tools implicitly ignore.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A confidence level with its two-sided critical value `Z_α`.
+///
+/// The paper quotes `Z = 1.96` for 95% and `Z = 2.58` for 99%; we use the
+/// same rounded constants so reproduced numbers match the text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConfidenceLevel {
+    /// 90% two-sided confidence (Z = 1.645).
+    P90,
+    /// 95% two-sided confidence (Z = 1.96) — the paper's default.
+    P95,
+    /// 99% two-sided confidence (Z = 2.58).
+    P99,
+}
+
+impl ConfidenceLevel {
+    /// The two-sided critical value `Z_α` for this level.
+    ///
+    /// ```
+    /// use fakeaudit_stats::estimator::ConfidenceLevel;
+    /// assert_eq!(ConfidenceLevel::P95.z(), 1.96);
+    /// assert_eq!(ConfidenceLevel::P99.z(), 2.58);
+    /// ```
+    pub fn z(self) -> f64 {
+        match self {
+            ConfidenceLevel::P90 => 1.645,
+            ConfidenceLevel::P95 => 1.96,
+            ConfidenceLevel::P99 => 2.58,
+        }
+    }
+
+    /// The nominal coverage probability (e.g. `0.95`).
+    pub fn coverage(self) -> f64 {
+        match self {
+            ConfidenceLevel::P90 => 0.90,
+            ConfidenceLevel::P95 => 0.95,
+            ConfidenceLevel::P99 => 0.99,
+        }
+    }
+}
+
+impl fmt::Display for ConfidenceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}%", (self.coverage() * 100.0).round() as u32)
+    }
+}
+
+/// A two-sided confidence interval `[low, high]` for a proportion, clamped
+/// to `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Lower bound (≥ 0).
+    pub low: f64,
+    /// Upper bound (≤ 1).
+    pub high: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.high - self.low) / 2.0
+    }
+
+    /// Whether `p` lies inside the interval (inclusive).
+    pub fn contains(&self, p: f64) -> bool {
+        p >= self.low && p <= self.high
+    }
+}
+
+impl fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.4}, {:.4}]", self.low, self.high)
+    }
+}
+
+/// Errors from estimator constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The sample size was zero.
+    EmptySample,
+    /// More positives than samples.
+    PositivesExceedSample {
+        /// Number of positive observations supplied.
+        positives: u64,
+        /// Sample size supplied.
+        sample_size: u64,
+    },
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::EmptySample => write!(f, "sample size must be positive"),
+            EstimateError::PositivesExceedSample {
+                positives,
+                sample_size,
+            } => write!(
+                f,
+                "positives ({positives}) exceed sample size ({sample_size})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// The result of estimating a population proportion from a sample:
+/// `p̂ = X/n` (paper §II-D).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProportionEstimate {
+    positives: u64,
+    sample_size: u64,
+}
+
+impl ProportionEstimate {
+    /// Creates an estimate from `positives` successes out of `sample_size`
+    /// trials.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::EmptySample`] if `sample_size == 0` and
+    /// [`EstimateError::PositivesExceedSample`] if `positives > sample_size`.
+    ///
+    /// ```
+    /// use fakeaudit_stats::estimator::ProportionEstimate;
+    /// let est = ProportionEstimate::new(250, 1000)?;
+    /// assert_eq!(est.p_hat(), 0.25);
+    /// # Ok::<(), fakeaudit_stats::estimator::EstimateError>(())
+    /// ```
+    pub fn new(positives: u64, sample_size: u64) -> Result<Self, EstimateError> {
+        if sample_size == 0 {
+            return Err(EstimateError::EmptySample);
+        }
+        if positives > sample_size {
+            return Err(EstimateError::PositivesExceedSample {
+                positives,
+                sample_size,
+            });
+        }
+        Ok(Self {
+            positives,
+            sample_size,
+        })
+    }
+
+    /// Creates an estimate by counting the items of `sample` that satisfy
+    /// `property`.
+    pub fn from_sample<T, F>(sample: &[T], mut property: F) -> Result<Self, EstimateError>
+    where
+        F: FnMut(&T) -> bool,
+    {
+        let positives = sample.iter().filter(|x| property(x)).count() as u64;
+        Self::new(positives, sample.len() as u64)
+    }
+
+    /// Number of positive observations `X`.
+    pub fn positives(&self) -> u64 {
+        self.positives
+    }
+
+    /// Sample size `n`.
+    pub fn sample_size(&self) -> u64 {
+        self.sample_size
+    }
+
+    /// The point estimate `p̂ = X/n`.
+    pub fn p_hat(&self) -> f64 {
+        self.positives as f64 / self.sample_size as f64
+    }
+
+    /// The estimated standard error `σ = sqrt(p̂(1−p̂)/n)`.
+    pub fn standard_error(&self) -> f64 {
+        let p = self.p_hat();
+        (p * (1.0 - p) / self.sample_size as f64).sqrt()
+    }
+
+    /// Standard error with the finite-population correction
+    /// `sqrt((N−n)/(N−1))` applied, for sampling without replacement from a
+    /// population of `population_size`.
+    ///
+    /// The correction vanishes as `N → ∞` and is exactly zero for a census
+    /// (`n = N`). Commercial tools that sample a fixed window of 700–5000
+    /// followers ignore the fact that their effective `N` is the window, not
+    /// the full follower list.
+    pub fn standard_error_fpc(&self, population_size: u64) -> f64 {
+        let n = self.sample_size as f64;
+        let big_n = population_size.max(self.sample_size) as f64;
+        if big_n <= 1.0 {
+            return 0.0;
+        }
+        let fpc = ((big_n - n) / (big_n - 1.0)).max(0.0).sqrt();
+        self.standard_error() * fpc
+    }
+
+    /// The Wald interval `p̂ ± Z_α·σ` from paper §II-D, clamped to `[0, 1]`.
+    ///
+    /// ```
+    /// use fakeaudit_stats::estimator::{ConfidenceLevel, ProportionEstimate};
+    /// let est = ProportionEstimate::new(4802, 9604)?;
+    /// let ci = est.wald(ConfidenceLevel::P95);
+    /// // n = 9604 is exactly the size giving a ±1% interval at p = 0.5.
+    /// assert!((ci.half_width() - 0.01).abs() < 1e-4);
+    /// # Ok::<(), fakeaudit_stats::estimator::EstimateError>(())
+    /// ```
+    pub fn wald(&self, level: ConfidenceLevel) -> ConfidenceInterval {
+        let p = self.p_hat();
+        let m = level.z() * self.standard_error();
+        ConfidenceInterval {
+            low: (p - m).max(0.0),
+            high: (p + m).min(1.0),
+        }
+    }
+
+    /// Wald interval with the finite-population correction.
+    pub fn wald_fpc(&self, level: ConfidenceLevel, population_size: u64) -> ConfidenceInterval {
+        let p = self.p_hat();
+        let m = level.z() * self.standard_error_fpc(population_size);
+        ConfidenceInterval {
+            low: (p - m).max(0.0),
+            high: (p + m).min(1.0),
+        }
+    }
+
+    /// The Wilson score interval, which unlike Wald never degenerates at
+    /// `p̂ ∈ {0, 1}` and keeps nominal coverage for small `n`.
+    pub fn wilson(&self, level: ConfidenceLevel) -> ConfidenceInterval {
+        let n = self.sample_size as f64;
+        let p = self.p_hat();
+        let z = level.z();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let margin = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        // At the boundaries the Wilson bound is exactly the point estimate
+        // (centre == margin at p̂ = 0); pin it so floating-point rounding
+        // cannot push the interval off the estimate.
+        let low = if self.positives == 0 {
+            0.0
+        } else {
+            (centre - margin).max(0.0)
+        };
+        let high = if self.positives == self.sample_size {
+            1.0
+        } else {
+            (centre + margin).min(1.0)
+        };
+        ConfidenceInterval { low, high }
+    }
+}
+
+impl fmt::Display for ProportionEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} = {:.4}",
+            self.positives,
+            self.sample_size,
+            self.p_hat()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_sample() {
+        assert_eq!(
+            ProportionEstimate::new(0, 0).unwrap_err(),
+            EstimateError::EmptySample
+        );
+    }
+
+    #[test]
+    fn rejects_excess_positives() {
+        assert!(matches!(
+            ProportionEstimate::new(5, 4),
+            Err(EstimateError::PositivesExceedSample { .. })
+        ));
+    }
+
+    #[test]
+    fn point_estimate() {
+        let e = ProportionEstimate::new(30, 120).unwrap();
+        assert!((e.p_hat() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_sample_counts_property() {
+        let xs = [1, 2, 3, 4, 5, 6];
+        let e = ProportionEstimate::from_sample(&xs, |x| x % 2 == 0).unwrap();
+        assert_eq!(e.positives(), 3);
+        assert_eq!(e.sample_size(), 6);
+    }
+
+    #[test]
+    fn paper_sample_size_gives_one_percent_margin() {
+        // The paper's FC always samples 9604 accounts: 95% CI of ±1%.
+        let e = ProportionEstimate::new(4802, 9604).unwrap();
+        let ci = e.wald(ConfidenceLevel::P95);
+        assert!((ci.half_width() - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn wald_clamps_to_unit_interval() {
+        let e = ProportionEstimate::new(0, 10).unwrap();
+        let ci = e.wald(ConfidenceLevel::P99);
+        assert_eq!(ci.low, 0.0);
+        assert!(ci.high >= 0.0);
+    }
+
+    #[test]
+    fn wilson_nondegenerate_at_zero() {
+        let e = ProportionEstimate::new(0, 10).unwrap();
+        let ci = e.wilson(ConfidenceLevel::P95);
+        assert!(ci.high > 0.0, "Wilson upper bound must exceed 0 at p̂=0");
+    }
+
+    #[test]
+    fn wilson_nondegenerate_at_one() {
+        let e = ProportionEstimate::new(10, 10).unwrap();
+        let ci = e.wilson(ConfidenceLevel::P95);
+        assert!(ci.low < 1.0);
+        assert_eq!(ci.high, 1.0);
+    }
+
+    #[test]
+    fn fpc_reduces_error() {
+        let e = ProportionEstimate::new(100, 400).unwrap();
+        let plain = e.standard_error();
+        let corrected = e.standard_error_fpc(500);
+        assert!(corrected < plain);
+    }
+
+    #[test]
+    fn fpc_census_has_zero_error() {
+        let e = ProportionEstimate::new(100, 400).unwrap();
+        assert_eq!(e.standard_error_fpc(400), 0.0);
+    }
+
+    #[test]
+    fn fpc_large_population_is_noop() {
+        let e = ProportionEstimate::new(100, 400).unwrap();
+        let corrected = e.standard_error_fpc(100_000_000);
+        assert!((corrected - e.standard_error()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wider_confidence_wider_interval() {
+        let e = ProportionEstimate::new(300, 1000).unwrap();
+        assert!(
+            e.wald(ConfidenceLevel::P99).half_width() > e.wald(ConfidenceLevel::P95).half_width()
+        );
+        assert!(
+            e.wald(ConfidenceLevel::P95).half_width() > e.wald(ConfidenceLevel::P90).half_width()
+        );
+    }
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        let e = ProportionEstimate::new(123, 456).unwrap();
+        assert!(e.wald(ConfidenceLevel::P95).contains(e.p_hat()));
+        assert!(e.wilson(ConfidenceLevel::P95).contains(e.p_hat()));
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = ProportionEstimate::new(1, 4).unwrap();
+        assert_eq!(e.to_string(), "1/4 = 0.2500");
+        assert_eq!(ConfidenceLevel::P95.to_string(), "95%");
+    }
+}

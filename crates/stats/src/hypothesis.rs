@@ -1,0 +1,280 @@
+//! Significance tests used by the disagreement analyses (§IV-D).
+//!
+//! Table III's "general disagreement" claim is quantified in the core crate
+//! with pairwise two-proportion z-tests (do two tools' fake percentages
+//! differ beyond what their sample sizes explain?) and a chi-square test of
+//! homogeneity over the full inactive/fake/genuine breakdowns.
+
+use std::fmt;
+
+/// Errors from hypothesis-test constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestError {
+    /// One of the samples was empty.
+    EmptySample,
+    /// Positives exceeded the sample size.
+    InvalidCounts,
+    /// A contingency table had fewer than 2 rows/columns or a zero marginal.
+    DegenerateTable,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestError::EmptySample => write!(f, "sample sizes must be positive"),
+            TestError::InvalidCounts => write!(f, "positives exceed sample size"),
+            TestError::DegenerateTable => write!(f, "contingency table is degenerate"),
+        }
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Result of a two-proportion z-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZTest {
+    /// The z statistic (signed: positive when sample 1 has the higher rate).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl ZTest {
+    /// Whether the difference is significant at level `alpha` (two-sided).
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-proportion z-test with pooled variance.
+///
+/// Tests `H0: p1 = p2` given `x1/n1` and `x2/n2`.
+///
+/// # Errors
+///
+/// Returns [`TestError::EmptySample`] when either `n` is zero and
+/// [`TestError::InvalidCounts`] when `x > n`.
+///
+/// ```
+/// use fakeaudit_stats::hypothesis::two_proportion_z;
+/// // SP says 44% fake of 700 sampled; FC says 1.2% of 9604 — wildly apart.
+/// let t = two_proportion_z(308, 700, 115, 9604)?;
+/// assert!(t.significant(0.01));
+/// # Ok::<(), fakeaudit_stats::hypothesis::TestError>(())
+/// ```
+pub fn two_proportion_z(x1: u64, n1: u64, x2: u64, n2: u64) -> Result<ZTest, TestError> {
+    if n1 == 0 || n2 == 0 {
+        return Err(TestError::EmptySample);
+    }
+    if x1 > n1 || x2 > n2 {
+        return Err(TestError::InvalidCounts);
+    }
+    let p1 = x1 as f64 / n1 as f64;
+    let p2 = x2 as f64 / n2 as f64;
+    let pooled = (x1 + x2) as f64 / (n1 + n2) as f64;
+    let se = (pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64)).sqrt();
+    let z = if se == 0.0 { 0.0 } else { (p1 - p2) / se };
+    let p_value = 2.0 * (1.0 - standard_normal_cdf(z.abs()));
+    Ok(ZTest { z, p_value })
+}
+
+/// Result of a chi-square test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareTest {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom.
+    pub dof: usize,
+    /// Approximate p-value (Wilson–Hilferty normal approximation).
+    pub p_value: f64,
+}
+
+impl ChiSquareTest {
+    /// Whether homogeneity is rejected at level `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Chi-square test of homogeneity over an `r × c` contingency table
+/// (`table[row][col]` = count). Rows are e.g. tools, columns the
+/// inactive/fake/genuine classes.
+///
+/// # Errors
+///
+/// Returns [`TestError::DegenerateTable`] when the table has fewer than two
+/// rows or columns, ragged rows, or a zero row/column total.
+pub fn chi_square(table: &[Vec<u64>]) -> Result<ChiSquareTest, TestError> {
+    let r = table.len();
+    if r < 2 {
+        return Err(TestError::DegenerateTable);
+    }
+    let c = table[0].len();
+    if c < 2 || table.iter().any(|row| row.len() != c) {
+        return Err(TestError::DegenerateTable);
+    }
+    let row_tot: Vec<f64> = table
+        .iter()
+        .map(|row| row.iter().sum::<u64>() as f64)
+        .collect();
+    let col_tot: Vec<f64> = (0..c)
+        .map(|j| table.iter().map(|row| row[j]).sum::<u64>() as f64)
+        .collect();
+    if row_tot.contains(&0.0) || col_tot.contains(&0.0) {
+        return Err(TestError::DegenerateTable);
+    }
+    let grand: f64 = row_tot.iter().sum();
+    let mut stat = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, &obs) in row.iter().enumerate() {
+            let expected = row_tot[i] * col_tot[j] / grand;
+            let d = obs as f64 - expected;
+            stat += d * d / expected;
+        }
+    }
+    let dof = (r - 1) * (c - 1);
+    Ok(ChiSquareTest {
+        statistic: stat,
+        dof,
+        p_value: chi_square_sf(stat, dof),
+    })
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (absolute error < 1.5e-7 — ample for significance testing).
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Chi-square survival function `P(X > x)` with `k` degrees of freedom via
+/// the Wilson–Hilferty cube-root normal approximation.
+fn chi_square_sf(x: f64, k: usize) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    let k = k as f64;
+    let z = ((x / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k))) / (2.0 / (9.0 * k)).sqrt();
+    1.0 - standard_normal_cdf(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((standard_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(standard_normal_cdf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn z_test_identical_proportions() {
+        let t = two_proportion_z(50, 100, 500, 1000).unwrap();
+        assert!(t.z.abs() < 1e-12);
+        assert!((t.p_value - 1.0).abs() < 1e-6);
+        assert!(!t.significant(0.05));
+    }
+
+    #[test]
+    fn z_test_obvious_difference() {
+        let t = two_proportion_z(90, 100, 10, 100).unwrap();
+        assert!(t.z > 5.0);
+        assert!(t.significant(0.001));
+    }
+
+    #[test]
+    fn z_test_sign_convention() {
+        let t = two_proportion_z(10, 100, 90, 100).unwrap();
+        assert!(t.z < 0.0);
+    }
+
+    #[test]
+    fn z_test_degenerate_pooled_zero() {
+        // Both proportions zero: se is 0, z defined as 0.
+        let t = two_proportion_z(0, 50, 0, 70).unwrap();
+        assert_eq!(t.z, 0.0);
+    }
+
+    #[test]
+    fn z_test_errors() {
+        assert_eq!(
+            two_proportion_z(1, 0, 1, 10).unwrap_err(),
+            TestError::EmptySample
+        );
+        assert_eq!(
+            two_proportion_z(11, 10, 1, 10).unwrap_err(),
+            TestError::InvalidCounts
+        );
+    }
+
+    #[test]
+    fn chi_square_homogeneous_table() {
+        let table = vec![vec![50u64, 50], vec![500, 500]];
+        let t = chi_square(&table).unwrap();
+        assert!(t.statistic < 1e-9);
+        assert!(!t.significant(0.05));
+        assert_eq!(t.dof, 1);
+    }
+
+    #[test]
+    fn chi_square_heterogeneous_table() {
+        // Two tools with opposite fake/genuine splits.
+        let table = vec![vec![90u64, 10], vec![10, 90]];
+        let t = chi_square(&table).unwrap();
+        assert!(t.statistic > 100.0);
+        assert!(t.significant(0.001));
+    }
+
+    #[test]
+    fn chi_square_three_by_three() {
+        let table = vec![vec![30u64, 40, 30], vec![25, 45, 30], vec![35, 35, 30]];
+        let t = chi_square(&table).unwrap();
+        assert_eq!(t.dof, 4);
+        assert!(!t.significant(0.05));
+    }
+
+    #[test]
+    fn chi_square_rejects_degenerate() {
+        assert_eq!(
+            chi_square(&[vec![1, 2]]).unwrap_err(),
+            TestError::DegenerateTable
+        );
+        assert_eq!(
+            chi_square(&[vec![1], vec![2]]).unwrap_err(),
+            TestError::DegenerateTable
+        );
+        assert_eq!(
+            chi_square(&[vec![1, 2], vec![3]]).unwrap_err(),
+            TestError::DegenerateTable
+        );
+        assert_eq!(
+            chi_square(&[vec![0, 0], vec![1, 2]]).unwrap_err(),
+            TestError::DegenerateTable
+        );
+        assert_eq!(
+            chi_square(&[vec![0, 1], vec![0, 2]]).unwrap_err(),
+            TestError::DegenerateTable
+        );
+    }
+
+    #[test]
+    fn chi_square_sf_monotone() {
+        let a = chi_square_sf(1.0, 3);
+        let b = chi_square_sf(10.0, 3);
+        assert!(a > b);
+        assert_eq!(chi_square_sf(0.0, 3), 1.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Sampling-statistics substrate for the *fakeaudit* reproduction of
+//! "A Criticism to Society (as seen by Twitter analytics)" (Cresci et al., 2014).
+//!
+//! The paper's central methodological argument (§II-D) is that the surveyed
+//! commercial analytics violate the assumptions of the classic proportion
+//! estimator `p̂ = X/n`: their samples are (i) biased towards the newest
+//! followers, (ii) drawn dependently from a fixed-size window rather than the
+//! full population, and (iii) assessed with an unvalidated property test.
+//! This crate provides the statistical machinery needed to state, measure and
+//! reproduce that argument:
+//!
+//! * [`estimator`] — the proportion estimator, standard errors, Wald and
+//!   Wilson confidence intervals, finite-population correction;
+//! * [`sample_size`] — Cochran's required-sample-size formula (the paper's
+//!   n = 9604 for a 95% confidence level at ±1%);
+//! * [`sampling`] — uniform and prefix (newest-`k`) samplers behind a common
+//!   [`sampling::Sampler`] trait;
+//! * [`bias`] — analytic machinery for the expected error of prefix sampling
+//!   when the measured property correlates with position in the list;
+//! * [`dist`] — seeded synthetic distributions (Zipf, exponential,
+//!   log-normal, Poisson) used by the workload generator;
+//! * [`summary`] — descriptive statistics over experiment outputs;
+//! * [`hypothesis`] — two-proportion z-tests and chi-square tests used by the
+//!   disagreement analyses;
+//! * [`correlation`] — Pearson and Spearman coefficients (E5's
+//!   disagreement-vs-size claim);
+//! * [`bootstrap`] — percentile-bootstrap confidence intervals as a
+//!   distribution-free cross-check on the Wald machinery;
+//! * [`rng`] — deterministic seed-derivation helpers so every experiment in
+//!   the repository regenerates bit-identically.
+//!
+//! # Example
+//!
+//! Reproduce the paper's sample-size computation: a 95% confidence level with
+//! a ±1% interval requires 9604 samples under the worst case `p = 0.5`.
+//!
+//! ```
+//! use fakeaudit_stats::sample_size::required_sample_size;
+//! use fakeaudit_stats::estimator::ConfidenceLevel;
+//!
+//! let n = required_sample_size(ConfidenceLevel::P95, 0.01, 0.5);
+//! assert_eq!(n, 9604);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bias;
+pub mod bootstrap;
+pub mod correlation;
+pub mod dist;
+pub mod estimator;
+pub mod hypothesis;
+pub mod rng;
+pub mod sample_size;
+pub mod sampling;
+pub mod summary;
+
+pub use estimator::{ConfidenceInterval, ConfidenceLevel, ProportionEstimate};
+pub use sample_size::required_sample_size;
+pub use sampling::{PrefixSampler, Sampler, UniformSampler};

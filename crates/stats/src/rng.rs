@@ -1,0 +1,117 @@
+//! Deterministic seed derivation.
+//!
+//! Every experiment in the repository is parameterised by a single `u64`
+//! seed. Sub-systems (population generator, samplers, per-account jitter)
+//! derive independent streams from that master seed with [`derive_seed`], so
+//! adding a new consumer never perturbs the streams of existing ones.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives a child seed from a master seed and a textual label.
+///
+/// The derivation is a small, fixed FNV-1a-style mix — stable across
+/// platforms and Rust releases (unlike `DefaultHasher`), which keeps every
+/// table in `EXPERIMENTS.md` bit-reproducible.
+///
+/// ```
+/// use fakeaudit_stats::rng::derive_seed;
+/// let a = derive_seed(42, "population");
+/// let b = derive_seed(42, "sampler");
+/// assert_ne!(a, b);
+/// assert_eq!(a, derive_seed(42, "population"));
+/// ```
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET ^ master.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for byte in label.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche (splitmix64 finaliser) so nearby seeds diverge.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Creates a [`StdRng`] from a master seed and label via [`derive_seed`].
+///
+/// ```
+/// use fakeaudit_stats::rng::rng_for;
+/// use rand::Rng;
+/// let mut r = rng_for(7, "demo");
+/// let x: f64 = r.gen();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+pub fn rng_for(master: u64, label: &str) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, label))
+}
+
+/// Creates a [`StdRng`] for the `i`-th element of a keyed family of streams
+/// (e.g. one stream per synthetic account).
+pub fn rng_for_indexed(master: u64, label: &str, index: u64) -> StdRng {
+    let base = derive_seed(master, label);
+    StdRng::seed_from_u64(derive_seed(base, &format!("#{index}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derive_seed_is_deterministic() {
+        assert_eq!(derive_seed(1, "x"), derive_seed(1, "x"));
+    }
+
+    #[test]
+    fn derive_seed_separates_labels() {
+        assert_ne!(derive_seed(1, "x"), derive_seed(1, "y"));
+    }
+
+    #[test]
+    fn derive_seed_separates_masters() {
+        assert_ne!(derive_seed(1, "x"), derive_seed(2, "x"));
+    }
+
+    #[test]
+    fn derive_seed_nearby_masters_diverge() {
+        // splitmix finaliser: consecutive masters should not produce
+        // consecutive child seeds.
+        let a = derive_seed(100, "s");
+        let b = derive_seed(101, "s");
+        assert!(a.abs_diff(b) > 1 << 20);
+    }
+
+    #[test]
+    fn rng_for_reproduces_streams() {
+        let xs: Vec<u32> = {
+            let mut r = rng_for(9, "stream");
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let ys: Vec<u32> = {
+            let mut r = rng_for(9, "stream");
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn indexed_streams_are_distinct() {
+        let mut a = rng_for_indexed(3, "acct", 0);
+        let mut b = rng_for_indexed(3, "acct", 1);
+        let xa: u64 = a.gen();
+        let xb: u64 = b.gen();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn empty_label_is_valid() {
+        // Degenerate but allowed: an empty label still yields a usable seed.
+        let s = derive_seed(5, "");
+        assert_ne!(s, 5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Required-sample-size computations (Cochran's formula).
+//!
+//! The Fake Project classifier of §III always samples **9604** followers:
+//! the size required for a 95% confidence level with a ±1% margin of error
+//! under the conservative worst case `p = 0.5`. This module reproduces that
+//! arithmetic and its finite-population refinement.
+
+use crate::estimator::ConfidenceLevel;
+
+/// Cochran's required sample size for estimating a proportion:
+/// `n = Z² · p(1−p) / e²`, rounded up.
+///
+/// `margin` is the half-width of the desired interval (e.g. `0.01` for ±1%)
+/// and `p_guess` the anticipated proportion (use `0.5` for the conservative
+/// worst case, as the paper does).
+///
+/// # Panics
+///
+/// Panics if `margin` is not in `(0, 1)` or `p_guess` not in `[0, 1]`.
+///
+/// ```
+/// use fakeaudit_stats::{required_sample_size, ConfidenceLevel};
+/// // The paper's FC sample size.
+/// assert_eq!(required_sample_size(ConfidenceLevel::P95, 0.01, 0.5), 9604);
+/// // StatusPeople's 1000-record sample corresponds to a ±3.1% margin.
+/// assert_eq!(required_sample_size(ConfidenceLevel::P95, 0.031, 0.5), 1000);
+/// ```
+pub fn required_sample_size(level: ConfidenceLevel, margin: f64, p_guess: f64) -> u64 {
+    assert!(
+        margin > 0.0 && margin < 1.0,
+        "margin must be in (0, 1), got {margin}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p_guess),
+        "p_guess must be in [0, 1], got {p_guess}"
+    );
+    let z = level.z();
+    ((z * z * p_guess * (1.0 - p_guess)) / (margin * margin)).ceil() as u64
+}
+
+/// Required sample size with the finite-population correction:
+/// `n' = n / (1 + (n − 1)/N)`, rounded up.
+///
+/// For small populations a census may be cheaper than the asymptotic sample;
+/// `n'` never exceeds `population_size`.
+///
+/// ```
+/// use fakeaudit_stats::{ConfidenceLevel};
+/// use fakeaudit_stats::sample_size::required_sample_size_finite;
+/// // For a 10K-follower account the 9604 asymptotic sample collapses
+/// // to under 5K once the population is accounted for.
+/// let n = required_sample_size_finite(ConfidenceLevel::P95, 0.01, 0.5, 10_000);
+/// assert!(n < 5_000);
+/// ```
+pub fn required_sample_size_finite(
+    level: ConfidenceLevel,
+    margin: f64,
+    p_guess: f64,
+    population_size: u64,
+) -> u64 {
+    let n0 = required_sample_size(level, margin, p_guess) as f64;
+    let big_n = population_size as f64;
+    if population_size == 0 {
+        return 0;
+    }
+    let n = n0 / (1.0 + (n0 - 1.0) / big_n);
+    (n.ceil() as u64).min(population_size)
+}
+
+/// The margin of error achieved by a sample of size `n` at the given level,
+/// worst case `p = 0.5`: `e = Z · sqrt(0.25/n)`.
+///
+/// Used to annotate the commercial tools' fixed windows (700, 1000, 2000,
+/// 5000 records) with the accuracy they *could at best* achieve even if
+/// their samples were unbiased.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn worst_case_margin(level: ConfidenceLevel, n: u64) -> f64 {
+    assert!(n > 0, "sample size must be positive");
+    level.z() * (0.25 / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constant() {
+        assert_eq!(required_sample_size(ConfidenceLevel::P95, 0.01, 0.5), 9604);
+    }
+
+    #[test]
+    fn p99_needs_more_samples() {
+        let n95 = required_sample_size(ConfidenceLevel::P95, 0.01, 0.5);
+        let n99 = required_sample_size(ConfidenceLevel::P99, 0.01, 0.5);
+        assert!(n99 > n95);
+        assert_eq!(n99, 16_641); // 2.58² · 0.25 / 0.0001
+    }
+
+    #[test]
+    fn smaller_margin_needs_more_samples() {
+        assert!(
+            required_sample_size(ConfidenceLevel::P95, 0.005, 0.5)
+                > required_sample_size(ConfidenceLevel::P95, 0.01, 0.5)
+        );
+    }
+
+    #[test]
+    fn skewed_p_needs_fewer_samples() {
+        assert!(
+            required_sample_size(ConfidenceLevel::P95, 0.01, 0.1)
+                < required_sample_size(ConfidenceLevel::P95, 0.01, 0.5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be in (0, 1)")]
+    fn rejects_zero_margin() {
+        required_sample_size(ConfidenceLevel::P95, 0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_guess must be in [0, 1]")]
+    fn rejects_bad_p() {
+        required_sample_size(ConfidenceLevel::P95, 0.01, 1.5);
+    }
+
+    #[test]
+    fn finite_correction_never_exceeds_population() {
+        for n in [1u64, 10, 100, 9_604, 100_000] {
+            assert!(required_sample_size_finite(ConfidenceLevel::P95, 0.01, 0.5, n) <= n);
+        }
+    }
+
+    #[test]
+    fn finite_correction_converges_to_cochran() {
+        let n = required_sample_size_finite(ConfidenceLevel::P95, 0.01, 0.5, 1_000_000_000);
+        assert_eq!(n, 9604);
+    }
+
+    #[test]
+    fn finite_zero_population() {
+        assert_eq!(
+            required_sample_size_finite(ConfidenceLevel::P95, 0.01, 0.5, 0),
+            0
+        );
+    }
+
+    #[test]
+    fn worst_case_margin_for_tool_windows() {
+        // StatusPeople assesses 1000 records: best-case ±3.1%.
+        assert!((worst_case_margin(ConfidenceLevel::P95, 1000) - 0.031).abs() < 1e-3);
+        // Socialbakers' 2000: ±2.2%.
+        assert!((worst_case_margin(ConfidenceLevel::P95, 2000) - 0.0219).abs() < 1e-3);
+        // Twitteraudit's 5000: ±1.4%.
+        assert!((worst_case_margin(ConfidenceLevel::P95, 5000) - 0.0139).abs() < 1e-3);
+    }
+
+    #[test]
+    fn margin_roundtrips_with_required_size() {
+        let n = required_sample_size(ConfidenceLevel::P95, 0.02, 0.5);
+        let e = worst_case_margin(ConfidenceLevel::P95, n);
+        assert!(e <= 0.02 + 1e-9);
+    }
+}

@@ -1,0 +1,312 @@
+//! Samplers over ordered populations.
+//!
+//! The surveyed analytics all draw their sample from the *head* of the
+//! follower list returned by `GET followers/ids` — i.e. the newest
+//! followers — while the Fake Project engine samples uniformly at random
+//! from the whole list (§II-D, §III). Both strategies are modelled here
+//! behind the [`Sampler`] trait so detectors can be ablated by swapping the
+//! sampler (experiment A1 in DESIGN.md).
+
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+use std::fmt;
+
+/// A strategy for drawing `k` items from an ordered population.
+///
+/// Populations are slices ordered newest-first, matching the order in which
+/// the simulated `GET followers/ids` API returns follower IDs.
+pub trait Sampler: fmt::Debug {
+    /// Draws up to `k` indices into a population of `len` items.
+    ///
+    /// Implementations must return pairwise-distinct indices in `[0, len)`,
+    /// and exactly `min(k, len)` of them.
+    fn draw_indices<R: Rng + ?Sized>(&self, rng: &mut R, len: usize, k: usize) -> Vec<usize>
+    where
+        Self: Sized;
+
+    /// Draws up to `k` items from `population` by cloning the selected
+    /// elements.
+    fn draw<T: Clone, R: Rng + ?Sized>(&self, rng: &mut R, population: &[T], k: usize) -> Vec<T>
+    where
+        Self: Sized,
+    {
+        self.draw_indices(rng, population.len(), k)
+            .into_iter()
+            .map(|i| population[i].clone())
+            .collect()
+    }
+}
+
+/// Simple random sampling without replacement over the full population —
+/// the statistically sound scheme used by the Fake Project engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UniformSampler;
+
+impl UniformSampler {
+    /// Creates a uniform sampler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Sampler for UniformSampler {
+    fn draw_indices<R: Rng + ?Sized>(&self, rng: &mut R, len: usize, k: usize) -> Vec<usize> {
+        let k = k.min(len);
+        if k == 0 {
+            return Vec::new();
+        }
+        index_sample(rng, len, k).into_vec()
+    }
+}
+
+/// Prefix sampling: the population's first `window` items (the newest
+/// followers) form the frame, and up to `k` items are drawn from that frame.
+///
+/// This is the biased scheme §II-D attributes to all three commercial
+/// tools: "the followers taken into consideration are just the latest ones
+/// to have joined … a fixed number, unrelated to the total number of
+/// followers".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixSampler {
+    window: usize,
+    /// If true, draw randomly inside the window; if false, take the first
+    /// `k` items deterministically.
+    randomize_within_window: bool,
+}
+
+impl PrefixSampler {
+    /// Creates a prefix sampler that draws randomly within the newest
+    /// `window` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            randomize_within_window: true,
+        }
+    }
+
+    /// Creates a prefix sampler that deterministically takes the first `k`
+    /// items of the window (how the simplest tools behave).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn deterministic(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            randomize_within_window: false,
+        }
+    }
+
+    /// The size of the newest-followers frame.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Sampler for PrefixSampler {
+    fn draw_indices<R: Rng + ?Sized>(&self, rng: &mut R, len: usize, k: usize) -> Vec<usize> {
+        let frame = self.window.min(len);
+        let k = k.min(frame);
+        if k == 0 {
+            return Vec::new();
+        }
+        if self.randomize_within_window {
+            index_sample(rng, frame, k).into_vec()
+        } else {
+            (0..k).collect()
+        }
+    }
+}
+
+/// Either sampling strategy, for configuration written as data (ablations,
+/// serialised experiment descriptions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingScheme {
+    /// Simple random sampling from the full population.
+    Uniform,
+    /// Random sampling within the newest-`window` prefix.
+    Prefix {
+        /// Size of the newest-followers frame.
+        window: usize,
+    },
+    /// Deterministic first-`k` of the newest-`window` prefix.
+    DeterministicPrefix {
+        /// Size of the newest-followers frame.
+        window: usize,
+    },
+}
+
+impl SamplingScheme {
+    /// Draws up to `k` indices into a population of `len` items according to
+    /// the scheme.
+    pub fn draw_indices<R: Rng + ?Sized>(&self, rng: &mut R, len: usize, k: usize) -> Vec<usize> {
+        match *self {
+            SamplingScheme::Uniform => UniformSampler.draw_indices(rng, len, k),
+            SamplingScheme::Prefix { window } => {
+                PrefixSampler::new(window).draw_indices(rng, len, k)
+            }
+            SamplingScheme::DeterministicPrefix { window } => {
+                PrefixSampler::deterministic(window).draw_indices(rng, len, k)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SamplingScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingScheme::Uniform => write!(f, "uniform"),
+            SamplingScheme::Prefix { window } => write!(f, "prefix(window={window})"),
+            SamplingScheme::DeterministicPrefix { window } => {
+                write!(f, "deterministic-prefix(window={window})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+    use std::collections::HashSet;
+
+    fn assert_valid(indices: &[usize], len: usize, expected: usize) {
+        assert_eq!(indices.len(), expected);
+        let set: HashSet<_> = indices.iter().copied().collect();
+        assert_eq!(set.len(), indices.len(), "indices must be distinct");
+        assert!(indices.iter().all(|&i| i < len));
+    }
+
+    #[test]
+    fn uniform_draws_distinct_in_range() {
+        let mut rng = rng_for(1, "t");
+        let idx = UniformSampler.draw_indices(&mut rng, 100, 30);
+        assert_valid(&idx, 100, 30);
+    }
+
+    #[test]
+    fn uniform_caps_at_population() {
+        let mut rng = rng_for(1, "t");
+        let idx = UniformSampler.draw_indices(&mut rng, 5, 30);
+        assert_valid(&idx, 5, 5);
+    }
+
+    #[test]
+    fn uniform_empty_population() {
+        let mut rng = rng_for(1, "t");
+        assert!(UniformSampler.draw_indices(&mut rng, 0, 10).is_empty());
+    }
+
+    #[test]
+    fn uniform_covers_whole_range_eventually() {
+        let mut rng = rng_for(2, "t");
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            seen.extend(UniformSampler.draw_indices(&mut rng, 50, 10));
+        }
+        assert_eq!(seen.len(), 50, "all positions should be reachable");
+    }
+
+    #[test]
+    fn prefix_never_leaves_window() {
+        let mut rng = rng_for(3, "t");
+        let s = PrefixSampler::new(10);
+        for _ in 0..100 {
+            let idx = s.draw_indices(&mut rng, 1000, 5);
+            assert_valid(&idx, 10, 5);
+        }
+    }
+
+    #[test]
+    fn prefix_window_larger_than_population() {
+        let mut rng = rng_for(3, "t");
+        let s = PrefixSampler::new(1000);
+        let idx = s.draw_indices(&mut rng, 7, 5);
+        assert_valid(&idx, 7, 5);
+    }
+
+    #[test]
+    fn deterministic_prefix_takes_head() {
+        let mut rng = rng_for(4, "t");
+        let s = PrefixSampler::deterministic(100);
+        let idx = s.draw_indices(&mut rng, 1000, 5);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        PrefixSampler::new(0);
+    }
+
+    #[test]
+    fn draw_clones_selected_items() {
+        let mut rng = rng_for(5, "t");
+        let pop: Vec<u32> = (0..100).collect();
+        let items = PrefixSampler::deterministic(10).draw(&mut rng, &pop, 3);
+        assert_eq!(items, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scheme_dispatch_matches_direct() {
+        let pop_len = 500;
+        let idx_a =
+            SamplingScheme::Prefix { window: 20 }.draw_indices(&mut rng_for(6, "a"), pop_len, 10);
+        let idx_b = PrefixSampler::new(20).draw_indices(&mut rng_for(6, "a"), pop_len, 10);
+        assert_eq!(idx_a, idx_b);
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(SamplingScheme::Uniform.to_string(), "uniform");
+        assert_eq!(
+            SamplingScheme::Prefix { window: 700 }.to_string(),
+            "prefix(window=700)"
+        );
+    }
+
+    #[test]
+    fn uniform_is_unbiased_over_positions() {
+        // Mean sampled index over many draws should approximate the
+        // population mid-point — the property prefix sampling lacks.
+        let mut rng = rng_for(7, "t");
+        let mut sum = 0usize;
+        let mut count = 0usize;
+        for _ in 0..500 {
+            for i in UniformSampler.draw_indices(&mut rng, 1000, 20) {
+                sum += i;
+                count += 1;
+            }
+        }
+        let mean = sum as f64 / count as f64;
+        assert!(
+            (mean - 499.5).abs() < 30.0,
+            "mean index {mean} too far from 499.5"
+        );
+    }
+
+    #[test]
+    fn prefix_is_biased_towards_head() {
+        let mut rng = rng_for(8, "t");
+        let s = PrefixSampler::new(100);
+        let mut sum = 0usize;
+        let mut count = 0usize;
+        for _ in 0..500 {
+            for i in s.draw_indices(&mut rng, 1000, 20) {
+                sum += i;
+                count += 1;
+            }
+        }
+        let mean = sum as f64 / count as f64;
+        assert!(
+            mean < 60.0,
+            "prefix mean index {mean} should sit in the window"
+        );
+    }
+}

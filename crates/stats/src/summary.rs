@@ -1,0 +1,253 @@
+//! Descriptive statistics over experiment outputs.
+//!
+//! The experiment drivers summarise per-account results (response times,
+//! detector percentages, disagreement scores) with the usual moments and
+//! order statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a set of `f64` observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single value).
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// 95th percentile (linear interpolation).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `values`.
+    ///
+    /// Returns `None` if `values` is empty or contains a non-finite number.
+    ///
+    /// ```
+    /// use fakeaudit_stats::summary::Summary;
+    /// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+    /// assert_eq!(s.mean, 2.5);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 4.0);
+    /// ```
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let std_dev = if count > 1 {
+            (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Some(Self {
+            count,
+            mean,
+            std_dev,
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} med={:.3} p95={:.3} max={:.3}",
+            self.count, self.mean, self.std_dev, self.min, self.median, self.p95, self.max
+        )
+    }
+}
+
+/// Linear-interpolation percentile of an already **sorted** slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `pct` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&pct), "pct must be in [0, 100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// A fixed-width histogram over `[min, max)` with `bins` buckets, used by
+/// the experiment reports to render quality-score distributions (the chart
+/// Twitteraudit shows per audit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `[min, max)` with `bins` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `min >= max`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(bins > 0, "bins must be positive");
+        assert!(min < max, "min must be < max");
+        Self {
+            min,
+            max,
+            counts: vec![0; bins],
+            outliers: 0,
+        }
+    }
+
+    /// Records one observation. Values outside `[min, max)` count as
+    /// outliers rather than being dropped silently.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() || value < self.min || value >= self.max {
+            self.outliers += 1;
+            return;
+        }
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        let idx = (((value - self.min) / width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations that fell outside the range.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `(low, high)` bounds of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bucket index out of range");
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        (
+            self.min + width * i as f64,
+            self.min + width * (i + 1) as f64,
+        )
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_rejects_nan() {
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p95, 7.0);
+    }
+
+    #[test]
+    fn summary_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample sd with n-1: sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let a = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        let b = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&xs, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&xs, 100.0), 40.0);
+        assert_eq!(percentile_sorted(&xs, 50.0), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty slice")]
+    fn percentile_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.5, 1.0, 3.0, 9.99, -1.0, 10.0, f64::NAN]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.outliers(), 3);
+        assert_eq!(h.counts()[0], 2); // 0.5 and 1.0 fall in [0,2)
+        assert_eq!(h.counts()[4], 1); // 9.99 in [8,10)
+    }
+
+    #[test]
+    fn histogram_bucket_bounds() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bucket_bounds(0), (0.0, 2.0));
+        assert_eq!(h.bucket_bounds(4), (8.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bins must be positive")]
+    fn histogram_zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min must be < max")]
+    fn histogram_bad_range_panics() {
+        Histogram::new(1.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the statistics substrate.
+
+use fakeaudit_stats::bias::{burst_population, expected_prefix_estimate, prefix_bias};
+use fakeaudit_stats::estimator::{ConfidenceLevel, ProportionEstimate};
+use fakeaudit_stats::rng::{derive_seed, rng_for};
+use fakeaudit_stats::sample_size::{
+    required_sample_size, required_sample_size_finite, worst_case_margin,
+};
+use fakeaudit_stats::sampling::{PrefixSampler, Sampler, SamplingScheme, UniformSampler};
+use fakeaudit_stats::summary::{percentile_sorted, Summary};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn estimate_is_within_unit_interval(x in 0u64..=1_000, extra in 0u64..=1_000) {
+        let n = x + extra.max(1);
+        let e = ProportionEstimate::new(x, n).unwrap();
+        prop_assert!((0.0..=1.0).contains(&e.p_hat()));
+        prop_assert!(e.standard_error() >= 0.0);
+    }
+
+    #[test]
+    fn wald_and_wilson_contain_point_estimate(x in 0u64..=500, extra in 1u64..=500) {
+        let n = x + extra;
+        let e = ProportionEstimate::new(x, n).unwrap();
+        for level in [ConfidenceLevel::P90, ConfidenceLevel::P95, ConfidenceLevel::P99] {
+            prop_assert!(e.wald(level).contains(e.p_hat()));
+            prop_assert!(e.wilson(level).contains(e.p_hat()));
+        }
+    }
+
+    #[test]
+    fn wald_intervals_nest_by_confidence(x in 1u64..=499, extra in 1u64..=500) {
+        let n = x + extra;
+        let e = ProportionEstimate::new(x, n).unwrap();
+        let w90 = e.wald(ConfidenceLevel::P90);
+        let w99 = e.wald(ConfidenceLevel::P99);
+        prop_assert!(w99.low <= w90.low + 1e-12);
+        prop_assert!(w99.high >= w90.high - 1e-12);
+    }
+
+    #[test]
+    fn fpc_never_widens_error(x in 0u64..=200, extra in 1u64..=200, pop_extra in 0u64..=10_000) {
+        let n = x + extra;
+        let e = ProportionEstimate::new(x, n).unwrap();
+        prop_assert!(e.standard_error_fpc(n + pop_extra) <= e.standard_error() + 1e-12);
+    }
+
+    #[test]
+    fn required_sample_size_monotone_in_margin(
+        m1 in 0.005f64..0.2,
+        delta in 0.001f64..0.2,
+    ) {
+        let m2 = m1 + delta;
+        prop_assert!(
+            required_sample_size(ConfidenceLevel::P95, m1, 0.5)
+                >= required_sample_size(ConfidenceLevel::P95, m2, 0.5)
+        );
+    }
+
+    #[test]
+    fn finite_sample_size_bounded_by_population(pop in 1u64..100_000) {
+        let n = required_sample_size_finite(ConfidenceLevel::P95, 0.01, 0.5, pop);
+        prop_assert!(n <= pop);
+        prop_assert!(n <= required_sample_size(ConfidenceLevel::P95, 0.01, 0.5));
+    }
+
+    #[test]
+    fn worst_case_margin_shrinks_with_n(n in 1u64..10_000) {
+        prop_assert!(
+            worst_case_margin(ConfidenceLevel::P95, n)
+                >= worst_case_margin(ConfidenceLevel::P95, n + 1)
+        );
+    }
+
+    #[test]
+    fn uniform_sampler_draws_distinct_valid_indices(
+        len in 1usize..2_000,
+        k in 0usize..3_000,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = rng_for(seed, "prop");
+        let idx = UniformSampler.draw_indices(&mut rng, len, k);
+        prop_assert_eq!(idx.len(), k.min(len));
+        let set: HashSet<_> = idx.iter().copied().collect();
+        prop_assert_eq!(set.len(), idx.len());
+        prop_assert!(idx.iter().all(|&i| i < len));
+    }
+
+    #[test]
+    fn prefix_sampler_never_escapes_window(
+        len in 1usize..2_000,
+        window in 1usize..500,
+        k in 0usize..600,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = rng_for(seed, "prop");
+        let idx = PrefixSampler::new(window).draw_indices(&mut rng, len, k);
+        prop_assert!(idx.iter().all(|&i| i < window.min(len)));
+        prop_assert_eq!(idx.len(), k.min(window.min(len)));
+    }
+
+    #[test]
+    fn scheme_draws_agree_with_direct_samplers(
+        len in 1usize..500,
+        k in 0usize..600,
+        seed in 0u64..1_000,
+    ) {
+        let via_scheme = SamplingScheme::Uniform
+            .draw_indices(&mut rng_for(seed, "x"), len, k);
+        let direct = UniformSampler.draw_indices(&mut rng_for(seed, "x"), len, k);
+        prop_assert_eq!(via_scheme, direct);
+    }
+
+    #[test]
+    fn prefix_estimate_is_a_proportion(
+        positives in 0usize..500,
+        negatives in 0usize..500,
+        window in 1usize..1_000,
+    ) {
+        prop_assume!(positives + negatives > 0);
+        let labels = burst_population(positives, negatives);
+        let e = expected_prefix_estimate(labels.len(), window, |i| labels[i]);
+        prop_assert!((0.0..=1.0).contains(&e));
+    }
+
+    #[test]
+    fn prefix_bias_vanishes_with_full_window(
+        positives in 0usize..300,
+        negatives in 0usize..300,
+    ) {
+        prop_assume!(positives + negatives > 0);
+        let labels = burst_population(positives, negatives);
+        let b = prefix_bias(labels.len(), labels.len(), |i| labels[i]);
+        prop_assert!(b.abs() < 1e-12);
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_label_sensitive(master in any::<u64>(), label in "[a-z]{1,12}") {
+        prop_assert_eq!(derive_seed(master, &label), derive_seed(master, &label));
+        prop_assert_ne!(derive_seed(master, &label), derive_seed(master, &format!("{label}x")));
+    }
+
+    #[test]
+    fn summary_bounds_hold(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&values).unwrap();
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.median <= s.p95 + 1e-9 && s.p95 <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.count, values.len());
+    }
+
+    #[test]
+    fn percentile_is_monotone(
+        mut values in prop::collection::vec(-1e3f64..1e3, 2..100),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile_sorted(&values, lo) <= percentile_sorted(&values, hi) + 1e-9);
+    }
+}

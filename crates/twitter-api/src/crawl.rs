@@ -1,0 +1,143 @@
+//! Closed-form crawl budgets (experiment E3).
+//!
+//! "For our tests we gathered data from the whole set of followers of
+//! President Obama. This required a total time of around 27 days" (§IV-B).
+//! The figure is pure arithmetic over Table I's sustained rates; this module
+//! reproduces it for any follower count.
+
+use crate::endpoint::Endpoint;
+use fakeaudit_twittersim::clock::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The cost breakdown of crawling a follower base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlBudget {
+    /// Followers to crawl.
+    pub followers: u64,
+    /// `GET followers/ids` calls (5000 ids each).
+    pub ids_calls: u64,
+    /// `GET users/lookup` calls (100 profiles each).
+    pub lookup_calls: u64,
+    /// `GET statuses/user_timeline` calls (one 200-tweet page per account),
+    /// zero when timelines are not crawled.
+    pub timeline_calls: u64,
+    /// Total crawl duration at sustained rates with a single token, the
+    /// endpoints polled serially (as the authors' crawler did).
+    pub total: SimDuration,
+}
+
+impl CrawlBudget {
+    /// Computes the budget for crawling `followers` accounts: the id list,
+    /// every profile, and optionally one timeline page per follower.
+    ///
+    /// ```
+    /// use fakeaudit_twitter_api::crawl::CrawlBudget;
+    /// // The paper's Obama crawl: "around 27 days".
+    /// let budget = CrawlBudget::for_followers(41_000_000, false);
+    /// assert!((25.0..32.0).contains(&budget.total_days()));
+    /// ```
+    pub fn for_followers(followers: u64, include_timelines: bool) -> Self {
+        let ids_calls = followers.div_ceil(Endpoint::FollowersIds.items_per_request() as u64);
+        let lookup_calls = followers.div_ceil(Endpoint::UsersLookup.items_per_request() as u64);
+        let timeline_calls = if include_timelines { followers } else { 0 };
+        let minutes = |calls: u64, e: Endpoint| {
+            (calls as f64 / f64::from(e.requests_per_minute())).ceil() as u64
+        };
+        let total_minutes = minutes(ids_calls, Endpoint::FollowersIds)
+            + minutes(lookup_calls, Endpoint::UsersLookup)
+            + if include_timelines {
+                minutes(timeline_calls, Endpoint::UserTimeline)
+            } else {
+                0
+            };
+        Self {
+            followers,
+            ids_calls,
+            lookup_calls,
+            timeline_calls,
+            total: SimDuration::from_mins(total_minutes),
+        }
+    }
+
+    /// The total duration in fractional days.
+    pub fn total_days(&self) -> f64 {
+        self.total.as_days_f64()
+    }
+}
+
+impl fmt::Display for CrawlBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crawl of {} followers: {} ids calls + {} lookup calls{} = {}",
+            self.followers,
+            self.ids_calls,
+            self.lookup_calls,
+            if self.timeline_calls > 0 {
+                format!(" + {} timeline calls", self.timeline_calls)
+            } else {
+                String::new()
+            },
+            self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obama_crawl_takes_weeks() {
+        // 41M followers: 8200 ids calls (5.7 days) + 410 000 lookup calls
+        // (23.7 days) ≈ 29 days — the paper reports "around 27 days".
+        let b = CrawlBudget::for_followers(41_000_000, false);
+        assert_eq!(b.ids_calls, 8_200);
+        assert_eq!(b.lookup_calls, 410_000);
+        let days = b.total_days();
+        assert!(
+            (25.0..32.0).contains(&days),
+            "Obama crawl should take ~27 days, got {days:.1}"
+        );
+    }
+
+    #[test]
+    fn small_account_crawls_in_minutes() {
+        let b = CrawlBudget::for_followers(929, false);
+        assert_eq!(b.ids_calls, 1);
+        assert_eq!(b.lookup_calls, 10);
+        assert!(b.total.as_secs() <= 3 * 60);
+    }
+
+    #[test]
+    fn timelines_dominate_when_included() {
+        let with = CrawlBudget::for_followers(100_000, true);
+        let without = CrawlBudget::for_followers(100_000, false);
+        assert_eq!(with.timeline_calls, 100_000);
+        assert!(with.total > without.total);
+    }
+
+    #[test]
+    fn zero_followers_is_free() {
+        let b = CrawlBudget::for_followers(0, true);
+        assert_eq!(b.ids_calls, 0);
+        assert_eq!(b.total, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn budget_scales_linearly() {
+        let a = CrawlBudget::for_followers(1_000_000, false);
+        let b = CrawlBudget::for_followers(2_000_000, false);
+        let ratio = b.total.as_secs() as f64 / a.total.as_secs() as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn display_mentions_parts() {
+        let b = CrawlBudget::for_followers(10_000, true);
+        let s = b.to_string();
+        assert!(s.contains("ids calls"));
+        assert!(s.contains("timeline calls"));
+    }
+}

@@ -1,0 +1,128 @@
+//! The endpoint catalogue — Table I as data.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Length of Twitter's rate-limit window in seconds (15 minutes).
+pub const WINDOW_SECS: f64 = 900.0;
+
+/// The four REST endpoints a fake-follower check needs (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// `GET followers/ids` — pages of follower ids, newest first.
+    FollowersIds,
+    /// `GET friends/ids` — pages of followed-account ids.
+    FriendsIds,
+    /// `GET users/lookup` — bulk profile hydration.
+    UsersLookup,
+    /// `GET statuses/user_timeline` — recent tweets of one account.
+    UserTimeline,
+}
+
+impl Endpoint {
+    /// All endpoints in Table I row order.
+    pub const ALL: [Endpoint; 4] = [
+        Endpoint::FollowersIds,
+        Endpoint::FriendsIds,
+        Endpoint::UsersLookup,
+        Endpoint::UserTimeline,
+    ];
+
+    /// Elements returned per request (Table I column 2).
+    pub fn items_per_request(self) -> usize {
+        match self {
+            Endpoint::FollowersIds | Endpoint::FriendsIds => 5_000,
+            Endpoint::UsersLookup => 100,
+            Endpoint::UserTimeline => 200,
+        }
+    }
+
+    /// Maximum sustained requests per minute (Table I column 3).
+    pub fn requests_per_minute(self) -> u32 {
+        match self {
+            Endpoint::FollowersIds | Endpoint::FriendsIds => 1,
+            Endpoint::UsersLookup | Endpoint::UserTimeline => 12,
+        }
+    }
+
+    /// The 15-minute window quota Twitter actually enforced
+    /// (`requests_per_minute × 15`).
+    pub fn window_quota(self) -> u32 {
+        self.requests_per_minute() * 15
+    }
+
+    /// The API path, for report rendering.
+    pub fn path(self) -> &'static str {
+        match self {
+            Endpoint::FollowersIds => "GET followers/ids",
+            Endpoint::FriendsIds => "GET friends/ids",
+            Endpoint::UsersLookup => "GET users/lookup",
+            Endpoint::UserTimeline => "GET statuses/user_timeline",
+        }
+    }
+
+    /// The deepest timeline the API exposes (the paper notes timelines are
+    /// "restricted however to the last 3200 tweets of an account").
+    pub const TIMELINE_DEPTH_CAP: usize = 3_200;
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.path())
+    }
+}
+
+/// Renders Table I exactly as the paper prints it.
+pub fn render_table1() -> String {
+    let mut out = String::from("API type                      elem.xrequest  max requestsxmin.\n");
+    for e in Endpoint::ALL {
+        out.push_str(&format!(
+            "{:<30}{:<15}{}\n",
+            e.path(),
+            e.items_per_request(),
+            e.requests_per_minute()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_page_sizes() {
+        assert_eq!(Endpoint::FollowersIds.items_per_request(), 5_000);
+        assert_eq!(Endpoint::FriendsIds.items_per_request(), 5_000);
+        assert_eq!(Endpoint::UsersLookup.items_per_request(), 100);
+        assert_eq!(Endpoint::UserTimeline.items_per_request(), 200);
+    }
+
+    #[test]
+    fn table1_rates() {
+        assert_eq!(Endpoint::FollowersIds.requests_per_minute(), 1);
+        assert_eq!(Endpoint::FriendsIds.requests_per_minute(), 1);
+        assert_eq!(Endpoint::UsersLookup.requests_per_minute(), 12);
+        assert_eq!(Endpoint::UserTimeline.requests_per_minute(), 12);
+    }
+
+    #[test]
+    fn window_quotas_match_twitter() {
+        assert_eq!(Endpoint::FollowersIds.window_quota(), 15);
+        assert_eq!(Endpoint::UsersLookup.window_quota(), 180);
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let t = render_table1();
+        for e in Endpoint::ALL {
+            assert!(t.contains(e.path()), "missing {e}");
+        }
+        assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    fn timeline_cap() {
+        assert_eq!(Endpoint::TIMELINE_DEPTH_CAP, 3_200);
+    }
+}

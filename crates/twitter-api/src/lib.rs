@@ -1,0 +1,35 @@
+//! Simulated Twitter REST API v1.1 with the rate limits of Table I.
+//!
+//! The paper's Table I lists the four endpoints a fake-follower check
+//! needs, their page sizes, and their per-minute call allowances:
+//!
+//! | API                        | elem. × request | max requests × min |
+//! |----------------------------|-----------------|--------------------|
+//! | `GET followers/ids`        | 5000            | 1                  |
+//! | `GET friends/ids`          | 5000            | 1                  |
+//! | `GET users/lookup`         | 100             | 12                 |
+//! | `GET statuses/user_timeline` | 200           | 12                 |
+//!
+//! Twitter enforced these as **15-minute window quotas** (15, 15, 180, 180
+//! calls per window respectively — exactly `per-minute × 15`); short bursts
+//! inside a window pay only network latency, while sustained crawls are
+//! bound by the per-minute rate. [`rate_limit::TokenBucket`] models both
+//! regimes, which is what lets the same machinery reproduce both Table II
+//! (seconds) and the 27-day Obama crawl (§IV-B, experiment E3).
+//!
+//! * [`endpoint`] — the endpoint catalogue (Table I as data);
+//! * [`rate_limit`] — deterministic continuous token bucket;
+//! * [`session`] — an API session against a [`fakeaudit_twittersim::Platform`]:
+//!   cursor pagination, call accounting, simulated elapsed time;
+//! * [`crawl`] — closed-form crawl budgets (experiment E3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crawl;
+pub mod endpoint;
+pub mod rate_limit;
+pub mod session;
+
+pub use endpoint::Endpoint;
+pub use session::{ApiConfig, ApiError, ApiSession, CallLog, Cursor};

@@ -1,0 +1,659 @@
+//! API sessions: pagination, call accounting, simulated elapsed time.
+//!
+//! A session reads platform state instantaneously (audits do not mutate the
+//! platform) while accumulating *simulated* elapsed seconds: every REST call
+//! pays a latency draw plus any rate-limit wait from the per-endpoint token
+//! buckets. Tool response times (Table II) are exactly `session.elapsed()`
+//! after the tool's call schedule.
+
+use crate::endpoint::{Endpoint, WINDOW_SECS};
+use crate::rate_limit::TokenBucket;
+use fakeaudit_stats::rng::rng_for;
+use fakeaudit_twittersim::{AccountId, Platform, Profile, Tweet};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Session configuration: how many API tokens the caller owns and how its
+/// HTTP stack performs. Tools differ here (DESIGN.md, Table II model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApiConfig {
+    /// Number of OAuth tokens pooled; multiplies every window quota.
+    pub token_pool: u32,
+    /// Concurrent HTTP requests; divides per-call latency.
+    pub parallelism: u32,
+    /// Base per-call latency in seconds.
+    pub base_latency: f64,
+    /// Uniform latency jitter in seconds (added to the base).
+    pub latency_jitter: f64,
+    /// Seed for the latency jitter stream.
+    pub seed: u64,
+}
+
+impl Default for ApiConfig {
+    fn default() -> Self {
+        Self {
+            token_pool: 1,
+            parallelism: 1,
+            base_latency: 1.2,
+            latency_jitter: 0.6,
+            seed: 0,
+        }
+    }
+}
+
+impl ApiConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pools/parallelism are zero or latencies are negative or
+    /// non-finite.
+    fn validate(&self) {
+        assert!(self.token_pool >= 1, "token_pool must be >= 1");
+        assert!(self.parallelism >= 1, "parallelism must be >= 1");
+        assert!(
+            self.base_latency >= 0.0 && self.base_latency.is_finite(),
+            "base_latency must be non-negative"
+        );
+        assert!(
+            self.latency_jitter >= 0.0 && self.latency_jitter.is_finite(),
+            "latency_jitter must be non-negative"
+        );
+    }
+}
+
+/// An opaque pagination cursor for the cursored endpoints, as the real
+/// API's `next_cursor` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cursor(pub(crate) u64);
+
+impl Cursor {
+    /// The cursor for the first (newest) page.
+    pub const START: Cursor = Cursor(0);
+}
+
+impl fmt::Display for Cursor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cursor#{}", self.0)
+    }
+}
+
+/// Errors returned by API calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// The referenced account does not exist.
+    UnknownAccount(
+        /// The missing id.
+        AccountId,
+    ),
+    /// A pagination cursor did not belong to the requested list.
+    BadCursor(
+        /// The offending cursor.
+        Cursor,
+    ),
+    /// More ids were passed than the endpoint accepts in one request.
+    TooManyIds {
+        /// Ids supplied.
+        given: usize,
+        /// Endpoint maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::UnknownAccount(id) => write!(f, "unknown account {id}"),
+            ApiError::BadCursor(c) => write!(f, "invalid pagination {c}"),
+            ApiError::TooManyIds { given, max } => {
+                write!(f, "too many ids in one request: {given} > {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Per-session call accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CallLog {
+    /// `GET followers/ids` calls.
+    pub followers_ids: u64,
+    /// `GET friends/ids` calls.
+    pub friends_ids: u64,
+    /// `GET users/lookup` calls.
+    pub users_lookup: u64,
+    /// `GET statuses/user_timeline` calls.
+    pub user_timeline: u64,
+}
+
+impl CallLog {
+    /// Total REST calls issued.
+    pub fn total(&self) -> u64 {
+        self.followers_ids + self.friends_ids + self.users_lookup + self.user_timeline
+    }
+
+    fn bump(&mut self, endpoint: Endpoint, calls: u64) {
+        match endpoint {
+            Endpoint::FollowersIds => self.followers_ids += calls,
+            Endpoint::FriendsIds => self.friends_ids += calls,
+            Endpoint::UsersLookup => self.users_lookup += calls,
+            Endpoint::UserTimeline => self.user_timeline += calls,
+        }
+    }
+}
+
+/// An API session bound to a platform.
+///
+/// ```
+/// use fakeaudit_twittersim::{Platform, Profile, SimTime};
+/// use fakeaudit_twittersim::timeline::TimelineModel;
+/// use fakeaudit_twitter_api::{ApiConfig, ApiSession};
+///
+/// let mut platform = Platform::new();
+/// let a = platform.register(Profile::new("a", SimTime::EPOCH), TimelineModel::empty())?;
+/// let b = platform.register(Profile::new("b", SimTime::EPOCH), TimelineModel::empty())?;
+/// platform.follow(b, a)?;
+///
+/// let mut session = ApiSession::new(&platform, ApiConfig::default());
+/// let followers = session.followers_ids(a)?;
+/// assert_eq!(followers, vec![b]);
+/// assert!(session.elapsed_secs() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ApiSession<'a> {
+    platform: &'a Platform,
+    cfg: ApiConfig,
+    buckets: [TokenBucket; 4],
+    now: f64,
+    rate_limit_wait: f64,
+    log: CallLog,
+    rng: StdRng,
+}
+
+impl<'a> ApiSession<'a> {
+    /// Opens a session against `platform`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`ApiConfig`] (zero pools, negative latency).
+    pub fn new(platform: &'a Platform, cfg: ApiConfig) -> Self {
+        cfg.validate();
+        let bucket = |e: Endpoint| {
+            let quota = f64::from(e.window_quota()) * f64::from(cfg.token_pool);
+            TokenBucket::new(quota, quota / WINDOW_SECS)
+        };
+        Self {
+            platform,
+            cfg,
+            buckets: [
+                bucket(Endpoint::FollowersIds),
+                bucket(Endpoint::FriendsIds),
+                bucket(Endpoint::UsersLookup),
+                bucket(Endpoint::UserTimeline),
+            ],
+            now: 0.0,
+            rate_limit_wait: 0.0,
+            log: CallLog::default(),
+            rng: rng_for(cfg.seed, "api-session"),
+        }
+    }
+
+    /// Simulated seconds elapsed in this session so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.now
+    }
+
+    /// Seconds of the elapsed time spent waiting on rate limits.
+    pub fn rate_limit_wait_secs(&self) -> f64 {
+        self.rate_limit_wait
+    }
+
+    /// The call log.
+    pub fn log(&self) -> &CallLog {
+        &self.log
+    }
+
+    /// The platform this session reads.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    fn bucket_mut(&mut self, e: Endpoint) -> &mut TokenBucket {
+        let idx = Endpoint::ALL
+            .iter()
+            .position(|&x| x == e)
+            .expect("endpoint in catalogue");
+        &mut self.buckets[idx]
+    }
+
+    /// Charges `calls` requests against `endpoint`, advancing session time.
+    fn charge(&mut self, endpoint: Endpoint, calls: u64) {
+        self.log.bump(endpoint, calls);
+        for _ in 0..calls {
+            let now = self.now;
+            let wait = self.bucket_mut(endpoint).acquire(now);
+            let latency = (self.cfg.base_latency + self.rng.gen::<f64>() * self.cfg.latency_jitter)
+                / f64::from(self.cfg.parallelism);
+            self.rate_limit_wait += wait;
+            self.now += wait + latency;
+        }
+    }
+
+    fn known(&self, id: AccountId) -> Result<(), ApiError> {
+        if self.platform.profile(id).is_some() {
+            Ok(())
+        } else {
+            Err(ApiError::UnknownAccount(id))
+        }
+    }
+
+    /// `GET followers/ids`, full pagination: all materialised follower ids
+    /// of `target`, newest first.
+    ///
+    /// Charges one call per page **of the nominal count** — for
+    /// scale-substituted targets this bills the crawl a real client would
+    /// pay (8 200 pages for @BarackObama) even though only the materialised
+    /// list is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::UnknownAccount`].
+    pub fn followers_ids(&mut self, target: AccountId) -> Result<Vec<AccountId>, ApiError> {
+        self.known(target)?;
+        let nominal = self
+            .platform
+            .profile(target)
+            .expect("checked")
+            .followers_count;
+        let per = Endpoint::FollowersIds.items_per_request() as u64;
+        let pages = nominal.div_ceil(per).max(1);
+        self.charge(Endpoint::FollowersIds, pages);
+        Ok(self.platform.followers_newest_first(target))
+    }
+
+    /// `GET followers/ids`, one cursored page — the raw shape of the real
+    /// endpoint. Pass [`Cursor::START`] for the first (newest) page; each
+    /// response carries the cursor for the next-older page until the list
+    /// is exhausted. Charges exactly one call.
+    ///
+    /// The cursor walks the *materialised* list (cursor values index into
+    /// it); bulk crawls of scale-substituted targets should use
+    /// [`ApiSession::followers_ids`], which bills the nominal page count.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::UnknownAccount`], or [`ApiError::BadCursor`] when the
+    /// cursor does not belong to this target's list.
+    pub fn followers_ids_page(
+        &mut self,
+        target: AccountId,
+        cursor: Cursor,
+    ) -> Result<(Vec<AccountId>, Option<Cursor>), ApiError> {
+        self.known(target)?;
+        let all = self.platform.followers_newest_first(target);
+        let offset = cursor.0 as usize;
+        if offset > all.len() || offset % Endpoint::FollowersIds.items_per_request() != 0 {
+            return Err(ApiError::BadCursor(cursor));
+        }
+        self.charge(Endpoint::FollowersIds, 1);
+        let per = Endpoint::FollowersIds.items_per_request();
+        let end = (offset + per).min(all.len());
+        let page = all[offset..end].to_vec();
+        let next = (end < all.len()).then_some(Cursor(end as u64));
+        Ok((page, next))
+    }
+
+    /// `GET followers/ids` limited to the newest `limit` followers — the
+    /// prefix window the commercial tools fetch. Charges only the pages
+    /// needed for `limit` items.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::UnknownAccount`].
+    pub fn followers_ids_prefix(
+        &mut self,
+        target: AccountId,
+        limit: usize,
+    ) -> Result<Vec<AccountId>, ApiError> {
+        self.known(target)?;
+        let mut ids = self.platform.followers_newest_first(target);
+        ids.truncate(limit);
+        // Billing follows what a real client would fetch: the window
+        // clamped to the account's (nominal) follower count.
+        let nominal = self
+            .platform
+            .profile(target)
+            .expect("checked")
+            .followers_count;
+        let fetched = (limit as u64).min(nominal);
+        let per = Endpoint::FollowersIds.items_per_request() as u64;
+        let pages = fetched.div_ceil(per).max(1);
+        self.charge(Endpoint::FollowersIds, pages);
+        Ok(ids)
+    }
+
+    /// `GET friends/ids`: the materialised accounts `id` follows.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::UnknownAccount`].
+    pub fn friends_ids(&mut self, id: AccountId) -> Result<Vec<AccountId>, ApiError> {
+        self.known(id)?;
+        let friends = self.platform.graph().friends_of(id).to_vec();
+        let per = Endpoint::FriendsIds.items_per_request();
+        let pages = (friends.len().div_ceil(per).max(1)) as u64;
+        self.charge(Endpoint::FriendsIds, pages);
+        Ok(friends)
+    }
+
+    /// `GET users/lookup`: hydrates up to 100 profiles per request; this
+    /// convenience method batches arbitrarily many ids. Unknown ids are
+    /// silently dropped, as the real endpoint does.
+    pub fn users_lookup(&mut self, ids: &[AccountId]) -> Vec<Profile> {
+        let per = Endpoint::UsersLookup.items_per_request();
+        let calls = (ids.len().div_ceil(per).max(1)) as u64;
+        self.charge(Endpoint::UsersLookup, calls);
+        ids.iter()
+            .filter_map(|&id| self.platform.profile(id).cloned())
+            .collect()
+    }
+
+    /// `GET users/lookup` restricted to a single request.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::TooManyIds`] when more than 100 ids are passed.
+    pub fn users_lookup_page(&mut self, ids: &[AccountId]) -> Result<Vec<Profile>, ApiError> {
+        let max = Endpoint::UsersLookup.items_per_request();
+        if ids.len() > max {
+            return Err(ApiError::TooManyIds {
+                given: ids.len(),
+                max,
+            });
+        }
+        Ok(self.users_lookup(ids))
+    }
+
+    /// `GET statuses/user_timeline`: the newest `count` tweets of `id`
+    /// (capped at 3 200, 200 per request).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::UnknownAccount`].
+    pub fn user_timeline(&mut self, id: AccountId, count: usize) -> Result<Vec<Tweet>, ApiError> {
+        self.known(id)?;
+        let count = count.min(Endpoint::TIMELINE_DEPTH_CAP);
+        let available = self
+            .platform
+            .profile(id)
+            .expect("checked")
+            .statuses_count
+            .min(count as u64) as usize;
+        let per = Endpoint::UserTimeline.items_per_request();
+        let calls = (available.div_ceil(per).max(1)) as u64;
+        self.charge(Endpoint::UserTimeline, calls);
+        Ok(self.platform.recent_tweets(id, count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_population::{ClassMix, TargetScenario};
+
+    fn built() -> (Platform, fakeaudit_population::BuiltTarget) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("target", 1_200, ClassMix::new(0.3, 0.2, 0.5).unwrap())
+            .build(&mut platform, 17)
+            .unwrap();
+        (platform, t)
+    }
+
+    fn quiet_cfg() -> ApiConfig {
+        ApiConfig {
+            base_latency: 1.0,
+            latency_jitter: 0.0,
+            ..ApiConfig::default()
+        }
+    }
+
+    #[test]
+    fn followers_ids_returns_newest_first() {
+        let (platform, t) = built();
+        let mut s = ApiSession::new(&platform, quiet_cfg());
+        let ids = s.followers_ids(t.target).unwrap();
+        assert_eq!(ids.len(), 1_200);
+        assert_eq!(ids, platform.followers_newest_first(t.target));
+        // 1200 followers → 1 page.
+        assert_eq!(s.log().followers_ids, 1);
+    }
+
+    #[test]
+    fn prefix_fetch_charges_fewer_pages() {
+        let (platform, t) = built();
+        let mut s = ApiSession::new(&platform, quiet_cfg());
+        let ids = s.followers_ids_prefix(t.target, 100).unwrap();
+        assert_eq!(ids.len(), 100);
+        assert_eq!(s.log().followers_ids, 1);
+        // Prefix equals the head of the full list.
+        let full = platform.followers_newest_first(t.target);
+        assert_eq!(ids, full[..100]);
+    }
+
+    #[test]
+    fn pinned_target_bills_nominal_pages() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("big", 500, ClassMix::all_genuine())
+            .nominal_followers(41_000_000)
+            .build(&mut platform, 3)
+            .unwrap();
+        let mut s = ApiSession::new(&platform, quiet_cfg());
+        let ids = s.followers_ids(t.target).unwrap();
+        assert_eq!(ids.len(), 500, "returns materialised ids only");
+        assert_eq!(s.log().followers_ids, 8_200, "bills the nominal crawl");
+        // 8200 calls at 1/min sustained minus the free window ≈ 5.7 days.
+        assert!(s.elapsed_secs() > 5.5 * 86_400.0);
+        assert!(s.rate_limit_wait_secs() > 0.0);
+    }
+
+    #[test]
+    fn users_lookup_batches_and_drops_unknown() {
+        let (platform, t) = built();
+        let mut s = ApiSession::new(&platform, quiet_cfg());
+        let mut ids: Vec<AccountId> = t
+            .followers_oldest_first
+            .iter()
+            .map(|&(id, _)| id)
+            .take(250)
+            .collect();
+        ids.push(AccountId(9_999_999));
+        let profiles = s.users_lookup(&ids);
+        assert_eq!(profiles.len(), 250);
+        assert_eq!(s.log().users_lookup, 3); // ceil(251/100)
+    }
+
+    #[test]
+    fn users_lookup_page_rejects_oversize() {
+        let (platform, _) = built();
+        let mut s = ApiSession::new(&platform, quiet_cfg());
+        let ids: Vec<AccountId> = (0..101).map(AccountId).collect();
+        assert!(matches!(
+            s.users_lookup_page(&ids),
+            Err(ApiError::TooManyIds {
+                given: 101,
+                max: 100
+            })
+        ));
+    }
+
+    #[test]
+    fn user_timeline_caps_and_charges() {
+        let (platform, t) = built();
+        // The target itself has thousands of tweets.
+        let mut s = ApiSession::new(&platform, quiet_cfg());
+        let tweets = s.user_timeline(t.target, 400).unwrap();
+        assert_eq!(tweets.len(), 400);
+        assert_eq!(s.log().user_timeline, 2);
+        // Requesting more than the 3200 cap clamps.
+        let mut s2 = ApiSession::new(&platform, quiet_cfg());
+        let tweets = s2.user_timeline(t.target, 100_000).unwrap();
+        assert!(tweets.len() <= 3_200);
+    }
+
+    #[test]
+    fn timeline_of_silent_account_is_one_call() {
+        let (platform, t) = built();
+        // Find a follower that never tweeted.
+        let silent = t
+            .followers_oldest_first
+            .iter()
+            .map(|&(id, _)| id)
+            .find(|&id| platform.profile(id).unwrap().statuses_count == 0)
+            .expect("some follower never tweeted");
+        let mut s = ApiSession::new(&platform, quiet_cfg());
+        let tweets = s.user_timeline(silent, 200).unwrap();
+        assert!(tweets.is_empty());
+        assert_eq!(s.log().user_timeline, 1);
+    }
+
+    #[test]
+    fn cursored_pagination_walks_the_whole_list() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("paged", 12_000, ClassMix::all_genuine())
+            .build(&mut platform, 41)
+            .unwrap();
+        let mut s = ApiSession::new(&platform, quiet_cfg());
+        let mut cursor = Some(Cursor::START);
+        let mut collected = Vec::new();
+        let mut pages = 0;
+        while let Some(c) = cursor {
+            let (page, next) = s.followers_ids_page(t.target, c).unwrap();
+            collected.extend(page);
+            cursor = next;
+            pages += 1;
+        }
+        assert_eq!(pages, 3, "12K followers at 5000/page");
+        assert_eq!(s.log().followers_ids, 3);
+        assert_eq!(collected, platform.followers_newest_first(t.target));
+    }
+
+    #[test]
+    fn bad_cursor_is_rejected() {
+        let (platform, t) = built();
+        let mut s = ApiSession::new(&platform, quiet_cfg());
+        // Not a page boundary.
+        assert!(matches!(
+            s.followers_ids_page(t.target, Cursor(7)),
+            Err(ApiError::BadCursor(_))
+        ));
+        // Past the end of the list.
+        assert!(matches!(
+            s.followers_ids_page(t.target, Cursor(5_000)),
+            Err(ApiError::BadCursor(_))
+        ));
+    }
+
+    #[test]
+    fn single_page_list_has_no_next_cursor() {
+        let (platform, t) = built(); // 1200 followers
+        let mut s = ApiSession::new(&platform, quiet_cfg());
+        let (page, next) = s.followers_ids_page(t.target, Cursor::START).unwrap();
+        assert_eq!(page.len(), 1_200);
+        assert_eq!(next, None);
+    }
+
+    #[test]
+    fn unknown_account_errors() {
+        let (platform, _) = built();
+        let mut s = ApiSession::new(&platform, quiet_cfg());
+        let ghost = AccountId(123_456_789);
+        assert_eq!(
+            s.followers_ids(ghost).unwrap_err(),
+            ApiError::UnknownAccount(ghost)
+        );
+        assert_eq!(
+            s.user_timeline(ghost, 10).unwrap_err(),
+            ApiError::UnknownAccount(ghost)
+        );
+        assert_eq!(
+            s.friends_ids(ghost).unwrap_err(),
+            ApiError::UnknownAccount(ghost)
+        );
+    }
+
+    #[test]
+    fn elapsed_time_accumulates_latency() {
+        let (platform, t) = built();
+        let mut s = ApiSession::new(&platform, quiet_cfg());
+        s.followers_ids(t.target).unwrap();
+        let ids: Vec<AccountId> = t.followers_oldest_first.iter().map(|&(id, _)| id).collect();
+        s.users_lookup(&ids);
+        // 1 followers call + 12 lookup calls at 1.0 s latency.
+        assert_eq!(s.log().total(), 13);
+        assert!((s.elapsed_secs() - 13.0).abs() < 1e-9);
+        assert_eq!(s.rate_limit_wait_secs(), 0.0);
+    }
+
+    #[test]
+    fn parallelism_divides_latency() {
+        let (platform, t) = built();
+        let cfg = ApiConfig {
+            parallelism: 4,
+            ..quiet_cfg()
+        };
+        let mut s = ApiSession::new(&platform, cfg);
+        let ids: Vec<AccountId> = t.followers_oldest_first.iter().map(|&(id, _)| id).collect();
+        s.users_lookup(&ids);
+        assert!((s.elapsed_secs() - 12.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn token_pool_raises_quota() {
+        // 20 followers/ids pages: pool 1 waits, pool 2 does not.
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("mid", 300, ClassMix::all_genuine())
+            .nominal_followers(100_000) // 20 pages
+            .build(&mut platform, 5)
+            .unwrap();
+        let mut s1 = ApiSession::new(&platform, quiet_cfg());
+        s1.followers_ids(t.target).unwrap();
+        assert!(s1.rate_limit_wait_secs() > 0.0);
+        let mut s2 = ApiSession::new(
+            &platform,
+            ApiConfig {
+                token_pool: 2,
+                ..quiet_cfg()
+            },
+        );
+        s2.followers_ids(t.target).unwrap();
+        assert_eq!(s2.rate_limit_wait_secs(), 0.0);
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let (platform, t) = built();
+        let run = || {
+            let mut s = ApiSession::new(&platform, ApiConfig::default());
+            s.followers_ids(t.target).unwrap();
+            s.elapsed_secs()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "token_pool must be >= 1")]
+    fn rejects_zero_token_pool() {
+        let platform = Platform::new();
+        ApiSession::new(
+            &platform,
+            ApiConfig {
+                token_pool: 0,
+                ..ApiConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the simulated API's invariants.
+
+use fakeaudit_population::{ClassMix, TargetScenario};
+use fakeaudit_twitter_api::crawl::CrawlBudget;
+use fakeaudit_twitter_api::rate_limit::TokenBucket;
+use fakeaudit_twitter_api::{ApiConfig, ApiSession, Endpoint};
+use fakeaudit_twittersim::Platform;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn token_bucket_time_never_regresses(
+        capacity in 1.0f64..200.0,
+        refill in 0.001f64..10.0,
+        gaps in prop::collection::vec(0.0f64..100.0, 1..100),
+    ) {
+        let mut bucket = TokenBucket::new(capacity, refill);
+        let mut t = 0.0;
+        for gap in gaps {
+            t += gap;
+            let wait = bucket.acquire(t);
+            prop_assert!(wait >= 0.0);
+            // Sustained rate bound: the wait never exceeds a full token.
+            prop_assert!(wait <= 1.0 / refill + 1e-9);
+            t += wait;
+        }
+    }
+
+    #[test]
+    fn burst_within_quota_is_always_free(capacity in 1usize..180) {
+        let mut bucket = TokenBucket::new(capacity as f64, 0.2);
+        for i in 0..capacity {
+            prop_assert_eq!(bucket.acquire(i as f64 * 0.001), 0.0);
+        }
+    }
+
+    #[test]
+    fn crawl_budget_is_monotone(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            CrawlBudget::for_followers(lo, false).total
+                <= CrawlBudget::for_followers(hi, false).total
+        );
+        prop_assert!(
+            CrawlBudget::for_followers(lo, true).total
+                >= CrawlBudget::for_followers(lo, false).total
+        );
+    }
+
+    #[test]
+    fn crawl_budget_call_counts_match_page_sizes(n in 1u64..5_000_000) {
+        let b = CrawlBudget::for_followers(n, false);
+        prop_assert_eq!(b.ids_calls, n.div_ceil(5_000));
+        prop_assert_eq!(b.lookup_calls, n.div_ceil(100));
+    }
+
+    #[test]
+    fn prefix_fetch_is_a_prefix_of_the_full_fetch(
+        followers in 1usize..800,
+        limit in 1usize..1_000,
+    ) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("prop_api", followers, ClassMix::all_genuine())
+            .build(&mut platform, 1)
+            .unwrap();
+        let mut s1 = ApiSession::new(&platform, ApiConfig::default());
+        let full = s1.followers_ids(t.target).unwrap();
+        let mut s2 = ApiSession::new(&platform, ApiConfig::default());
+        let prefix = s2.followers_ids_prefix(t.target, limit).unwrap();
+        prop_assert_eq!(prefix.len(), limit.min(followers));
+        prop_assert_eq!(&full[..prefix.len()], &prefix[..]);
+        prop_assert!(s2.log().followers_ids <= s1.log().followers_ids);
+    }
+
+    #[test]
+    fn users_lookup_charges_ceil_pages(followers in 1usize..600, take in 1usize..700) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("prop_lookup", followers, ClassMix::all_genuine())
+            .build(&mut platform, 2)
+            .unwrap();
+        let ids: Vec<_> = t
+            .followers_oldest_first
+            .iter()
+            .map(|&(id, _)| id)
+            .take(take)
+            .collect();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let profiles = s.users_lookup(&ids);
+        prop_assert_eq!(profiles.len(), ids.len());
+        prop_assert_eq!(
+            s.log().users_lookup,
+            (ids.len().div_ceil(Endpoint::UsersLookup.items_per_request()).max(1)) as u64
+        );
+    }
+
+    #[test]
+    fn session_elapsed_grows_with_calls(calls in 1usize..10) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("prop_elapsed", 50, ClassMix::all_genuine())
+            .build(&mut platform, 3)
+            .unwrap();
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let mut last = 0.0;
+        for _ in 0..calls {
+            s.followers_ids(t.target).unwrap();
+            prop_assert!(s.elapsed_secs() > last);
+            last = s.elapsed_secs();
+        }
+    }
+}

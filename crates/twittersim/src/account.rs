@@ -1,0 +1,187 @@
+//! Account identities and profiles.
+//!
+//! A [`Profile`] carries exactly the attributes the surveyed detectors
+//! inspect (§II): follower/friend/status counts, account age, default
+//! profile image, and bio/location presence. Counts are stored on the
+//! profile (authoritative), while the follow *lists* of audited targets live
+//! in [`crate::graph`].
+
+use crate::clock::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A unique account identifier, analogous to Twitter's numeric user id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AccountId(pub u64);
+
+impl AccountId {
+    /// The raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl From<u64> for AccountId {
+    fn from(v: u64) -> Self {
+        AccountId(v)
+    }
+}
+
+/// An account profile as `GET users/lookup` would return it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Screen name (without the leading `@`).
+    pub screen_name: String,
+    /// Account creation time.
+    pub created_at: SimTime,
+    /// Number of accounts following this one. For scale-substituted targets
+    /// this is the *nominal* count (see crate docs).
+    pub followers_count: u64,
+    /// Number of accounts this one follows ("friends" in API parlance).
+    pub friends_count: u64,
+    /// Lifetime number of tweets.
+    pub statuses_count: u64,
+    /// Time of the most recent tweet, if the account has ever tweeted.
+    pub last_tweet_at: Option<SimTime>,
+    /// Whether the account still uses the default profile image (the "egg").
+    pub default_profile_image: bool,
+    /// Whether the bio field is filled in.
+    pub has_bio: bool,
+    /// Whether the location field is filled in.
+    pub has_location: bool,
+}
+
+impl Profile {
+    /// Creates a minimal fresh profile: zero counts, never tweeted, default
+    /// image, empty bio/location.
+    pub fn new(screen_name: impl Into<String>, created_at: SimTime) -> Self {
+        Self {
+            screen_name: screen_name.into(),
+            created_at,
+            followers_count: 0,
+            friends_count: 0,
+            statuses_count: 0,
+            last_tweet_at: None,
+            default_profile_image: true,
+            has_bio: false,
+            has_location: false,
+        }
+    }
+
+    /// The follower/friend ratio `friends / followers` used by several
+    /// tools ("fake accounts tend to follow a lot of people but don't have
+    /// many followers"). Returns `friends_count` as-is when the account has
+    /// zero followers (the most suspicious case).
+    pub fn following_follower_ratio(&self) -> f64 {
+        if self.followers_count == 0 {
+            self.friends_count as f64
+        } else {
+            self.friends_count as f64 / self.followers_count as f64
+        }
+    }
+
+    /// Account age at `now`. Zero if `now` precedes creation.
+    pub fn age_at(&self, now: SimTime) -> crate::clock::SimDuration {
+        if now <= self.created_at {
+            crate::clock::SimDuration::ZERO
+        } else {
+            now - self.created_at
+        }
+    }
+
+    /// Whether the account has never tweeted.
+    pub fn never_tweeted(&self) -> bool {
+        self.statuses_count == 0
+    }
+
+    /// Seconds since the last tweet at `now`, or `None` if never tweeted.
+    pub fn seconds_since_last_tweet(&self, now: SimTime) -> Option<u64> {
+        self.last_tweet_at
+            .map(|t| if now <= t { 0 } else { (now - t).as_secs() })
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "@{} (followers={} friends={} tweets={})",
+            self.screen_name, self.followers_count, self.friends_count, self.statuses_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{SimDuration, SimTime};
+
+    #[test]
+    fn account_id_display_and_conversion() {
+        let id = AccountId::from(42u64);
+        assert_eq!(id.to_string(), "u42");
+        assert_eq!(id.as_u64(), 42);
+    }
+
+    #[test]
+    fn fresh_profile_defaults() {
+        let p = Profile::new("alice", SimTime::from_days(10));
+        assert!(p.never_tweeted());
+        assert!(p.default_profile_image);
+        assert!(!p.has_bio);
+        assert_eq!(p.followers_count, 0);
+        assert_eq!(p.seconds_since_last_tweet(SimTime::from_days(11)), None);
+    }
+
+    #[test]
+    fn ratio_with_followers() {
+        let mut p = Profile::new("bob", SimTime::EPOCH);
+        p.friends_count = 500;
+        p.followers_count = 10;
+        assert_eq!(p.following_follower_ratio(), 50.0);
+    }
+
+    #[test]
+    fn ratio_with_zero_followers() {
+        let mut p = Profile::new("bot", SimTime::EPOCH);
+        p.friends_count = 2000;
+        assert_eq!(p.following_follower_ratio(), 2000.0);
+    }
+
+    #[test]
+    fn age_clamps_at_zero() {
+        let p = Profile::new("c", SimTime::from_days(100));
+        assert_eq!(p.age_at(SimTime::from_days(50)), SimDuration::ZERO);
+        assert_eq!(
+            p.age_at(SimTime::from_days(130)),
+            SimDuration::from_days(30)
+        );
+    }
+
+    #[test]
+    fn seconds_since_last_tweet() {
+        let mut p = Profile::new("d", SimTime::EPOCH);
+        p.last_tweet_at = Some(SimTime::from_secs(1_000));
+        p.statuses_count = 1;
+        assert_eq!(
+            p.seconds_since_last_tweet(SimTime::from_secs(1_500)),
+            Some(500)
+        );
+        // A clock observed before the tweet clamps at zero.
+        assert_eq!(p.seconds_since_last_tweet(SimTime::from_secs(900)), Some(0));
+    }
+
+    #[test]
+    fn profile_display_mentions_counts() {
+        let mut p = Profile::new("e", SimTime::EPOCH);
+        p.followers_count = 7;
+        assert!(p.to_string().contains("@e"));
+        assert!(p.to_string().contains("followers=7"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Virtual time.
+//!
+//! All timing results in the reproduction (Table II response times, the
+//! 27-day Obama crawl) are *simulated*: they are derived from API call
+//! schedules against [`SimClock`], never from the wall clock. This makes
+//! every experiment instantaneous and bit-reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Seconds in a simulated minute/hour/day.
+pub const SECS_PER_MINUTE: i64 = 60;
+/// Seconds in a simulated hour.
+pub const SECS_PER_HOUR: i64 = 3_600;
+/// Seconds in a simulated day.
+pub const SECS_PER_DAY: i64 = 86_400;
+
+/// A point in simulated time, in whole seconds since the simulation epoch.
+///
+/// The epoch is arbitrary; the reproduction uses "seconds since 2006-03-21"
+/// (Twitter's launch) purely as a mnemonic.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(i64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Creates a time `secs` seconds after the epoch.
+    pub fn from_secs(secs: i64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Creates a time `days` days after the epoch.
+    pub fn from_days(days: i64) -> Self {
+        SimTime(days * SECS_PER_DAY)
+    }
+
+    /// Seconds since the epoch.
+    pub fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Whole days since the epoch (floor).
+    pub fn as_days(self) -> i64 {
+        self.0.div_euclid(SECS_PER_DAY)
+    }
+
+    /// The absolute duration between two times.
+    pub fn abs_diff(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.abs_diff(other.0))
+    }
+
+    /// `self + duration`, saturating at the representable maximum.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0 as i64))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0 as i64)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0 as i64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics (in debug) if `rhs` is later than `self`; use
+    /// [`SimTime::abs_diff`] for unordered operands.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self >= rhs, "SimTime subtraction would underflow");
+        SimDuration((self.0 - rhs.0) as u64)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let days = self.as_days();
+        let rem = self.0 - days * SECS_PER_DAY;
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            days,
+            rem / SECS_PER_HOUR,
+            (rem % SECS_PER_HOUR) / SECS_PER_MINUTE,
+            rem % SECS_PER_MINUTE
+        )
+    }
+}
+
+/// A non-negative span of simulated time, in whole seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `secs` seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// Creates a duration of `mins` minutes.
+    pub fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * SECS_PER_MINUTE as u64)
+    }
+
+    /// Creates a duration of `days` days.
+    pub fn from_days(days: u64) -> Self {
+        SimDuration(days * SECS_PER_DAY as u64)
+    }
+
+    /// The duration in seconds.
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in fractional days.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / SECS_PER_DAY as f64
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_sub(other.0).map(SimDuration)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= SECS_PER_DAY as u64 {
+            write!(f, "{:.1}d", self.as_days_f64())
+        } else if self.0 >= SECS_PER_HOUR as u64 {
+            write!(f, "{:.1}h", self.0 as f64 / SECS_PER_HOUR as f64)
+        } else {
+            write!(f, "{}s", self.0)
+        }
+    }
+}
+
+/// A monotonically advancing virtual clock.
+///
+/// ```
+/// use fakeaudit_twittersim::clock::{SimClock, SimDuration, SimTime};
+/// let mut clock = SimClock::new();
+/// clock.advance(SimDuration::from_mins(2));
+/// assert_eq!(clock.now(), SimTime::from_secs(120));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// Creates a clock at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at `t`.
+    pub fn starting_at(t: SimTime) -> Self {
+        Self { now: t }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Advances the clock to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time — the clock is
+    /// monotone.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "SimClock must not move backwards");
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_secs(100);
+        let u = t + SimDuration::from_secs(20);
+        assert_eq!(u.as_secs(), 120);
+        assert_eq!(u - t, SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn day_conversions() {
+        assert_eq!(SimTime::from_days(3).as_secs(), 3 * 86_400);
+        assert_eq!(SimTime::from_secs(2 * 86_400 + 5).as_days(), 2);
+        assert_eq!(SimDuration::from_days(27).as_days_f64(), 27.0);
+    }
+
+    #[test]
+    fn negative_time_floor_division() {
+        assert_eq!(SimTime::from_secs(-1).as_days(), -1);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(30);
+        assert_eq!(a.abs_diff(b), b.abs_diff(a));
+        assert_eq!(a.abs_diff(b).as_secs(), 20);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut c = SimClock::new();
+        c.advance(SimDuration::from_mins(1));
+        c.advance(SimDuration::from_secs(30));
+        assert_eq!(c.now().as_secs(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not move backwards")]
+    fn clock_is_monotone() {
+        let mut c = SimClock::starting_at(SimTime::from_secs(100));
+        c.advance_to(SimTime::from_secs(99));
+    }
+
+    #[test]
+    fn duration_display() {
+        assert_eq!(SimDuration::from_secs(45).to_string(), "45s");
+        assert_eq!(SimDuration::from_secs(7_200).to_string(), "2.0h");
+        assert_eq!(SimDuration::from_days(27).to_string(), "27.0d");
+    }
+
+    #[test]
+    fn time_display() {
+        assert_eq!(SimTime::from_secs(90_061).to_string(), "d1+01:01:01");
+    }
+
+    #[test]
+    fn duration_checked_sub() {
+        let a = SimDuration::from_secs(10);
+        let b = SimDuration::from_secs(4);
+        assert_eq!(a.checked_sub(b), Some(SimDuration::from_secs(6)));
+        assert_eq!(b.checked_sub(a), None);
+    }
+
+    #[test]
+    fn saturating_add_caps() {
+        let t = SimTime::from_secs(i64::MAX - 1);
+        let u = t.saturating_add(SimDuration::from_secs(100));
+        assert_eq!(u.as_secs(), i64::MAX);
+    }
+}

@@ -1,0 +1,343 @@
+//! The follow graph.
+//!
+//! Follower lists are stored in **follow order** (oldest first); the API
+//! view [`FollowGraph::followers_newest_first`] reverses them, reproducing
+//! the property §IV-B establishes for the real `GET followers/ids`: a
+//! size-`n` prefix of the API response is exactly the `n` most recent
+//! followers.
+
+use crate::account::AccountId;
+use crate::clock::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A directed follow edge: `follower` started following at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FollowEdge {
+    /// The account doing the following.
+    pub follower: AccountId,
+    /// When the follow happened.
+    pub at: SimTime,
+}
+
+/// Errors returned by graph mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// The follower already follows the target.
+    AlreadyFollowing {
+        /// Offending follower.
+        follower: AccountId,
+        /// Followed target.
+        target: AccountId,
+    },
+    /// An account tried to follow itself.
+    SelfFollow(
+        /// The account in question.
+        AccountId,
+    ),
+    /// Follow times must be non-decreasing per target list.
+    NonMonotonicTime {
+        /// Target whose list would go backwards.
+        target: AccountId,
+    },
+    /// Unfollow of an edge that does not exist.
+    NotFollowing {
+        /// The presumed follower.
+        follower: AccountId,
+        /// The presumed target.
+        target: AccountId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::AlreadyFollowing { follower, target } => {
+                write!(f, "{follower} already follows {target}")
+            }
+            GraphError::SelfFollow(id) => write!(f, "{id} cannot follow itself"),
+            GraphError::NonMonotonicTime { target } => {
+                write!(f, "follow times for {target} must be non-decreasing")
+            }
+            GraphError::NotFollowing { follower, target } => {
+                write!(f, "{follower} does not follow {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// The follow graph: per-target follower lists in follow order, plus a
+/// reverse index of who each account follows.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FollowGraph {
+    /// target -> followers in follow order (oldest first).
+    followers: HashMap<AccountId, Vec<FollowEdge>>,
+    /// follower -> set of targets (kept as a Vec; each account follows few
+    /// audited targets in our scenarios).
+    friends: HashMap<AccountId, Vec<AccountId>>,
+}
+
+impl FollowGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `follower` starts following `target` at time `at`.
+    ///
+    /// Follow times for a given target must be non-decreasing — the
+    /// simulation always appends the newest follower at the tail.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfFollow`], [`GraphError::AlreadyFollowing`] or
+    /// [`GraphError::NonMonotonicTime`].
+    pub fn follow(
+        &mut self,
+        follower: AccountId,
+        target: AccountId,
+        at: SimTime,
+    ) -> Result<(), GraphError> {
+        if follower == target {
+            return Err(GraphError::SelfFollow(follower));
+        }
+        if self
+            .friends
+            .get(&follower)
+            .is_some_and(|v| v.contains(&target))
+        {
+            return Err(GraphError::AlreadyFollowing { follower, target });
+        }
+        let list = self.followers.entry(target).or_default();
+        if list.last().is_some_and(|e| e.at > at) {
+            return Err(GraphError::NonMonotonicTime { target });
+        }
+        list.push(FollowEdge { follower, at });
+        self.friends.entry(follower).or_default().push(target);
+        Ok(())
+    }
+
+    /// Removes the `follower -> target` edge, preserving the follow order
+    /// of the remaining followers (unfollows churn the paper's daily
+    /// snapshots without perturbing positions — §IV-B).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NotFollowing`] when the edge does not exist.
+    pub fn unfollow(&mut self, follower: AccountId, target: AccountId) -> Result<(), GraphError> {
+        let not_following = GraphError::NotFollowing { follower, target };
+        let friends = self.friends.get_mut(&follower).ok_or(not_following)?;
+        let fpos = friends
+            .iter()
+            .position(|&t| t == target)
+            .ok_or(not_following)?;
+        friends.remove(fpos);
+        let list = self.followers.get_mut(&target).ok_or(not_following)?;
+        let pos = list
+            .iter()
+            .position(|e| e.follower == follower)
+            .ok_or(not_following)?;
+        list.remove(pos);
+        Ok(())
+    }
+
+    /// Number of followers of `target`.
+    pub fn follower_count(&self, target: AccountId) -> usize {
+        self.followers.get(&target).map_or(0, Vec::len)
+    }
+
+    /// The follower edges of `target` in follow order (oldest first).
+    pub fn followers_oldest_first(&self, target: AccountId) -> &[FollowEdge] {
+        self.followers.get(&target).map_or(&[], Vec::as_slice)
+    }
+
+    /// The follower ids of `target` newest first — the order the simulated
+    /// `GET followers/ids` returns them (§IV-B).
+    pub fn followers_newest_first(&self, target: AccountId) -> Vec<AccountId> {
+        self.followers
+            .get(&target)
+            .map_or_else(Vec::new, |v| v.iter().rev().map(|e| e.follower).collect())
+    }
+
+    /// The targets `follower` follows, in follow order.
+    pub fn friends_of(&self, follower: AccountId) -> &[AccountId] {
+        self.friends.get(&follower).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `follower` follows `target`.
+    pub fn is_following(&self, follower: AccountId, target: AccountId) -> bool {
+        self.friends
+            .get(&follower)
+            .is_some_and(|v| v.contains(&target))
+    }
+
+    /// Iterates over all audited targets (accounts with ≥1 follower edge).
+    pub fn targets(&self) -> impl Iterator<Item = AccountId> + '_ {
+        self.followers.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn follow_appends_in_order() {
+        let mut g = FollowGraph::new();
+        g.follow(AccountId(1), AccountId(100), t(10)).unwrap();
+        g.follow(AccountId(2), AccountId(100), t(20)).unwrap();
+        g.follow(AccountId(3), AccountId(100), t(30)).unwrap();
+        let oldest = g.followers_oldest_first(AccountId(100));
+        assert_eq!(
+            oldest.iter().map(|e| e.follower).collect::<Vec<_>>(),
+            vec![AccountId(1), AccountId(2), AccountId(3)]
+        );
+    }
+
+    #[test]
+    fn api_view_is_newest_first() {
+        let mut g = FollowGraph::new();
+        for i in 1..=5 {
+            g.follow(AccountId(i), AccountId(100), t(i as i64)).unwrap();
+        }
+        let api = g.followers_newest_first(AccountId(100));
+        assert_eq!(
+            api,
+            vec![
+                AccountId(5),
+                AccountId(4),
+                AccountId(3),
+                AccountId(2),
+                AccountId(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn prefix_of_api_view_is_most_recent() {
+        // The §IV-B invariant: the first n returned ids are the n newest.
+        let mut g = FollowGraph::new();
+        for i in 0..100u64 {
+            g.follow(AccountId(i), AccountId(999), t(i as i64)).unwrap();
+        }
+        let api = g.followers_newest_first(AccountId(999));
+        let prefix: Vec<_> = api[..10].to_vec();
+        let expected: Vec<_> = (90..100u64).rev().map(AccountId).collect();
+        assert_eq!(prefix, expected);
+    }
+
+    #[test]
+    fn rejects_self_follow() {
+        let mut g = FollowGraph::new();
+        assert_eq!(
+            g.follow(AccountId(1), AccountId(1), t(0)).unwrap_err(),
+            GraphError::SelfFollow(AccountId(1))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_follow() {
+        let mut g = FollowGraph::new();
+        g.follow(AccountId(1), AccountId(2), t(0)).unwrap();
+        assert!(matches!(
+            g.follow(AccountId(1), AccountId(2), t(5)),
+            Err(GraphError::AlreadyFollowing { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_time_going_backwards() {
+        let mut g = FollowGraph::new();
+        g.follow(AccountId(1), AccountId(9), t(100)).unwrap();
+        assert!(matches!(
+            g.follow(AccountId(2), AccountId(9), t(50)),
+            Err(GraphError::NonMonotonicTime { .. })
+        ));
+    }
+
+    #[test]
+    fn equal_times_are_allowed() {
+        let mut g = FollowGraph::new();
+        g.follow(AccountId(1), AccountId(9), t(100)).unwrap();
+        g.follow(AccountId(2), AccountId(9), t(100)).unwrap();
+        assert_eq!(g.follower_count(AccountId(9)), 2);
+    }
+
+    #[test]
+    fn friends_reverse_index() {
+        let mut g = FollowGraph::new();
+        g.follow(AccountId(1), AccountId(10), t(0)).unwrap();
+        g.follow(AccountId(1), AccountId(11), t(1)).unwrap();
+        assert_eq!(g.friends_of(AccountId(1)), &[AccountId(10), AccountId(11)]);
+        assert!(g.is_following(AccountId(1), AccountId(10)));
+        assert!(!g.is_following(AccountId(1), AccountId(12)));
+    }
+
+    #[test]
+    fn empty_graph_queries() {
+        let g = FollowGraph::new();
+        assert_eq!(g.follower_count(AccountId(1)), 0);
+        assert!(g.followers_newest_first(AccountId(1)).is_empty());
+        assert!(g.friends_of(AccountId(1)).is_empty());
+        assert_eq!(g.targets().count(), 0);
+    }
+
+    #[test]
+    fn unfollow_removes_edge_and_preserves_order() {
+        let mut g = FollowGraph::new();
+        for i in 1..=5 {
+            g.follow(AccountId(i), AccountId(100), t(i as i64)).unwrap();
+        }
+        g.unfollow(AccountId(3), AccountId(100)).unwrap();
+        assert_eq!(g.follower_count(AccountId(100)), 4);
+        assert!(!g.is_following(AccountId(3), AccountId(100)));
+        assert_eq!(
+            g.followers_newest_first(AccountId(100)),
+            vec![AccountId(5), AccountId(4), AccountId(2), AccountId(1)]
+        );
+    }
+
+    #[test]
+    fn unfollow_of_missing_edge_errors() {
+        let mut g = FollowGraph::new();
+        g.follow(AccountId(1), AccountId(2), t(0)).unwrap();
+        assert!(matches!(
+            g.unfollow(AccountId(1), AccountId(3)),
+            Err(GraphError::NotFollowing { .. })
+        ));
+        assert!(matches!(
+            g.unfollow(AccountId(9), AccountId(2)),
+            Err(GraphError::NotFollowing { .. })
+        ));
+    }
+
+    #[test]
+    fn refollow_after_unfollow_lands_at_tail() {
+        let mut g = FollowGraph::new();
+        g.follow(AccountId(1), AccountId(9), t(0)).unwrap();
+        g.follow(AccountId(2), AccountId(9), t(1)).unwrap();
+        g.unfollow(AccountId(1), AccountId(9)).unwrap();
+        g.follow(AccountId(1), AccountId(9), t(5)).unwrap();
+        assert_eq!(
+            g.followers_newest_first(AccountId(9)),
+            vec![AccountId(1), AccountId(2)]
+        );
+    }
+
+    #[test]
+    fn targets_lists_followed_accounts() {
+        let mut g = FollowGraph::new();
+        g.follow(AccountId(1), AccountId(10), t(0)).unwrap();
+        g.follow(AccountId(2), AccountId(20), t(0)).unwrap();
+        let mut ts: Vec<_> = g.targets().collect();
+        ts.sort();
+        assert_eq!(ts, vec![AccountId(10), AccountId(20)]);
+    }
+}

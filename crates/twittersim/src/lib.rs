@@ -1,0 +1,49 @@
+//! Synthetic Twitter platform for the *fakeaudit* reproduction.
+//!
+//! The paper's substrate is the live 2014 Twitter platform; this crate is the
+//! faithful synthetic replacement (DESIGN.md §2). It models the pieces the
+//! paper's arguments actually touch:
+//!
+//! * [`clock`] — a virtual clock ([`clock::SimClock`]); every "second" in the
+//!   reproduced tables is simulated time, so experiments that took the
+//!   authors 27 wall-clock days run in milliseconds;
+//! * [`account`] — account identities and profiles with the attributes the
+//!   detectors inspect (follower/friend/status counts, creation date,
+//!   default profile image, bio/location presence);
+//! * [`tweet`] — tweets with the features Socialbakers' criteria test
+//!   (retweets, links, spam phrases, duplicated text);
+//! * [`timeline`] — a compact generative model of an account's timeline from
+//!   which concrete tweets are synthesised deterministically on demand
+//!   (materialising 200 tweets × 200 000 followers eagerly would be waste);
+//! * [`text`] — the spam-phrase lexicon and tweet-text synthesiser;
+//! * [`graph`] — the follow graph; follower lists are ordered by follow
+//!   time, the property §IV-B of the paper establishes for the real API;
+//! * [`platform`] — the assembled platform: accounts + graph + clock;
+//! * [`snapshot`] — daily follower-list snapshots for the ordering
+//!   experiment (E1).
+//!
+//! # Scale substitution
+//!
+//! Accounts with tens of millions of followers (e.g. @BarackObama's 41 M)
+//! are simulated with a *materialised* follower list capped in the hundred-
+//! thousands plus a **nominal** follower count used for rate-limit
+//! arithmetic and display. Percentage results are scale-invariant as long as
+//! the materialised list preserves the temporal class mixture, which the
+//! population generator guarantees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod clock;
+pub mod graph;
+pub mod platform;
+pub mod snapshot;
+pub mod text;
+pub mod timeline;
+pub mod tweet;
+
+pub use account::{AccountId, Profile};
+pub use clock::{SimClock, SimDuration, SimTime};
+pub use platform::Platform;
+pub use tweet::{Tweet, TweetKind};

@@ -1,0 +1,489 @@
+//! The assembled synthetic platform: accounts + follow graph + clock.
+
+use crate::account::{AccountId, Profile};
+use crate::clock::{SimClock, SimDuration, SimTime};
+use crate::graph::{FollowGraph, GraphError};
+use crate::timeline::TimelineModel;
+use crate::tweet::Tweet;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors from platform operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// The referenced account does not exist.
+    UnknownAccount(
+        /// The missing id.
+        AccountId,
+    ),
+    /// A follow-graph mutation failed.
+    Graph(GraphError),
+    /// A screen name was registered twice.
+    DuplicateScreenName(
+        /// The offending name.
+        String,
+    ),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownAccount(id) => write!(f, "unknown account {id}"),
+            PlatformError::Graph(e) => write!(f, "graph error: {e}"),
+            PlatformError::DuplicateScreenName(n) => {
+                write!(f, "screen name @{n} already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlatformError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<GraphError> for PlatformError {
+    fn from(e: GraphError) -> Self {
+        PlatformError::Graph(e)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AccountRecord {
+    profile: Profile,
+    timeline: TimelineModel,
+}
+
+/// The synthetic Twitter platform.
+///
+/// ```
+/// use fakeaudit_twittersim::{Platform, Profile, SimTime};
+/// use fakeaudit_twittersim::timeline::TimelineModel;
+///
+/// let mut platform = Platform::new();
+/// let target = platform.register(
+///     Profile::new("celebrity", SimTime::EPOCH),
+///     TimelineModel::empty(),
+/// )?;
+/// let fan = platform.register(
+///     Profile::new("fan", SimTime::EPOCH),
+///     TimelineModel::empty(),
+/// )?;
+/// platform.follow(fan, target)?;
+/// assert_eq!(platform.profile(target).unwrap().followers_count, 1);
+/// # Ok::<(), fakeaudit_twittersim::platform::PlatformError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Platform {
+    accounts: HashMap<AccountId, AccountRecord>,
+    screen_names: HashSet<String>,
+    graph: FollowGraph,
+    clock: SimClock,
+    next_id: u64,
+    /// Targets whose follower count was pinned to a nominal value
+    /// (scale substitution; see crate docs). Follows no longer bump these.
+    nominal_targets: HashSet<AccountId>,
+}
+
+impl Platform {
+    /// Creates an empty platform with the clock at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new account; ids are assigned sequentially.
+    ///
+    /// The profile's `statuses_count` / `last_tweet_at` are synchronised
+    /// from the timeline model, so callers cannot register inconsistent
+    /// pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::DuplicateScreenName`] if the screen name is taken.
+    pub fn register(
+        &mut self,
+        mut profile: Profile,
+        timeline: TimelineModel,
+    ) -> Result<AccountId, PlatformError> {
+        if !self.screen_names.insert(profile.screen_name.clone()) {
+            return Err(PlatformError::DuplicateScreenName(profile.screen_name));
+        }
+        profile.statuses_count = timeline.statuses_count();
+        profile.last_tweet_at = timeline.last_tweet_at();
+        let id = AccountId(self.next_id);
+        self.next_id += 1;
+        self.accounts
+            .insert(id, AccountRecord { profile, timeline });
+        Ok(id)
+    }
+
+    /// Number of registered accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// The profile of `id`, if registered.
+    pub fn profile(&self, id: AccountId) -> Option<&Profile> {
+        self.accounts.get(&id).map(|r| &r.profile)
+    }
+
+    /// Looks up an account id by screen name (linear scan; used by examples
+    /// and report rendering only).
+    pub fn account_by_screen_name(&self, name: &str) -> Option<AccountId> {
+        self.accounts
+            .iter()
+            .find(|(_, r)| r.profile.screen_name == name)
+            .map(|(id, _)| *id)
+    }
+
+    /// `follower` starts following `target` at the current simulated time.
+    ///
+    /// Bumps `follower.friends_count` and, unless the target's count was
+    /// pinned with [`Platform::pin_followers_count`], `target.followers_count`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownAccount`] or a wrapped [`GraphError`].
+    pub fn follow(&mut self, follower: AccountId, target: AccountId) -> Result<(), PlatformError> {
+        if !self.accounts.contains_key(&follower) {
+            return Err(PlatformError::UnknownAccount(follower));
+        }
+        if !self.accounts.contains_key(&target) {
+            return Err(PlatformError::UnknownAccount(target));
+        }
+        let now = self.clock.now();
+        self.graph.follow(follower, target, now)?;
+        if let Some(r) = self.accounts.get_mut(&follower) {
+            r.profile.friends_count += 1;
+        }
+        if !self.nominal_targets.contains(&target) {
+            if let Some(r) = self.accounts.get_mut(&target) {
+                r.profile.followers_count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// `follower` stops following `target`; counts are decremented
+    /// (the pinned nominal count of a scale-substituted target is left
+    /// untouched).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownAccount`] or a wrapped
+    /// [`GraphError::NotFollowing`](crate::graph::GraphError::NotFollowing).
+    pub fn unfollow(
+        &mut self,
+        follower: AccountId,
+        target: AccountId,
+    ) -> Result<(), PlatformError> {
+        if !self.accounts.contains_key(&follower) {
+            return Err(PlatformError::UnknownAccount(follower));
+        }
+        if !self.accounts.contains_key(&target) {
+            return Err(PlatformError::UnknownAccount(target));
+        }
+        self.graph.unfollow(follower, target)?;
+        if let Some(r) = self.accounts.get_mut(&follower) {
+            r.profile.friends_count = r.profile.friends_count.saturating_sub(1);
+        }
+        if !self.nominal_targets.contains(&target) {
+            if let Some(r) = self.accounts.get_mut(&target) {
+                r.profile.followers_count = r.profile.followers_count.saturating_sub(1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pins `target`'s public follower count to `nominal` (scale
+    /// substitution for multi-million-follower accounts). The materialised
+    /// list in the graph keeps its real length; rate-limit arithmetic uses
+    /// the nominal count.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownAccount`].
+    pub fn pin_followers_count(
+        &mut self,
+        target: AccountId,
+        nominal: u64,
+    ) -> Result<(), PlatformError> {
+        let r = self
+            .accounts
+            .get_mut(&target)
+            .ok_or(PlatformError::UnknownAccount(target))?;
+        r.profile.followers_count = nominal;
+        self.nominal_targets.insert(target);
+        Ok(())
+    }
+
+    /// The materialised follower ids of `target`, newest first (the API
+    /// order).
+    pub fn followers_newest_first(&self, target: AccountId) -> Vec<AccountId> {
+        self.graph.followers_newest_first(target)
+    }
+
+    /// Number of *materialised* followers (may be below the nominal
+    /// `followers_count` for pinned targets).
+    pub fn materialized_follower_count(&self, target: AccountId) -> usize {
+        self.graph.follower_count(target)
+    }
+
+    /// Direct access to the follow graph.
+    pub fn graph(&self) -> &FollowGraph {
+        &self.graph
+    }
+
+    /// The newest `limit` tweets of `id`, newest first.
+    pub fn recent_tweets(&self, id: AccountId, limit: usize) -> Vec<Tweet> {
+        self.accounts
+            .get(&id)
+            .map_or_else(Vec::new, |r| r.timeline.recent_tweets(id, limit))
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Advances the simulated clock.
+    pub fn advance_clock(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+
+    /// Iterates over all account ids in ascending id order.
+    pub fn account_ids(&self) -> Vec<AccountId> {
+        let mut ids: Vec<_> = self.accounts.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{TimelineModel, TimelineParams};
+
+    fn empty_profile(name: &str) -> Profile {
+        Profile::new(name, SimTime::EPOCH)
+    }
+
+    #[test]
+    fn register_assigns_sequential_ids() {
+        let mut p = Platform::new();
+        let a = p
+            .register(empty_profile("a"), TimelineModel::empty())
+            .unwrap();
+        let b = p
+            .register(empty_profile("b"), TimelineModel::empty())
+            .unwrap();
+        assert_eq!(a, AccountId(0));
+        assert_eq!(b, AccountId(1));
+        assert_eq!(p.account_count(), 2);
+    }
+
+    #[test]
+    fn register_rejects_duplicate_screen_names() {
+        let mut p = Platform::new();
+        p.register(empty_profile("dup"), TimelineModel::empty())
+            .unwrap();
+        assert!(matches!(
+            p.register(empty_profile("dup"), TimelineModel::empty()),
+            Err(PlatformError::DuplicateScreenName(_))
+        ));
+    }
+
+    #[test]
+    fn register_synchronises_profile_with_timeline() {
+        let mut p = Platform::new();
+        let tl = TimelineModel::new(
+            TimelineParams {
+                statuses_count: 42,
+                first_tweet_at: SimTime::from_days(1),
+                last_tweet_at: SimTime::from_days(9),
+                ..TimelineParams::default()
+            },
+            7,
+        );
+        let id = p.register(empty_profile("x"), tl).unwrap();
+        let prof = p.profile(id).unwrap();
+        assert_eq!(prof.statuses_count, 42);
+        assert_eq!(prof.last_tweet_at, Some(SimTime::from_days(9)));
+    }
+
+    #[test]
+    fn follow_updates_counts_and_graph() {
+        let mut p = Platform::new();
+        let t = p
+            .register(empty_profile("t"), TimelineModel::empty())
+            .unwrap();
+        let f = p
+            .register(empty_profile("f"), TimelineModel::empty())
+            .unwrap();
+        p.follow(f, t).unwrap();
+        assert_eq!(p.profile(t).unwrap().followers_count, 1);
+        assert_eq!(p.profile(f).unwrap().friends_count, 1);
+        assert_eq!(p.followers_newest_first(t), vec![f]);
+    }
+
+    #[test]
+    fn follow_unknown_account_errors() {
+        let mut p = Platform::new();
+        let t = p
+            .register(empty_profile("t"), TimelineModel::empty())
+            .unwrap();
+        assert_eq!(
+            p.follow(AccountId(99), t).unwrap_err(),
+            PlatformError::UnknownAccount(AccountId(99))
+        );
+        assert_eq!(
+            p.follow(t, AccountId(99)).unwrap_err(),
+            PlatformError::UnknownAccount(AccountId(99))
+        );
+    }
+
+    #[test]
+    fn follow_order_tracks_clock() {
+        let mut p = Platform::new();
+        let t = p
+            .register(empty_profile("t"), TimelineModel::empty())
+            .unwrap();
+        let f1 = p
+            .register(empty_profile("f1"), TimelineModel::empty())
+            .unwrap();
+        let f2 = p
+            .register(empty_profile("f2"), TimelineModel::empty())
+            .unwrap();
+        p.follow(f1, t).unwrap();
+        p.advance_clock(SimDuration::from_days(1));
+        p.follow(f2, t).unwrap();
+        // Newest first: f2 before f1.
+        assert_eq!(p.followers_newest_first(t), vec![f2, f1]);
+    }
+
+    #[test]
+    fn pinned_counts_are_stable_under_follows() {
+        let mut p = Platform::new();
+        let t = p
+            .register(empty_profile("obama"), TimelineModel::empty())
+            .unwrap();
+        let f = p
+            .register(empty_profile("f"), TimelineModel::empty())
+            .unwrap();
+        p.pin_followers_count(t, 41_000_000).unwrap();
+        p.follow(f, t).unwrap();
+        assert_eq!(p.profile(t).unwrap().followers_count, 41_000_000);
+        assert_eq!(p.materialized_follower_count(t), 1);
+    }
+
+    #[test]
+    fn pin_unknown_account_errors() {
+        let mut p = Platform::new();
+        assert!(matches!(
+            p.pin_followers_count(AccountId(5), 1),
+            Err(PlatformError::UnknownAccount(_))
+        ));
+    }
+
+    #[test]
+    fn recent_tweets_roundtrip() {
+        let mut p = Platform::new();
+        let tl = TimelineModel::new(
+            TimelineParams {
+                statuses_count: 10,
+                first_tweet_at: SimTime::from_days(1),
+                last_tweet_at: SimTime::from_days(2),
+                ..TimelineParams::default()
+            },
+            3,
+        );
+        let id = p.register(empty_profile("tweety"), tl).unwrap();
+        let ts = p.recent_tweets(id, 5);
+        assert_eq!(ts.len(), 5);
+        assert!(ts.iter().all(|t| t.author == id));
+    }
+
+    #[test]
+    fn recent_tweets_of_unknown_account_is_empty() {
+        let p = Platform::new();
+        assert!(p.recent_tweets(AccountId(7), 5).is_empty());
+    }
+
+    #[test]
+    fn screen_name_lookup() {
+        let mut p = Platform::new();
+        let id = p
+            .register(empty_profile("findme"), TimelineModel::empty())
+            .unwrap();
+        assert_eq!(p.account_by_screen_name("findme"), Some(id));
+        assert_eq!(p.account_by_screen_name("ghost"), None);
+    }
+
+    #[test]
+    fn unfollow_decrements_counts() {
+        let mut p = Platform::new();
+        let t = p
+            .register(empty_profile("t"), TimelineModel::empty())
+            .unwrap();
+        let f = p
+            .register(empty_profile("f"), TimelineModel::empty())
+            .unwrap();
+        p.follow(f, t).unwrap();
+        p.unfollow(f, t).unwrap();
+        assert_eq!(p.profile(t).unwrap().followers_count, 0);
+        assert_eq!(p.profile(f).unwrap().friends_count, 0);
+        assert!(p.followers_newest_first(t).is_empty());
+    }
+
+    #[test]
+    fn unfollow_keeps_pinned_counts() {
+        let mut p = Platform::new();
+        let t = p
+            .register(empty_profile("t"), TimelineModel::empty())
+            .unwrap();
+        let f = p
+            .register(empty_profile("f"), TimelineModel::empty())
+            .unwrap();
+        p.follow(f, t).unwrap();
+        p.pin_followers_count(t, 1_000_000).unwrap();
+        p.unfollow(f, t).unwrap();
+        assert_eq!(p.profile(t).unwrap().followers_count, 1_000_000);
+        assert_eq!(p.materialized_follower_count(t), 0);
+    }
+
+    #[test]
+    fn unfollow_errors() {
+        let mut p = Platform::new();
+        let t = p
+            .register(empty_profile("t"), TimelineModel::empty())
+            .unwrap();
+        assert!(matches!(
+            p.unfollow(AccountId(99), t),
+            Err(PlatformError::UnknownAccount(_))
+        ));
+        let f = p
+            .register(empty_profile("f"), TimelineModel::empty())
+            .unwrap();
+        assert!(matches!(
+            p.unfollow(f, t),
+            Err(PlatformError::Graph(GraphError::NotFollowing { .. }))
+        ));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = PlatformError::Graph(GraphError::SelfFollow(AccountId(1)));
+        assert!(e.to_string().contains("graph error"));
+        assert!(e.source().is_some());
+        assert!(PlatformError::UnknownAccount(AccountId(2))
+            .source()
+            .is_none());
+    }
+}

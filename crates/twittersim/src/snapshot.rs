@@ -1,0 +1,259 @@
+//! Follower-list snapshots for the ordering experiment (§IV-B / E1).
+//!
+//! The paper's first experiment saved each target's full follower list once
+//! per day and compared the lists day by day, verifying that new followers
+//! always appear at one end — establishing that the API's order is follow
+//! time and therefore that prefix samples are biased towards the newest
+//! followers. [`SnapshotSeries`] reproduces that methodology.
+
+use crate::account::AccountId;
+use crate::clock::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One saved follower list (newest first, as the API returns it).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// When the list was fetched.
+    pub taken_at: SimTime,
+    /// Follower ids, newest first.
+    pub followers: Vec<AccountId>,
+}
+
+/// Result of comparing two consecutive snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotDiff {
+    /// Followers present in the later snapshot but not the earlier.
+    pub added: Vec<AccountId>,
+    /// Followers present in the earlier snapshot but not the later
+    /// (unfollows — rare in our scenarios).
+    pub removed: Vec<AccountId>,
+    /// Whether every added follower sits at the head of the later list,
+    /// before all carried-over followers — the paper's thesis.
+    pub additions_at_head: bool,
+}
+
+/// Errors from snapshot-series operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Snapshots must be appended in time order.
+    OutOfOrder,
+    /// At least two snapshots are needed to diff.
+    TooFewSnapshots,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::OutOfOrder => write!(f, "snapshots must be appended in time order"),
+            SnapshotError::TooFewSnapshots => write!(f, "need at least two snapshots to diff"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A time-ordered series of follower-list snapshots for one target.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotSeries {
+    snapshots: Vec<Snapshot>,
+}
+
+impl SnapshotSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::OutOfOrder`] if `taken_at` precedes the last
+    /// snapshot.
+    pub fn push(
+        &mut self,
+        taken_at: SimTime,
+        followers: Vec<AccountId>,
+    ) -> Result<(), SnapshotError> {
+        if self.snapshots.last().is_some_and(|s| s.taken_at > taken_at) {
+            return Err(SnapshotError::OutOfOrder);
+        }
+        self.snapshots.push(Snapshot {
+            taken_at,
+            followers,
+        });
+        Ok(())
+    }
+
+    /// Number of snapshots collected.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The stored snapshots, oldest first.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Diffs consecutive snapshots `i` and `i+1`.
+    fn diff_pair(earlier: &Snapshot, later: &Snapshot) -> SnapshotDiff {
+        let before: HashSet<_> = earlier.followers.iter().copied().collect();
+        let after: HashSet<_> = later.followers.iter().copied().collect();
+        let added: Vec<_> = later
+            .followers
+            .iter()
+            .copied()
+            .filter(|f| !before.contains(f))
+            .collect();
+        let removed: Vec<_> = earlier
+            .followers
+            .iter()
+            .copied()
+            .filter(|f| !after.contains(f))
+            .collect();
+        // Thesis check: in the later (newest-first) list, all additions
+        // occupy the leading positions.
+        let additions_at_head = later
+            .followers
+            .iter()
+            .take_while(|f| !before.contains(*f))
+            .count()
+            == added.len();
+        SnapshotDiff {
+            added,
+            removed,
+            additions_at_head,
+        }
+    }
+
+    /// Diffs every consecutive snapshot pair, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TooFewSnapshots`] with fewer than two snapshots.
+    pub fn diffs(&self) -> Result<Vec<SnapshotDiff>, SnapshotError> {
+        if self.snapshots.len() < 2 {
+            return Err(SnapshotError::TooFewSnapshots);
+        }
+        Ok(self
+            .snapshots
+            .windows(2)
+            .map(|w| Self::diff_pair(&w[0], &w[1]))
+            .collect())
+    }
+
+    /// The paper's verdict: do **all** consecutive diffs place new
+    /// followers at the head of the (newest-first) list?
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TooFewSnapshots`] with fewer than two snapshots.
+    pub fn confirms_follow_time_ordering(&self) -> Result<bool, SnapshotError> {
+        Ok(self.diffs()?.iter().all(|d| d.additions_at_head))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<AccountId> {
+        v.iter().copied().map(AccountId).collect()
+    }
+
+    #[test]
+    fn push_enforces_time_order() {
+        let mut s = SnapshotSeries::new();
+        s.push(SimTime::from_days(1), ids(&[1])).unwrap();
+        assert_eq!(
+            s.push(SimTime::from_days(0), ids(&[1])).unwrap_err(),
+            SnapshotError::OutOfOrder
+        );
+    }
+
+    #[test]
+    fn equal_times_allowed() {
+        let mut s = SnapshotSeries::new();
+        s.push(SimTime::from_days(1), ids(&[1])).unwrap();
+        s.push(SimTime::from_days(1), ids(&[2, 1])).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn diff_requires_two_snapshots() {
+        let mut s = SnapshotSeries::new();
+        assert_eq!(s.diffs().unwrap_err(), SnapshotError::TooFewSnapshots);
+        s.push(SimTime::EPOCH, ids(&[1])).unwrap();
+        assert_eq!(s.diffs().unwrap_err(), SnapshotError::TooFewSnapshots);
+    }
+
+    #[test]
+    fn additions_at_head_confirmed() {
+        let mut s = SnapshotSeries::new();
+        // Newest-first lists: day 1 has followers 3,2,1; day 2 adds 5,4.
+        s.push(SimTime::from_days(1), ids(&[3, 2, 1])).unwrap();
+        s.push(SimTime::from_days(2), ids(&[5, 4, 3, 2, 1]))
+            .unwrap();
+        let d = &s.diffs().unwrap()[0];
+        assert_eq!(d.added, ids(&[5, 4]));
+        assert!(d.removed.is_empty());
+        assert!(d.additions_at_head);
+        assert!(s.confirms_follow_time_ordering().unwrap());
+    }
+
+    #[test]
+    fn additions_in_middle_refute_thesis() {
+        let mut s = SnapshotSeries::new();
+        s.push(SimTime::from_days(1), ids(&[3, 2, 1])).unwrap();
+        // 4 inserted between existing followers: not follow-time order.
+        s.push(SimTime::from_days(2), ids(&[3, 4, 2, 1])).unwrap();
+        let d = &s.diffs().unwrap()[0];
+        assert_eq!(d.added, ids(&[4]));
+        assert!(!d.additions_at_head);
+        assert!(!s.confirms_follow_time_ordering().unwrap());
+    }
+
+    #[test]
+    fn unfollows_are_reported_as_removed() {
+        let mut s = SnapshotSeries::new();
+        s.push(SimTime::from_days(1), ids(&[3, 2, 1])).unwrap();
+        s.push(SimTime::from_days(2), ids(&[4, 3, 1])).unwrap();
+        let d = &s.diffs().unwrap()[0];
+        assert_eq!(d.added, ids(&[4]));
+        assert_eq!(d.removed, ids(&[2]));
+        assert!(d.additions_at_head);
+    }
+
+    #[test]
+    fn no_change_diff() {
+        let mut s = SnapshotSeries::new();
+        s.push(SimTime::from_days(1), ids(&[2, 1])).unwrap();
+        s.push(SimTime::from_days(2), ids(&[2, 1])).unwrap();
+        let d = &s.diffs().unwrap()[0];
+        assert!(d.added.is_empty());
+        assert!(d.removed.is_empty());
+        assert!(d.additions_at_head);
+    }
+
+    #[test]
+    fn multi_day_series() {
+        let mut s = SnapshotSeries::new();
+        let mut list = Vec::new();
+        for day in 0..10u64 {
+            // Two new followers per day, appended at the head.
+            list.insert(0, AccountId(day * 2));
+            list.insert(0, AccountId(day * 2 + 1));
+            s.push(SimTime::from_days(day as i64), list.clone())
+                .unwrap();
+        }
+        assert_eq!(s.diffs().unwrap().len(), 9);
+        assert!(s.confirms_follow_time_ordering().unwrap());
+    }
+}

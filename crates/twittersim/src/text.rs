@@ -1,0 +1,154 @@
+//! Tweet-text synthesis and the spam-phrase lexicon.
+//!
+//! Socialbakers' methodology flags accounts where "more than 30% of the
+//! account's tweets use spam phrases (like diet, make money, work from
+//! home)" (§II-B). We keep the published example phrases plus a handful of
+//! era-appropriate additions, and synthesise benign filler text for the
+//! rest of the corpus.
+
+use rand::Rng;
+
+/// Spam phrases tested by the Socialbakers criterion. The first three are
+/// verbatim from the paper; the rest are typical 2013-era follower-spam
+/// n-grams used to give the synthesiser variety.
+pub const SPAM_PHRASES: &[&str] = &[
+    "diet",
+    "make money",
+    "work from home",
+    "free followers",
+    "lose weight fast",
+    "click here",
+    "earn cash",
+    "miracle cure",
+];
+
+/// Benign sentence templates for genuine-looking tweets.
+const BENIGN_TEMPLATES: &[&str] = &[
+    "just watched the match, what a game",
+    "coffee first, questions later",
+    "reading a great book this weekend",
+    "traffic in the city is unbearable today",
+    "happy birthday to my best friend",
+    "can't believe the season finale",
+    "new recipe turned out great",
+    "monday mornings should be optional",
+    "beautiful sunset at the beach today",
+    "excited for the concert tonight",
+];
+
+/// Returns true when `text` contains any spam phrase (case-insensitive).
+///
+/// ```
+/// use fakeaudit_twittersim::text::contains_spam_phrase;
+/// assert!(contains_spam_phrase("New DIET plan, click here"));
+/// assert!(!contains_spam_phrase("lovely weather in Pisa"));
+/// ```
+pub fn contains_spam_phrase(text: &str) -> bool {
+    let lower = text.to_lowercase();
+    SPAM_PHRASES.iter().any(|p| lower.contains(p))
+}
+
+/// Synthesises a benign tweet body.
+pub fn benign_text<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let t = BENIGN_TEMPLATES[rng.gen_range(0..BENIGN_TEMPLATES.len())];
+    // A numeric suffix keeps most benign tweets textually distinct so they
+    // don't trip duplicate detection.
+    format!("{t} #{:04}", rng.gen_range(0..10_000))
+}
+
+/// Synthesises a spam tweet body containing at least one spam phrase.
+pub fn spam_text<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let p = SPAM_PHRASES[rng.gen_range(0..SPAM_PHRASES.len())];
+    format!("amazing opportunity: {p}!!! don't miss out")
+}
+
+/// A stable 64-bit fingerprint of tweet text, used for duplicate detection
+/// ("the same tweets are repeated more than three times"). FNV-1a over the
+/// lowercased text with whitespace collapsed.
+pub fn fingerprint(text: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut last_space = false;
+    for c in text.chars().flat_map(|c| c.to_lowercase()) {
+        let c = if c.is_whitespace() { ' ' } else { c };
+        if c == ' ' {
+            if last_space {
+                continue;
+            }
+            last_space = true;
+        } else {
+            last_space = false;
+        }
+        let mut buf = [0u8; 4];
+        for b in c.encode_utf8(&mut buf).as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_stats::rng::rng_for;
+
+    #[test]
+    fn spam_phrases_include_paper_examples() {
+        for p in ["diet", "make money", "work from home"] {
+            assert!(SPAM_PHRASES.contains(&p), "missing paper phrase {p}");
+        }
+    }
+
+    #[test]
+    fn detection_is_case_insensitive() {
+        assert!(contains_spam_phrase("MAKE MONEY now"));
+        assert!(contains_spam_phrase("Work From Home today"));
+    }
+
+    #[test]
+    fn benign_text_is_not_spam() {
+        let mut rng = rng_for(1, "text");
+        for _ in 0..100 {
+            let t = benign_text(&mut rng);
+            assert!(!contains_spam_phrase(&t), "benign text flagged: {t}");
+        }
+    }
+
+    #[test]
+    fn spam_text_is_spam() {
+        let mut rng = rng_for(2, "text");
+        for _ in 0..100 {
+            assert!(contains_spam_phrase(&spam_text(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn fingerprint_stable_and_normalising() {
+        assert_eq!(fingerprint("Hello  World"), fingerprint("hello world"));
+        assert_eq!(fingerprint("a\tb"), fingerprint("a b"));
+        assert_ne!(fingerprint("hello world"), fingerprint("hello worlds"));
+    }
+
+    #[test]
+    fn fingerprint_empty() {
+        assert_eq!(fingerprint(""), fingerprint(""));
+        assert_ne!(fingerprint(""), fingerprint(" x"));
+    }
+
+    #[test]
+    fn benign_texts_are_mostly_distinct() {
+        let mut rng = rng_for(3, "text");
+        let mut seen = std::collections::HashSet::new();
+        let n = 200;
+        for _ in 0..n {
+            seen.insert(fingerprint(&benign_text(&mut rng)));
+        }
+        assert!(
+            seen.len() > n * 9 / 10,
+            "only {} distinct of {n}",
+            seen.len()
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! Generative timeline model.
+//!
+//! Materialising full timelines for hundreds of thousands of synthetic
+//! followers would dominate memory, so each account stores a compact
+//! [`TimelineModel`] from which concrete [`Tweet`]s are synthesised
+//! deterministically on demand. Two requests for the same account's
+//! timeline always return identical tweets — the property the duplicate-
+//! detection criteria and snapshot experiments rely on.
+
+use crate::account::AccountId;
+use crate::clock::SimTime;
+use crate::text;
+use crate::tweet::{Tweet, TweetKind, TweetSource};
+use fakeaudit_stats::rng::rng_for_indexed;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Compact behavioural description of an account's timeline.
+///
+/// Fractions are clamped to `[0, 1]` at construction. `statuses_count`
+/// tweets are (virtually) spread between `first_tweet_at` and
+/// `last_tweet_at`; only the requested suffix is ever materialised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineModel {
+    statuses_count: u64,
+    first_tweet_at: SimTime,
+    last_tweet_at: SimTime,
+    retweet_frac: f64,
+    link_frac: f64,
+    spam_frac: f64,
+    /// Fraction of tweets drawn from a tiny pool of repeated bodies.
+    duplicate_frac: f64,
+    /// Fraction posted from automated clients (API/scheduler).
+    automated_frac: f64,
+    seed: u64,
+}
+
+/// Builder-style parameters for [`TimelineModel::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelineParams {
+    /// Lifetime tweet count.
+    pub statuses_count: u64,
+    /// Time of the oldest tweet.
+    pub first_tweet_at: SimTime,
+    /// Time of the newest tweet.
+    pub last_tweet_at: SimTime,
+    /// Fraction of retweets.
+    pub retweet_frac: f64,
+    /// Fraction of tweets with links.
+    pub link_frac: f64,
+    /// Fraction of tweets containing spam phrases.
+    pub spam_frac: f64,
+    /// Fraction of tweets drawn from a small pool of identical bodies.
+    pub duplicate_frac: f64,
+    /// Fraction posted from automated clients (API/scheduler).
+    pub automated_frac: f64,
+}
+
+impl Default for TimelineParams {
+    fn default() -> Self {
+        Self {
+            statuses_count: 0,
+            first_tweet_at: SimTime::EPOCH,
+            last_tweet_at: SimTime::EPOCH,
+            retweet_frac: 0.1,
+            link_frac: 0.1,
+            spam_frac: 0.0,
+            duplicate_frac: 0.0,
+            automated_frac: 0.05,
+        }
+    }
+}
+
+impl TimelineModel {
+    /// Creates a model from `params`, clamping fractions into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `last_tweet_at` precedes `first_tweet_at` while
+    /// `statuses_count > 0`.
+    pub fn new(params: TimelineParams, seed: u64) -> Self {
+        if params.statuses_count > 0 {
+            assert!(
+                params.last_tweet_at >= params.first_tweet_at,
+                "last tweet must not precede first tweet"
+            );
+        }
+        let clamp = |f: f64| f.clamp(0.0, 1.0);
+        Self {
+            statuses_count: params.statuses_count,
+            first_tweet_at: params.first_tweet_at,
+            last_tweet_at: params.last_tweet_at,
+            retweet_frac: clamp(params.retweet_frac),
+            link_frac: clamp(params.link_frac),
+            spam_frac: clamp(params.spam_frac),
+            duplicate_frac: clamp(params.duplicate_frac),
+            automated_frac: clamp(params.automated_frac),
+            seed,
+        }
+    }
+
+    /// An empty timeline (account that never tweeted).
+    pub fn empty() -> Self {
+        Self::new(TimelineParams::default(), 0)
+    }
+
+    /// Lifetime tweet count.
+    pub fn statuses_count(&self) -> u64 {
+        self.statuses_count
+    }
+
+    /// Time of the newest tweet, or `None` for an empty timeline.
+    pub fn last_tweet_at(&self) -> Option<SimTime> {
+        (self.statuses_count > 0).then_some(self.last_tweet_at)
+    }
+
+    /// Synthesises the newest `limit` tweets for `author`, newest first.
+    ///
+    /// Deterministic: repeated calls return identical tweets. Tweet `id`s
+    /// count down from `statuses_count` so the newest tweet has the largest
+    /// id, like the real platform.
+    ///
+    /// ```
+    /// use fakeaudit_twittersim::timeline::{TimelineModel, TimelineParams};
+    /// use fakeaudit_twittersim::{AccountId, SimTime};
+    ///
+    /// let model = TimelineModel::new(
+    ///     TimelineParams {
+    ///         statuses_count: 50,
+    ///         first_tweet_at: SimTime::from_days(0),
+    ///         last_tweet_at: SimTime::from_days(10),
+    ///         ..TimelineParams::default()
+    ///     },
+    ///     7,
+    /// );
+    /// let tweets = model.recent_tweets(AccountId(1), 5);
+    /// assert_eq!(tweets.len(), 5);
+    /// assert_eq!(tweets[0].created_at, SimTime::from_days(10));
+    /// assert_eq!(tweets, model.recent_tweets(AccountId(1), 5));
+    /// ```
+    pub fn recent_tweets(&self, author: AccountId, limit: usize) -> Vec<Tweet> {
+        let n = (self.statuses_count as usize).min(limit);
+        let mut out = Vec::with_capacity(n);
+        let span = if self.statuses_count > 1 {
+            (self.last_tweet_at.as_secs() - self.first_tweet_at.as_secs()).max(0)
+        } else {
+            0
+        };
+        // One sequential stream, newest tweet first: requesting a longer
+        // suffix never changes the tweets already produced for a shorter
+        // one (prefix stability), and a single RNG construction per call
+        // keeps bulk timeline synthesis cheap.
+        let mut rng = rng_for_indexed(self.seed ^ author.as_u64().rotate_left(17), "timeline", 0);
+        for i in 0..n {
+            let created_at = if self.statuses_count == 1 {
+                self.last_tweet_at
+            } else {
+                let frac = i as f64 / (self.statuses_count - 1) as f64;
+                SimTime::from_secs(self.last_tweet_at.as_secs() - (frac * span as f64) as i64)
+            };
+            let is_dup = rng.gen::<f64>() < self.duplicate_frac;
+            let is_spam = rng.gen::<f64>() < self.spam_frac;
+            let kind = if rng.gen::<f64>() < self.retweet_frac {
+                TweetKind::Retweet
+            } else if rng.gen::<f64>() < 0.15 {
+                TweetKind::Reply
+            } else {
+                TweetKind::Original
+            };
+            let has_link = rng.gen::<f64>() < self.link_frac;
+            let source = if rng.gen::<f64>() < self.automated_frac {
+                if rng.gen::<f64>() < 0.5 {
+                    TweetSource::Api
+                } else {
+                    TweetSource::Scheduler
+                }
+            } else if rng.gen::<f64>() < 0.55 {
+                TweetSource::Mobile
+            } else {
+                TweetSource::Web
+            };
+            let text = if is_dup {
+                // A pool of 3 recycled bodies per account produces the
+                // "same tweet repeated more than three times" signature.
+                let pool_idx = rng.gen_range(0..3u8);
+                format!("check this out, incredible deal number {pool_idx}")
+            } else if is_spam {
+                text::spam_text(&mut rng)
+            } else {
+                text::benign_text(&mut rng)
+            };
+            out.push(Tweet {
+                id: self.statuses_count - i as u64,
+                author,
+                created_at,
+                text,
+                kind,
+                has_link,
+                source,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tweet::TimelineStats;
+
+    fn model(count: u64, spam: f64, dup: f64, rt: f64) -> TimelineModel {
+        TimelineModel::new(
+            TimelineParams {
+                statuses_count: count,
+                first_tweet_at: SimTime::from_days(0),
+                last_tweet_at: SimTime::from_days(100),
+                retweet_frac: rt,
+                link_frac: 0.2,
+                spam_frac: spam,
+                duplicate_frac: dup,
+                automated_frac: 0.1,
+            },
+            99,
+        )
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let m = TimelineModel::empty();
+        assert_eq!(m.statuses_count(), 0);
+        assert!(m.last_tweet_at().is_none());
+        assert!(m.recent_tweets(AccountId(1), 100).is_empty());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let m = model(50, 0.3, 0.2, 0.4);
+        let a = m.recent_tweets(AccountId(7), 20);
+        let b = m.recent_tweets(AccountId(7), 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_authors_different_tweets() {
+        let m = model(50, 0.3, 0.2, 0.4);
+        let a = m.recent_tweets(AccountId(7), 20);
+        let b = m.recent_tweets(AccountId(8), 20);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn newest_first_ordering_and_ids() {
+        let m = model(30, 0.0, 0.0, 0.0);
+        let ts = m.recent_tweets(AccountId(1), 30);
+        assert_eq!(ts.len(), 30);
+        assert_eq!(ts[0].created_at, SimTime::from_days(100));
+        for w in ts.windows(2) {
+            assert!(w[0].created_at >= w[1].created_at, "must be newest first");
+            assert!(w[0].id > w[1].id);
+        }
+        assert_eq!(ts[0].id, 30);
+        assert_eq!(ts[29].id, 1);
+    }
+
+    #[test]
+    fn limit_caps_output() {
+        let m = model(1000, 0.0, 0.0, 0.0);
+        assert_eq!(m.recent_tweets(AccountId(1), 200).len(), 200);
+        let m = model(5, 0.0, 0.0, 0.0);
+        assert_eq!(m.recent_tweets(AccountId(1), 200).len(), 5);
+    }
+
+    #[test]
+    fn prefix_is_stable_under_longer_requests() {
+        // Requesting more tweets must not change the newest ones.
+        let m = model(100, 0.2, 0.1, 0.3);
+        let short = m.recent_tweets(AccountId(3), 10);
+        let long = m.recent_tweets(AccountId(3), 50);
+        assert_eq!(&long[..10], &short[..]);
+    }
+
+    #[test]
+    fn spam_fraction_is_respected() {
+        let m = model(400, 0.5, 0.0, 0.0);
+        let ts = m.recent_tweets(AccountId(2), 400);
+        let s = TimelineStats::compute(&ts);
+        assert!((s.spam_frac - 0.5).abs() < 0.1, "spam frac {}", s.spam_frac);
+    }
+
+    #[test]
+    fn duplicate_fraction_produces_duplicates() {
+        let m = model(200, 0.0, 0.6, 0.0);
+        let ts = m.recent_tweets(AccountId(2), 200);
+        let s = TimelineStats::compute(&ts);
+        assert!(s.max_duplicates > 10, "max dup {}", s.max_duplicates);
+    }
+
+    #[test]
+    fn no_duplicates_without_dup_fraction() {
+        let m = model(200, 0.0, 0.0, 0.0);
+        let ts = m.recent_tweets(AccountId(2), 200);
+        let s = TimelineStats::compute(&ts);
+        assert!(s.max_duplicates <= 3, "max dup {}", s.max_duplicates);
+    }
+
+    #[test]
+    fn retweet_fraction_is_respected() {
+        let m = model(400, 0.0, 0.0, 0.9);
+        let ts = m.recent_tweets(AccountId(2), 400);
+        let s = TimelineStats::compute(&ts);
+        assert!(s.retweet_frac > 0.8, "retweet frac {}", s.retweet_frac);
+    }
+
+    #[test]
+    fn single_tweet_timestamp() {
+        let m = TimelineModel::new(
+            TimelineParams {
+                statuses_count: 1,
+                first_tweet_at: SimTime::from_days(5),
+                last_tweet_at: SimTime::from_days(5),
+                ..TimelineParams::default()
+            },
+            1,
+        );
+        let ts = m.recent_tweets(AccountId(1), 10);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].created_at, SimTime::from_days(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "last tweet must not precede first tweet")]
+    fn rejects_reversed_span() {
+        TimelineModel::new(
+            TimelineParams {
+                statuses_count: 2,
+                first_tweet_at: SimTime::from_days(10),
+                last_tweet_at: SimTime::from_days(5),
+                ..TimelineParams::default()
+            },
+            1,
+        );
+    }
+
+    #[test]
+    fn fractions_are_clamped() {
+        let m = TimelineModel::new(
+            TimelineParams {
+                statuses_count: 10,
+                first_tweet_at: SimTime::EPOCH,
+                last_tweet_at: SimTime::from_days(1),
+                retweet_frac: 7.0,
+                link_frac: -2.0,
+                spam_frac: 0.5,
+                duplicate_frac: 0.5,
+                automated_frac: 0.1,
+            },
+            1,
+        );
+        let ts = m.recent_tweets(AccountId(1), 10);
+        assert!(ts.iter().all(|t| t.is_retweet()));
+        assert!(ts.iter().all(|t| !t.has_link));
+    }
+}

@@ -1,0 +1,261 @@
+//! Tweets and the per-tweet features the detectors test.
+
+use crate::account::AccountId;
+use crate::clock::SimTime;
+use crate::text;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a tweet, as the Socialbakers criteria distinguish them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TweetKind {
+    /// An original status update.
+    Original,
+    /// A retweet of someone else's status.
+    Retweet,
+    /// A reply to another account.
+    Reply,
+}
+
+impl fmt::Display for TweetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TweetKind::Original => write!(f, "original"),
+            TweetKind::Retweet => write!(f, "retweet"),
+            TweetKind::Reply => write!(f, "reply"),
+        }
+    }
+}
+
+/// The client a tweet was posted from, as the API's `source` field exposes
+/// it. Chu et al. ("human, bot, or cyborg?", cited in §II) showed the
+/// device mix separates automation from people: bots post through the API
+/// or schedulers, humans through the web and official mobile apps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TweetSource {
+    /// The twitter.com web client.
+    Web,
+    /// Official mobile apps.
+    Mobile,
+    /// Third-party apps posting through the REST API.
+    Api,
+    /// Scheduling/automation services (the strongest bot signal).
+    Scheduler,
+}
+
+impl TweetSource {
+    /// Whether this source indicates automated posting.
+    pub fn is_automated(self) -> bool {
+        matches!(self, TweetSource::Api | TweetSource::Scheduler)
+    }
+}
+
+impl fmt::Display for TweetSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TweetSource::Web => write!(f, "web"),
+            TweetSource::Mobile => write!(f, "mobile"),
+            TweetSource::Api => write!(f, "api"),
+            TweetSource::Scheduler => write!(f, "scheduler"),
+        }
+    }
+}
+
+/// A tweet as `GET statuses/user_timeline` would return it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tweet {
+    /// Tweet id, unique per author timeline.
+    pub id: u64,
+    /// The author.
+    pub author: AccountId,
+    /// Posting time.
+    pub created_at: SimTime,
+    /// Tweet body.
+    pub text: String,
+    /// Original / retweet / reply.
+    pub kind: TweetKind,
+    /// Whether the body carries a URL.
+    pub has_link: bool,
+    /// The posting client.
+    pub source: TweetSource,
+}
+
+impl Tweet {
+    /// Whether the body contains a spam phrase
+    /// (see [`text::SPAM_PHRASES`]).
+    pub fn is_spammy(&self) -> bool {
+        text::contains_spam_phrase(&self.text)
+    }
+
+    /// Stable fingerprint of the body, for duplicate detection.
+    pub fn fingerprint(&self) -> u64 {
+        text::fingerprint(&self.text)
+    }
+
+    /// Whether this tweet is a retweet.
+    pub fn is_retweet(&self) -> bool {
+        self.kind == TweetKind::Retweet
+    }
+}
+
+impl fmt::Display for Tweet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.author, self.id, self.kind, self.text
+        )
+    }
+}
+
+/// Aggregate statistics over a set of tweets — the timeline-derived features
+/// the detectors and the ML feature extractor consume.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimelineStats {
+    /// Number of tweets inspected.
+    pub count: usize,
+    /// Fraction that are retweets (0 when `count == 0`).
+    pub retweet_frac: f64,
+    /// Fraction carrying links.
+    pub link_frac: f64,
+    /// Fraction containing spam phrases.
+    pub spam_frac: f64,
+    /// Fraction posted from automated sources (API/scheduler).
+    pub automated_frac: f64,
+    /// Size of the largest group of identical (by fingerprint) tweets.
+    pub max_duplicates: usize,
+    /// Time of the newest tweet inspected.
+    pub newest: Option<SimTime>,
+    /// Time of the oldest tweet inspected.
+    pub oldest: Option<SimTime>,
+}
+
+impl TimelineStats {
+    /// Computes statistics over `tweets` (any order).
+    pub fn compute(tweets: &[Tweet]) -> Self {
+        if tweets.is_empty() {
+            return Self::default();
+        }
+        let n = tweets.len() as f64;
+        let mut dup_counts: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        let mut retweets = 0usize;
+        let mut links = 0usize;
+        let mut spam = 0usize;
+        let mut automated = 0usize;
+        let mut newest = tweets[0].created_at;
+        let mut oldest = tweets[0].created_at;
+        for t in tweets {
+            if t.is_retweet() {
+                retweets += 1;
+            }
+            if t.has_link {
+                links += 1;
+            }
+            if t.is_spammy() {
+                spam += 1;
+            }
+            if t.source.is_automated() {
+                automated += 1;
+            }
+            *dup_counts.entry(t.fingerprint()).or_insert(0) += 1;
+            newest = newest.max(t.created_at);
+            oldest = oldest.min(t.created_at);
+        }
+        Self {
+            count: tweets.len(),
+            retweet_frac: retweets as f64 / n,
+            link_frac: links as f64 / n,
+            spam_frac: spam as f64 / n,
+            automated_frac: automated as f64 / n,
+            max_duplicates: dup_counts.values().copied().max().unwrap_or(0),
+            newest: Some(newest),
+            oldest: Some(oldest),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet(id: u64, kind: TweetKind, text: &str, link: bool, at: i64) -> Tweet {
+        Tweet {
+            id,
+            author: AccountId(1),
+            created_at: SimTime::from_secs(at),
+            text: text.to_string(),
+            kind,
+            has_link: link,
+            source: TweetSource::Web,
+        }
+    }
+
+    #[test]
+    fn spam_detection_delegates_to_lexicon() {
+        let t = tweet(1, TweetKind::Original, "best diet ever", false, 0);
+        assert!(t.is_spammy());
+        let u = tweet(2, TweetKind::Original, "nice day in Pisa", false, 0);
+        assert!(!u.is_spammy());
+    }
+
+    #[test]
+    fn stats_of_empty_timeline() {
+        let s = TimelineStats::compute(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_duplicates, 0);
+        assert!(s.newest.is_none());
+    }
+
+    #[test]
+    fn stats_fractions() {
+        let ts = vec![
+            tweet(1, TweetKind::Retweet, "a", true, 10),
+            tweet(2, TweetKind::Original, "b", false, 20),
+            tweet(3, TweetKind::Retweet, "make money now", true, 30),
+            tweet(4, TweetKind::Reply, "d", false, 5),
+        ];
+        let s = TimelineStats::compute(&ts);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.retweet_frac, 0.5);
+        assert_eq!(s.link_frac, 0.5);
+        assert_eq!(s.spam_frac, 0.25);
+        assert_eq!(s.newest, Some(SimTime::from_secs(30)));
+        assert_eq!(s.oldest, Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn stats_duplicates() {
+        let ts = vec![
+            tweet(1, TweetKind::Original, "BUY NOW", false, 1),
+            tweet(2, TweetKind::Original, "buy now", false, 2),
+            tweet(3, TweetKind::Original, "buy  now", false, 3),
+            tweet(4, TweetKind::Original, "something else", false, 4),
+        ];
+        let s = TimelineStats::compute(&ts);
+        assert_eq!(s.max_duplicates, 3, "normalised duplicates must group");
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(TweetKind::Retweet.to_string(), "retweet");
+        assert_eq!(TweetSource::Scheduler.to_string(), "scheduler");
+    }
+
+    #[test]
+    fn automated_sources() {
+        assert!(TweetSource::Api.is_automated());
+        assert!(TweetSource::Scheduler.is_automated());
+        assert!(!TweetSource::Web.is_automated());
+        assert!(!TweetSource::Mobile.is_automated());
+    }
+
+    #[test]
+    fn stats_count_automation() {
+        let mut a = tweet(1, TweetKind::Original, "a", false, 1);
+        a.source = TweetSource::Scheduler;
+        let b = tweet(2, TweetKind::Original, "b", false, 2);
+        let s = TimelineStats::compute(&[a, b]);
+        assert_eq!(s.automated_frac, 0.5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the synthetic platform's invariants.
+
+use fakeaudit_twittersim::clock::{SimDuration, SimTime};
+use fakeaudit_twittersim::graph::FollowGraph;
+use fakeaudit_twittersim::snapshot::SnapshotSeries;
+use fakeaudit_twittersim::text::{contains_spam_phrase, fingerprint};
+use fakeaudit_twittersim::timeline::{TimelineModel, TimelineParams};
+use fakeaudit_twittersim::tweet::TimelineStats;
+use fakeaudit_twittersim::{AccountId, Platform, Profile};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn graph_api_view_reverses_follow_order(n in 1u64..200) {
+        let mut g = FollowGraph::new();
+        for i in 0..n {
+            g.follow(AccountId(i), AccountId(10_000), SimTime::from_secs(i as i64))
+                .unwrap();
+        }
+        let api = g.followers_newest_first(AccountId(10_000));
+        prop_assert_eq!(api.len(), n as usize);
+        // Position k in the API view is the (n-1-k)-th follower.
+        for (k, id) in api.iter().enumerate() {
+            prop_assert_eq!(*id, AccountId(n - 1 - k as u64));
+        }
+    }
+
+    #[test]
+    fn any_api_prefix_is_the_newest_followers(n in 2u64..300, prefix in 1usize..300) {
+        let mut g = FollowGraph::new();
+        for i in 0..n {
+            g.follow(AccountId(i), AccountId(10_000), SimTime::from_secs(i as i64))
+                .unwrap();
+        }
+        let api = g.followers_newest_first(AccountId(10_000));
+        let k = prefix.min(api.len());
+        // The §IV-B invariant for every prefix size.
+        let newest: Vec<AccountId> = (0..k as u64).map(|j| AccountId(n - 1 - j)).collect();
+        prop_assert_eq!(&api[..k], &newest[..]);
+    }
+
+    #[test]
+    fn timeline_generation_is_prefix_stable(
+        count in 0u64..400,
+        short in 0usize..200,
+        extra in 0usize..200,
+        seed in 0u64..500,
+    ) {
+        let model = TimelineModel::new(
+            TimelineParams {
+                statuses_count: count,
+                first_tweet_at: SimTime::from_days(0),
+                last_tweet_at: SimTime::from_days(100),
+                retweet_frac: 0.3,
+                link_frac: 0.3,
+                spam_frac: 0.2,
+                duplicate_frac: 0.2,
+                automated_frac: 0.2,
+            },
+            seed,
+        );
+        let a = model.recent_tweets(AccountId(1), short);
+        let b = model.recent_tweets(AccountId(1), short + extra);
+        prop_assert_eq!(&b[..a.len()], &a[..]);
+    }
+
+    #[test]
+    fn timeline_tweets_are_newest_first_with_descending_ids(
+        count in 1u64..300,
+        seed in 0u64..500,
+    ) {
+        let model = TimelineModel::new(
+            TimelineParams {
+                statuses_count: count,
+                first_tweet_at: SimTime::from_days(1),
+                last_tweet_at: SimTime::from_days(50),
+                ..TimelineParams::default()
+            },
+            seed,
+        );
+        let tweets = model.recent_tweets(AccountId(2), count as usize);
+        for w in tweets.windows(2) {
+            prop_assert!(w[0].created_at >= w[1].created_at);
+            prop_assert!(w[0].id > w[1].id);
+        }
+        let stats = TimelineStats::compute(&tweets);
+        prop_assert_eq!(stats.count, count as usize);
+        prop_assert!(stats.retweet_frac >= 0.0 && stats.retweet_frac <= 1.0);
+    }
+
+    #[test]
+    fn platform_counts_stay_consistent(follows in 1usize..100) {
+        let mut platform = Platform::new();
+        let target = platform
+            .register(Profile::new("t", SimTime::EPOCH), TimelineModel::empty())
+            .unwrap();
+        for i in 0..follows {
+            let f = platform
+                .register(Profile::new(format!("f{i}"), SimTime::EPOCH), TimelineModel::empty())
+                .unwrap();
+            platform.advance_clock(SimDuration::from_secs(1));
+            platform.follow(f, target).unwrap();
+        }
+        prop_assert_eq!(platform.profile(target).unwrap().followers_count, follows as u64);
+        prop_assert_eq!(platform.materialized_follower_count(target), follows);
+        prop_assert_eq!(platform.followers_newest_first(target).len(), follows);
+    }
+
+    #[test]
+    fn snapshot_series_confirms_head_insertion(days in 2usize..30, per_day in 1usize..10) {
+        let mut series = SnapshotSeries::new();
+        let mut list: Vec<AccountId> = Vec::new();
+        let mut next = 0u64;
+        for day in 0..days {
+            for _ in 0..per_day {
+                list.insert(0, AccountId(next));
+                next += 1;
+            }
+            series.push(SimTime::from_days(day as i64), list.clone()).unwrap();
+        }
+        prop_assert!(series.confirms_follow_time_ordering().unwrap());
+    }
+
+    #[test]
+    fn snapshot_series_detects_mid_insertion(days in 2usize..10) {
+        let mut series = SnapshotSeries::new();
+        // Day 0: two followers; later days insert in the middle.
+        let mut list = vec![AccountId(1), AccountId(0)];
+        series.push(SimTime::from_days(0), list.clone()).unwrap();
+        for day in 1..days {
+            list.insert(1, AccountId(100 + day as u64));
+            series.push(SimTime::from_days(day as i64), list.clone()).unwrap();
+        }
+        prop_assert!(!series.confirms_follow_time_ordering().unwrap());
+    }
+
+    #[test]
+    fn fingerprint_normalisation(s in "[a-zA-Z ]{0,40}") {
+        prop_assert_eq!(fingerprint(&s), fingerprint(&s.to_uppercase()));
+        let doubled: String = s.replace(' ', "  ");
+        prop_assert_eq!(fingerprint(&s), fingerprint(&doubled));
+    }
+
+    #[test]
+    fn spam_detection_survives_case_mangling(idx in 0usize..8) {
+        let phrase = fakeaudit_twittersim::text::SPAM_PHRASES[idx];
+        let mangled: String = phrase
+            .chars()
+            .enumerate()
+            .map(|(i, c)| if i % 2 == 0 { c.to_ascii_uppercase() } else { c })
+            .collect();
+        let text = format!("xx {mangled} yy");
+        prop_assert!(contains_spam_phrase(&text));
+    }
+
+    #[test]
+    fn sim_time_day_roundtrip(days in -10_000i64..10_000) {
+        prop_assert_eq!(SimTime::from_days(days).as_days(), days);
+    }
+
+    #[test]
+    fn sim_duration_addition_is_commutative(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        prop_assert_eq!(
+            SimDuration::from_secs(a) + SimDuration::from_secs(b),
+            SimDuration::from_secs(b) + SimDuration::from_secs(a)
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! The 2012 Romney scenario: an account "experiences a sudden jump in the
+//! number of followers" from a purchased batch, and the analytics react.
+//!
+//! We watch a politician's account through three phases — organic base,
+//! right after buying 10% fakes, and a month later — and show how each
+//! tool's fake percentage moves (and how the prefix-sampling tools swing
+//! far beyond the truth right after the burst).
+//!
+//! Run with: `cargo run --release --example bought_followers_campaign`
+
+use fakeaudit_core::panel::AuditPanel;
+use fakeaudit_detectors::{FakeProjectEngine, ToolId};
+use fakeaudit_population::archetype::{self, TrueClass};
+use fakeaudit_population::scenario::grow_organic_daily;
+use fakeaudit_population::{ClassMix, TargetScenario};
+use fakeaudit_stats::rng::rng_for_indexed;
+use fakeaudit_twittersim::{Platform, SimDuration};
+
+fn audit_and_print(
+    phase: &str,
+    panel: &mut AuditPanel,
+    platform: &Platform,
+    target: fakeaudit_twittersim::AccountId,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("-- {phase} ({} followers) --", {
+        platform
+            .profile(target)
+            .expect("target exists")
+            .followers_count
+    });
+    for tool in ToolId::ALL {
+        let r = panel.request(tool, platform, target)?;
+        println!(
+            "  {:<4} fake {:>5.1}%  inactive {:>5.1}%  genuine {:>5.1}%{}",
+            tool.abbrev(),
+            r.outcome.fake_pct(),
+            r.outcome.inactive_pct(),
+            r.outcome.genuine_pct(),
+            if r.served_from_cache {
+                "  (cached!)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 7;
+
+    // Phase 1: an organically grown politician account, no bought fakes.
+    let mut platform = Platform::new();
+    let built = TargetScenario::new("politician", 18_000, ClassMix::new(0.30, 0.01, 0.69)?)
+        .build(&mut platform, seed)?;
+    let fc = FakeProjectEngine::with_default_model(seed).with_sample_size(4_000);
+    let mut panel = AuditPanel::with_fc_engine(fc, seed);
+    audit_and_print("before the campaign", &mut panel, &platform, built.target)?;
+
+    // Phase 2: the campaign buys 2 000 fake followers overnight (~10%).
+    platform.advance_clock(SimDuration::from_days(1));
+    for i in 0..2_000u64 {
+        let mut rng = rng_for_indexed(seed, "bought", i);
+        let acc = archetype::generate(
+            &mut rng,
+            TrueClass::Fake,
+            format!("bought_{i}"),
+            platform.now(),
+        );
+        let mut profile = acc.profile;
+        if profile.created_at > platform.now() {
+            profile.created_at = platform.now();
+        }
+        let id = platform.register(profile, acc.timeline)?;
+        platform.follow(id, built.target)?;
+    }
+    // Fresh panel: the services' caches would otherwise mask the jump —
+    // exactly the staleness problem §IV-C documents. Keep the old panel to
+    // demonstrate it first.
+    println!("(asking the same services again — caches still serve the old report)");
+    audit_and_print(
+        "right after buying 2000 fakes, cached services",
+        &mut panel,
+        &platform,
+        built.target,
+    )?;
+
+    let fc2 = FakeProjectEngine::with_default_model(seed).with_sample_size(4_000);
+    let mut fresh_panel = AuditPanel::with_fc_engine(fc2, seed + 1);
+    audit_and_print(
+        "right after buying 2000 fakes, fresh audits",
+        &mut fresh_panel,
+        &platform,
+        built.target,
+    )?;
+    println!(
+        "note: truth is ~10% fake; the newest-prefix tools report several\n\
+         times that because every bought follower sits at the head of the\n\
+         follower list — the §II-D bias.\n"
+    );
+
+    // Phase 3: a month of organic growth buries the burst a little.
+    grow_organic_daily(&mut platform, built.target, 30, 40, seed + 2)?;
+    let fc3 = FakeProjectEngine::with_default_model(seed).with_sample_size(4_000);
+    let mut month_panel = AuditPanel::with_fc_engine(fc3, seed + 3);
+    audit_and_print(
+        "one month later (organic growth on top)",
+        &mut month_panel,
+        &platform,
+        built.target,
+    )?;
+    Ok(())
+}

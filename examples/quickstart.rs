@@ -1,0 +1,53 @@
+//! Quickstart: build a synthetic celebrity with a known fake-follower mix,
+//! audit it with all four analytics, and compare their claims with the
+//! ground truth — the paper's §IV in fifty lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fakeaudit_core::panel::AuditPanel;
+use fakeaudit_core::scoring::score_against_truth;
+use fakeaudit_detectors::FakeProjectEngine;
+use fakeaudit_population::{ClassMix, TargetScenario};
+use fakeaudit_twittersim::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 42;
+
+    // A 20 000-follower account whose hidden truth we control: 30%
+    // inactive (old followers), 15% fake (bought recently — strong recency
+    // bias), 55% genuine.
+    let mut platform = Platform::new();
+    let target = TargetScenario::new("celebrity", 20_000, ClassMix::new(0.30, 0.15, 0.55)?)
+        .fake_recency_bias(20.0)
+        .build(&mut platform, seed)?;
+
+    println!("built {target}");
+    println!();
+
+    // All four analytics of the paper. The FC engine trains its classifier
+    // on a synthetic gold standard first (a few seconds).
+    let fc = FakeProjectEngine::with_default_model(seed);
+    let mut panel = AuditPanel::with_fc_engine(fc, seed);
+    let result = panel.request_all(&platform, target.target)?;
+
+    println!("tool responses (first request — compare Table II/III of the paper):");
+    for (tool, response) in result.responses() {
+        println!("  {:<34} {response}", tool.to_string());
+    }
+    println!();
+
+    println!(
+        "scored against the hidden ground truth ({}):",
+        target.true_mix()
+    );
+    for (tool, response) in result.responses() {
+        let score = score_against_truth(&response.outcome, &target, &platform);
+        println!("  {:<34} {score}", tool.to_string());
+    }
+    println!();
+    println!(
+        "the prefix-sampling tools over-report the recently-bought fakes;\n\
+         the uniform-sampling classifier stays near the truth — the paper's thesis."
+    );
+    Ok(())
+}

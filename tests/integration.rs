@@ -1,0 +1,331 @@
+//! Workspace integration tests: cross-crate flows exercising the full
+//! reproduction stack (platform → population → API → detectors → services →
+//! experiment drivers).
+
+use fakeaudit_core::compare::disagreement;
+use fakeaudit_core::experiments::bias::{run_bias, BiasParams};
+use fakeaudit_core::experiments::fc_training::run_fc_training;
+use fakeaudit_core::experiments::ordering::{run_ordering, OrderingParams};
+use fakeaudit_core::experiments::table3::run_table3_filtered;
+use fakeaudit_core::experiments::{table1, Scale};
+use fakeaudit_core::panel::AuditPanel;
+use fakeaudit_core::scoring::score_against_truth;
+use fakeaudit_detectors::{FakeProjectEngine, ToolId};
+use fakeaudit_population::testbed::{FollowerClass, PAPER_TARGETS};
+use fakeaudit_population::{ClassMix, TargetScenario};
+use fakeaudit_twittersim::{Platform, SimDuration};
+
+fn quick_panel(seed: u64) -> AuditPanel {
+    AuditPanel::with_fc_engine(
+        FakeProjectEngine::with_default_model(seed).with_sample_size(800),
+        seed,
+    )
+}
+
+#[test]
+fn end_to_end_audit_of_a_burst_target() {
+    // The paper's headline scenario end to end: recently bought fakes,
+    // four tools, ground-truth scoring.
+    let mut platform = Platform::new();
+    let target = TargetScenario::new("e2e", 8_000, ClassMix::new(0.25, 0.10, 0.65).unwrap())
+        .fake_recency_bias(25.0)
+        .build(&mut platform, 1)
+        .unwrap();
+    let mut panel = quick_panel(1);
+    let result = panel.request_all(&platform, target.target).unwrap();
+
+    // 1. Response-time ordering (Table II shape).
+    assert!(
+        result.of(ToolId::FakeClassifier).response_secs
+            > result.of(ToolId::Socialbakers).response_secs
+    );
+
+    // 2. Prefix tools over-report the burst; FC does not (Table III shape).
+    let fc_fake = result.of(ToolId::FakeClassifier).outcome.fake_pct();
+    let sb_fake = result.of(ToolId::Socialbakers).outcome.fake_pct();
+    assert!(
+        sb_fake > fc_fake + 5.0,
+        "SB {sb_fake:.1}% should exceed FC {fc_fake:.1}% under a burst"
+    );
+
+    // 3. FC is the most accurate against hidden truth.
+    let acc = |tool: ToolId| {
+        score_against_truth(&result.of(tool).outcome, &target, &platform).lenient_accuracy
+    };
+    let fc_acc = acc(ToolId::FakeClassifier);
+    for tool in [ToolId::Twitteraudit, ToolId::Socialbakers] {
+        assert!(
+            fc_acc >= acc(tool) - 0.02,
+            "FC accuracy {fc_acc:.2} vs {tool}: {:.2}",
+            acc(tool)
+        );
+    }
+
+    // 4. The tools genuinely disagree.
+    let outcomes: Vec<_> = result.responses().iter().map(|(_, r)| &r.outcome).collect();
+    let d = disagreement(&outcomes);
+    assert!(d.fake_range > 10.0, "fake range {:.1}", d.fake_range);
+}
+
+#[test]
+fn repeat_requests_hit_caches_across_the_stack() {
+    let mut platform = Platform::new();
+    let target = TargetScenario::new("cache", 3_000, ClassMix::new(0.3, 0.1, 0.6).unwrap())
+        .build(&mut platform, 2)
+        .unwrap();
+    let mut panel = quick_panel(2);
+    let first = panel.request_all(&platform, target.target).unwrap();
+    platform.advance_clock(SimDuration::from_secs(3_600));
+    let second = panel.request_all(&platform, target.target).unwrap();
+    for tool in ToolId::ALL {
+        assert!(!first.of(tool).served_from_cache, "{tool} first");
+        assert!(second.of(tool).served_from_cache, "{tool} second");
+        assert!(
+            second.of(tool).response_secs < 5.0,
+            "{tool} repeat <5s (§IV-C)"
+        );
+        assert_eq!(
+            first.of(tool).outcome.counts,
+            second.of(tool).outcome.counts,
+            "{tool} cached result must be identical"
+        );
+    }
+}
+
+#[test]
+fn table3_low_class_reproduces_paper_shape() {
+    let t = run_table3_filtered(Scale::quick(), 3, |x| x.class == FollowerClass::Low).unwrap();
+    assert_eq!(t.rows.len(), 4);
+    for row in &t.rows {
+        // Low-class accounts (the developers' own) are mostly genuine under
+        // every tool, as in the paper.
+        assert!(
+            row.fc.2 > 50.0,
+            "@{} FC genuine {:.1}%",
+            row.screen_name,
+            row.fc.2
+        );
+        assert!(
+            row.sb.2 > 50.0,
+            "@{} SB genuine {:.1}%",
+            row.screen_name,
+            row.sb.2
+        );
+        // And FC's fake share is small, matching the paper's 1.4-4.1%.
+        assert!(
+            row.fc.1 < 12.0,
+            "@{} FC fake {:.1}%",
+            row.screen_name,
+            row.fc.1
+        );
+    }
+}
+
+#[test]
+fn pc_chiambretti_pathology_reproduces() {
+    // §IV-D: FC sees an almost entirely inactive base; the prefix tools,
+    // sampling the newest window, report far lower inactive shares.
+    let t = run_table3_filtered(Scale::quick(), 4, |x| x.screen_name == "PC_Chiambretti").unwrap();
+    let row = &t.rows[0];
+    assert!(
+        row.fc.0 > 80.0,
+        "FC inactive {:.1}% should be near the 97% truth",
+        row.fc.0
+    );
+    assert!(
+        row.sb.0 < row.fc.0 - 30.0,
+        "SB inactive {:.1}% must sit far below FC {:.1}%",
+        row.sb.0,
+        row.fc.0
+    );
+    assert!(
+        row.ta.0 > 25.0,
+        "TA must call a large share of the head fake, got {:.1}%",
+        row.ta.0
+    );
+}
+
+#[test]
+fn ordering_experiment_confirms_api_order() {
+    let r = run_ordering(
+        OrderingParams {
+            initial_followers: 500,
+            days: 10,
+            arrivals_per_day: 15,
+            unfollows_per_day: 4,
+        },
+        5,
+    );
+    assert!(r.confirms_follow_time_ordering);
+    assert_eq!(r.diffs, 10);
+}
+
+#[test]
+fn bias_experiment_reproduces_paper_arithmetic() {
+    let r = run_bias(
+        BiasParams {
+            genuine: 20_000,
+            bought: 2_000,
+            window: 500,
+            sample_size: 500,
+            repetitions: 20,
+        },
+        6,
+    );
+    assert!(r.prefix.mean_estimate > 0.95);
+    assert!((r.uniform.mean_estimate - r.truth).abs() < 0.03);
+    assert!(r.uniform_coverage > r.prefix_coverage);
+}
+
+#[test]
+fn fc_training_ranks_learner_above_rules() {
+    let r = run_fc_training(50, 7);
+    let forest_f1 = r
+        .rows
+        .iter()
+        .find(|x| x.name.contains("profile features"))
+        .expect("forest row present")
+        .f1;
+    for rules in &r.rows[..3] {
+        assert!(
+            forest_f1 >= rules.f1 - 0.02,
+            "forest {forest_f1:.3} vs {} {:.3}",
+            rules.name,
+            rules.f1
+        );
+    }
+    // The importance report names every profile feature exactly once.
+    assert_eq!(r.feature_importance.len(), 10);
+}
+
+#[test]
+fn table1_is_the_simulators_configuration() {
+    let rows = table1::run_table1();
+    // The table the paper prints is the same data the rate limiter uses.
+    assert_eq!(rows.len(), 4);
+    assert!(table1::render().contains("5000"));
+}
+
+#[test]
+fn sb_daily_quota_enforced_through_panel() {
+    let mut platform = Platform::new();
+    let target = TargetScenario::new("quota", 2_500, ClassMix::new(0.3, 0.1, 0.6).unwrap())
+        .build(&mut platform, 8)
+        .unwrap();
+    let mut panel = quick_panel(8);
+    for _ in 0..10 {
+        panel
+            .request(ToolId::Socialbakers, &platform, target.target)
+            .unwrap();
+    }
+    assert!(panel
+        .request(ToolId::Socialbakers, &platform, target.target)
+        .is_err());
+    // The other tools are unaffected.
+    assert!(panel
+        .request(ToolId::StatusPeople, &platform, target.target)
+        .is_ok());
+}
+
+#[test]
+fn twenty_paper_targets_are_wired() {
+    assert_eq!(PAPER_TARGETS.len(), 20);
+    // Smoke-build the largest target at tiny scale to check the pinning
+    // path end to end.
+    let obama = PAPER_TARGETS.last().unwrap();
+    let mut platform = Platform::new();
+    let built = obama.scenario(800).build(&mut platform, 9).unwrap();
+    assert_eq!(
+        platform.profile(built.target).unwrap().followers_count,
+        41_000_000
+    );
+}
+
+#[test]
+fn deep_dive_shrinks_the_window_bias() {
+    use fakeaudit_core::experiments::deep_dive::run_deep_dive;
+    // The scaled Fakers window needs tens of slots to be meaningful, so
+    // this experiment runs above the default quick materialisation cap.
+    let scale = Scale {
+        materialize_cap: 30_000,
+        ..Scale::quick()
+    };
+    let r = run_deep_dive(scale, 11);
+    for row in &r.rows {
+        assert!(
+            row.fakers_non_genuine > row.deep_dive_non_genuine,
+            "@{}: {:.1} vs {:.1}",
+            row.account.screen_name,
+            row.fakers_non_genuine,
+            row.deep_dive_non_genuine
+        );
+    }
+}
+
+#[test]
+fn burst_timeline_spikes_and_decays() {
+    use fakeaudit_core::experiments::burst::{run_burst, BurstParams};
+    let r = run_burst(
+        BurstParams {
+            organic_followers: 2_500,
+            bought: 250,
+            organic_per_day: 120,
+            audit_days: [0, 4, 8, 16],
+            fc_sample: 800,
+        },
+        12,
+    );
+    let first = &r.points[0];
+    let last = &r.points[3];
+    assert!(
+        first.sb > last.sb,
+        "SB must decay: {:.1} -> {:.1}",
+        first.sb,
+        last.sb
+    );
+    assert!(first.fc <= first.truth_fake_pct + 3.0);
+}
+
+#[test]
+fn twitteraudit_chart_matches_its_report() {
+    use fakeaudit_analytics::report::render_twitteraudit;
+    use fakeaudit_detectors::Twitteraudit;
+    use fakeaudit_twitter_api::{ApiConfig, ApiSession};
+
+    let mut platform = Platform::new();
+    let target = TargetScenario::new("charted", 2_000, ClassMix::new(0.3, 0.2, 0.5).unwrap())
+        .build(&mut platform, 13)
+        .unwrap();
+    let mut session = ApiSession::new(&platform, ApiConfig::default());
+    let (outcome, chart) = Twitteraudit::new()
+        .audit_with_chart(&mut session, target.target, 1)
+        .unwrap();
+    assert_eq!(chart.total() as usize, outcome.sample_size());
+    let report = render_twitteraudit(&outcome, &chart);
+    assert!(report.contains("twitteraudit report"));
+    assert!(report.contains("real points"));
+}
+
+#[test]
+fn audit_outcomes_survive_serde_roundtrips() {
+    use fakeaudit_detectors::engine::FollowerAuditor;
+    use fakeaudit_detectors::StatusPeople;
+    use fakeaudit_twitter_api::{ApiConfig, ApiSession};
+
+    let mut platform = Platform::new();
+    let target = TargetScenario::new("serde", 1_200, ClassMix::new(0.3, 0.2, 0.5).unwrap())
+        .build(&mut platform, 14)
+        .unwrap();
+    let mut session = ApiSession::new(&platform, ApiConfig::default());
+    let outcome = StatusPeople::new()
+        .audit(&mut session, target.target, 1)
+        .unwrap();
+    // serde is a workspace dependency without serde_json; round-trip through
+    // the derived Serialize/Deserialize impls via bincode-style manual check:
+    // here we settle for Clone + PartialEq identity plus a Serialize smoke
+    // via serde's derive (compile-time guarantee), asserting stability of
+    // the counts instead.
+    let copy = outcome.clone();
+    assert_eq!(copy, outcome);
+    assert_eq!(copy.counts.total() as usize, copy.sample_size());
+}
