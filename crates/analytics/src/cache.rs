@@ -9,6 +9,7 @@
 use fakeaudit_detectors::AuditOutcome;
 use fakeaudit_twittersim::{AccountId, SimDuration, SimTime};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A cached audit result.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,12 +20,46 @@ pub struct CacheEntry {
     pub assessed_at: SimTime,
 }
 
+/// Lifetime hit/miss statistics of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served by a still-valid entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only an expired entry).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`, or `None` before any lookup.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        (self.lookups() > 0).then(|| self.hits as f64 / self.lookups() as f64)
+    }
+}
+
 /// A per-target result cache with an optional TTL (`None` = results never
 /// expire, as Twitteraudit's months-old reports demonstrate).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct ResultCache {
     ttl: Option<SimDuration>,
     entries: HashMap<AccountId, CacheEntry>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Clone for ResultCache {
+    fn clone(&self) -> Self {
+        Self {
+            ttl: self.ttl,
+            entries: self.entries.clone(),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl ResultCache {
@@ -37,7 +72,7 @@ impl ResultCache {
     pub fn with_ttl(ttl: SimDuration) -> Self {
         Self {
             ttl: Some(ttl),
-            entries: HashMap::new(),
+            ..Self::default()
         }
     }
 
@@ -46,12 +81,25 @@ impl ResultCache {
         self.ttl
     }
 
-    /// Looks up a still-valid entry at time `now`.
+    /// Looks up a still-valid entry at time `now`, recording the lookup in
+    /// the cache's [`CacheStats`] (an expired entry counts as a miss).
     pub fn get(&self, target: AccountId, now: SimTime) -> Option<&CacheEntry> {
-        let entry = self.entries.get(&target)?;
-        match self.ttl {
-            Some(ttl) if now.abs_diff(entry.assessed_at) > ttl => None,
-            _ => Some(entry),
+        let found = self.entries.get(&target).filter(|entry| match self.ttl {
+            Some(ttl) => now.abs_diff(entry.assessed_at) <= ttl,
+            None => true,
+        });
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Lifetime hit/miss statistics (lookups survive [`ResultCache::clear`]).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
         }
     }
 
@@ -142,5 +190,33 @@ mod tests {
         c.put(AccountId(1), outcome(AccountId(1)), SimTime::EPOCH);
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = ResultCache::with_ttl(SimDuration::from_days(7));
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(c.stats().hit_ratio(), None);
+        c.get(AccountId(1), SimTime::EPOCH); // miss: empty
+        c.put(AccountId(1), outcome(AccountId(1)), SimTime::from_days(0));
+        c.get(AccountId(1), SimTime::from_days(1)); // hit
+        c.get(AccountId(1), SimTime::from_days(2)); // hit
+        c.get(AccountId(1), SimTime::from_days(30)); // miss: expired
+        let stats = c.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.lookups(), 4);
+        assert_eq!(stats.hit_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn stats_survive_clone_and_clear() {
+        let mut c = ResultCache::unbounded();
+        c.put(AccountId(1), outcome(AccountId(1)), SimTime::EPOCH);
+        c.get(AccountId(1), SimTime::EPOCH);
+        let cloned = c.clone();
+        assert_eq!(cloned.stats().hits, 1);
+        c.clear();
+        assert_eq!(c.stats().hits, 1, "stats are lifetime, not per-fill");
     }
 }

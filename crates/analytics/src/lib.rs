@@ -31,5 +31,6 @@ pub mod quota;
 pub mod report;
 pub mod service;
 
+pub use cache::CacheStats;
 pub use profiles::ServiceProfile;
 pub use service::{OnlineService, ServiceError, ServiceResponse};

@@ -3,8 +3,9 @@
 use crate::cache::ResultCache;
 use crate::profiles::ServiceProfile;
 use crate::quota::{DailyQuota, QuotaExceeded};
-use fakeaudit_detectors::{AuditError, AuditOutcome, FollowerAuditor, ToolId};
+use fakeaudit_detectors::{AuditError, AuditOutcome, FollowerAuditor, Instrumented, ToolId};
 use fakeaudit_stats::rng::derive_seed;
+use fakeaudit_telemetry::Telemetry;
 use fakeaudit_twitter_api::{ApiConfig, ApiSession};
 use fakeaudit_twittersim::{AccountId, Platform, SimTime};
 use rand::rngs::StdRng;
@@ -111,6 +112,15 @@ pub struct OnlineService<A> {
     seed: u64,
     requests: u64,
     jitter: StdRng,
+    telemetry: Telemetry,
+}
+
+/// The decomposition of one fresh response's simulated seconds — the
+/// Table II breakdown recorded into the telemetry histograms.
+struct FreshBreakdown {
+    rate_limit_wait: f64,
+    api_latency: f64,
+    overhead: f64,
 }
 
 impl<A: FollowerAuditor> OnlineService<A> {
@@ -124,7 +134,28 @@ impl<A: FollowerAuditor> OnlineService<A> {
             seed,
             requests: 0,
             jitter: StdRng::seed_from_u64(derive_seed(seed, "service-jitter")),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Routes this service's signals into `telemetry`: per-request spans
+    /// (`service.request{tool,source}`), cache hit/miss counters, quota
+    /// rejections, the per-tool response-time breakdown (rate-limit wait
+    /// vs. HTTP latency vs. site overhead — the anatomy of Table II),
+    /// detector verdict counters and the underlying API-call stream.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry handle in place.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle this service records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Which tool this service fronts.
@@ -150,9 +181,14 @@ impl<A: FollowerAuditor> OnlineService<A> {
     ///
     /// Propagates [`AuditError`].
     pub fn prewarm(&mut self, platform: &Platform, target: AccountId) -> Result<(), ServiceError> {
-        let outcome = self.run_fresh(platform, target)?;
+        let (outcome, _) = self.run_fresh(platform, target)?;
         self.cache.put(target, outcome, platform.now());
         Ok(())
+    }
+
+    /// Lifetime hit/miss statistics of the service's result cache.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
     }
 
     /// Serves one analysis request at the platform's current time.
@@ -168,24 +204,44 @@ impl<A: FollowerAuditor> OnlineService<A> {
         target: AccountId,
     ) -> Result<ServiceResponse, ServiceError> {
         let now = platform.now();
+        let t0 = now.as_secs() as f64;
         if let Some(q) = &mut self.quota {
-            q.consume(now)?;
+            if let Err(e) = q.consume(now) {
+                let tool = self.auditor.tool().abbrev();
+                self.telemetry
+                    .counter_add("quota.rejected", &[("tool", tool)], 1);
+                self.telemetry
+                    .event("quota.rejected", t0, &[("tool", tool)]);
+                return Err(e.into());
+            }
         }
         if let Some(entry) = self.cache.get(target, now) {
             let response_secs = self.profile.cached_base_secs
                 + self.jitter.gen::<f64>() * self.profile.cached_jitter;
-            return Ok(ServiceResponse {
+            let response = ServiceResponse {
                 outcome: entry.outcome.clone(),
                 response_secs,
                 served_from_cache: true,
                 assessed_at: entry.assessed_at,
-            });
+            };
+            self.record_request(t0, response_secs, "cache", None);
+            return Ok(response);
         }
-        let outcome = self.run_fresh(platform, target)?;
+        let (outcome, rate_limit_wait) = self.run_fresh(platform, target)?;
         let response_secs = outcome.api_elapsed_secs
             + self.profile.overhead_secs
             + self.jitter.gen::<f64>() * self.profile.overhead_jitter;
         self.cache.put(target, outcome.clone(), now);
+        self.record_request(
+            t0,
+            response_secs,
+            "fresh",
+            Some(FreshBreakdown {
+                rate_limit_wait,
+                api_latency: outcome.api_elapsed_secs - rate_limit_wait,
+                overhead: response_secs - outcome.api_elapsed_secs,
+            }),
+        );
         Ok(ServiceResponse {
             outcome,
             response_secs,
@@ -194,19 +250,69 @@ impl<A: FollowerAuditor> OnlineService<A> {
         })
     }
 
+    /// Mirrors one served request into the telemetry handle.
+    fn record_request(
+        &self,
+        t0: f64,
+        response_secs: f64,
+        source: &str,
+        breakdown: Option<FreshBreakdown>,
+    ) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let tool = self.auditor.tool().abbrev();
+        let labels = [("tool", tool), ("source", source)];
+        self.telemetry
+            .span("service.request", t0, t0 + response_secs, &labels);
+        self.telemetry
+            .observe("service.response_secs", &labels, response_secs);
+        let tool_only = [("tool", tool)];
+        self.telemetry.counter_add(
+            if source == "cache" {
+                "cache.hit"
+            } else {
+                "cache.miss"
+            },
+            &tool_only,
+            1,
+        );
+        if let Some(b) = breakdown {
+            self.telemetry.observe(
+                "service.rate_limit_wait_secs",
+                &tool_only,
+                b.rate_limit_wait,
+            );
+            self.telemetry
+                .observe("service.api_latency_secs", &tool_only, b.api_latency);
+            self.telemetry
+                .observe("service.overhead_secs", &tool_only, b.overhead);
+        }
+        let stats = self.cache.stats();
+        self.telemetry
+            .gauge_set("cache.hits", &tool_only, stats.hits as f64);
+        self.telemetry
+            .gauge_set("cache.misses", &tool_only, stats.misses as f64);
+        self.telemetry
+            .gauge_set("cache.entries", &tool_only, self.cache.len() as f64);
+    }
+
     fn run_fresh(
         &mut self,
         platform: &Platform,
         target: AccountId,
-    ) -> Result<AuditOutcome, ServiceError> {
+    ) -> Result<(AuditOutcome, f64), ServiceError> {
         self.requests += 1;
         let request_seed = derive_seed(self.seed, &format!("request-{}", self.requests));
         let api = ApiConfig {
             seed: request_seed,
             ..self.profile.api
         };
-        let mut session = ApiSession::new(platform, api);
-        Ok(self.auditor.audit(&mut session, target, request_seed)?)
+        let mut session = ApiSession::with_telemetry(platform, api, self.telemetry.clone());
+        let auditor = Instrumented::new(&self.auditor, self.telemetry.clone());
+        let outcome = auditor.audit(&mut session, target, request_seed)?;
+        let rate_limit_wait = session.rate_limit_wait_secs();
+        Ok((outcome, rate_limit_wait))
     }
 }
 
@@ -318,6 +424,70 @@ mod tests {
             svc.request(&platform, AccountId(404)).unwrap_err(),
             ServiceError::Audit(_)
         ));
+    }
+
+    #[test]
+    fn telemetry_records_cache_traffic_and_breakdown() {
+        let (platform, t) = built(3_000);
+        let tel = Telemetry::enabled();
+        let mut svc = OnlineService::new(StatusPeople::new(), ServiceProfile::statuspeople(), 11)
+            .with_telemetry(tel.clone());
+        assert!(svc.telemetry().is_enabled());
+        let first = svc.request(&platform, t.target).unwrap();
+        svc.request(&platform, t.target).unwrap();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("cache.miss", &[("tool", "SP")]), Some(1));
+        assert_eq!(snap.counter("cache.hit", &[("tool", "SP")]), Some(1));
+        assert_eq!(svc.cache_stats().hit_ratio(), Some(0.5));
+        // Fresh response decomposes into rate-limit wait + latency + overhead.
+        let parts = snap.histogram_sum("service.rate_limit_wait_secs")
+            + snap.histogram_sum("service.api_latency_secs")
+            + snap.histogram_sum("service.overhead_secs");
+        assert!(
+            (parts - first.response_secs).abs() < 1e-6,
+            "breakdown {parts} != response {}",
+            first.response_secs
+        );
+        // The API-call stream flowed through into telemetry too.
+        assert!(snap.counter_total("api.calls") > 0);
+        assert_eq!(
+            snap.counter_total("detector.classified"),
+            first.outcome.counts.total()
+        );
+        let spans: Vec<_> = tel
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "service.request")
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].attr("source"), Some("fresh"));
+        assert_eq!(spans[1].attr("source"), Some("cache"));
+    }
+
+    #[test]
+    fn telemetry_counts_quota_rejections() {
+        let (platform, t) = built(2_500);
+        let tel = Telemetry::enabled();
+        let mut svc = OnlineService::new(Socialbakers::new(), ServiceProfile::socialbakers(), 12)
+            .with_telemetry(tel.clone());
+        for _ in 0..10 {
+            svc.request(&platform, t.target).unwrap();
+        }
+        svc.request(&platform, t.target).unwrap_err();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("quota.rejected", &[("tool", "SB")]), Some(1));
+    }
+
+    #[test]
+    fn disabled_telemetry_matches_instrumented_run() {
+        let (platform, t) = built(2_000);
+        let run = |tel: Telemetry| {
+            let mut svc =
+                OnlineService::new(StatusPeople::new(), ServiceProfile::statuspeople(), 9)
+                    .with_telemetry(tel);
+            svc.request(&platform, t.target).unwrap().response_secs
+        };
+        assert_eq!(run(Telemetry::disabled()), run(Telemetry::enabled()));
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! End-to-end determinism of the telemetry stream.
+//!
+//! The tracer is keyed to the *simulated* clock, so two runs with the same
+//! seed must serialise to byte-identical JSON lines — the trace is part of
+//! the reproducible output, not a wall-clock log.
+
+use fakeaudit_analytics::{OnlineService, ServiceProfile};
+use fakeaudit_detectors::StatusPeople;
+use fakeaudit_population::{BuiltTarget, ClassMix, TargetScenario};
+use fakeaudit_telemetry::{RunReport, Telemetry};
+use fakeaudit_twittersim::Platform;
+
+fn built(seed: u64) -> (Platform, BuiltTarget) {
+    let mut platform = Platform::new();
+    let t = TargetScenario::new("tel_it", 2_500, ClassMix::new(0.3, 0.2, 0.5).unwrap())
+        .build(&mut platform, seed)
+        .unwrap();
+    (platform, t)
+}
+
+/// Runs two requests (one fresh, one cached) and returns the JSONL trace.
+fn traced_run(platform_seed: u64, service_seed: u64) -> Vec<u8> {
+    let (platform, t) = built(platform_seed);
+    let tel = Telemetry::enabled();
+    let mut svc = OnlineService::new(
+        StatusPeople::new(),
+        ServiceProfile::statuspeople(),
+        service_seed,
+    )
+    .with_telemetry(tel.clone());
+    svc.request(&platform, t.target).unwrap();
+    svc.request(&platform, t.target).unwrap();
+    let mut out = Vec::new();
+    tel.write_jsonl(&mut out).unwrap();
+    out
+}
+
+#[test]
+fn same_seed_runs_serialise_byte_identically() {
+    let a = traced_run(91, 11);
+    let b = traced_run(91, 11);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "telemetry must be a pure function of the seeds");
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    assert_ne!(traced_run(91, 11), traced_run(91, 12));
+}
+
+#[test]
+fn jsonl_schema_contains_only_sim_time_fields() {
+    let bytes = traced_run(91, 11);
+    let text = String::from_utf8(bytes).unwrap();
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"type\":\"") && line.ends_with('}'),
+            "bad JSONL line: {line}"
+        );
+        assert!(line.contains("\"name\":\""), "no name: {line}");
+        assert!(line.contains("\"t0\":"), "no t0: {line}");
+        assert!(line.contains("\"t1\":"), "no t1: {line}");
+        assert!(line.contains("\"attrs\":{"), "no attrs: {line}");
+        // Timestamps are simulated seconds only — a wall-clock field would
+        // break replayability.
+        for banned in ["wall", "unix", "epoch_ms", "timestamp", "date"] {
+            assert!(
+                !line.contains(banned),
+                "wall-clock field {banned:?}: {line}"
+            );
+        }
+    }
+    // The stream covers the whole request path.
+    for expected in ["api.call", "detector.audit", "service.request"] {
+        assert!(
+            text.contains(&format!("\"name\":\"{expected}\"")),
+            "missing {expected} events"
+        );
+    }
+}
+
+#[test]
+fn report_renders_from_the_same_run() {
+    let (platform, t) = built(91);
+    let tel = Telemetry::enabled();
+    let mut svc = OnlineService::new(StatusPeople::new(), ServiceProfile::statuspeople(), 11)
+        .with_telemetry(tel.clone());
+    svc.request(&platform, t.target).unwrap();
+    svc.request(&platform, t.target).unwrap();
+    let report = RunReport::from_telemetry(&tel);
+    assert_eq!(report.cache_hit_ratio(), Some(0.5));
+    let rendered = report.render();
+    for needle in ["telemetry run summary", "API calls", "cache", "SP"] {
+        assert!(rendered.contains(needle), "summary missing {needle:?}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Telemetry overhead bench: the instrumented hot paths must stay within a
+//! few percent of the untraced ones, and a disabled handle must cost
+//! nothing measurable.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fakeaudit_bench::bench_target;
+use fakeaudit_telemetry::Telemetry;
+use fakeaudit_twitter_api::{ApiConfig, ApiSession};
+use std::hint::black_box;
+
+fn bench_telemetry(c: &mut Criterion) {
+    let (platform, target) = bench_target(10_000, 9);
+
+    // The session hot path under all three regimes: no handle, a disabled
+    // handle (the default for every untraced run), and a live collector.
+    let mut group = c.benchmark_group("session_instrumentation");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("followers_ids_10k_untraced", |b| {
+        b.iter(|| {
+            let mut s = ApiSession::new(&platform, ApiConfig::default());
+            black_box(s.followers_ids(target.target).unwrap().len())
+        })
+    });
+    group.bench_function("followers_ids_10k_disabled_handle", |b| {
+        b.iter(|| {
+            let mut s =
+                ApiSession::with_telemetry(&platform, ApiConfig::default(), Telemetry::disabled());
+            black_box(s.followers_ids(target.target).unwrap().len())
+        })
+    });
+    group.bench_function("followers_ids_10k_enabled", |b| {
+        b.iter(|| {
+            let tel = Telemetry::enabled();
+            let mut s = ApiSession::with_telemetry(&platform, ApiConfig::default(), tel);
+            black_box(s.followers_ids(target.target).unwrap().len())
+        })
+    });
+    group.finish();
+
+    // Raw collector operation costs.
+    let mut group = c.benchmark_group("telemetry_ops");
+    group.throughput(Throughput::Elements(1));
+    let tel = Telemetry::enabled();
+    group.bench_function("counter_add", |b| {
+        b.iter(|| tel.counter_add("bench.counter", &[("tool", "FC")], 1))
+    });
+    group.bench_function("observe", |b| {
+        b.iter(|| tel.observe("bench.hist", &[("tool", "FC")], black_box(1.25)))
+    });
+    let disabled = Telemetry::disabled();
+    group.bench_function("counter_add_disabled", |b| {
+        b.iter(|| disabled.counter_add("bench.counter", &[("tool", "FC")], 1))
+    });
+    group.finish();
+
+    // Span recording grows the event buffer; bench a bounded batch.
+    let mut group = c.benchmark_group("telemetry_spans");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("span_1k", |b| {
+        b.iter(|| {
+            let tel = Telemetry::enabled();
+            for i in 0..1_000u32 {
+                tel.span(
+                    "bench.span",
+                    f64::from(i),
+                    f64::from(i) + 0.5,
+                    &[("endpoint", "followers_ids")],
+                );
+            }
+            black_box(tel.events().len())
+        })
+    });
+    group.bench_function("span_1k_to_jsonl", |b| {
+        let tel = Telemetry::enabled();
+        for i in 0..1_000u32 {
+            tel.span(
+                "bench.span",
+                f64::from(i),
+                f64::from(i) + 0.5,
+                &[("endpoint", "followers_ids")],
+            );
+        }
+        b.iter(|| {
+            let mut out = Vec::with_capacity(128 * 1024);
+            tel.write_jsonl(&mut out).unwrap();
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

@@ -168,4 +168,26 @@ mod tests {
         let p = parse(&["audit", "--fake", "0.15"]).unwrap();
         assert_eq!(p.get_or("fake", 0.0f64).unwrap(), 0.15);
     }
+
+    #[test]
+    fn telemetry_path_option() {
+        let p = parse(&["audit", "--telemetry", "/tmp/trace.jsonl", "--seed", "7"]).unwrap();
+        assert_eq!(p.raw("telemetry"), Some("/tmp/trace.jsonl"));
+        assert!(!p.flag("telemetry"));
+    }
+
+    #[test]
+    fn quiet_flag() {
+        let p = parse(&["crawl", "--quiet", "--followers", "1000"]).unwrap();
+        assert!(p.flag("quiet"));
+        assert_eq!(p.get_or("followers", 0u64).unwrap(), 1_000);
+        assert!(!parse(&["crawl"]).unwrap().flag("quiet"));
+    }
+
+    #[test]
+    fn quiet_and_telemetry_combine() {
+        let p = parse(&["audit", "--quiet", "--telemetry", "out.jsonl"]).unwrap();
+        assert!(p.flag("quiet"));
+        assert_eq!(p.raw("telemetry"), Some("out.jsonl"));
+    }
 }

@@ -18,6 +18,7 @@ use fakeaudit_detectors::{FakeProjectEngine, ToolId, Twitteraudit};
 use fakeaudit_population::{ClassMix, TargetScenario};
 use fakeaudit_stats::sample_size::{required_sample_size, worst_case_margin};
 use fakeaudit_stats::ConfidenceLevel;
+use fakeaudit_telemetry::{RunReport, Telemetry};
 use fakeaudit_twitter_api::crawl::CrawlBudget;
 use fakeaudit_twitter_api::{ApiConfig, ApiSession};
 use fakeaudit_twittersim::Platform;
@@ -28,11 +29,12 @@ fakeaudit — the fake-follower analytics of Cresci et al. (2014), offline
 USAGE:
   fakeaudit audit [--followers N] [--inactive F] [--fake F] [--name S]
                   [--recency-bias K] [--fc-sample N] [--seed S] [--reports]
+                  [--telemetry PATH] [--quiet]
       Build a synthetic target with the given ground-truth mix and audit it
       with FC, Twitteraudit, StatusPeople and Socialbakers, scoring every
       tool against the hidden truth.
 
-  fakeaudit crawl --followers N
+  fakeaudit crawl --followers N [--telemetry PATH] [--quiet]
       Print the full-crawl budget under the paper's Table I rate limits.
 
   fakeaudit sample-size [--margin F] [--confidence 90|95|99]
@@ -41,7 +43,29 @@ USAGE:
 
   fakeaudit help
       Show this message.
+
+OPTIONS:
+  --telemetry PATH   Trace the run on the simulated clock: write the span /
+                     event stream as JSON lines to PATH and print a metrics
+                     summary (API calls, rate-limit waits, cache hit ratio,
+                     response-time breakdown, verdict counters).
+  --quiet            Suppress progress messages on stderr.
 ";
+
+/// Dumps the JSONL trace to `path` and prints the end-of-run summary.
+fn finish_telemetry(telemetry: &Telemetry, path: &str) -> Result<(), String> {
+    let mut file = std::fs::File::create(path)
+        .map_err(|e| format!("cannot create telemetry file {path:?}: {e}"))?;
+    telemetry
+        .write_jsonl(&mut file)
+        .map_err(|e| format!("cannot write telemetry file {path:?}: {e}"))?;
+    println!("\n{}", RunReport::from_telemetry(telemetry).render());
+    println!(
+        "trace written to {path} ({} events)",
+        telemetry.events().len()
+    );
+    Ok(())
+}
 
 fn main() {
     let parsed = match ParsedArgs::parse(std::env::args().skip(1)) {
@@ -82,20 +106,31 @@ fn cmd_audit(args: &ParsedArgs) -> Result<(), String> {
         return Err("--followers must be positive".into());
     }
     let name = args.raw("name").unwrap_or("cli_target").to_string();
+    let quiet = args.flag("quiet");
+    let telemetry_path = args.raw("telemetry").map(str::to_string);
     let genuine = 1.0 - inactive - fake;
     let mix = ClassMix::new(inactive, fake, genuine)
         .map_err(|e| format!("bad mix (--inactive + --fake must be <= 1): {e}"))?;
 
-    eprintln!("building target ({followers} followers, truth: {mix}) ...");
+    if !quiet {
+        eprintln!("building target ({followers} followers, truth: {mix}) ...");
+    }
     let mut platform = Platform::new();
     let target = TargetScenario::new(name, followers, mix)
         .fake_recency_bias(recency.max(1.0))
         .build(&mut platform, seed)
         .map_err(|e| e.to_string())?;
 
-    eprintln!("training the FC classifier ...");
+    if !quiet {
+        eprintln!("training the FC classifier ...");
+    }
+    let telemetry = if telemetry_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let fc = FakeProjectEngine::with_default_model(seed).with_sample_size(fc_sample);
-    let mut panel = AuditPanel::with_fc_engine(fc, seed);
+    let mut panel = AuditPanel::with_fc_engine(fc, seed).with_telemetry(telemetry.clone());
     let result = panel
         .request_all(&platform, target.target)
         .map_err(|e| e.to_string())?;
@@ -129,6 +164,9 @@ fn cmd_audit(args: &ParsedArgs) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("{}", report::render_twitteraudit(&outcome, &chart));
     }
+    if let Some(path) = telemetry_path {
+        finish_telemetry(&telemetry, &path)?;
+    }
     Ok(())
 }
 
@@ -136,11 +174,21 @@ fn cmd_crawl(args: &ParsedArgs) -> Result<(), String> {
     let followers: u64 = args
         .get_or("followers", 41_000_000)
         .map_err(|e| e.to_string())?;
+    let quiet = args.flag("quiet");
+    if !quiet {
+        eprintln!("computing crawl budget for {followers} followers ...");
+    }
     let profiles = CrawlBudget::for_followers(followers, false);
     let with_tl = CrawlBudget::for_followers(followers, true);
     println!("{profiles}");
     println!("{with_tl}");
     println!("(the paper crawled @BarackObama's 41M followers in \"around 27 days\")");
+    if let Some(path) = args.raw("telemetry") {
+        let telemetry = Telemetry::enabled();
+        profiles.record_metrics(&telemetry);
+        with_tl.record_metrics(&telemetry);
+        finish_telemetry(&telemetry, path)?;
+    }
     Ok(())
 }
 

@@ -11,6 +11,7 @@ use fakeaudit_analytics::ServiceError;
 use fakeaudit_detectors::{FakeProjectEngine, ToolId};
 use fakeaudit_population::testbed::{PaperResponseTimes, PaperTarget};
 use fakeaudit_stats::rng::derive_seed;
+use fakeaudit_telemetry::Telemetry;
 use fakeaudit_twittersim::{Platform, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -48,6 +49,25 @@ pub struct Table2 {
 /// Panics if the testbed data is inconsistent (cannot happen with the
 /// shipped [`fakeaudit_population::testbed::PAPER_TARGETS`]).
 pub fn run_table2(scale: Scale, seed: u64) -> Result<Table2, ServiceError> {
+    run_table2_with_telemetry(scale, seed, Telemetry::disabled())
+}
+
+/// [`run_table2`] with every panel's signals routed into `telemetry` —
+/// the spans and histograms decompose each Table II cell into rate-limit
+/// wait, HTTP latency and site overhead.
+///
+/// # Errors
+///
+/// Propagates [`ServiceError`] from any audit.
+///
+/// # Panics
+///
+/// As [`run_table2`].
+pub fn run_table2_with_telemetry(
+    scale: Scale,
+    seed: u64,
+    telemetry: Telemetry,
+) -> Result<Table2, ServiceError> {
     let fc_engine = FakeProjectEngine::with_default_model(derive_seed(seed, "t2-model"))
         .with_sample_size(scale.fc_sample);
     let mut rows = Vec::new();
@@ -59,7 +79,8 @@ pub fn run_table2(scale: Scale, seed: u64) -> Result<Table2, ServiceError> {
             .scenario(scale.materialize_cap)
             .build(&mut platform, target_seed)
             .expect("scenario builds");
-        let mut panel = AuditPanel::with_fc_engine(fc_engine.clone(), target_seed);
+        let mut panel = AuditPanel::with_fc_engine(fc_engine.clone(), target_seed)
+            .with_telemetry(telemetry.clone());
 
         // Reproduce the vendors' pre-computed results.
         let mut cached = Vec::new();
@@ -232,5 +253,22 @@ mod tests {
     fn deterministic() {
         // Re-running with the cached table's seed must reproduce it.
         assert_eq!(&run_table2(Scale::quick(), 7).unwrap(), quick_table());
+    }
+
+    #[test]
+    fn telemetry_run_matches_untraced_run() {
+        let tel = Telemetry::enabled();
+        let traced = run_table2_with_telemetry(Scale::quick(), 7, tel.clone()).unwrap();
+        assert_eq!(
+            &traced,
+            quick_table(),
+            "instrumentation must not perturb the simulation"
+        );
+        let snap = tel.snapshot();
+        // 13 targets × 4 tools, minus the 4 pre-warmed (cached) first hits.
+        assert_eq!(snap.counter_total("cache.hit"), 4);
+        assert_eq!(snap.counter_total("cache.miss"), 13 * 4 - 4);
+        assert!(snap.counter_total("api.calls") > 0);
+        assert!(!tel.events().is_empty());
     }
 }

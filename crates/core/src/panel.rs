@@ -3,6 +3,7 @@
 use fakeaudit_analytics::{OnlineService, ServiceError, ServiceProfile, ServiceResponse};
 use fakeaudit_detectors::{FakeProjectEngine, Socialbakers, StatusPeople, ToolId, Twitteraudit};
 use fakeaudit_stats::rng::derive_seed;
+use fakeaudit_telemetry::Telemetry;
 use fakeaudit_twittersim::{AccountId, Platform};
 use std::fmt;
 
@@ -47,6 +48,22 @@ impl AuditPanel {
                 derive_seed(seed, "svc-sb"),
             ),
         }
+    }
+
+    /// Routes every service's signals into one shared `telemetry` handle,
+    /// so the whole panel's spans and metrics land on a single sim-time
+    /// axis. Returns `self` for builder-style chaining.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.set_telemetry(telemetry);
+        self
+    }
+
+    /// Replaces every service's telemetry handle in place.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.fc.set_telemetry(telemetry.clone());
+        self.ta.set_telemetry(telemetry.clone());
+        self.sp.set_telemetry(telemetry.clone());
+        self.sb.set_telemetry(telemetry);
     }
 
     /// The FC service.
@@ -217,6 +234,23 @@ mod tests {
         assert!(result.of(ToolId::StatusPeople).served_from_cache);
         assert!(!result.of(ToolId::Twitteraudit).served_from_cache);
         assert!(!result.of(ToolId::Socialbakers).served_from_cache);
+    }
+
+    #[test]
+    fn shared_telemetry_sees_all_four_tools() {
+        let (platform, t) = built(1_500);
+        let tel = Telemetry::enabled();
+        let mut panel = small_panel(5).with_telemetry(tel.clone());
+        panel.request_all(&platform, t.target).unwrap();
+        let snap = tel.snapshot();
+        let tools = snap.label_values("service.response_secs", "tool");
+        for tool in ToolId::ALL {
+            assert!(
+                tools.iter().any(|v| v == tool.abbrev()),
+                "{tool} missing from shared registry"
+            );
+        }
+        assert_eq!(snap.counter_total("cache.miss"), 4);
     }
 
     #[test]

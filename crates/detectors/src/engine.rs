@@ -1,8 +1,9 @@
 //! The common auditor interface and shared sampling plumbing.
 
-use crate::verdict::AuditOutcome;
+use crate::verdict::{AuditOutcome, Verdict};
 use fakeaudit_stats::rng::rng_for;
 use fakeaudit_stats::sampling::SamplingScheme;
+use fakeaudit_telemetry::Telemetry;
 use fakeaudit_twitter_api::{ApiError, ApiSession};
 use fakeaudit_twittersim::AccountId;
 use serde::{Deserialize, Serialize};
@@ -115,6 +116,89 @@ pub trait FollowerAuditor {
     ) -> Result<AuditOutcome, AuditError>;
 }
 
+impl<A: FollowerAuditor + ?Sized> FollowerAuditor for &A {
+    fn tool(&self) -> ToolId {
+        (**self).tool()
+    }
+
+    fn audit(
+        &self,
+        session: &mut ApiSession<'_>,
+        target: AccountId,
+        seed: u64,
+    ) -> Result<AuditOutcome, AuditError> {
+        (**self).audit(session, target, seed)
+    }
+}
+
+/// Wraps any auditor, mirroring each audit into a telemetry handle: a
+/// `detector.audit{tool}` span over the audit's API schedule plus
+/// `detector.classified{tool,verdict}` counters for every verdict issued.
+///
+/// The [`OnlineService`](https://docs.rs/fakeaudit-analytics) wraps its
+/// engine in this automatically; use it directly when driving an engine
+/// against a raw [`ApiSession`].
+#[derive(Debug, Clone)]
+pub struct Instrumented<A> {
+    inner: A,
+    telemetry: Telemetry,
+}
+
+impl<A> Instrumented<A> {
+    /// Wraps `inner` so its audits record into `telemetry`.
+    pub fn new(inner: A, telemetry: Telemetry) -> Self {
+        Self { inner, telemetry }
+    }
+
+    /// The wrapped auditor.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Unwraps the auditor.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<A: FollowerAuditor> FollowerAuditor for Instrumented<A> {
+    fn tool(&self) -> ToolId {
+        self.inner.tool()
+    }
+
+    fn audit(
+        &self,
+        session: &mut ApiSession<'_>,
+        target: AccountId,
+        seed: u64,
+    ) -> Result<AuditOutcome, AuditError> {
+        let t0 = session.trace_time();
+        let outcome = self.inner.audit(session, target, seed)?;
+        let tool = self.tool().abbrev();
+        self.telemetry.span(
+            "detector.audit",
+            t0,
+            session.trace_time(),
+            &[("tool", tool)],
+        );
+        for (verdict, count) in [
+            (Verdict::Inactive, outcome.counts.inactive),
+            (Verdict::Fake, outcome.counts.fake),
+            (Verdict::Genuine, outcome.counts.genuine),
+        ] {
+            if count > 0 {
+                let verdict = verdict.to_string();
+                self.telemetry.counter_add(
+                    "detector.classified",
+                    &[("tool", tool), ("verdict", verdict.as_str())],
+                    count,
+                );
+            }
+        }
+        Ok(outcome)
+    }
+}
+
 /// The sampling frame a commercial tool uses: fetch the newest `window`
 /// follower ids, then assess `assess` of them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -224,6 +308,41 @@ mod tests {
             frame.draw(&mut s, lonely, 1).unwrap_err(),
             AuditError::NoFollowers(lonely)
         );
+    }
+
+    #[test]
+    fn instrumented_auditor_records_span_and_verdicts() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("instr", 1_000, ClassMix::new(0.3, 0.2, 0.5).unwrap())
+            .build(&mut platform, 34)
+            .unwrap();
+        let tel = Telemetry::enabled();
+        let auditor = Instrumented::new(crate::statuspeople::StatusPeople::new(), tel.clone());
+        assert_eq!(auditor.tool(), ToolId::StatusPeople);
+        let mut s = ApiSession::new(&platform, ApiConfig::default());
+        let outcome = auditor.audit(&mut s, t.target, 5).unwrap();
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.counter_total("detector.classified"),
+            outcome.counts.total()
+        );
+        let spans: Vec<_> = tel
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "detector.audit")
+            .collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].attr("tool"), Some("SP"));
+        assert!(spans[0].duration_secs() > 0.0);
+        assert_eq!(auditor.inner().tool(), ToolId::StatusPeople);
+        assert_eq!(auditor.into_inner().tool(), ToolId::StatusPeople);
+    }
+
+    #[test]
+    fn auditor_references_are_auditors_too() {
+        let sp = crate::statuspeople::StatusPeople::new();
+        let by_ref: &crate::statuspeople::StatusPeople = &sp;
+        assert_eq!(by_ref.tool(), ToolId::StatusPeople);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod statuspeople;
 pub mod twitteraudit;
 pub mod verdict;
 
-pub use engine::{AuditError, FollowerAuditor, ToolId};
+pub use engine::{AuditError, FollowerAuditor, Instrumented, ToolId};
 pub use fake_project::FakeProjectEngine;
 pub use socialbakers::Socialbakers;
 pub use statuspeople::StatusPeople;

@@ -1,0 +1,209 @@
+//! Sim-clock telemetry for the audit pipeline.
+//!
+//! The paper's headline evidence is *operational* — Table I rate limits,
+//! Table II response times, the 27-day Obama crawl — so the reproduction
+//! treats crawl-cost accounting as a first-class artefact. This crate is
+//! the measurement substrate every layer shares:
+//!
+//! * [`trace`] — spans and point events keyed to **simulated time** (f64
+//!   seconds, never the wall clock), so traces are deterministic and
+//!   byte-replayable;
+//! * [`metrics`] — a thread-safe registry of counters, gauges and
+//!   histograms with labelled names (`api.calls{endpoint=followers_ids}`,
+//!   `cache.hit{tool=TA}`, `service.response_secs{tool,source}` …);
+//! * [`sink`] — the JSON-lines trace encoding;
+//! * [`report`] — the end-of-run summary table ([`RunReport`]).
+//!
+//! The entry point is [`Telemetry`], a cheaply cloneable handle that every
+//! instrumented component shares. A **disabled** handle (the default) makes
+//! every recording call a branch on a null pointer — the instrumented hot
+//! paths stay within noise of their uninstrumented cost — while an
+//! **enabled** handle collects into one shared registry and trace:
+//!
+//! ```
+//! use fakeaudit_telemetry::{RunReport, Telemetry};
+//!
+//! let tel = Telemetry::enabled();
+//! tel.counter_add("api.calls", &[("endpoint", "followers_ids")], 2);
+//! tel.span("api.call", 0.0, 1.4, &[("endpoint", "followers_ids")]);
+//!
+//! let mut jsonl = Vec::new();
+//! tel.write_jsonl(&mut jsonl).unwrap();
+//! assert_eq!(jsonl.iter().filter(|&&b| b == b'\n').count(), 1);
+//! assert!(RunReport::from_telemetry(&tel).render().contains("API calls"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod report;
+pub mod sink;
+pub mod trace;
+
+pub use metrics::{HistogramSnapshot, MetricKey, MetricsRegistry, MetricsSnapshot};
+pub use report::RunReport;
+pub use trace::{EventKind, TraceEvent};
+
+use parking_lot::Mutex;
+use std::io;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Inner {
+    registry: MetricsRegistry,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// A shared telemetry handle: either disabled (every call is a no-op
+/// branch) or backed by one registry + trace shared by all clones.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// A no-op handle; recording costs one branch. This is the default.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A collecting handle. Clones share the same registry and trace.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records a closed span `[t0, t1]` in simulated seconds.
+    pub fn span(&self, name: &str, t0: f64, t1: f64, attrs: &[(&str, &str)]) {
+        if let Some(inner) = &self.inner {
+            inner
+                .events
+                .lock()
+                .push(TraceEvent::span(name, t0, t1, attrs));
+        }
+    }
+
+    /// Records a point event at simulated time `t`.
+    pub fn event(&self, name: &str, t: f64, attrs: &[(&str, &str)]) {
+        if let Some(inner) = &self.inner {
+            inner.events.lock().push(TraceEvent::point(name, t, attrs));
+        }
+    }
+
+    /// Adds `n` to a counter.
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter_add(name, labels, n);
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge_set(name, labels, v);
+        }
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.observe(name, labels, v);
+        }
+    }
+
+    /// A deterministic snapshot of the registry (empty when disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.registry.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// A copy of the trace so far (empty when disabled).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner.events.lock().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Writes the trace as JSON lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        sink::write_jsonl(&self.events(), w)
+    }
+
+    /// Renders the end-of-run summary table.
+    pub fn summary(&self) -> String {
+        RunReport::from_telemetry(self).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.counter_add("x", &[], 1);
+        tel.span("s", 0.0, 1.0, &[]);
+        tel.event("e", 0.0, &[]);
+        tel.gauge_set("g", &[], 1.0);
+        tel.observe("h", &[], 1.0);
+        assert!(tel.events().is_empty());
+        assert_eq!(tel.snapshot(), MetricsSnapshot::default());
+        let mut buf = Vec::new();
+        tel.write_jsonl(&mut buf).unwrap();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Telemetry::default().is_enabled());
+    }
+
+    #[test]
+    fn clones_share_the_same_collector() {
+        let tel = Telemetry::enabled();
+        let clone = tel.clone();
+        clone.counter_add("api.calls", &[], 3);
+        clone.span("api.call", 0.0, 2.0, &[]);
+        assert_eq!(tel.snapshot().counter_total("api.calls"), 3);
+        assert_eq!(tel.events().len(), 1);
+    }
+
+    #[test]
+    fn events_preserve_recording_order() {
+        let tel = Telemetry::enabled();
+        tel.event("first", 5.0, &[]);
+        tel.event("second", 1.0, &[]);
+        let events = tel.events();
+        assert_eq!(events[0].name, "first");
+        assert_eq!(events[1].name, "second");
+    }
+
+    #[test]
+    fn summary_is_renderable() {
+        let tel = Telemetry::enabled();
+        tel.counter_add("api.calls", &[("endpoint", "users_lookup")], 2);
+        assert!(tel.summary().contains("API calls"));
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Telemetry>();
+    }
+}

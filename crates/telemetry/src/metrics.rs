@@ -1,0 +1,390 @@
+//! A thread-safe metrics registry: counters, gauges and histograms.
+//!
+//! Metrics are identified by a dotted name plus sorted label pairs, e.g.
+//! `api.calls{endpoint=followers_ids}`. All maps are `BTreeMap`s so every
+//! snapshot and rendered summary iterates in one deterministic order.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Histogram bucket upper bounds in seconds (a final overflow bucket
+/// catches everything above the last bound). The scale spans the regimes
+/// the reproduction measures: sub-second cache hits, Table II responses
+/// (seconds to minutes) and multi-day crawls.
+pub const BUCKET_BOUNDS: [f64; 9] = [0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0, 3_600.0, 86_400.0];
+
+/// A metric identity: name plus label pairs (sorted on construction).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    /// Dotted metric name, e.g. `cache.hit`.
+    pub name: String,
+    /// Sorted `(label, value)` pairs.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, sorting the labels.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.labels.is_empty() {
+            f.write_str("{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Streaming histogram state: count/sum/min/max plus log-scale buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// `(upper_bound, count)` pairs; the final pair uses
+    /// [`f64::INFINITY`] as its bound.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; BUCKET_BOUNDS.len() + 1],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: [0; BUCKET_BOUNDS.len() + 1],
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        }
+        self.count += 1;
+        self.sum += v;
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| v <= bound)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx] += 1;
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets: Vec<(f64, u64)> = BUCKET_BOUNDS
+            .iter()
+            .copied()
+            .zip(self.buckets.iter().copied())
+            .collect();
+        buckets.push((f64::INFINITY, self.buckets[BUCKET_BOUNDS.len()]));
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Maps {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+/// A thread-safe registry of named counters, gauges and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Maps>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter `name{labels}` (creating it at zero).
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], n: u64) {
+        let key = MetricKey::new(name, labels);
+        *self.inner.lock().counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Sets the gauge `name{labels}` to `v`.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = MetricKey::new(name, labels);
+        self.inner.lock().gauges.insert(key, v);
+    }
+
+    /// Records one observation in the histogram `name{labels}`.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = MetricKey::new(name, labels);
+        self.inner
+            .lock()
+            .histograms
+            .entry(key)
+            .or_insert_with(Histogram::new)
+            .observe(v);
+    }
+
+    /// A deterministic (name-ordered) snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let maps = self.inner.lock();
+        MetricsSnapshot {
+            counters: maps.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: maps.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: maps
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a registry, ordered by metric key.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// All gauges.
+    pub gauges: Vec<(MetricKey, f64)>,
+    /// All histograms.
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Sum of counter `name` across every label combination.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// The exact counter `name{labels}`, if recorded.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = MetricKey::new(name, labels);
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// The gauge `name{labels}`, if recorded.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = MetricKey::new(name, labels);
+        self.gauges.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+
+    /// The histogram `name{labels}`, if recorded.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        let key = MetricKey::new(name, labels);
+        self.histograms
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, h)| h)
+    }
+
+    /// Sum of observations in histogram `name` across every label set.
+    pub fn histogram_sum(&self, name: &str) -> f64 {
+        self.histograms
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, h)| h.sum)
+            .sum()
+    }
+
+    /// The distinct values of `label` across all metrics named `name`, in
+    /// first-seen (key-sorted) order.
+    pub fn label_values(&self, name: &str, label: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let keys = self
+            .counters
+            .iter()
+            .map(|(k, _)| k)
+            .chain(self.gauges.iter().map(|(k, _)| k))
+            .chain(self.histograms.iter().map(|(k, _)| k));
+        for key in keys {
+            if key.name == name {
+                if let Some(v) = key.label(label) {
+                    if !out.iter().any(|x| x == v) {
+                        out.push(v.to_string());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::new();
+        r.counter_add("api.calls", &[("endpoint", "followers_ids")], 3);
+        r.counter_add("api.calls", &[("endpoint", "followers_ids")], 2);
+        r.counter_add("api.calls", &[("endpoint", "users_lookup")], 7);
+        let s = r.snapshot();
+        assert_eq!(
+            s.counter("api.calls", &[("endpoint", "followers_ids")]),
+            Some(5)
+        );
+        assert_eq!(s.counter_total("api.calls"), 12);
+        assert_eq!(s.counter("api.calls", &[("endpoint", "nope")]), None);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("cache.entries", &[], 3.0);
+        r.gauge_set("cache.entries", &[], 5.0);
+        assert_eq!(r.snapshot().gauge("cache.entries", &[]), Some(5.0));
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let r = MetricsRegistry::new();
+        for v in [0.5, 2.0, 120.0] {
+            r.observe("api.rate_limit_wait_secs", &[], v);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("api.rate_limit_wait_secs", &[]).unwrap();
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 122.5).abs() < 1e-9);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 120.0);
+        assert!((h.mean() - 122.5 / 3.0).abs() < 1e-9);
+        // 0.5 → (<=1.0), 2.0 → (<=10.0), 120.0 → (<=600.0).
+        let count_at = |bound: f64| {
+            h.buckets
+                .iter()
+                .find(|&&(b, _)| b == bound)
+                .map(|&(_, c)| c)
+                .unwrap()
+        };
+        assert_eq!(count_at(1.0), 1);
+        assert_eq!(count_at(10.0), 1);
+        assert_eq!(count_at(600.0), 1);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        let r = MetricsRegistry::new();
+        r.observe("crawl.secs", &[], 10_000_000.0);
+        let s = r.snapshot();
+        let h = s.histogram("crawl.secs", &[]).unwrap();
+        let (bound, count) = *h.buckets.last().unwrap();
+        assert!(bound.is_infinite());
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let h = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: vec![],
+        };
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn labels_sort_into_one_identity() {
+        let a = MetricKey::new("m", &[("b", "2"), ("a", "1")]);
+        let b = MetricKey::new("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "m{a=1,b=2}");
+        assert_eq!(a.label("a"), Some("1"));
+        assert_eq!(MetricKey::new("m", &[]).to_string(), "m");
+    }
+
+    #[test]
+    fn label_values_are_deduped() {
+        let r = MetricsRegistry::new();
+        r.counter_add("x", &[("tool", "TA")], 1);
+        r.counter_add("x", &[("tool", "SP")], 1);
+        r.observe("x", &[("tool", "TA")], 1.0);
+        let s = r.snapshot();
+        assert_eq!(s.label_values("x", "tool"), vec!["SP", "TA"]);
+    }
+
+    #[test]
+    fn snapshot_orders_deterministically() {
+        let r = MetricsRegistry::new();
+        r.counter_add("z.last", &[], 1);
+        r.counter_add("a.first", &[], 1);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].0.name, "a.first");
+        assert_eq!(s.counters[1].0.name, "z.last");
+    }
+}

@@ -1,0 +1,261 @@
+//! End-of-run summary reports.
+//!
+//! [`RunReport`] condenses a telemetry handle into the human-readable
+//! table the CLI prints after an instrumented run: total API traffic,
+//! rate-limit wait, cache effectiveness, quota rejections, the per-tool
+//! response-time breakdown behind Table II (rate-limit wait vs. HTTP
+//! latency vs. site overhead), detector verdict tallies, and a full dump
+//! of every registered metric.
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::EventKind;
+use crate::Telemetry;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A rendered-on-demand summary of one instrumented run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Metrics at report time.
+    pub snapshot: MetricsSnapshot,
+    /// Spans recorded in the trace.
+    pub span_count: usize,
+    /// Point events recorded in the trace.
+    pub point_count: usize,
+}
+
+impl RunReport {
+    /// Captures a report from `telemetry` (empty when disabled).
+    pub fn from_telemetry(telemetry: &Telemetry) -> Self {
+        let events = telemetry.events();
+        Self {
+            snapshot: telemetry.snapshot(),
+            span_count: events.iter().filter(|e| e.kind == EventKind::Span).count(),
+            point_count: events.iter().filter(|e| e.kind == EventKind::Point).count(),
+        }
+    }
+
+    /// Cache hit ratio in `[0, 1]`, or `None` before any lookup.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        let hits = self.snapshot.counter_total("cache.hit");
+        let misses = self.snapshot.counter_total("cache.miss");
+        let total = hits + misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    /// Renders the summary table.
+    pub fn render(&self) -> String {
+        let s = &self.snapshot;
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry run summary");
+        let _ = writeln!(out, "=====================");
+        let _ = writeln!(
+            out,
+            "API calls           {:>10}   rate-limit wait {:.1}s   http latency {:.1}s",
+            s.counter_total("api.calls"),
+            s.histogram_sum("api.rate_limit_wait_secs"),
+            s.histogram_sum("api.latency_secs"),
+        );
+        let hits = s.counter_total("cache.hit");
+        let misses = s.counter_total("cache.miss");
+        match self.cache_hit_ratio() {
+            Some(ratio) => {
+                let _ = writeln!(
+                    out,
+                    "cache               {hits:>10} hits / {misses} misses ({:.1}% hit ratio)",
+                    ratio * 100.0
+                );
+            }
+            None => {
+                let _ = writeln!(out, "cache               {:>10} lookups", 0);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "quota rejections    {:>10}",
+            s.counter_total("quota.rejected")
+        );
+        let _ = writeln!(
+            out,
+            "trace               {:>10} spans, {} events",
+            self.span_count, self.point_count
+        );
+
+        let tools = s.label_values("service.response_secs", "tool");
+        if !tools.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nfresh response breakdown (simulated seconds, mean per tool)"
+            );
+            let _ = writeln!(
+                out,
+                "{:<6}{:>4} {:>10} {:>10} {:>10} {:>10}",
+                "tool", "n", "response", "rl-wait", "latency", "overhead"
+            );
+            for tool in &tools {
+                let fresh = s.histogram(
+                    "service.response_secs",
+                    &[("tool", tool), ("source", "fresh")],
+                );
+                let Some(fresh) = fresh else { continue };
+                let mean_of = |name: &str| {
+                    s.histogram(name, &[("tool", tool)])
+                        .map(|h| h.mean())
+                        .unwrap_or(0.0)
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<6}{:>4} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                    tool,
+                    fresh.count,
+                    fresh.mean(),
+                    mean_of("service.rate_limit_wait_secs"),
+                    mean_of("service.api_latency_secs"),
+                    mean_of("service.overhead_secs"),
+                );
+            }
+            let cached_rows: Vec<_> = tools
+                .iter()
+                .filter_map(|tool| {
+                    s.histogram(
+                        "service.response_secs",
+                        &[("tool", tool), ("source", "cache")],
+                    )
+                    .map(|h| (tool.clone(), h.count, h.mean()))
+                })
+                .collect();
+            if !cached_rows.is_empty() {
+                let _ = writeln!(out, "\ncached responses");
+                let _ = writeln!(out, "{:<6}{:>4} {:>10}", "tool", "n", "mean secs");
+                for (tool, n, mean) in cached_rows {
+                    let _ = writeln!(out, "{tool:<6}{n:>4} {mean:>10.1}");
+                }
+            }
+        }
+
+        let verdict_tools = s.label_values("detector.classified", "tool");
+        if !verdict_tools.is_empty() {
+            let _ = writeln!(out, "\ndetector verdicts");
+            let _ = writeln!(
+                out,
+                "{:<6}{:>10} {:>10} {:>10}",
+                "tool", "inactive", "fake", "genuine"
+            );
+            for tool in &verdict_tools {
+                let count_of = |verdict: &str| {
+                    s.counter(
+                        "detector.classified",
+                        &[("tool", tool), ("verdict", verdict)],
+                    )
+                    .unwrap_or(0)
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<6}{:>10} {:>10} {:>10}",
+                    tool,
+                    count_of("inactive"),
+                    count_of("fake"),
+                    count_of("genuine"),
+                );
+            }
+        }
+
+        if !s.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters");
+            for (key, v) in &s.counters {
+                let _ = writeln!(out, "  {key:<52} {v}");
+            }
+        }
+        if !s.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges");
+            for (key, v) in &s.gauges {
+                let _ = writeln!(out, "  {key:<52} {v}");
+            }
+        }
+        if !s.histograms.is_empty() {
+            let _ = writeln!(out, "\nhistograms (count / mean / min / max)");
+            for (key, h) in &s.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {key:<52} {} / {:.3} / {:.3} / {:.3}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_telemetry() -> Telemetry {
+        let tel = Telemetry::enabled();
+        tel.counter_add("api.calls", &[("endpoint", "followers_ids")], 4);
+        tel.observe(
+            "api.rate_limit_wait_secs",
+            &[("endpoint", "followers_ids")],
+            30.0,
+        );
+        tel.counter_add("cache.hit", &[("tool", "TA")], 1);
+        tel.counter_add("cache.miss", &[("tool", "TA")], 3);
+        tel.observe(
+            "service.response_secs",
+            &[("tool", "TA"), ("source", "fresh")],
+            47.0,
+        );
+        tel.observe("service.rate_limit_wait_secs", &[("tool", "TA")], 0.0);
+        tel.observe("service.api_latency_secs", &[("tool", "TA")], 44.0);
+        tel.observe("service.overhead_secs", &[("tool", "TA")], 3.0);
+        tel.counter_add(
+            "detector.classified",
+            &[("tool", "TA"), ("verdict", "fake")],
+            9,
+        );
+        tel.span("service.request", 0.0, 47.0, &[("tool", "TA")]);
+        tel.event("quota.rejected", 50.0, &[("tool", "SB")]);
+        tel.counter_add("quota.rejected", &[("tool", "SB")], 1);
+        tel
+    }
+
+    #[test]
+    fn report_renders_headline_and_breakdown() {
+        let report = RunReport::from_telemetry(&sample_telemetry());
+        assert_eq!(report.span_count, 1);
+        assert_eq!(report.point_count, 1);
+        assert_eq!(report.cache_hit_ratio(), Some(0.25));
+        let text = report.render();
+        assert!(text.contains("API calls"));
+        assert!(text.contains("25.0% hit ratio"));
+        assert!(text.contains("fresh response breakdown"));
+        assert!(text.contains("TA"));
+        assert!(text.contains("detector verdicts"));
+        assert!(text.contains("quota rejections"));
+        assert!(text.to_string().contains("histograms"));
+    }
+
+    #[test]
+    fn disabled_telemetry_renders_empty_report() {
+        let report = RunReport::from_telemetry(&Telemetry::disabled());
+        assert_eq!(report.cache_hit_ratio(), None);
+        let text = report.render();
+        assert!(text.contains("telemetry run summary"));
+        assert!(!text.contains("fresh response breakdown"));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let r = RunReport::from_telemetry(&sample_telemetry());
+        assert_eq!(r.to_string(), r.render());
+    }
+}

@@ -1,0 +1,134 @@
+//! Trace sinks: the JSON-lines encoding.
+//!
+//! Each record becomes one line with a fixed key order:
+//!
+//! ```json
+//! {"type":"span","name":"api.call","t0":0,"t1":1.25,"attrs":{"endpoint":"followers_ids"}}
+//! ```
+//!
+//! The schema deliberately contains **only sim-time fields** (`t0`, `t1`);
+//! no wall-clock timestamp ever enters a record, so traces from identical
+//! seeds are byte-identical. Numbers are rendered with Rust's shortest
+//! round-trip `f64` formatting, which is itself deterministic.
+
+use crate::trace::TraceEvent;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Appends the JSON escape of `s` (without surrounding quotes) to `out`.
+pub(crate) fn escape_json_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        // JSON has no Infinity/NaN; `null` keeps the line parseable.
+        out.push_str("null");
+    }
+}
+
+/// Encodes one record as a single JSON line (no trailing newline).
+pub fn event_to_json(e: &TraceEvent) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"type\":\"");
+    out.push_str(e.kind.as_str());
+    out.push_str("\",\"name\":\"");
+    escape_json_into(&e.name, &mut out);
+    out.push_str("\",\"t0\":");
+    push_f64(e.t0, &mut out);
+    out.push_str(",\"t1\":");
+    push_f64(e.t1, &mut out);
+    out.push_str(",\"attrs\":{");
+    for (i, (k, v)) in e.attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json_into(k, &mut out);
+        out.push_str("\":\"");
+        escape_json_into(v, &mut out);
+        out.push('"');
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Writes every record as JSON lines.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_jsonl<W: Write>(events: &[TraceEvent], w: &mut W) -> io::Result<()> {
+    for e in events {
+        w.write_all(event_to_json(e).as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_key_order_and_values() {
+        let e = TraceEvent::span("api.call", 0.0, 1.25, &[("endpoint", "followers_ids")]);
+        assert_eq!(
+            event_to_json(&e),
+            "{\"type\":\"span\",\"name\":\"api.call\",\"t0\":0,\"t1\":1.25,\
+             \"attrs\":{\"endpoint\":\"followers_ids\"}}"
+        );
+    }
+
+    #[test]
+    fn point_event_repeats_time() {
+        let e = TraceEvent::point("quota.rejected", 3.5, &[]);
+        assert_eq!(
+            event_to_json(&e),
+            "{\"type\":\"event\",\"name\":\"quota.rejected\",\"t0\":3.5,\"t1\":3.5,\"attrs\":{}}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = TraceEvent::point("x", 0.0, &[("k", "a\"b\\c\nd")]);
+        let line = event_to_json(&e);
+        assert!(line.contains("a\\\"b\\\\c\\nd"));
+        let mut s = String::new();
+        escape_json_into("\u{1}", &mut s);
+        assert_eq!(s, "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        let e = TraceEvent::point("x", f64::NAN, &[]);
+        assert!(event_to_json(&e).contains("\"t0\":null"));
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let events = vec![
+            TraceEvent::point("a", 0.0, &[]),
+            TraceEvent::point("b", 1.0, &[]),
+        ];
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+}

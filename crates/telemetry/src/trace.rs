@@ -1,0 +1,120 @@
+//! Sim-time trace records.
+//!
+//! A trace is an append-only sequence of records stamped exclusively with
+//! **simulated** time (f64 seconds on the platform clock, the same axis as
+//! [`ApiSession::elapsed_secs`]-style accounting). No record ever carries a
+//! wall-clock field, which is what makes two runs with the same seed emit
+//! byte-identical traces.
+//!
+//! [`ApiSession::elapsed_secs`]: https://docs.rs/fakeaudit-twitter-api
+
+use std::fmt;
+
+/// Whether a record covers an interval or a single instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A closed interval `[t0, t1]` of simulated time.
+    Span,
+    /// An instantaneous occurrence (`t1 == t0`).
+    Point,
+}
+
+impl EventKind {
+    /// The `type` field value in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Point => "event",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One trace record: a named span or point event with ordered attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Record kind.
+    pub kind: EventKind,
+    /// Dotted name, e.g. `api.call` or `service.request`.
+    pub name: String,
+    /// Simulated start time in seconds.
+    pub t0: f64,
+    /// Simulated end time in seconds (`== t0` for point events).
+    pub t1: f64,
+    /// Attribute pairs in recording order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// Builds a span record.
+    pub fn span(name: &str, t0: f64, t1: f64, attrs: &[(&str, &str)]) -> Self {
+        Self {
+            kind: EventKind::Span,
+            name: name.to_string(),
+            t0,
+            t1,
+            attrs: own_attrs(attrs),
+        }
+    }
+
+    /// Builds a point record.
+    pub fn point(name: &str, t: f64, attrs: &[(&str, &str)]) -> Self {
+        Self {
+            kind: EventKind::Point,
+            name: name.to_string(),
+            t0: t,
+            t1: t,
+            attrs: own_attrs(attrs),
+        }
+    }
+
+    /// Span length in simulated seconds (zero for point events).
+    pub fn duration_secs(&self) -> f64 {
+        self.t1 - self.t0
+    }
+
+    /// The value of attribute `key`, if recorded.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn own_attrs(attrs: &[(&str, &str)]) -> Vec<(String, String)> {
+    attrs
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_and_point_constructors() {
+        let s = TraceEvent::span("api.call", 1.0, 2.5, &[("endpoint", "followers_ids")]);
+        assert_eq!(s.kind, EventKind::Span);
+        assert_eq!(s.duration_secs(), 1.5);
+        assert_eq!(s.attr("endpoint"), Some("followers_ids"));
+        assert_eq!(s.attr("absent"), None);
+
+        let p = TraceEvent::point("quota.rejected", 4.0, &[]);
+        assert_eq!(p.kind, EventKind::Point);
+        assert_eq!(p.t0, p.t1);
+        assert_eq!(p.duration_secs(), 0.0);
+    }
+
+    #[test]
+    fn kind_strings() {
+        assert_eq!(EventKind::Span.as_str(), "span");
+        assert_eq!(EventKind::Point.to_string(), "event");
+    }
+}

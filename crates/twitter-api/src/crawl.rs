@@ -64,6 +64,21 @@ impl CrawlBudget {
     pub fn total_days(&self) -> f64 {
         self.total.as_days_f64()
     }
+
+    /// Records the budget into `telemetry` as gauges
+    /// (`crawl.ids_calls`, `crawl.lookup_calls`, `crawl.timeline_calls`,
+    /// `crawl.total_secs`) plus one `crawl.budget` point event, all keyed
+    /// by the follower count and whether timelines were included.
+    pub fn record_metrics(&self, telemetry: &fakeaudit_telemetry::Telemetry) {
+        let followers = self.followers.to_string();
+        let timelines = if self.timeline_calls > 0 { "yes" } else { "no" };
+        let labels = [("followers", followers.as_str()), ("timelines", timelines)];
+        telemetry.gauge_set("crawl.ids_calls", &labels, self.ids_calls as f64);
+        telemetry.gauge_set("crawl.lookup_calls", &labels, self.lookup_calls as f64);
+        telemetry.gauge_set("crawl.timeline_calls", &labels, self.timeline_calls as f64);
+        telemetry.gauge_set("crawl.total_secs", &labels, self.total.as_secs() as f64);
+        telemetry.event("crawl.budget", self.total.as_secs() as f64, &labels);
+    }
 }
 
 impl fmt::Display for CrawlBudget {
@@ -131,6 +146,22 @@ mod tests {
         let b = CrawlBudget::for_followers(2_000_000, false);
         let ratio = b.total.as_secs() as f64 / a.total.as_secs() as f64;
         assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn record_metrics_exports_gauges() {
+        let tel = fakeaudit_telemetry::Telemetry::enabled();
+        let b = CrawlBudget::for_followers(41_000_000, false);
+        b.record_metrics(&tel);
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.gauge(
+                "crawl.ids_calls",
+                &[("followers", "41000000"), ("timelines", "no")]
+            ),
+            Some(8_200.0)
+        );
+        assert_eq!(tel.events().len(), 1);
     }
 
     #[test]

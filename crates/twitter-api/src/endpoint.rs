@@ -61,6 +61,17 @@ impl Endpoint {
         }
     }
 
+    /// A short machine-friendly label for metric names and trace
+    /// attributes, e.g. `api.calls{endpoint=followers_ids}`.
+    pub fn key(self) -> &'static str {
+        match self {
+            Endpoint::FollowersIds => "followers_ids",
+            Endpoint::FriendsIds => "friends_ids",
+            Endpoint::UsersLookup => "users_lookup",
+            Endpoint::UserTimeline => "user_timeline",
+        }
+    }
+
     /// The deepest timeline the API exposes (the paper notes timelines are
     /// "restricted however to the last 3200 tweets of an account").
     pub const TIMELINE_DEPTH_CAP: usize = 3_200;

@@ -9,6 +9,7 @@
 use crate::endpoint::{Endpoint, WINDOW_SECS};
 use crate::rate_limit::TokenBucket;
 use fakeaudit_stats::rng::rng_for;
+use fakeaudit_telemetry::Telemetry;
 use fakeaudit_twittersim::{AccountId, Platform, Profile, Tweet};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -172,6 +173,11 @@ pub struct ApiSession<'a> {
     rate_limit_wait: f64,
     log: CallLog,
     rng: StdRng,
+    telemetry: Telemetry,
+    /// Platform time at session open, in seconds — trace records are
+    /// stamped `trace_base + now` so spans from different sessions share
+    /// one absolute sim-time axis.
+    trace_base: f64,
 }
 
 impl<'a> ApiSession<'a> {
@@ -181,6 +187,18 @@ impl<'a> ApiSession<'a> {
     ///
     /// Panics on an invalid [`ApiConfig`] (zero pools, negative latency).
     pub fn new(platform: &'a Platform, cfg: ApiConfig) -> Self {
+        Self::with_telemetry(platform, cfg, Telemetry::disabled())
+    }
+
+    /// Opens a session that mirrors every REST call into `telemetry`: a
+    /// span per page fetch (`api.call{endpoint}`), per-endpoint call
+    /// counters (`api.calls{endpoint}`) and wait/latency histograms
+    /// (`api.rate_limit_wait_secs`, `api.latency_secs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`ApiConfig`] (zero pools, negative latency).
+    pub fn with_telemetry(platform: &'a Platform, cfg: ApiConfig, telemetry: Telemetry) -> Self {
         cfg.validate();
         let bucket = |e: Endpoint| {
             let quota = f64::from(e.window_quota()) * f64::from(cfg.token_pool);
@@ -199,12 +217,25 @@ impl<'a> ApiSession<'a> {
             rate_limit_wait: 0.0,
             log: CallLog::default(),
             rng: rng_for(cfg.seed, "api-session"),
+            telemetry,
+            trace_base: platform.now().as_secs() as f64,
         }
     }
 
     /// Simulated seconds elapsed in this session so far.
     pub fn elapsed_secs(&self) -> f64 {
         self.now
+    }
+
+    /// The telemetry handle this session records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The session's current position on the absolute sim-time axis
+    /// (platform time at open plus elapsed session seconds).
+    pub fn trace_time(&self) -> f64 {
+        self.trace_base + self.now
     }
 
     /// Seconds of the elapsed time spent waiting on rate limits.
@@ -233,6 +264,7 @@ impl<'a> ApiSession<'a> {
     /// Charges `calls` requests against `endpoint`, advancing session time.
     fn charge(&mut self, endpoint: Endpoint, calls: u64) {
         self.log.bump(endpoint, calls);
+        let instrumented = self.telemetry.is_enabled();
         for _ in 0..calls {
             let now = self.now;
             let wait = self.bucket_mut(endpoint).acquire(now);
@@ -240,6 +272,19 @@ impl<'a> ApiSession<'a> {
                 / f64::from(self.cfg.parallelism);
             self.rate_limit_wait += wait;
             self.now += wait + latency;
+            if instrumented {
+                let labels = [("endpoint", endpoint.key())];
+                self.telemetry.span(
+                    "api.call",
+                    self.trace_base + now,
+                    self.trace_base + self.now,
+                    &labels,
+                );
+                self.telemetry.counter_add("api.calls", &labels, 1);
+                self.telemetry
+                    .observe("api.rate_limit_wait_secs", &labels, wait);
+                self.telemetry.observe("api.latency_secs", &labels, latency);
+            }
         }
     }
 
@@ -642,6 +687,53 @@ mod tests {
             s.elapsed_secs()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn telemetry_mirrors_call_log() {
+        let (platform, t) = built();
+        let tel = Telemetry::enabled();
+        let mut s = ApiSession::with_telemetry(&platform, quiet_cfg(), tel.clone());
+        s.followers_ids(t.target).unwrap();
+        let ids: Vec<AccountId> = t
+            .followers_oldest_first
+            .iter()
+            .map(|&(id, _)| id)
+            .take(250)
+            .collect();
+        s.users_lookup(&ids);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter_total("api.calls"), s.log().total());
+        assert_eq!(
+            snap.counter("api.calls", &[("endpoint", "followers_ids")]),
+            Some(s.log().followers_ids)
+        );
+        assert_eq!(
+            snap.counter("api.calls", &[("endpoint", "users_lookup")]),
+            Some(s.log().users_lookup)
+        );
+        // One span per REST call, all on the absolute sim-time axis.
+        let events = tel.events();
+        assert_eq!(events.len() as u64, s.log().total());
+        assert!(events.iter().all(|e| e.name == "api.call"));
+        // Wait + latency histograms decompose the elapsed time exactly.
+        let wait = snap.histogram_sum("api.rate_limit_wait_secs");
+        let latency = snap.histogram_sum("api.latency_secs");
+        assert!((wait + latency - s.elapsed_secs()).abs() < 1e-9);
+        assert!((wait - s.rate_limit_wait_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_telemetry_leaves_sessions_identical() {
+        let (platform, t) = built();
+        let mut plain = ApiSession::new(&platform, quiet_cfg());
+        let mut instrumented =
+            ApiSession::with_telemetry(&platform, quiet_cfg(), Telemetry::disabled());
+        plain.followers_ids(t.target).unwrap();
+        instrumented.followers_ids(t.target).unwrap();
+        assert_eq!(plain.elapsed_secs(), instrumented.elapsed_secs());
+        assert!(instrumented.telemetry().events().is_empty());
+        assert_eq!(instrumented.trace_time(), instrumented.elapsed_secs());
     }
 
     #[test]

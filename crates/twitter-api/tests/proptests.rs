@@ -96,6 +96,70 @@ proptest! {
     }
 
     #[test]
+    fn token_bucket_never_exceeds_capacity(
+        capacity in 1.0f64..200.0,
+        refill in 0.001f64..10.0,
+        gaps in prop::collection::vec(0.0f64..10_000.0, 1..100),
+    ) {
+        let mut bucket = TokenBucket::new(capacity, refill);
+        let mut t = 0.0;
+        prop_assert!(bucket.available_at(t) <= capacity + 1e-9);
+        for gap in gaps {
+            t += gap;
+            // However long the idle period, refill caps at capacity.
+            prop_assert!(bucket.available_at(t) <= capacity + 1e-9);
+            t += bucket.acquire(t);
+            prop_assert!(bucket.available_at(t) <= capacity + 1e-9);
+        }
+    }
+
+    #[test]
+    fn token_bucket_wait_is_monotone_in_request_count(
+        capacity in 1.0f64..50.0,
+        refill in 0.001f64..1.0,
+        calls in prop::collection::vec(1usize..120, 2),
+    ) {
+        // Draining more requests back-to-back never costs less total wait.
+        let (lo, hi) = (calls[0].min(calls[1]), calls[0].max(calls[1]));
+        let total_wait = |n: usize| {
+            let mut bucket = TokenBucket::new(capacity, refill);
+            let mut t = 0.0;
+            let mut waited = 0.0;
+            for _ in 0..n {
+                let w = bucket.acquire(t);
+                prop_assert!(w >= 0.0, "negative wait {w}");
+                waited += w;
+                t += w;
+            }
+            Ok(waited)
+        };
+        prop_assert!(total_wait(lo)? <= total_wait(hi)? + 1e-9);
+    }
+
+    #[test]
+    fn session_telemetry_counters_match_call_log(followers in 1usize..400) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("prop_tel", followers, ClassMix::all_genuine())
+            .build(&mut platform, 4)
+            .unwrap();
+        let tel = fakeaudit_telemetry::Telemetry::enabled();
+        let mut s = ApiSession::with_telemetry(&platform, ApiConfig::default(), tel.clone());
+        s.followers_ids(t.target).unwrap();
+        let ids: Vec<_> = t.followers_oldest_first.iter().map(|&(id, _)| id).collect();
+        s.users_lookup(&ids);
+        let snap = tel.snapshot();
+        prop_assert_eq!(
+            snap.counter("api.calls", &[("endpoint", "followers_ids")]),
+            Some(s.log().followers_ids)
+        );
+        prop_assert_eq!(
+            snap.counter("api.calls", &[("endpoint", "users_lookup")]),
+            Some(s.log().users_lookup)
+        );
+        prop_assert_eq!(snap.counter_total("api.calls"), s.log().total());
+    }
+
+    #[test]
     fn session_elapsed_grows_with_calls(calls in 1usize..10) {
         let mut platform = Platform::new();
         let t = TargetScenario::new("prop_elapsed", 50, ClassMix::all_genuine())
