@@ -95,6 +95,13 @@ impl ResultCache {
         found
     }
 
+    /// Looks up an entry *ignoring* the TTL and without touching the
+    /// [`CacheStats`] — the degrade-to-stale overload path: an expired
+    /// report is still a report, and serving it beats shedding the request.
+    pub fn peek(&self, target: AccountId) -> Option<&CacheEntry> {
+        self.entries.get(&target)
+    }
+
     /// Lifetime hit/miss statistics (lookups survive [`ResultCache::clear`]).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -168,6 +175,19 @@ mod tests {
         let c = ResultCache::unbounded();
         assert!(c.get(AccountId(9), SimTime::EPOCH).is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn peek_ignores_ttl_and_stats() {
+        let mut c = ResultCache::with_ttl(SimDuration::from_days(7));
+        c.put(AccountId(1), outcome(AccountId(1)), SimTime::from_days(0));
+        assert!(c.get(AccountId(1), SimTime::from_days(30)).is_none());
+        assert!(
+            c.peek(AccountId(1)).is_some(),
+            "stale entries stay peekable"
+        );
+        assert!(c.peek(AccountId(2)).is_none());
+        assert_eq!(c.stats().lookups(), 1, "peek must not count as a lookup");
     }
 
     #[test]

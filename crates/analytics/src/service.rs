@@ -103,7 +103,11 @@ impl fmt::Display for ServiceResponse {
 /// assert!(second.response_secs < first.response_secs);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+///
+/// Cloning a service clones its warmed cache, quota state and jitter
+/// stream — the load simulator fans one prewarmed service out across
+/// independent sweep points this way.
+#[derive(Debug, Clone)]
 pub struct OnlineService<A> {
     auditor: A,
     profile: ServiceProfile,
@@ -189,6 +193,21 @@ impl<A: FollowerAuditor> OnlineService<A> {
     /// Lifetime hit/miss statistics of the service's result cache.
     pub fn cache_stats(&self) -> crate::cache::CacheStats {
         self.cache.stats()
+    }
+
+    /// Serves the *last known* result for `target`, even if the cache entry
+    /// has expired — the degrade-to-stale overload path. Unlike
+    /// [`OnlineService::request`] this charges no quota, runs no audit and
+    /// records nothing in the cache statistics: it is the cheap answer a
+    /// saturated service gives when it would otherwise shed the request.
+    /// Returns `None` when the target has never been audited.
+    pub fn serve_stale(&self, target: AccountId) -> Option<ServiceResponse> {
+        self.cache.peek(target).map(|entry| ServiceResponse {
+            outcome: entry.outcome.clone(),
+            response_secs: self.profile.cached_base_secs,
+            served_from_cache: true,
+            assessed_at: entry.assessed_at,
+        })
     }
 
     /// Serves one analysis request at the platform's current time.
@@ -354,6 +373,33 @@ mod tests {
         let r = svc.request(&platform, t.target).unwrap();
         assert!(r.served_from_cache);
         assert!(r.response_secs < 5.0);
+    }
+
+    #[test]
+    fn serve_stale_returns_expired_entries_without_quota() {
+        let (mut platform, t) = built(2_000);
+        let profile = ServiceProfile {
+            cache_ttl_days: Some(1),
+            ..ServiceProfile::socialbakers()
+        };
+        let mut svc = OnlineService::new(Socialbakers::new(), profile, 21);
+        assert!(
+            svc.serve_stale(t.target).is_none(),
+            "cold cache has no stale result"
+        );
+        let fresh = svc.request(&platform, t.target).unwrap();
+        platform.advance_clock(fakeaudit_twittersim::SimDuration::from_days(3));
+        let before = svc.cache_stats();
+        let stale = svc.serve_stale(t.target).unwrap();
+        assert_eq!(
+            svc.cache_stats(),
+            before,
+            "stale serves are not cache lookups"
+        );
+        assert!(stale.served_from_cache);
+        assert_eq!(stale.outcome.counts, fresh.outcome.counts);
+        assert_eq!(stale.assessed_at, fakeaudit_twittersim::SimTime::EPOCH);
+        assert!(stale.response_secs <= fresh.response_secs);
     }
 
     #[test]

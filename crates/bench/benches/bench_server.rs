@@ -1,0 +1,46 @@
+//! E8 bench: the discrete-event server loop itself — one sweep cell at a
+//! time, isolating the event-heap and admission-queue cost from the
+//! audit work the backends do.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fakeaudit_analytics::{OnlineService, ServiceProfile};
+use fakeaudit_bench::bench_target;
+use fakeaudit_detectors::StatusPeople;
+use fakeaudit_server::{generate, LoadSpec, OverloadPolicy, ServerConfig, ServerSim};
+use std::hint::black_box;
+
+fn bench_server(c: &mut Criterion) {
+    let (platform, target) = bench_target(2_000, 3);
+    let mut base = OnlineService::new(
+        StatusPeople::new(),
+        ServiceProfile {
+            daily_quota: None,
+            ..ServiceProfile::statuspeople()
+        },
+        1,
+    );
+    base.prewarm(&platform, target.target).unwrap();
+    let trace = generate(&LoadSpec::poisson(4.0, 300.0), &[target.target], 11);
+
+    let mut group = c.benchmark_group("server_sim");
+    group.sample_size(20);
+    for policy in OverloadPolicy::ALL {
+        group.bench_function(format!("sweep_cell_{}", policy.label()), |b| {
+            b.iter(|| {
+                let mut sim = ServerSim::new(
+                    &platform,
+                    ServerConfig {
+                        policy,
+                        ..ServerConfig::default()
+                    },
+                );
+                sim.register(Box::new(base.clone()));
+                black_box(sim.run(&trace).completed())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

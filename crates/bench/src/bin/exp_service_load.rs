@@ -1,0 +1,9 @@
+//! Regenerates the service-under-load sweep (E8).
+
+use fakeaudit_bench::options_from_env;
+use fakeaudit_core::experiments::service_load::{render, run_service_load};
+
+fn main() {
+    let opts = options_from_env();
+    println!("{}", render(&run_service_load(opts.scale, opts.seed)));
+}

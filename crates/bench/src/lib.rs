@@ -15,6 +15,7 @@
 //! | `exp_fc_training` | §III FC construction (E4) |
 //! | `exp_disagreement` | §IV-D disagreement analysis (E5) |
 //! | `exp_ablation_sampling` | sampling ablation (A1) |
+//! | `exp_service_load` | service under offered load (E8) |
 //!
 //! All binaries accept `--quick` (reduced scale) and `--seed <n>`.
 

@@ -6,16 +6,21 @@
 //!                 --recency-bias 20 --seed 42
 //! fakeaudit crawl --followers 41000000
 //! fakeaudit sample-size --margin 0.01 --confidence 95
+//! fakeaudit serve-sim --rate 4 --policy degrade --burst
 //! ```
 
 mod args;
 
 use args::ParsedArgs;
-use fakeaudit_analytics::report;
+use fakeaudit_analytics::{report, OnlineService, ServiceProfile};
 use fakeaudit_core::panel::AuditPanel;
 use fakeaudit_core::scoring::score_against_truth;
-use fakeaudit_detectors::{FakeProjectEngine, ToolId, Twitteraudit};
+use fakeaudit_detectors::{FakeProjectEngine, Socialbakers, StatusPeople, ToolId, Twitteraudit};
 use fakeaudit_population::{ClassMix, TargetScenario};
+use fakeaudit_server::{
+    generate, ArrivalProcess, LoadSpec, OverloadPolicy, ServerConfig, ServerSim,
+};
+use fakeaudit_stats::rng::derive_seed;
 use fakeaudit_stats::sample_size::{required_sample_size, worst_case_margin};
 use fakeaudit_stats::ConfidenceLevel;
 use fakeaudit_telemetry::{RunReport, Telemetry};
@@ -40,6 +45,15 @@ USAGE:
   fakeaudit sample-size [--margin F] [--confidence 90|95|99]
       Cochran sample-size arithmetic (the paper's n = 9604) and the
       best-case margins of the commercial tools' windows.
+
+  fakeaudit serve-sim [--rate F] [--duration S] [--policy block|shed|degrade]
+                      [--workers N] [--queue N] [--targets N] [--followers N]
+                      [--fc-sample N] [--burst] [--seed S] [--telemetry PATH]
+                      [--quiet]
+      Run the four tools as a concurrent service on the simulated clock:
+      open-loop Poisson arrivals (--burst adds a flash crowd) against a
+      bounded admission queue, reporting throughput, latency percentiles
+      and the shed/degrade behaviour of the chosen overload policy.
 
   fakeaudit help
       Show this message.
@@ -79,6 +93,7 @@ fn main() {
         Some("audit") => cmd_audit(&parsed),
         Some("crawl") => cmd_crawl(&parsed),
         Some("sample-size") => cmd_sample_size(&parsed),
+        Some("serve-sim") => cmd_serve_sim(&parsed),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -187,6 +202,171 @@ fn cmd_crawl(args: &ParsedArgs) -> Result<(), String> {
         let telemetry = Telemetry::enabled();
         profiles.record_metrics(&telemetry);
         with_tl.record_metrics(&telemetry);
+        finish_telemetry(&telemetry, path)?;
+    }
+    Ok(())
+}
+
+fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
+    let rate: f64 = args.get_or("rate", 4.0).map_err(|e| e.to_string())?;
+    let duration: f64 = args.get_or("duration", 300.0).map_err(|e| e.to_string())?;
+    let workers: usize = args.get_or("workers", 2).map_err(|e| e.to_string())?;
+    let queue: usize = args.get_or("queue", 8).map_err(|e| e.to_string())?;
+    let targets_n: usize = args.get_or("targets", 4).map_err(|e| e.to_string())?;
+    let followers: usize = args.get_or("followers", 2_000).map_err(|e| e.to_string())?;
+    let fc_sample: u64 = args.get_or("fc-sample", 1_200).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 2_014).map_err(|e| e.to_string())?;
+    let quiet = args.flag("quiet");
+    if !(rate > 0.0) || !(duration > 0.0) {
+        return Err("--rate and --duration must be positive".into());
+    }
+    if targets_n == 0 || followers == 0 {
+        return Err("--targets and --followers must be positive".into());
+    }
+    let policy = match args.raw("policy").unwrap_or("shed") {
+        "block" => OverloadPolicy::Block,
+        "shed" => OverloadPolicy::Shed,
+        "degrade" => OverloadPolicy::DegradeStale,
+        other => {
+            return Err(format!(
+                "--policy must be block, shed or degrade, got {other:?}"
+            ))
+        }
+    };
+
+    if !quiet {
+        eprintln!("building {targets_n} targets ({followers} followers each) ...");
+    }
+    let mut platform = Platform::new();
+    let mix = ClassMix::new(0.25, 0.15, 0.60).expect("valid mix");
+    let targets: Vec<_> = (0..targets_n)
+        .map(|i| {
+            TargetScenario::new(format!("serve_target_{i}"), followers, mix)
+                .build(
+                    &mut platform,
+                    derive_seed(seed, &format!("serve-build-{i}")),
+                )
+                .map(|t| t.target)
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+
+    if !quiet {
+        eprintln!("prewarming the four tools ...");
+    }
+    let unquoted = |p: ServiceProfile| ServiceProfile {
+        daily_quota: None,
+        ..p
+    };
+    let mut sim = ServerSim::new(
+        &platform,
+        ServerConfig {
+            workers_per_tool: workers,
+            queue_capacity: queue,
+            policy,
+            degraded_secs: 0.5,
+        },
+    );
+    let mut fc = OnlineService::new(
+        FakeProjectEngine::with_default_model(derive_seed(seed, "serve-fc-model"))
+            .with_sample_size(fc_sample),
+        unquoted(ServiceProfile::fake_classifier()),
+        derive_seed(seed, "serve-svc-fc"),
+    );
+    let mut ta = OnlineService::new(
+        Twitteraudit::new(),
+        unquoted(ServiceProfile::twitteraudit()),
+        derive_seed(seed, "serve-svc-ta"),
+    );
+    let mut sp = OnlineService::new(
+        StatusPeople::new(),
+        unquoted(ServiceProfile::statuspeople()),
+        derive_seed(seed, "serve-svc-sp"),
+    );
+    let mut sb = OnlineService::new(
+        Socialbakers::new(),
+        unquoted(ServiceProfile::socialbakers()),
+        derive_seed(seed, "serve-svc-sb"),
+    );
+    for &t in &targets {
+        fc.prewarm(&platform, t).map_err(|e| e.to_string())?;
+        ta.prewarm(&platform, t).map_err(|e| e.to_string())?;
+        sp.prewarm(&platform, t).map_err(|e| e.to_string())?;
+        sb.prewarm(&platform, t).map_err(|e| e.to_string())?;
+    }
+    sim.register(Box::new(fc));
+    sim.register(Box::new(ta));
+    sim.register(Box::new(sp));
+    sim.register(Box::new(sb));
+
+    let process = if args.flag("burst") {
+        ArrivalProcess::FlashCrowd {
+            base_rate: rate,
+            burst_start: duration * 0.25,
+            burst_secs: duration * 0.10,
+            burst_rate: rate * 8.0,
+        }
+    } else {
+        ArrivalProcess::Poisson { rate }
+    };
+    let spec = LoadSpec {
+        process,
+        duration_secs: duration,
+        zipf_exponent: 1.1,
+        tools: ToolId::ALL.to_vec(),
+    };
+    let trace = generate(&spec, &targets, derive_seed(seed, "serve-trace"));
+    if !quiet {
+        eprintln!(
+            "replaying {} arrivals over {duration:.0}s (policy: {}) ...",
+            trace.len(),
+            policy.label()
+        );
+    }
+    let report = sim.run(&trace);
+
+    println!(
+        "service under load ({} arrivals, {} workers/tool, queue {}, policy {})",
+        report.offered(),
+        workers,
+        queue,
+        policy.label()
+    );
+    println!(
+        "  answered {:>6} fresh+cached, {} degraded-to-stale, {} shed, {} failed",
+        report.completed(),
+        report.degraded(),
+        report.shed(),
+        report.failed()
+    );
+    println!(
+        "  throughput {:.2} req/s over {:.0}s makespan, utilisation {:.0}%",
+        report.throughput(),
+        report.makespan,
+        report.utilisation() * 100.0
+    );
+    println!(
+        "  latency p50/p95/p99 {:.1}/{:.1}/{:.1}s, queue wait p95 {:.1}s",
+        report.latency_percentile(0.50),
+        report.latency_percentile(0.95),
+        report.latency_percentile(0.99),
+        report.queue_wait_percentile(0.95)
+    );
+    println!(
+        "\n  {:<6}{:>8} {:>8} {:>9} {:>6} {:>10} {:>10}",
+        "tool", "offered", "done", "degraded", "shed", "max queue", "busy secs"
+    );
+    for t in &report.per_tool {
+        let name = t.tool.map(|t| t.abbrev().to_string()).unwrap_or_default();
+        println!(
+            "  {:<6}{:>8} {:>8} {:>9} {:>6} {:>10} {:>10.0}",
+            name, t.offered, t.completed, t.degraded, t.shed, t.max_queue_depth, t.busy_secs
+        );
+    }
+
+    if let Some(path) = args.raw("telemetry") {
+        let telemetry = Telemetry::enabled();
+        report.record_into(&telemetry);
         finish_telemetry(&telemetry, path)?;
     }
     Ok(())

@@ -1,0 +1,171 @@
+//! The deterministic event heap.
+//!
+//! A discrete-event simulation is only reproducible if ties are broken the
+//! same way on every run. [`EventHeap`] therefore orders events by a
+//! **total** key `(time, sequence)`: simulated time first (via
+//! [`f64::total_cmp`], so the order is total even for identical floats),
+//! then the order in which the events were scheduled. Two same-seed runs
+//! pop exactly the same events in exactly the same order — the foundation
+//! of the byte-identical sweep tables in `EXPERIMENTS.md`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: `(time, seq)` plus an opaque payload.
+#[derive(Debug)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq && self.time.total_cmp(&other.time) == Ordering::Equal
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    /// Reversed so the std max-heap pops the *earliest* `(time, seq)`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of timestamped events with total `(time, sequence)` ordering.
+///
+/// ```
+/// use fakeaudit_server::event::EventHeap;
+/// let mut heap = EventHeap::new();
+/// heap.push(2.0, "late");
+/// heap.push(1.0, "early");
+/// heap.push(1.0, "early-but-second");
+/// assert_eq!(heap.pop(), Some((1.0, "early")));
+/// assert_eq!(heap.pop(), Some((1.0, "early-but-second")));
+/// assert_eq!(heap.pop(), Some((2.0, "late")));
+/// assert_eq!(heap.pop(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventHeap<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> EventHeap<E> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at simulated time `time` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN — a NaN timestamp has no place in a total
+    /// order.
+    pub fn push(&mut self, time: f64, payload: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// The time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut h = EventHeap::new();
+        h.push(5.0, 'c');
+        h.push(1.0, 'a');
+        h.push(3.0, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| h.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_sequence() {
+        let mut h = EventHeap::new();
+        for i in 0..100 {
+            h.push(7.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| h.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut h = EventHeap::new();
+        h.push(10.0, "second");
+        h.push(2.0, "first");
+        assert_eq!(h.pop(), Some((2.0, "first")));
+        h.push(4.0, "new-first");
+        assert_eq!(h.peek_time(), Some(4.0));
+        assert_eq!(h.pop(), Some((4.0, "new-first")));
+        assert_eq!(h.pop(), Some((10.0, "second")));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn negative_zero_and_zero_tie_break_by_seq() {
+        // total_cmp orders -0.0 before 0.0; the heap must stay total.
+        let mut h = EventHeap::new();
+        h.push(0.0, "plus");
+        h.push(-0.0, "minus");
+        assert_eq!(h.pop(), Some((-0.0, "minus")));
+        assert_eq!(h.pop(), Some((0.0, "plus")));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_time_is_rejected() {
+        EventHeap::new().push(f64::NAN, ());
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut h = EventHeap::new();
+        assert_eq!(h.len(), 0);
+        h.push(1.0, ());
+        h.push(2.0, ());
+        assert_eq!(h.len(), 2);
+        h.pop();
+        assert_eq!(h.len(), 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Bounded FIFO admission control.
+//!
+//! Every tool server fronts its worker pool with an [`AdmissionQueue`]: a
+//! bounded FIFO holding requests that arrived while all workers were busy.
+//! What happens when the queue itself fills is the [`OverloadPolicy`]:
+//!
+//! * **Block** — park the arrival in an unbounded overflow lane; it enters
+//!   the bounded queue as soon as a slot frees. Models a client that holds
+//!   its connection open (and the unbounded memory bill that comes with it).
+//! * **Shed** — refuse the request outright, the classic HTTP 503.
+//! * **DegradeStale** — answer from the result cache *ignoring* TTL if any
+//!   report for the target exists, shed otherwise. An expired audit is
+//!   still an audit; under overload it beats an error page.
+//!
+//! The bounded queue never exceeds its capacity under any policy — the
+//! property tests in `tests/proptests.rs` hammer exactly this invariant.
+
+use std::collections::VecDeque;
+
+/// What a tool server does with an arrival that finds the admission queue
+/// full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverloadPolicy {
+    /// Park the arrival in an unbounded overflow lane until a slot frees.
+    Block,
+    /// Refuse the request (503).
+    Shed,
+    /// Serve a stale cached report if one exists, shed otherwise.
+    DegradeStale,
+}
+
+impl OverloadPolicy {
+    /// All policies, in sweep order.
+    pub const ALL: [OverloadPolicy; 3] = [
+        OverloadPolicy::Block,
+        OverloadPolicy::Shed,
+        OverloadPolicy::DegradeStale,
+    ];
+
+    /// Short label used in tables and metric labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverloadPolicy::Block => "block",
+            OverloadPolicy::Shed => "shed",
+            OverloadPolicy::DegradeStale => "degrade",
+        }
+    }
+}
+
+/// Outcome of offering an item to an [`AdmissionQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The item took a slot in the bounded queue.
+    Enqueued,
+    /// The bounded queue was full; the item is parked in the overflow lane
+    /// (policy [`OverloadPolicy::Block`] only).
+    Blocked,
+    /// The bounded queue was full and the policy does not park; the caller
+    /// must shed or degrade the item.
+    Overloaded,
+}
+
+/// A bounded FIFO queue with a policy-dependent overflow lane.
+///
+/// `pop` refills the bounded queue from the overflow lane, so blocked items
+/// keep their arrival order and the `len() <= capacity` invariant holds at
+/// every instant.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue<T> {
+    capacity: usize,
+    policy: OverloadPolicy,
+    queue: VecDeque<T>,
+    overflow: VecDeque<T>,
+    max_depth: usize,
+    max_overflow: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize, policy: OverloadPolicy) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            policy,
+            queue: VecDeque::new(),
+            overflow: VecDeque::new(),
+            max_depth: 0,
+            max_overflow: 0,
+        }
+    }
+
+    /// The bounded capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured overload policy.
+    pub fn policy(&self) -> OverloadPolicy {
+        self.policy
+    }
+
+    /// Offers an item; see [`Admission`] for what the caller must do next.
+    pub fn offer(&mut self, item: T) -> Admission {
+        if self.queue.len() < self.capacity {
+            self.queue.push_back(item);
+            self.max_depth = self.max_depth.max(self.queue.len());
+            return Admission::Enqueued;
+        }
+        match self.policy {
+            OverloadPolicy::Block => {
+                self.overflow.push_back(item);
+                self.max_overflow = self.max_overflow.max(self.overflow.len());
+                Admission::Blocked
+            }
+            OverloadPolicy::Shed | OverloadPolicy::DegradeStale => Admission::Overloaded,
+        }
+    }
+
+    /// Pops the oldest queued item, promoting the oldest blocked item into
+    /// the freed slot.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.queue.pop_front()?;
+        if let Some(parked) = self.overflow.pop_front() {
+            self.queue.push_back(parked);
+        }
+        Some(item)
+    }
+
+    /// Items currently in the bounded queue (`<= capacity` always).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether both the bounded queue and the overflow lane are empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty() && self.overflow.is_empty()
+    }
+
+    /// Items parked in the overflow lane.
+    pub fn blocked(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// High-water mark of the bounded queue.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// High-water mark of the overflow lane.
+    pub fn max_overflow(&self) -> usize {
+        self.max_overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enqueues_until_capacity() {
+        let mut q = AdmissionQueue::new(2, OverloadPolicy::Shed);
+        assert_eq!(q.offer(1), Admission::Enqueued);
+        assert_eq!(q.offer(2), Admission::Enqueued);
+        assert_eq!(q.offer(3), Admission::Overloaded);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn block_parks_overflow_in_order() {
+        let mut q = AdmissionQueue::new(1, OverloadPolicy::Block);
+        assert_eq!(q.offer('a'), Admission::Enqueued);
+        assert_eq!(q.offer('b'), Admission::Blocked);
+        assert_eq!(q.offer('c'), Admission::Blocked);
+        assert_eq!(q.blocked(), 2);
+        assert_eq!(q.len(), 1, "bounded queue never exceeds capacity");
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.len(), 1, "freed slot refilled from overflow");
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), Some('c'));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn degrade_reports_overloaded_like_shed() {
+        let mut q = AdmissionQueue::new(1, OverloadPolicy::DegradeStale);
+        q.offer(1);
+        assert_eq!(q.offer(2), Admission::Overloaded);
+        assert_eq!(q.blocked(), 0);
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let q: AdmissionQueue<u8> = AdmissionQueue::new(0, OverloadPolicy::Shed);
+        assert_eq!(q.capacity(), 1);
+    }
+
+    #[test]
+    fn high_water_marks() {
+        let mut q = AdmissionQueue::new(2, OverloadPolicy::Block);
+        q.offer(1);
+        q.offer(2);
+        q.offer(3);
+        q.pop();
+        q.pop();
+        q.pop();
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.max_overflow(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = AdmissionQueue::new(3, OverloadPolicy::Shed);
+        for i in 0..3 {
+            q.offer(i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        let labels: Vec<&str> = OverloadPolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["block", "shed", "degrade"]);
+    }
+}

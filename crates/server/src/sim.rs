@@ -1,0 +1,807 @@
+//! The discrete-event service simulator.
+//!
+//! [`ServerSim`] runs a generated request trace against one worker pool
+//! per tool. Each pool fronts an [`AdmissionQueue`] and a boxed
+//! [`AuditBackend`] — in production use an
+//! [`OnlineService`](fakeaudit_analytics::OnlineService), which already
+//! models cache, quota and Table II response times; the simulator adds
+//! the *concurrency* dimension: queue waits, worker contention, and the
+//! overload policy when the queue fills.
+//!
+//! # Determinism
+//!
+//! The loop is single-threaded over one [`EventHeap`], so the only
+//! ordering in play is the heap's total `(time, sequence)` key; every
+//! backend draw comes from the backend's own seeded stream, consumed in
+//! event order. Same seed, same trace, same report — byte for byte.
+//! Parallelism lives one level up: independent sweep points fan out
+//! across OS threads in `core::experiments::service_load`, each with its
+//! own cloned backends.
+
+use crate::event::EventHeap;
+use crate::queue::{Admission, AdmissionQueue, OverloadPolicy};
+use crate::workload::Request;
+use fakeaudit_analytics::{OnlineService, ServiceError, ServiceResponse};
+use fakeaudit_detectors::{FollowerAuditor, ToolId};
+use fakeaudit_telemetry::Telemetry;
+use fakeaudit_twittersim::{AccountId, Platform};
+
+/// Anything that can serve one audit request for a fixed tool.
+///
+/// The simulator boxes backends so the four tools — four distinct engine
+/// types — can share one worker-pool implementation. The blanket impl
+/// below covers every `OnlineService`.
+pub trait AuditBackend {
+    /// The tool this backend fronts.
+    fn tool(&self) -> ToolId;
+    /// Serves one request at the platform's current time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the service's [`ServiceError`] (quota, audit failure).
+    fn serve(
+        &mut self,
+        platform: &Platform,
+        target: AccountId,
+    ) -> Result<ServiceResponse, ServiceError>;
+    /// The degrade-to-stale answer, if any report for `target` exists.
+    fn serve_stale(&self, target: AccountId) -> Option<ServiceResponse>;
+}
+
+impl<A: FollowerAuditor> AuditBackend for OnlineService<A> {
+    fn tool(&self) -> ToolId {
+        OnlineService::tool(self)
+    }
+
+    fn serve(
+        &mut self,
+        platform: &Platform,
+        target: AccountId,
+    ) -> Result<ServiceResponse, ServiceError> {
+        self.request(platform, target)
+    }
+
+    fn serve_stale(&self, target: AccountId) -> Option<ServiceResponse> {
+        OnlineService::serve_stale(self, target)
+    }
+}
+
+/// Worker-pool and admission-control knobs, shared by every tool server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Concurrent workers per tool.
+    pub workers_per_tool: usize,
+    /// Bounded admission-queue capacity per tool.
+    pub queue_capacity: usize,
+    /// What to do when the queue is full.
+    pub policy: OverloadPolicy,
+    /// Simulated seconds a degraded (stale-cache) answer takes — no worker
+    /// is occupied, it is a straight cache read.
+    pub degraded_secs: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers_per_tool: 2,
+            queue_capacity: 8,
+            policy: OverloadPolicy::Shed,
+            degraded_secs: 0.5,
+        }
+    }
+}
+
+/// How one request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Served by a worker.
+    Completed {
+        /// Whether the service answered from its (fresh) cache.
+        cached: bool,
+    },
+    /// Served a stale cached report under the degrade policy.
+    Degraded,
+    /// Refused at admission (503).
+    Shed,
+    /// A worker picked it up but the service errored (quota, audit).
+    Failed,
+}
+
+impl RequestOutcome {
+    /// Label used in metric labels and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestOutcome::Completed { .. } => "completed",
+            RequestOutcome::Degraded => "degraded",
+            RequestOutcome::Shed => "shed",
+            RequestOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// The full story of one request through the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// Trace id of the request.
+    pub id: u64,
+    /// Which tool it asked.
+    pub tool: ToolId,
+    /// The audited account.
+    pub target: AccountId,
+    /// Arrival time (seconds).
+    pub arrived: f64,
+    /// When a worker (or the degrade path) picked it up; `None` if shed.
+    pub started: Option<f64>,
+    /// When the response left; `None` if shed.
+    pub finished: Option<f64>,
+    /// How it ended.
+    pub outcome: RequestOutcome,
+}
+
+impl RequestRecord {
+    /// Seconds spent waiting in the admission queue (0 for shed requests).
+    pub fn queue_wait(&self) -> f64 {
+        self.started.map_or(0.0, |s| s - self.arrived)
+    }
+
+    /// Seconds of actual service (0 for shed requests).
+    pub fn service_secs(&self) -> f64 {
+        match (self.started, self.finished) {
+            (Some(s), Some(f)) => f - s,
+            _ => 0.0,
+        }
+    }
+
+    /// End-to-end latency as the client saw it; `None` if shed.
+    pub fn latency(&self) -> Option<f64> {
+        self.finished.map(|f| f - self.arrived)
+    }
+}
+
+/// Per-tool aggregate counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ToolSummary {
+    /// The tool.
+    pub tool: Option<ToolId>,
+    /// Requests that arrived for this tool.
+    pub offered: u64,
+    /// Requests served by a worker.
+    pub completed: u64,
+    /// Requests answered from stale cache under the degrade policy.
+    pub degraded: u64,
+    /// Requests refused at admission.
+    pub shed: u64,
+    /// Requests that reached a worker but errored.
+    pub failed: u64,
+    /// Completed requests the service answered from its fresh cache.
+    pub cache_hits: u64,
+    /// High-water mark of the bounded admission queue.
+    pub max_queue_depth: usize,
+    /// High-water mark of the blocked overflow lane (Block policy).
+    pub max_blocked: usize,
+    /// Total worker-busy seconds.
+    pub busy_secs: f64,
+}
+
+/// Everything the simulation produced: per-request records plus per-tool
+/// aggregates.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// One record per offered request, in completion-event order.
+    pub records: Vec<RequestRecord>,
+    /// One summary per registered tool, in registration order.
+    pub per_tool: Vec<ToolSummary>,
+    /// The configuration the run used.
+    pub config: ServerConfig,
+    /// Time of the last completion (or last arrival if nothing completed).
+    pub makespan: f64,
+}
+
+impl ServerReport {
+    fn totals(&self, f: impl Fn(&ToolSummary) -> u64) -> u64 {
+        self.per_tool.iter().map(f).sum()
+    }
+
+    /// Requests offered across all tools.
+    pub fn offered(&self) -> u64 {
+        self.totals(|t| t.offered)
+    }
+
+    /// Requests completed by workers across all tools.
+    pub fn completed(&self) -> u64 {
+        self.totals(|t| t.completed)
+    }
+
+    /// Requests served stale across all tools.
+    pub fn degraded(&self) -> u64 {
+        self.totals(|t| t.degraded)
+    }
+
+    /// Requests shed across all tools.
+    pub fn shed(&self) -> u64 {
+        self.totals(|t| t.shed)
+    }
+
+    /// Requests that reached a worker and errored.
+    pub fn failed(&self) -> u64 {
+        self.totals(|t| t.failed)
+    }
+
+    /// Answered requests per second of makespan (completed + degraded).
+    pub fn throughput(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        (self.completed() + self.degraded()) as f64 / self.makespan
+    }
+
+    /// Fraction of offered requests shed.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            return 0.0;
+        }
+        self.shed() as f64 / offered as f64
+    }
+
+    /// Sorted end-to-end latencies of every answered request.
+    pub fn latencies(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.records.iter().filter_map(|r| r.latency()).collect();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+
+    /// Exact nearest-rank percentile of answered-request latency
+    /// (`q` in `[0, 1]`); 0.0 when nothing was answered.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        percentile(&self.latencies(), q)
+    }
+
+    /// Exact nearest-rank percentile of queue wait over answered requests.
+    pub fn queue_wait_percentile(&self, q: f64) -> f64 {
+        let mut v: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.started.is_some())
+            .map(|r| r.queue_wait())
+            .collect();
+        v.sort_by(f64::total_cmp);
+        percentile(&v, q)
+    }
+
+    /// Mean worker utilisation across tools in `[0, 1]`.
+    pub fn utilisation(&self) -> f64 {
+        if self.makespan <= 0.0 || self.per_tool.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = self.per_tool.iter().map(|t| t.busy_secs).sum();
+        let span = self.makespan * (self.config.workers_per_tool * self.per_tool.len()) as f64;
+        (busy / span).min(1.0)
+    }
+
+    /// Mirrors the run into `telemetry`: `server.request` spans per
+    /// answered request, `server.queue_wait_secs` / `server.service_secs`
+    /// / `server.latency_secs` histograms, and per-tool outcome counters.
+    pub fn record_into(&self, telemetry: &Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        for r in &self.records {
+            let tool = r.tool.abbrev();
+            let labels = [("tool", tool), ("outcome", r.outcome.label())];
+            if let (Some(start), Some(end)) = (r.started, r.finished) {
+                telemetry.span("server.request", start, end, &labels);
+                let tool_only = [("tool", tool)];
+                telemetry.observe("server.queue_wait_secs", &tool_only, r.queue_wait());
+                telemetry.observe("server.service_secs", &tool_only, r.service_secs());
+                if let Some(latency) = r.latency() {
+                    telemetry.observe("server.latency_secs", &tool_only, latency);
+                }
+            }
+            telemetry.counter_add("server.requests", &labels, 1);
+        }
+        for t in &self.per_tool {
+            let Some(tool) = t.tool else { continue };
+            let labels = [("tool", tool.abbrev())];
+            telemetry.counter_add("server.offered", &labels, t.offered);
+            telemetry.counter_add("server.completed", &labels, t.completed);
+            telemetry.counter_add("server.degraded", &labels, t.degraded);
+            telemetry.counter_add("server.shed", &labels, t.shed);
+            telemetry.counter_add("server.failed", &labels, t.failed);
+            telemetry.gauge_set("server.max_queue_depth", &labels, t.max_queue_depth as f64);
+            telemetry.gauge_set("server.max_blocked", &labels, t.max_blocked as f64);
+            telemetry.gauge_set("server.busy_secs", &labels, t.busy_secs);
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One tool's worker pool + admission queue + backend.
+struct ToolServer {
+    backend: Box<dyn AuditBackend>,
+    queue: AdmissionQueue<Request>,
+    idle_workers: usize,
+    summary: ToolSummary,
+}
+
+/// Events driving the simulation.
+enum Event {
+    /// A client request arrives.
+    Arrival(Request),
+    /// A worker at `server` finishes its current request.
+    WorkerDone { server: usize },
+}
+
+/// The discrete-event concurrent service simulator.
+///
+/// Register one backend per tool, then [`ServerSim::run`] a trace from
+/// [`workload::generate`](crate::workload::generate).
+pub struct ServerSim<'p> {
+    platform: &'p Platform,
+    config: ServerConfig,
+    servers: Vec<ToolServer>,
+    records: Vec<RequestRecord>,
+    makespan: f64,
+}
+
+impl<'p> ServerSim<'p> {
+    /// A simulator over `platform` with the given pool configuration.
+    pub fn new(platform: &'p Platform, config: ServerConfig) -> Self {
+        Self {
+            platform,
+            config,
+            servers: Vec::new(),
+            records: Vec::new(),
+            makespan: 0.0,
+        }
+    }
+
+    /// Registers a backend; requests for its tool route to its pool.
+    pub fn register(&mut self, backend: Box<dyn AuditBackend>) -> &mut Self {
+        let tool = backend.tool();
+        self.servers.push(ToolServer {
+            backend,
+            queue: AdmissionQueue::new(self.config.queue_capacity, self.config.policy),
+            idle_workers: self.config.workers_per_tool.max(1),
+            summary: ToolSummary {
+                tool: Some(tool),
+                ..ToolSummary::default()
+            },
+        });
+        self
+    }
+
+    fn server_for(&self, tool: ToolId) -> Option<usize> {
+        self.servers.iter().position(|s| s.backend.tool() == tool)
+    }
+
+    /// Runs the trace to completion and returns the report.
+    ///
+    /// Requests for tools with no registered backend are shed (a 404 is a
+    /// shed as far as the client is concerned).
+    pub fn run(mut self, trace: &[Request]) -> ServerReport {
+        let mut heap = EventHeap::new();
+        for req in trace {
+            heap.push(req.at, Event::Arrival(*req));
+        }
+        while let Some((now, event)) = heap.pop() {
+            self.makespan = self.makespan.max(now);
+            match event {
+                Event::Arrival(req) => self.on_arrival(now, req, &mut heap),
+                Event::WorkerDone { server } => {
+                    self.servers[server].idle_workers += 1;
+                    self.drain_queue(now, server, &mut heap);
+                }
+            }
+        }
+        ServerReport {
+            records: self.records,
+            per_tool: self
+                .servers
+                .into_iter()
+                .map(|s| ToolSummary {
+                    max_queue_depth: s.queue.max_depth(),
+                    max_blocked: s.queue.max_overflow(),
+                    ..s.summary
+                })
+                .collect(),
+            config: self.config,
+            makespan: self.makespan,
+        }
+    }
+
+    fn on_arrival(&mut self, now: f64, req: Request, heap: &mut EventHeap<Event>) {
+        let Some(idx) = self.server_for(req.tool) else {
+            self.records.push(RequestRecord {
+                id: req.id,
+                tool: req.tool,
+                target: req.target,
+                arrived: now,
+                started: None,
+                finished: None,
+                outcome: RequestOutcome::Shed,
+            });
+            return;
+        };
+        self.servers[idx].summary.offered += 1;
+        if self.servers[idx].idle_workers > 0 {
+            // An idle worker implies an empty queue — serve immediately.
+            self.start_service(now, idx, req, heap);
+            return;
+        }
+        match self.servers[idx].queue.offer(req) {
+            Admission::Enqueued | Admission::Blocked => {}
+            Admission::Overloaded => self.overloaded(now, idx, req),
+        }
+    }
+
+    /// Full queue, non-parking policy: degrade if possible, shed otherwise.
+    fn overloaded(&mut self, now: f64, idx: usize, req: Request) {
+        let server = &mut self.servers[idx];
+        if server.queue.policy() == OverloadPolicy::DegradeStale {
+            if server.backend.serve_stale(req.target).is_some() {
+                let finished = now + self.config.degraded_secs;
+                self.makespan = self.makespan.max(finished);
+                server.summary.degraded += 1;
+                self.records.push(RequestRecord {
+                    id: req.id,
+                    tool: req.tool,
+                    target: req.target,
+                    arrived: req.at,
+                    started: Some(now),
+                    finished: Some(finished),
+                    outcome: RequestOutcome::Degraded,
+                });
+                return;
+            }
+        }
+        server.summary.shed += 1;
+        self.records.push(RequestRecord {
+            id: req.id,
+            tool: req.tool,
+            target: req.target,
+            arrived: req.at,
+            started: None,
+            finished: None,
+            outcome: RequestOutcome::Shed,
+        });
+    }
+
+    /// Occupies one worker with `req`. Failures are instantaneous, so the
+    /// worker stays idle and the caller's drain loop keeps pulling.
+    fn start_service(&mut self, now: f64, idx: usize, req: Request, heap: &mut EventHeap<Event>) {
+        let server = &mut self.servers[idx];
+        match server.backend.serve(self.platform, req.target) {
+            Ok(resp) => {
+                server.idle_workers -= 1;
+                let finished = now + resp.response_secs;
+                server.summary.completed += 1;
+                server.summary.busy_secs += resp.response_secs;
+                if resp.served_from_cache {
+                    server.summary.cache_hits += 1;
+                }
+                self.records.push(RequestRecord {
+                    id: req.id,
+                    tool: req.tool,
+                    target: req.target,
+                    arrived: req.at,
+                    started: Some(now),
+                    finished: Some(finished),
+                    outcome: RequestOutcome::Completed {
+                        cached: resp.served_from_cache,
+                    },
+                });
+                heap.push(finished, Event::WorkerDone { server: idx });
+            }
+            Err(_) => {
+                server.summary.failed += 1;
+                self.records.push(RequestRecord {
+                    id: req.id,
+                    tool: req.tool,
+                    target: req.target,
+                    arrived: req.at,
+                    started: Some(now),
+                    finished: Some(now),
+                    outcome: RequestOutcome::Failed,
+                });
+            }
+        }
+    }
+
+    /// Hands queued requests to idle workers until one side runs out.
+    fn drain_queue(&mut self, now: f64, idx: usize, heap: &mut EventHeap<Event>) {
+        while self.servers[idx].idle_workers > 0 {
+            let Some(req) = self.servers[idx].queue.pop() else {
+                break;
+            };
+            self.start_service(now, idx, req, heap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_detectors::{AuditOutcome, VerdictCounts};
+    use fakeaudit_twittersim::SimTime;
+
+    /// A backend with a scripted constant service time — no audits, no
+    /// population, pure queueing behaviour.
+    struct FakeBackend {
+        tool: ToolId,
+        service_secs: f64,
+        known: Vec<AccountId>,
+    }
+
+    impl FakeBackend {
+        fn new(tool: ToolId, service_secs: f64) -> Self {
+            Self {
+                tool,
+                service_secs,
+                known: Vec::new(),
+            }
+        }
+
+        fn response(&self, target: AccountId, cached: bool) -> ServiceResponse {
+            ServiceResponse {
+                outcome: AuditOutcome {
+                    tool_name: self.tool.abbrev().into(),
+                    target,
+                    assessed: vec![],
+                    counts: VerdictCounts::default(),
+                    audited_at: SimTime::EPOCH,
+                    api_elapsed_secs: self.service_secs,
+                    api_calls: 1,
+                },
+                response_secs: self.service_secs,
+                served_from_cache: cached,
+                assessed_at: SimTime::EPOCH,
+            }
+        }
+    }
+
+    impl AuditBackend for FakeBackend {
+        fn tool(&self) -> ToolId {
+            self.tool
+        }
+
+        fn serve(
+            &mut self,
+            _platform: &Platform,
+            target: AccountId,
+        ) -> Result<ServiceResponse, ServiceError> {
+            self.known.push(target);
+            Ok(self.response(target, false))
+        }
+
+        fn serve_stale(&self, target: AccountId) -> Option<ServiceResponse> {
+            self.known
+                .contains(&target)
+                .then(|| self.response(target, true))
+        }
+    }
+
+    fn request(id: u64, at: f64, tool: ToolId) -> Request {
+        Request {
+            id,
+            at,
+            tool,
+            target: AccountId(id),
+        }
+    }
+
+    fn sim(platform: &Platform, config: ServerConfig) -> ServerSim<'_> {
+        let mut s = ServerSim::new(platform, config);
+        s.register(Box::new(FakeBackend::new(ToolId::FakeClassifier, 10.0)));
+        s
+    }
+
+    #[test]
+    fn idle_worker_serves_immediately() {
+        let platform = Platform::new();
+        let report =
+            sim(&platform, ServerConfig::default()).run(&[request(0, 5.0, ToolId::FakeClassifier)]);
+        assert_eq!(report.completed(), 1);
+        let r = &report.records[0];
+        assert_eq!(r.queue_wait(), 0.0);
+        assert_eq!(r.latency(), Some(10.0));
+        assert_eq!(report.makespan, 15.0);
+    }
+
+    #[test]
+    fn queue_wait_accrues_when_workers_busy() {
+        let platform = Platform::new();
+        let config = ServerConfig {
+            workers_per_tool: 1,
+            ..ServerConfig::default()
+        };
+        // Two simultaneous arrivals, one worker, 10 s service: the second
+        // request waits 10 s in the queue.
+        let report = sim(&platform, config).run(&[
+            request(0, 0.0, ToolId::FakeClassifier),
+            request(1, 0.0, ToolId::FakeClassifier),
+        ]);
+        assert_eq!(report.completed(), 2);
+        let waits: Vec<f64> = report.records.iter().map(|r| r.queue_wait()).collect();
+        assert_eq!(waits, vec![0.0, 10.0]);
+        assert_eq!(report.makespan, 20.0);
+    }
+
+    #[test]
+    fn shed_policy_refuses_past_capacity() {
+        let platform = Platform::new();
+        let config = ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 1,
+            policy: OverloadPolicy::Shed,
+            ..ServerConfig::default()
+        };
+        // Three simultaneous arrivals: one in service, one queued, one shed.
+        let trace: Vec<Request> = (0..3)
+            .map(|i| request(i, 0.0, ToolId::FakeClassifier))
+            .collect();
+        let report = sim(&platform, config).run(&trace);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.shed(), 1);
+        assert_eq!(report.offered(), 3);
+        assert!((report.shed_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_policy_answers_everything() {
+        let platform = Platform::new();
+        let config = ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 1,
+            policy: OverloadPolicy::Block,
+            ..ServerConfig::default()
+        };
+        let trace: Vec<Request> = (0..6)
+            .map(|i| request(i, 0.0, ToolId::FakeClassifier))
+            .collect();
+        let report = sim(&platform, config).run(&trace);
+        assert_eq!(report.completed(), 6);
+        assert_eq!(report.shed(), 0);
+        assert_eq!(report.per_tool[0].max_queue_depth, 1);
+        assert!(report.per_tool[0].max_blocked >= 1);
+        // 6 sequential 10 s services.
+        assert_eq!(report.makespan, 60.0);
+    }
+
+    #[test]
+    fn degrade_serves_stale_when_known_sheds_when_cold() {
+        let platform = Platform::new();
+        let config = ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 1,
+            policy: OverloadPolicy::DegradeStale,
+            degraded_secs: 0.5,
+            ..ServerConfig::default()
+        };
+        // First wave fills worker + queue with targets 0 and 1; target 0
+        // repeats (known → degraded) and target 9 is cold (→ shed).
+        let trace = vec![
+            request(0, 0.0, ToolId::FakeClassifier),
+            request(1, 0.0, ToolId::FakeClassifier),
+            Request {
+                id: 2,
+                at: 1.0,
+                tool: ToolId::FakeClassifier,
+                target: AccountId(0),
+            },
+            request(9, 2.0, ToolId::FakeClassifier),
+        ];
+        let report = sim(&platform, config).run(&trace);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.degraded(), 1);
+        assert_eq!(report.shed(), 1);
+        let degraded = report
+            .records
+            .iter()
+            .find(|r| r.outcome == RequestOutcome::Degraded)
+            .unwrap();
+        assert_eq!(degraded.latency(), Some(0.5));
+    }
+
+    #[test]
+    fn per_tool_fifo_start_order() {
+        let platform = Platform::new();
+        let config = ServerConfig {
+            workers_per_tool: 2,
+            queue_capacity: 8,
+            policy: OverloadPolicy::Block,
+            ..ServerConfig::default()
+        };
+        let trace: Vec<Request> = (0..12)
+            .map(|i| request(i, i as f64 * 0.1, ToolId::FakeClassifier))
+            .collect();
+        let report = sim(&platform, config).run(&trace);
+        let mut started: Vec<(f64, u64)> = report
+            .records
+            .iter()
+            .filter_map(|r| r.started.map(|s| (s, r.id)))
+            .collect();
+        started.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let ids: Vec<u64> = started.iter().map(|&(_, id)| id).collect();
+        assert_eq!(
+            ids,
+            (0..12).collect::<Vec<_>>(),
+            "service starts follow arrival order"
+        );
+    }
+
+    #[test]
+    fn unregistered_tool_is_shed() {
+        let platform = Platform::new();
+        let report =
+            sim(&platform, ServerConfig::default()).run(&[request(0, 0.0, ToolId::Socialbakers)]);
+        assert_eq!(report.shed(), 0, "unregistered tools are not offered");
+        assert_eq!(report.records[0].outcome, RequestOutcome::Shed);
+    }
+
+    #[test]
+    fn conservation_under_every_policy() {
+        let platform = Platform::new();
+        for policy in OverloadPolicy::ALL {
+            let config = ServerConfig {
+                workers_per_tool: 1,
+                queue_capacity: 2,
+                policy,
+                ..ServerConfig::default()
+            };
+            let trace: Vec<Request> = (0..20)
+                .map(|i| request(i, (i / 4) as f64, ToolId::FakeClassifier))
+                .collect();
+            let report = sim(&platform, config).run(&trace);
+            assert_eq!(
+                report.completed() + report.degraded() + report.shed() + report.failed(),
+                report.offered(),
+                "{policy:?}"
+            );
+            assert_eq!(report.records.len(), 20);
+        }
+    }
+
+    #[test]
+    fn throughput_and_utilisation_are_sane() {
+        let platform = Platform::new();
+        let config = ServerConfig {
+            workers_per_tool: 1,
+            ..ServerConfig::default()
+        };
+        let trace: Vec<Request> = (0..4)
+            .map(|i| request(i, 0.0, ToolId::FakeClassifier))
+            .collect();
+        let report = sim(&platform, config).run(&trace);
+        assert!((report.throughput() - 4.0 / 40.0).abs() < 1e-12);
+        assert!((report.utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_over_latencies() {
+        let platform = Platform::new();
+        let config = ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 8,
+            policy: OverloadPolicy::Block,
+            ..ServerConfig::default()
+        };
+        let trace: Vec<Request> = (0..5)
+            .map(|i| request(i, 0.0, ToolId::FakeClassifier))
+            .collect();
+        let report = sim(&platform, config).run(&trace);
+        // Latencies 10, 20, 30, 40, 50.
+        assert_eq!(report.latency_percentile(0.5), 30.0);
+        assert_eq!(report.latency_percentile(1.0), 50.0);
+        assert_eq!(report.latency_percentile(0.0), 10.0);
+        assert_eq!(report.queue_wait_percentile(1.0), 40.0);
+    }
+}

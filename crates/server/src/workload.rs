@@ -1,0 +1,285 @@
+//! Open-loop load generation.
+//!
+//! The generator produces a timestamped request trace *before* the
+//! simulation runs — an **open-loop** workload: arrivals do not slow down
+//! when the service saturates, which is exactly how real overload happens
+//! (Aggarwal & Kumaraguru 2014 document purchased-follower flash crowds;
+//! the curious public checking the same celebrity is a thundering herd,
+//! not a polite closed loop).
+//!
+//! Three arrival processes are supported, all non-homogeneous-Poisson and
+//! sampled by Lewis–Shedler thinning from a single seeded RNG stream:
+//!
+//! * [`ArrivalProcess::Poisson`] — constant rate λ.
+//! * [`ArrivalProcess::Diurnal`] — sinusoidal day/night modulation.
+//! * [`ArrivalProcess::FlashCrowd`] — base rate with a burst window at
+//!   `burst_rate`.
+//!
+//! Targets are drawn Zipf — a handful of hot accounts absorb most audit
+//! demand, the rest form a long cold tail — and each request picks one of
+//! the four tools uniformly.
+
+use fakeaudit_detectors::ToolId;
+use fakeaudit_stats::dist::{Exponential, Zipf};
+use fakeaudit_stats::rng_for;
+use fakeaudit_twittersim::AccountId;
+use rand::Rng;
+
+/// One audit request in the generated trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Trace-unique id, assigned in arrival order.
+    pub id: u64,
+    /// Arrival time in seconds from the start of the run.
+    pub at: f64,
+    /// Which tool the client asked.
+    pub tool: ToolId,
+    /// The account under audit.
+    pub target: AccountId,
+}
+
+/// A (possibly time-varying) arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals at `rate` requests/second.
+    Poisson {
+        /// Mean arrival rate (req/s).
+        rate: f64,
+    },
+    /// Sinusoidal diurnal modulation:
+    /// `rate(t) = base_rate * (1 + amplitude * sin(2πt / period_secs))`.
+    Diurnal {
+        /// Mean arrival rate (req/s).
+        base_rate: f64,
+        /// Relative swing in `[0, 1]`.
+        amplitude: f64,
+        /// Period of one "day" in seconds.
+        period_secs: f64,
+    },
+    /// Constant `base_rate` with a burst window at `burst_rate`.
+    FlashCrowd {
+        /// Background arrival rate (req/s).
+        base_rate: f64,
+        /// Burst window start (seconds).
+        burst_start: f64,
+        /// Burst window length (seconds).
+        burst_secs: f64,
+        /// Arrival rate inside the window (req/s).
+        burst_rate: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Instantaneous arrival rate at time `t`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::Diurnal {
+                base_rate,
+                amplitude,
+                period_secs,
+            } => {
+                let phase = std::f64::consts::TAU * t / period_secs;
+                (base_rate * (1.0 + amplitude * phase.sin())).max(0.0)
+            }
+            ArrivalProcess::FlashCrowd {
+                base_rate,
+                burst_start,
+                burst_secs,
+                burst_rate,
+            } => {
+                if t >= burst_start && t < burst_start + burst_secs {
+                    burst_rate
+                } else {
+                    base_rate
+                }
+            }
+        }
+    }
+
+    /// An upper bound on [`ArrivalProcess::rate_at`] over all `t` — the
+    /// majorising rate for Lewis–Shedler thinning.
+    pub fn peak_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::Diurnal {
+                base_rate,
+                amplitude,
+                ..
+            } => base_rate * (1.0 + amplitude.abs()),
+            ArrivalProcess::FlashCrowd {
+                base_rate,
+                burst_rate,
+                ..
+            } => base_rate.max(burst_rate),
+        }
+    }
+}
+
+/// A complete workload specification.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// The arrival process.
+    pub process: ArrivalProcess,
+    /// Trace length in seconds.
+    pub duration_secs: f64,
+    /// Zipf exponent for target popularity (≈1.0 for web-like skew).
+    pub zipf_exponent: f64,
+    /// Tools a request may ask (uniform pick).
+    pub tools: Vec<ToolId>,
+}
+
+impl LoadSpec {
+    /// A constant-rate spec over all four tools — the sweep building block.
+    pub fn poisson(rate: f64, duration_secs: f64) -> Self {
+        Self {
+            process: ArrivalProcess::Poisson { rate },
+            duration_secs,
+            zipf_exponent: 1.1,
+            tools: ToolId::ALL.to_vec(),
+        }
+    }
+}
+
+/// Generates the request trace for `spec` against a popularity-ranked
+/// target list (`targets[0]` is the hottest account).
+///
+/// Same `(spec, targets, seed)` → identical trace, always: every draw
+/// comes from one `rng_for(seed, "server-arrivals")` stream consumed in a
+/// fixed order.
+pub fn generate(spec: &LoadSpec, targets: &[AccountId], seed: u64) -> Vec<Request> {
+    assert!(!targets.is_empty(), "workload needs at least one target");
+    assert!(!spec.tools.is_empty(), "workload needs at least one tool");
+    let mut rng = rng_for(seed, "server-arrivals");
+    let peak = spec.process.peak_rate();
+    if peak <= 0.0 || spec.duration_secs <= 0.0 {
+        return Vec::new();
+    }
+    let inter = Exponential::new(peak).expect("peak rate is positive");
+    let zipf = Zipf::new(targets.len(), spec.zipf_exponent).expect("non-empty target list");
+
+    let mut out = Vec::new();
+    let mut t = 0.0_f64;
+    let mut id = 0_u64;
+    loop {
+        // Candidate arrival at the majorising rate...
+        t += inter.sample(&mut rng);
+        if t >= spec.duration_secs {
+            break;
+        }
+        // ...thinned down to the instantaneous rate.
+        if rng.gen::<f64>() * peak > spec.process.rate_at(t) {
+            continue;
+        }
+        let rank = zipf.sample(&mut rng); // 1-based, rank 1 hottest
+        let tool = spec.tools[rng.gen_range(0..spec.tools.len())];
+        out.push(Request {
+            id,
+            at: t,
+            tool,
+            target: targets[rank - 1],
+        });
+        id += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets(n: u64) -> Vec<AccountId> {
+        (0..n).map(AccountId).collect()
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let spec = LoadSpec::poisson(2.0, 600.0);
+        let a = generate(&spec, &targets(50), 42);
+        let b = generate(&spec, &targets(50), 42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = LoadSpec::poisson(2.0, 600.0);
+        let a = generate(&spec, &targets(50), 42);
+        let b = generate(&spec, &targets(50), 43);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_bounded() {
+        let spec = LoadSpec::poisson(5.0, 300.0);
+        let trace = generate(&spec, &targets(20), 7);
+        for pair in trace.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+            assert_eq!(pair[0].id + 1, pair[1].id);
+        }
+        assert!(trace.iter().all(|r| r.at < 300.0));
+    }
+
+    #[test]
+    fn poisson_rate_roughly_holds() {
+        let spec = LoadSpec::poisson(4.0, 10_000.0);
+        let trace = generate(&spec, &targets(10), 11);
+        let rate = trace.len() as f64 / 10_000.0;
+        assert!((rate - 4.0).abs() < 0.25, "observed rate {rate}");
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_in_burst() {
+        let spec = LoadSpec {
+            process: ArrivalProcess::FlashCrowd {
+                base_rate: 0.5,
+                burst_start: 400.0,
+                burst_secs: 200.0,
+                burst_rate: 10.0,
+            },
+            duration_secs: 1_000.0,
+            zipf_exponent: 1.1,
+            tools: ToolId::ALL.to_vec(),
+        };
+        let trace = generate(&spec, &targets(30), 3);
+        let in_burst = trace
+            .iter()
+            .filter(|r| r.at >= 400.0 && r.at < 600.0)
+            .count();
+        assert!(
+            in_burst * 2 > trace.len(),
+            "burst window should dominate: {in_burst}/{}",
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_never_negative_and_peak_bounds() {
+        let p = ArrivalProcess::Diurnal {
+            base_rate: 2.0,
+            amplitude: 0.8,
+            period_secs: 86_400.0,
+        };
+        for i in 0..100 {
+            let t = i as f64 * 1_000.0;
+            assert!(p.rate_at(t) >= 0.0);
+            assert!(p.rate_at(t) <= p.peak_rate() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_hot_targets() {
+        let spec = LoadSpec::poisson(5.0, 5_000.0);
+        let list = targets(100);
+        let trace = generate(&spec, &list, 99);
+        let hot = trace.iter().filter(|r| r.target == list[0]).count();
+        let cold = trace.iter().filter(|r| r.target == list[99]).count();
+        assert!(hot > 10 * cold.max(1), "hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn zero_duration_yields_empty_trace() {
+        let spec = LoadSpec::poisson(5.0, 0.0);
+        assert!(generate(&spec, &targets(5), 1).is_empty());
+    }
+}

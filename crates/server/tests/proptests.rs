@@ -1,0 +1,239 @@
+//! Property tests for admission control and the event loop: the
+//! invariants ISSUE 3 pins down — bounded queues stay bounded, per-tool
+//! service order is FIFO, and no request is ever lost or double-counted,
+//! whatever the policy.
+
+use fakeaudit_analytics::{ServiceError, ServiceResponse};
+use fakeaudit_detectors::{AuditOutcome, ToolId, VerdictCounts};
+use fakeaudit_server::{
+    Admission, AdmissionQueue, AuditBackend, OverloadPolicy, Request, RequestOutcome, ServerConfig,
+    ServerSim,
+};
+use fakeaudit_twittersim::{AccountId, Platform, SimTime};
+use proptest::prelude::*;
+
+/// A backend with a scripted constant service time; `serve_stale` only
+/// knows targets it has already served fresh, so `degrade` can go cold.
+struct ScriptedBackend {
+    tool: ToolId,
+    service_secs: f64,
+    known: Vec<AccountId>,
+}
+
+impl ScriptedBackend {
+    fn response(&self, target: AccountId, cached: bool) -> ServiceResponse {
+        ServiceResponse {
+            outcome: AuditOutcome {
+                tool_name: self.tool.abbrev().into(),
+                target,
+                assessed: vec![],
+                counts: VerdictCounts::default(),
+                audited_at: SimTime::EPOCH,
+                api_elapsed_secs: self.service_secs,
+                api_calls: 1,
+            },
+            response_secs: self.service_secs,
+            served_from_cache: cached,
+            assessed_at: SimTime::EPOCH,
+        }
+    }
+}
+
+impl AuditBackend for ScriptedBackend {
+    fn tool(&self) -> ToolId {
+        self.tool
+    }
+
+    fn serve(
+        &mut self,
+        _platform: &Platform,
+        target: AccountId,
+    ) -> Result<ServiceResponse, ServiceError> {
+        self.known.push(target);
+        Ok(self.response(target, false))
+    }
+
+    fn serve_stale(&self, target: AccountId) -> Option<ServiceResponse> {
+        self.known
+            .contains(&target)
+            .then(|| self.response(target, true))
+    }
+}
+
+fn policy_strategy() -> impl Strategy<Value = OverloadPolicy> {
+    prop_oneof![
+        Just(OverloadPolicy::Block),
+        Just(OverloadPolicy::Shed),
+        Just(OverloadPolicy::DegradeStale),
+    ]
+}
+
+/// `(inter-arrival, tool index, target id)` triples become a trace with
+/// strictly increasing arrival times.
+fn trace_strategy() -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec((0.001f64..3.0, 0usize..4, 0u64..5), 0..80).prop_map(|steps| {
+        let mut now = 0.0;
+        steps
+            .into_iter()
+            .enumerate()
+            .map(|(i, (dt, tool, target))| {
+                now += dt;
+                Request {
+                    id: i as u64,
+                    at: now,
+                    tool: ToolId::ALL[tool],
+                    target: AccountId(target),
+                }
+            })
+            .collect()
+    })
+}
+
+fn run_trace(
+    trace: &[Request],
+    policy: OverloadPolicy,
+    workers: usize,
+    capacity: usize,
+    service_secs: f64,
+) -> fakeaudit_server::ServerReport {
+    let platform = Platform::new();
+    let mut sim = ServerSim::new(
+        &platform,
+        ServerConfig {
+            workers_per_tool: workers,
+            queue_capacity: capacity,
+            policy,
+            degraded_secs: 0.25,
+        },
+    );
+    for tool in ToolId::ALL {
+        sim.register(Box::new(ScriptedBackend {
+            tool,
+            service_secs,
+            known: Vec::new(),
+        }));
+    }
+    sim.run(trace)
+}
+
+proptest! {
+    /// The bounded queue never holds more than `capacity` items, no
+    /// matter how offers and pops interleave; only `block` may park the
+    /// overflow elsewhere.
+    #[test]
+    fn admission_queue_never_exceeds_capacity(
+        capacity in 1usize..8,
+        policy in policy_strategy(),
+        ops in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut queue = AdmissionQueue::new(capacity, policy);
+        let mut next = 0u64;
+        for is_offer in ops {
+            if is_offer {
+                let admission = queue.offer(next);
+                next += 1;
+                if policy != OverloadPolicy::Block {
+                    prop_assert_ne!(admission, Admission::Blocked);
+                }
+            } else {
+                queue.pop();
+            }
+            prop_assert!(queue.len() <= capacity);
+            if policy != OverloadPolicy::Block {
+                prop_assert_eq!(queue.blocked(), 0);
+            }
+        }
+        prop_assert!(queue.max_depth() <= capacity);
+    }
+
+    /// The queue (including block-policy promotion from the overflow
+    /// lane) hands items back in exactly the order they were offered.
+    #[test]
+    fn admission_queue_preserves_fifo(
+        capacity in 1usize..6,
+        policy in policy_strategy(),
+        ops in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut queue = AdmissionQueue::new(capacity, policy);
+        let mut next = 0u64;
+        let mut last_popped = None;
+        for is_offer in ops {
+            if is_offer {
+                queue.offer(next);
+                next += 1;
+            } else if let Some(item) = queue.pop() {
+                if let Some(prev) = last_popped {
+                    prop_assert!(item > prev, "popped {item} after {prev}");
+                }
+                last_popped = Some(item);
+            }
+        }
+    }
+
+    /// Worker-served requests start in arrival order within each tool —
+    /// FIFO survives the event loop, not just the queue.
+    #[test]
+    fn per_tool_service_order_is_fifo(
+        trace in trace_strategy(),
+        policy in policy_strategy(),
+        workers in 1usize..3,
+        capacity in 1usize..5,
+        service_secs in 0.25f64..4.0,
+    ) {
+        let report = run_trace(&trace, policy, workers, capacity, service_secs);
+        for tool in ToolId::ALL {
+            let mut last_start = f64::NEG_INFINITY;
+            let mut last_arrival = f64::NEG_INFINITY;
+            for rec in report.records.iter().filter(|r| {
+                r.tool == tool && matches!(r.outcome, RequestOutcome::Completed { .. })
+            }) {
+                let started = rec.started.expect("completed requests started");
+                prop_assert!(
+                    rec.arrived > last_arrival,
+                    "records must keep trace order"
+                );
+                prop_assert!(
+                    started >= last_start,
+                    "{:?} started {started} before predecessor {last_start}",
+                    tool
+                );
+                prop_assert!(started >= rec.arrived);
+                last_start = started;
+                last_arrival = rec.arrived;
+            }
+        }
+    }
+
+    /// Nothing is lost: every offered request is accounted for exactly
+    /// once, under every policy — and each policy's signature holds
+    /// (block never sheds, scripted backends never fail).
+    #[test]
+    fn offered_requests_are_conserved(
+        trace in trace_strategy(),
+        policy in policy_strategy(),
+        workers in 1usize..3,
+        capacity in 1usize..5,
+        service_secs in 0.25f64..4.0,
+    ) {
+        let report = run_trace(&trace, policy, workers, capacity, service_secs);
+        prop_assert_eq!(report.offered(), trace.len() as u64);
+        prop_assert_eq!(report.records.len(), trace.len());
+        prop_assert_eq!(
+            report.completed() + report.degraded() + report.shed() + report.failed(),
+            report.offered()
+        );
+        prop_assert_eq!(report.failed(), 0);
+        for t in &report.per_tool {
+            prop_assert_eq!(t.completed + t.degraded + t.shed + t.failed, t.offered);
+            prop_assert!(t.max_queue_depth <= capacity);
+        }
+        match policy {
+            OverloadPolicy::Block => {
+                prop_assert_eq!(report.shed(), 0);
+                prop_assert_eq!(report.completed(), report.offered());
+            }
+            OverloadPolicy::Shed => prop_assert_eq!(report.degraded(), 0),
+            OverloadPolicy::DegradeStale => {}
+        }
+    }
+}

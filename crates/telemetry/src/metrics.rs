@@ -88,6 +88,51 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the bucket holding the target rank — the
+    /// Prometheus `histogram_quantile` scheme, tightened with the exact
+    /// `min`/`max` the snapshot tracks: estimates are clamped to
+    /// `[min, max]`, and a rank landing in the overflow bucket reports
+    /// `max` rather than infinity. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        let mut lower = 0.0_f64;
+        for &(bound, in_bucket) in &self.buckets {
+            let next = cum + in_bucket;
+            if in_bucket > 0 && next as f64 >= target {
+                if bound.is_infinite() {
+                    return self.max;
+                }
+                let frac = (target - cum as f64) / in_bucket as f64;
+                return (lower + frac * (bound - lower)).clamp(self.min, self.max);
+            }
+            cum = next;
+            if bound.is_finite() {
+                lower = bound;
+            }
+        }
+        self.max
+    }
+
+    /// The median estimate — [`HistogramSnapshot::quantile`] at 0.5.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -344,6 +389,59 @@ mod tests {
         let (bound, count) = *h.buckets.last().unwrap();
         assert!(bound.is_infinite());
         assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = MetricsRegistry::new();
+        // 100 observations spread uniformly over (1, 10] — one bucket.
+        for i in 1..=100 {
+            r.observe("lat", &[], 1.0 + 9.0 * i as f64 / 100.0);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("lat", &[]).unwrap();
+        // All mass sits in the (1, 10] bucket; interpolation maps rank
+        // q*100 to 1 + 9q.
+        assert!((h.p50() - 5.5).abs() < 0.2, "p50 {}", h.p50());
+        assert!((h.p95() - 9.55).abs() < 0.2, "p95 {}", h.p95());
+        assert!((h.p99() - 9.91).abs() < 0.2, "p99 {}", h.p99());
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_range() {
+        let r = MetricsRegistry::new();
+        r.observe("lat", &[], 2.0);
+        r.observe("lat", &[], 3.0);
+        let s = r.snapshot();
+        let h = s.histogram("lat", &[]).unwrap();
+        // Both fall in the (1, 10] bucket; naive interpolation would dip
+        // below 2.0 at low q and reach 10.0 at q=1.
+        assert!(h.quantile(0.0) >= 2.0);
+        assert!(h.quantile(1.0) <= 3.0);
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_reports_max() {
+        let r = MetricsRegistry::new();
+        r.observe("crawl.secs", &[], 100_000.0);
+        r.observe("crawl.secs", &[], 2_000_000.0);
+        let s = r.snapshot();
+        let h = s.histogram("crawl.secs", &[]).unwrap();
+        assert_eq!(h.p99(), 2_000_000.0);
+        assert!(h.p99().is_finite());
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: vec![],
+        };
+        assert_eq!(h.quantile(0.5), 0.0);
     }
 
     #[test]

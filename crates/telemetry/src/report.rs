@@ -89,8 +89,8 @@ impl RunReport {
             );
             let _ = writeln!(
                 out,
-                "{:<6}{:>4} {:>10} {:>10} {:>10} {:>10}",
-                "tool", "n", "response", "rl-wait", "latency", "overhead"
+                "{:<6}{:>4} {:>10} {:>8} {:>8} {:>10} {:>10} {:>10}",
+                "tool", "n", "response", "p50", "p95", "rl-wait", "latency", "overhead"
             );
             for tool in &tools {
                 let fresh = s.histogram(
@@ -105,10 +105,12 @@ impl RunReport {
                 };
                 let _ = writeln!(
                     out,
-                    "{:<6}{:>4} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                    "{:<6}{:>4} {:>10.1} {:>8.1} {:>8.1} {:>10.1} {:>10.1} {:>10.1}",
                     tool,
                     fresh.count,
                     fresh.mean(),
+                    fresh.p50(),
+                    fresh.p95(),
                     mean_of("service.rate_limit_wait_secs"),
                     mean_of("service.api_latency_secs"),
                     mean_of("service.overhead_secs"),
@@ -121,15 +123,62 @@ impl RunReport {
                         "service.response_secs",
                         &[("tool", tool), ("source", "cache")],
                     )
-                    .map(|h| (tool.clone(), h.count, h.mean()))
+                    .map(|h| (tool.clone(), h.count, h.mean(), h.p95()))
                 })
                 .collect();
             if !cached_rows.is_empty() {
                 let _ = writeln!(out, "\ncached responses");
-                let _ = writeln!(out, "{:<6}{:>4} {:>10}", "tool", "n", "mean secs");
-                for (tool, n, mean) in cached_rows {
-                    let _ = writeln!(out, "{tool:<6}{n:>4} {mean:>10.1}");
+                let _ = writeln!(
+                    out,
+                    "{:<6}{:>4} {:>10} {:>8}",
+                    "tool", "n", "mean secs", "p95"
+                );
+                for (tool, n, mean, p95) in cached_rows {
+                    let _ = writeln!(out, "{tool:<6}{n:>4} {mean:>10.1} {p95:>8.1}");
                 }
+            }
+        }
+
+        let server_tools = s.label_values("server.offered", "tool");
+        if !server_tools.is_empty() {
+            let _ = writeln!(out, "\nservice under load (per tool)");
+            let _ = writeln!(
+                out,
+                "{:<6}{:>8} {:>8} {:>8} {:>6} {:>7} {:>9} {:>9} {:>9} {:>9}",
+                "tool",
+                "offered",
+                "done",
+                "degraded",
+                "shed",
+                "failed",
+                "lat p50",
+                "lat p95",
+                "lat p99",
+                "wait p95"
+            );
+            for tool in &server_tools {
+                let labels = [("tool", tool.as_str())];
+                let count_of = |name: &str| s.counter(name, &labels).unwrap_or(0);
+                let latency = s.histogram("server.latency_secs", &labels);
+                let quantile_of = |q: f64| latency.map(|h| h.quantile(q)).unwrap_or(0.0);
+                let wait_p95 = s
+                    .histogram("server.queue_wait_secs", &labels)
+                    .map(|h| h.p95())
+                    .unwrap_or(0.0);
+                let _ = writeln!(
+                    out,
+                    "{:<6}{:>8} {:>8} {:>8} {:>6} {:>7} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+                    tool,
+                    count_of("server.offered"),
+                    count_of("server.completed"),
+                    count_of("server.degraded"),
+                    count_of("server.shed"),
+                    count_of("server.failed"),
+                    quantile_of(0.5),
+                    quantile_of(0.95),
+                    quantile_of(0.99),
+                    wait_p95,
+                );
             }
         }
 
@@ -173,13 +222,19 @@ impl RunReport {
             }
         }
         if !s.histograms.is_empty() {
-            let _ = writeln!(out, "\nhistograms (count / mean / min / max)");
+            let _ = writeln!(
+                out,
+                "\nhistograms (count / mean / p50 / p95 / p99 / min / max)"
+            );
             for (key, h) in &s.histograms {
                 let _ = writeln!(
                     out,
-                    "  {key:<52} {} / {:.3} / {:.3} / {:.3}",
+                    "  {key:<52} {} / {:.3} / {:.3} / {:.3} / {:.3} / {:.3} / {:.3}",
                     h.count,
                     h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
                     h.min,
                     h.max
                 );
@@ -242,6 +297,27 @@ mod tests {
         assert!(text.contains("detector verdicts"));
         assert!(text.contains("quota rejections"));
         assert!(text.to_string().contains("histograms"));
+    }
+
+    #[test]
+    fn report_renders_server_section_with_percentiles() {
+        let tel = sample_telemetry();
+        tel.counter_add("server.offered", &[("tool", "FC")], 40);
+        tel.counter_add("server.completed", &[("tool", "FC")], 30);
+        tel.counter_add("server.shed", &[("tool", "FC")], 10);
+        for i in 0..30 {
+            tel.observe(
+                "server.latency_secs",
+                &[("tool", "FC")],
+                2.0 + i as f64 * 0.2,
+            );
+            tel.observe("server.queue_wait_secs", &[("tool", "FC")], i as f64 * 0.1);
+        }
+        let text = RunReport::from_telemetry(&tel).render();
+        assert!(text.contains("service under load"), "{text}");
+        assert!(text.contains("lat p99"));
+        assert!(text.contains("FC"));
+        assert!(text.contains("p50 / p95 / p99"), "histogram dump header");
     }
 
     #[test]
