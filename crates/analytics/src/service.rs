@@ -5,7 +5,7 @@ use crate::profiles::ServiceProfile;
 use crate::quota::{DailyQuota, QuotaExceeded};
 use fakeaudit_detectors::{AuditError, AuditOutcome, FollowerAuditor, Instrumented, ToolId};
 use fakeaudit_stats::rng::derive_seed;
-use fakeaudit_telemetry::Telemetry;
+use fakeaudit_telemetry::{Telemetry, TraceContext};
 use fakeaudit_twitter_api::{ApiConfig, ApiSession};
 use fakeaudit_twittersim::{AccountId, Platform, SimTime};
 use rand::rngs::StdRng;
@@ -222,18 +222,42 @@ impl<A: FollowerAuditor> OnlineService<A> {
         platform: &Platform,
         target: AccountId,
     ) -> Result<ServiceResponse, ServiceError> {
+        let ctx = self.telemetry.root_context();
+        self.request_in(platform, target, &ctx)
+    }
+
+    /// [`OnlineService::request`] with an explicit causal position: the
+    /// `service.request` span (plus its `cache.lookup` point,
+    /// `detector.audit` subtree and per-page `api.call` spans) attaches
+    /// under `ctx` — the audit service threads its `server.service` span
+    /// here so every answered request becomes one trace tree. With a root
+    /// context the same spans are emitted as trace roots, which is what
+    /// [`OnlineService::request`] does.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineService::request`].
+    pub fn request_in(
+        &mut self,
+        platform: &Platform,
+        target: AccountId,
+        ctx: &TraceContext,
+    ) -> Result<ServiceResponse, ServiceError> {
         let now = platform.now();
         let t0 = now.as_secs() as f64;
+        let tool = self.auditor.tool().abbrev();
         if let Some(q) = &mut self.quota {
             if let Err(e) = q.consume(now) {
-                let tool = self.auditor.tool().abbrev();
                 self.telemetry
                     .counter_add("quota.rejected", &[("tool", tool)], 1);
-                self.telemetry
-                    .event("quota.rejected", t0, &[("tool", tool)]);
+                ctx.point("quota.rejected", t0, &[("tool", tool)]);
                 return Err(e.into());
             }
         }
+        // Opened before the outcome is known so the lookup point and the
+        // audit subtree attach under it; recorded once the response time
+        // (its end) is known.
+        let sctx = ctx.child();
         if let Some(entry) = self.cache.get(target, now) {
             let response_secs = self.profile.cached_base_secs
                 + self.jitter.gen::<f64>() * self.profile.cached_jitter;
@@ -243,16 +267,29 @@ impl<A: FollowerAuditor> OnlineService<A> {
                 served_from_cache: true,
                 assessed_at: entry.assessed_at,
             };
-            self.record_request(t0, response_secs, "cache", None);
+            sctx.point("cache.lookup", t0, &[("tool", tool), ("result", "hit")]);
+            sctx.record(
+                "service.request",
+                t0,
+                t0 + response_secs,
+                &[("tool", tool), ("source", "cache")],
+            );
+            self.record_request(response_secs, "cache", None);
             return Ok(response);
         }
-        let (outcome, rate_limit_wait) = self.run_fresh(platform, target)?;
+        sctx.point("cache.lookup", t0, &[("tool", tool), ("result", "miss")]);
+        let (outcome, rate_limit_wait) = self.run_fresh_in(platform, target, &sctx)?;
         let response_secs = outcome.api_elapsed_secs
             + self.profile.overhead_secs
             + self.jitter.gen::<f64>() * self.profile.overhead_jitter;
         self.cache.put(target, outcome.clone(), now);
-        self.record_request(
+        sctx.record(
+            "service.request",
             t0,
+            t0 + response_secs,
+            &[("tool", tool), ("source", "fresh")],
+        );
+        self.record_request(
             response_secs,
             "fresh",
             Some(FreshBreakdown {
@@ -269,21 +306,15 @@ impl<A: FollowerAuditor> OnlineService<A> {
         })
     }
 
-    /// Mirrors one served request into the telemetry handle.
-    fn record_request(
-        &self,
-        t0: f64,
-        response_secs: f64,
-        source: &str,
-        breakdown: Option<FreshBreakdown>,
-    ) {
+    /// Mirrors one served request's metrics into the telemetry handle
+    /// (the `service.request` span itself is recorded by the caller's
+    /// context).
+    fn record_request(&self, response_secs: f64, source: &str, breakdown: Option<FreshBreakdown>) {
         if !self.telemetry.is_enabled() {
             return;
         }
         let tool = self.auditor.tool().abbrev();
         let labels = [("tool", tool), ("source", source)];
-        self.telemetry
-            .span("service.request", t0, t0 + response_secs, &labels);
         self.telemetry
             .observe("service.response_secs", &labels, response_secs);
         let tool_only = [("tool", tool)];
@@ -321,13 +352,27 @@ impl<A: FollowerAuditor> OnlineService<A> {
         platform: &Platform,
         target: AccountId,
     ) -> Result<(AuditOutcome, f64), ServiceError> {
+        let ctx = self.telemetry.root_context();
+        self.run_fresh_in(platform, target, &ctx)
+    }
+
+    /// Runs one uncached audit. The session is opened on a child of
+    /// `ctx`: that child becomes the `detector.audit` span (recorded by
+    /// [`Instrumented`] at close) and every page fetch a child `api.call`
+    /// span under it.
+    fn run_fresh_in(
+        &mut self,
+        platform: &Platform,
+        target: AccountId,
+        ctx: &TraceContext,
+    ) -> Result<(AuditOutcome, f64), ServiceError> {
         self.requests += 1;
         let request_seed = derive_seed(self.seed, &format!("request-{}", self.requests));
         let api = ApiConfig {
             seed: request_seed,
             ..self.profile.api
         };
-        let mut session = ApiSession::with_telemetry(platform, api, self.telemetry.clone());
+        let mut session = ApiSession::with_context(platform, api, ctx.child());
         let auditor = Instrumented::new(&self.auditor, self.telemetry.clone());
         let outcome = auditor.audit(&mut session, target, request_seed)?;
         let rate_limit_wait = session.rate_limit_wait_secs();
@@ -508,6 +553,52 @@ mod tests {
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].attr("source"), Some("fresh"));
         assert_eq!(spans[1].attr("source"), Some("cache"));
+    }
+
+    #[test]
+    fn request_in_builds_one_tree_per_request() {
+        let (platform, t) = built(3_000);
+        let tel = Telemetry::enabled();
+        let mut svc = OnlineService::new(StatusPeople::new(), ServiceProfile::statuspeople(), 11)
+            .with_telemetry(tel.clone());
+        let parent = tel.root_context().child();
+        svc.request_in(&platform, t.target, &parent).unwrap(); // fresh
+        svc.request_in(&platform, t.target, &parent).unwrap(); // cached
+        parent.record("server.service", 0.0, 100.0, &[]);
+        let events = tel.events();
+        let by_name = |n: &str| -> Vec<_> { events.iter().filter(|e| e.name == n).collect() };
+        let sreqs = by_name("service.request");
+        assert_eq!(sreqs.len(), 2);
+        assert!(sreqs.iter().all(|e| e.parent == parent.span_id()));
+        assert_eq!(sreqs[0].attr("source"), Some("fresh"));
+        assert_eq!(sreqs[1].attr("source"), Some("cache"));
+        // The lookup points sit under their service.request spans.
+        let lookups = by_name("cache.lookup");
+        assert_eq!(lookups.len(), 2);
+        assert_eq!(lookups[0].attr("result"), Some("miss"));
+        assert_eq!(lookups[1].attr("result"), Some("hit"));
+        assert!(lookups.iter().zip(&sreqs).all(|(l, s)| l.parent == s.id));
+        // The audit subtree: detector.audit under the fresh request,
+        // api.call spans under the audit.
+        let audit = by_name("detector.audit");
+        assert_eq!(audit.len(), 1);
+        assert_eq!(audit[0].parent, sreqs[0].id);
+        let calls = by_name("api.call");
+        assert!(!calls.is_empty());
+        assert!(calls.iter().all(|c| c.parent == audit[0].id));
+    }
+
+    #[test]
+    fn plain_requests_root_their_own_trees() {
+        let (platform, t) = built(2_000);
+        let tel = Telemetry::enabled();
+        let mut svc = OnlineService::new(StatusPeople::new(), ServiceProfile::statuspeople(), 13)
+            .with_telemetry(tel.clone());
+        svc.request(&platform, t.target).unwrap();
+        let events = tel.events();
+        let sreq = events.iter().find(|e| e.name == "service.request").unwrap();
+        assert!(sreq.id.is_some());
+        assert_eq!(sreq.parent, None, "root context roots the tree");
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! Regenerates the latency-attribution sweep (E9).
+
+use fakeaudit_bench::options_from_env;
+use fakeaudit_core::experiments::latency_attribution::{render, run_latency_attribution};
+
+fn main() {
+    let opts = options_from_env();
+    println!(
+        "{}",
+        render(&run_latency_attribution(opts.scale, opts.seed))
+    );
+}

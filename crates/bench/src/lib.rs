@@ -16,6 +16,7 @@
 //! | `exp_disagreement` | §IV-D disagreement analysis (E5) |
 //! | `exp_ablation_sampling` | sampling ablation (A1) |
 //! | `exp_service_load` | service under offered load (E8) |
+//! | `exp_latency_attribution` | latency attribution under load (E9) |
 //!
 //! All binaries accept `--quick` (reduced scale) and `--seed <n>`.
 

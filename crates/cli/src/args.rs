@@ -3,11 +3,14 @@
 use std::collections::HashMap;
 use std::fmt;
 
-/// A parsed command line: a subcommand plus `--key value` options.
+/// A parsed command line: a subcommand, an optional action, plus
+/// `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ParsedArgs {
     /// The subcommand (first positional argument).
     pub command: Option<String>,
+    /// The action (second positional argument, e.g. `trace analyze`).
+    pub action: Option<String>,
     options: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -51,9 +54,9 @@ impl std::error::Error for ArgsError {}
 impl ParsedArgs {
     /// Parses an iterator of arguments (without the program name).
     ///
-    /// Grammar: `[command] (--flag | --option value)*`. Every `--name`
-    /// followed by another `--name` or end of input is a boolean flag;
-    /// otherwise it consumes the next token as its value.
+    /// Grammar: `[command [action]] (--flag | --option value)*`. Every
+    /// `--name` followed by another `--name` or end of input is a boolean
+    /// flag; otherwise it consumes the next token as its value.
     ///
     /// # Errors
     ///
@@ -64,6 +67,9 @@ impl ParsedArgs {
         if let Some(first) = args.peek() {
             if !first.starts_with("--") {
                 parsed.command = args.next();
+                if args.peek().is_some_and(|next| !next.starts_with("--")) {
+                    parsed.action = args.next();
+                }
             }
         }
         while let Some(arg) = args.next() {
@@ -126,6 +132,7 @@ mod tests {
     fn empty_input() {
         let p = parse(&[]).unwrap();
         assert_eq!(p.command, None);
+        assert_eq!(p.action, None);
         assert!(!p.flag("x"));
     }
 
@@ -156,9 +163,18 @@ mod tests {
     }
 
     #[test]
+    fn action_positional() {
+        let p = parse(&["trace", "analyze", "--input", "t.jsonl"]).unwrap();
+        assert_eq!(p.command.as_deref(), Some("trace"));
+        assert_eq!(p.action.as_deref(), Some("analyze"));
+        assert_eq!(p.raw("input"), Some("t.jsonl"));
+        assert_eq!(parse(&["audit", "--seed", "1"]).unwrap().action, None);
+    }
+
+    #[test]
     fn stray_positional_rejected() {
         assert!(matches!(
-            parse(&["audit", "extra"]),
+            parse(&["trace", "analyze", "extra"]),
             Err(ArgsError::UnexpectedPositional(_))
         ));
     }

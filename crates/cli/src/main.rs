@@ -7,6 +7,7 @@
 //! fakeaudit crawl --followers 41000000
 //! fakeaudit sample-size --margin 0.01 --confidence 95
 //! fakeaudit serve-sim --rate 4 --policy degrade --burst
+//! fakeaudit trace analyze --input trace.jsonl
 //! ```
 
 mod args;
@@ -23,7 +24,11 @@ use fakeaudit_server::{
 use fakeaudit_stats::rng::derive_seed;
 use fakeaudit_stats::sample_size::{required_sample_size, worst_case_margin};
 use fakeaudit_stats::ConfidenceLevel;
-use fakeaudit_telemetry::{RunReport, Telemetry};
+use fakeaudit_telemetry::analyze::chrome_trace_json;
+use fakeaudit_telemetry::sink::parse_jsonl;
+use fakeaudit_telemetry::{
+    ChromeTraceOptions, LatencyAttribution, RunReport, SloSpec, Telemetry, TraceEvent, TraceTree,
+};
 use fakeaudit_twitter_api::crawl::CrawlBudget;
 use fakeaudit_twitter_api::{ApiConfig, ApiSession};
 use fakeaudit_twittersim::Platform;
@@ -53,7 +58,23 @@ USAGE:
       Run the four tools as a concurrent service on the simulated clock:
       open-loop Poisson arrivals (--burst adds a flash crowd) against a
       bounded admission queue, reporting throughput, latency percentiles
-      and the shed/degrade behaviour of the chosen overload policy.
+      and the shed/degrade behaviour of the chosen overload policy. With
+      --telemetry the run is traced live: every request becomes a causal
+      span tree (queue wait, service, cache/crawl) in the JSONL output.
+
+  fakeaudit trace analyze --input PATH
+      Read a JSONL trace and print per-tool latency attribution (queue /
+      crawl / cache / compute shares at p50 and p99) plus the waterfall
+      and critical path of the slowest request.
+
+  fakeaudit trace export --input PATH [--format chrome] [--output PATH]
+      Convert a JSONL trace to Chrome trace-event JSON, loadable in
+      Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+
+  fakeaudit trace slo --input PATH [--window S] [--step S] [--quantile Q]
+                      [--latency-slo S] [--availability F]
+      Evaluate latency and availability objectives over sliding sim-time
+      windows, reporting error-budget burn rates per window.
 
   fakeaudit help
       Show this message.
@@ -89,16 +110,20 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let result = match parsed.command.as_deref() {
-        Some("audit") => cmd_audit(&parsed),
-        Some("crawl") => cmd_crawl(&parsed),
-        Some("sample-size") => cmd_sample_size(&parsed),
-        Some("serve-sim") => cmd_serve_sim(&parsed),
-        Some("help") | None => {
+    let result = match (parsed.command.as_deref(), parsed.action.as_deref()) {
+        (Some("trace"), _) => cmd_trace(&parsed),
+        (Some(cmd), Some(action)) => Err(format!(
+            "unexpected argument {action:?} after {cmd:?}\n\n{USAGE}"
+        )),
+        (Some("audit"), None) => cmd_audit(&parsed),
+        (Some("crawl"), None) => cmd_crawl(&parsed),
+        (Some("sample-size"), None) => cmd_sample_size(&parsed),
+        (Some("serve-sim"), None) => cmd_serve_sim(&parsed),
+        (Some("help"), None) | (None, _) => {
             println!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        (Some(other), None) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
@@ -258,7 +283,15 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
         daily_quota: None,
         ..p
     };
-    let mut sim = ServerSim::new(
+    // Live tracing: an enabled handle makes every request a causal span
+    // tree; the run itself records the metrics, so no post-hoc
+    // `record_into` (that would double-count).
+    let telemetry = if args.raw("telemetry").is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let mut sim = ServerSim::with_telemetry(
         &platform,
         ServerConfig {
             workers_per_tool: workers,
@@ -266,6 +299,7 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
             policy,
             degraded_secs: 0.5,
         },
+        telemetry.clone(),
     );
     let mut fc = OnlineService::new(
         FakeProjectEngine::with_default_model(derive_seed(seed, "serve-fc-model"))
@@ -365,10 +399,100 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
     }
 
     if let Some(path) = args.raw("telemetry") {
-        let telemetry = Telemetry::enabled();
-        report.record_into(&telemetry);
         finish_telemetry(&telemetry, path)?;
     }
+    Ok(())
+}
+
+fn cmd_trace(args: &ParsedArgs) -> Result<(), String> {
+    let input = args
+        .raw("input")
+        .ok_or("trace needs --input PATH (a JSONL trace written by --telemetry)")?;
+    let text =
+        std::fs::read_to_string(input).map_err(|e| format!("cannot read trace {input:?}: {e}"))?;
+    let events = parse_jsonl(&text).map_err(|e| e.to_string())?;
+    match args.action.as_deref().unwrap_or("analyze") {
+        "analyze" => trace_analyze(&events),
+        "export" => trace_export(args, &events),
+        "slo" => trace_slo(args, &events),
+        other => Err(format!(
+            "unknown trace action {other:?} (try analyze, export, slo)\n\n{USAGE}"
+        )),
+    }
+}
+
+fn trace_analyze(events: &[TraceEvent]) -> Result<(), String> {
+    let tree = TraceTree::build(events);
+    let roots = tree.request_roots();
+    println!("{} records, {} request trees", events.len(), roots.len());
+    println!("\n{}", LatencyAttribution::from_events(events).render());
+    let slowest = roots.iter().copied().max_by(|&a, &b| {
+        let da = tree.event(a).t1 - tree.event(a).t0;
+        let db = tree.event(b).t1 - tree.event(b).t0;
+        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if let Some(root) = slowest {
+        println!("slowest request:");
+        print!("{}", tree.waterfall(root));
+        let path: Vec<&str> = tree
+            .critical_path(root)
+            .into_iter()
+            .map(|i| tree.event(i).name.as_str())
+            .collect();
+        println!("critical path: {}", path.join(" -> "));
+    }
+    Ok(())
+}
+
+fn trace_export(args: &ParsedArgs, events: &[TraceEvent]) -> Result<(), String> {
+    let format = args.raw("format").unwrap_or("chrome");
+    if format != "chrome" {
+        return Err(format!("--format must be chrome, got {format:?}"));
+    }
+    let json = chrome_trace_json(events, &ChromeTraceOptions::default());
+    match args.raw("output") {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| format!("cannot write chrome trace {path:?}: {e}"))?;
+            println!(
+                "chrome trace written to {path} ({} events; load it at https://ui.perfetto.dev)",
+                events.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn trace_slo(args: &ParsedArgs, events: &[TraceEvent]) -> Result<(), String> {
+    let d = SloSpec::default();
+    let spec = SloSpec {
+        window_secs: args
+            .get_or("window", d.window_secs)
+            .map_err(|e| e.to_string())?,
+        step_secs: args
+            .get_or("step", d.step_secs)
+            .map_err(|e| e.to_string())?,
+        latency_quantile: args
+            .get_or("quantile", d.latency_quantile)
+            .map_err(|e| e.to_string())?,
+        latency_objective_secs: args
+            .get_or("latency-slo", d.latency_objective_secs)
+            .map_err(|e| e.to_string())?,
+        availability_objective: args
+            .get_or("availability", d.availability_objective)
+            .map_err(|e| e.to_string())?,
+    };
+    if !(spec.window_secs > 0.0) {
+        return Err("--window must be positive".into());
+    }
+    if !(spec.latency_quantile > 0.0 && spec.latency_quantile < 1.0) {
+        return Err("--quantile must be in (0, 1)".into());
+    }
+    if !(spec.availability_objective > 0.0 && spec.availability_objective <= 1.0) {
+        return Err("--availability must be in (0, 1]".into());
+    }
+    print!("{}", spec.evaluate(events).render());
     Ok(())
 }
 

@@ -13,6 +13,7 @@
 //! | E6 | §II-A Fakers vs Deep Dive | [`deep_dive`] |
 //! | E7 | post-burst reporting timeline (extension) | [`burst`] |
 //! | E8 | service under offered load (extension) | [`service_load`] |
+//! | E9 | latency attribution under load (extension) | [`latency_attribution`] |
 //! | A1 | ablation: prefix vs uniform sampling | [`ablation`] |
 //! | A2 | ablation: cache policy (latency vs staleness) | [`cache_ablation`] |
 //!
@@ -29,6 +30,7 @@ pub mod crawl;
 pub mod deep_dive;
 pub mod disagreement;
 pub mod fc_training;
+pub mod latency_attribution;
 pub mod ordering;
 pub mod service_load;
 pub mod table1;

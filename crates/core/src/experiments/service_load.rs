@@ -86,8 +86,9 @@ pub struct ServiceLoadResult {
     pub targets: usize,
 }
 
-/// Builds the popularity-ranked target set on one platform.
-fn build_targets(scale: Scale, seed: u64, count: usize) -> (Platform, Vec<BuiltTarget>) {
+/// Builds the popularity-ranked target set on one platform. Shared with
+/// E9, which attributes latency over the same prewarmed world.
+pub(super) fn build_targets(scale: Scale, seed: u64, count: usize) -> (Platform, Vec<BuiltTarget>) {
     let followers = (scale.materialize_cap / 10).max(400);
     let mut platform = Platform::new();
     let targets = (0..count)
@@ -106,7 +107,7 @@ fn build_targets(scale: Scale, seed: u64, count: usize) -> (Platform, Vec<BuiltT
 
 /// The four services, quota-free (the sweep measures queueing, not
 /// Socialbakers' ten-a-day limit) and prewarmed for every target.
-fn build_services(
+pub(super) fn build_services(
     scale: Scale,
     seed: u64,
     platform: &Platform,
@@ -150,11 +151,11 @@ fn build_services(
 
 /// The prewarmed base service set, cloned once per sweep cell.
 #[derive(Clone)]
-struct Services {
-    fc: OnlineService<FakeProjectEngine>,
-    ta: OnlineService<Twitteraudit>,
-    sp: OnlineService<StatusPeople>,
-    sb: OnlineService<Socialbakers>,
+pub(super) struct Services {
+    pub(super) fc: OnlineService<FakeProjectEngine>,
+    pub(super) ta: OnlineService<Twitteraudit>,
+    pub(super) sp: OnlineService<StatusPeople>,
+    pub(super) sb: OnlineService<Socialbakers>,
 }
 
 /// Runs one sweep cell: fresh clones, one deterministic event loop.

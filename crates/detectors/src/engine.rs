@@ -135,6 +135,13 @@ impl<A: FollowerAuditor + ?Sized> FollowerAuditor for &A {
 /// `detector.audit{tool}` span over the audit's API schedule plus
 /// `detector.classified{tool,verdict}` counters for every verdict issued.
 ///
+/// When the session was opened with
+/// [`ApiSession::with_context`](fakeaudit_twitter_api::ApiSession::with_context),
+/// the session's context *is* the `detector.audit` span: this wrapper
+/// records it at close (so the `api.call` spans the audit issued are its
+/// children), giving one causally linked subtree per audit. On a plain
+/// session the span stays flat, exactly as before.
+///
 /// The [`OnlineService`](https://docs.rs/fakeaudit-analytics) wraps its
 /// engine in this automatically; use it directly when driving an engine
 /// against a raw [`ApiSession`].
@@ -175,12 +182,22 @@ impl<A: FollowerAuditor> FollowerAuditor for Instrumented<A> {
         let t0 = session.trace_time();
         let outcome = self.inner.audit(session, target, seed)?;
         let tool = self.tool().abbrev();
-        self.telemetry.span(
-            "detector.audit",
-            t0,
-            session.trace_time(),
-            &[("tool", tool)],
-        );
+        let ctx = session.trace_context();
+        if ctx.span_id().is_some() {
+            ctx.record(
+                "detector.audit",
+                t0,
+                session.trace_time(),
+                &[("tool", tool)],
+            );
+        } else {
+            self.telemetry.span(
+                "detector.audit",
+                t0,
+                session.trace_time(),
+                &[("tool", tool)],
+            );
+        }
         for (verdict, count) in [
             (Verdict::Inactive, outcome.counts.inactive),
             (Verdict::Fake, outcome.counts.fake),
@@ -336,6 +353,27 @@ mod tests {
         assert!(spans[0].duration_secs() > 0.0);
         assert_eq!(auditor.inner().tool(), ToolId::StatusPeople);
         assert_eq!(auditor.into_inner().tool(), ToolId::StatusPeople);
+    }
+
+    #[test]
+    fn context_sessions_nest_audit_over_api_calls() {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("ctx", 1_000, ClassMix::new(0.3, 0.2, 0.5).unwrap())
+            .build(&mut platform, 35)
+            .unwrap();
+        let tel = Telemetry::enabled();
+        let audit_ctx = tel.root_context().child();
+        let mut s = ApiSession::with_context(&platform, ApiConfig::default(), audit_ctx.clone());
+        let auditor = Instrumented::new(crate::statuspeople::StatusPeople::new(), tel.clone());
+        auditor.audit(&mut s, t.target, 5).unwrap();
+        let events = tel.events();
+        let audit = events.iter().find(|e| e.name == "detector.audit").unwrap();
+        assert_eq!(audit.id, audit_ctx.span_id());
+        let calls: Vec<_> = events.iter().filter(|e| e.name == "api.call").collect();
+        assert!(!calls.is_empty());
+        assert!(calls.iter().all(|c| c.parent == audit.id));
+        // Children close before the parent but nest within its interval.
+        assert!(calls.iter().all(|c| c.t0 >= audit.t0 && c.t1 <= audit.t1));
     }
 
     #[test]

@@ -23,8 +23,10 @@ use crate::queue::{Admission, AdmissionQueue, OverloadPolicy};
 use crate::workload::Request;
 use fakeaudit_analytics::{OnlineService, ServiceError, ServiceResponse};
 use fakeaudit_detectors::{FollowerAuditor, ToolId};
-use fakeaudit_telemetry::Telemetry;
+use fakeaudit_telemetry::analyze::names;
+use fakeaudit_telemetry::{Telemetry, TraceContext};
 use fakeaudit_twittersim::{AccountId, Platform};
+use std::sync::OnceLock;
 
 /// Anything that can serve one audit request for a fixed tool.
 ///
@@ -44,6 +46,24 @@ pub trait AuditBackend {
         platform: &Platform,
         target: AccountId,
     ) -> Result<ServiceResponse, ServiceError>;
+    /// [`AuditBackend::serve`] with a causal position: backends that
+    /// trace (an `OnlineService`) attach their `service.request` subtree
+    /// under `ctx` — the simulator passes its open `server.service` span
+    /// here. The default implementation ignores the context, so scripted
+    /// test backends need not care.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditBackend::serve`].
+    fn serve_traced(
+        &mut self,
+        platform: &Platform,
+        target: AccountId,
+        ctx: &TraceContext,
+    ) -> Result<ServiceResponse, ServiceError> {
+        let _ = ctx;
+        self.serve(platform, target)
+    }
     /// The degrade-to-stale answer, if any report for `target` exists.
     fn serve_stale(&self, target: AccountId) -> Option<ServiceResponse>;
 }
@@ -59,6 +79,15 @@ impl<A: FollowerAuditor> AuditBackend for OnlineService<A> {
         target: AccountId,
     ) -> Result<ServiceResponse, ServiceError> {
         self.request(platform, target)
+    }
+
+    fn serve_traced(
+        &mut self,
+        platform: &Platform,
+        target: AccountId,
+        ctx: &TraceContext,
+    ) -> Result<ServiceResponse, ServiceError> {
+        self.request_in(platform, target, ctx)
     }
 
     fn serve_stale(&self, target: AccountId) -> Option<ServiceResponse> {
@@ -156,6 +185,14 @@ impl RequestRecord {
     pub fn latency(&self) -> Option<f64> {
         self.finished.map(|f| f - self.arrived)
     }
+
+    /// Whether the client got an answer (completed or degraded).
+    pub fn answered(&self) -> bool {
+        matches!(
+            self.outcome,
+            RequestOutcome::Completed { .. } | RequestOutcome::Degraded
+        )
+    }
 }
 
 /// Per-tool aggregate counters.
@@ -195,6 +232,10 @@ pub struct ServerReport {
     pub config: ServerConfig,
     /// Time of the last completion (or last arrival if nothing completed).
     pub makespan: f64,
+    /// Ascending end-to-end latencies, sorted once on first use.
+    sorted_latencies: OnceLock<Vec<f64>>,
+    /// Ascending queue waits, sorted once on first use.
+    sorted_queue_waits: OnceLock<Vec<f64>>,
 }
 
 impl ServerReport {
@@ -244,29 +285,44 @@ impl ServerReport {
         self.shed() as f64 / offered as f64
     }
 
+    /// Ascending end-to-end latencies, computed once and cached.
+    fn sorted_latencies(&self) -> &[f64] {
+        self.sorted_latencies.get_or_init(|| {
+            let mut v: Vec<f64> = self.records.iter().filter_map(|r| r.latency()).collect();
+            v.sort_by(f64::total_cmp);
+            v
+        })
+    }
+
+    /// Ascending queue waits of every started request, cached like
+    /// [`ServerReport::sorted_latencies`].
+    fn sorted_queue_waits(&self) -> &[f64] {
+        self.sorted_queue_waits.get_or_init(|| {
+            let mut v: Vec<f64> = self
+                .records
+                .iter()
+                .filter(|r| r.started.is_some())
+                .map(|r| r.queue_wait())
+                .collect();
+            v.sort_by(f64::total_cmp);
+            v
+        })
+    }
+
     /// Sorted end-to-end latencies of every answered request.
     pub fn latencies(&self) -> Vec<f64> {
-        let mut v: Vec<f64> = self.records.iter().filter_map(|r| r.latency()).collect();
-        v.sort_by(f64::total_cmp);
-        v
+        self.sorted_latencies().to_vec()
     }
 
     /// Exact nearest-rank percentile of answered-request latency
     /// (`q` in `[0, 1]`); 0.0 when nothing was answered.
     pub fn latency_percentile(&self, q: f64) -> f64 {
-        percentile(&self.latencies(), q)
+        percentile(self.sorted_latencies(), q)
     }
 
     /// Exact nearest-rank percentile of queue wait over answered requests.
     pub fn queue_wait_percentile(&self, q: f64) -> f64 {
-        let mut v: Vec<f64> = self
-            .records
-            .iter()
-            .filter(|r| r.started.is_some())
-            .map(|r| r.queue_wait())
-            .collect();
-        v.sort_by(f64::total_cmp);
-        percentile(&v, q)
+        percentile(self.sorted_queue_waits(), q)
     }
 
     /// Mean worker utilisation across tools in `[0, 1]`.
@@ -279,39 +335,76 @@ impl ServerReport {
         (busy / span).min(1.0)
     }
 
-    /// Mirrors the run into `telemetry`: `server.request` spans per
-    /// answered request, `server.queue_wait_secs` / `server.service_secs`
-    /// / `server.latency_secs` histograms, and per-tool outcome counters.
+    /// Mirrors a finished run into `telemetry` after the fact: a flat
+    /// `server.request` span per *answered* request, a `server.shed` /
+    /// `server.failed` point per refused or errored one (so every offered
+    /// request appears in the trace exactly once), the
+    /// `server.queue_wait_secs` / `server.service_secs` /
+    /// `server.latency_secs` histograms, and per-tool outcome counters.
+    ///
+    /// Spans recorded here carry no identity — for causal trees built
+    /// live along the request path, construct the simulator with
+    /// [`ServerSim::with_telemetry`] instead.
     pub fn record_into(&self, telemetry: &Telemetry) {
         if !telemetry.is_enabled() {
             return;
         }
         for r in &self.records {
             let tool = r.tool.abbrev();
+            let target = r.target.to_string();
             let labels = [("tool", tool), ("outcome", r.outcome.label())];
-            if let (Some(start), Some(end)) = (r.started, r.finished) {
-                telemetry.span("server.request", start, end, &labels);
-                let tool_only = [("tool", tool)];
-                telemetry.observe("server.queue_wait_secs", &tool_only, r.queue_wait());
-                telemetry.observe("server.service_secs", &tool_only, r.service_secs());
-                if let Some(latency) = r.latency() {
-                    telemetry.observe("server.latency_secs", &tool_only, latency);
+            match r.outcome {
+                RequestOutcome::Completed { .. } | RequestOutcome::Degraded => {
+                    if let (Some(start), Some(end)) = (r.started, r.finished) {
+                        telemetry.span(names::SERVER_REQUEST, start, end, &labels);
+                        observe_request(telemetry, tool, r);
+                    }
+                }
+                RequestOutcome::Shed => {
+                    telemetry.event(
+                        names::SERVER_SHED,
+                        r.arrived,
+                        &[("tool", tool), ("target", &target)],
+                    );
+                }
+                RequestOutcome::Failed => {
+                    telemetry.event(
+                        names::SERVER_FAILED,
+                        r.finished.unwrap_or(r.arrived),
+                        &[("tool", tool), ("target", &target)],
+                    );
                 }
             }
             telemetry.counter_add("server.requests", &labels, 1);
         }
-        for t in &self.per_tool {
-            let Some(tool) = t.tool else { continue };
-            let labels = [("tool", tool.abbrev())];
-            telemetry.counter_add("server.offered", &labels, t.offered);
-            telemetry.counter_add("server.completed", &labels, t.completed);
-            telemetry.counter_add("server.degraded", &labels, t.degraded);
-            telemetry.counter_add("server.shed", &labels, t.shed);
-            telemetry.counter_add("server.failed", &labels, t.failed);
-            telemetry.gauge_set("server.max_queue_depth", &labels, t.max_queue_depth as f64);
-            telemetry.gauge_set("server.max_blocked", &labels, t.max_blocked as f64);
-            telemetry.gauge_set("server.busy_secs", &labels, t.busy_secs);
-        }
+        record_tool_totals(telemetry, &self.per_tool);
+    }
+}
+
+/// Per-request latency histograms shared by the live and post-hoc paths.
+fn observe_request(telemetry: &Telemetry, tool: &str, r: &RequestRecord) {
+    let tool_only = [("tool", tool)];
+    telemetry.observe("server.queue_wait_secs", &tool_only, r.queue_wait());
+    telemetry.observe("server.service_secs", &tool_only, r.service_secs());
+    if let Some(latency) = r.latency() {
+        telemetry.observe("server.latency_secs", &tool_only, latency);
+    }
+}
+
+/// Per-tool end-of-run counters and gauges, shared by the live and
+/// post-hoc paths.
+fn record_tool_totals(telemetry: &Telemetry, per_tool: &[ToolSummary]) {
+    for t in per_tool {
+        let Some(tool) = t.tool else { continue };
+        let labels = [("tool", tool.abbrev())];
+        telemetry.counter_add("server.offered", &labels, t.offered);
+        telemetry.counter_add("server.completed", &labels, t.completed);
+        telemetry.counter_add("server.degraded", &labels, t.degraded);
+        telemetry.counter_add("server.shed", &labels, t.shed);
+        telemetry.counter_add("server.failed", &labels, t.failed);
+        telemetry.gauge_set("server.max_queue_depth", &labels, t.max_queue_depth as f64);
+        telemetry.gauge_set("server.max_blocked", &labels, t.max_blocked as f64);
+        telemetry.gauge_set("server.busy_secs", &labels, t.busy_secs);
     }
 }
 
@@ -350,17 +443,38 @@ pub struct ServerSim<'p> {
     servers: Vec<ToolServer>,
     records: Vec<RequestRecord>,
     makespan: f64,
+    telemetry: Telemetry,
+    root: TraceContext,
 }
 
 impl<'p> ServerSim<'p> {
     /// A simulator over `platform` with the given pool configuration.
     pub fn new(platform: &'p Platform, config: ServerConfig) -> Self {
+        Self::with_telemetry(platform, config, Telemetry::disabled())
+    }
+
+    /// A simulator that traces causally as it runs: every answered
+    /// request becomes a `server.request` span with `server.queue_wait`
+    /// and `server.service` children, the backend's own subtree (API
+    /// crawl, cache lookup, detector pass) hangs under `server.service`,
+    /// and refused or errored requests become `server.shed` /
+    /// `server.failed` points. Metrics match what
+    /// [`ServerReport::record_into`] would have produced; do not call
+    /// both, or everything doubles.
+    pub fn with_telemetry(
+        platform: &'p Platform,
+        config: ServerConfig,
+        telemetry: Telemetry,
+    ) -> Self {
+        let root = telemetry.root_context();
         Self {
             platform,
             config,
             servers: Vec::new(),
             records: Vec::new(),
             makespan: 0.0,
+            telemetry,
+            root,
         }
     }
 
@@ -402,7 +516,7 @@ impl<'p> ServerSim<'p> {
                 }
             }
         }
-        ServerReport {
+        let report = ServerReport {
             records: self.records,
             per_tool: self
                 .servers
@@ -415,11 +529,26 @@ impl<'p> ServerSim<'p> {
                 .collect(),
             config: self.config,
             makespan: self.makespan,
+            sorted_latencies: OnceLock::new(),
+            sorted_queue_waits: OnceLock::new(),
+        };
+        if self.telemetry.is_enabled() {
+            for r in &report.records {
+                let tool = r.tool.abbrev();
+                if r.answered() {
+                    observe_request(&self.telemetry, tool, r);
+                }
+                let labels = [("tool", tool), ("outcome", r.outcome.label())];
+                self.telemetry.counter_add("server.requests", &labels, 1);
+            }
+            record_tool_totals(&self.telemetry, &report.per_tool);
         }
+        report
     }
 
     fn on_arrival(&mut self, now: f64, req: Request, heap: &mut EventHeap<Event>) {
         let Some(idx) = self.server_for(req.tool) else {
+            self.trace_refusal(names::SERVER_SHED, now, &req);
             self.records.push(RequestRecord {
                 id: req.id,
                 tool: req.tool,
@@ -443,6 +572,15 @@ impl<'p> ServerSim<'p> {
         }
     }
 
+    /// Records a `server.shed` / `server.failed` point at the trace root.
+    fn trace_refusal(&self, name: &str, t: f64, req: &Request) {
+        if self.root.is_enabled() {
+            let target = req.target.to_string();
+            self.root
+                .point(name, t, &[("tool", req.tool.abbrev()), ("target", &target)]);
+        }
+    }
+
     /// Full queue, non-parking policy: degrade if possible, shed otherwise.
     fn overloaded(&mut self, now: f64, idx: usize, req: Request) {
         let server = &mut self.servers[idx];
@@ -451,6 +589,23 @@ impl<'p> ServerSim<'p> {
                 let finished = now + self.config.degraded_secs;
                 self.makespan = self.makespan.max(finished);
                 server.summary.degraded += 1;
+                if self.root.is_enabled() {
+                    let tool = req.tool.abbrev();
+                    let target = req.target.to_string();
+                    let req_ctx = self.root.child();
+                    req_ctx.span(
+                        names::SERVER_SERVICE,
+                        now,
+                        finished,
+                        &[("tool", tool), ("source", "stale")],
+                    );
+                    req_ctx.record(
+                        names::SERVER_REQUEST,
+                        req.at,
+                        finished,
+                        &[("tool", tool), ("target", &target), ("outcome", "degraded")],
+                    );
+                }
                 self.records.push(RequestRecord {
                     id: req.id,
                     tool: req.tool,
@@ -464,6 +619,7 @@ impl<'p> ServerSim<'p> {
             }
         }
         server.summary.shed += 1;
+        self.trace_refusal(names::SERVER_SHED, now, &req);
         self.records.push(RequestRecord {
             id: req.id,
             tool: req.tool,
@@ -477,9 +633,27 @@ impl<'p> ServerSim<'p> {
 
     /// Occupies one worker with `req`. Failures are instantaneous, so the
     /// worker stays idle and the caller's drain loop keeps pulling.
+    ///
+    /// When tracing, the span tree for a worker-served request is built
+    /// here: `req_ctx` becomes the `server.request` span, `svc_ctx` the
+    /// `server.service` span the backend nests its own subtree under.
+    /// Both are recorded only once the outcome is known, so a failed
+    /// request leaves a `server.failed` point and no half-open spans.
     fn start_service(&mut self, now: f64, idx: usize, req: Request, heap: &mut EventHeap<Event>) {
+        let req_ctx = self.root.child();
+        let svc_ctx = req_ctx.child();
+        // Backends stamp their spans on the platform's epoch clock while
+        // the server runs from 0, so the context handed down is rebased
+        // onto the server clock: the backend subtree then nests exactly
+        // inside the `server.service` interval recorded below.
+        let backend_ctx = svc_ctx
+            .clone()
+            .rebased(now - self.platform.now().as_secs() as f64);
         let server = &mut self.servers[idx];
-        match server.backend.serve(self.platform, req.target) {
+        match server
+            .backend
+            .serve_traced(self.platform, req.target, &backend_ctx)
+        {
             Ok(resp) => {
                 server.idle_workers -= 1;
                 let finished = now + resp.response_secs;
@@ -487,6 +661,32 @@ impl<'p> ServerSim<'p> {
                 server.summary.busy_secs += resp.response_secs;
                 if resp.served_from_cache {
                     server.summary.cache_hits += 1;
+                }
+                if req_ctx.is_enabled() {
+                    let tool = req.tool.abbrev();
+                    let target = req.target.to_string();
+                    req_ctx.span(names::SERVER_QUEUE_WAIT, req.at, now, &[("tool", tool)]);
+                    let source = if resp.served_from_cache {
+                        "cache"
+                    } else {
+                        "fresh"
+                    };
+                    svc_ctx.record(
+                        names::SERVER_SERVICE,
+                        now,
+                        finished,
+                        &[("tool", tool), ("source", source)],
+                    );
+                    req_ctx.record(
+                        names::SERVER_REQUEST,
+                        req.at,
+                        finished,
+                        &[
+                            ("tool", tool),
+                            ("target", &target),
+                            ("outcome", "completed"),
+                        ],
+                    );
                 }
                 self.records.push(RequestRecord {
                     id: req.id,
@@ -503,6 +703,7 @@ impl<'p> ServerSim<'p> {
             }
             Err(_) => {
                 server.summary.failed += 1;
+                self.trace_refusal(names::SERVER_FAILED, now, &req);
                 self.records.push(RequestRecord {
                     id: req.id,
                     tool: req.tool,
@@ -531,6 +732,7 @@ impl<'p> ServerSim<'p> {
 mod tests {
     use super::*;
     use fakeaudit_detectors::{AuditOutcome, VerdictCounts};
+    use fakeaudit_telemetry::TraceEvent;
     use fakeaudit_twittersim::SimTime;
 
     /// A backend with a scripted constant service time — no audits, no
@@ -803,5 +1005,240 @@ mod tests {
         assert_eq!(report.latency_percentile(1.0), 50.0);
         assert_eq!(report.latency_percentile(0.0), 10.0);
         assert_eq!(report.queue_wait_percentile(1.0), 40.0);
+    }
+
+    /// A backend whose every serve errors — exercises the failed path.
+    struct FailingBackend;
+
+    impl AuditBackend for FailingBackend {
+        fn tool(&self) -> ToolId {
+            ToolId::FakeClassifier
+        }
+
+        fn serve(
+            &mut self,
+            _platform: &Platform,
+            _target: AccountId,
+        ) -> Result<ServiceResponse, ServiceError> {
+            Err(ServiceError::Quota(
+                fakeaudit_analytics::quota::QuotaExceeded { limit: 0, day: 0 },
+            ))
+        }
+
+        fn serve_stale(&self, _target: AccountId) -> Option<ServiceResponse> {
+            None
+        }
+    }
+
+    #[test]
+    fn live_tracing_builds_causal_request_trees() {
+        let platform = Platform::new();
+        let tel = Telemetry::enabled();
+        let config = ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 8,
+            policy: OverloadPolicy::Block,
+            ..ServerConfig::default()
+        };
+        let mut s = ServerSim::with_telemetry(&platform, config, tel.clone());
+        s.register(Box::new(FakeBackend::new(ToolId::FakeClassifier, 10.0)));
+        let report = s.run(&[
+            request(0, 0.0, ToolId::FakeClassifier),
+            request(1, 0.0, ToolId::FakeClassifier),
+        ]);
+        assert_eq!(report.completed(), 2);
+
+        let events = tel.events();
+        let tree = fakeaudit_telemetry::TraceTree::build(&events);
+        let roots = tree.request_roots();
+        assert_eq!(roots.len(), 2, "one tree per answered request");
+        let mut waits = Vec::new();
+        for &root in &roots {
+            let ev = tree.event(root);
+            assert_eq!(ev.name, names::SERVER_REQUEST);
+            assert!(ev.id.is_some() && ev.parent.is_none());
+            assert_eq!(ev.attr("outcome"), Some("completed"));
+            let kids: Vec<&str> = tree
+                .children_of(ev.id.unwrap())
+                .iter()
+                .map(|&i| tree.event(i).name.as_str())
+                .collect();
+            assert_eq!(kids, vec![names::SERVER_QUEUE_WAIT, names::SERVER_SERVICE]);
+            let wait = tree
+                .children_of(ev.id.unwrap())
+                .iter()
+                .map(|&i| tree.event(i))
+                .find(|e| e.name == names::SERVER_QUEUE_WAIT)
+                .unwrap();
+            waits.push(wait.duration_secs());
+        }
+        waits.sort_by(f64::total_cmp);
+        assert_eq!(waits, vec![0.0, 10.0], "second request queued 10 s");
+        // Live metrics mirror the post-hoc record_into path.
+        let snap = tel.snapshot();
+        let labels = [("tool", ToolId::FakeClassifier.abbrev())];
+        assert_eq!(snap.counter("server.completed", &labels), Some(2));
+        let hist = snap.histogram("server.latency_secs", &labels).unwrap();
+        assert_eq!(hist.count, 2);
+    }
+
+    #[test]
+    fn live_tracing_points_refusals() {
+        let platform = Platform::new();
+        let tel = Telemetry::enabled();
+        let config = ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 1,
+            policy: OverloadPolicy::Shed,
+            ..ServerConfig::default()
+        };
+        let mut s = ServerSim::with_telemetry(&platform, config, tel.clone());
+        s.register(Box::new(FakeBackend::new(ToolId::FakeClassifier, 10.0)));
+        let trace: Vec<Request> = (0..3)
+            .map(|i| request(i, 0.0, ToolId::FakeClassifier))
+            .collect();
+        let report = s.run(&trace);
+        assert_eq!(report.shed(), 1);
+
+        let events = tel.events();
+        let sheds: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == names::SERVER_SHED)
+            .collect();
+        assert_eq!(sheds.len(), 1);
+        assert_eq!(sheds[0].attr("tool"), Some(ToolId::FakeClassifier.abbrev()));
+        assert!(sheds[0].attr("target").is_some());
+        // Every offered request is trace-accounted: a span if answered,
+        // a point otherwise.
+        let spans = events
+            .iter()
+            .filter(|e| e.name == names::SERVER_REQUEST)
+            .count();
+        assert_eq!(spans as u64 + sheds.len() as u64, report.offered());
+    }
+
+    #[test]
+    fn live_tracing_marks_failures_as_points() {
+        let platform = Platform::new();
+        let tel = Telemetry::enabled();
+        let mut s = ServerSim::with_telemetry(&platform, ServerConfig::default(), tel.clone());
+        s.register(Box::new(FailingBackend));
+        let report = s.run(&[request(0, 1.0, ToolId::FakeClassifier)]);
+        assert_eq!(report.failed(), 1);
+
+        let events = tel.events();
+        assert!(!events.iter().any(|e| e.name == names::SERVER_REQUEST));
+        let failed: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == names::SERVER_FAILED)
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].t0, 1.0);
+        assert!(failed[0].attr("target").is_some());
+        // Failed requests stay out of the latency histograms.
+        let labels = [("tool", ToolId::FakeClassifier.abbrev())];
+        assert!(tel
+            .snapshot()
+            .histogram("server.latency_secs", &labels)
+            .is_none());
+    }
+
+    #[test]
+    fn degraded_requests_trace_stale_service() {
+        let platform = Platform::new();
+        let tel = Telemetry::enabled();
+        let config = ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 1,
+            policy: OverloadPolicy::DegradeStale,
+            degraded_secs: 0.5,
+            ..ServerConfig::default()
+        };
+        let mut s = ServerSim::with_telemetry(&platform, config, tel.clone());
+        s.register(Box::new(FakeBackend::new(ToolId::FakeClassifier, 10.0)));
+        let trace = vec![
+            request(0, 0.0, ToolId::FakeClassifier),
+            request(1, 0.0, ToolId::FakeClassifier),
+            Request {
+                id: 2,
+                at: 1.0,
+                tool: ToolId::FakeClassifier,
+                target: AccountId(0),
+            },
+        ];
+        let report = s.run(&trace);
+        assert_eq!(report.degraded(), 1);
+
+        let events = tel.events();
+        let tree = fakeaudit_telemetry::TraceTree::build(&events);
+        let degraded = tree
+            .request_roots()
+            .into_iter()
+            .map(|i| tree.event(i))
+            .find(|e| e.attr("outcome") == Some("degraded"))
+            .unwrap();
+        let kids: Vec<&TraceEvent> = tree
+            .children_of(degraded.id.unwrap())
+            .iter()
+            .map(|&i| tree.event(i))
+            .collect();
+        assert_eq!(kids.len(), 1, "stale answers skip the queue-wait span");
+        assert_eq!(kids[0].name, names::SERVER_SERVICE);
+        assert_eq!(kids[0].attr("source"), Some("stale"));
+        assert_eq!(kids[0].duration_secs(), 0.5);
+    }
+
+    #[test]
+    fn record_into_skips_spans_for_unanswered_requests() {
+        let platform = Platform::new();
+        let mut s = ServerSim::new(&platform, ServerConfig::default());
+        s.register(Box::new(FailingBackend));
+        let report = s.run(&[request(0, 0.0, ToolId::FakeClassifier)]);
+        assert_eq!(report.failed(), 1);
+
+        let tel = Telemetry::enabled();
+        report.record_into(&tel);
+        let events = tel.events();
+        assert!(!events.iter().any(|e| e.name == names::SERVER_REQUEST));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == names::SERVER_FAILED)
+                .count(),
+            1
+        );
+        let labels = [("tool", ToolId::FakeClassifier.abbrev())];
+        assert!(tel
+            .snapshot()
+            .histogram("server.latency_secs", &labels)
+            .is_none());
+    }
+
+    #[test]
+    fn queue_wait_percentile_is_cached_and_matches_histogram() {
+        let platform = Platform::new();
+        let config = ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 8,
+            policy: OverloadPolicy::Block,
+            ..ServerConfig::default()
+        };
+        let trace: Vec<Request> = (0..5)
+            .map(|i| request(i, 0.0, ToolId::FakeClassifier))
+            .collect();
+        let report = sim(&platform, config).run(&trace);
+        // Queue waits 0, 10, 20, 30, 40. Repeated calls hit the cached
+        // sorted vector and stay self-consistent.
+        assert_eq!(report.queue_wait_percentile(0.5), 20.0);
+        assert_eq!(report.queue_wait_percentile(0.5), 20.0);
+        // The exact path and the histogram path agree at the clamped
+        // extremes, where bucketing cannot move the estimate.
+        let tel = Telemetry::enabled();
+        report.record_into(&tel);
+        let snap = tel.snapshot();
+        let labels = [("tool", ToolId::FakeClassifier.abbrev())];
+        let hist = snap.histogram("server.queue_wait_secs", &labels).unwrap();
+        assert_eq!(report.queue_wait_percentile(1.0), hist.quantile(1.0));
+        assert_eq!(report.queue_wait_percentile(0.0), hist.quantile(0.0));
     }
 }

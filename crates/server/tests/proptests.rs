@@ -1,7 +1,9 @@
 //! Property tests for admission control and the event loop: the
 //! invariants ISSUE 3 pins down — bounded queues stay bounded, per-tool
 //! service order is FIFO, and no request is ever lost or double-counted,
-//! whatever the policy.
+//! whatever the policy — plus the live-tracing invariants of ISSUE 4:
+//! every offered request is trace-accounted exactly once, and request
+//! trees are well-formed (parents exist, child intervals nest).
 
 use fakeaudit_analytics::{ServiceError, ServiceResponse};
 use fakeaudit_detectors::{AuditOutcome, ToolId, VerdictCounts};
@@ -9,6 +11,8 @@ use fakeaudit_server::{
     Admission, AdmissionQueue, AuditBackend, OverloadPolicy, Request, RequestOutcome, ServerConfig,
     ServerSim,
 };
+use fakeaudit_telemetry::analyze::names;
+use fakeaudit_telemetry::{Telemetry, TraceEvent, TraceTree};
 use fakeaudit_twittersim::{AccountId, Platform, SimTime};
 use proptest::prelude::*;
 
@@ -96,8 +100,21 @@ fn run_trace(
     capacity: usize,
     service_secs: f64,
 ) -> fakeaudit_server::ServerReport {
+    run_traced(trace, policy, workers, capacity, service_secs).0
+}
+
+/// Like [`run_trace`] but with live tracing enabled, returning the trace
+/// alongside the report.
+fn run_traced(
+    trace: &[Request],
+    policy: OverloadPolicy,
+    workers: usize,
+    capacity: usize,
+    service_secs: f64,
+) -> (fakeaudit_server::ServerReport, Vec<TraceEvent>) {
     let platform = Platform::new();
-    let mut sim = ServerSim::new(
+    let telemetry = Telemetry::enabled();
+    let mut sim = ServerSim::with_telemetry(
         &platform,
         ServerConfig {
             workers_per_tool: workers,
@@ -105,6 +122,7 @@ fn run_trace(
             policy,
             degraded_secs: 0.25,
         },
+        telemetry.clone(),
     );
     for tool in ToolId::ALL {
         sim.register(Box::new(ScriptedBackend {
@@ -113,7 +131,8 @@ fn run_trace(
             known: Vec::new(),
         }));
     }
-    sim.run(trace)
+    let report = sim.run(trace);
+    (report, telemetry.events())
 }
 
 proptest! {
@@ -234,6 +253,70 @@ proptest! {
             }
             OverloadPolicy::Shed => prop_assert_eq!(report.degraded(), 0),
             OverloadPolicy::DegradeStale => {}
+        }
+    }
+
+    /// Live tracing accounts for every offered request exactly once:
+    /// answered requests become `server.request` spans, refusals become
+    /// `server.shed` / `server.failed` points.
+    #[test]
+    fn offered_requests_match_trace_accounting(
+        trace in trace_strategy(),
+        policy in policy_strategy(),
+        workers in 1usize..3,
+        capacity in 1usize..5,
+        service_secs in 0.25f64..4.0,
+    ) {
+        let (report, events) = run_traced(&trace, policy, workers, capacity, service_secs);
+        let spans = events
+            .iter()
+            .filter(|e| e.name == names::SERVER_REQUEST)
+            .count() as u64;
+        let shed = events
+            .iter()
+            .filter(|e| e.name == names::SERVER_SHED)
+            .count() as u64;
+        let failed = events
+            .iter()
+            .filter(|e| e.name == names::SERVER_FAILED)
+            .count() as u64;
+        prop_assert_eq!(spans, report.completed() + report.degraded());
+        prop_assert_eq!(shed, report.shed());
+        prop_assert_eq!(failed, report.failed());
+        prop_assert_eq!(spans + shed + failed, report.offered());
+    }
+
+    /// Request trees are well formed: every recorded parent id resolves,
+    /// every tree root is a whole-request span, no point floats without
+    /// its parent, and child intervals nest within their parent's.
+    #[test]
+    fn trace_trees_are_well_formed(
+        trace in trace_strategy(),
+        policy in policy_strategy(),
+        workers in 1usize..3,
+        capacity in 1usize..5,
+        service_secs in 0.25f64..4.0,
+    ) {
+        let (_, events) = run_traced(&trace, policy, workers, capacity, service_secs);
+        let tree = TraceTree::build(&events);
+        for e in &events {
+            if let Some(p) = e.parent {
+                prop_assert!(tree.span(p).is_some(), "parent {:?} of {} missing", p, e.name);
+            }
+        }
+        prop_assert!(tree.floating().is_empty());
+        for &root in tree.roots() {
+            prop_assert_eq!(tree.event(root).name.as_str(), names::SERVER_REQUEST);
+            for i in tree.descendants(root) {
+                let e = tree.event(i);
+                let Some(pid) = e.parent else { continue };
+                let parent = tree.span(pid).expect("parent resolves");
+                prop_assert!(
+                    e.t0 >= parent.t0 - 1e-9 && e.t1 <= parent.t1 + 1e-9,
+                    "{} [{}, {}] escapes parent {} [{}, {}]",
+                    e.name, e.t0, e.t1, parent.name, parent.t0, parent.t1
+                );
+            }
         }
     }
 }

@@ -57,5 +57,6 @@ pub mod sampling;
 pub mod summary;
 
 pub use estimator::{ConfidenceInterval, ConfidenceLevel, ProportionEstimate};
+pub use rng::{derive_seed, rng_for, rng_for_indexed};
 pub use sample_size::required_sample_size;
 pub use sampling::{PrefixSampler, Sampler, UniformSampler};

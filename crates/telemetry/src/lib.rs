@@ -7,11 +7,16 @@
 //!
 //! * [`trace`] — spans and point events keyed to **simulated time** (f64
 //!   seconds, never the wall clock), so traces are deterministic and
-//!   byte-replayable;
+//!   byte-replayable; since ISSUE 4 spans carry a [`SpanId`] and parent
+//!   link, threaded through the request path as an explicit
+//!   [`TraceContext`] argument, so every request is a causal tree;
 //! * [`metrics`] — a thread-safe registry of counters, gauges and
 //!   histograms with labelled names (`api.calls{endpoint=followers_ids}`,
 //!   `cache.hit{tool=TA}`, `service.response_secs{tool,source}` …);
-//! * [`sink`] — the JSON-lines trace encoding;
+//! * [`sink`] — the JSON-lines trace encoding and its parser;
+//! * [`analyze`] — the trace-tree analysis layer: per-request waterfalls,
+//!   critical-path latency attribution, the Chrome trace-event exporter
+//!   and the sliding-window SLO evaluator;
 //! * [`report`] — the end-of-run summary table ([`RunReport`]).
 //!
 //! The entry point is [`Telemetry`], a cheaply cloneable handle that every
@@ -36,23 +41,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod metrics;
 pub mod report;
 pub mod sink;
 pub mod trace;
 
+pub use analyze::{
+    Breakdown, ChromeTraceOptions, LatencyAttribution, SloReport, SloSpec, SloWindow,
+    ToolAttribution, TraceTree,
+};
 pub use metrics::{HistogramSnapshot, MetricKey, MetricsRegistry, MetricsSnapshot};
 pub use report::RunReport;
-pub use trace::{EventKind, TraceEvent};
+pub use trace::{EventKind, SpanId, TraceContext, TraceEvent};
 
 use parking_lot::Mutex;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 #[derive(Debug, Default)]
 struct Inner {
     registry: MetricsRegistry,
     events: Mutex<Vec<TraceEvent>>,
+    /// Next span id minus one; ids start at 1 in allocation order.
+    span_ids: AtomicU64,
 }
 
 /// A shared telemetry handle: either disabled (every call is a no-op
@@ -78,6 +91,30 @@ impl Telemetry {
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The root [`TraceContext`] for this handle: no parent span; child
+    /// spans recorded through it become trace roots. Thread the returned
+    /// context (or a [`TraceContext::child`] of it) explicitly through the
+    /// request path — contexts are never stored in thread-locals.
+    pub fn root_context(&self) -> TraceContext {
+        TraceContext::root(self.clone())
+    }
+
+    /// Allocates the next span id (`None` when disabled). Ids start at 1
+    /// and follow allocation order, which is deterministic for the
+    /// single-threaded simulators.
+    pub(crate) fn alloc_span_id(&self) -> Option<SpanId> {
+        self.inner
+            .as_ref()
+            .map(|inner| SpanId(inner.span_ids.fetch_add(1, Ordering::Relaxed) + 1))
+    }
+
+    /// Appends a fully built record to the trace.
+    pub(crate) fn push_event(&self, event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.events.lock().push(event);
+        }
     }
 
     /// Records a closed span `[t0, t1]` in simulated seconds.

@@ -89,12 +89,19 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
-    /// interpolation inside the bucket holding the target rank — the
-    /// Prometheus `histogram_quantile` scheme, tightened with the exact
-    /// `min`/`max` the snapshot tracks: estimates are clamped to
-    /// `[min, max]`, and a rank landing in the overflow bucket reports
-    /// `max` rather than infinity. Returns 0 when empty.
+    /// Estimates the `q`-quantile by linear interpolation inside the
+    /// bucket holding the target rank — the Prometheus
+    /// `histogram_quantile` scheme, tightened with the exact `min`/`max`
+    /// the snapshot tracks. Clamping, in order:
+    ///
+    /// * `q` outside `[0, 1]` is clamped to `[0, 1]` (so `quantile(-1.0)`
+    ///   behaves like `quantile(0.0)` and `quantile(2.0)` like
+    ///   `quantile(1.0)`);
+    /// * estimates are clamped to `[min, max]`, so a single-sample
+    ///   histogram returns exactly that sample at every `q`;
+    /// * a rank landing in the overflow bucket reports `max` rather than
+    ///   infinity;
+    /// * an empty histogram returns `0.0` at every `q`.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -442,6 +449,36 @@ mod tests {
             buckets: vec![],
         };
         assert_eq!(h.quantile(0.5), 0.0);
+        // The clamps hold on the degenerate shape too.
+        assert_eq!(h.quantile(-3.0), 0.0);
+        assert_eq!(h.quantile(7.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_clamps_q_outside_unit_interval() {
+        let r = MetricsRegistry::new();
+        for v in [2.0, 4.0, 8.0] {
+            r.observe("lat", &[], v);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("lat", &[]).unwrap();
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NEG_INFINITY), h.quantile(0.0));
+        assert_eq!(h.quantile(f64::INFINITY), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample() {
+        let r = MetricsRegistry::new();
+        r.observe("lat", &[], 3.7);
+        let s = r.snapshot();
+        let h = s.histogram("lat", &[]).unwrap();
+        // min == max == 3.7, so the [min, max] clamp pins every quantile
+        // to the one observation regardless of bucket interpolation.
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 3.7, "q={q}");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! latency vs. site overhead), detector verdict tallies, and a full dump
 //! of every registered metric.
 
+use crate::analyze::LatencyAttribution;
 use crate::metrics::MetricsSnapshot;
 use crate::trace::EventKind;
 use crate::Telemetry;
@@ -22,16 +23,27 @@ pub struct RunReport {
     pub span_count: usize,
     /// Point events recorded in the trace.
     pub point_count: usize,
+    /// Per-tool percentile latency attribution, when the trace carries
+    /// causal request trees (empty otherwise).
+    pub attribution: LatencyAttribution,
 }
 
 impl RunReport {
     /// Captures a report from `telemetry` (empty when disabled).
     pub fn from_telemetry(telemetry: &Telemetry) -> Self {
         let events = telemetry.events();
+        // Only causal traces (spans with ids) yield request trees worth
+        // attributing; flat legacy traces keep the section out.
+        let attribution = if events.iter().any(|e| e.id.is_some()) {
+            LatencyAttribution::from_events(&events)
+        } else {
+            LatencyAttribution::default()
+        };
         Self {
             snapshot: telemetry.snapshot(),
             span_count: events.iter().filter(|e| e.kind == EventKind::Span).count(),
             point_count: events.iter().filter(|e| e.kind == EventKind::Point).count(),
+            attribution,
         }
     }
 
@@ -182,6 +194,11 @@ impl RunReport {
             }
         }
 
+        if !self.attribution.tools.is_empty() {
+            let _ = writeln!(out);
+            out.push_str(&self.attribution.render());
+        }
+
         let verdict_tools = s.label_values("detector.classified", "tool");
         if !verdict_tools.is_empty() {
             let _ = writeln!(out, "\ndetector verdicts");
@@ -318,6 +335,30 @@ mod tests {
         assert!(text.contains("lat p99"));
         assert!(text.contains("FC"));
         assert!(text.contains("p50 / p95 / p99"), "histogram dump header");
+    }
+
+    #[test]
+    fn report_includes_attribution_for_causal_traces() {
+        let tel = Telemetry::enabled();
+        let req = tel.root_context().child();
+        req.span("server.queue_wait", 0.0, 1.0, &[("tool", "TA")]);
+        req.record(
+            "server.request",
+            0.0,
+            4.0,
+            &[("tool", "TA"), ("outcome", "completed")],
+        );
+        let report = RunReport::from_telemetry(&tel);
+        assert_eq!(report.attribution.tools.len(), 1);
+        let text = report.render();
+        assert!(text.contains("latency attribution"), "{text}");
+        assert!(text.contains("queue%"));
+    }
+
+    #[test]
+    fn flat_traces_render_without_attribution_section() {
+        let text = RunReport::from_telemetry(&sample_telemetry()).render();
+        assert!(!text.contains("latency attribution"));
     }
 
     #[test]

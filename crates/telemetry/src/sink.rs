@@ -1,17 +1,25 @@
-//! Trace sinks: the JSON-lines encoding.
+//! Trace sinks: the JSON-lines encoding and its parser.
 //!
 //! Each record becomes one line with a fixed key order:
 //!
 //! ```json
-//! {"type":"span","name":"api.call","t0":0,"t1":1.25,"attrs":{"endpoint":"followers_ids"}}
+//! {"type":"span","name":"api.call","t0":0,"t1":1.25,"id":3,"parent":1,"attrs":{"endpoint":"followers_ids"}}
 //! ```
 //!
-//! The schema deliberately contains **only sim-time fields** (`t0`, `t1`);
-//! no wall-clock timestamp ever enters a record, so traces from identical
-//! seeds are byte-identical. Numbers are rendered with Rust's shortest
-//! round-trip `f64` formatting, which is itself deterministic.
+//! `id` and `parent` appear only when the record carries them (spans
+//! recorded through a [`TraceContext`](crate::TraceContext)); flat records
+//! keep the pre-causal shape. The schema deliberately contains **only
+//! sim-time fields** (`t0`, `t1`); no wall-clock timestamp ever enters a
+//! record, so traces from identical seeds are byte-identical. Numbers are
+//! rendered with Rust's shortest round-trip `f64` formatting, which is
+//! itself deterministic.
+//!
+//! [`parse_jsonl`] reads the encoding back — the `fakeaudit trace`
+//! subcommands analyze traces from disk without any external JSON
+//! dependency. The parser accepts exactly what the writer emits (fixed
+//! key order, one record per line), which is all it ever needs to read.
 
-use crate::trace::TraceEvent;
+use crate::trace::{SpanId, TraceEvent};
 use std::fmt::Write as _;
 use std::io::{self, Write};
 
@@ -32,7 +40,7 @@ pub(crate) fn escape_json_into(s: &str, out: &mut String) {
     }
 }
 
-fn push_f64(v: f64, out: &mut String) {
+pub(crate) fn push_f64(v: f64, out: &mut String) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {
@@ -52,6 +60,12 @@ pub fn event_to_json(e: &TraceEvent) -> String {
     push_f64(e.t0, &mut out);
     out.push_str(",\"t1\":");
     push_f64(e.t1, &mut out);
+    if let Some(SpanId(id)) = e.id {
+        let _ = write!(out, ",\"id\":{id}");
+    }
+    if let Some(SpanId(parent)) = e.parent {
+        let _ = write!(out, ",\"parent\":{parent}");
+    }
     out.push_str(",\"attrs\":{");
     for (i, (k, v)) in e.attrs.iter().enumerate() {
         if i > 0 {
@@ -80,6 +94,172 @@ pub fn write_jsonl<W: Write>(events: &[TraceEvent], w: &mut W) -> io::Result<()>
     Ok(())
 }
 
+/// A parse failure: the offending (1-based) line and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A cursor over one JSONL record.
+struct Scanner<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Scanner<'a> {
+    fn expect(&mut self, token: &str) -> Result<(), String> {
+        match self.rest.strip_prefix(token) {
+            Some(rest) => {
+                self.rest = rest;
+                Ok(())
+            }
+            None => Err(format!(
+                "expected {token:?} at {:?}",
+                &self.rest[..self.rest.len().min(20)]
+            )),
+        }
+    }
+
+    fn peek(&self, token: &str) -> bool {
+        self.rest.starts_with(token)
+    }
+
+    /// Reads a JSON string (after the opening quote), unescaping.
+    fn string(&mut self) -> Result<String, String> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'u')) => {
+                        let hex: String = (0..4)
+                            .filter_map(|_| chars.next())
+                            .map(|(_, c)| c)
+                            .collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| format!("bad codepoint {code}"))?,
+                        );
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    /// Reads a JSON number or `null` (as NaN).
+    fn number(&mut self) -> Result<f64, String> {
+        if self.peek("null") {
+            self.rest = &self.rest[4..];
+            return Ok(f64::NAN);
+        }
+        let end = self
+            .rest
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+            .unwrap_or(self.rest.len());
+        let (num, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        num.parse().map_err(|e| format!("bad number {num:?}: {e}"))
+    }
+}
+
+/// Parses one line of the writer's encoding back into a [`TraceEvent`].
+fn parse_line(line: &str) -> Result<TraceEvent, String> {
+    let mut s = Scanner { rest: line.trim() };
+    s.expect("{\"type\":")?;
+    let kind = match s.string()?.as_str() {
+        "span" => crate::EventKind::Span,
+        "event" => crate::EventKind::Point,
+        other => return Err(format!("unknown record type {other:?}")),
+    };
+    s.expect(",\"name\":")?;
+    let name = s.string()?;
+    s.expect(",\"t0\":")?;
+    let t0 = s.number()?;
+    s.expect(",\"t1\":")?;
+    let t1 = s.number()?;
+    let mut id = None;
+    if s.peek(",\"id\":") {
+        s.expect(",\"id\":")?;
+        id = Some(SpanId(s.number()? as u64));
+    }
+    let mut parent = None;
+    if s.peek(",\"parent\":") {
+        s.expect(",\"parent\":")?;
+        parent = Some(SpanId(s.number()? as u64));
+    }
+    s.expect(",\"attrs\":{")?;
+    let mut attrs = Vec::new();
+    if !s.peek("}") {
+        loop {
+            let key = s.string()?;
+            s.expect(":")?;
+            let value = s.string()?;
+            attrs.push((key, value));
+            if s.peek(",") {
+                s.expect(",")?;
+            } else {
+                break;
+            }
+        }
+    }
+    s.expect("}}")?;
+    if !s.rest.is_empty() {
+        return Err(format!("trailing input {:?}", s.rest));
+    }
+    Ok(TraceEvent {
+        kind,
+        name,
+        t0,
+        t1,
+        id,
+        parent,
+        attrs,
+    })
+}
+
+/// Parses a JSONL trace written by [`write_jsonl`]. Blank lines are
+/// skipped.
+///
+/// # Errors
+///
+/// [`ParseError`] with the first offending line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            parse_line(line).map_err(|message| ParseError {
+                line: i + 1,
+                message,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +272,18 @@ mod tests {
             "{\"type\":\"span\",\"name\":\"api.call\",\"t0\":0,\"t1\":1.25,\
              \"attrs\":{\"endpoint\":\"followers_ids\"}}"
         );
+    }
+
+    #[test]
+    fn identity_fields_are_encoded_when_present() {
+        let e = TraceEvent::span_in("s", 0.0, 1.0, &[], SpanId(4), Some(SpanId(2)));
+        assert_eq!(
+            event_to_json(&e),
+            "{\"type\":\"span\",\"name\":\"s\",\"t0\":0,\"t1\":1,\
+             \"id\":4,\"parent\":2,\"attrs\":{}}"
+        );
+        let root = TraceEvent::span_in("r", 0.0, 1.0, &[], SpanId(1), None);
+        assert!(!event_to_json(&root).contains("parent"));
     }
 
     #[test]
@@ -130,5 +322,59 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn parse_round_trips_the_writer() {
+        let events = vec![
+            TraceEvent::span_in(
+                "server.request",
+                0.0,
+                4.5,
+                &[("tool", "TA"), ("outcome", "completed")],
+                SpanId(1),
+                None,
+            ),
+            TraceEvent::span_in(
+                "api.call",
+                1.0,
+                2.25,
+                &[("endpoint", "x")],
+                SpanId(2),
+                Some(SpanId(1)),
+            ),
+            TraceEvent::point_in("server.shed", 9.0, &[("tool", "SB")], Some(SpanId(1))),
+            TraceEvent::point("quota.rejected", 3.0, &[]),
+            TraceEvent::span("legacy.flat", 0.5, 0.75, &[("k", "va\"l\nue")]),
+        ];
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        let parsed = parse_jsonl(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn parse_skips_blank_lines_and_reports_position() {
+        let text = "\n{\"type\":\"event\",\"name\":\"a\",\"t0\":0,\"t1\":0,\"attrs\":{}}\n\n";
+        assert_eq!(parse_jsonl(text).unwrap().len(), 1);
+        let err = parse_jsonl("{\"type\":\"span\"").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("trace line 1"));
+        let err = parse_jsonl("{\"type\":\"blob\",\"name\":\"a\",\"t0\":0,\"t1\":0,\"attrs\":{}}")
+            .unwrap_err();
+        assert!(err.message.contains("unknown record type"));
+    }
+
+    #[test]
+    fn parse_handles_null_times() {
+        let line = "{\"type\":\"event\",\"name\":\"x\",\"t0\":null,\"t1\":null,\"attrs\":{}}";
+        let e = &parse_jsonl(line).unwrap()[0];
+        assert!(e.t0.is_nan() && e.t1.is_nan());
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        let line = "{\"type\":\"event\",\"name\":\"x\",\"t0\":0,\"t1\":0,\"attrs\":{}} extra";
+        assert!(parse_jsonl(line).unwrap_err().message.contains("trailing"));
     }
 }

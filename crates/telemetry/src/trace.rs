@@ -1,4 +1,4 @@
-//! Sim-time trace records.
+//! Sim-time trace records with causal identity.
 //!
 //! A trace is an append-only sequence of records stamped exclusively with
 //! **simulated** time (f64 seconds on the platform clock, the same axis as
@@ -6,8 +6,18 @@
 //! wall-clock field, which is what makes two runs with the same seed emit
 //! byte-identical traces.
 //!
+//! Since ISSUE 4 the trace is *causal*, not flat: every span recorded
+//! through a [`TraceContext`] carries a [`SpanId`] and an optional parent
+//! id, so a request decomposes into a tree — `server.request` →
+//! `server.queue_wait` / `server.service` → `service.request` →
+//! `detector.audit` → one `api.call` per crawled page. Contexts are
+//! threaded as **explicit arguments** (no thread-locals); ids come from one
+//! shared counter consumed in event order, so same-seed runs still emit
+//! byte-identical traces.
+//!
 //! [`ApiSession::elapsed_secs`]: https://docs.rs/fakeaudit-twitter-api
 
+use crate::Telemetry;
 use std::fmt;
 
 /// Whether a record covers an interval or a single instant.
@@ -35,7 +45,21 @@ impl fmt::Display for EventKind {
     }
 }
 
-/// One trace record: a named span or point event with ordered attributes.
+/// The identity of one span in a trace, unique within one [`Telemetry`]
+/// handle. Ids are assigned from a shared counter starting at 1 in the
+/// order spans are *opened* (parents before their children), which keeps
+/// them deterministic for single-threaded simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "span#{}", self.0)
+    }
+}
+
+/// One trace record: a named span or point event with ordered attributes
+/// and (when recorded through a [`TraceContext`]) causal identity.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Record kind.
@@ -46,19 +70,42 @@ pub struct TraceEvent {
     pub t0: f64,
     /// Simulated end time in seconds (`== t0` for point events).
     pub t1: f64,
+    /// This span's identity; `None` for point events and for spans
+    /// recorded through the flat [`Telemetry::span`] path.
+    pub id: Option<SpanId>,
+    /// The enclosing span, if recorded inside one.
+    pub parent: Option<SpanId>,
     /// Attribute pairs in recording order.
     pub attrs: Vec<(String, String)>,
 }
 
 impl TraceEvent {
-    /// Builds a span record.
+    /// Builds a flat (identity-less) span record.
     pub fn span(name: &str, t0: f64, t1: f64, attrs: &[(&str, &str)]) -> Self {
         Self {
             kind: EventKind::Span,
             name: name.to_string(),
             t0,
             t1,
+            id: None,
+            parent: None,
             attrs: own_attrs(attrs),
+        }
+    }
+
+    /// Builds a span record carrying identity and causal parent.
+    pub fn span_in(
+        name: &str,
+        t0: f64,
+        t1: f64,
+        attrs: &[(&str, &str)],
+        id: SpanId,
+        parent: Option<SpanId>,
+    ) -> Self {
+        Self {
+            id: Some(id),
+            parent,
+            ..Self::span(name, t0, t1, attrs)
         }
     }
 
@@ -69,7 +116,17 @@ impl TraceEvent {
             name: name.to_string(),
             t0: t,
             t1: t,
+            id: None,
+            parent: None,
             attrs: own_attrs(attrs),
+        }
+    }
+
+    /// Builds a point record attached to an enclosing span.
+    pub fn point_in(name: &str, t: f64, attrs: &[(&str, &str)], parent: Option<SpanId>) -> Self {
+        Self {
+            parent,
+            ..Self::point(name, t, attrs)
         }
     }
 
@@ -94,6 +151,141 @@ fn own_attrs(attrs: &[(&str, &str)]) -> Vec<(String, String)> {
         .collect()
 }
 
+/// A causal position in the trace: the span under which new child spans
+/// and point events attach.
+///
+/// Contexts are cheap (a telemetry handle plus two ids) and are threaded
+/// through the request path as **explicit arguments** — never thread-local
+/// state — so instrumented code stays deterministic and testable. On a
+/// disabled telemetry handle every operation is a no-op branch.
+///
+/// Two recording styles:
+///
+/// * [`TraceContext::span`] — the interval is already known: allocate a
+///   child id, record the closed span, return the context inside it.
+/// * [`TraceContext::child`] then [`TraceContext::record`] — the parent's
+///   interval closes *after* its children (the server request span ends
+///   when the response leaves, long after each `api.call` inside it):
+///   allocate the id first so children can attach, record the span once
+///   its end time is known. Children therefore appear in the trace before
+///   their parents, exactly as real tracers report spans at close time.
+///
+/// ```
+/// use fakeaudit_telemetry::Telemetry;
+///
+/// let tel = Telemetry::enabled();
+/// let request = tel.root_context().child(); // open: id allocated, not yet recorded
+/// let api = request.span("api.call", 0.0, 1.5, &[("endpoint", "followers_ids")]);
+/// api.point("api.retry", 1.0, &[]);
+/// request.record("server.request", 0.0, 2.0, &[]);
+///
+/// let events = tel.events();
+/// assert_eq!(events.len(), 3);
+/// assert_eq!(events[0].parent, events[2].id); // api.call nests in server.request
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceContext {
+    telemetry: Telemetry,
+    /// The span this context represents; children attach under it.
+    current: Option<SpanId>,
+    /// `current`'s own parent — needed when recording an opened span.
+    parent: Option<SpanId>,
+    /// Added to every timestamp recorded through this context (and
+    /// inherited by children) — see [`TraceContext::rebased`].
+    offset: f64,
+}
+
+impl TraceContext {
+    /// A context on a disabled handle; every operation is a no-op.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn root(telemetry: Telemetry) -> Self {
+        Self {
+            telemetry,
+            current: None,
+            parent: None,
+            offset: 0.0,
+        }
+    }
+
+    /// Whether spans recorded through this context are collected.
+    pub fn is_enabled(&self) -> bool {
+        self.telemetry.is_enabled()
+    }
+
+    /// The telemetry handle behind this context.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The span this context represents (`None` at the root or disabled).
+    pub fn span_id(&self) -> Option<SpanId> {
+        self.current
+    }
+
+    /// Opens a child span: allocates its id (so grandchildren can attach)
+    /// without recording anything yet. Call [`TraceContext::record`] on
+    /// the returned context once the interval is known.
+    pub fn child(&self) -> TraceContext {
+        TraceContext {
+            telemetry: self.telemetry.clone(),
+            current: self.telemetry.alloc_span_id(),
+            parent: self.current,
+            offset: self.offset,
+        }
+    }
+
+    /// This context with `delta` seconds added to every timestamp it (and
+    /// every descendant context) records. Subsystems stamp spans on their
+    /// own simulated clock; a caller whose clock differs — the audit
+    /// server starts at 0 while the analytics stack runs on the platform
+    /// epoch clock — rebases the context it hands down so the whole
+    /// request tree shares one time axis and children nest inside their
+    /// parent's interval. Offsets accumulate across nested rebases.
+    #[must_use]
+    pub fn rebased(mut self, delta: f64) -> Self {
+        self.offset += delta;
+        self
+    }
+
+    /// Records the span this context was opened for (see
+    /// [`TraceContext::child`]). No-op on a disabled handle.
+    pub fn record(&self, name: &str, t0: f64, t1: f64, attrs: &[(&str, &str)]) {
+        if let Some(id) = self.current {
+            self.telemetry.push_event(TraceEvent::span_in(
+                name,
+                t0 + self.offset,
+                t1 + self.offset,
+                attrs,
+                id,
+                self.parent,
+            ));
+        }
+    }
+
+    /// Records a closed child span in one step and returns the context
+    /// inside it.
+    pub fn span(&self, name: &str, t0: f64, t1: f64, attrs: &[(&str, &str)]) -> TraceContext {
+        let child = self.child();
+        child.record(name, t0, t1, attrs);
+        child
+    }
+
+    /// Records a point event attached to this context's span.
+    pub fn point(&self, name: &str, t: f64, attrs: &[(&str, &str)]) {
+        if self.is_enabled() {
+            self.telemetry.push_event(TraceEvent::point_in(
+                name,
+                t + self.offset,
+                attrs,
+                self.current,
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +297,8 @@ mod tests {
         assert_eq!(s.duration_secs(), 1.5);
         assert_eq!(s.attr("endpoint"), Some("followers_ids"));
         assert_eq!(s.attr("absent"), None);
+        assert_eq!(s.id, None);
+        assert_eq!(s.parent, None);
 
         let p = TraceEvent::point("quota.rejected", 4.0, &[]);
         assert_eq!(p.kind, EventKind::Point);
@@ -113,8 +307,98 @@ mod tests {
     }
 
     #[test]
+    fn identity_constructors_carry_ids() {
+        let s = TraceEvent::span_in("x", 0.0, 1.0, &[], SpanId(3), Some(SpanId(1)));
+        assert_eq!(s.id, Some(SpanId(3)));
+        assert_eq!(s.parent, Some(SpanId(1)));
+        let p = TraceEvent::point_in("y", 0.5, &[], Some(SpanId(3)));
+        assert_eq!(p.id, None);
+        assert_eq!(p.parent, Some(SpanId(3)));
+    }
+
+    #[test]
     fn kind_strings() {
         assert_eq!(EventKind::Span.as_str(), "span");
         assert_eq!(EventKind::Point.to_string(), "event");
+    }
+
+    #[test]
+    fn span_id_displays() {
+        assert_eq!(SpanId(7).to_string(), "span#7");
+        assert!(SpanId(1) < SpanId(2));
+    }
+
+    #[test]
+    fn context_builds_a_tree() {
+        let tel = Telemetry::enabled();
+        let root = tel.root_context();
+        assert!(root.is_enabled());
+        assert_eq!(root.span_id(), None);
+
+        let request = root.child(); // opened, recorded last
+        let service = request.span("server.service", 1.0, 4.0, &[("tool", "TA")]);
+        let api = service.span("api.call", 1.0, 2.0, &[]);
+        api.point("api.page", 1.5, &[]);
+        request.record("server.request", 0.0, 4.0, &[]);
+
+        let events = tel.events();
+        assert_eq!(events.len(), 4);
+        let by_name = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        let req = by_name("server.request");
+        let svc = by_name("server.service");
+        let call = by_name("api.call");
+        let page = by_name("api.page");
+        assert_eq!(req.parent, None);
+        assert_eq!(svc.parent, req.id);
+        assert_eq!(call.parent, svc.id);
+        assert_eq!(page.parent, call.id);
+        // Ids are allocated in open order starting at 1.
+        assert_eq!(req.id, Some(SpanId(1)));
+        assert_eq!(svc.id, Some(SpanId(2)));
+        assert_eq!(call.id, Some(SpanId(3)));
+    }
+
+    #[test]
+    fn rebased_context_shifts_descendant_timestamps() {
+        let tel = Telemetry::enabled();
+        let root = tel.root_context();
+        let request = root.child();
+        // A subsystem on a clock 100s behind ours: rebase its context
+        // forward so its spans land on our time axis.
+        let remote = request.clone().rebased(100.0);
+        let svc = remote.span("service.request", 1.0, 3.0, &[]);
+        svc.point("cache.lookup", 1.5, &[]);
+        // Offsets accumulate across nested rebases.
+        svc.clone().rebased(0.5).point("api.page", 2.0, &[]);
+        request.record("server.request", 100.0, 104.0, &[]);
+
+        let events = tel.events();
+        let by_name = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by_name("service.request").t0, 101.0);
+        assert_eq!(by_name("service.request").t1, 103.0);
+        assert_eq!(by_name("cache.lookup").t0, 101.5);
+        assert_eq!(by_name("api.page").t0, 102.5);
+        // The clone shares the span id, so children still attach to it
+        // and the tree shape is unchanged by rebasing.
+        assert_eq!(
+            by_name("service.request").parent,
+            by_name("server.request").id
+        );
+        assert_eq!(
+            by_name("cache.lookup").parent,
+            by_name("service.request").id
+        );
+    }
+
+    #[test]
+    fn disabled_context_is_a_no_op() {
+        let ctx = TraceContext::disabled();
+        assert!(!ctx.is_enabled());
+        let child = ctx.child();
+        assert_eq!(child.span_id(), None);
+        child.record("x", 0.0, 1.0, &[]);
+        child.span("y", 0.0, 1.0, &[]);
+        child.point("z", 0.5, &[]);
+        assert!(ctx.telemetry().events().is_empty());
     }
 }

@@ -9,7 +9,7 @@
 use crate::endpoint::{Endpoint, WINDOW_SECS};
 use crate::rate_limit::TokenBucket;
 use fakeaudit_stats::rng::rng_for;
-use fakeaudit_telemetry::Telemetry;
+use fakeaudit_telemetry::{Telemetry, TraceContext};
 use fakeaudit_twittersim::{AccountId, Platform, Profile, Tweet};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -174,6 +174,10 @@ pub struct ApiSession<'a> {
     log: CallLog,
     rng: StdRng,
     telemetry: Telemetry,
+    /// The causal position `api.call` spans attach under. At the root
+    /// (no enclosing span) calls are recorded flat, identity-less, as
+    /// before causal tracing existed.
+    ctx: TraceContext,
     /// Platform time at session open, in seconds — trace records are
     /// stamped `trace_base + now` so spans from different sessions share
     /// one absolute sim-time axis.
@@ -199,6 +203,21 @@ impl<'a> ApiSession<'a> {
     ///
     /// Panics on an invalid [`ApiConfig`] (zero pools, negative latency).
     pub fn with_telemetry(platform: &'a Platform, cfg: ApiConfig, telemetry: Telemetry) -> Self {
+        let ctx = telemetry.root_context();
+        Self::with_context(platform, cfg, ctx)
+    }
+
+    /// Opens an instrumented session whose `api.call` spans attach under
+    /// `ctx` — the causal variant of [`ApiSession::with_telemetry`]. With
+    /// a context inside a live span (a `detector.audit`, say), every page
+    /// fetch becomes a child span in that request's trace tree; with a
+    /// root context the calls are recorded flat, exactly as
+    /// `with_telemetry` always did.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`ApiConfig`] (zero pools, negative latency).
+    pub fn with_context(platform: &'a Platform, cfg: ApiConfig, ctx: TraceContext) -> Self {
         cfg.validate();
         let bucket = |e: Endpoint| {
             let quota = f64::from(e.window_quota()) * f64::from(cfg.token_pool);
@@ -217,7 +236,8 @@ impl<'a> ApiSession<'a> {
             rate_limit_wait: 0.0,
             log: CallLog::default(),
             rng: rng_for(cfg.seed, "api-session"),
-            telemetry,
+            telemetry: ctx.telemetry().clone(),
+            ctx,
             trace_base: platform.now().as_secs() as f64,
         }
     }
@@ -230,6 +250,12 @@ impl<'a> ApiSession<'a> {
     /// The telemetry handle this session records into.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The causal context this session's `api.call` spans attach under
+    /// (a root context unless built with [`ApiSession::with_context`]).
+    pub fn trace_context(&self) -> &TraceContext {
+        &self.ctx
     }
 
     /// The session's current position on the absolute sim-time axis
@@ -274,12 +300,21 @@ impl<'a> ApiSession<'a> {
             self.now += wait + latency;
             if instrumented {
                 let labels = [("endpoint", endpoint.key())];
-                self.telemetry.span(
-                    "api.call",
-                    self.trace_base + now,
-                    self.trace_base + self.now,
-                    &labels,
-                );
+                if self.ctx.span_id().is_some() {
+                    self.ctx.span(
+                        "api.call",
+                        self.trace_base + now,
+                        self.trace_base + self.now,
+                        &labels,
+                    );
+                } else {
+                    self.telemetry.span(
+                        "api.call",
+                        self.trace_base + now,
+                        self.trace_base + self.now,
+                        &labels,
+                    );
+                }
                 self.telemetry.counter_add("api.calls", &labels, 1);
                 self.telemetry
                     .observe("api.rate_limit_wait_secs", &labels, wait);
@@ -721,6 +756,25 @@ mod tests {
         let latency = snap.histogram_sum("api.latency_secs");
         assert!((wait + latency - s.elapsed_secs()).abs() < 1e-9);
         assert!((wait - s.rate_limit_wait_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn context_sessions_parent_api_calls() {
+        let (platform, t) = built();
+        let tel = Telemetry::enabled();
+        let audit = tel.root_context().child(); // an open enclosing span
+        let mut s = ApiSession::with_context(&platform, quiet_cfg(), audit.clone());
+        s.followers_ids(t.target).unwrap();
+        audit.record("detector.audit", 0.0, s.trace_time(), &[]);
+        let events = tel.events();
+        let call = events.iter().find(|e| e.name == "api.call").unwrap();
+        assert!(call.id.is_some());
+        assert_eq!(call.parent, audit.span_id());
+        // A root context keeps the flat, identity-less shape.
+        let tel2 = Telemetry::enabled();
+        let mut s2 = ApiSession::with_telemetry(&platform, quiet_cfg(), tel2.clone());
+        s2.followers_ids(t.target).unwrap();
+        assert!(tel2.events().iter().all(|e| e.id.is_none()));
     }
 
     #[test]
