@@ -1,0 +1,412 @@
+//! Per-tool circuit breaker over the fresh-audit path.
+//!
+//! When the upstream API turns unreliable, every fresh audit burns a full
+//! retry budget before failing — a retry storm that helps nobody. The
+//! breaker watches a rolling window of fresh-audit outcomes and, once the
+//! failure fraction trips the threshold, *opens*: fresh audits stop for a
+//! cooldown and the service answers from its stale cache instead
+//! (degrade-to-stale, the same fallback the E8 overload path measures).
+//! After the cooldown one probe request is let through (*half-open*); its
+//! success re-closes the circuit, its failure re-opens it.
+//!
+//! Everything runs on the sim clock and is fully deterministic: state
+//! transitions are pure functions of the outcome sequence and the
+//! configured thresholds — no wall-clock, no randomness.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Tuning for a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Rolling window of fresh-audit outcomes the failure fraction is
+    /// computed over.
+    pub window: usize,
+    /// Failure fraction (within the window) at which the breaker opens.
+    pub failure_threshold: f64,
+    /// Outcomes required in the window before the breaker may trip.
+    pub min_samples: usize,
+    /// Sim-clock seconds the breaker stays open before probing.
+    pub open_secs: f64,
+    /// Consecutive half-open probe successes required to re-close.
+    pub half_open_probes: u32,
+}
+
+impl BreakerConfig {
+    /// A production-shaped default: trip at 50 % failures over the last
+    /// 8 fresh audits (at least 4 seen), cool down 120 s, one successful
+    /// probe re-closes.
+    pub fn standard() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            failure_threshold: 0.5,
+            min_samples: 4,
+            open_secs: 120.0,
+            half_open_probes: 1,
+        }
+    }
+
+    /// Panics on a degenerate configuration (empty window, threshold
+    /// outside (0, 1], non-positive cooldown, zero probes).
+    pub fn validate(&self) {
+        assert!(self.window >= 1, "window must be >= 1");
+        assert!(
+            self.failure_threshold > 0.0 && self.failure_threshold <= 1.0,
+            "failure_threshold must be in (0, 1]"
+        );
+        assert!(
+            self.min_samples >= 1 && self.min_samples <= self.window,
+            "min_samples must be in [1, window]"
+        );
+        assert!(
+            self.open_secs > 0.0 && self.open_secs.is_finite(),
+            "open_secs must be positive"
+        );
+        assert!(self.half_open_probes >= 1, "half_open_probes must be >= 1");
+    }
+}
+
+/// The breaker's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation: fresh audits flow, outcomes feed the window.
+    Closed,
+    /// Tripped: fresh audits are refused until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: probe traffic is let through to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Label for trace attributes and reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One state change, reported back so the service can trace it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerTransition {
+    /// State left.
+    pub from: BreakerState,
+    /// State entered.
+    pub to: BreakerState,
+    /// Sim-clock seconds of the transition.
+    pub at_secs: f64,
+}
+
+/// A closed/open/half-open circuit breaker over a rolling failure window,
+/// driven entirely by the sim clock.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Rolling outcome window; `true` records a failure.
+    window: VecDeque<bool>,
+    /// When the current open period started (valid while `Open`).
+    opened_at: f64,
+    /// When the current open period may probe (valid while `Open`).
+    open_until: f64,
+    /// Open seconds accumulated by *finished* open periods.
+    open_accum: f64,
+    /// Successful probes seen in the current half-open period.
+    probes_ok: u32,
+    /// Total state transitions.
+    transitions: u64,
+    /// Times the breaker tripped open.
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`BreakerConfig`].
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        cfg.validate();
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            window: VecDeque::new(),
+            opened_at: 0.0,
+            open_until: 0.0,
+            open_accum: 0.0,
+            probes_ok: 0,
+            transitions: 0,
+            trips: 0,
+        }
+    }
+
+    /// The current state (as last observed; an elapsed cooldown only
+    /// becomes visible through [`CircuitBreaker::allow`]).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// The tuning this breaker runs with.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.cfg
+    }
+
+    /// Times the breaker tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Total state transitions.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Total sim seconds spent open, including the current open period
+    /// up to `now`.
+    pub fn open_secs_total(&self, now: f64) -> f64 {
+        let current = match self.state {
+            BreakerState::Open => (now - self.opened_at).max(0.0),
+            _ => 0.0,
+        };
+        self.open_accum + current
+    }
+
+    /// Seconds of cooldown left at `now` before an open breaker probes
+    /// again; `0.0` unless open.
+    pub fn open_remaining(&self, now: f64) -> f64 {
+        match self.state {
+            BreakerState::Open => (self.open_until - now).max(0.0),
+            _ => 0.0,
+        }
+    }
+
+    /// Whether a fresh upstream call may proceed at sim-time `now`. While
+    /// open this refuses until the cooldown elapses, then transitions to
+    /// half-open and admits probe traffic; the transition (if any) is
+    /// returned for tracing.
+    pub fn allow(&mut self, now: f64) -> (bool, Option<BreakerTransition>) {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => (true, None),
+            BreakerState::Open => {
+                if now >= self.open_until {
+                    let t = self.transition(BreakerState::HalfOpen, now);
+                    self.probes_ok = 0;
+                    (true, Some(t))
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// Records a successful fresh audit finishing at `now`.
+    pub fn on_success(&mut self, now: f64) -> Option<BreakerTransition> {
+        match self.state {
+            BreakerState::Closed => {
+                self.record(false);
+                None
+            }
+            BreakerState::HalfOpen => {
+                self.probes_ok += 1;
+                if self.probes_ok >= self.cfg.half_open_probes {
+                    self.window.clear();
+                    Some(self.transition(BreakerState::Closed, now))
+                } else {
+                    None
+                }
+            }
+            // A straggler finishing after the breaker opened: ignore.
+            BreakerState::Open => None,
+        }
+    }
+
+    /// Records a failed fresh audit finishing at `now`. Only *retryable*
+    /// failures — upstream unreliability — should be fed here; caller
+    /// mistakes say nothing about the circuit's health.
+    pub fn on_failure(&mut self, now: f64) -> Option<BreakerTransition> {
+        match self.state {
+            BreakerState::Closed => {
+                self.record(true);
+                let samples = self.window.len();
+                let failures = self.window.iter().filter(|&&f| f).count();
+                if samples >= self.cfg.min_samples
+                    && failures as f64 / samples as f64 >= self.cfg.failure_threshold
+                {
+                    Some(self.trip(now))
+                } else {
+                    None
+                }
+            }
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen => Some(self.trip(now)),
+            BreakerState::Open => None,
+        }
+    }
+
+    fn record(&mut self, failure: bool) {
+        if self.window.len() == self.cfg.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(failure);
+    }
+
+    fn trip(&mut self, now: f64) -> BreakerTransition {
+        let t = self.transition(BreakerState::Open, now);
+        self.opened_at = now;
+        self.open_until = now + self.cfg.open_secs;
+        self.trips += 1;
+        t
+    }
+
+    fn transition(&mut self, to: BreakerState, now: f64) -> BreakerTransition {
+        if self.state == BreakerState::Open {
+            self.open_accum += (now - self.opened_at).max(0.0);
+        }
+        let t = BreakerTransition {
+            from: self.state,
+            to,
+            at_secs: now,
+        };
+        self.state = to;
+        self.transitions += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            failure_threshold: 0.5,
+            min_samples: 2,
+            open_secs: 60.0,
+            half_open_probes: 1,
+        }
+    }
+
+    #[test]
+    fn stays_closed_under_success() {
+        let mut b = CircuitBreaker::new(quick_cfg());
+        for i in 0..20 {
+            assert!(b.allow(i as f64).0);
+            assert_eq!(b.on_success(i as f64), None);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+        assert_eq!(b.open_secs_total(100.0), 0.0);
+    }
+
+    #[test]
+    fn trips_at_threshold_and_refuses_while_open() {
+        let mut b = CircuitBreaker::new(quick_cfg());
+        assert_eq!(b.on_failure(1.0), None, "below min_samples");
+        let t = b.on_failure(2.0).expect("2/2 failures >= 50%");
+        assert_eq!(t.from, BreakerState::Closed);
+        assert_eq!(t.to, BreakerState::Open);
+        assert!(!b.allow(3.0).0);
+        assert!(!b.allow(61.9).0, "cooldown runs from the trip");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_success_recloses() {
+        let mut b = CircuitBreaker::new(quick_cfg());
+        b.on_failure(0.0);
+        b.on_failure(0.0).expect("tripped");
+        let (ok, t) = b.allow(60.0);
+        assert!(ok);
+        assert_eq!(t.unwrap().to, BreakerState::HalfOpen);
+        let t = b.on_success(61.0).expect("reclose");
+        assert_eq!(t.to, BreakerState::Closed);
+        // The old failures were flushed with the window.
+        assert_eq!(b.on_failure(62.0), None);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = CircuitBreaker::new(quick_cfg());
+        b.on_failure(0.0);
+        b.on_failure(0.0).expect("tripped");
+        assert!(b.allow(60.0).0);
+        let t = b.on_failure(65.0).expect("probe failed");
+        assert_eq!(t.from, BreakerState::HalfOpen);
+        assert_eq!(t.to, BreakerState::Open);
+        assert!(!b.allow(100.0).0, "new cooldown from the re-trip");
+        assert!(b.allow(125.0).0);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn open_seconds_accumulate_across_periods() {
+        let mut b = CircuitBreaker::new(quick_cfg());
+        b.on_failure(0.0);
+        b.on_failure(10.0).expect("tripped at t=10");
+        assert_eq!(b.open_secs_total(40.0), 30.0);
+        b.allow(70.0); // half-open at t=70: 60 open seconds banked
+        assert_eq!(b.open_secs_total(90.0), 60.0);
+        b.on_failure(90.0).expect("re-tripped at t=90");
+        assert_eq!(b.open_secs_total(100.0), 70.0);
+    }
+
+    #[test]
+    fn rolling_window_forgets_old_failures() {
+        let cfg = BreakerConfig {
+            window: 4,
+            min_samples: 4,
+            ..quick_cfg()
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        b.on_failure(0.0);
+        for i in 0..10 {
+            assert_eq!(b.on_success(i as f64), None);
+        }
+        // The early failure rolled out of the window long ago.
+        assert_eq!(b.on_failure(11.0), None);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn never_allows_fresh_while_open() {
+        // The breaker invariant the proptests pin: for any outcome
+        // sequence, allow() is false whenever state is Open and the
+        // cooldown has not elapsed.
+        let mut b = CircuitBreaker::new(quick_cfg());
+        let mut now = 0.0;
+        for i in 0..400u32 {
+            now += 0.5 + f64::from(i % 7);
+            let (ok, _) = b.allow(now);
+            if b.state() == BreakerState::Open {
+                assert!(!ok);
+                continue;
+            }
+            if !ok {
+                continue;
+            }
+            if i % 3 == 0 {
+                b.on_failure(now);
+            } else {
+                b.on_success(now);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failure_threshold must be in (0, 1]")]
+    fn rejects_bad_threshold() {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 0.0,
+            ..BreakerConfig::standard()
+        });
+    }
+}

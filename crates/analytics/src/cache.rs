@@ -83,9 +83,14 @@ impl ResultCache {
 
     /// Looks up a still-valid entry at time `now`, recording the lookup in
     /// the cache's [`CacheStats`] (an expired entry counts as a miss).
+    ///
+    /// A zero TTL means entries are *never* fresh: every lookup misses,
+    /// but the entries stay [`ResultCache::peek`]-able — the store-only
+    /// configuration the chaos experiment uses to force a cold audit per
+    /// request while keeping a stale answer on hand.
     pub fn get(&self, target: AccountId, now: SimTime) -> Option<&CacheEntry> {
         let found = self.entries.get(&target).filter(|entry| match self.ttl {
-            Some(ttl) => now.abs_diff(entry.assessed_at) <= ttl,
+            Some(ttl) => ttl > SimDuration::ZERO && now.abs_diff(entry.assessed_at) <= ttl,
             None => true,
         });
         match found {
@@ -168,6 +173,17 @@ mod tests {
         c.put(AccountId(1), outcome(AccountId(1)), SimTime::from_days(0));
         assert!(c.get(AccountId(1), SimTime::from_days(6)).is_some());
         assert!(c.get(AccountId(1), SimTime::from_days(8)).is_none());
+    }
+
+    #[test]
+    fn zero_ttl_is_store_only() {
+        let mut c = ResultCache::with_ttl(SimDuration::ZERO);
+        c.put(AccountId(1), outcome(AccountId(1)), SimTime::from_days(3));
+        assert!(
+            c.get(AccountId(1), SimTime::from_days(3)).is_none(),
+            "zero TTL must miss even at the assessment instant"
+        );
+        assert!(c.peek(AccountId(1)).is_some(), "entry stays stale-servable");
     }
 
     #[test]

@@ -19,11 +19,15 @@
 //! * [`report`] — rendering of each tool's public output format (including
 //!   Twitteraudit's three charts);
 //! * [`monitor`] — daily follower-growth monitoring with a sudden-jump
-//!   detector (the §I Romney incident, as the bloggers ran it).
+//!   detector (the §I Romney incident, as the bloggers ran it);
+//! * [`breaker`] — a per-tool circuit breaker that turns sustained
+//!   upstream API failures into degrade-to-stale responses instead of
+//!   retry storms.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
 pub mod monitor;
 pub mod profiles;
@@ -31,6 +35,7 @@ pub mod quota;
 pub mod report;
 pub mod service;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::CacheStats;
 pub use profiles::ServiceProfile;
 pub use service::{OnlineService, ServiceError, ServiceResponse};

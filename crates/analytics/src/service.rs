@@ -1,12 +1,13 @@
 //! The online-service wrapper around a detector engine.
 
+use crate::breaker::{BreakerConfig, BreakerTransition, CircuitBreaker};
 use crate::cache::ResultCache;
 use crate::profiles::ServiceProfile;
 use crate::quota::{DailyQuota, QuotaExceeded};
 use fakeaudit_detectors::{AuditError, AuditOutcome, FollowerAuditor, Instrumented, ToolId};
 use fakeaudit_stats::rng::derive_seed;
 use fakeaudit_telemetry::{Telemetry, TraceContext};
-use fakeaudit_twitter_api::{ApiConfig, ApiSession};
+use fakeaudit_twitter_api::{ApiConfig, ApiSession, FaultPlan, RetryPolicy};
 use fakeaudit_twittersim::{AccountId, Platform, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,6 +20,14 @@ pub enum ServiceError {
     Quota(QuotaExceeded),
     /// The underlying audit failed.
     Audit(AuditError),
+    /// The tool's circuit breaker is open and no stale result existed to
+    /// fall back on.
+    Unavailable {
+        /// The tool whose circuit is open.
+        tool: ToolId,
+        /// Seconds until the breaker probes again.
+        retry_in_secs: f64,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -26,6 +35,13 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Quota(e) => write!(f, "quota: {e}"),
             ServiceError::Audit(e) => write!(f, "audit: {e}"),
+            ServiceError::Unavailable {
+                tool,
+                retry_in_secs,
+            } => write!(
+                f,
+                "{tool} unavailable: circuit open, retry in {retry_in_secs:.0}s"
+            ),
         }
     }
 }
@@ -35,6 +51,7 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Quota(e) => Some(e),
             ServiceError::Audit(e) => Some(e),
+            ServiceError::Unavailable { .. } => None,
         }
     }
 }
@@ -117,6 +134,13 @@ pub struct OnlineService<A> {
     requests: u64,
     jitter: StdRng,
     telemetry: Telemetry,
+    /// Upstream unreliability injected into every fresh audit's API
+    /// session. [`FaultPlan::none`] (the default) arms nothing.
+    fault_plan: FaultPlan,
+    /// How those sessions retry. [`RetryPolicy::none`] by default.
+    retry: RetryPolicy,
+    /// Optional circuit breaker over the fresh-audit path.
+    breaker: Option<CircuitBreaker>,
 }
 
 /// The decomposition of one fresh response's simulated seconds — the
@@ -125,6 +149,13 @@ struct FreshBreakdown {
     rate_limit_wait: f64,
     api_latency: f64,
     overhead: f64,
+}
+
+/// What one fresh audit reported back up to the request path.
+struct FreshRun {
+    outcome: AuditOutcome,
+    rate_limit_wait: f64,
+    backoff_wait: f64,
 }
 
 impl<A: FollowerAuditor> OnlineService<A> {
@@ -139,7 +170,39 @@ impl<A: FollowerAuditor> OnlineService<A> {
             requests: 0,
             jitter: StdRng::seed_from_u64(derive_seed(seed, "service-jitter")),
             telemetry: Telemetry::disabled(),
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::none(),
+            breaker: None,
         }
+    }
+
+    /// Injects upstream unreliability: every fresh audit's API session is
+    /// armed with `plan` (re-seeded per request from the service seed, so
+    /// requests draw independent fault sequences) and retries per
+    /// `retry`. [`FaultPlan::none`] leaves the service byte-identical to
+    /// an unarmed one.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan, retry: RetryPolicy) -> Self {
+        plan.validate();
+        retry.validate();
+        self.fault_plan = plan;
+        self.retry = retry;
+        self
+    }
+
+    /// Puts a circuit breaker in front of the fresh-audit path: while
+    /// open, requests that miss the cache are answered from the stale
+    /// cache ([`OnlineService::serve_stale`]) or refused with
+    /// [`ServiceError::Unavailable`].
+    #[must_use]
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker = Some(CircuitBreaker::new(cfg));
+        self
+    }
+
+    /// The circuit breaker, when one is armed.
+    pub fn breaker(&self) -> Option<&CircuitBreaker> {
+        self.breaker.as_ref()
     }
 
     /// Routes this service's signals into `telemetry`: per-request spans
@@ -185,8 +248,8 @@ impl<A: FollowerAuditor> OnlineService<A> {
     ///
     /// Propagates [`AuditError`].
     pub fn prewarm(&mut self, platform: &Platform, target: AccountId) -> Result<(), ServiceError> {
-        let (outcome, _) = self.run_fresh(platform, target)?;
-        self.cache.put(target, outcome, platform.now());
+        let fresh = self.run_fresh(platform, target)?;
+        self.cache.put(target, fresh.outcome, platform.now());
         Ok(())
     }
 
@@ -243,6 +306,28 @@ impl<A: FollowerAuditor> OnlineService<A> {
         target: AccountId,
         ctx: &TraceContext,
     ) -> Result<ServiceResponse, ServiceError> {
+        let breaker_now = platform.now().as_secs() as f64;
+        self.request_in_at(platform, target, ctx, breaker_now)
+    }
+
+    /// [`OnlineService::request_in`] with an explicit wall clock for the
+    /// circuit breaker. A driving simulator (the audit server) advances
+    /// its own event-loop time without touching the platform clock; it
+    /// passes that time here so an opened circuit cools down and
+    /// half-opens as *simulated* seconds pass, not platform seconds —
+    /// under a frozen platform clock the breaker would otherwise never
+    /// recover. Trace spans keep their platform-time base either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineService::request`].
+    pub fn request_in_at(
+        &mut self,
+        platform: &Platform,
+        target: AccountId,
+        ctx: &TraceContext,
+        breaker_now: f64,
+    ) -> Result<ServiceResponse, ServiceError> {
         let now = platform.now();
         let t0 = now.as_secs() as f64;
         let tool = self.auditor.tool().abbrev();
@@ -278,7 +363,33 @@ impl<A: FollowerAuditor> OnlineService<A> {
             return Ok(response);
         }
         sctx.point("cache.lookup", t0, &[("tool", tool), ("result", "miss")]);
-        let (outcome, rate_limit_wait) = self.run_fresh_in(platform, target, &sctx)?;
+        if let Some(retry_in_secs) = self.breaker_refuses(breaker_now, &sctx) {
+            // Circuit open: degrade to the last known result rather than
+            // hammer a failing upstream; shed only when we have nothing.
+            return match self.serve_stale(target) {
+                Some(response) => {
+                    sctx.record(
+                        "service.request",
+                        t0,
+                        t0 + response.response_secs,
+                        &[("tool", tool), ("source", "stale")],
+                    );
+                    self.record_request(response.response_secs, "stale", None);
+                    Ok(response)
+                }
+                None => Err(ServiceError::Unavailable {
+                    tool: self.auditor.tool(),
+                    retry_in_secs,
+                }),
+            };
+        }
+        let fresh = self.run_fresh_in(platform, target, &sctx);
+        self.feed_breaker(breaker_now, &fresh, &sctx);
+        let FreshRun {
+            outcome,
+            rate_limit_wait,
+            backoff_wait,
+        } = fresh?;
         let response_secs = outcome.api_elapsed_secs
             + self.profile.overhead_secs
             + self.jitter.gen::<f64>() * self.profile.overhead_jitter;
@@ -289,13 +400,17 @@ impl<A: FollowerAuditor> OnlineService<A> {
             t0 + response_secs,
             &[("tool", tool), ("source", "fresh")],
         );
+        if !self.fault_plan.is_none() {
+            self.telemetry
+                .observe("service.backoff_secs", &[("tool", tool)], backoff_wait);
+        }
         self.record_request(
             response_secs,
             "fresh",
             Some(FreshBreakdown {
                 rate_limit_wait,
-                api_latency: outcome.api_elapsed_secs - rate_limit_wait,
-                overhead: response_secs - outcome.api_elapsed_secs,
+                api_latency: outcome.api_elapsed_secs - rate_limit_wait - backoff_wait,
+                overhead: response_secs - outcome.api_elapsed_secs + backoff_wait,
             }),
         );
         Ok(ServiceResponse {
@@ -304,6 +419,62 @@ impl<A: FollowerAuditor> OnlineService<A> {
             served_from_cache: false,
             assessed_at: now,
         })
+    }
+
+    /// Consults the armed breaker (if any) at sim-time `now`. Returns
+    /// `Some(retry_in_secs)` when the fresh path is refused.
+    fn breaker_refuses(&mut self, now: f64, ctx: &TraceContext) -> Option<f64> {
+        let (allowed, transition, retry_in) = {
+            let breaker = self.breaker.as_mut()?;
+            let (allowed, transition) = breaker.allow(now);
+            (allowed, transition, breaker.open_remaining(now))
+        };
+        if let Some(tr) = transition {
+            self.note_breaker_transition(ctx, &tr);
+        }
+        (!allowed).then_some(retry_in)
+    }
+
+    /// Feeds one fresh-audit result into the armed breaker (if any). Only
+    /// retryable upstream failures count against the circuit; quota
+    /// rejections never reach here and audit-logic errors say nothing
+    /// about upstream health.
+    fn feed_breaker(
+        &mut self,
+        now: f64,
+        fresh: &Result<FreshRun, ServiceError>,
+        ctx: &TraceContext,
+    ) {
+        let Some(breaker) = self.breaker.as_mut() else {
+            return;
+        };
+        let transition = match fresh {
+            Ok(_) => breaker.on_success(now),
+            Err(ServiceError::Audit(e)) if e.is_retryable() => breaker.on_failure(now),
+            Err(_) => None,
+        };
+        let open_secs = breaker.open_secs_total(now);
+        if let Some(tr) = transition {
+            self.note_breaker_transition(ctx, &tr);
+        }
+        let tool = self.auditor.tool().abbrev();
+        self.telemetry
+            .gauge_set("breaker.open_secs", &[("tool", tool)], open_secs);
+    }
+
+    /// Emits one breaker state change as a trace point and counter.
+    fn note_breaker_transition(&self, ctx: &TraceContext, tr: &BreakerTransition) {
+        let tool = self.auditor.tool().abbrev();
+        ctx.point(
+            "breaker.transition",
+            tr.at_secs,
+            &[("tool", tool), ("from", tr.from.key()), ("to", tr.to.key())],
+        );
+        self.telemetry.counter_add(
+            "breaker.transitions",
+            &[("tool", tool), ("to", tr.to.key())],
+            1,
+        );
     }
 
     /// Mirrors one served request's metrics into the telemetry handle
@@ -318,11 +489,13 @@ impl<A: FollowerAuditor> OnlineService<A> {
         self.telemetry
             .observe("service.response_secs", &labels, response_secs);
         let tool_only = [("tool", tool)];
+        // Stale serves are neither cache hits nor misses: the entry was
+        // consulted outside its TTL contract, so they get their own counter.
         self.telemetry.counter_add(
-            if source == "cache" {
-                "cache.hit"
-            } else {
-                "cache.miss"
+            match source {
+                "cache" => "cache.hit",
+                "fresh" => "cache.miss",
+                _ => "service.stale_served",
             },
             &tool_only,
             1,
@@ -351,7 +524,7 @@ impl<A: FollowerAuditor> OnlineService<A> {
         &mut self,
         platform: &Platform,
         target: AccountId,
-    ) -> Result<(AuditOutcome, f64), ServiceError> {
+    ) -> Result<FreshRun, ServiceError> {
         let ctx = self.telemetry.root_context();
         self.run_fresh_in(platform, target, &ctx)
     }
@@ -359,13 +532,16 @@ impl<A: FollowerAuditor> OnlineService<A> {
     /// Runs one uncached audit. The session is opened on a child of
     /// `ctx`: that child becomes the `detector.audit` span (recorded by
     /// [`Instrumented`] at close) and every page fetch a child `api.call`
-    /// span under it.
+    /// span under it. When a fault plan is armed, the session gets its own
+    /// per-request fault seed so concurrent requests draw independent
+    /// fault sequences while the whole run stays a function of the
+    /// service seed.
     fn run_fresh_in(
         &mut self,
         platform: &Platform,
         target: AccountId,
         ctx: &TraceContext,
-    ) -> Result<(AuditOutcome, f64), ServiceError> {
+    ) -> Result<FreshRun, ServiceError> {
         self.requests += 1;
         let request_seed = derive_seed(self.seed, &format!("request-{}", self.requests));
         let api = ApiConfig {
@@ -373,16 +549,27 @@ impl<A: FollowerAuditor> OnlineService<A> {
             ..self.profile.api
         };
         let mut session = ApiSession::with_context(platform, api, ctx.child());
+        if !self.fault_plan.is_none() {
+            let plan = FaultPlan {
+                seed: derive_seed(request_seed, "faults"),
+                ..self.fault_plan
+            };
+            session = session.with_faults(plan, self.retry);
+        }
         let auditor = Instrumented::new(&self.auditor, self.telemetry.clone());
         let outcome = auditor.audit(&mut session, target, request_seed)?;
-        let rate_limit_wait = session.rate_limit_wait_secs();
-        Ok((outcome, rate_limit_wait))
+        Ok(FreshRun {
+            outcome,
+            rate_limit_wait: session.rate_limit_wait_secs(),
+            backoff_wait: session.backoff_wait_secs(),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::breaker::BreakerState;
     use fakeaudit_detectors::{Socialbakers, StatusPeople, Twitteraudit};
     use fakeaudit_population::{BuiltTarget, ClassMix, TargetScenario};
 
@@ -625,6 +812,129 @@ mod tests {
             svc.request(&platform, t.target).unwrap().response_secs
         };
         assert_eq!(run(Telemetry::disabled()), run(Telemetry::enabled()));
+    }
+
+    fn always_unavailable() -> FaultPlan {
+        FaultPlan {
+            seed: 77,
+            rates: [fakeaudit_twitter_api::FaultRates {
+                unavailable: 1.0,
+                rate_limited: 0.0,
+                timeout: 0.0,
+                truncated_page: 0.0,
+            }; 4],
+            ..FaultPlan::none()
+        }
+    }
+
+    fn trigger_happy_breaker() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            failure_threshold: 0.5,
+            min_samples: 2,
+            open_secs: 60.0,
+            half_open_probes: 1,
+        }
+    }
+
+    #[test]
+    fn none_fault_plan_is_identity() {
+        let (platform, t) = built(2_000);
+        let run = |armed: bool| {
+            let svc = OnlineService::new(StatusPeople::new(), ServiceProfile::statuspeople(), 9);
+            let mut svc = if armed {
+                svc.with_fault_plan(FaultPlan::none(), RetryPolicy::standard())
+            } else {
+                svc
+            };
+            svc.request(&platform, t.target).unwrap().response_secs
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn faulty_upstream_with_retries_still_answers() {
+        let (platform, t) = built(3_000);
+        let tel = Telemetry::enabled();
+        let mut svc = OnlineService::new(StatusPeople::new(), ServiceProfile::statuspeople(), 31)
+            .with_fault_plan(FaultPlan::uniform(5, 0.25), RetryPolicy::standard())
+            .with_telemetry(tel.clone());
+        let r = svc.request(&platform, t.target).unwrap();
+        assert!(!r.served_from_cache);
+        let snap = tel.snapshot();
+        assert!(
+            snap.counter_total("api.faults") > 0,
+            "a 25% plan over an audit's calls must inject something"
+        );
+        assert!(snap.counter_total("api.retries") > 0);
+    }
+
+    #[test]
+    fn open_breaker_degrades_to_stale() {
+        let (mut platform, t) = built(2_000);
+        let profile = ServiceProfile {
+            cache_ttl_days: Some(1),
+            ..ServiceProfile::statuspeople()
+        };
+        let tel = Telemetry::enabled();
+        let mut svc = OnlineService::new(StatusPeople::new(), profile, 41);
+        let warmed_at = platform.now();
+        svc.prewarm(&platform, t.target).unwrap();
+        let mut svc = svc
+            .with_fault_plan(always_unavailable(), RetryPolicy::none())
+            .with_breaker(trigger_happy_breaker())
+            .with_telemetry(tel.clone());
+        platform.advance_clock(fakeaudit_twittersim::SimDuration::from_days(3));
+        // Two fresh attempts fail upstream and trip the circuit...
+        for _ in 0..2 {
+            assert!(matches!(
+                svc.request(&platform, t.target).unwrap_err(),
+                ServiceError::Audit(_)
+            ));
+        }
+        assert_eq!(svc.breaker().unwrap().state(), BreakerState::Open);
+        // ...after which the stale prewarmed answer is served instead.
+        let stale = svc.request(&platform, t.target).unwrap();
+        assert!(stale.served_from_cache);
+        assert_eq!(stale.assessed_at, warmed_at);
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.counter("service.stale_served", &[("tool", "SP")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("breaker.transitions", &[("tool", "SP"), ("to", "open")]),
+            Some(1)
+        );
+        // The cooldown elapsing admits a probe, which re-trips on failure.
+        platform.advance_clock(fakeaudit_twittersim::SimDuration::from_days(1));
+        assert!(matches!(
+            svc.request(&platform, t.target).unwrap_err(),
+            ServiceError::Audit(_)
+        ));
+        assert_eq!(svc.breaker().unwrap().state(), BreakerState::Open);
+        assert_eq!(svc.breaker().unwrap().trips(), 2);
+    }
+
+    #[test]
+    fn open_breaker_without_stale_refuses() {
+        let (platform, t) = built(2_000);
+        let mut svc = OnlineService::new(StatusPeople::new(), ServiceProfile::statuspeople(), 43)
+            .with_fault_plan(always_unavailable(), RetryPolicy::none())
+            .with_breaker(trigger_happy_breaker());
+        for _ in 0..2 {
+            svc.request(&platform, t.target).unwrap_err();
+        }
+        match svc.request(&platform, t.target).unwrap_err() {
+            ServiceError::Unavailable {
+                tool,
+                retry_in_secs,
+            } => {
+                assert_eq!(tool, ToolId::StatusPeople);
+                assert!(retry_in_secs > 0.0);
+            }
+            other => panic!("expected Unavailable, got {other}"),
+        }
     }
 
     #[test]

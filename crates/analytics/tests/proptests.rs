@@ -1,0 +1,128 @@
+//! Property tests for the circuit breaker: the ISSUE 5 invariant that a
+//! breaker never lets a fresh audit through while it is open — checked
+//! both on the state machine directly (any outcome sequence, any clock
+//! walk) and end-to-end through [`OnlineService::request`] with an
+//! always-failing upstream, where "fresh" is observable as a response
+//! not served from the cache.
+
+use fakeaudit_analytics::{
+    BreakerConfig, BreakerState, CircuitBreaker, OnlineService, ServiceProfile,
+};
+use fakeaudit_detectors::StatusPeople;
+use fakeaudit_population::{ClassMix, TargetScenario};
+use fakeaudit_twitter_api::{ApiConfig, FaultPlan, FaultRates, RetryPolicy};
+use fakeaudit_twittersim::{Platform, SimDuration};
+use proptest::prelude::*;
+
+fn quick_breaker() -> BreakerConfig {
+    BreakerConfig {
+        window: 4,
+        failure_threshold: 0.5,
+        min_samples: 2,
+        open_secs: 120.0,
+        half_open_probes: 1,
+    }
+}
+
+/// A service profile whose cache is store-only (zero TTL: entries are
+/// kept for stale fallback but never served fresh), so every admitted
+/// request exercises the fresh-audit path the breaker guards.
+fn never_fresh_profile() -> ServiceProfile {
+    ServiceProfile {
+        api: ApiConfig {
+            token_pool: 1,
+            parallelism: 1,
+            base_latency: 1.5,
+            latency_jitter: 0.5,
+            seed: 0,
+        },
+        overhead_secs: 2.0,
+        overhead_jitter: 0.0,
+        cached_base_secs: 1.0,
+        cached_jitter: 0.0,
+        cache_ttl_days: Some(0),
+        daily_quota: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn breaker_never_allows_while_cooldown_remains(
+        fails in prop::collection::vec(any::<bool>(), 1..200),
+        steps in prop::collection::vec(0.0f64..40.0, 1..200),
+    ) {
+        let mut b = CircuitBreaker::new(quick_breaker());
+        let mut now = 0.0;
+        let mut open_seen = 0.0;
+        for (&fail, step) in fails.iter().zip(steps) {
+            now += step;
+            let remaining = b.open_remaining(now);
+            let (ok, _) = b.allow(now);
+            if remaining > 0.0 {
+                prop_assert_eq!(b.state(), BreakerState::Open);
+                prop_assert!(!ok, "fresh admitted with {remaining}s cooldown left");
+            }
+            // Open time only ever accumulates.
+            let open_total = b.open_secs_total(now);
+            prop_assert!(open_total >= open_seen - 1e-9);
+            open_seen = open_total;
+            if ok {
+                if fail {
+                    b.on_failure(now);
+                } else {
+                    b.on_success(now);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn service_never_serves_fresh_while_open(
+        seed in 0u64..200,
+        rate in 0.85f64..1.0,
+        advance in 1u64..180,
+    ) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("prop_breaker", 60, ClassMix::all_genuine())
+            .build(&mut platform, 9)
+            .unwrap();
+        let plan = FaultPlan {
+            seed,
+            rates: [FaultRates {
+                unavailable: rate,
+                rate_limited: 0.0,
+                timeout: 0.0,
+                truncated_page: 0.0,
+            }; 4],
+            ..FaultPlan::none()
+        };
+        let mut svc = OnlineService::new(StatusPeople::new(), never_fresh_profile(), seed);
+        // Prewarm before arming so the stale fallback has an entry.
+        svc.prewarm(&platform, t.target).unwrap();
+        let mut svc = svc
+            .with_fault_plan(plan, RetryPolicy::none())
+            .with_breaker(quick_breaker());
+        for i in 0..32 {
+            if i % 4 == 3 {
+                // Let some open periods cool down so half-open probes and
+                // re-trips get exercised, not just the first open window.
+                platform.advance_clock(SimDuration::from_secs(advance));
+            }
+            let now = platform.now().as_secs() as f64;
+            let open_before = svc.breaker().map_or(0.0, |b| b.open_remaining(now));
+            let res = svc.request(&platform, t.target);
+            if open_before > 0.0 {
+                if let Ok(resp) = res {
+                    prop_assert!(
+                        resp.served_from_cache,
+                        "fresh audit served while the breaker was open"
+                    );
+                }
+            }
+        }
+        let breaker = svc.breaker().expect("breaker armed");
+        prop_assert!(breaker.trips() >= 1, "an always-failing upstream must trip the breaker");
+    }
+}

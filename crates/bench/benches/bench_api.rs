@@ -26,7 +26,7 @@ fn bench_api(c: &mut Criterion) {
     group.bench_function("users_lookup_10k", |b| {
         b.iter(|| {
             let mut s = ApiSession::new(&platform, ApiConfig::default());
-            black_box(s.users_lookup(&ids).len())
+            black_box(s.users_lookup(&ids).unwrap().len())
         })
     });
     group.finish();

@@ -1,0 +1,21 @@
+//! E10 bench: the chaos sweep end to end at quick scale — fault
+//! injection, retry/backoff accounting and breaker bookkeeping on top
+//! of the E8 event loop, so a regression in the resilience path shows
+//! up as sweep wall-time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fakeaudit_core::experiments::chaos::run_chaos;
+use fakeaudit_core::experiments::Scale;
+use std::hint::black_box;
+
+fn bench_chaos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_chaos");
+    group.sample_size(10);
+    group.bench_function("quick_sweep", |b| {
+        b.iter(|| black_box(run_chaos(Scale::quick(), 7).rows.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos);
+criterion_main!(benches);

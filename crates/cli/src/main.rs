@@ -62,6 +62,14 @@ USAGE:
       --telemetry the run is traced live: every request becomes a causal
       span tree (queue wait, service, cache/crawl) in the JSONL output.
 
+  fakeaudit chaos [--seed S] [--full]
+      Run the E10 chaos sweep: an injected per-call API fault rate
+      (bursty 503/429/timeout/truncation) against three resilience arms
+      — no retries, capped-backoff retries, retries behind a per-tool
+      circuit breaker that degrades to stale — reporting goodput, tail
+      latency, stale-served counts and circuit open time per cell. The
+      sweep is seed-deterministic: same seed, byte-identical table.
+
   fakeaudit trace analyze --input PATH
       Read a JSONL trace and print per-tool latency attribution (queue /
       crawl / cache / compute shares at p50 and p99) plus the waterfall
@@ -119,6 +127,7 @@ fn main() {
         (Some("crawl"), None) => cmd_crawl(&parsed),
         (Some("sample-size"), None) => cmd_sample_size(&parsed),
         (Some("serve-sim"), None) => cmd_serve_sim(&parsed),
+        (Some("chaos"), None) => cmd_chaos(&parsed),
         (Some("help"), None) | (None, _) => {
             println!("{USAGE}");
             Ok(())
@@ -232,6 +241,18 @@ fn cmd_crawl(args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_chaos(args: &ParsedArgs) -> Result<(), String> {
+    let seed: u64 = args.get_or("seed", 2_014).map_err(|e| e.to_string())?;
+    let scale = if args.flag("full") {
+        fakeaudit_core::experiments::Scale::full()
+    } else {
+        fakeaudit_core::experiments::Scale::quick()
+    };
+    let result = fakeaudit_core::experiments::chaos::run_chaos(scale, seed);
+    print!("{}", fakeaudit_core::experiments::chaos::render(&result));
+    Ok(())
+}
+
 fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
     let rate: f64 = args.get_or("rate", 4.0).map_err(|e| e.to_string())?;
     let duration: f64 = args.get_or("duration", 300.0).map_err(|e| e.to_string())?;
@@ -298,6 +319,7 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
             queue_capacity: queue,
             policy,
             degraded_secs: 0.5,
+            deadline_secs: None,
         },
         telemetry.clone(),
     );

@@ -97,7 +97,7 @@ pub fn run_ablation(params: AblationParams, seed: u64) -> AblationResult {
             let all = s.followers_ids(built.target).expect("target exists");
             let mut rng = rng_for(seed, "a1-ta-uni");
             let sample = UniformSampler::new().draw(&mut rng, &all, ta.frame().assess);
-            let data = fetch_profiles(&mut s, &sample);
+            let data = fetch_profiles(&mut s, &sample).expect("fault-free fetch");
             let counts: VerdictCounts = data.iter().map(|d| ta.classify(d, now)).collect();
             counts.percentage(Verdict::Fake)
         };
@@ -121,7 +121,7 @@ pub fn run_ablation(params: AblationParams, seed: u64) -> AblationResult {
             let all = s.followers_ids(built.target).expect("target exists");
             let mut rng = rng_for(seed, "a1-sp-uni");
             let sample = UniformSampler::new().draw(&mut rng, &all, sp.frame().assess);
-            let data = fetch_profiles(&mut s, &sample);
+            let data = fetch_profiles(&mut s, &sample).expect("fault-free fetch");
             let counts: VerdictCounts = data.iter().map(|d| sp.classify(d, now)).collect();
             counts.percentage(Verdict::Fake)
         };
@@ -145,7 +145,8 @@ pub fn run_ablation(params: AblationParams, seed: u64) -> AblationResult {
             let all = s.followers_ids(built.target).expect("target exists");
             let mut rng = rng_for(seed, "a1-sb-uni");
             let sample = UniformSampler::new().draw(&mut rng, &all, sb.frame().assess);
-            let data = fetch_profiles_with_indexed_timelines(&mut s, &sample, 200);
+            let data = fetch_profiles_with_indexed_timelines(&mut s, &sample, 200)
+                .expect("fault-free fetch");
             let counts: VerdictCounts = data.iter().map(|d| sb.classify(d, now)).collect();
             counts.percentage(Verdict::Fake)
         };

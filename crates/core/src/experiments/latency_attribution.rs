@@ -184,6 +184,7 @@ pub fn run_latency_attribution(scale: Scale, seed: u64) -> LatencyAttributionRes
         queue_capacity: 8,
         policy: OverloadPolicy::Shed,
         degraded_secs: 0.5,
+        deadline_secs: None,
     };
     let spec = SloSpec::default();
 

@@ -14,6 +14,7 @@
 //! | E7 | post-burst reporting timeline (extension) | [`burst`] |
 //! | E8 | service under offered load (extension) | [`service_load`] |
 //! | E9 | latency attribution under load (extension) | [`latency_attribution`] |
+//! | E10 | audit under an unreliable API (extension) | [`chaos`] |
 //! | A1 | ablation: prefix vs uniform sampling | [`ablation`] |
 //! | A2 | ablation: cache policy (latency vs staleness) | [`cache_ablation`] |
 //!
@@ -26,6 +27,7 @@ pub mod ablation;
 pub mod bias;
 pub mod burst;
 pub mod cache_ablation;
+pub mod chaos;
 pub mod crawl;
 pub mod deep_dive;
 pub mod disagreement;

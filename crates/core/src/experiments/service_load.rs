@@ -215,6 +215,7 @@ pub fn run_service_load(scale: Scale, seed: u64) -> ServiceLoadResult {
         queue_capacity: 8,
         policy: OverloadPolicy::Shed,
         degraded_secs: 0.5,
+        deadline_secs: None,
     };
 
     let (platform, targets) = build_targets(scale, seed, TARGETS);

@@ -30,9 +30,17 @@ impl AccountData {
 /// StatusPeople, Twitteraudit, the FC engine).
 ///
 /// Unknown ids are dropped, as the real endpoint does.
-pub fn fetch_profiles(session: &mut ApiSession<'_>, ids: &[AccountId]) -> Vec<AccountData> {
-    session
-        .users_lookup(ids)
+///
+/// # Errors
+///
+/// Propagates retryable [`ApiError`]s when the session's fault plan
+/// exhausts its retry budget.
+pub fn fetch_profiles(
+    session: &mut ApiSession<'_>,
+    ids: &[AccountId],
+) -> Result<Vec<AccountData>, ApiError> {
+    Ok(session
+        .users_lookup(ids)?
         .into_iter()
         .zip(ids.iter())
         .map(|(profile, &id)| AccountData {
@@ -40,7 +48,7 @@ pub fn fetch_profiles(session: &mut ApiSession<'_>, ids: &[AccountId]) -> Vec<Ac
             profile,
             recent_tweets: None,
         })
-        .collect()
+        .collect())
 }
 
 /// Hydrates profiles *and* recent timelines (up to `timeline_depth` tweets
@@ -54,7 +62,7 @@ pub fn fetch_profiles_with_timelines(
     ids: &[AccountId],
     timeline_depth: usize,
 ) -> Result<Vec<AccountData>, ApiError> {
-    let mut out = fetch_profiles(session, ids);
+    let mut out = fetch_profiles(session, ids)?;
     for acc in &mut out {
         acc.recent_tweets = Some(session.user_timeline(acc.id, timeline_depth)?);
     }
@@ -66,17 +74,21 @@ pub fn fetch_profiles_with_timelines(
 /// Socialbakers' monitoring infrastructure amortises data collection
 /// (§IV-C shows SB answering in ~10 s, far below what per-audit timeline
 /// crawls would allow).
+///
+/// # Errors
+///
+/// Propagates retryable [`ApiError`]s from the profile hydration.
 pub fn fetch_profiles_with_indexed_timelines(
     session: &mut ApiSession<'_>,
     ids: &[AccountId],
     timeline_depth: usize,
-) -> Vec<AccountData> {
-    let mut out = fetch_profiles(session, ids);
+) -> Result<Vec<AccountData>, ApiError> {
+    let mut out = fetch_profiles(session, ids)?;
     let platform = session.platform();
     for acc in &mut out {
         acc.recent_tweets = Some(platform.recent_tweets(acc.id, timeline_depth));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -106,7 +118,7 @@ mod tests {
     fn fetch_profiles_hydrates_all_known() {
         let (platform, t) = built();
         let mut s = ApiSession::new(&platform, ApiConfig::default());
-        let data = fetch_profiles(&mut s, &ids(&t, 150));
+        let data = fetch_profiles(&mut s, &ids(&t, 150)).unwrap();
         assert_eq!(data.len(), 150);
         assert!(data.iter().all(|d| d.recent_tweets.is_none()));
         assert_eq!(s.log().users_lookup, 2);
@@ -126,7 +138,7 @@ mod tests {
     fn indexed_timelines_are_free() {
         let (platform, t) = built();
         let mut s = ApiSession::new(&platform, ApiConfig::default());
-        let data = fetch_profiles_with_indexed_timelines(&mut s, &ids(&t, 20), 200);
+        let data = fetch_profiles_with_indexed_timelines(&mut s, &ids(&t, 20), 200).unwrap();
         assert_eq!(data.len(), 20);
         assert!(data.iter().all(|d| d.recent_tweets.is_some()));
         assert_eq!(s.log().user_timeline, 0, "index reads bypass the API");
@@ -140,7 +152,7 @@ mod tests {
         let mut s1 = ApiSession::new(&platform, ApiConfig::default());
         let via_api = fetch_profiles_with_timelines(&mut s1, &sample, 200).unwrap();
         let mut s2 = ApiSession::new(&platform, ApiConfig::default());
-        let via_index = fetch_profiles_with_indexed_timelines(&mut s2, &sample, 200);
+        let via_index = fetch_profiles_with_indexed_timelines(&mut s2, &sample, 200).unwrap();
         assert_eq!(via_api, via_index);
     }
 
@@ -148,7 +160,7 @@ mod tests {
     fn timeline_stats_roundtrip() {
         let (platform, t) = built();
         let mut s = ApiSession::new(&platform, ApiConfig::default());
-        let data = fetch_profiles_with_indexed_timelines(&mut s, &ids(&t, 30), 200);
+        let data = fetch_profiles_with_indexed_timelines(&mut s, &ids(&t, 30), 200).unwrap();
         for d in &data {
             let stats = d.timeline_stats().unwrap();
             assert_eq!(stats.count as u64, d.profile.statuses_count.min(200));

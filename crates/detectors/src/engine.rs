@@ -88,6 +88,26 @@ impl std::error::Error for AuditError {
     }
 }
 
+impl AuditError {
+    /// Structured retryability, delegated to [`ApiError::is_retryable`]:
+    /// transient API transport failures are retryable; a target with no
+    /// followers is a fact about the target, not a fault.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            AuditError::Api(e) => e.is_retryable(),
+            AuditError::NoFollowers(_) => false,
+        }
+    }
+
+    /// The server-suggested wait carried by the failure, when any.
+    pub fn retry_after_secs(&self) -> Option<u32> {
+        match self {
+            AuditError::Api(e) => e.retry_after_secs(),
+            AuditError::NoFollowers(_) => None,
+        }
+    }
+}
+
 #[doc(hidden)]
 impl From<ApiError> for AuditError {
     fn from(e: ApiError) -> Self {

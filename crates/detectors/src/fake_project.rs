@@ -118,9 +118,9 @@ impl FollowerAuditor for FakeProjectEngine {
         let sample = UniformSampler::new().draw(&mut rng, &all, self.sample_size as usize);
         // (iii) …hydrated and classified with the published rules + model.
         let data: Vec<AccountData> = match self.feature_set {
-            FeatureSet::ProfileOnly => fetch_profiles(session, &sample),
+            FeatureSet::ProfileOnly => fetch_profiles(session, &sample)?,
             FeatureSet::WithTimeline => {
-                fetch_profiles_with_indexed_timelines(session, &sample, 200)
+                fetch_profiles_with_indexed_timelines(session, &sample, 200)?
             }
         };
         let assessed: Vec<(AccountId, Verdict)> =

@@ -182,7 +182,7 @@ impl FollowerAuditor for Socialbakers {
         let sample = self.frame.draw(session, target, seed)?;
         // Profiles via the API; timelines from Socialbakers' own monitoring
         // index (see data module docs).
-        let data = fetch_profiles_with_indexed_timelines(session, &sample, 200);
+        let data = fetch_profiles_with_indexed_timelines(session, &sample, 200)?;
         let assessed: Vec<(AccountId, Verdict)> =
             data.iter().map(|d| (d.id, self.classify(d, now))).collect();
         let counts: VerdictCounts = assessed.iter().map(|&(_, v)| v).collect();

@@ -169,7 +169,7 @@ impl FollowerAuditor for StatusPeople {
     ) -> Result<AuditOutcome, AuditError> {
         let now = session.platform().now();
         let sample = self.frame.draw(session, target, seed)?;
-        let data = fetch_profiles(session, &sample);
+        let data = fetch_profiles(session, &sample)?;
         let assessed: Vec<(AccountId, Verdict)> =
             data.iter().map(|d| (d.id, self.classify(d, now))).collect();
         let counts: VerdictCounts = assessed.iter().map(|&(_, v)| v).collect();

@@ -118,7 +118,7 @@ impl Twitteraudit {
     ) -> Result<(AuditOutcome, Histogram), AuditError> {
         let now = session.platform().now();
         let sample = self.frame.draw(session, target, seed)?;
-        let data = fetch_profiles(session, &sample);
+        let data = fetch_profiles(session, &sample)?;
         let assessed: Vec<(AccountId, Verdict)> =
             data.iter().map(|d| (d.id, self.classify(d, now))).collect();
         let counts: VerdictCounts = assessed.iter().map(|&(_, v)| v).collect();
@@ -157,7 +157,7 @@ impl FollowerAuditor for Twitteraudit {
     ) -> Result<AuditOutcome, AuditError> {
         let now = session.platform().now();
         let sample = self.frame.draw(session, target, seed)?;
-        let data = fetch_profiles(session, &sample);
+        let data = fetch_profiles(session, &sample)?;
         let assessed: Vec<(AccountId, Verdict)> =
             data.iter().map(|d| (d.id, self.classify(d, now))).collect();
         let counts: VerdictCounts = assessed.iter().map(|&(_, v)| v).collect();

@@ -64,6 +64,25 @@ pub trait AuditBackend {
         let _ = ctx;
         self.serve(platform, target)
     }
+    /// [`AuditBackend::serve_traced`] with the simulator's event-loop
+    /// clock (seconds since run start). Backends with time-dependent
+    /// state — an `OnlineService`'s circuit breaker cools down in wall
+    /// time — need the advancing server clock, because the platform clock
+    /// is frozen for the whole run. The default ignores it.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditBackend::serve`].
+    fn serve_traced_at(
+        &mut self,
+        platform: &Platform,
+        target: AccountId,
+        ctx: &TraceContext,
+        now_secs: f64,
+    ) -> Result<ServiceResponse, ServiceError> {
+        let _ = now_secs;
+        self.serve_traced(platform, target, ctx)
+    }
     /// The degrade-to-stale answer, if any report for `target` exists.
     fn serve_stale(&self, target: AccountId) -> Option<ServiceResponse>;
 }
@@ -90,6 +109,17 @@ impl<A: FollowerAuditor> AuditBackend for OnlineService<A> {
         self.request_in(platform, target, ctx)
     }
 
+    fn serve_traced_at(
+        &mut self,
+        platform: &Platform,
+        target: AccountId,
+        ctx: &TraceContext,
+        now_secs: f64,
+    ) -> Result<ServiceResponse, ServiceError> {
+        let breaker_now = platform.now().as_secs() as f64 + now_secs;
+        self.request_in_at(platform, target, ctx, breaker_now)
+    }
+
     fn serve_stale(&self, target: AccountId) -> Option<ServiceResponse> {
         OnlineService::serve_stale(self, target)
     }
@@ -107,6 +137,11 @@ pub struct ServerConfig {
     /// Simulated seconds a degraded (stale-cache) answer takes — no worker
     /// is occupied, it is a straight cache read.
     pub degraded_secs: f64,
+    /// End-to-end deadline: a queued request whose wait already exceeds
+    /// this when a worker frees up is dropped (the client hung up)
+    /// instead of served. `None` disables expiry. Under retry storms this
+    /// is what turns unbounded queue collapse into bounded shedding.
+    pub deadline_secs: Option<f64>,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +151,7 @@ impl Default for ServerConfig {
             queue_capacity: 8,
             policy: OverloadPolicy::Shed,
             degraded_secs: 0.5,
+            deadline_secs: None,
         }
     }
 }
@@ -132,6 +168,8 @@ pub enum RequestOutcome {
     Degraded,
     /// Refused at admission (503).
     Shed,
+    /// Dropped from the queue after its end-to-end deadline elapsed.
+    Expired,
     /// A worker picked it up but the service errored (quota, audit).
     Failed,
 }
@@ -143,6 +181,7 @@ impl RequestOutcome {
             RequestOutcome::Completed { .. } => "completed",
             RequestOutcome::Degraded => "degraded",
             RequestOutcome::Shed => "shed",
+            RequestOutcome::Expired => "expired",
             RequestOutcome::Failed => "failed",
         }
     }
@@ -208,6 +247,8 @@ pub struct ToolSummary {
     pub degraded: u64,
     /// Requests refused at admission.
     pub shed: u64,
+    /// Requests dropped in queue past the end-to-end deadline.
+    pub expired: u64,
     /// Requests that reached a worker but errored.
     pub failed: u64,
     /// Completed requests the service answered from its fresh cache.
@@ -261,6 +302,11 @@ impl ServerReport {
     /// Requests shed across all tools.
     pub fn shed(&self) -> u64 {
         self.totals(|t| t.shed)
+    }
+
+    /// Requests expired in queue across all tools.
+    pub fn expired(&self) -> u64 {
+        self.totals(|t| t.expired)
     }
 
     /// Requests that reached a worker and errored.
@@ -367,6 +413,13 @@ impl ServerReport {
                         &[("tool", tool), ("target", &target)],
                     );
                 }
+                RequestOutcome::Expired => {
+                    telemetry.event(
+                        names::SERVER_EXPIRED,
+                        r.finished.unwrap_or(r.arrived),
+                        &[("tool", tool), ("target", &target)],
+                    );
+                }
                 RequestOutcome::Failed => {
                     telemetry.event(
                         names::SERVER_FAILED,
@@ -401,6 +454,9 @@ fn record_tool_totals(telemetry: &Telemetry, per_tool: &[ToolSummary]) {
         telemetry.counter_add("server.completed", &labels, t.completed);
         telemetry.counter_add("server.degraded", &labels, t.degraded);
         telemetry.counter_add("server.shed", &labels, t.shed);
+        if t.expired > 0 {
+            telemetry.counter_add("server.expired", &labels, t.expired);
+        }
         telemetry.counter_add("server.failed", &labels, t.failed);
         telemetry.gauge_set("server.max_queue_depth", &labels, t.max_queue_depth as f64);
         telemetry.gauge_set("server.max_blocked", &labels, t.max_blocked as f64);
@@ -652,7 +708,7 @@ impl<'p> ServerSim<'p> {
         let server = &mut self.servers[idx];
         match server
             .backend
-            .serve_traced(self.platform, req.target, &backend_ctx)
+            .serve_traced_at(self.platform, req.target, &backend_ctx, now)
         {
             Ok(resp) => {
                 server.idle_workers -= 1;
@@ -718,11 +774,28 @@ impl<'p> ServerSim<'p> {
     }
 
     /// Hands queued requests to idle workers until one side runs out.
+    /// With a deadline configured, requests that already waited past it
+    /// are dropped here — the client stopped listening, so serving them
+    /// would burn a worker on a dead connection.
     fn drain_queue(&mut self, now: f64, idx: usize, heap: &mut EventHeap<Event>) {
         while self.servers[idx].idle_workers > 0 {
             let Some(req) = self.servers[idx].queue.pop() else {
                 break;
             };
+            if self.config.deadline_secs.is_some_and(|d| now - req.at > d) {
+                self.servers[idx].summary.expired += 1;
+                self.trace_refusal(names::SERVER_EXPIRED, now, &req);
+                self.records.push(RequestRecord {
+                    id: req.id,
+                    tool: req.tool,
+                    target: req.target,
+                    arrived: req.at,
+                    started: None,
+                    finished: Some(now),
+                    outcome: RequestOutcome::Expired,
+                });
+                continue;
+            }
             self.start_service(now, idx, req, heap);
         }
     }
@@ -964,12 +1037,66 @@ mod tests {
                 .collect();
             let report = sim(&platform, config).run(&trace);
             assert_eq!(
-                report.completed() + report.degraded() + report.shed() + report.failed(),
+                report.completed()
+                    + report.degraded()
+                    + report.shed()
+                    + report.expired()
+                    + report.failed(),
                 report.offered(),
                 "{policy:?}"
             );
             assert_eq!(report.records.len(), 20);
         }
+    }
+
+    #[test]
+    fn deadline_expires_overwaiting_queued_requests() {
+        let platform = Platform::new();
+        let config = ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 8,
+            policy: OverloadPolicy::Block,
+            deadline_secs: Some(15.0),
+            ..ServerConfig::default()
+        };
+        // One worker, 10 s service, six simultaneous arrivals: request 0
+        // serves at 0, request 1 at 10 (waited 10 ≤ 15), and the rest
+        // would start at 20+ having waited past the 15 s deadline.
+        let tel = Telemetry::enabled();
+        let mut s = ServerSim::with_telemetry(&platform, config, tel.clone());
+        s.register(Box::new(FakeBackend::new(ToolId::FakeClassifier, 10.0)));
+        let trace: Vec<Request> = (0..6)
+            .map(|i| request(i, 0.0, ToolId::FakeClassifier))
+            .collect();
+        let report = s.run(&trace);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.expired(), 4);
+        assert_eq!(
+            report.completed() + report.expired(),
+            report.offered(),
+            "every request accounted"
+        );
+        // Expired requests leave a point each and stay out of service time.
+        let events = tel.events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == names::SERVER_EXPIRED)
+                .count(),
+            4
+        );
+        let labels = [("tool", ToolId::FakeClassifier.abbrev())];
+        assert_eq!(tel.snapshot().counter("server.expired", &labels), Some(4));
+        // No deadline → everything completes (the seed behaviour).
+        let mut s2 = ServerSim::new(
+            &platform,
+            ServerConfig {
+                deadline_secs: None,
+                ..config
+            },
+        );
+        s2.register(Box::new(FakeBackend::new(ToolId::FakeClassifier, 10.0)));
+        assert_eq!(s2.run(&trace).completed(), 6);
     }
 
     #[test]

@@ -91,6 +91,7 @@ fn golden_run() -> (fakeaudit_server::ServerReport, String) {
             queue_capacity: 1,
             policy: OverloadPolicy::DegradeStale,
             degraded_secs: 0.25,
+            deadline_secs: None,
         },
         telemetry.clone(),
     );

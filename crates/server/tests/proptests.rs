@@ -121,6 +121,7 @@ fn run_traced(
             queue_capacity: capacity,
             policy,
             degraded_secs: 0.25,
+            deadline_secs: None,
         },
         telemetry.clone(),
     );

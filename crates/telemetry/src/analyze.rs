@@ -44,6 +44,16 @@ pub mod names {
     pub const DETECTOR_AUDIT: &str = "detector.audit";
     /// One rate-limited API call.
     pub const API_CALL: &str = "api.call";
+    /// Request dropped after its end-to-end deadline elapsed in queue:
+    /// point event.
+    pub const SERVER_EXPIRED: &str = "server.expired";
+    /// An injected upstream fault on one API call attempt: point event
+    /// with `endpoint` and `kind` attributes.
+    pub const API_FAULT: &str = "api.fault";
+    /// One retry backoff wait between failed API call attempts.
+    pub const API_RETRY: &str = "api.retry";
+    /// A circuit-breaker state change: point event with `from`/`to`.
+    pub const BREAKER_TRANSITION: &str = "breaker.transition";
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice. `None` when

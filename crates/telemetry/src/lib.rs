@@ -56,6 +56,7 @@ pub use report::RunReport;
 pub use trace::{EventKind, SpanId, TraceContext, TraceEvent};
 
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -63,9 +64,14 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 struct Inner {
     registry: MetricsRegistry,
-    events: Mutex<Vec<TraceEvent>>,
+    events: Mutex<VecDeque<TraceEvent>>,
     /// Next span id minus one; ids start at 1 in allocation order.
     span_ids: AtomicU64,
+    /// Trace-buffer bound; `None` keeps every event (the default, which
+    /// golden traces rely on).
+    event_capacity: Option<usize>,
+    /// Events evicted oldest-first once the buffer hit its bound.
+    dropped_events: AtomicU64,
 }
 
 /// A shared telemetry handle: either disabled (every call is a no-op
@@ -86,6 +92,29 @@ impl Telemetry {
         Self {
             inner: Some(Arc::new(Inner::default())),
         }
+    }
+
+    /// A collecting handle whose trace buffer keeps at most `capacity`
+    /// events: once full, each new event evicts the oldest and bumps
+    /// [`Telemetry::dropped_events`]. Metrics are unaffected — only the
+    /// event trace is bounded. Long chaos sweeps use this so retry storms
+    /// cannot grow the trace without bound; golden-trace runs use
+    /// [`Telemetry::enabled`], which never drops.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                event_capacity: Some(capacity.max(1)),
+                ..Inner::default()
+            })),
+        }
+    }
+
+    /// Trace events evicted by the buffer bound so far (0 when unbounded
+    /// or disabled).
+    pub fn dropped_events(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.dropped_events.load(Ordering::Relaxed))
     }
 
     /// Whether this handle records anything.
@@ -110,27 +139,30 @@ impl Telemetry {
             .map(|inner| SpanId(inner.span_ids.fetch_add(1, Ordering::Relaxed) + 1))
     }
 
-    /// Appends a fully built record to the trace.
+    /// Appends a fully built record to the trace, evicting the oldest
+    /// event first when a buffer bound is set and reached.
     pub(crate) fn push_event(&self, event: TraceEvent) {
         if let Some(inner) = &self.inner {
-            inner.events.lock().push(event);
+            let mut events = inner.events.lock();
+            if inner.event_capacity.is_some_and(|cap| events.len() >= cap) {
+                events.pop_front();
+                inner.dropped_events.fetch_add(1, Ordering::Relaxed);
+            }
+            events.push_back(event);
         }
     }
 
     /// Records a closed span `[t0, t1]` in simulated seconds.
     pub fn span(&self, name: &str, t0: f64, t1: f64, attrs: &[(&str, &str)]) {
-        if let Some(inner) = &self.inner {
-            inner
-                .events
-                .lock()
-                .push(TraceEvent::span(name, t0, t1, attrs));
+        if self.inner.is_some() {
+            self.push_event(TraceEvent::span(name, t0, t1, attrs));
         }
     }
 
     /// Records a point event at simulated time `t`.
     pub fn event(&self, name: &str, t: f64, attrs: &[(&str, &str)]) {
-        if let Some(inner) = &self.inner {
-            inner.events.lock().push(TraceEvent::point(name, t, attrs));
+        if self.inner.is_some() {
+            self.push_event(TraceEvent::point(name, t, attrs));
         }
     }
 
@@ -166,7 +198,7 @@ impl Telemetry {
     /// A copy of the trace so far (empty when disabled).
     pub fn events(&self) -> Vec<TraceEvent> {
         match &self.inner {
-            Some(inner) => inner.events.lock().clone(),
+            Some(inner) => inner.events.lock().iter().cloned().collect(),
             None => Vec::new(),
         }
     }
@@ -229,6 +261,30 @@ mod tests {
         let events = tel.events();
         assert_eq!(events[0].name, "first");
         assert_eq!(events[1].name, "second");
+    }
+
+    #[test]
+    fn bounded_buffer_drops_oldest_and_counts() {
+        let tel = Telemetry::with_event_capacity(3);
+        for i in 0..5 {
+            tel.event(&format!("e{i}"), i as f64, &[]);
+        }
+        let names: Vec<_> = tel.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["e2", "e3", "e4"]);
+        assert_eq!(tel.dropped_events(), 2);
+        // Metrics are not bounded by the event capacity.
+        tel.counter_add("c", &[], 7);
+        assert_eq!(tel.snapshot().counter_total("c"), 7);
+    }
+
+    #[test]
+    fn unbounded_handle_never_drops() {
+        let tel = Telemetry::enabled();
+        for i in 0..100 {
+            tel.event("e", i as f64, &[]);
+        }
+        assert_eq!(tel.events().len(), 100);
+        assert_eq!(tel.dropped_events(), 0);
     }
 
     #[test]

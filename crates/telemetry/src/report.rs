@@ -55,6 +55,46 @@ impl RunReport {
         (total > 0).then(|| hits as f64 / total as f64)
     }
 
+    /// Injected-fault rate actually observed: faults per API call
+    /// attempt. `None` when no faults were recorded (fault-free runs keep
+    /// the resilience section out of the report entirely).
+    pub fn observed_fault_rate(&self) -> Option<f64> {
+        let faults = self.snapshot.counter_total("api.faults");
+        let attempts = self.snapshot.counter_total("api.calls");
+        (faults > 0 && attempts > 0).then(|| faults as f64 / attempts as f64)
+    }
+
+    /// Mean retries per API call attempt.
+    pub fn retries_per_call(&self) -> f64 {
+        let attempts = self.snapshot.counter_total("api.calls");
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.snapshot.counter_total("api.retries") as f64 / attempts as f64
+    }
+
+    /// Fraction of served responses answered from the stale cache by an
+    /// open circuit breaker, in `[0, 1]`.
+    pub fn stale_served_fraction(&self) -> f64 {
+        let stale = self.snapshot.counter_total("service.stale_served");
+        let served = self.snapshot.counter_total("cache.hit")
+            + self.snapshot.counter_total("cache.miss")
+            + stale;
+        if served == 0 {
+            return 0.0;
+        }
+        stale as f64 / served as f64
+    }
+
+    /// Total circuit-breaker open time across tools, in sim seconds.
+    pub fn breaker_open_secs(&self) -> f64 {
+        self.snapshot
+            .label_values("breaker.open_secs", "tool")
+            .iter()
+            .filter_map(|tool| self.snapshot.gauge("breaker.open_secs", &[("tool", tool)]))
+            .sum()
+    }
+
     /// Renders the summary table.
     pub fn render(&self) -> String {
         let s = &self.snapshot;
@@ -192,6 +232,39 @@ impl RunReport {
                     wait_p95,
                 );
             }
+        }
+
+        // Only unreliable-upstream runs carry these series; fault-free
+        // runs render byte-identically to pre-fault builds.
+        let has_breaker = !s.label_values("breaker.open_secs", "tool").is_empty();
+        if self.observed_fault_rate().is_some() || has_breaker {
+            let _ = writeln!(
+                out,
+                "
+upstream resilience"
+            );
+            let _ = writeln!(
+                out,
+                "API faults          {:>10}   observed rate {:.1}%   retries {} ({:.2}/call)",
+                s.counter_total("api.faults"),
+                self.observed_fault_rate().unwrap_or(0.0) * 100.0,
+                s.counter_total("api.retries"),
+                self.retries_per_call(),
+            );
+            let _ = writeln!(
+                out,
+                "backoff wait        {:>9.1}s   call failures {}",
+                s.histogram_sum("api.backoff_secs"),
+                s.counter_total("api.call_failures"),
+            );
+            let _ = writeln!(
+                out,
+                "stale served        {:>10}   ({:.1}% of served)   breaker open {:.0}s, {} transitions",
+                s.counter_total("service.stale_served"),
+                self.stale_served_fraction() * 100.0,
+                self.breaker_open_secs(),
+                s.counter_total("breaker.transitions"),
+            );
         }
 
         if !self.attribution.tools.is_empty() {
@@ -335,6 +408,36 @@ mod tests {
         assert!(text.contains("lat p99"));
         assert!(text.contains("FC"));
         assert!(text.contains("p50 / p95 / p99"), "histogram dump header");
+    }
+
+    #[test]
+    fn fault_free_report_has_no_resilience_section() {
+        let text = RunReport::from_telemetry(&sample_telemetry()).render();
+        assert!(!text.contains("upstream resilience"));
+    }
+
+    #[test]
+    fn faulty_run_reports_resilience_numbers() {
+        let tel = sample_telemetry();
+        tel.counter_add(
+            "api.faults",
+            &[("endpoint", "users_lookup"), ("kind", "unavailable")],
+            2,
+        );
+        tel.counter_add("api.retries", &[("endpoint", "users_lookup")], 2);
+        tel.observe("api.backoff_secs", &[("endpoint", "users_lookup")], 3.5);
+        tel.counter_add("service.stale_served", &[("tool", "TA")], 1);
+        tel.gauge_set("breaker.open_secs", &[("tool", "TA")], 120.0);
+        tel.counter_add("breaker.transitions", &[("tool", "TA"), ("to", "open")], 1);
+        let report = RunReport::from_telemetry(&tel);
+        assert_eq!(report.observed_fault_rate(), Some(0.5));
+        assert_eq!(report.retries_per_call(), 0.5);
+        assert!((report.stale_served_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(report.breaker_open_secs(), 120.0);
+        let text = report.render();
+        assert!(text.contains("upstream resilience"), "{text}");
+        assert!(text.contains("observed rate 50.0%"));
+        assert!(text.contains("breaker open 120s, 1 transitions"));
     }
 
     #[test]

@@ -1,0 +1,601 @@
+//! Deterministic fault injection and retry policy for API sessions.
+//!
+//! The paper's Table I model assumes an API that only ever fails by rate
+//! limiting; real crawls also hit 503s, 429s with `Retry-After`, client
+//! timeouts, and truncated follower pages (*Fame for sale* reports crawler
+//! flakiness as a first-class cost). A [`FaultPlan`] makes those failure
+//! modes a seeded, reproducible dimension of the simulation: the same seed
+//! and plan replay byte-identical fault sequences, and a [`RetryPolicy`]
+//! decides how a session spends sim-clock seconds recovering from them.
+//!
+//! Determinism argument: the injector draws from its own
+//! [`DetStream`] (seeded `derive_seed(plan.seed, "fault-injector")`) —
+//! a self-contained splitmix64 stream, fully separate from the session's
+//! latency stream and independent of the `rand` crate's generator choice
+//! — and consumes exactly one draw per call attempt on a faultable
+//! endpoint. Enabling faults therefore never perturbs latency draws,
+//! fault schedules are bit-reproducible across toolchains (safe to pin
+//! in committed golden fixtures), and [`FaultPlan::none`] consumes
+//! nothing at all, leaving fault-free sessions byte-identical to a build
+//! without this module.
+
+use crate::endpoint::Endpoint;
+use fakeaudit_stats::rng::{derive_seed, DetStream};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The failure modes an injected fault can take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// `503 Service Unavailable` — a fast server-side error response.
+    Unavailable,
+    /// `429 Too Many Requests` carrying a synthetic `Retry-After` header.
+    RateLimited,
+    /// The client's HTTP timeout fires; the call burns `timeout_secs` of
+    /// sim time before failing.
+    Timeout,
+    /// The call "succeeds" but returns a partial page and loses its
+    /// pagination cursor — the crawl continues with truncated data.
+    TruncatedPage,
+}
+
+impl FaultKind {
+    /// All kinds, in severity order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Unavailable,
+        FaultKind::RateLimited,
+        FaultKind::Timeout,
+        FaultKind::TruncatedPage,
+    ];
+
+    /// Machine-friendly label for metric names and trace attributes.
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultKind::Unavailable => "unavailable",
+            FaultKind::RateLimited => "rate_limited",
+            FaultKind::Timeout => "timeout",
+            FaultKind::TruncatedPage => "truncated_page",
+        }
+    }
+
+    /// Whether a call hit by this fault still returns data to the caller.
+    pub fn is_partial_success(self) -> bool {
+        matches!(self, FaultKind::TruncatedPage)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Per-attempt fault probabilities for one endpoint. Each field is the
+/// Bernoulli probability that one REST call attempt draws that fault;
+/// their sum must stay ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// P(503) per attempt.
+    pub unavailable: f64,
+    /// P(429 + Retry-After) per attempt.
+    pub rate_limited: f64,
+    /// P(client timeout) per attempt.
+    pub timeout: f64,
+    /// P(truncated page) per attempt.
+    pub truncated_page: f64,
+}
+
+impl FaultRates {
+    /// No faults at all.
+    pub const NONE: FaultRates = FaultRates {
+        unavailable: 0.0,
+        rate_limited: 0.0,
+        timeout: 0.0,
+        truncated_page: 0.0,
+    };
+
+    /// Splits an overall per-attempt fault rate into the mix a flaky REST
+    /// API typically shows: mostly 503s, some 429s, occasional timeouts
+    /// and truncated pages.
+    pub fn split(rate: f64) -> FaultRates {
+        FaultRates {
+            unavailable: rate * 0.50,
+            rate_limited: rate * 0.25,
+            timeout: rate * 0.15,
+            truncated_page: rate * 0.10,
+        }
+    }
+
+    /// Total per-attempt fault probability.
+    pub fn total(&self) -> f64 {
+        self.unavailable + self.rate_limited + self.timeout + self.truncated_page
+    }
+
+    /// True when every rate is zero.
+    pub fn is_none(&self) -> bool {
+        self.total() == 0.0
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("unavailable", self.unavailable),
+            ("rate_limited", self.rate_limited),
+            ("timeout", self.timeout),
+            ("truncated_page", self.truncated_page),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p) && p.is_finite(),
+                "fault rate {name} must be in [0, 1]"
+            );
+        }
+        assert!(self.total() <= 1.0, "fault rates must sum to <= 1");
+    }
+}
+
+/// A seeded, reproducible plan for when and how API calls fail.
+///
+/// Faults are drawn per call attempt from a dedicated RNG stream; with
+/// `burst_factor > 1` a fault raises the probability of the next draw
+/// faulting too (clamped so the total stays ≤ 1), which clusters failures
+/// the way real outages do.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the fault stream (independent of the latency seed).
+    pub seed: u64,
+    /// Per-endpoint rates, in [`Endpoint::ALL`] order.
+    pub rates: [FaultRates; 4],
+    /// Multiplier on fault probability while the previous attempt
+    /// faulted. `1.0` means independent draws.
+    pub burst_factor: f64,
+    /// Synthetic `Retry-After` value carried by injected 429s, seconds.
+    pub retry_after_secs: u32,
+    /// Sim-clock seconds a timed-out call burns before failing.
+    pub timeout_secs: f64,
+}
+
+impl FaultPlan {
+    /// The identity plan: no faults, nothing drawn, sessions behave
+    /// byte-identically to an uninjected build.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            rates: [FaultRates::NONE; 4],
+            burst_factor: 1.0,
+            retry_after_secs: 30,
+            timeout_secs: 10.0,
+        }
+    }
+
+    /// Uniform plan: every endpoint faults with per-attempt probability
+    /// `rate`, split across kinds by [`FaultRates::split`], independent
+    /// draws.
+    pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: [FaultRates::split(rate); 4],
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Burst-correlated plan: like [`FaultPlan::uniform`] but a fault
+    /// multiplies the next attempt's fault probability by `burst_factor`,
+    /// so failures arrive in streaks.
+    pub fn bursty(seed: u64, rate: f64, burst_factor: f64) -> FaultPlan {
+        FaultPlan {
+            burst_factor,
+            ..FaultPlan::uniform(seed, rate)
+        }
+    }
+
+    /// True when no endpoint can fault — the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.rates.iter().all(FaultRates::is_none)
+    }
+
+    /// Panics on rates outside [0, 1], a non-finite or sub-1 burst
+    /// factor, or a negative timeout.
+    pub fn validate(&self) {
+        for r in &self.rates {
+            r.validate();
+        }
+        assert!(
+            self.burst_factor >= 1.0 && self.burst_factor.is_finite(),
+            "burst_factor must be >= 1"
+        );
+        assert!(
+            self.timeout_secs >= 0.0 && self.timeout_secs.is_finite(),
+            "timeout_secs must be non-negative"
+        );
+    }
+
+    fn rates_for(&self, endpoint: Endpoint) -> &FaultRates {
+        let idx = Endpoint::ALL
+            .iter()
+            .position(|&e| e == endpoint)
+            .expect("endpoint in catalogue");
+        &self.rates[idx]
+    }
+}
+
+/// Draws faults according to a [`FaultPlan`]. One injector per session;
+/// exactly one RNG draw per attempt on an endpoint with nonzero rates.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    stream: DetStream,
+    /// Whether the previous draw faulted (burst correlation state).
+    hot: bool,
+}
+
+impl FaultInjector {
+    /// Builds an injector with its own seeded stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid plan (see [`FaultPlan::validate`]).
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        plan.validate();
+        FaultInjector {
+            plan,
+            stream: DetStream::new(plan.seed, "fault-injector"),
+            hot: false,
+        }
+    }
+
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Draws the fate of one call attempt against `endpoint`.
+    pub fn draw(&mut self, endpoint: Endpoint) -> Option<FaultKind> {
+        let rates = self.plan.rates_for(endpoint);
+        if rates.is_none() {
+            return None;
+        }
+        let boost = if self.hot {
+            self.plan.burst_factor
+        } else {
+            1.0
+        };
+        let u = self.stream.next_f64();
+        let mut edge = 0.0;
+        let mut hit = None;
+        for (kind, p) in [
+            (FaultKind::Unavailable, rates.unavailable),
+            (FaultKind::RateLimited, rates.rate_limited),
+            (FaultKind::Timeout, rates.timeout),
+            (FaultKind::TruncatedPage, rates.truncated_page),
+        ] {
+            edge += (p * boost).min(1.0);
+            if u < edge {
+                hit = Some(kind);
+                break;
+            }
+        }
+        self.hot = hit.is_some();
+        hit
+    }
+}
+
+/// How a session retries failed calls: capped exponential backoff with
+/// deterministic seeded jitter, `Retry-After` honoring, and a per-call
+/// attempt budget. Backoff waits are charged to the sim clock (and thus
+/// the crawl budget) like any other elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per logical call, including the first (≥ 1;
+    /// 1 means fail fast).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, seconds.
+    pub base_backoff_secs: f64,
+    /// Multiplier applied per further retry.
+    pub backoff_multiplier: f64,
+    /// Cap on a single backoff wait, seconds (before `Retry-After`).
+    pub max_backoff_secs: f64,
+    /// Uniform jitter fraction: each backoff is scaled by a seeded draw
+    /// from `[1, 1 + jitter_frac)`.
+    pub jitter_frac: f64,
+    /// Whether an injected 429's `Retry-After` floors the backoff.
+    pub honor_retry_after: bool,
+    /// Optional per-call deadline: once a logical call (attempts plus
+    /// backoffs) has burned this many seconds, it stops retrying.
+    pub deadline_secs: Option<f64>,
+}
+
+impl RetryPolicy {
+    /// Fail fast: one attempt, no backoff. The identity policy.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_secs: 0.0,
+            backoff_multiplier: 1.0,
+            max_backoff_secs: 0.0,
+            jitter_frac: 0.0,
+            honor_retry_after: false,
+            deadline_secs: None,
+        }
+    }
+
+    /// A production-shaped default: 4 attempts, 1 s base backoff doubling
+    /// to a 60 s cap, 10 % jitter, `Retry-After` honored, no deadline.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_secs: 1.0,
+            backoff_multiplier: 2.0,
+            max_backoff_secs: 60.0,
+            jitter_frac: 0.1,
+            honor_retry_after: true,
+            deadline_secs: None,
+        }
+    }
+
+    /// Panics on a zero attempt budget or negative/non-finite timings.
+    pub fn validate(&self) {
+        assert!(self.max_attempts >= 1, "max_attempts must be >= 1");
+        assert!(
+            self.base_backoff_secs >= 0.0 && self.base_backoff_secs.is_finite(),
+            "base_backoff_secs must be non-negative"
+        );
+        assert!(
+            self.backoff_multiplier >= 1.0 && self.backoff_multiplier.is_finite(),
+            "backoff_multiplier must be >= 1"
+        );
+        assert!(
+            self.max_backoff_secs >= 0.0 && self.max_backoff_secs.is_finite(),
+            "max_backoff_secs must be non-negative"
+        );
+        assert!(
+            self.jitter_frac >= 0.0 && self.jitter_frac.is_finite(),
+            "jitter_frac must be non-negative"
+        );
+        if let Some(d) = self.deadline_secs {
+            assert!(
+                d >= 0.0 && d.is_finite(),
+                "deadline_secs must be non-negative"
+            );
+        }
+    }
+
+    /// The seed-derived jitter stream for a session's backoffs, separate
+    /// from both the latency and the fault streams.
+    pub fn jitter_stream(plan_seed: u64) -> DetStream {
+        DetStream::new(derive_seed(plan_seed, "retry-jitter"), "retry-jitter")
+    }
+
+    /// Backoff before retry number `retry` (1-based), honoring
+    /// `retry_after` when configured. Consumes one jitter draw iff
+    /// `jitter_frac > 0`.
+    pub fn backoff_secs(
+        &self,
+        retry: u32,
+        retry_after: Option<u32>,
+        jitter: &mut DetStream,
+    ) -> f64 {
+        let exp = self.base_backoff_secs * self.backoff_multiplier.powi(retry as i32 - 1);
+        let mut backoff = exp.min(self.max_backoff_secs);
+        if self.jitter_frac > 0.0 {
+            backoff *= 1.0 + jitter.next_f64() * self.jitter_frac;
+        }
+        if self.honor_retry_after {
+            if let Some(ra) = retry_after {
+                backoff = backoff.max(f64::from(ra));
+            }
+        }
+        backoff
+    }
+}
+
+/// One injected fault, as kept in the bounded per-session [`FaultLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Session-relative sim seconds when the fault fired.
+    pub at_secs: f64,
+    /// Endpoint hit.
+    pub endpoint: Endpoint,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Which attempt of the logical call faulted (1-based).
+    pub attempt: u32,
+}
+
+/// Bounded drop-oldest record of injected faults, so retry-heavy sessions
+/// cannot grow memory without bound. Aggregate counters never drop.
+#[derive(Debug, Clone)]
+pub struct FaultLog {
+    records: VecDeque<FaultRecord>,
+    capacity: usize,
+    dropped: u64,
+    /// Total faults injected (all kinds, including truncations).
+    pub injected: u64,
+    /// Retries performed (backoffs slept).
+    pub retries: u64,
+    /// Calls that returned a truncated page.
+    pub truncated_pages: u64,
+    /// Logical calls that exhausted their attempt budget or deadline.
+    pub exhausted_calls: u64,
+    /// Sim seconds spent in backoff waits.
+    pub backoff_secs: f64,
+}
+
+impl FaultLog {
+    /// Default bound on retained fault records.
+    pub const DEFAULT_CAPACITY: usize = 512;
+
+    /// An empty log retaining at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> FaultLog {
+        FaultLog {
+            records: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            injected: 0,
+            retries: 0,
+            truncated_pages: 0,
+            exhausted_calls: 0,
+            backoff_secs: 0.0,
+        }
+    }
+
+    /// Appends a record, dropping the oldest once full.
+    pub fn push(&mut self, record: FaultRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// The retained (newest) records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &FaultRecord> {
+        self.records.iter()
+    }
+
+    /// Records evicted by the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Default for FaultLog {
+    fn default() -> FaultLog {
+        FaultLog::with_capacity(FaultLog::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_identity() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        let mut inj = FaultInjector::new(plan);
+        for e in Endpoint::ALL {
+            assert_eq!(inj.draw(e), None);
+        }
+    }
+
+    #[test]
+    fn uniform_plan_hits_roughly_the_rate() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform(7, 0.2));
+        let hits = (0..10_000)
+            .filter(|_| inj.draw(Endpoint::UsersLookup).is_some())
+            .count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "observed {rate}");
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let seq = |seed| {
+            let mut inj = FaultInjector::new(FaultPlan::bursty(seed, 0.3, 4.0));
+            (0..500)
+                .map(|i| inj.draw(Endpoint::ALL[i % 4]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(11), seq(11));
+        assert_ne!(seq(11), seq(12));
+    }
+
+    #[test]
+    fn bursts_cluster_faults() {
+        let streaks = |plan: FaultPlan| {
+            let mut inj = FaultInjector::new(plan);
+            let mut after_fault = 0u32;
+            let mut faults = 0u32;
+            let mut prev = false;
+            for _ in 0..50_000 {
+                let hit = inj.draw(Endpoint::UsersLookup).is_some();
+                if prev {
+                    after_fault += u32::from(hit);
+                    faults += 1;
+                }
+                prev = hit;
+            }
+            f64::from(after_fault) / f64::from(faults)
+        };
+        let independent = streaks(FaultPlan::uniform(3, 0.1));
+        let bursty = streaks(FaultPlan::bursty(3, 0.1, 6.0));
+        assert!(
+            bursty > independent * 2.0,
+            "bursty {bursty} vs {independent}"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_honors_retry_after() {
+        let policy = RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::standard()
+        };
+        let mut rng = RetryPolicy::jitter_stream(0);
+        assert_eq!(policy.backoff_secs(1, None, &mut rng), 1.0);
+        assert_eq!(policy.backoff_secs(2, None, &mut rng), 2.0);
+        assert_eq!(policy.backoff_secs(3, None, &mut rng), 4.0);
+        assert_eq!(policy.backoff_secs(20, None, &mut rng), 60.0);
+        assert_eq!(policy.backoff_secs(1, Some(45), &mut rng), 45.0);
+        let deaf = RetryPolicy {
+            honor_retry_after: false,
+            ..policy
+        };
+        assert_eq!(deaf.backoff_secs(1, Some(45), &mut rng), 1.0);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seeded() {
+        let policy = RetryPolicy::standard();
+        let draws = |seed| {
+            let mut rng = RetryPolicy::jitter_stream(seed);
+            (1..=8)
+                .map(|r| policy.backoff_secs(r, None, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        let a = draws(5);
+        assert_eq!(a, draws(5));
+        assert_ne!(a, draws(6));
+        for (i, b) in a.iter().enumerate() {
+            let exp = (2.0f64.powi(i as i32)).min(60.0);
+            assert!(*b >= exp && *b <= exp * 1.1 + 1e-12, "retry {i}: {b}");
+        }
+    }
+
+    #[test]
+    fn fault_log_drops_oldest() {
+        let mut log = FaultLog::with_capacity(2);
+        for i in 0..5 {
+            log.push(FaultRecord {
+                at_secs: f64::from(i),
+                endpoint: Endpoint::UsersLookup,
+                kind: FaultKind::Unavailable,
+                attempt: 1,
+            });
+        }
+        assert_eq!(log.dropped(), 3);
+        let kept: Vec<f64> = log.records().map(|r| r.at_secs).collect();
+        assert_eq!(kept, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rates must sum to <= 1")]
+    fn rejects_oversubscribed_rates() {
+        FaultInjector::new(FaultPlan::uniform(0, 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_attempts must be >= 1")]
+    fn rejects_zero_attempt_budget() {
+        RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::none()
+        }
+        .validate();
+    }
+}

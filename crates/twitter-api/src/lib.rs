@@ -28,8 +28,12 @@
 
 pub mod crawl;
 pub mod endpoint;
+pub mod fault;
 pub mod rate_limit;
 pub mod session;
 
 pub use endpoint::Endpoint;
+pub use fault::{
+    FaultInjector, FaultKind, FaultLog, FaultPlan, FaultRates, FaultRecord, RetryPolicy,
+};
 pub use session::{ApiConfig, ApiError, ApiSession, CallLog, Cursor};

@@ -7,8 +7,9 @@
 //! after the tool's call schedule.
 
 use crate::endpoint::{Endpoint, WINDOW_SECS};
+use crate::fault::{FaultInjector, FaultKind, FaultLog, FaultPlan, FaultRecord, RetryPolicy};
 use crate::rate_limit::TokenBucket;
-use fakeaudit_stats::rng::rng_for;
+use fakeaudit_stats::rng::{rng_for, DetStream};
 use fakeaudit_telemetry::{Telemetry, TraceContext};
 use fakeaudit_twittersim::{AccountId, Platform, Profile, Tweet};
 use rand::rngs::StdRng;
@@ -101,6 +102,61 @@ pub enum ApiError {
         /// Endpoint maximum.
         max: usize,
     },
+    /// The API answered `503 Service Unavailable` and every retry the
+    /// session's [`RetryPolicy`] allowed failed too.
+    ServiceUnavailable {
+        /// Endpoint that failed.
+        endpoint: Endpoint,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The API answered `429 Too Many Requests` with a `Retry-After`
+    /// header, and the attempt budget ran out before a call went through.
+    RateLimited {
+        /// Endpoint that failed.
+        endpoint: Endpoint,
+        /// The last `Retry-After` value received, seconds.
+        retry_after_secs: u32,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The client's HTTP timeout fired on every attempt the session's
+    /// [`RetryPolicy`] allowed.
+    TimedOut {
+        /// Endpoint that failed.
+        endpoint: Endpoint,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl ApiError {
+    /// Structured retryability classification: whether a fresh attempt
+    /// against the API could plausibly succeed. Retry loops and circuit
+    /// breakers key on this instead of matching variants ad hoc —
+    /// transient transport failures are retryable, caller mistakes
+    /// (unknown account, bad cursor, oversized batch) are not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ApiError::ServiceUnavailable { .. }
+            | ApiError::RateLimited { .. }
+            | ApiError::TimedOut { .. } => true,
+            ApiError::UnknownAccount(_) | ApiError::BadCursor(_) | ApiError::TooManyIds { .. } => {
+                false
+            }
+        }
+    }
+
+    /// The server-suggested wait before retrying, when the failure
+    /// carried one (only 429s do).
+    pub fn retry_after_secs(&self) -> Option<u32> {
+        match self {
+            ApiError::RateLimited {
+                retry_after_secs, ..
+            } => Some(*retry_after_secs),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ApiError {
@@ -110,6 +166,20 @@ impl fmt::Display for ApiError {
             ApiError::BadCursor(c) => write!(f, "invalid pagination {c}"),
             ApiError::TooManyIds { given, max } => {
                 write!(f, "too many ids in one request: {given} > {max}")
+            }
+            ApiError::ServiceUnavailable { endpoint, attempts } => {
+                write!(f, "{endpoint}: 503 service unavailable after {attempts} attempts")
+            }
+            ApiError::RateLimited {
+                endpoint,
+                retry_after_secs,
+                attempts,
+            } => write!(
+                f,
+                "{endpoint}: 429 rate limited (retry-after {retry_after_secs}s) after {attempts} attempts"
+            ),
+            ApiError::TimedOut { endpoint, attempts } => {
+                write!(f, "{endpoint}: timed out after {attempts} attempts")
             }
         }
     }
@@ -182,6 +252,24 @@ pub struct ApiSession<'a> {
     /// stamped `trace_base + now` so spans from different sessions share
     /// one absolute sim-time axis.
     trace_base: f64,
+    /// Fault source, armed by [`ApiSession::with_faults`]; `None` keeps
+    /// the session byte-identical to a fault-free build.
+    injector: Option<FaultInjector>,
+    /// How failed calls are retried. [`RetryPolicy::none`] by default.
+    retry: RetryPolicy,
+    /// Seeded jitter stream for backoff waits, separate from the fault
+    /// and latency streams.
+    retry_jitter: DetStream,
+    /// Bounded record of injected faults plus aggregate counters.
+    faults: FaultLog,
+}
+
+/// What [`ApiSession::charge`] reports back to the endpoint method: where
+/// pagination was cut short by a truncated-page fault, if anywhere.
+struct Charged {
+    /// 0-based index of the call within the batch that came back
+    /// truncated, ending the batch early.
+    truncated_at: Option<u64>,
 }
 
 impl<'a> ApiSession<'a> {
@@ -239,7 +327,33 @@ impl<'a> ApiSession<'a> {
             telemetry: ctx.telemetry().clone(),
             ctx,
             trace_base: platform.now().as_secs() as f64,
+            injector: None,
+            retry: RetryPolicy::none(),
+            retry_jitter: RetryPolicy::jitter_stream(cfg.seed),
+            faults: FaultLog::default(),
         }
+    }
+
+    /// Arms the session with a fault plan and retry policy. With
+    /// [`FaultPlan::none`] nothing is drawn and the session stays
+    /// byte-identical to an unarmed one; otherwise every REST call
+    /// attempt consults the plan's seeded fault stream, failed attempts
+    /// back off per `retry` (charging the waits to the sim clock and the
+    /// crawl budget), and exhausted calls surface as retryable
+    /// [`ApiError`] variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid plan or policy (oversubscribed rates, zero
+    /// attempt budget, negative timings).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan, retry: RetryPolicy) -> Self {
+        retry.validate();
+        plan.validate();
+        self.retry_jitter = RetryPolicy::jitter_stream(plan.seed);
+        self.injector = (!plan.is_none()).then(|| FaultInjector::new(plan));
+        self.retry = retry;
+        self
     }
 
     /// Simulated seconds elapsed in this session so far.
@@ -269,6 +383,17 @@ impl<'a> ApiSession<'a> {
         self.rate_limit_wait
     }
 
+    /// Seconds of the elapsed time spent in retry backoff waits.
+    pub fn backoff_wait_secs(&self) -> f64 {
+        self.faults.backoff_secs
+    }
+
+    /// Aggregate fault counters plus the bounded record of injected
+    /// faults (empty unless armed via [`ApiSession::with_faults`]).
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.faults
+    }
+
     /// The call log.
     pub fn log(&self) -> &CallLog {
         &self.log
@@ -287,40 +412,167 @@ impl<'a> ApiSession<'a> {
         &mut self.buckets[idx]
     }
 
+    /// Records a span under the session's causal context when it has one,
+    /// flat otherwise — the shape every session-emitted record follows.
+    fn emit_span(&self, name: &str, t0: f64, t1: f64, attrs: &[(&str, &str)]) {
+        if self.ctx.span_id().is_some() {
+            self.ctx.span(name, t0, t1, attrs);
+        } else {
+            self.telemetry.span(name, t0, t1, attrs);
+        }
+    }
+
+    /// Point-event variant of [`ApiSession::emit_span`].
+    fn emit_point(&self, name: &str, t: f64, attrs: &[(&str, &str)]) {
+        if self.ctx.span_id().is_some() {
+            self.ctx.point(name, t, attrs);
+        } else {
+            self.telemetry.event(name, t, attrs);
+        }
+    }
+
     /// Charges `calls` requests against `endpoint`, advancing session time.
-    fn charge(&mut self, endpoint: Endpoint, calls: u64) {
-        self.log.bump(endpoint, calls);
+    ///
+    /// Each call is a retry loop: attempts that draw a fault from the
+    /// session's [`FaultPlan`] burn their sim-time cost (latency for fast
+    /// errors, the client timeout for hangs), then back off per the
+    /// [`RetryPolicy`] — waits charged to the sim clock like any other
+    /// elapsed time — until an attempt succeeds or the budget/deadline
+    /// runs out. A truncated-page fault ends the batch early with partial
+    /// data instead of failing.
+    ///
+    /// Without an injector the loop body reduces exactly to the
+    /// fault-free cost model: one token-bucket wait plus one latency draw
+    /// per call.
+    fn charge(&mut self, endpoint: Endpoint, calls: u64) -> Result<Charged, ApiError> {
         let instrumented = self.telemetry.is_enabled();
-        for _ in 0..calls {
-            let now = self.now;
-            let wait = self.bucket_mut(endpoint).acquire(now);
-            let latency = (self.cfg.base_latency + self.rng.gen::<f64>() * self.cfg.latency_jitter)
-                / f64::from(self.cfg.parallelism);
-            self.rate_limit_wait += wait;
-            self.now += wait + latency;
-            if instrumented {
+        let (timeout_secs, retry_after_secs) = match &self.injector {
+            Some(i) => (i.plan().timeout_secs, i.plan().retry_after_secs),
+            None => (0.0, 0),
+        };
+        for call in 0..calls {
+            let call_start = self.now;
+            let mut attempt: u32 = 1;
+            loop {
+                let now = self.now;
+                let wait = self.bucket_mut(endpoint).acquire(now);
+                let latency = (self.cfg.base_latency
+                    + self.rng.gen::<f64>() * self.cfg.latency_jitter)
+                    / f64::from(self.cfg.parallelism);
+                let fault = self.injector.as_mut().and_then(|i| i.draw(endpoint));
+                // A hung call burns the client timeout instead of a
+                // response latency; every other outcome answers in
+                // normal time.
+                let spent = match fault {
+                    Some(FaultKind::Timeout) => wait + timeout_secs,
+                    _ => wait + latency,
+                };
+                self.log.bump(endpoint, 1);
+                self.rate_limit_wait += wait;
+                self.now += spent;
                 let labels = [("endpoint", endpoint.key())];
-                if self.ctx.span_id().is_some() {
-                    self.ctx.span(
+                if instrumented {
+                    self.emit_span(
                         "api.call",
                         self.trace_base + now,
                         self.trace_base + self.now,
                         &labels,
                     );
-                } else {
-                    self.telemetry.span(
-                        "api.call",
-                        self.trace_base + now,
-                        self.trace_base + self.now,
-                        &labels,
-                    );
+                    self.telemetry.counter_add("api.calls", &labels, 1);
+                    self.telemetry
+                        .observe("api.rate_limit_wait_secs", &labels, wait);
+                    self.telemetry
+                        .observe("api.latency_secs", &labels, spent - wait);
                 }
-                self.telemetry.counter_add("api.calls", &labels, 1);
-                self.telemetry
-                    .observe("api.rate_limit_wait_secs", &labels, wait);
-                self.telemetry.observe("api.latency_secs", &labels, latency);
+                let Some(kind) = fault else {
+                    break; // success
+                };
+                self.faults.injected += 1;
+                self.faults.push(FaultRecord {
+                    at_secs: now,
+                    endpoint,
+                    kind,
+                    attempt,
+                });
+                if instrumented {
+                    let fault_labels = [("endpoint", endpoint.key()), ("kind", kind.key())];
+                    self.emit_point("api.fault", self.trace_base + self.now, &fault_labels);
+                    self.telemetry.counter_add("api.faults", &fault_labels, 1);
+                }
+                if kind == FaultKind::TruncatedPage {
+                    self.faults.truncated_pages += 1;
+                    return Ok(Charged {
+                        truncated_at: Some(call),
+                    });
+                }
+                let retry_after = (kind == FaultKind::RateLimited).then_some(retry_after_secs);
+                let out_of_attempts = attempt >= self.retry.max_attempts;
+                let backoff = if out_of_attempts {
+                    0.0
+                } else {
+                    self.retry
+                        .backoff_secs(attempt, retry_after, &mut self.retry_jitter)
+                };
+                let over_deadline = self
+                    .retry
+                    .deadline_secs
+                    .is_some_and(|d| self.now - call_start + backoff > d);
+                if out_of_attempts || over_deadline {
+                    self.faults.exhausted_calls += 1;
+                    if instrumented {
+                        self.telemetry.counter_add("api.call_failures", &labels, 1);
+                    }
+                    return Err(match kind {
+                        FaultKind::Unavailable => ApiError::ServiceUnavailable {
+                            endpoint,
+                            attempts: attempt,
+                        },
+                        FaultKind::RateLimited => ApiError::RateLimited {
+                            endpoint,
+                            retry_after_secs,
+                            attempts: attempt,
+                        },
+                        FaultKind::Timeout => ApiError::TimedOut {
+                            endpoint,
+                            attempts: attempt,
+                        },
+                        FaultKind::TruncatedPage => unreachable!("truncation handled above"),
+                    });
+                }
+                let backoff_start = self.now;
+                self.now += backoff;
+                self.faults.retries += 1;
+                self.faults.backoff_secs += backoff;
+                if instrumented {
+                    let attempt_str = attempt.to_string();
+                    let retry_labels = [
+                        ("endpoint", endpoint.key()),
+                        ("attempt", attempt_str.as_str()),
+                    ];
+                    self.emit_span(
+                        "api.retry",
+                        self.trace_base + backoff_start,
+                        self.trace_base + self.now,
+                        &retry_labels,
+                    );
+                    self.telemetry.counter_add("api.retries", &labels, 1);
+                    self.telemetry.observe("api.backoff_secs", &labels, backoff);
+                }
+                attempt += 1;
             }
         }
+        Ok(Charged { truncated_at: None })
+    }
+
+    /// How many of `len` materialised items survive a truncated-page
+    /// fault at 0-based call `cut` of a `pages`-call crawl: pages past
+    /// the faulted one were never fetched and the faulted page itself
+    /// came back half-empty, scaled proportionally onto the materialised
+    /// list (shorter than the nominal crawl for scale-substituted
+    /// targets).
+    fn truncated_len(len: usize, cut: u64, pages: u64) -> usize {
+        let frac = (cut as f64 + 0.5) / pages.max(1) as f64;
+        ((len as f64) * frac).floor() as usize
     }
 
     fn known(&self, id: AccountId) -> Result<(), ApiError> {
@@ -341,7 +593,10 @@ impl<'a> ApiSession<'a> {
     ///
     /// # Errors
     ///
-    /// [`ApiError::UnknownAccount`].
+    /// [`ApiError::UnknownAccount`], or a retryable transport error when
+    /// the session's fault plan exhausts its retry budget. A
+    /// truncated-page fault instead returns the partial list crawled so
+    /// far.
     pub fn followers_ids(&mut self, target: AccountId) -> Result<Vec<AccountId>, ApiError> {
         self.known(target)?;
         let nominal = self
@@ -351,8 +606,12 @@ impl<'a> ApiSession<'a> {
             .followers_count;
         let per = Endpoint::FollowersIds.items_per_request() as u64;
         let pages = nominal.div_ceil(per).max(1);
-        self.charge(Endpoint::FollowersIds, pages);
-        Ok(self.platform.followers_newest_first(target))
+        let charged = self.charge(Endpoint::FollowersIds, pages)?;
+        let mut ids = self.platform.followers_newest_first(target);
+        if let Some(cut) = charged.truncated_at {
+            ids.truncate(Self::truncated_len(ids.len(), cut, pages));
+        }
+        Ok(ids)
     }
 
     /// `GET followers/ids`, one cursored page — the raw shape of the real
@@ -379,11 +638,17 @@ impl<'a> ApiSession<'a> {
         if offset > all.len() || offset % Endpoint::FollowersIds.items_per_request() != 0 {
             return Err(ApiError::BadCursor(cursor));
         }
-        self.charge(Endpoint::FollowersIds, 1);
+        let charged = self.charge(Endpoint::FollowersIds, 1)?;
         let per = Endpoint::FollowersIds.items_per_request();
         let end = (offset + per).min(all.len());
-        let page = all[offset..end].to_vec();
-        let next = (end < all.len()).then_some(Cursor(end as u64));
+        let mut page = all[offset..end].to_vec();
+        let mut next = (end < all.len()).then_some(Cursor(end as u64));
+        if charged.truncated_at.is_some() {
+            // A truncated page comes back half-empty with its
+            // next-cursor lost.
+            page.truncate(page.len() / 2);
+            next = None;
+        }
         Ok((page, next))
     }
 
@@ -412,7 +677,10 @@ impl<'a> ApiSession<'a> {
         let fetched = (limit as u64).min(nominal);
         let per = Endpoint::FollowersIds.items_per_request() as u64;
         let pages = fetched.div_ceil(per).max(1);
-        self.charge(Endpoint::FollowersIds, pages);
+        let charged = self.charge(Endpoint::FollowersIds, pages)?;
+        if let Some(cut) = charged.truncated_at {
+            ids.truncate(Self::truncated_len(ids.len(), cut, pages));
+        }
         Ok(ids)
     }
 
@@ -423,23 +691,37 @@ impl<'a> ApiSession<'a> {
     /// [`ApiError::UnknownAccount`].
     pub fn friends_ids(&mut self, id: AccountId) -> Result<Vec<AccountId>, ApiError> {
         self.known(id)?;
-        let friends = self.platform.graph().friends_of(id).to_vec();
+        let mut friends = self.platform.graph().friends_of(id).to_vec();
         let per = Endpoint::FriendsIds.items_per_request();
         let pages = (friends.len().div_ceil(per).max(1)) as u64;
-        self.charge(Endpoint::FriendsIds, pages);
+        let charged = self.charge(Endpoint::FriendsIds, pages)?;
+        if let Some(cut) = charged.truncated_at {
+            friends.truncate(Self::truncated_len(friends.len(), cut, pages));
+        }
         Ok(friends)
     }
 
     /// `GET users/lookup`: hydrates up to 100 profiles per request; this
     /// convenience method batches arbitrarily many ids. Unknown ids are
     /// silently dropped, as the real endpoint does.
-    pub fn users_lookup(&mut self, ids: &[AccountId]) -> Vec<Profile> {
+    ///
+    /// # Errors
+    ///
+    /// A retryable transport error when the session's fault plan
+    /// exhausts its retry budget. A truncated-page fault instead
+    /// hydrates only the ids fetched before the cut.
+    pub fn users_lookup(&mut self, ids: &[AccountId]) -> Result<Vec<Profile>, ApiError> {
         let per = Endpoint::UsersLookup.items_per_request();
         let calls = (ids.len().div_ceil(per).max(1)) as u64;
-        self.charge(Endpoint::UsersLookup, calls);
-        ids.iter()
+        let charged = self.charge(Endpoint::UsersLookup, calls)?;
+        let hydrated = match charged.truncated_at {
+            Some(cut) => (cut as usize * per + per / 2).min(ids.len()),
+            None => ids.len(),
+        };
+        Ok(ids[..hydrated]
+            .iter()
             .filter_map(|&id| self.platform.profile(id).cloned())
-            .collect()
+            .collect())
     }
 
     /// `GET users/lookup` restricted to a single request.
@@ -455,7 +737,7 @@ impl<'a> ApiSession<'a> {
                 max,
             });
         }
-        Ok(self.users_lookup(ids))
+        self.users_lookup(ids)
     }
 
     /// `GET statuses/user_timeline`: the newest `count` tweets of `id`
@@ -475,8 +757,12 @@ impl<'a> ApiSession<'a> {
             .min(count as u64) as usize;
         let per = Endpoint::UserTimeline.items_per_request();
         let calls = (available.div_ceil(per).max(1)) as u64;
-        self.charge(Endpoint::UserTimeline, calls);
-        Ok(self.platform.recent_tweets(id, count))
+        let charged = self.charge(Endpoint::UserTimeline, calls)?;
+        let mut tweets = self.platform.recent_tweets(id, count);
+        if let Some(cut) = charged.truncated_at {
+            tweets.truncate((cut as usize * per + per / 2).min(tweets.len()));
+        }
+        Ok(tweets)
     }
 }
 
@@ -551,7 +837,7 @@ mod tests {
             .take(250)
             .collect();
         ids.push(AccountId(9_999_999));
-        let profiles = s.users_lookup(&ids);
+        let profiles = s.users_lookup(&ids).unwrap();
         assert_eq!(profiles.len(), 250);
         assert_eq!(s.log().users_lookup, 3); // ceil(251/100)
     }
@@ -671,7 +957,7 @@ mod tests {
         let mut s = ApiSession::new(&platform, quiet_cfg());
         s.followers_ids(t.target).unwrap();
         let ids: Vec<AccountId> = t.followers_oldest_first.iter().map(|&(id, _)| id).collect();
-        s.users_lookup(&ids);
+        s.users_lookup(&ids).unwrap();
         // 1 followers call + 12 lookup calls at 1.0 s latency.
         assert_eq!(s.log().total(), 13);
         assert!((s.elapsed_secs() - 13.0).abs() < 1e-9);
@@ -687,7 +973,7 @@ mod tests {
         };
         let mut s = ApiSession::new(&platform, cfg);
         let ids: Vec<AccountId> = t.followers_oldest_first.iter().map(|&(id, _)| id).collect();
-        s.users_lookup(&ids);
+        s.users_lookup(&ids).unwrap();
         assert!((s.elapsed_secs() - 12.0 / 4.0).abs() < 1e-9);
     }
 
@@ -736,7 +1022,7 @@ mod tests {
             .map(|&(id, _)| id)
             .take(250)
             .collect();
-        s.users_lookup(&ids);
+        s.users_lookup(&ids).unwrap();
         let snap = tel.snapshot();
         assert_eq!(snap.counter_total("api.calls"), s.log().total());
         assert_eq!(

@@ -1,0 +1,142 @@
+//! The golden fault trace: a fixed, RNG-free faulted crawl whose JSONL
+//! trace is compared byte-for-byte against a committed fixture — the
+//! chaos-path counterpart of the server's `tests/golden/trace.jsonl`.
+//!
+//! Everything in the scenario is deliberately independent of the `rand`
+//! crate's generator: accounts are registered by hand (no scenario
+//! builder), `latency_jitter` is zero so call latencies are the exact
+//! configured base, and fault draws plus retry-backoff jitter come from
+//! the plan's self-contained `DetStream`. The fixture therefore pins the
+//! fault schedule, the retry spans, and the JSONL encoding across
+//! toolchains, and any drift in span identity or fault-draw consumption
+//! shows up as a byte diff.
+
+use fakeaudit_telemetry::sink::parse_jsonl;
+use fakeaudit_telemetry::Telemetry;
+use fakeaudit_twitter_api::{ApiConfig, ApiSession, FaultPlan, RetryPolicy};
+use fakeaudit_twittersim::timeline::{TimelineModel, TimelineParams};
+use fakeaudit_twittersim::{AccountId, Platform, Profile, SimTime};
+
+const FIXTURE: &str = include_str!("golden/faults.jsonl");
+const FOLLOWERS: usize = 30;
+
+/// A deterministic latency model: zero jitter, so every call costs
+/// exactly the base latency and the trace times are pure arithmetic.
+fn flat_config() -> ApiConfig {
+    ApiConfig {
+        token_pool: 1,
+        parallelism: 1,
+        base_latency: 1.5,
+        latency_jitter: 0.0,
+        seed: 0,
+    }
+}
+
+/// Registers a target with [`FOLLOWERS`] hand-built followers — no
+/// randomised scenario builder, so the platform (and the session's
+/// trace-time base) is identical on every toolchain.
+fn flat_platform() -> (Platform, AccountId, Vec<AccountId>) {
+    let mut platform = Platform::new();
+    let empty = || TimelineModel::new(TimelineParams::default(), 0);
+    let target = platform
+        .register(Profile::new("golden_target", SimTime::EPOCH), empty())
+        .unwrap();
+    let followers: Vec<AccountId> = (0..FOLLOWERS)
+        .map(|i| {
+            let id = platform
+                .register(
+                    Profile::new(format!("golden_f{i}"), SimTime::EPOCH),
+                    empty(),
+                )
+                .unwrap();
+            platform.follow(id, target).unwrap();
+            id
+        })
+        .collect();
+    (platform, target, followers)
+}
+
+/// Fault/retry counters harvested before the session drops.
+struct RunStats {
+    injected: u64,
+    retries: u64,
+    backoff_secs: f64,
+}
+
+/// Runs the fixed faulted crawl and returns its counters and JSONL trace.
+fn golden_run(plan: FaultPlan, retry: RetryPolicy) -> (RunStats, String) {
+    let (platform, target, followers) = flat_platform();
+    let telemetry = Telemetry::enabled();
+    let mut s = ApiSession::with_telemetry(&platform, flat_config(), telemetry.clone())
+        .with_faults(plan, retry);
+    for _ in 0..4 {
+        // Exhausted calls are part of the schedule being pinned.
+        let _ = s.followers_ids(target);
+        let _ = s.users_lookup(&followers);
+    }
+    let stats = RunStats {
+        injected: s.fault_log().injected,
+        retries: s.fault_log().retries,
+        backoff_secs: s.fault_log().backoff_secs,
+    };
+    let mut jsonl = Vec::new();
+    telemetry.write_jsonl(&mut jsonl).expect("in-memory write");
+    (stats, String::from_utf8(jsonl).expect("utf-8 trace"))
+}
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::bursty(42, 0.25, 4.0)
+}
+
+#[test]
+fn scenario_exercises_faults_and_retries() {
+    let (stats, jsonl) = golden_run(chaos_plan(), RetryPolicy::standard());
+    assert!(stats.injected > 0, "the plan must inject faults");
+    assert!(stats.retries > 0, "the policy must retry some of them");
+    assert!(stats.backoff_secs > 0.0);
+    assert!(jsonl.contains("\"name\":\"api.fault\""));
+    assert!(jsonl.contains("\"name\":\"api.retry\""));
+    assert!(jsonl.contains("\"name\":\"api.call\""));
+}
+
+#[test]
+fn trace_matches_committed_fixture() {
+    let (_, jsonl) = golden_run(chaos_plan(), RetryPolicy::standard());
+    assert_eq!(
+        jsonl, FIXTURE,
+        "golden fault trace drifted from crates/twitter-api/tests/golden/faults.jsonl; \
+         if the change is intentional, regenerate the fixture from this \
+         test's `golden_run` output"
+    );
+}
+
+#[test]
+fn fixture_round_trips_through_the_parser() {
+    let (_, jsonl) = golden_run(chaos_plan(), RetryPolicy::standard());
+    let reparsed = parse_jsonl(FIXTURE).expect("fixture parses");
+    let mut rewritten = Vec::new();
+    fakeaudit_telemetry::sink::write_jsonl(&reparsed, &mut rewritten).expect("in-memory write");
+    assert_eq!(String::from_utf8(rewritten).unwrap(), jsonl);
+}
+
+#[test]
+fn none_plan_is_trace_identical_to_an_unarmed_session() {
+    // The identity invariant: arming with FaultPlan::none() draws
+    // nothing and leaves the trace byte-identical to a session that
+    // never heard of faults.
+    let (stats, armed) = golden_run(FaultPlan::none(), RetryPolicy::none());
+    assert_eq!(stats.injected, 0);
+    assert_eq!(stats.retries, 0);
+    let (platform, target, followers) = flat_platform();
+    let telemetry = Telemetry::enabled();
+    let mut s = ApiSession::with_telemetry(&platform, flat_config(), telemetry.clone());
+    for _ in 0..4 {
+        s.followers_ids(target).expect("fault-free crawl");
+        s.users_lookup(&followers).expect("fault-free lookup");
+    }
+    let mut jsonl = Vec::new();
+    telemetry.write_jsonl(&mut jsonl).expect("in-memory write");
+    assert_eq!(String::from_utf8(jsonl).unwrap(), armed);
+    assert!(!armed.contains("api.fault"));
+    assert!(!armed.contains("api.retry"));
+}

@@ -3,9 +3,25 @@
 use fakeaudit_population::{ClassMix, TargetScenario};
 use fakeaudit_twitter_api::crawl::CrawlBudget;
 use fakeaudit_twitter_api::rate_limit::TokenBucket;
-use fakeaudit_twitter_api::{ApiConfig, ApiSession, Endpoint};
+use fakeaudit_twitter_api::{
+    ApiConfig, ApiSession, Endpoint, FaultPlan, FaultRates, FaultRecord, RetryPolicy,
+};
 use fakeaudit_twittersim::Platform;
 use proptest::prelude::*;
+
+/// A plan under which every attempt on every endpoint draws a 503.
+fn always_unavailable(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        rates: [FaultRates {
+            unavailable: 1.0,
+            rate_limited: 0.0,
+            timeout: 0.0,
+            truncated_page: 0.0,
+        }; 4],
+        ..FaultPlan::none()
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -87,7 +103,7 @@ proptest! {
             .take(take)
             .collect();
         let mut s = ApiSession::new(&platform, ApiConfig::default());
-        let profiles = s.users_lookup(&ids);
+        let profiles = s.users_lookup(&ids).unwrap();
         prop_assert_eq!(profiles.len(), ids.len());
         prop_assert_eq!(
             s.log().users_lookup,
@@ -146,7 +162,7 @@ proptest! {
         let mut s = ApiSession::with_telemetry(&platform, ApiConfig::default(), tel.clone());
         s.followers_ids(t.target).unwrap();
         let ids: Vec<_> = t.followers_oldest_first.iter().map(|&(id, _)| id).collect();
-        s.users_lookup(&ids);
+        s.users_lookup(&ids).unwrap();
         let snap = tel.snapshot();
         prop_assert_eq!(
             snap.counter("api.calls", &[("endpoint", "followers_ids")]),
@@ -172,5 +188,92 @@ proptest! {
             prop_assert!(s.elapsed_secs() > last);
             last = s.elapsed_secs();
         }
+    }
+
+    #[test]
+    fn same_seed_and_plan_replay_identical_fault_traces(
+        seed in 0u64..1_000,
+        rate in 0.05f64..0.5,
+        followers in 1usize..300,
+    ) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("prop_faults", followers, ClassMix::all_genuine())
+            .build(&mut platform, 5)
+            .unwrap();
+        let ids: Vec<_> = t.followers_oldest_first.iter().map(|&(id, _)| id).collect();
+        let run = || {
+            let mut s = ApiSession::new(&platform, ApiConfig::default())
+                .with_faults(FaultPlan::bursty(seed, rate, 4.0), RetryPolicy::standard());
+            // Exhausted calls surface as errors; the trace either way is
+            // what must replay.
+            let _ = s.followers_ids(t.target);
+            let _ = s.users_lookup(&ids);
+            let records: Vec<FaultRecord> = s.fault_log().records().copied().collect();
+            let log = s.fault_log();
+            (
+                records,
+                log.injected,
+                log.retries,
+                log.truncated_pages,
+                log.exhausted_calls,
+                log.backoff_secs,
+                s.elapsed_secs(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn retries_never_exceed_the_attempt_budget(
+        attempts in 1u32..6,
+        seed in 0u64..500,
+    ) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("prop_budget", 40, ClassMix::all_genuine())
+            .build(&mut platform, 6)
+            .unwrap();
+        let policy = RetryPolicy {
+            max_attempts: attempts,
+            ..RetryPolicy::standard()
+        };
+        let mut s = ApiSession::new(&platform, ApiConfig::default())
+            .with_faults(always_unavailable(seed), policy);
+        let err = s.followers_ids(t.target).unwrap_err();
+        prop_assert!(err.is_retryable());
+        let log = s.fault_log();
+        // A guaranteed-failing call burns exactly its budget: one fault
+        // per attempt, one backoff per retry, then gives up.
+        prop_assert_eq!(log.injected, u64::from(attempts));
+        prop_assert_eq!(log.retries, u64::from(attempts - 1));
+        prop_assert_eq!(log.exhausted_calls, 1);
+        for r in log.records() {
+            prop_assert!(r.attempt >= 1 && r.attempt <= attempts);
+        }
+    }
+
+    #[test]
+    fn deadline_caps_backoff_spend(
+        deadline in 0.5f64..30.0,
+        seed in 0u64..500,
+    ) {
+        let mut platform = Platform::new();
+        let t = TargetScenario::new("prop_deadline", 40, ClassMix::all_genuine())
+            .build(&mut platform, 8)
+            .unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            deadline_secs: Some(deadline),
+            ..RetryPolicy::standard()
+        };
+        let mut s = ApiSession::new(&platform, ApiConfig::default())
+            .with_faults(always_unavailable(seed), policy);
+        prop_assert!(s.followers_ids(t.target).is_err());
+        let log = s.fault_log();
+        // The session never sleeps a backoff that would push the call
+        // past its deadline, so total backoff spend is bounded by it —
+        // well under the 100-attempt budget's worth.
+        prop_assert!(log.backoff_secs <= deadline + 1e-9);
+        prop_assert_eq!(log.exhausted_calls, 1);
+        prop_assert!(log.retries < 100);
     }
 }

@@ -111,6 +111,7 @@ fn main() {
                 queue_capacity: 8,
                 policy,
                 degraded_secs: 0.5,
+                deadline_secs: None,
             },
         );
         sim.register(Box::new(fc.clone()));
