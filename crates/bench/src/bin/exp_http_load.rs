@@ -1,0 +1,286 @@
+//! E11 — the gateway under wall-clock HTTP load.
+//!
+//! Boots the real `fakeaudit-gateway` listener on an ephemeral port over
+//! the same prewarmed world as the E8 sweep, then drives it with the E8
+//! workload shapes at wall speed:
+//!
+//! 1. `closed_loop` — keep-alive workers hammering back-to-back, the
+//!    peak-throughput measurement;
+//! 2. `poisson_open` — open-loop Poisson arrivals at a fixed rate, the
+//!    steady-state latency measurement;
+//! 3. `flash_crowd` — open-loop with an 8× burst, the overload/shedding
+//!    measurement.
+//!
+//! Writes `results/BENCH_gateway.json` (schema in EXPERIMENTS.md, E11)
+//! and prints a human table. Unlike the sim experiments these numbers
+//! are *hardware-dependent* — the JSON is a trajectory artifact, not a
+//! golden fixture, so it is uploaded from CI rather than committed.
+//!
+//! Usage: `exp_http_load [--quick] [--seed N] [--secs S] [--out PATH]`
+//! (`--quick` shrinks the world and halves the open-loop windows).
+
+use fakeaudit_analytics::BreakerConfig;
+use fakeaudit_bench::{parse_args, RunOptions};
+use fakeaudit_core::experiments::service_load::ServingWorld;
+use fakeaudit_detectors::ToolId;
+use fakeaudit_gateway::{
+    render_bench_json, run_closed_loop, run_open_loop, Gateway, GatewayConfig, LoadSummary,
+    ToolPool,
+};
+use fakeaudit_server::workload::{generate, ArrivalProcess, LoadSpec, Request};
+use fakeaudit_server::{OverloadPolicy, ServerConfig};
+use fakeaudit_stats::rng::derive_seed;
+use fakeaudit_telemetry::{Telemetry, WallClock};
+use std::sync::Arc;
+
+const TARGETS: usize = 4;
+const WORKERS_PER_TOOL: usize = 2;
+const QUEUE_CAPACITY: usize = 8;
+/// One accept thread per load-generator connection: a keep-alive
+/// connection occupies its accept thread for its whole lifetime, so a
+/// sender pool larger than the accept pool would be *serialized* (later
+/// connections starve until earlier ones close), not queued. Accept
+/// threads park in blocking reads, so overcommitting the core count is
+/// cheap; audit concurrency is still bounded by the worker pools.
+const SENDERS: usize = 64;
+
+struct HttpLoadOptions {
+    run: RunOptions,
+    secs: f64,
+    out: String,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Splits `--secs` / `--out` off and hands the rest to the shared
+/// bench-arg parser.
+fn options() -> HttpLoadOptions {
+    let mut rest = Vec::new();
+    let mut secs = None;
+    let mut out = "results/BENCH_gateway.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--secs" => match args.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) if v > 0.0 => secs = Some(v),
+                _ => fail("--secs needs a positive number"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => fail("--out needs a path"),
+            },
+            _ => rest.push(arg),
+        }
+    }
+    let run = match parse_args(rest.into_iter()) {
+        Ok(opts) => opts,
+        Err(msg) => fail(&format!("{msg} (also: --secs S, --out PATH)")),
+    };
+    let quick = run.scale != fakeaudit_core::experiments::Scale::full();
+    HttpLoadOptions {
+        run,
+        secs: secs.unwrap_or(if quick { 5.0 } else { 10.0 }),
+        out,
+    }
+}
+
+/// A fixed-size closed-loop work list cycling tools over Zipf targets.
+fn closed_work(world: &ServingWorld, seed: u64, count: usize) -> Vec<Request> {
+    // Reuse the workload generator for its Zipf target draw: a dense
+    // Poisson schedule, then ignore the arrival times.
+    let spec = LoadSpec {
+        process: ArrivalProcess::Poisson { rate: 1.0 },
+        duration_secs: count as f64,
+        zipf_exponent: 1.1,
+        tools: ToolId::ALL.to_vec(),
+    };
+    let mut work = generate(&spec, &world.targets, derive_seed(seed, "e11-closed"));
+    work.truncate(count);
+    work
+}
+
+fn print_row(s: &LoadSummary) {
+    println!(
+        "{:<13}{:>7}{:>9}{:>7}{:>8}{:>8}{:>11.1}{:>10.1}{:>10.1}{:>10.1}{:>8.1}%",
+        s.name,
+        s.offered,
+        s.answered,
+        s.shed,
+        s.expired,
+        s.errors,
+        s.requests_per_sec(),
+        s.latency_percentile(0.50) * 1e3,
+        s.latency_percentile(0.95) * 1e3,
+        s.latency_percentile(0.99) * 1e3,
+        s.shed_rate() * 100.0,
+    );
+}
+
+fn main() {
+    let opts = options();
+    let seed = opts.run.seed;
+    eprintln!("building the prewarmed world ({TARGETS} targets) ...");
+    let world = ServingWorld::build(opts.run.scale, seed, TARGETS);
+    let telemetry = Telemetry::enabled();
+    let pools: Vec<ToolPool> = ToolId::ALL
+        .iter()
+        .map(|&tool| {
+            let mut backends = world.armed_backends(
+                tool,
+                WORKERS_PER_TOOL + 1,
+                &telemetry,
+                Some(BreakerConfig::standard()),
+            );
+            let stale = backends.pop().expect("workers + 1 clones");
+            ToolPool {
+                tool,
+                workers: backends,
+                stale,
+            }
+        })
+        .collect();
+
+    let config = GatewayConfig {
+        accept_threads: SENDERS,
+        server: ServerConfig {
+            workers_per_tool: WORKERS_PER_TOOL,
+            queue_capacity: QUEUE_CAPACITY,
+            policy: OverloadPolicy::Shed,
+            degraded_secs: 0.5,
+            deadline_secs: None,
+        },
+        ..GatewayConfig::default()
+    };
+    let platform = Arc::new(world.platform.clone());
+    let gateway = Gateway::bind(
+        config,
+        platform,
+        pools,
+        Arc::new(WallClock::new()),
+        telemetry.clone(),
+    )
+    .expect("bind ephemeral port");
+    let addr = gateway.local_addr();
+    eprintln!("gateway listening on {addr}");
+
+    // 1. Closed loop: peak sustainable throughput over keep-alive
+    //    connections (offered load adapts to service rate).
+    let work = closed_work(&world, seed, if opts.secs < 8.0 { 2_000 } else { 8_000 });
+    eprintln!("closed loop: {} requests, 8 connections ...", work.len());
+    let closed = run_closed_loop(addr, "closed_loop", &work, 8);
+
+    // Rates for the open-loop scenarios sit relative to the measured
+    // capacity so the poisson run stays below the knee and the flash
+    // crowd bursts well past it, whatever this machine's speed.
+    let capacity = closed.requests_per_sec().max(50.0);
+    let poisson_rate = capacity * 0.5;
+    let burst_base = capacity * 0.3;
+
+    // 2. Open-loop Poisson below the knee.
+    let spec = LoadSpec {
+        process: ArrivalProcess::Poisson { rate: poisson_rate },
+        duration_secs: opts.secs,
+        zipf_exponent: 1.1,
+        tools: ToolId::ALL.to_vec(),
+    };
+    let schedule = generate(&spec, &world.targets, derive_seed(seed, "e11-poisson"));
+    eprintln!(
+        "poisson open loop: {:.0} req/s for {:.0}s ({} arrivals) ...",
+        poisson_rate,
+        opts.secs,
+        schedule.len()
+    );
+    let poisson = run_open_loop(addr, "poisson_open", &schedule, 1.0, SENDERS);
+
+    // 3. Flash crowd: an 8x burst in the middle of the window.
+    let spec = LoadSpec {
+        process: ArrivalProcess::FlashCrowd {
+            base_rate: burst_base,
+            burst_start: opts.secs * 0.25,
+            burst_secs: opts.secs * 0.10,
+            burst_rate: burst_base * 8.0,
+        },
+        duration_secs: opts.secs,
+        zipf_exponent: 1.1,
+        tools: ToolId::ALL.to_vec(),
+    };
+    let schedule = generate(&spec, &world.targets, derive_seed(seed, "e11-flash"));
+    eprintln!(
+        "flash crowd: base {:.0} req/s, burst {:.0} req/s ({} arrivals) ...",
+        burst_base,
+        burst_base * 8.0,
+        schedule.len()
+    );
+    let flash = run_open_loop(addr, "flash_crowd", &schedule, 1.0, SENDERS);
+
+    let report = gateway.shutdown();
+    let breaker_trips: u64 = telemetry
+        .snapshot()
+        .counters
+        .iter()
+        .filter(|(k, _)| {
+            k.name == "breaker.transitions"
+                && k.labels.iter().any(|(l, v)| l == "to" && v == "open")
+        })
+        .map(|&(_, v)| v)
+        .sum();
+
+    let scenarios = [closed, poisson, flash];
+    println!(
+        "E11: gateway under wall-clock HTTP load ({WORKERS_PER_TOOL} workers/tool, queue {QUEUE_CAPACITY}, policy shed)"
+    );
+    println!(
+        "{:<13}{:>7}{:>9}{:>7}{:>8}{:>8}{:>11}{:>10}{:>10}{:>10}{:>9}",
+        "scenario",
+        "offered",
+        "answered",
+        "shed",
+        "expired",
+        "errors",
+        "thru (r/s)",
+        "p50 (ms)",
+        "p95 (ms)",
+        "p99 (ms)",
+        "shed"
+    );
+    for s in &scenarios {
+        print_row(s);
+    }
+    println!(
+        "gateway totals: {} offered, {} completed, {} shed, {} breaker trips",
+        report.offered(),
+        report.completed(),
+        report.shed(),
+        breaker_trips
+    );
+
+    let json = render_bench_json(
+        &[
+            ("seed", seed.to_string()),
+            ("targets", TARGETS.to_string()),
+            ("workers_per_tool", WORKERS_PER_TOOL.to_string()),
+            ("queue_capacity", QUEUE_CAPACITY.to_string()),
+            ("accept_threads", SENDERS.to_string()),
+            ("open_loop_senders", SENDERS.to_string()),
+            ("policy", "\"shed\"".to_owned()),
+            ("open_loop_secs", format!("{:.1}", opts.secs)),
+        ],
+        breaker_trips,
+        &scenarios,
+    );
+    if let Some(parent) = std::path::Path::new(&opts.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(&opts.out, &json) {
+        Ok(()) => println!("wrote {}", opts.out),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", opts.out);
+            std::process::exit(1);
+        }
+    }
+}

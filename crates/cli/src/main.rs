@@ -7,16 +7,19 @@
 //! fakeaudit crawl --followers 41000000
 //! fakeaudit sample-size --margin 0.01 --confidence 95
 //! fakeaudit serve-sim --rate 4 --policy degrade --burst
+//! fakeaudit serve --port 8080 --workers 2 --policy degrade
 //! fakeaudit trace analyze --input trace.jsonl
 //! ```
 
 mod args;
 
 use args::ParsedArgs;
-use fakeaudit_analytics::{report, OnlineService, ServiceProfile};
+use fakeaudit_analytics::{report, BreakerConfig, OnlineService, ServiceProfile};
+use fakeaudit_core::experiments::service_load::ServingWorld;
 use fakeaudit_core::panel::AuditPanel;
 use fakeaudit_core::scoring::score_against_truth;
 use fakeaudit_detectors::{FakeProjectEngine, Socialbakers, StatusPeople, ToolId, Twitteraudit};
+use fakeaudit_gateway::{Gateway, GatewayConfig, ToolPool};
 use fakeaudit_population::{ClassMix, TargetScenario};
 use fakeaudit_server::{
     generate, ArrivalProcess, LoadSpec, OverloadPolicy, ServerConfig, ServerSim,
@@ -28,6 +31,7 @@ use fakeaudit_telemetry::analyze::chrome_trace_json;
 use fakeaudit_telemetry::sink::parse_jsonl;
 use fakeaudit_telemetry::{
     ChromeTraceOptions, LatencyAttribution, RunReport, SloSpec, Telemetry, TraceEvent, TraceTree,
+    WallClock,
 };
 use fakeaudit_twitter_api::crawl::CrawlBudget;
 use fakeaudit_twitter_api::{ApiConfig, ApiSession};
@@ -61,6 +65,21 @@ USAGE:
       and the shed/degrade behaviour of the chosen overload policy. With
       --telemetry the run is traced live: every request becomes a causal
       span tree (queue wait, service, cache/crawl) in the JSONL output.
+
+  fakeaudit serve [--host H] [--port N] [--workers N] [--queue-depth N]
+                  [--policy block|shed|degrade] [--accept-threads N]
+                  [--targets N] [--seed S] [--duration SECS] [--full]
+                  [--telemetry PATH] [--quiet]
+      Serve audits over real HTTP on the wall clock: the same prewarmed
+      world, admission queues, overload policies and circuit breakers as
+      serve-sim, behind POST /audit/:target, GET /audit/:target/stream,
+      GET /healthz and GET /metrics (Prometheus text). Runs until Ctrl-C
+      (or for --duration seconds), then drains in-flight requests and
+      prints the same per-tool report as the simulator. --port 0 picks a
+      free port; the bound address is printed on stdout at startup.
+      Each accept thread owns one connection at a time, so
+      --accept-threads (default: core count) bounds concurrent
+      keep-alive connections — raise it for many slow clients.
 
   fakeaudit chaos [--seed S] [--full]
       Run the E10 chaos sweep: an injected per-call API fault rate
@@ -127,6 +146,7 @@ fn main() {
         (Some("crawl"), None) => cmd_crawl(&parsed),
         (Some("sample-size"), None) => cmd_sample_size(&parsed),
         (Some("serve-sim"), None) => cmd_serve_sim(&parsed),
+        (Some("serve"), None) => cmd_serve(&parsed),
         (Some("chaos"), None) => cmd_chaos(&parsed),
         (Some("help"), None) | (None, _) => {
             println!("{USAGE}");
@@ -417,6 +437,216 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
         println!(
             "  {:<6}{:>8} {:>8} {:>9} {:>6} {:>10} {:>10.0}",
             name, t.offered, t.completed, t.degraded, t.shed, t.max_queue_depth, t.busy_secs
+        );
+    }
+
+    if let Some(path) = args.raw("telemetry") {
+        finish_telemetry(&telemetry, path)?;
+    }
+    Ok(())
+}
+
+/// Ctrl-C handling without a signal-handling dependency: a C `signal()`
+/// registration (the symbol is already in the linked C runtime) that
+/// flips an atomic the serve loop polls. Anything fancier (signalfd,
+/// masks, handler chaining) is out of scope for a single foreground
+/// process.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the SIGINT handler. Safe to call more than once.
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+
+    /// Whether Ctrl-C has been pressed since [`install`].
+    pub fn requested() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    /// No signal handling off unix; `--duration` still bounds the run.
+    pub fn install() {}
+
+    /// Never requested without a handler.
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+fn cmd_serve(args: &ParsedArgs) -> Result<(), String> {
+    let host = args.raw("host").unwrap_or("127.0.0.1");
+    let port: u16 = args.get_or("port", 8080).map_err(|e| e.to_string())?;
+    let workers: usize = args.get_or("workers", 2).map_err(|e| e.to_string())?;
+    let queue: usize = args.get_or("queue-depth", 8).map_err(|e| e.to_string())?;
+    let targets_n: usize = args.get_or("targets", 4).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 2_014).map_err(|e| e.to_string())?;
+    let duration: f64 = args.get_or("duration", 0.0).map_err(|e| e.to_string())?;
+    let quiet = args.flag("quiet");
+    if workers == 0 || targets_n == 0 {
+        return Err("--workers and --targets must be positive".into());
+    }
+    let policy = match args.raw("policy").unwrap_or("shed") {
+        "block" => OverloadPolicy::Block,
+        "shed" => OverloadPolicy::Shed,
+        "degrade" => OverloadPolicy::DegradeStale,
+        other => {
+            return Err(format!(
+                "--policy must be block, shed or degrade, got {other:?}"
+            ))
+        }
+    };
+    let scale = if args.flag("full") {
+        fakeaudit_core::experiments::Scale::full()
+    } else {
+        fakeaudit_core::experiments::Scale::quick()
+    };
+
+    if !quiet {
+        eprintln!("building {targets_n} prewarmed targets and the four tools ...");
+    }
+    let world = ServingWorld::build(scale, seed, targets_n);
+    // Always collect: `/metrics` serves from this handle. The trace
+    // buffer is bounded so an indefinitely-running server cannot grow
+    // it without bound; `--telemetry` only controls the JSONL dump.
+    let telemetry = Telemetry::with_event_capacity(65_536);
+    let pools: Vec<ToolPool> = ToolId::ALL
+        .iter()
+        .map(|&tool| {
+            // One clone per worker thread plus one for the stale-read
+            // path the degrade policy answers from. Fresh audits run
+            // behind the standard per-tool circuit breaker.
+            let mut backends = world.armed_backends(
+                tool,
+                workers + 1,
+                &telemetry,
+                Some(BreakerConfig::standard()),
+            );
+            let stale = backends.pop().expect("workers + 1 clones");
+            ToolPool {
+                tool,
+                workers: backends,
+                stale,
+            }
+        })
+        .collect();
+    let defaults = GatewayConfig::default();
+    let accept_threads: usize = args
+        .get_or("accept-threads", defaults.accept_threads)
+        .map_err(|e| e.to_string())?;
+    if accept_threads == 0 {
+        return Err("--accept-threads must be positive".into());
+    }
+    let config = GatewayConfig {
+        addr: format!("{host}:{port}"),
+        accept_threads,
+        server: ServerConfig {
+            workers_per_tool: workers,
+            queue_capacity: queue,
+            policy,
+            degraded_secs: 0.5,
+            deadline_secs: None,
+        },
+        ..defaults
+    };
+    let platform = std::sync::Arc::new(world.platform.clone());
+    let gateway = Gateway::bind(
+        config,
+        platform,
+        pools,
+        std::sync::Arc::new(WallClock::new()),
+        telemetry.clone(),
+    )
+    .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+
+    sigint::install();
+    let target_list = world
+        .targets
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!(
+        "listening on http://{} (policy {}, {} workers/tool, queue {}, {} accept threads)",
+        gateway.local_addr(),
+        policy.label(),
+        workers,
+        queue,
+        accept_threads
+    );
+    println!("auditable targets: {target_list}");
+    println!(
+        "try: curl -X POST http://{}/audit/{}",
+        gateway.local_addr(),
+        world.targets[0].as_u64()
+    );
+    // CI and scripts probe for the "listening" line through a pipe, so
+    // push it past stdout's block buffering now.
+    {
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+
+    let started = std::time::Instant::now();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if sigint::requested() {
+            if !quiet {
+                eprintln!("\ninterrupted: draining in-flight requests ...");
+            }
+            break;
+        }
+        if duration > 0.0 && started.elapsed().as_secs_f64() >= duration {
+            if !quiet {
+                eprintln!("--duration {duration}s elapsed: draining ...");
+            }
+            break;
+        }
+    }
+    let report = gateway.shutdown();
+
+    println!(
+        "served {} requests over {:.1}s wall time (policy {})",
+        report.offered(),
+        started.elapsed().as_secs_f64(),
+        policy.label()
+    );
+    println!(
+        "  answered {:>6} fresh+cached, {} degraded-to-stale, {} shed, {} failed",
+        report.completed(),
+        report.degraded(),
+        report.shed(),
+        report.failed()
+    );
+    if report.completed() + report.degraded() > 0 {
+        println!(
+            "  latency p50/p95/p99 {:.1}/{:.1}/{:.1} ms",
+            report.latency_percentile(0.50) * 1e3,
+            report.latency_percentile(0.95) * 1e3,
+            report.latency_percentile(0.99) * 1e3,
+        );
+    }
+    for t in &report.per_tool {
+        let name = t.tool.map(|t| t.abbrev().to_string()).unwrap_or_default();
+        println!(
+            "  {:<4} offered {:>6}, done {:>6}, degraded {:>4}, shed {:>4}, max queue {:>3}",
+            name, t.offered, t.completed, t.degraded, t.shed, t.max_queue_depth
         );
     }
 

@@ -158,6 +158,92 @@ pub(super) struct Services {
     pub(super) sb: OnlineService<Socialbakers>,
 }
 
+/// A prewarmed serving world for the *wall-clock* entry points — the
+/// `fakeaudit serve` gateway and the `exp_http_load` bench driver.
+///
+/// Same construction as the E8 sweep (popularity-ranked targets, quota-
+/// free Table II services, every target prewarmed at every tool), so
+/// wall-clock measurements and sim sweeps describe the same workload.
+/// The world is built once and backends are *cloned* out of it: each
+/// gateway worker thread owns an independent clone, exactly as each E8
+/// sweep cell does.
+#[derive(Clone)]
+pub struct ServingWorld {
+    /// The platform every service audits against.
+    pub platform: Platform,
+    /// Popularity-ranked prewarmed targets (the Zipf universe).
+    pub targets: Vec<AccountId>,
+    base: Services,
+}
+
+impl ServingWorld {
+    /// Builds the platform, `target_count` prewarmed targets, and the
+    /// four quota-free services.
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal inconsistencies only (scenario build, prewarm).
+    pub fn build(scale: Scale, seed: u64, target_count: usize) -> Self {
+        let (platform, built) = build_targets(scale, seed, target_count);
+        let base = build_services(scale, seed, &platform, &built);
+        Self {
+            platform,
+            targets: built.iter().map(|t| t.target).collect(),
+            base,
+        }
+    }
+
+    /// `copies` independent backend clones for `tool`, boxed for a
+    /// gateway worker pool (plus one more for the stale-read path).
+    pub fn backends(
+        &self,
+        tool: fakeaudit_detectors::ToolId,
+        copies: usize,
+    ) -> Vec<Box<dyn fakeaudit_server::AuditBackend + Send>> {
+        self.armed_backends(
+            tool,
+            copies,
+            &fakeaudit_telemetry::Telemetry::disabled(),
+            None,
+        )
+    }
+
+    /// [`ServingWorld::backends`] with each clone recording service-level
+    /// metrics (cache hits, breaker transitions) into `telemetry` and,
+    /// when `breaker` is given, guarding its fresh-audit path with a
+    /// per-clone circuit breaker.
+    pub fn armed_backends(
+        &self,
+        tool: fakeaudit_detectors::ToolId,
+        copies: usize,
+        telemetry: &fakeaudit_telemetry::Telemetry,
+        breaker: Option<fakeaudit_analytics::BreakerConfig>,
+    ) -> Vec<Box<dyn fakeaudit_server::AuditBackend + Send>> {
+        use fakeaudit_detectors::ToolId;
+        fn arm<A: fakeaudit_detectors::FollowerAuditor + Clone>(
+            svc: &OnlineService<A>,
+            telemetry: &fakeaudit_telemetry::Telemetry,
+            breaker: Option<fakeaudit_analytics::BreakerConfig>,
+        ) -> OnlineService<A> {
+            let svc = svc.clone().with_telemetry(telemetry.clone());
+            match breaker {
+                Some(cfg) => svc.with_breaker(cfg),
+                None => svc,
+            }
+        }
+        (0..copies)
+            .map(|_| -> Box<dyn fakeaudit_server::AuditBackend + Send> {
+                match tool {
+                    ToolId::FakeClassifier => Box::new(arm(&self.base.fc, telemetry, breaker)),
+                    ToolId::Twitteraudit => Box::new(arm(&self.base.ta, telemetry, breaker)),
+                    ToolId::StatusPeople => Box::new(arm(&self.base.sp, telemetry, breaker)),
+                    ToolId::Socialbakers => Box::new(arm(&self.base.sb, telemetry, breaker)),
+                }
+            })
+            .collect()
+    }
+}
+
 /// Runs one sweep cell: fresh clones, one deterministic event loop.
 fn run_cell(
     platform: &Platform,

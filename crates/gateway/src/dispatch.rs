@@ -1,0 +1,601 @@
+//! The wall-clock dispatcher: bounded admission + per-tool worker pools
+//! over the same [`AuditBackend`] seam the simulator drives.
+//!
+//! This is the "reuse, not fork" core of the gateway. Every policy
+//! decision is made by `crates/server` types:
+//!
+//! * admission is an [`AdmissionQueue`] per tool — the same bounded FIFO
+//!   with the same [`OverloadPolicy`] semantics (block, shed-503,
+//!   degrade-to-stale) the discrete-event simulator exercises;
+//! * service goes through [`AuditBackend::serve_traced_at`], so the
+//!   analytics `OnlineService` — cache, quota, Table II response times,
+//!   circuit breaker — is byte-for-byte the simulator's backend;
+//! * bookkeeping produces [`RequestRecord`]s and feeds
+//!   [`observe_request`], so `/metrics`, end-of-run reports and the E8/E9
+//!   analysis tooling read identically off either world.
+//!
+//! What differs from the simulator is only the execution substrate:
+//! real OS threads pull jobs from the queues (one pool per tool, each
+//! worker owning its own cloned backend — share-nothing, so no lock is
+//! held during service), and time comes from a shared
+//! [`Clock`](fakeaudit_telemetry::Clock) instead of an event heap.
+//! Service time is the *actual CPU cost* of the audit: the dispatcher
+//! never sleeps out simulated seconds. The simulated Table II cost still
+//! travels in the response (`response_secs`) for cross-checking the two
+//! worlds.
+
+use fakeaudit_analytics::{ServiceError, ServiceResponse};
+use fakeaudit_detectors::ToolId;
+use fakeaudit_server::{
+    observe_request, Admission, AdmissionQueue, AuditBackend, OverloadPolicy, RequestOutcome,
+    RequestRecord, ServerConfig, ServerReport,
+};
+use fakeaudit_telemetry::analyze::names;
+use fakeaudit_telemetry::{Clock, Telemetry, TraceContext};
+use fakeaudit_twittersim::{AccountId, Platform};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// A backend the dispatcher can hand to a worker thread.
+pub type BoxedBackend = Box<dyn AuditBackend + Send>;
+
+/// The per-tool serving capacity handed to [`Dispatcher::start`]: one
+/// backend instance per worker (share-nothing) plus one admission-time
+/// reader for the degrade-to-stale path.
+pub struct ToolPool {
+    /// The tool every backend in this pool serves.
+    pub tool: ToolId,
+    /// One owned backend per worker thread.
+    pub workers: Vec<BoxedBackend>,
+    /// Backend consulted (read-only) at admission time for stale answers.
+    pub stale: BoxedBackend,
+}
+
+impl std::fmt::Debug for ToolPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ToolPool")
+            .field("tool", &self.tool)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Where an answered verdict came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerSource {
+    /// A worker ran the audit.
+    Fresh,
+    /// A worker answered from the service's fresh cache.
+    Cache,
+    /// The admission path served a stale cached report (degrade policy).
+    Stale,
+}
+
+impl AnswerSource {
+    /// Label used in traces, metrics and response JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnswerSource::Fresh => "fresh",
+            AnswerSource::Cache => "cache",
+            AnswerSource::Stale => "stale",
+        }
+    }
+}
+
+/// A successfully answered request.
+#[derive(Debug, Clone)]
+pub struct Answered {
+    /// The service's verdict.
+    pub response: ServiceResponse,
+    /// Where the answer came from.
+    pub source: AnswerSource,
+    /// Real seconds spent in the admission queue.
+    pub queue_wait_secs: f64,
+    /// Real seconds of service (0 for stale answers).
+    pub service_secs: f64,
+}
+
+/// Why a request got no verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rejection {
+    /// Refused at admission: queue full (or the gateway is draining).
+    Shed,
+    /// The tool's circuit breaker is open; retry after the cooldown.
+    BreakerOpen {
+        /// Suggested client back-off in seconds.
+        retry_in_secs: f64,
+    },
+    /// Dropped in queue past the end-to-end deadline.
+    Expired,
+    /// The backend errored (quota exhausted, audit failure).
+    Failed(String),
+}
+
+/// Progress of one submitted request, delivered over the channel
+/// returned by [`Dispatcher::submit`]. `Done` / `Rejected` are terminal.
+#[derive(Debug)]
+pub enum JobEvent {
+    /// Admitted; `depth` is the queue depth at admission.
+    Queued {
+        /// Queue depth right after this job was admitted.
+        depth: usize,
+    },
+    /// A worker started the audit.
+    Started,
+    /// Terminal: the verdict.
+    Done(Box<Answered>),
+    /// Terminal: no verdict.
+    Rejected(Rejection),
+}
+
+/// One queued unit of work.
+struct Job {
+    id: u64,
+    target: AccountId,
+    arrived: f64,
+    events: mpsc::Sender<JobEvent>,
+    req_ctx: TraceContext,
+}
+
+struct LaneState {
+    queue: AdmissionQueue<Job>,
+    stale: BoxedBackend,
+    shutting_down: bool,
+}
+
+/// One tool's admission queue + worker-wakeup pair.
+struct Lane {
+    tool: ToolId,
+    state: Mutex<LaneState>,
+    ready: Condvar,
+}
+
+struct Shared {
+    lanes: Vec<Arc<Lane>>,
+    platform: Arc<Platform>,
+    telemetry: Telemetry,
+    root: TraceContext,
+    clock: Arc<dyn Clock>,
+    config: ServerConfig,
+    /// Platform-epoch seconds: backends stamp their sub-spans on the
+    /// platform clock, the gateway on the wall clock; contexts handed to
+    /// backends are rebased across this offset exactly like the
+    /// simulator does.
+    epoch_secs: f64,
+    next_id: AtomicU64,
+    records: Mutex<Vec<RequestRecord>>,
+}
+
+/// Admission control + per-tool worker pools over real threads.
+///
+/// Create with [`Dispatcher::start`], submit with [`Dispatcher::submit`],
+/// and stop with [`Dispatcher::shutdown`] — which refuses new work,
+/// drains every queued job through the workers, and joins the threads.
+pub struct Dispatcher {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("lanes", &self.shared.lanes.len())
+            .field("config", &self.shared.config)
+            .finish()
+    }
+}
+
+impl Dispatcher {
+    /// Boots one worker pool per [`ToolPool`] and returns the running
+    /// dispatcher. `config.workers_per_tool` is taken from each pool's
+    /// actual backend count, so the two cannot disagree.
+    pub fn start(
+        platform: Arc<Platform>,
+        pools: Vec<ToolPool>,
+        mut config: ServerConfig,
+        clock: Arc<dyn Clock>,
+        telemetry: Telemetry,
+    ) -> Self {
+        if let Some(pool) = pools.first() {
+            config.workers_per_tool = pool.workers.len().max(1);
+        }
+        let epoch_secs = platform.now().as_secs() as f64;
+        let root = telemetry.root_context();
+        let lanes: Vec<Arc<Lane>> = pools
+            .iter()
+            .map(|pool| {
+                Arc::new(Lane {
+                    tool: pool.tool,
+                    state: Mutex::new(LaneState {
+                        queue: AdmissionQueue::new(config.queue_capacity, config.policy),
+                        // Placeholder replaced below when the pool is consumed.
+                        stale: Box::new(NullBackend(pool.tool)),
+                        shutting_down: false,
+                    }),
+                    ready: Condvar::new(),
+                })
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            lanes: lanes.clone(),
+            platform,
+            telemetry,
+            root,
+            clock,
+            config,
+            epoch_secs,
+            next_id: AtomicU64::new(0),
+            records: Mutex::new(Vec::new()),
+        });
+        let mut workers = Vec::new();
+        for (lane, pool) in lanes.iter().zip(pools) {
+            lane.state.lock().stale = pool.stale;
+            for (i, backend) in pool.workers.into_iter().enumerate() {
+                let lane = Arc::clone(lane);
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("audit-{}-{i}", lane.tool.abbrev()))
+                    .spawn(move || worker_loop(&shared, &lane, backend))
+                    .expect("spawn worker thread");
+                workers.push(handle);
+            }
+        }
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The tools this dispatcher serves, in registration order.
+    pub fn tools(&self) -> Vec<ToolId> {
+        self.shared.lanes.iter().map(|l| l.tool).collect()
+    }
+
+    /// The admission/worker configuration in force.
+    pub fn config(&self) -> ServerConfig {
+        self.shared.config
+    }
+
+    /// Current time on the dispatcher's clock.
+    pub fn now_secs(&self) -> f64 {
+        self.shared.clock.now_secs()
+    }
+
+    /// Submits one audit request.
+    ///
+    /// The returned channel delivers [`JobEvent`]s and always ends with a
+    /// terminal `Done` or `Rejected` — including for synchronous
+    /// refusals, which are already in the channel when this returns.
+    pub fn submit(&self, tool: ToolId, target: AccountId) -> mpsc::Receiver<JobEvent> {
+        let shared = &self.shared;
+        let (tx, rx) = mpsc::channel();
+        let arrived = shared.clock.now_secs();
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let Some(lane) = shared.lanes.iter().find(|l| l.tool == tool) else {
+            let _ = tx.send(JobEvent::Rejected(Rejection::Shed));
+            return rx;
+        };
+        let job = Job {
+            id,
+            target,
+            arrived,
+            events: tx.clone(),
+            req_ctx: shared.root.child(),
+        };
+        let mut st = lane.state.lock();
+        if st.shutting_down {
+            drop(st);
+            shared.refuse(id, tool, target, arrived, RequestOutcome::Shed);
+            let _ = tx.send(JobEvent::Rejected(Rejection::Shed));
+            return rx;
+        }
+        match st.queue.offer(job) {
+            Admission::Enqueued | Admission::Blocked => {
+                let depth = st.queue.len();
+                drop(st);
+                lane.ready.notify_one();
+                shared.telemetry.gauge_set(
+                    "server.queue_depth",
+                    &[("tool", tool.abbrev())],
+                    depth as f64,
+                );
+                let _ = tx.send(JobEvent::Queued { depth });
+            }
+            Admission::Overloaded => {
+                let stale = if shared.config.policy == OverloadPolicy::DegradeStale {
+                    st.stale.serve_stale(target)
+                } else {
+                    None
+                };
+                drop(st);
+                match stale {
+                    Some(response) => {
+                        let finished = shared.clock.now_secs();
+                        shared.record_degraded(id, tool, target, arrived, finished, &response);
+                        let _ = tx.send(JobEvent::Done(Box::new(Answered {
+                            response,
+                            source: AnswerSource::Stale,
+                            queue_wait_secs: 0.0,
+                            service_secs: finished - arrived,
+                        })));
+                    }
+                    None => {
+                        shared.refuse(id, tool, target, arrived, RequestOutcome::Shed);
+                        let _ = tx.send(JobEvent::Rejected(Rejection::Shed));
+                    }
+                }
+            }
+        }
+        rx
+    }
+
+    /// Stops accepting work, drains every queued job through the worker
+    /// pools, and joins the worker threads. Idempotent.
+    pub fn shutdown(&self) {
+        for lane in &self.shared.lanes {
+            lane.state.lock().shutting_down = true;
+            lane.ready.notify_all();
+        }
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// A point-in-time report over every request seen so far, aggregated
+    /// by the **same** `ServerReport` code the simulator uses; queue
+    /// high-water marks are patched in from the live queues.
+    pub fn report(&self) -> ServerReport {
+        let records = self.shared.records.lock().clone();
+        let makespan = self.shared.clock.now_secs();
+        let mut report = ServerReport::from_records(records, self.shared.config, makespan);
+        for summary in &mut report.per_tool {
+            if let Some(lane) = self
+                .shared
+                .lanes
+                .iter()
+                .find(|l| Some(l.tool) == summary.tool)
+            {
+                let st = lane.state.lock();
+                summary.max_queue_depth = st.queue.max_depth();
+                summary.max_blocked = st.queue.max_overflow();
+            }
+        }
+        report
+    }
+}
+
+impl Shared {
+    fn push_record(&self, record: RequestRecord) {
+        let labels = [
+            ("tool", record.tool.abbrev()),
+            ("outcome", record.outcome.label()),
+        ];
+        self.telemetry.counter_add("server.requests", &labels, 1);
+        if record.answered() {
+            observe_request(&self.telemetry, record.tool.abbrev(), &record);
+        }
+        self.records.lock().push(record);
+    }
+
+    /// Records a refusal (shed at admission, expired in queue) with the
+    /// same trace points the simulator emits.
+    fn refuse(
+        &self,
+        id: u64,
+        tool: ToolId,
+        target: AccountId,
+        arrived: f64,
+        outcome: RequestOutcome,
+    ) {
+        let now = self.clock.now_secs();
+        let (name, finished) = match outcome {
+            RequestOutcome::Expired => (names::SERVER_EXPIRED, Some(now)),
+            RequestOutcome::Failed => (names::SERVER_FAILED, Some(now)),
+            _ => (names::SERVER_SHED, None),
+        };
+        if self.root.is_enabled() {
+            let target_s = target.to_string();
+            self.root.point(
+                name,
+                finished.unwrap_or(arrived),
+                &[("tool", tool.abbrev()), ("target", &target_s)],
+            );
+        }
+        self.push_record(RequestRecord {
+            id,
+            tool,
+            target,
+            arrived,
+            started: None,
+            finished,
+            outcome,
+        });
+    }
+
+    fn record_degraded(
+        &self,
+        id: u64,
+        tool: ToolId,
+        target: AccountId,
+        arrived: f64,
+        finished: f64,
+        _response: &ServiceResponse,
+    ) {
+        if self.root.is_enabled() {
+            let target_s = target.to_string();
+            let req_ctx = self.root.child();
+            req_ctx.span(
+                names::SERVER_SERVICE,
+                arrived,
+                finished,
+                &[("tool", tool.abbrev()), ("source", "stale")],
+            );
+            req_ctx.record(
+                names::SERVER_REQUEST,
+                arrived,
+                finished,
+                &[
+                    ("tool", tool.abbrev()),
+                    ("target", &target_s),
+                    ("outcome", "degraded"),
+                ],
+            );
+        }
+        self.push_record(RequestRecord {
+            id,
+            tool,
+            target,
+            arrived,
+            started: Some(arrived),
+            finished: Some(finished),
+            outcome: RequestOutcome::Degraded,
+        });
+    }
+}
+
+/// One worker thread: pull, serve, record — until told to stop *and* the
+/// queue is dry, so shutdown drains in-flight work by construction.
+fn worker_loop(shared: &Shared, lane: &Lane, mut backend: BoxedBackend) {
+    loop {
+        let job = {
+            let mut st = lane.state.lock();
+            loop {
+                if let Some(job) = st.queue.pop() {
+                    break job;
+                }
+                if st.shutting_down {
+                    return;
+                }
+                lane.ready.wait(&mut st);
+            }
+        };
+        serve_one(shared, lane.tool, &mut backend, job);
+    }
+}
+
+fn serve_one(shared: &Shared, tool: ToolId, backend: &mut BoxedBackend, job: Job) {
+    let now = shared.clock.now_secs();
+    if shared
+        .config
+        .deadline_secs
+        .is_some_and(|d| now - job.arrived > d)
+    {
+        shared.refuse(
+            job.id,
+            tool,
+            job.target,
+            job.arrived,
+            RequestOutcome::Expired,
+        );
+        let _ = job.events.send(JobEvent::Rejected(Rejection::Expired));
+        return;
+    }
+    let _ = job.events.send(JobEvent::Started);
+    // Mirrors the simulator's `start_service`: `req_ctx` is the
+    // `server.request` span, `svc_ctx` the `server.service` span the
+    // backend nests its own subtree under, rebased from the wall clock
+    // onto the platform's epoch clock.
+    let svc_ctx = job.req_ctx.child();
+    let backend_ctx = svc_ctx.clone().rebased(now - shared.epoch_secs);
+    match backend.serve_traced_at(&shared.platform, job.target, &backend_ctx, now) {
+        Ok(response) => {
+            let finished = shared.clock.now_secs();
+            if job.req_ctx.is_enabled() {
+                let tool_s = tool.abbrev();
+                let target_s = job.target.to_string();
+                job.req_ctx.span(
+                    names::SERVER_QUEUE_WAIT,
+                    job.arrived,
+                    now,
+                    &[("tool", tool_s)],
+                );
+                let source = if response.served_from_cache {
+                    "cache"
+                } else {
+                    "fresh"
+                };
+                svc_ctx.record(
+                    names::SERVER_SERVICE,
+                    now,
+                    finished,
+                    &[("tool", tool_s), ("source", source)],
+                );
+                job.req_ctx.record(
+                    names::SERVER_REQUEST,
+                    job.arrived,
+                    finished,
+                    &[
+                        ("tool", tool_s),
+                        ("target", &target_s),
+                        ("outcome", "completed"),
+                    ],
+                );
+            }
+            let source = if response.served_from_cache {
+                AnswerSource::Cache
+            } else {
+                AnswerSource::Fresh
+            };
+            shared.push_record(RequestRecord {
+                id: job.id,
+                tool,
+                target: job.target,
+                arrived: job.arrived,
+                started: Some(now),
+                finished: Some(finished),
+                outcome: RequestOutcome::Completed {
+                    cached: response.served_from_cache,
+                },
+            });
+            let _ = job.events.send(JobEvent::Done(Box::new(Answered {
+                response,
+                source,
+                queue_wait_secs: now - job.arrived,
+                service_secs: finished - now,
+            })));
+        }
+        Err(err) => {
+            shared.refuse(
+                job.id,
+                tool,
+                job.target,
+                job.arrived,
+                RequestOutcome::Failed,
+            );
+            let rejection = match err {
+                ServiceError::Unavailable { retry_in_secs, .. } => {
+                    Rejection::BreakerOpen { retry_in_secs }
+                }
+                other => Rejection::Failed(other.to_string()),
+            };
+            let _ = job.events.send(JobEvent::Rejected(rejection));
+        }
+    }
+}
+
+/// Placeholder stale backend used only during pool wiring; never serves.
+struct NullBackend(ToolId);
+
+impl AuditBackend for NullBackend {
+    fn tool(&self) -> ToolId {
+        self.0
+    }
+
+    fn serve(
+        &mut self,
+        _platform: &Platform,
+        _target: AccountId,
+    ) -> Result<ServiceResponse, ServiceError> {
+        Err(ServiceError::Unavailable {
+            tool: self.0,
+            retry_in_secs: 0.0,
+        })
+    }
+
+    fn serve_stale(&self, _target: AccountId) -> Option<ServiceResponse> {
+        None
+    }
+}

@@ -1,0 +1,609 @@
+//! A minimal HTTP/1.1 layer: incremental request parsing and response
+//! writing over any `Read`/`Write` pair.
+//!
+//! Deliberately tiny — the gateway serves four routes to trusted load
+//! generators and ops tooling, not the open internet — but strict about
+//! the failure modes that matter for a long-running listener:
+//!
+//! * **incremental**: [`parse_request`] works over a growing byte buffer
+//!   and reports [`Parse::Partial`] until a full head (and declared body)
+//!   has arrived, so slow or fragmented clients cost retries, not errors;
+//! * **bounded**: request heads, header counts and bodies all have hard
+//!   limits ([`Limits`]); exceeding one is a typed error that maps to a
+//!   definite status code (431/413/400), never an allocation blow-up;
+//! * **total**: no input — truncated, binary, adversarial — panics the
+//!   parser. The proptests in `tests/http_proptests.rs` hammer this.
+//!
+//! Only what the gateway needs is implemented: `Content-Length` bodies
+//! (no chunked *requests*), HTTP/1.0 and 1.1, latin headers. Responses
+//! support fixed bodies ([`write_response`]) and chunked streaming
+//! ([`ChunkedBody`]) for the progress endpoint.
+
+use std::io::{self, Write};
+
+/// Hard limits applied while parsing one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (excluding body).
+    pub max_head_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum declared `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method token, uppercased by convention of the sender (`GET`, …).
+    pub method: String,
+    /// The raw request target: path plus optional `?query`.
+    pub target: String,
+    /// `1.0` or `1.1`.
+    pub minor_version: u8,
+    /// Header name/value pairs in arrival order; names as sent.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, matched case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path component of the target (before any `?`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The query string (after the first `?`), if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// Looks up `key` in the query string (`k=v&k2=v2`, no decoding).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query()?
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the connection should stay open after this exchange.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.minor_version >= 1,
+        }
+    }
+}
+
+/// Outcome of a parse attempt over the bytes received so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// A complete request, plus how many buffer bytes it consumed.
+    Complete(Request, usize),
+    /// Valid so far, but more bytes are needed.
+    Partial,
+}
+
+/// A malformed or over-limit request. Each variant maps to one response
+/// status via [`Error::status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// Head is not valid UTF-8.
+    BadEncoding,
+    /// A header line has no `:` or an empty name.
+    BadHeader,
+    /// `Content-Length` is not a number.
+    BadContentLength,
+    /// Not an `HTTP/1.0` or `HTTP/1.1` request.
+    UnsupportedVersion,
+    /// `Transfer-Encoding` request bodies are not supported.
+    UnsupportedTransferEncoding,
+    /// Request line + headers exceed [`Limits::max_head_bytes`].
+    HeadTooLarge,
+    /// More than [`Limits::max_headers`] header lines.
+    TooManyHeaders,
+    /// Declared body exceeds [`Limits::max_body_bytes`].
+    BodyTooLarge,
+}
+
+impl Error {
+    /// The response status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            Error::HeadTooLarge | Error::TooManyHeaders => 431,
+            Error::BodyTooLarge => 413,
+            Error::UnsupportedVersion => 505,
+            Error::UnsupportedTransferEncoding => 501,
+            _ => 400,
+        }
+    }
+
+    /// Short human-readable description.
+    pub fn message(&self) -> &'static str {
+        match self {
+            Error::BadRequestLine => "malformed request line",
+            Error::BadEncoding => "request head is not UTF-8",
+            Error::BadHeader => "malformed header",
+            Error::BadContentLength => "invalid content-length",
+            Error::UnsupportedVersion => "only HTTP/1.0 and HTTP/1.1 are supported",
+            Error::UnsupportedTransferEncoding => "transfer-encoding bodies are not supported",
+            Error::HeadTooLarge => "request head too large",
+            Error::TooManyHeaders => "too many headers",
+            Error::BodyTooLarge => "request body too large",
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Finds `\r\n\r\n` in `buf`, returning the index of the first byte of
+/// the terminator.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Attempts to parse one request from the front of `buf`.
+///
+/// Returns [`Parse::Partial`] when `buf` holds a prefix of a (still
+/// plausible) request, [`Parse::Complete`] with the consumed byte count
+/// otherwise. The caller owns the buffer and drains consumed bytes, so
+/// pipelined requests parse on subsequent calls.
+///
+/// # Errors
+///
+/// [`Error`] when the bytes can never become a valid request under
+/// `limits`.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parse, Error> {
+    let head_end = match find_head_end(buf) {
+        Some(i) => i,
+        None => {
+            // An empty line ("\r\n" only) can never grow into a request;
+            // everything else might still be a prefix.
+            if buf.len() > limits.max_head_bytes {
+                return Err(Error::HeadTooLarge);
+            }
+            return Ok(Parse::Partial);
+        }
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(Error::HeadTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| Error::BadEncoding)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(Error::BadRequestLine)?;
+
+    let mut parts = request_line.split(' ');
+    let method = parts.next().filter(|m| !m.is_empty()).map(str::to_owned);
+    let target = parts.next().filter(|t| !t.is_empty()).map(str::to_owned);
+    let version = parts.next();
+    let (method, target, version) = match (method, target, version, parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(Error::BadRequestLine),
+    };
+    if !method
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    {
+        return Err(Error::BadRequestLine);
+    }
+    let minor_version = match version {
+        "HTTP/1.1" => 1,
+        "HTTP/1.0" => 0,
+        v if v.starts_with("HTTP/") => return Err(Error::UnsupportedVersion),
+        _ => return Err(Error::BadRequestLine),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if headers.len() >= limits.max_headers {
+            return Err(Error::TooManyHeaders);
+        }
+        let (name, value) = line.split_once(':').ok_or(Error::BadHeader)?;
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(Error::BadHeader);
+        }
+        headers.push((name.to_owned(), value.trim().to_owned()));
+    }
+
+    let request = Request {
+        method,
+        target,
+        minor_version,
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(Error::UnsupportedTransferEncoding);
+    }
+    let content_length = match request.header("content-length") {
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| Error::BadContentLength)?,
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(Error::BodyTooLarge);
+    }
+    let body_start = head_end + 4;
+    let total = body_start
+        .checked_add(content_length)
+        .ok_or(Error::BadContentLength)?;
+    if buf.len() < total {
+        return Ok(Parse::Partial);
+    }
+    let mut request = request;
+    request.body = buf[body_start..total].to_vec();
+    Ok(Parse::Complete(request, total))
+}
+
+/// The canonical reason phrase for the statuses the gateway emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response.
+///
+/// `extra_headers` come after the defaults; `Content-Length` and
+/// `Content-Type` are always emitted.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status_reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    // One write for head + body keeps small responses in a single
+    // segment under TCP_NODELAY.
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    w.write_all(&out)
+}
+
+/// A chunked-transfer response in progress — the `/audit/:id/stream`
+/// endpoint writes one chunk per progress event.
+#[derive(Debug)]
+pub struct ChunkedBody<W: Write> {
+    w: W,
+}
+
+impl<W: Write> ChunkedBody<W> {
+    /// Writes the response head and switches the body to chunked
+    /// encoding. Chunked responses always close the connection when done.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn start(
+        mut w: W,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<Self> {
+        let mut head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
+            status_reason(status),
+        );
+        for (k, v) in extra_headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.flush()?;
+        Ok(Self { w })
+    }
+
+    /// Writes one chunk. Empty data is skipped (an empty chunk would
+    /// terminate the stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the stream.
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Writes the terminating zero chunk and returns the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the stream.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(bytes: &[u8]) -> (Request, usize) {
+        match parse_request(bytes, &Limits::default()).unwrap() {
+            Parse::Complete(r, n) => (r, n),
+            Parse::Partial => panic!("unexpected partial"),
+        }
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (r, n) = parse_ok(raw);
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.target, "/healthz");
+        assert_eq!(r.minor_version, 1);
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert!(r.body.is_empty());
+        assert_eq!(n, raw.len());
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn parses_body_by_content_length() {
+        let raw = b"POST /audit/7 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdXX";
+        let (r, n) = parse_ok(raw);
+        assert_eq!(r.body, b"abcd");
+        // Trailing XX belongs to the next pipelined request.
+        assert_eq!(n, raw.len() - 2);
+    }
+
+    #[test]
+    fn partial_until_head_complete() {
+        let full = b"GET / HTTP/1.1\r\n\r\n";
+        for cut in 0..full.len() {
+            let out = parse_request(&full[..cut], &Limits::default()).unwrap();
+            assert_eq!(out, Parse::Partial, "cut at {cut}");
+        }
+        assert!(matches!(
+            parse_request(full, &Limits::default()).unwrap(),
+            Parse::Complete(_, 18)
+        ));
+    }
+
+    #[test]
+    fn partial_until_body_complete() {
+        let bytes = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345";
+        assert_eq!(
+            parse_request(bytes, &Limits::default()).unwrap(),
+            Parse::Partial
+        );
+    }
+
+    #[test]
+    fn query_params() {
+        let (r, _) = parse_ok(b"POST /audit/9?tool=TA&x=1 HTTP/1.1\r\n\r\n");
+        assert_eq!(r.path(), "/audit/9");
+        assert_eq!(r.query(), Some("tool=TA&x=1"));
+        assert_eq!(r.query_param("tool"), Some("TA"));
+        assert_eq!(r.query_param("x"), Some("1"));
+        assert_eq!(r.query_param("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for bad in [
+            &b"GET\r\n\r\n"[..],
+            b" / HTTP/1.1\r\n\r\n",
+            b"GET  HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"G@T / HTTP/1.1\r\n\r\n",
+            b"GET / FTP/1.1\r\n\r\n",
+        ] {
+            let err = parse_request(bad, &Limits::default()).unwrap_err();
+            assert_eq!(err.status(), 400, "{bad:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_versions() {
+        let err = parse_request(b"GET / HTTP/2.0\r\n\r\n", &Limits::default()).unwrap_err();
+        assert_eq!(err, Error::UnsupportedVersion);
+        assert_eq!(err.status(), 505);
+    }
+
+    #[test]
+    fn rejects_oversized_heads() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            ..Limits::default()
+        };
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        assert_eq!(
+            parse_request(long.as_bytes(), &limits).unwrap_err(),
+            Error::HeadTooLarge
+        );
+        // Also when the terminator never arrives.
+        let partial = "y".repeat(100);
+        assert_eq!(
+            parse_request(partial.as_bytes(), &limits).unwrap_err(),
+            Error::HeadTooLarge
+        );
+    }
+
+    #[test]
+    fn rejects_too_many_headers() {
+        let limits = Limits {
+            max_headers: 2,
+            ..Limits::default()
+        };
+        let raw = "GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n";
+        assert_eq!(
+            parse_request(raw.as_bytes(), &limits).unwrap_err(),
+            Error::TooManyHeaders
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_by_declaration() {
+        let limits = Limits {
+            max_body_bytes: 8,
+            ..Limits::default()
+        };
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+        let err = parse_request(raw, &limits).unwrap_err();
+        assert_eq!(err, Error::BodyTooLarge);
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_lengths() {
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.1\r\nno-colon\r\n\r\n", &Limits::default()).unwrap_err(),
+            Error::BadHeader
+        );
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.1\r\nbad name: v\r\n\r\n", &Limits::default())
+                .unwrap_err(),
+            Error::BadHeader
+        );
+        assert_eq!(
+            parse_request(
+                b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+                &Limits::default()
+            )
+            .unwrap_err(),
+            Error::BadContentLength
+        );
+    }
+
+    #[test]
+    fn rejects_transfer_encoding() {
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let err = parse_request(raw, &Limits::default()).unwrap_err();
+        assert_eq!(err, Error::UnsupportedTransferEncoding);
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn rejects_non_utf8_heads() {
+        let raw = b"GET /\xff\xfe HTTP/1.1\r\n\r\n";
+        assert_eq!(
+            parse_request(raw, &Limits::default()).unwrap_err(),
+            Error::BadEncoding
+        );
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let (r, _) = parse_ok(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!r.keep_alive());
+        let (r, _) = parse_ok(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!r.keep_alive());
+        let (r, _) = parse_ok(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn write_response_shapes_head_and_body() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "application/json",
+            &[("Retry-After", "2")],
+            b"{\"error\":\"overloaded\"}",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"overloaded\"}"));
+    }
+
+    #[test]
+    fn chunked_body_round_trip() {
+        let mut body = ChunkedBody::start(Vec::new(), 200, "application/json", &[]).unwrap();
+        body.chunk(b"hello").unwrap();
+        body.chunk(b"").unwrap(); // skipped, not a terminator
+        body.chunk(b"world!").unwrap();
+        let out = body.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.ends_with("5\r\nhello\r\n6\r\nworld!\r\n0\r\n\r\n"));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_sequentially() {
+        let mut buf = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n".to_vec();
+        let (r1, n1) = parse_ok(&buf);
+        assert_eq!(r1.target, "/a");
+        buf.drain(..n1);
+        let (r2, _) = parse_ok(&buf);
+        assert_eq!(r2.target, "/b");
+    }
+}

@@ -1,0 +1,49 @@
+//! The wall-clock twin of the audit service: a real HTTP/1.1 front-end
+//! over the exact machinery the discrete-event simulator exercises.
+//!
+//! PRs 1–5 built a *simulated* serving stack — `OnlineService` backends
+//! with Table II response-time models, bounded admission queues with
+//! block/shed/degrade policies, circuit breakers, causal tracing — and
+//! validated its behaviour under E8 offered-load sweeps, all on a
+//! deterministic sim clock. This crate puts that same stack behind real
+//! sockets and real threads, seeding the repo's hardware-performance
+//! trajectory (`results/BENCH_gateway.json`).
+//!
+//! The layering, bottom-up:
+//!
+//! * [`http`] — a minimal hand-rolled HTTP/1.1 layer (incremental
+//!   parser with hard limits, fixed + chunked response writers). No
+//!   async runtime: the gateway is thread-per-core over
+//!   `std::net::TcpListener`, which keeps the workspace dependency-free
+//!   and the perf numbers attributable to *our* code;
+//! * [`dispatch`] — bounded admission + per-tool worker pools over the
+//!   `crates/server` [`AuditBackend`](fakeaudit_server::AuditBackend)
+//!   seam. Policy logic (queues, overload behaviour, breakers, metric
+//!   vocabulary) is imported from the sim stack, never duplicated;
+//! * [`server`] — the listener: accept threads, four routes
+//!   (`POST /audit/:target`, `GET /audit/:target/stream`, `GET /healthz`,
+//!   `GET /metrics`), and a two-phase graceful drain;
+//! * [`loadgen`] — closed- and open-loop load generation replaying the
+//!   E8 workload shapes against a live listener, plus the
+//!   `BENCH_gateway.json` renderer;
+//! * [`wire`] — response JSON and the Prometheus text exposition.
+//!
+//! Time comes from a shared [`Clock`](fakeaudit_telemetry::Clock)
+//! (`WallClock` in production, `ManualClock` in tests), so spans,
+//! breaker cooldowns and SLO windows work identically off either time
+//! source — that abstraction lives in `crates/telemetry`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use dispatch::{
+    AnswerSource, Answered, BoxedBackend, Dispatcher, JobEvent, Rejection, ToolPool,
+};
+pub use loadgen::{render_bench_json, run_closed_loop, run_open_loop, LoadSummary};
+pub use server::{tool_from_abbrev, Gateway, GatewayConfig};

@@ -1,0 +1,483 @@
+//! The listener: a thread-per-core accept pool over
+//! `std::net::TcpListener`, routing four paths onto the dispatcher.
+//!
+//! Each accept thread owns the connection it accepted end-to-end
+//! (parse → dispatch → respond, with HTTP/1.1 keep-alive), so there is
+//! no cross-thread handoff on the connection path; concurrency comes
+//! from running one such thread per core. Audit work itself is decoupled
+//! through the dispatcher's bounded queues — a slow audit occupies a
+//! worker, not the accept thread's ability to shed.
+//!
+//! Shutdown is a two-phase drain, in this order:
+//!
+//! 1. the gateway stops taking *new* connections: the drain flag flips,
+//!    one wake-up connection per accept thread unblocks `accept()`, and
+//!    each accept thread switches the listener to non-blocking and
+//!    serves out whatever the kernel already queued in the accept
+//!    backlog — every connection (in-flight or backlogged) finishes its
+//!    current request with `Connection: close`;
+//! 2. the dispatcher refuses new admissions and its workers drain every
+//!    already-queued job before joining.
+//!
+//! Because every queued job has a client connection blocked on it inside
+//! an accept thread, phase 1 completing implies the queues are empty by
+//! the time phase 2 joins the workers — no request that reached the
+//! listener before shutdown is ever dropped by a clean drain.
+
+use crate::dispatch::{Dispatcher, JobEvent, ToolPool};
+use crate::http::{self, ChunkedBody, Limits, Parse};
+use crate::wire;
+use fakeaudit_detectors::ToolId;
+use fakeaudit_server::{ServerConfig, ServerReport};
+use fakeaudit_telemetry::{Clock, Telemetry};
+use fakeaudit_twittersim::{AccountId, Platform};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Resolves a tool abbreviation (`FC`, `TA`, `SP`, `SB`), case-insensitively.
+pub fn tool_from_abbrev(s: &str) -> Option<ToolId> {
+    ToolId::ALL
+        .iter()
+        .copied()
+        .find(|t| t.abbrev().eq_ignore_ascii_case(s))
+}
+
+/// Listener-level configuration. Admission/worker knobs live in
+/// [`ServerConfig`] — the same struct the simulator takes.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 for ephemeral).
+    pub addr: String,
+    /// Accept/connection threads. Defaults to available parallelism.
+    pub accept_threads: usize,
+    /// Admission-control and worker-pool knobs (shared with the sim).
+    pub server: ServerConfig,
+    /// HTTP parse limits.
+    pub limits: Limits,
+    /// Tool used when a request has no `?tool=` parameter.
+    pub default_tool: ToolId,
+    /// Per-read socket timeout; an idle keep-alive connection is closed
+    /// after this.
+    pub read_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            accept_threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            server: ServerConfig::default(),
+            limits: Limits::default(),
+            default_tool: ToolId::Twitteraudit,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Shared {
+    dispatcher: Arc<Dispatcher>,
+    telemetry: Telemetry,
+    clock: Arc<dyn Clock>,
+    limits: Limits,
+    default_tool: ToolId,
+    read_timeout: Duration,
+    started_at: f64,
+    shutdown: AtomicBool,
+    active_connections: AtomicI64,
+}
+
+impl Shared {
+    fn is_draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn count_request(&self, route: &'static str, status: u16) {
+        let status = status.to_string();
+        self.telemetry.counter_add(
+            "gateway.http_requests",
+            &[("route", route), ("status", &status)],
+            1,
+        );
+    }
+}
+
+/// A running wall-clock audit gateway.
+///
+/// Construct with [`Gateway::bind`]; stop with [`Gateway::shutdown`],
+/// which drains in-flight requests and returns the final
+/// [`ServerReport`] — the same report type the simulator produces.
+pub struct Gateway {
+    shared: Arc<Shared>,
+    dispatcher: Arc<Dispatcher>,
+    listener: Arc<TcpListener>,
+    acceptors: Vec<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("addr", &self.addr)
+            .field("acceptors", &self.acceptors.len())
+            .finish()
+    }
+}
+
+impl Gateway {
+    /// Binds the listener, boots the dispatcher's worker pools and the
+    /// accept threads, and returns the serving gateway.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, untouched — callers (the CLI) turn it into a
+    /// clear message plus a nonzero exit.
+    pub fn bind(
+        config: GatewayConfig,
+        platform: Arc<Platform>,
+        pools: Vec<ToolPool>,
+        clock: Arc<dyn Clock>,
+        telemetry: Telemetry,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let dispatcher = Arc::new(Dispatcher::start(
+            platform,
+            pools,
+            config.server,
+            Arc::clone(&clock),
+            telemetry.clone(),
+        ));
+        let shared = Arc::new(Shared {
+            dispatcher: Arc::clone(&dispatcher),
+            telemetry,
+            started_at: clock.now_secs(),
+            clock,
+            limits: config.limits,
+            default_tool: config.default_tool,
+            read_timeout: config.read_timeout,
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicI64::new(0),
+        });
+        let listener = Arc::new(listener);
+        let acceptors = (0..config.accept_threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let listener = Arc::clone(&listener);
+                std::thread::Builder::new()
+                    .name(format!("gw-accept-{i}"))
+                    .spawn(move || accept_loop(&shared, &listener))
+                    .expect("spawn accept thread")
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            dispatcher,
+            listener,
+            acceptors,
+            addr,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time report over every request served so far.
+    pub fn report(&self) -> ServerReport {
+        self.dispatcher.report()
+    }
+
+    /// The telemetry handle the gateway records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
+    /// Stops accepting, drains in-flight requests and queued jobs, joins
+    /// every thread, and returns the final report.
+    pub fn shutdown(self) -> ServerReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Flip the listener non-blocking first so no accept parked
+        // *after* this point can block again, then poke each accept
+        // thread until it actually exits — a single wake-up connection
+        // per thread is not enough, because a thread already in its
+        // drain loop can consume a wake-up meant for one still parked
+        // in blocking `accept()`.
+        let _ = self.listener.set_nonblocking(true);
+        for handle in self.acceptors {
+            while !handle.is_finished() {
+                let _ = TcpStream::connect(self.addr);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _ = handle.join();
+        }
+        self.dispatcher.shutdown();
+        self.dispatcher.report()
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    loop {
+        if shared.is_draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.active_connections.fetch_add(1, Ordering::Relaxed);
+                handle_connection(shared, stream);
+                shared.active_connections.fetch_sub(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                if shared.is_draining() {
+                    break;
+                }
+            }
+        }
+    }
+    // Drain: connections already sitting in the kernel's accept backlog
+    // reached the listener before shutdown, so they still get served —
+    // with `Connection: close`. The non-blocking flip also bounds the
+    // drain: once `accept` reports WouldBlock the backlog is empty and
+    // the thread exits. (The flag is per-listener, so the first thread
+    // to get here flips it for every accept thread.)
+    let _ = listener.set_nonblocking(true);
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.active_connections.fetch_add(1, Ordering::Relaxed);
+                handle_connection(shared, stream);
+                shared.active_connections.fetch_sub(1, Ordering::Relaxed);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    // Not inherited from the listener on Linux, but is on some
+    // platforms — the listener goes non-blocking during drain.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut tmp = [0u8; 8192];
+    loop {
+        match http::parse_request(&buf, &shared.limits) {
+            Ok(Parse::Complete(request, consumed)) => {
+                buf.drain(..consumed);
+                match route(shared, &request, &mut stream) {
+                    Ok(true) if !shared.is_draining() => continue,
+                    _ => return,
+                }
+            }
+            Ok(Parse::Partial) => match stream.read(&mut tmp) {
+                Ok(0) => return,
+                Ok(n) => buf.extend_from_slice(&tmp[..n]),
+                Err(_) => return,
+            },
+            Err(e) => {
+                shared.count_request("error", e.status());
+                let body = format!("{{\"error\":\"{}\"}}", e.message());
+                let _ = http::write_response(
+                    &mut stream,
+                    e.status(),
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                    false,
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one parsed request. Returns whether the connection may be
+/// kept alive.
+fn route(shared: &Shared, request: &http::Request, stream: &mut TcpStream) -> io::Result<bool> {
+    let keep = request.keep_alive() && !shared.is_draining();
+    let path = request.path().to_owned();
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let body = wire::health_json(
+                &shared.dispatcher.tools(),
+                shared.clock.now_secs() - shared.started_at,
+                shared.is_draining(),
+            );
+            shared.count_request("healthz", 200);
+            http::write_response(stream, 200, "application/json", &[], body.as_bytes(), keep)?;
+            Ok(keep)
+        }
+        ("GET", ["metrics"]) => {
+            let body = wire::prometheus_text(&shared.telemetry.snapshot());
+            shared.count_request("metrics", 200);
+            http::write_response(
+                stream,
+                200,
+                "text/plain; version=0.0.4",
+                &[],
+                body.as_bytes(),
+                keep,
+            )?;
+            Ok(keep)
+        }
+        ("POST", ["audit", id]) => handle_audit(shared, request, id, stream, keep),
+        ("GET", ["audit", id, "stream"]) => handle_audit_stream(shared, request, id, stream),
+        (_, ["healthz"]) | (_, ["metrics"]) | (_, ["audit", ..]) => {
+            shared.count_request("other", 405);
+            let body = b"{\"error\":\"method not allowed\"}";
+            http::write_response(stream, 405, "application/json", &[], body, keep)?;
+            Ok(keep)
+        }
+        _ => {
+            shared.count_request("other", 404);
+            let body = b"{\"error\":\"no such route\"}";
+            http::write_response(stream, 404, "application/json", &[], body, keep)?;
+            Ok(keep)
+        }
+    }
+}
+
+/// Parses the `:target` path segment (`123` or the display form `u123`)
+/// and the optional `?tool=` parameter.
+fn parse_audit_params(
+    shared: &Shared,
+    request: &http::Request,
+    id: &str,
+) -> Result<(ToolId, AccountId), (u16, String)> {
+    let raw = id.strip_prefix('u').unwrap_or(id);
+    let target = raw
+        .parse::<u64>()
+        .map(AccountId)
+        .map_err(|_| (400, format!("{{\"error\":\"bad target id {:?}\"}}", id)))?;
+    let tool = match request.query_param("tool") {
+        None => shared.default_tool,
+        Some(abbrev) => tool_from_abbrev(abbrev)
+            .ok_or_else(|| (404, format!("{{\"error\":\"unknown tool {:?}\"}}", abbrev)))?,
+    };
+    Ok((tool, target))
+}
+
+fn handle_audit(
+    shared: &Shared,
+    request: &http::Request,
+    id: &str,
+    stream: &mut TcpStream,
+    keep: bool,
+) -> io::Result<bool> {
+    let (tool, target) = match parse_audit_params(shared, request, id) {
+        Ok(pair) => pair,
+        Err((status, body)) => {
+            shared.count_request("audit", status);
+            http::write_response(
+                stream,
+                status,
+                "application/json",
+                &[],
+                body.as_bytes(),
+                keep,
+            )?;
+            return Ok(keep);
+        }
+    };
+    let events = shared.dispatcher.submit(tool, target);
+    loop {
+        match events.recv() {
+            Ok(JobEvent::Queued { .. } | JobEvent::Started) => continue,
+            Ok(JobEvent::Done(answer)) => {
+                let body = wire::verdict_json(tool, target, &answer);
+                shared.count_request("audit", 200);
+                http::write_response(stream, 200, "application/json", &[], body.as_bytes(), keep)?;
+                return Ok(keep);
+            }
+            Ok(JobEvent::Rejected(rejection)) => {
+                let (status, body) = wire::rejection_status_and_json(&rejection);
+                let retry_after;
+                let mut extra: Vec<(&str, &str)> = Vec::new();
+                if let crate::dispatch::Rejection::BreakerOpen { retry_in_secs } = &rejection {
+                    retry_after = format!("{}", retry_in_secs.ceil().max(1.0) as u64);
+                    extra.push(("Retry-After", &retry_after));
+                }
+                shared.count_request("audit", status);
+                http::write_response(
+                    stream,
+                    status,
+                    "application/json",
+                    &extra,
+                    body.as_bytes(),
+                    keep,
+                )?;
+                return Ok(keep);
+            }
+            Err(mpsc::RecvError) => {
+                shared.count_request("audit", 500);
+                let body = b"{\"error\":\"dispatcher hung up\"}";
+                http::write_response(stream, 500, "application/json", &[], body, false)?;
+                return Ok(false);
+            }
+        }
+    }
+}
+
+/// The chunked progress stream: one NDJSON line per [`JobEvent`], then
+/// the terminator. Streaming responses always close the connection.
+fn handle_audit_stream(
+    shared: &Shared,
+    request: &http::Request,
+    id: &str,
+    stream: &mut TcpStream,
+) -> io::Result<bool> {
+    let (tool, target) = match parse_audit_params(shared, request, id) {
+        Ok(pair) => pair,
+        Err((status, body)) => {
+            shared.count_request("audit_stream", status);
+            http::write_response(
+                stream,
+                status,
+                "application/json",
+                &[],
+                body.as_bytes(),
+                false,
+            )?;
+            return Ok(false);
+        }
+    };
+    let events = shared.dispatcher.submit(tool, target);
+    let mut body = ChunkedBody::start(&mut *stream, 200, "application/x-ndjson", &[])?;
+    let mut status = 200;
+    while let Ok(event) = events.recv() {
+        match event {
+            JobEvent::Queued { depth } => {
+                let line = wire::stream_event_json("queued", &[("depth", depth.to_string())]);
+                body.chunk(line.as_bytes())?;
+            }
+            JobEvent::Started => {
+                body.chunk(wire::stream_event_json("started", &[]).as_bytes())?;
+            }
+            JobEvent::Done(answer) => {
+                let verdict = wire::verdict_json(tool, target, &answer);
+                let line = wire::stream_event_json("done", &[("verdict", verdict)]);
+                body.chunk(line.as_bytes())?;
+                break;
+            }
+            JobEvent::Rejected(rejection) => {
+                let (code, error) = wire::rejection_status_and_json(&rejection);
+                status = code;
+                let line = wire::stream_event_json(
+                    "rejected",
+                    &[("status", code.to_string()), ("error", error)],
+                );
+                body.chunk(line.as_bytes())?;
+                break;
+            }
+        }
+    }
+    body.finish()?;
+    shared.count_request("audit_stream", status);
+    Ok(false)
+}

@@ -1,0 +1,293 @@
+//! Wire formats: response JSON and the Prometheus text exposition.
+//!
+//! Hand-rolled like the telemetry JSONL sink — the gateway emits a small
+//! closed set of shapes, so a JSON dependency would buy nothing. All
+//! encoders are pure functions over already-computed values; nothing
+//! here touches sockets or clocks.
+
+use crate::dispatch::{Answered, Rejection};
+use fakeaudit_detectors::ToolId;
+use fakeaudit_telemetry::MetricsSnapshot;
+use fakeaudit_twittersim::AccountId;
+use std::fmt::Write as _;
+
+/// Appends the JSON escape of `s` (no surrounding quotes).
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A quoted, escaped JSON string.
+fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// Renders an f64 as JSON (non-finite becomes `null`).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// The verdict body for an answered audit.
+pub fn verdict_json(tool: ToolId, target: AccountId, answer: &Answered) -> String {
+    let outcome = &answer.response.outcome;
+    let counts = &outcome.counts;
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"target\":{},\"tool\":{},\"tool_name\":{},\"source\":{},\
+         \"fake_pct\":{},\"counts\":{{\"inactive\":{},\"fake\":{},\"genuine\":{},\"total\":{}}},\
+         \"sampled\":{},\"api_calls\":{},\"response_secs\":{},\
+         \"queue_wait_secs\":{},\"service_secs\":{},\"audited_at_secs\":{}}}",
+        target.as_u64(),
+        quoted(tool.abbrev()),
+        quoted(&outcome.tool_name),
+        quoted(answer.source.label()),
+        num(outcome.fake_pct()),
+        counts.inactive,
+        counts.fake,
+        counts.genuine,
+        counts.total(),
+        outcome.assessed.len(),
+        outcome.api_calls,
+        num(answer.response.response_secs),
+        num(answer.queue_wait_secs),
+        num(answer.service_secs),
+        answer.response.assessed_at.as_secs(),
+    );
+    out
+}
+
+/// The status code and error body for a refused audit.
+pub fn rejection_status_and_json(rejection: &Rejection) -> (u16, String) {
+    match rejection {
+        Rejection::Shed => (503, "{\"error\":\"overloaded\"}".to_owned()),
+        Rejection::BreakerOpen { retry_in_secs } => (
+            503,
+            format!(
+                "{{\"error\":\"breaker_open\",\"retry_in_secs\":{}}}",
+                num(*retry_in_secs)
+            ),
+        ),
+        Rejection::Expired => (504, "{\"error\":\"deadline_expired\"}".to_owned()),
+        Rejection::Failed(msg) => (502, format!("{{\"error\":{}}}", quoted(msg))),
+    }
+}
+
+/// The `/healthz` body.
+pub fn health_json(tools: &[ToolId], uptime_secs: f64, draining: bool) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"status\":");
+    out.push_str(if draining { "\"draining\"" } else { "\"ok\"" });
+    let _ = write!(out, ",\"uptime_secs\":{},\"tools\":[", num(uptime_secs));
+    for (i, tool) in tools.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&quoted(tool.abbrev()));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One `/audit/:id/stream` progress line (newline-terminated so clients
+/// can split on `\n` across chunk boundaries).
+pub fn stream_event_json(event: &str, extra: &[(&str, String)]) -> String {
+    let mut out = String::with_capacity(64);
+    let _ = write!(out, "{{\"event\":{}", quoted(event));
+    for (k, v) in extra {
+        let _ = write!(out, ",{}:{}", quoted(k), v);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Sanitises a dotted metric name for the Prometheus exposition format.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Formats one label set as `{k="v",…}` (empty string when no labels).
+fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let mut escaped = String::new();
+        escape_into(v, &mut escaped);
+        let _ = write!(out, "{}=\"{escaped}\"", prom_name(k));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a [`MetricsSnapshot`] in the Prometheus text exposition
+/// format: counters and gauges verbatim, histograms as cumulative
+/// `_bucket{le=…}` series plus `_sum` / `_count`.
+///
+/// Snapshot ordering is deterministic (sorted keys), so two scrapes of
+/// identical state render identical bytes — the same property the
+/// sim-side golden fixtures rely on elsewhere.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let line = format!("# TYPE {name} {kind}\n");
+        if line != last_type_line {
+            out.push_str(&line);
+            last_type_line = line;
+        }
+    };
+    for (key, value) in &snapshot.counters {
+        let name = prom_name(&key.name);
+        type_line(&mut out, &name, "counter");
+        let _ = writeln!(out, "{name}{} {value}", prom_labels(&key.labels, None));
+    }
+    for (key, value) in &snapshot.gauges {
+        let name = prom_name(&key.name);
+        type_line(&mut out, &name, "gauge");
+        let _ = writeln!(
+            out,
+            "{name}{} {}",
+            prom_labels(&key.labels, None),
+            num(*value)
+        );
+    }
+    for (key, hist) in &snapshot.histograms {
+        let name = prom_name(&key.name);
+        type_line(&mut out, &name, "histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in &hist.buckets {
+            cumulative += count;
+            let le = if bound.is_finite() {
+                format!("{bound}")
+            } else {
+                "+Inf".to_owned()
+            };
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cumulative}",
+                prom_labels(&key.labels, Some(("le", &le)))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_sum{} {}",
+            prom_labels(&key.labels, None),
+            num(hist.sum)
+        );
+        let _ = writeln!(
+            out,
+            "{name}_count{} {}",
+            prom_labels(&key.labels, None),
+            hist.count
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakeaudit_telemetry::Telemetry;
+
+    #[test]
+    fn health_json_shapes() {
+        let body = health_json(&[ToolId::FakeClassifier, ToolId::Twitteraudit], 1.5, false);
+        assert_eq!(
+            body,
+            "{\"status\":\"ok\",\"uptime_secs\":1.5,\"tools\":[\"FC\",\"TA\"]}"
+        );
+        assert!(health_json(&[], 0.0, true).contains("\"draining\""));
+    }
+
+    #[test]
+    fn rejection_bodies_map_statuses() {
+        assert_eq!(rejection_status_and_json(&Rejection::Shed).0, 503);
+        assert_eq!(rejection_status_and_json(&Rejection::Expired).0, 504);
+        let (status, body) =
+            rejection_status_and_json(&Rejection::Failed("quota: \"x\"".to_owned()));
+        assert_eq!(status, 502);
+        assert!(body.contains("\\\"x\\\""));
+        let (status, body) =
+            rejection_status_and_json(&Rejection::BreakerOpen { retry_in_secs: 2.5 });
+        assert_eq!(status, 503);
+        assert!(body.contains("\"retry_in_secs\":2.5"));
+    }
+
+    #[test]
+    fn stream_events_are_newline_terminated_json() {
+        let line = stream_event_json("queued", &[("depth", "3".to_owned())]);
+        assert_eq!(line, "{\"event\":\"queued\",\"depth\":3}\n");
+    }
+
+    #[test]
+    fn prometheus_renders_counters_gauges_histograms() {
+        let tel = Telemetry::enabled();
+        tel.counter_add(
+            "server.requests",
+            &[("tool", "TA"), ("outcome", "completed")],
+            3,
+        );
+        tel.gauge_set("server.queue_depth", &[("tool", "TA")], 2.0);
+        tel.observe("server.latency_secs", &[("tool", "TA")], 0.5);
+        tel.observe("server.latency_secs", &[("tool", "TA")], 5.0);
+        let text = prometheus_text(&tel.snapshot());
+        assert!(text.contains("# TYPE server_requests counter"));
+        assert!(text.contains("server_requests{outcome=\"completed\",tool=\"TA\"} 3"));
+        assert!(text.contains("server_queue_depth{tool=\"TA\"} 2"));
+        assert!(text.contains("# TYPE server_latency_secs histogram"));
+        assert!(text.contains("server_latency_secs_count{tool=\"TA\"} 2"));
+        assert!(text.contains("server_latency_secs_sum{tool=\"TA\"} 5.5"));
+        // Buckets are cumulative and end at +Inf.
+        assert!(text.contains("_bucket{tool=\"TA\",le=\"1\"} 1"));
+        assert!(text.contains("_bucket{tool=\"TA\",le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn type_comment_emitted_once_per_metric_name() {
+        let tel = Telemetry::enabled();
+        tel.counter_add("c", &[("tool", "TA")], 1);
+        tel.counter_add("c", &[("tool", "SB")], 1);
+        let text = prometheus_text(&tel.snapshot());
+        assert_eq!(text.matches("# TYPE c counter").count(), 1);
+    }
+}

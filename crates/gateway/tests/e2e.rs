@@ -1,0 +1,420 @@
+//! End-to-end gateway tests over real sockets: boot on an ephemeral
+//! port, speak actual HTTP/1.1 at it, assert the audit/health/metrics
+//! contract — plus the two load-bearing behaviours a wall-clock server
+//! must not get wrong: overload shedding and drain-on-shutdown.
+
+use fakeaudit_analytics::{ServiceError, ServiceResponse};
+use fakeaudit_detectors::{AuditOutcome, ToolId, VerdictCounts};
+use fakeaudit_gateway::{Gateway, GatewayConfig, ToolPool};
+use fakeaudit_server::{OverloadPolicy, ServerConfig};
+use fakeaudit_telemetry::{Telemetry, WallClock};
+use fakeaudit_twittersim::{AccountId, Platform, SimTime};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A backend with a scripted verdict and an optional real service
+/// delay; `serve_stale` answers only for pre-known targets.
+struct TestBackend {
+    tool: ToolId,
+    delay: Duration,
+    stale_known: Vec<AccountId>,
+}
+
+impl TestBackend {
+    fn new(tool: ToolId) -> Self {
+        Self {
+            tool,
+            delay: Duration::ZERO,
+            stale_known: Vec::new(),
+        }
+    }
+
+    fn with_delay(mut self, delay: Duration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    fn with_stale(mut self, known: &[u64]) -> Self {
+        self.stale_known = known.iter().copied().map(AccountId).collect();
+        self
+    }
+
+    fn response(&self, target: AccountId, cached: bool) -> ServiceResponse {
+        ServiceResponse {
+            outcome: AuditOutcome {
+                tool_name: self.tool.abbrev().into(),
+                target,
+                assessed: vec![],
+                counts: VerdictCounts {
+                    inactive: 1,
+                    fake: 2,
+                    genuine: 7,
+                },
+                audited_at: SimTime::EPOCH,
+                api_elapsed_secs: 0.5,
+                api_calls: 3,
+            },
+            response_secs: 0.5,
+            served_from_cache: cached,
+            assessed_at: SimTime::EPOCH,
+        }
+    }
+}
+
+impl fakeaudit_server::AuditBackend for TestBackend {
+    fn tool(&self) -> ToolId {
+        self.tool
+    }
+
+    fn serve(
+        &mut self,
+        _platform: &Platform,
+        target: AccountId,
+    ) -> Result<ServiceResponse, ServiceError> {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        Ok(self.response(target, false))
+    }
+
+    fn serve_stale(&self, target: AccountId) -> Option<ServiceResponse> {
+        self.stale_known
+            .contains(&target)
+            .then(|| self.response(target, true))
+    }
+}
+
+fn pool(tool: ToolId, workers: usize, delay: Duration, stale: &[u64]) -> ToolPool {
+    ToolPool {
+        tool,
+        workers: (0..workers)
+            .map(|_| Box::new(TestBackend::new(tool).with_delay(delay)) as _)
+            .collect(),
+        stale: Box::new(TestBackend::new(tool).with_stale(stale)),
+    }
+}
+
+fn boot(server: ServerConfig, pools: Vec<ToolPool>) -> Gateway {
+    let config = GatewayConfig {
+        accept_threads: 4,
+        server,
+        default_tool: ToolId::Twitteraudit,
+        read_timeout: Duration::from_secs(5),
+        ..GatewayConfig::default()
+    };
+    Gateway::bind(
+        config,
+        Arc::new(Platform::new()),
+        pools,
+        Arc::new(WallClock::new()),
+        Telemetry::enabled(),
+    )
+    .expect("bind ephemeral port")
+}
+
+/// One-shot HTTP exchange: sends `head`, reads to EOF, returns the raw
+/// response text.
+fn exchange(addr: SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+fn post_audit(addr: SocketAddr, path: &str) -> String {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line")
+}
+
+#[test]
+fn health_audit_and_metrics_roundtrip() {
+    let gateway = boot(
+        ServerConfig::default(),
+        vec![pool(ToolId::Twitteraudit, 2, Duration::ZERO, &[])],
+    );
+    let addr = gateway.local_addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(status_of(&health), 200);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"tools\":[\"TA\"]"), "{health}");
+
+    let verdict = post_audit(addr, "/audit/42");
+    assert_eq!(status_of(&verdict), 200, "{verdict}");
+    assert!(verdict.contains("\"target\":42"));
+    assert!(verdict.contains("\"tool\":\"TA\""));
+    assert!(verdict.contains("\"source\":\"fresh\""));
+    assert!(verdict.contains("\"fake_pct\":20"));
+    assert!(verdict.contains("\"counts\":{\"inactive\":1,\"fake\":2,\"genuine\":7,\"total\":10}"));
+
+    // The display form of an account id is accepted too.
+    assert_eq!(status_of(&post_audit(addr, "/audit/u42")), 200);
+
+    let metrics = get(addr, "/metrics");
+    assert_eq!(status_of(&metrics), 200);
+    assert!(
+        metrics.contains("server_requests{outcome=\"completed\",tool=\"TA\"}"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("# TYPE server_latency_secs histogram"));
+    assert!(metrics.contains("gateway_http_requests"));
+
+    // Unknown routes, bad methods, bad ids, unknown tools.
+    assert_eq!(status_of(&get(addr, "/nope")), 404);
+    assert_eq!(status_of(&get(addr, "/audit/42")), 405);
+    assert_eq!(status_of(&post_audit(addr, "/audit/notanumber")), 400);
+    assert_eq!(status_of(&post_audit(addr, "/audit/42?tool=XX")), 404);
+
+    let report = gateway.shutdown();
+    assert_eq!(report.completed(), 2);
+    assert_eq!(report.shed(), 0);
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests() {
+    let gateway = boot(
+        ServerConfig::default(),
+        vec![pool(ToolId::Twitteraudit, 1, Duration::ZERO, &[])],
+    );
+    let addr = gateway.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 4096];
+    for _ in 0..2 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        // Read until this response's body has arrived (both fit easily
+        // in one read each; loop for safety).
+        let target_bodies = 1;
+        let mut bodies = 0;
+        while bodies < target_bodies {
+            let n = stream.read(&mut tmp).unwrap();
+            assert!(n > 0, "server closed a keep-alive connection");
+            buf.extend_from_slice(&tmp[..n]);
+            bodies = buf
+                .windows(b"\"status\":\"ok\"".len())
+                .filter(|w| w == b"\"status\":\"ok\"")
+                .count();
+        }
+        buf.clear();
+    }
+    drop(stream);
+    gateway.shutdown();
+}
+
+#[test]
+fn stream_endpoint_emits_progress_then_verdict() {
+    let gateway = boot(
+        ServerConfig::default(),
+        vec![pool(
+            ToolId::Twitteraudit,
+            1,
+            Duration::from_millis(20),
+            &[],
+        )],
+    );
+    let addr = gateway.local_addr();
+    let body = get(addr, "/audit/7/stream");
+    assert_eq!(status_of(&body), 200);
+    assert!(body.contains("Transfer-Encoding: chunked"), "{body}");
+    assert!(body.contains("{\"event\":\"queued\""), "{body}");
+    assert!(body.contains("{\"event\":\"started\"}"), "{body}");
+    assert!(body.contains("{\"event\":\"done\",\"verdict\":{"), "{body}");
+    assert!(body.contains("\"target\":7"));
+    // Chunked terminator present.
+    assert!(body.ends_with("0\r\n\r\n"), "{body:?}");
+    gateway.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_503_and_counts_it() {
+    // One slow worker, queue of 1, shed policy: concurrent burst must
+    // produce both 200s and 503s.
+    let gateway = boot(
+        ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 1,
+            policy: OverloadPolicy::Shed,
+            ..ServerConfig::default()
+        },
+        vec![pool(
+            ToolId::Twitteraudit,
+            1,
+            Duration::from_millis(80),
+            &[],
+        )],
+    );
+    let addr = gateway.local_addr();
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                scope.spawn(move || status_of(&post_audit(addr, &format!("/audit/{}", 100 + i))))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let ok = statuses.iter().filter(|&&s| s == 200).count();
+    let shed = statuses.iter().filter(|&&s| s == 503).count();
+    assert_eq!(ok + shed, 8, "unexpected statuses: {statuses:?}");
+    assert!(ok >= 1, "at least the first request must complete");
+    assert!(shed >= 1, "burst of 8 into capacity 2 must shed");
+    let report = gateway.shutdown();
+    assert_eq!(report.offered(), 8);
+    assert_eq!(report.shed() as usize, shed);
+    assert_eq!(report.completed() as usize, ok);
+}
+
+#[test]
+fn degrade_policy_serves_stale_when_overloaded() {
+    let gateway = boot(
+        ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 1,
+            policy: OverloadPolicy::DegradeStale,
+            ..ServerConfig::default()
+        },
+        vec![pool(
+            ToolId::Twitteraudit,
+            1,
+            Duration::from_millis(80),
+            &[7, 8, 9, 10, 11, 12, 13, 14],
+        )],
+    );
+    let addr = gateway.local_addr();
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| scope.spawn(move || post_audit(addr, &format!("/audit/{}", 7 + i))))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(
+        bodies.iter().all(|b| status_of(b) == 200),
+        "every request must be answered under degrade with warm stale cache"
+    );
+    let stale = bodies
+        .iter()
+        .filter(|b| b.contains("\"source\":\"stale\""))
+        .count();
+    assert!(stale >= 1, "burst must degrade at least one answer");
+    let report = gateway.shutdown();
+    assert_eq!(report.degraded() as usize, stale);
+    assert_eq!(report.shed(), 0);
+}
+
+#[test]
+fn shutdown_drains_queued_requests() {
+    // Slow workers + deep queue: pile up in-flight requests, then shut
+    // down while they are queued. Every client must still get its 200 —
+    // a clean drain loses nothing.
+    let gateway = boot(
+        ServerConfig {
+            workers_per_tool: 2,
+            queue_capacity: 16,
+            policy: OverloadPolicy::Shed,
+            ..ServerConfig::default()
+        },
+        vec![pool(
+            ToolId::Twitteraudit,
+            2,
+            Duration::from_millis(40),
+            &[],
+        )],
+    );
+    let addr = gateway.local_addr();
+    let (statuses, report) = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..10)
+            .map(|i| scope.spawn(move || status_of(&post_audit(addr, &format!("/audit/{i}")))))
+            .collect();
+        // Let the burst reach the queues, then drain.
+        std::thread::sleep(Duration::from_millis(30));
+        let report = gateway.shutdown();
+        let statuses: Vec<u16> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+        (statuses, report)
+    });
+    assert!(
+        statuses.iter().all(|&s| s == 200),
+        "drain must answer every accepted request: {statuses:?}"
+    );
+    assert_eq!(report.completed(), 10);
+    assert_eq!(report.shed(), 0);
+    // After shutdown the port refuses (or resets) new connections —
+    // nothing is still listening.
+    let refused = TcpStream::connect_timeout(
+        &addr.to_string().parse().unwrap(),
+        Duration::from_millis(200),
+    );
+    if let Ok(mut s) = refused {
+        // Accept race: a dangling backlog connection may connect but
+        // must deliver no HTTP response.
+        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        let mut out = String::new();
+        s.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let _ = s.read_to_string(&mut out);
+        assert!(!out.contains("\"status\":\"ok\""), "listener still serving");
+    }
+}
+
+#[test]
+fn bind_failure_is_a_clean_error() {
+    let occupied = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = occupied.local_addr().unwrap();
+    let config = GatewayConfig {
+        addr: addr.to_string(),
+        ..GatewayConfig::default()
+    };
+    let result = Gateway::bind(
+        config,
+        Arc::new(Platform::new()),
+        vec![pool(ToolId::Twitteraudit, 1, Duration::ZERO, &[])],
+        Arc::new(WallClock::new()),
+        Telemetry::disabled(),
+    );
+    assert!(result.is_err(), "binding an occupied port must fail");
+}
+
+#[test]
+fn breaker_telemetry_flows_through_shared_names() {
+    // The gateway records through the same metric vocabulary as the
+    // simulator; a served request must show up under server.* names.
+    let gateway = boot(
+        ServerConfig::default(),
+        vec![pool(ToolId::Twitteraudit, 1, Duration::ZERO, &[])],
+    );
+    let addr = gateway.local_addr();
+    assert_eq!(status_of(&post_audit(addr, "/audit/5")), 200);
+    let snapshot = gateway.telemetry().snapshot();
+    assert_eq!(snapshot.counter_total("server.requests"), 1);
+    let report = gateway.shutdown();
+    assert_eq!(report.offered(), 1);
+    assert!(report.latency_percentile(0.5) >= 0.0);
+}

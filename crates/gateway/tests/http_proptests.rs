@@ -1,0 +1,166 @@
+//! Property tests for the hand-rolled HTTP/1.1 parser: arbitrary and
+//! adversarial byte streams must never panic, truncation must always
+//! read as `Partial`, and the hard limits must hold.
+
+use fakeaudit_gateway::http::{parse_request, Error, Limits, Parse};
+use proptest::prelude::*;
+
+fn tiny_limits() -> Limits {
+    Limits {
+        max_head_bytes: 256,
+        max_headers: 8,
+        max_body_bytes: 128,
+    }
+}
+
+proptest! {
+    /// Whatever the wire delivers, the parser returns — it never panics
+    /// and never claims to have consumed more bytes than it was given.
+    #[test]
+    fn arbitrary_bytes_never_panic(buf in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        match parse_request(&buf, &Limits::default()) {
+            Ok(Parse::Complete(_, consumed)) => prop_assert!(consumed <= buf.len()),
+            Ok(Parse::Partial) | Err(_) => {}
+        }
+    }
+
+    /// Byte soup that *looks* vaguely HTTP-shaped exercises the header
+    /// paths more than uniform noise does.
+    #[test]
+    fn http_flavoured_soup_never_panics(
+        method in "[A-Z]{0,10}",
+        target in "[ -~]{0,40}",
+        version in "HTTP/[0-9.]{0,4}|[A-Z]{0,6}",
+        headers in proptest::collection::vec(("[ -~]{0,20}", "[ -~]{0,20}"), 0..12),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut raw = format!("{method} {target} {version}\r\n");
+        for (name, value) in &headers {
+            raw.push_str(&format!("{name}: {value}\r\n"));
+        }
+        raw.push_str("\r\n");
+        let mut bytes = raw.into_bytes();
+        bytes.extend_from_slice(&body);
+        let _ = parse_request(&bytes, &tiny_limits());
+    }
+
+    /// Every strict prefix of a well-formed request is either `Partial`
+    /// or a typed error — never a bogus `Complete`, never a panic.
+    #[test]
+    fn truncation_is_partial_or_error(
+        target in "/[a-z/]{0,20}",
+        body in proptest::collection::vec(any::<u8>(), 0..32),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let mut full = format!(
+            "POST {target} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        full.extend_from_slice(&body);
+
+        let complete = parse_request(&full, &Limits::default());
+        prop_assert!(matches!(complete, Ok(Parse::Complete(_, n)) if n == full.len()));
+
+        let cut = (cut_ppm as usize * full.len()) / 1_000_000;
+        match parse_request(&full[..cut], &Limits::default()) {
+            Ok(Parse::Partial) => {}
+            Ok(Parse::Complete(_, n)) => {
+                // A prefix can only complete if the body itself was cut
+                // after the head — impossible here since Content-Length
+                // covers the full body.
+                prop_assert!(n <= cut && cut == full.len());
+            }
+            Err(_) => prop_assert!(false, "prefix of a valid request must not be an error"),
+        }
+    }
+
+    /// Pipelined keep-alive traffic: two back-to-back requests parse
+    /// one at a time with exact consumed offsets.
+    #[test]
+    fn pipelined_requests_consume_exactly(
+        first in "/[a-z]{1,10}",
+        second in "/[a-z]{1,10}",
+    ) {
+        let a = format!("GET {first} HTTP/1.1\r\nHost: x\r\n\r\n");
+        let b = format!("GET {second} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+        let wire = format!("{a}{b}").into_bytes();
+
+        let Ok(Parse::Complete(req_a, used_a)) = parse_request(&wire, &Limits::default()) else {
+            return Err(TestCaseError::fail("first request must parse"));
+        };
+        prop_assert_eq!(used_a, a.len());
+        prop_assert_eq!(req_a.path(), first.as_str());
+        prop_assert!(req_a.keep_alive());
+
+        let Ok(Parse::Complete(req_b, used_b)) = parse_request(&wire[used_a..], &Limits::default())
+        else {
+            return Err(TestCaseError::fail("second request must parse"));
+        };
+        prop_assert_eq!(used_b, b.len());
+        prop_assert_eq!(req_b.path(), second.as_str());
+        prop_assert!(!req_b.keep_alive());
+    }
+
+    /// Heads that grow past the limit surface `HeadTooLarge` (431), no
+    /// matter how the oversize happens.
+    #[test]
+    fn oversized_heads_are_rejected(pad in 200usize..4000) {
+        let raw = format!(
+            "GET /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(pad)
+        );
+        let result = parse_request(raw.as_bytes(), &tiny_limits());
+        // The head is everything before the \r\n\r\n terminator.
+        if raw.len() - 4 > 256 {
+            prop_assert!(matches!(result, Err(Error::HeadTooLarge)));
+        } else {
+            prop_assert!(matches!(result, Ok(Parse::Complete(..))));
+        }
+    }
+
+    /// Declared bodies above the cap are refused with `BodyTooLarge`
+    /// (413) from the head alone — before any body bytes are buffered.
+    #[test]
+    fn oversized_bodies_are_rejected(len in 129u64..1_000_000) {
+        let raw = format!(
+            "POST /audit/1 HTTP/1.1\r\nContent-Length: {len}\r\n\r\n"
+        );
+        prop_assert!(matches!(
+            parse_request(raw.as_bytes(), &tiny_limits()),
+            Err(Error::BodyTooLarge)
+        ));
+    }
+
+    /// Absurd Content-Length values (overflow bait) are typed errors.
+    #[test]
+    fn malformed_content_length_is_rejected(value in "[a-z!-]{1,12}|99999999999999999999999") {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {value}\r\n\r\n");
+        prop_assert!(matches!(
+            parse_request(raw.as_bytes(), &Limits::default()),
+            Err(Error::BadContentLength)
+        ));
+    }
+}
+
+#[test]
+fn too_many_headers_is_rejected() {
+    let mut raw = String::from("GET / HTTP/1.1\r\n");
+    for i in 0..9 {
+        raw.push_str(&format!("X-H{i}: v\r\n"));
+    }
+    raw.push_str("\r\n");
+    assert!(matches!(
+        parse_request(raw.as_bytes(), &tiny_limits()),
+        Err(Error::TooManyHeaders)
+    ));
+}
+
+#[test]
+fn error_statuses_are_stable() {
+    assert_eq!(Error::HeadTooLarge.status(), 431);
+    assert_eq!(Error::BodyTooLarge.status(), 413);
+    assert_eq!(Error::UnsupportedVersion.status(), 505);
+    assert_eq!(Error::UnsupportedTransferEncoding.status(), 501);
+    assert_eq!(Error::BadRequestLine.status(), 400);
+}

@@ -39,6 +39,7 @@ pub mod workload;
 pub use event::EventHeap;
 pub use queue::{Admission, AdmissionQueue, OverloadPolicy};
 pub use sim::{
-    AuditBackend, RequestOutcome, RequestRecord, ServerConfig, ServerReport, ServerSim, ToolSummary,
+    observe_request, AuditBackend, RequestOutcome, RequestRecord, ServerConfig, ServerReport,
+    ServerSim, ToolSummary,
 };
 pub use workload::{generate, ArrivalProcess, LoadSpec, Request};

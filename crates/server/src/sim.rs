@@ -280,6 +280,52 @@ pub struct ServerReport {
 }
 
 impl ServerReport {
+    /// Builds a report from raw per-request records — the constructor the
+    /// wall-clock gateway uses, so live serving and the simulator share
+    /// one aggregation/percentile implementation instead of forking it.
+    ///
+    /// Per-tool summaries are derived from the records (first-seen tool
+    /// order); queue high-water marks are not derivable from records
+    /// alone and start at zero — callers that track them (the gateway's
+    /// dispatcher does) patch `per_tool` afterwards.
+    pub fn from_records(records: Vec<RequestRecord>, config: ServerConfig, makespan: f64) -> Self {
+        let mut per_tool: Vec<ToolSummary> = Vec::new();
+        for r in &records {
+            let summary = match per_tool.iter_mut().find(|t| t.tool == Some(r.tool)) {
+                Some(existing) => existing,
+                None => {
+                    per_tool.push(ToolSummary {
+                        tool: Some(r.tool),
+                        ..ToolSummary::default()
+                    });
+                    per_tool.last_mut().expect("just pushed")
+                }
+            };
+            summary.offered += 1;
+            match r.outcome {
+                RequestOutcome::Completed { cached } => {
+                    summary.completed += 1;
+                    if cached {
+                        summary.cache_hits += 1;
+                    }
+                }
+                RequestOutcome::Degraded => summary.degraded += 1,
+                RequestOutcome::Shed => summary.shed += 1,
+                RequestOutcome::Expired => summary.expired += 1,
+                RequestOutcome::Failed => summary.failed += 1,
+            }
+            summary.busy_secs += r.service_secs();
+        }
+        Self {
+            records,
+            per_tool,
+            config,
+            makespan,
+            sorted_latencies: OnceLock::new(),
+            sorted_queue_waits: OnceLock::new(),
+        }
+    }
+
     fn totals(&self, f: impl Fn(&ToolSummary) -> u64) -> u64 {
         self.per_tool.iter().map(f).sum()
     }
@@ -434,8 +480,11 @@ impl ServerReport {
     }
 }
 
-/// Per-request latency histograms shared by the live and post-hoc paths.
-fn observe_request(telemetry: &Telemetry, tool: &str, r: &RequestRecord) {
+/// Per-request latency histograms (`server.queue_wait_secs`,
+/// `server.service_secs`, `server.latency_secs`) shared by the live
+/// simulator path, the post-hoc [`ServerReport::record_into`] path, and
+/// the wall-clock gateway — one metric vocabulary for both worlds.
+pub fn observe_request(telemetry: &Telemetry, tool: &str, r: &RequestRecord) {
     let tool_only = [("tool", tool)];
     telemetry.observe("server.queue_wait_secs", &tool_only, r.queue_wait());
     telemetry.observe("server.service_secs", &tool_only, r.service_secs());
@@ -1112,6 +1161,36 @@ mod tests {
         let report = sim(&platform, config).run(&trace);
         assert!((report.throughput() - 4.0 / 40.0).abs() < 1e-12);
         assert!((report.utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_records_matches_simulated_aggregates() {
+        let platform = Platform::new();
+        let config = ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 2,
+            policy: OverloadPolicy::Shed,
+            ..ServerConfig::default()
+        };
+        let trace: Vec<Request> = (0..8)
+            .map(|i| request(i, 0.0, ToolId::FakeClassifier))
+            .collect();
+        let simulated = sim(&platform, config).run(&trace);
+        let rebuilt =
+            ServerReport::from_records(simulated.records.clone(), config, simulated.makespan);
+        assert_eq!(rebuilt.offered(), simulated.offered());
+        assert_eq!(rebuilt.completed(), simulated.completed());
+        assert_eq!(rebuilt.shed(), simulated.shed());
+        assert_eq!(rebuilt.failed(), simulated.failed());
+        assert_eq!(rebuilt.shed_rate(), simulated.shed_rate());
+        assert_eq!(
+            rebuilt.latency_percentile(0.95),
+            simulated.latency_percentile(0.95)
+        );
+        assert_eq!(rebuilt.per_tool.len(), 1);
+        assert_eq!(rebuilt.per_tool[0].tool, Some(ToolId::FakeClassifier));
+        // Busy seconds are re-derived from per-record service times.
+        assert!((rebuilt.per_tool[0].busy_secs - simulated.per_tool[0].busy_secs).abs() < 1e-9);
     }
 
     #[test]

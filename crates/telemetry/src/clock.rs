@@ -1,0 +1,180 @@
+//! Time sources for spans, metrics and SLO windows.
+//!
+//! Everything in this crate stamps events with plain `f64` seconds; until
+//! ISSUE 6 those seconds always came from the *simulated* clock, threaded
+//! explicitly through the event loops. The wall-clock gateway serves real
+//! sockets, so it needs a time source of its own — but the analysis layer
+//! ([`crate::analyze`]) must not care which world produced the numbers.
+//!
+//! [`Clock`] is that seam: a monotonic `now_secs()` supplier. Two
+//! implementations ship here:
+//!
+//! * [`WallClock`] — `Instant`-based monotonic wall time, zeroed at
+//!   construction. The gateway's accept and worker threads stamp queue
+//!   waits, service spans and breaker decisions through one shared
+//!   instance, so every span lands on a single coherent time axis and the
+//!   SLO evaluator's sliding windows work unchanged.
+//! * [`ManualClock`] — an explicitly advanced clock for tests and for
+//!   driving the same code paths from a simulator, where *the caller*
+//!   owns time.
+//!
+//! The simulators themselves keep passing explicit `f64`s — determinism
+//! there comes from never consulting a clock object at all — but any
+//! component that must run in both worlds (the gateway's dispatcher, the
+//! load generator) takes an `Arc<dyn Clock>` instead of hard-coding
+//! `Instant::now()`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic supplier of seconds since some fixed origin.
+///
+/// Implementations must be monotonic (successive calls never go
+/// backwards) and cheap — the gateway consults the clock several times
+/// per request on the hot path.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Seconds elapsed since this clock's origin.
+    fn now_secs(&self) -> f64;
+}
+
+/// Monotonic wall time, zeroed at construction.
+///
+/// Backed by [`Instant`], so it never observes system-clock jumps. Every
+/// thread sharing one `WallClock` sees the same time axis, which is what
+/// makes cross-thread spans (queue wait measured by the accept thread,
+/// service measured by a worker) comparable.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock whose origin is *now*.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_secs(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+/// A clock advanced only by explicit calls — the deterministic stand-in
+/// for tests and sim-driven use of wall-clock components.
+///
+/// Interior-mutable (the value lives in an atomic), so one handle can be
+/// shared as `Arc<ManualClock>` and advanced from the driving side while
+/// readers hold `Arc<dyn Clock>`.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    /// Current time, stored as `f64::to_bits`.
+    bits: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock reading `at` seconds.
+    #[must_use]
+    pub fn new(at: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(at.to_bits()),
+        }
+    }
+
+    /// Jumps the clock to `secs`. Monotonicity is the caller's contract;
+    /// jumping backwards is allowed for tests but breaks the [`Clock`]
+    /// expectations of downstream consumers.
+    pub fn set(&self, secs: f64) {
+        self.bits.store(secs.to_bits(), Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `delta` seconds.
+    pub fn advance(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::SeqCst);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_secs(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wall_clock_is_monotonic_and_starts_near_zero() {
+        let clock = WallClock::new();
+        let a = clock.now_secs();
+        let b = clock.now_secs();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+        assert!(a < 60.0, "origin should be construction time, got {a}");
+    }
+
+    #[test]
+    fn manual_clock_set_and_advance() {
+        let clock = ManualClock::new(5.0);
+        assert_eq!(clock.now_secs(), 5.0);
+        clock.advance(2.5);
+        assert_eq!(clock.now_secs(), 7.5);
+        clock.set(100.0);
+        assert_eq!(clock.now_secs(), 100.0);
+    }
+
+    #[test]
+    fn manual_clock_defaults_to_zero() {
+        assert_eq!(ManualClock::default().now_secs(), 0.0);
+    }
+
+    #[test]
+    fn clocks_share_through_trait_objects() {
+        let manual = Arc::new(ManualClock::new(1.0));
+        let shared: Arc<dyn Clock> = manual.clone();
+        manual.advance(1.0);
+        assert_eq!(shared.now_secs(), 2.0);
+    }
+
+    #[test]
+    fn manual_clock_advances_under_contention() {
+        let clock = Arc::new(ManualClock::new(0.0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let clock = Arc::clone(&clock);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        clock.advance(0.001);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((clock.now_secs() - 4.0).abs() < 1e-9);
+    }
+}

@@ -13,7 +13,11 @@
 //! * [`metrics`] — a thread-safe registry of counters, gauges and
 //!   histograms with labelled names (`api.calls{endpoint=followers_ids}`,
 //!   `cache.hit{tool=TA}`, `service.response_secs{tool,source}` …);
-//! * [`sink`] — the JSON-lines trace encoding and its parser;
+//! * [`sink`] — the JSON-lines trace encoding (buffered via
+//!   [`JsonlSink`]) and its parser;
+//! * [`clock`] — the [`Clock`] seam between simulated seconds and
+//!   `Instant`-based wall time, so the wall-clock gateway and the
+//!   simulators share one analysis layer;
 //! * [`analyze`] — the trace-tree analysis layer: per-request waterfalls,
 //!   critical-path latency attribution, the Chrome trace-event exporter
 //!   and the sliding-window SLO evaluator;
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod clock;
 pub mod metrics;
 pub mod report;
 pub mod sink;
@@ -51,8 +56,10 @@ pub use analyze::{
     Breakdown, ChromeTraceOptions, LatencyAttribution, SloReport, SloSpec, SloWindow,
     ToolAttribution, TraceTree,
 };
+pub use clock::{Clock, ManualClock, WallClock};
 pub use metrics::{HistogramSnapshot, MetricKey, MetricsRegistry, MetricsSnapshot};
 pub use report::RunReport;
+pub use sink::JsonlSink;
 pub use trace::{EventKind, SpanId, TraceContext, TraceEvent};
 
 use parking_lot::Mutex;

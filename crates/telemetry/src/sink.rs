@@ -87,11 +87,136 @@ pub fn event_to_json(e: &TraceEvent) -> String {
 ///
 /// Propagates I/O errors from `w`.
 pub fn write_jsonl<W: Write>(events: &[TraceEvent], w: &mut W) -> io::Result<()> {
+    let mut sink = JsonlSink::new(w);
     for e in events {
-        w.write_all(event_to_json(e).as_bytes())?;
-        w.write_all(b"\n")?;
+        sink.write_event(e)?;
     }
-    Ok(())
+    sink.flush()
+}
+
+/// How many encoded bytes [`JsonlSink`] accumulates before issuing one
+/// `write_all` to the underlying writer.
+pub const DEFAULT_SINK_BUFFER: usize = 64 * 1024;
+
+/// A buffered JSONL writer: encodes each event into an internal buffer
+/// and hands the buffer to the underlying writer in large chunks, so a
+/// trace dump is a handful of `write` syscalls instead of two per event.
+///
+/// The encoding is [`event_to_json`] + `\n` exactly — output through a
+/// sink is byte-identical to the historical line-at-a-time writer, which
+/// the golden-trace fixtures pin.
+///
+/// An optional byte cap ([`JsonlSink::with_max_bytes`]) bounds the total
+/// output: once writing a line would exceed the cap, that line and all
+/// later ones are dropped (counted by [`JsonlSink::dropped`]) rather than
+/// truncated mid-record, so a capped file is still valid JSONL. The
+/// wall-clock gateway uses this so tracing can never fill a disk while a
+/// listener runs unattended.
+///
+/// Buffered bytes reach the writer only on [`JsonlSink::flush`] /
+/// [`JsonlSink::into_inner`] (or when the buffer crosses its threshold);
+/// callers that need durability must flush explicitly.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    buf: Vec<u8>,
+    flush_threshold: usize,
+    max_bytes: Option<u64>,
+    /// Bytes accepted (buffered or written) so far.
+    accepted: u64,
+    dropped: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink with the default buffer threshold and no byte cap.
+    pub fn new(out: W) -> Self {
+        Self::with_threshold(out, DEFAULT_SINK_BUFFER)
+    }
+
+    /// A sink flushing to `out` whenever the buffer reaches
+    /// `flush_threshold` bytes (minimum 1: every event flushes).
+    pub fn with_threshold(out: W, flush_threshold: usize) -> Self {
+        Self {
+            out,
+            buf: Vec::with_capacity(flush_threshold.clamp(1, DEFAULT_SINK_BUFFER)),
+            flush_threshold: flush_threshold.max(1),
+            max_bytes: None,
+            accepted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Caps total output at `cap` bytes; whole lines past the cap are
+    /// dropped and counted.
+    #[must_use]
+    pub fn with_max_bytes(mut self, cap: u64) -> Self {
+        self.max_bytes = Some(cap);
+        self
+    }
+
+    /// Encodes and buffers one event.
+    ///
+    /// Returns `false` if the event was dropped by the byte cap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer when the buffer
+    /// spills.
+    pub fn write_event(&mut self, e: &TraceEvent) -> io::Result<bool> {
+        let line = event_to_json(e);
+        let needed = line.len() as u64 + 1;
+        if let Some(cap) = self.max_bytes {
+            if self.accepted + needed > cap {
+                self.dropped += 1;
+                return Ok(false);
+            }
+        }
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+        self.accepted += needed;
+        if self.buf.len() >= self.flush_threshold {
+            self.spill()?;
+        }
+        Ok(true)
+    }
+
+    /// Events rejected by the byte cap so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Bytes accepted (buffered or written) so far.
+    pub fn bytes_accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    fn spill(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.out.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Writes any buffered bytes and flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.spill()?;
+        self.out.flush()
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the final flush.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.flush()?;
+        Ok(self.out)
+    }
 }
 
 /// A parse failure: the offending (1-based) line and a description.
@@ -376,5 +501,119 @@ mod tests {
     fn parse_rejects_trailing_garbage() {
         let line = "{\"type\":\"event\",\"name\":\"x\",\"t0\":0,\"t1\":0,\"attrs\":{}} extra";
         assert!(parse_jsonl(line).unwrap_err().message.contains("trailing"));
+    }
+
+    /// A writer that records each `write` call so tests can observe how
+    /// many syscall-equivalents the sink issues.
+    #[derive(Default)]
+    struct CountingWriter {
+        writes: usize,
+        bytes: Vec<u8>,
+    }
+
+    impl Write for CountingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.writes += 1;
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sample_events(n: usize) -> Vec<TraceEvent> {
+        (0..n)
+            .map(|i| TraceEvent::point(&format!("event{i}"), i as f64, &[("k", "v")]))
+            .collect()
+    }
+
+    #[test]
+    fn sink_output_is_byte_identical_to_unbuffered_writer() {
+        let events = sample_events(50);
+        let mut unbuffered = Vec::new();
+        for e in &events {
+            unbuffered.extend_from_slice(event_to_json(e).as_bytes());
+            unbuffered.push(b'\n');
+        }
+        let mut buffered = Vec::new();
+        write_jsonl(&events, &mut buffered).unwrap();
+        assert_eq!(buffered, unbuffered);
+    }
+
+    #[test]
+    fn sink_batches_writes() {
+        let events = sample_events(100);
+        let mut w = CountingWriter::default();
+        let mut sink = JsonlSink::new(&mut w);
+        for e in &events {
+            sink.write_event(e).unwrap();
+        }
+        sink.flush().unwrap();
+        // 100 events, well under the 64 KiB threshold: one spill at flush.
+        assert_eq!(w.writes, 1);
+        assert_eq!(
+            parse_jsonl(std::str::from_utf8(&w.bytes).unwrap()).unwrap(),
+            events
+        );
+    }
+
+    #[test]
+    fn sink_spills_when_threshold_crossed() {
+        let events = sample_events(10);
+        let mut w = CountingWriter::default();
+        let mut sink = JsonlSink::with_threshold(&mut w, 1);
+        for e in &events {
+            sink.write_event(e).unwrap();
+        }
+        sink.flush().unwrap();
+        assert_eq!(w.writes, 10);
+    }
+
+    #[test]
+    fn sink_holds_bytes_until_flush() {
+        let mut w = CountingWriter::default();
+        let mut sink = JsonlSink::new(&mut w);
+        sink.write_event(&TraceEvent::point("a", 0.0, &[])).unwrap();
+        assert!(sink.bytes_accepted() > 0);
+        sink.flush().unwrap();
+        assert!(!w.bytes.is_empty());
+    }
+
+    #[test]
+    fn sink_cap_drops_whole_lines() {
+        let events = sample_events(10);
+        let one_line = event_to_json(&events[0]).len() as u64 + 1;
+        let mut out = Vec::new();
+        let mut sink = JsonlSink::new(&mut out).with_max_bytes(one_line * 3 + 1);
+        let mut accepted = 0;
+        for e in &events {
+            if sink.write_event(e).unwrap() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 3);
+        assert_eq!(sink.dropped(), 7);
+        sink.flush().unwrap();
+        // Capped output is still valid JSONL — no mid-record truncation.
+        let parsed = parse_jsonl(std::str::from_utf8(&out).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 3);
+    }
+
+    #[test]
+    fn sink_into_inner_flushes() {
+        let events = sample_events(3);
+        let sink = {
+            let mut sink = JsonlSink::new(Vec::new());
+            for e in &events {
+                sink.write_event(e).unwrap();
+            }
+            sink
+        };
+        let out = sink.into_inner().unwrap();
+        assert_eq!(
+            parse_jsonl(std::str::from_utf8(&out).unwrap()).unwrap(),
+            events
+        );
     }
 }
