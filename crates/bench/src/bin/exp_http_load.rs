@@ -16,8 +16,15 @@
 //! are *hardware-dependent* — the JSON is a trajectory artifact, not a
 //! golden fixture, so it is uploaded from CI rather than committed.
 //!
-//! Usage: `exp_http_load [--quick] [--seed N] [--secs S] [--out PATH]`
-//! (`--quick` shrinks the world and halves the open-loop windows).
+//! Usage: `exp_http_load [--quick] [--seed N] [--secs S] [--out PATH]
+//! [--profile-out PATH]` (`--quick` shrinks the world and halves the
+//! open-loop windows; `--profile-out` writes the run's folded self-time
+//! stacks in flamegraph-collapsed format).
+//!
+//! Built with `--features alloc-profile`, the process heap routes
+//! through the telemetry counting allocator and the JSON's `config`
+//! gains `allocs_per_req` — the bench ledger then tracks allocation
+//! regressions alongside latency ones.
 
 use fakeaudit_analytics::BreakerConfig;
 use fakeaudit_bench::{parse_args, RunOptions};
@@ -30,8 +37,17 @@ use fakeaudit_gateway::{
 use fakeaudit_server::workload::{generate, ArrivalProcess, LoadSpec, Request};
 use fakeaudit_server::{OverloadPolicy, ServerConfig};
 use fakeaudit_stats::rng::derive_seed;
-use fakeaudit_telemetry::{Telemetry, WallClock};
+use fakeaudit_telemetry::{AllocScope, SelfTimeProfile, Telemetry, WallClock};
 use std::sync::Arc;
+
+// With the alloc-profile feature every heap operation of the whole
+// process (gateway, workers and load generators alike) is counted; the
+// per-request figure is therefore an upper bound on the serving path,
+// deliberately — a regression anywhere in the process shows up.
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static ALLOC: fakeaudit_telemetry::profile::CountingAllocator<std::alloc::System> =
+    fakeaudit_telemetry::profile::CountingAllocator::new(std::alloc::System);
 
 const TARGETS: usize = 4;
 const WORKERS_PER_TOOL: usize = 2;
@@ -48,6 +64,7 @@ struct HttpLoadOptions {
     run: RunOptions,
     secs: f64,
     out: String,
+    profile_out: Option<String>,
 }
 
 fn fail(msg: &str) -> ! {
@@ -61,6 +78,7 @@ fn options() -> HttpLoadOptions {
     let mut rest = Vec::new();
     let mut secs = None;
     let mut out = "results/BENCH_gateway.json".to_owned();
+    let mut profile_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -72,18 +90,25 @@ fn options() -> HttpLoadOptions {
                 Some(v) => out = v,
                 None => fail("--out needs a path"),
             },
+            "--profile-out" => match args.next() {
+                Some(v) => profile_out = Some(v),
+                None => fail("--profile-out needs a path"),
+            },
             _ => rest.push(arg),
         }
     }
     let run = match parse_args(rest.into_iter()) {
         Ok(opts) => opts,
-        Err(msg) => fail(&format!("{msg} (also: --secs S, --out PATH)")),
+        Err(msg) => fail(&format!(
+            "{msg} (also: --secs S, --out PATH, --profile-out PATH)"
+        )),
     };
     let quick = run.scale != fakeaudit_core::experiments::Scale::full();
     HttpLoadOptions {
         run,
         secs: secs.unwrap_or(if quick { 5.0 } else { 10.0 }),
         out,
+        profile_out,
     }
 }
 
@@ -166,6 +191,8 @@ fn main() {
     let addr = gateway.local_addr();
     eprintln!("gateway listening on {addr}");
 
+    let alloc_scope = AllocScope::start();
+
     // 1. Closed loop: peak sustainable throughput over keep-alive
     //    connections (offered load adapts to service rate).
     let work = closed_work(&world, seed, if opts.secs < 8.0 { 2_000 } else { 8_000 });
@@ -216,6 +243,7 @@ fn main() {
     );
     let flash = run_open_loop(addr, "flash_crowd", &schedule, 1.0, SENDERS);
 
+    let alloc_delta = alloc_scope.delta();
     let report = gateway.shutdown();
     let breaker_trips: u64 = telemetry
         .snapshot()
@@ -257,20 +285,27 @@ fn main() {
         breaker_trips
     );
 
-    let json = render_bench_json(
-        &[
-            ("seed", seed.to_string()),
-            ("targets", TARGETS.to_string()),
-            ("workers_per_tool", WORKERS_PER_TOOL.to_string()),
-            ("queue_capacity", QUEUE_CAPACITY.to_string()),
-            ("accept_threads", SENDERS.to_string()),
-            ("open_loop_senders", SENDERS.to_string()),
-            ("policy", "\"shed\"".to_owned()),
-            ("open_loop_secs", format!("{:.1}", opts.secs)),
-        ],
-        breaker_trips,
-        &scenarios,
-    );
+    let mut config = vec![
+        ("seed", seed.to_string()),
+        ("targets", TARGETS.to_string()),
+        ("workers_per_tool", WORKERS_PER_TOOL.to_string()),
+        ("queue_capacity", QUEUE_CAPACITY.to_string()),
+        ("accept_threads", SENDERS.to_string()),
+        ("open_loop_senders", SENDERS.to_string()),
+        ("policy", "\"shed\"".to_owned()),
+        ("open_loop_secs", format!("{:.1}", opts.secs)),
+    ];
+    let answered: u64 = scenarios.iter().map(|s| s.answered).sum();
+    if fakeaudit_telemetry::profile::alloc_profiling_available() && answered > 0 {
+        let allocs_per_req = alloc_delta.allocs as f64 / answered as f64;
+        println!(
+            "allocations: {} total ({} bytes), {:.1} allocs/answered request",
+            alloc_delta.allocs, alloc_delta.bytes, allocs_per_req
+        );
+        config.push(("allocs_per_req", format!("{allocs_per_req:.1}")));
+    }
+
+    let json = render_bench_json(&config, breaker_trips, &scenarios);
     if let Some(parent) = std::path::Path::new(&opts.out).parent() {
         if !parent.as_os_str().is_empty() {
             let _ = std::fs::create_dir_all(parent);
@@ -281,6 +316,21 @@ fn main() {
         Err(e) => {
             eprintln!("cannot write {}: {e}", opts.out);
             std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = &opts.profile_out {
+        let profile = SelfTimeProfile::from_events(&telemetry.events());
+        match std::fs::write(path, profile.folded()) {
+            Ok(()) => println!(
+                "wrote {path} ({} folded stacks, {} us self time)",
+                profile.len(),
+                profile.total_micros()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -17,11 +17,18 @@
 //! | `exp_ablation_sampling` | sampling ablation (A1) |
 //! | `exp_service_load` | service under offered load (E8) |
 //! | `exp_latency_attribution` | latency attribution under load (E9) |
+//! | `exp_http_load` | wall-clock gateway bench (E11) |
 //!
 //! All binaries accept `--quick` (reduced scale) and `--seed <n>`.
+//!
+//! [`ledger`] holds the bench ledger: the committed
+//! `results/ledger.jsonl` history of headline numbers and the
+//! regression comparator behind `fakeaudit bench record|compare`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod ledger;
 
 use fakeaudit_core::experiments::Scale;
 use fakeaudit_population::{BuiltTarget, ClassMix, TargetScenario};

@@ -9,12 +9,14 @@
 //! fakeaudit serve-sim --rate 4 --policy degrade --burst
 //! fakeaudit serve --port 8080 --workers 2 --policy degrade
 //! fakeaudit trace analyze --input trace.jsonl
+//! fakeaudit bench compare --input results/BENCH_gateway.json --tolerance 15%
 //! ```
 
 mod args;
 
 use args::ParsedArgs;
 use fakeaudit_analytics::{report, BreakerConfig, OnlineService, ServiceProfile};
+use fakeaudit_bench::ledger::{self, LedgerEntry};
 use fakeaudit_core::experiments::service_load::ServingWorld;
 use fakeaudit_core::panel::AuditPanel;
 use fakeaudit_core::scoring::score_against_truth;
@@ -30,8 +32,8 @@ use fakeaudit_stats::ConfidenceLevel;
 use fakeaudit_telemetry::analyze::chrome_trace_json;
 use fakeaudit_telemetry::sink::parse_jsonl;
 use fakeaudit_telemetry::{
-    ChromeTraceOptions, LatencyAttribution, RunReport, SloSpec, Telemetry, TraceEvent, TraceTree,
-    WallClock,
+    ChromeTraceOptions, LatencyAttribution, RunReport, SelfTimeProfile, SloSpec, Telemetry,
+    TraceEvent, TraceTree, WallClock,
 };
 use fakeaudit_twitter_api::crawl::CrawlBudget;
 use fakeaudit_twitter_api::{ApiConfig, ApiSession};
@@ -103,6 +105,23 @@ USAGE:
       Evaluate latency and availability objectives over sliding sim-time
       windows, reporting error-budget burn rates per window.
 
+  fakeaudit trace profile --input PATH [--output PATH] [--top N]
+      Fold a JSONL trace into per-span self-time stacks (inferno /
+      flamegraph.pl collapsed format, deterministic for a given trace).
+      --top N prints the N hottest frames by self time instead of the
+      raw folded stacks; --output writes the folded stacks to a file.
+
+  fakeaudit bench record --input PATH [--ledger PATH] [--label S]
+      Append the headline numbers of a BENCH_*.json (throughput,
+      p50/p95/p99, shed rate, allocs/req when present) as one line of
+      the bench ledger (default: results/ledger.jsonl).
+
+  fakeaudit bench compare --input PATH [--ledger PATH] [--tolerance T]
+      Compare a fresh BENCH_*.json against the most recent ledger line.
+      Latency, shed rate and allocs/req may rise — and throughput fall —
+      by at most the tolerance (default 15%; accepts 15% or 0.15).
+      Exits nonzero when any metric regresses past it.
+
   fakeaudit help
       Show this message.
 
@@ -139,6 +158,7 @@ fn main() {
     };
     let result = match (parsed.command.as_deref(), parsed.action.as_deref()) {
         (Some("trace"), _) => cmd_trace(&parsed),
+        (Some("bench"), _) => cmd_bench(&parsed),
         (Some(cmd), Some(action)) => Err(format!(
             "unexpected argument {action:?} after {cmd:?}\n\n{USAGE}"
         )),
@@ -667,8 +687,88 @@ fn cmd_trace(args: &ParsedArgs) -> Result<(), String> {
         "analyze" => trace_analyze(&events),
         "export" => trace_export(args, &events),
         "slo" => trace_slo(args, &events),
+        "profile" => trace_profile(args, &events),
         other => Err(format!(
-            "unknown trace action {other:?} (try analyze, export, slo)\n\n{USAGE}"
+            "unknown trace action {other:?} (try analyze, export, slo, profile)\n\n{USAGE}"
+        )),
+    }
+}
+
+fn trace_profile(args: &ParsedArgs, events: &[TraceEvent]) -> Result<(), String> {
+    let profile = SelfTimeProfile::from_events(events);
+    if profile.is_empty() {
+        return Err("trace contains no spans to profile".into());
+    }
+    if let Some(path) = args.raw("output") {
+        std::fs::write(path, profile.folded())
+            .map_err(|e| format!("cannot write folded stacks {path:?}: {e}"))?;
+        println!(
+            "folded stacks written to {path} ({} stacks, {} us total self time)",
+            profile.len(),
+            profile.total_micros()
+        );
+        return Ok(());
+    }
+    match args.raw("top") {
+        Some(_) => {
+            let n: usize = args.get_or("top", 10).map_err(|e| e.to_string())?;
+            println!("top {n} stacks by self time:");
+            for (stack, micros) in profile.top(n) {
+                println!("  {micros:>12} us  {stack}");
+            }
+        }
+        None => print!("{}", profile.folded()),
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &ParsedArgs) -> Result<(), String> {
+    let action = args
+        .action
+        .as_deref()
+        .ok_or_else(|| format!("bench needs an action (record or compare)\n\n{USAGE}"))?;
+    let input = args.raw("input").unwrap_or("results/BENCH_gateway.json");
+    let ledger_path = args.raw("ledger").unwrap_or("results/ledger.jsonl");
+    let bench_text = std::fs::read_to_string(input)
+        .map_err(|e| format!("cannot read bench json {input:?}: {e}"))?;
+    match action {
+        "record" => {
+            let label = args.raw("label").unwrap_or("local");
+            let entry = LedgerEntry::from_bench_json(label, &bench_text)?;
+            let line = entry.to_jsonl_line();
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(ledger_path)
+                .map_err(|e| format!("cannot open ledger {ledger_path:?}: {e}"))?;
+            file.write_all(line.as_bytes())
+                .map_err(|e| format!("cannot append to ledger {ledger_path:?}: {e}"))?;
+            println!(
+                "recorded {} scenario(s) from {input} as {:?} in {ledger_path}",
+                entry.scenarios.len(),
+                entry.label
+            );
+            Ok(())
+        }
+        "compare" => {
+            let tolerance = ledger::parse_tolerance(args.raw("tolerance").unwrap_or("15%"))?;
+            let ledger_text = std::fs::read_to_string(ledger_path)
+                .map_err(|e| format!("cannot read ledger {ledger_path:?}: {e}"))?;
+            let entries = ledger::parse_ledger(&ledger_text)?;
+            let baseline = entries.last().ok_or_else(|| {
+                format!("ledger {ledger_path:?} is empty — run bench record first")
+            })?;
+            let current = LedgerEntry::from_bench_json("current", &bench_text)?;
+            let report = ledger::compare(baseline, &current, tolerance);
+            print!("{}", report.render());
+            if report.regressed() {
+                return Err("bench compare found regressions beyond tolerance".into());
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown bench action {other:?} (try record, compare)\n\n{USAGE}"
         )),
     }
 }

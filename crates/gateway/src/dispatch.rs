@@ -24,7 +24,7 @@
 //! travels in the response (`response_secs`) for cross-checking the two
 //! worlds.
 
-use fakeaudit_analytics::{ServiceError, ServiceResponse};
+use fakeaudit_analytics::{BreakerState, ServiceError, ServiceResponse};
 use fakeaudit_detectors::ToolId;
 use fakeaudit_server::{
     observe_request, Admission, AdmissionQueue, AuditBackend, OverloadPolicy, RequestOutcome,
@@ -143,6 +143,24 @@ struct LaneState {
     queue: AdmissionQueue<Job>,
     stale: BoxedBackend,
     shutting_down: bool,
+    /// Last-published circuit-breaker state. Worker backends own their
+    /// breakers and live inside worker threads, so each worker publishes
+    /// its backend's state here after every serve; `None` means the
+    /// backends run no breaker.
+    breaker: Option<BreakerState>,
+}
+
+/// One lane's operational snapshot, surfaced by
+/// [`Dispatcher::lane_status`] for `/healthz` and `/debug/vars`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneStatus {
+    /// The tool this lane serves.
+    pub tool: ToolId,
+    /// Jobs currently waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Circuit-breaker state last published by a worker (`None` when the
+    /// backends run no breaker).
+    pub breaker: Option<BreakerState>,
 }
 
 /// One tool's admission queue + worker-wakeup pair.
@@ -213,6 +231,7 @@ impl Dispatcher {
                         // Placeholder replaced below when the pool is consumed.
                         stale: Box::new(NullBackend(pool.tool)),
                         shutting_down: false,
+                        breaker: pool.workers.first().and_then(|b| b.breaker_state()),
                     }),
                     ready: Condvar::new(),
                 })
@@ -261,6 +280,23 @@ impl Dispatcher {
     /// Current time on the dispatcher's clock.
     pub fn now_secs(&self) -> f64 {
         self.shared.clock.now_secs()
+    }
+
+    /// A point-in-time operational snapshot of every lane: queue depth
+    /// and last-published breaker state, in registration order.
+    pub fn lane_status(&self) -> Vec<LaneStatus> {
+        self.shared
+            .lanes
+            .iter()
+            .map(|lane| {
+                let st = lane.state.lock();
+                LaneStatus {
+                    tool: lane.tool,
+                    queue_depth: st.queue.len(),
+                    breaker: st.breaker,
+                }
+            })
+            .collect()
     }
 
     /// Submits one audit request.
@@ -472,11 +508,17 @@ fn worker_loop(shared: &Shared, lane: &Lane, mut backend: BoxedBackend) {
                 lane.ready.wait(&mut st);
             }
         };
-        serve_one(shared, lane.tool, &mut backend, job);
+        serve_one(shared, lane, &mut backend, job);
+        // Publish this backend's breaker state so admission-side readers
+        // (`/healthz`, `/debug/vars`) see breaker health without touching
+        // worker-owned backends.
+        let state = backend.breaker_state();
+        lane.state.lock().breaker = state;
     }
 }
 
-fn serve_one(shared: &Shared, tool: ToolId, backend: &mut BoxedBackend, job: Job) {
+fn serve_one(shared: &Shared, lane: &Lane, backend: &mut BoxedBackend, job: Job) {
+    let tool = lane.tool;
     let now = shared.clock.now_secs();
     if shared
         .config

@@ -20,9 +20,11 @@
 //!   `crates/server` [`AuditBackend`](fakeaudit_server::AuditBackend)
 //!   seam. Policy logic (queues, overload behaviour, breakers, metric
 //!   vocabulary) is imported from the sim stack, never duplicated;
-//! * [`server`] — the listener: accept threads, four routes
+//! * [`server`] — the listener: accept threads, the routes
 //!   (`POST /audit/:target`, `GET /audit/:target/stream`, `GET /healthz`,
-//!   `GET /metrics`), and a two-phase graceful drain;
+//!   `GET /metrics`, `GET /debug/profile`, `GET /debug/vars`), per-route
+//!   RED accounting with exemplar trace ids, and a two-phase graceful
+//!   drain;
 //! * [`loadgen`] — closed- and open-loop load generation replaying the
 //!   E8 workload shapes against a live listener, plus the
 //!   `BENCH_gateway.json` renderer;
@@ -43,7 +45,7 @@ pub mod server;
 pub mod wire;
 
 pub use dispatch::{
-    AnswerSource, Answered, BoxedBackend, Dispatcher, JobEvent, Rejection, ToolPool,
+    AnswerSource, Answered, BoxedBackend, Dispatcher, JobEvent, LaneStatus, Rejection, ToolPool,
 };
 pub use loadgen::{render_bench_json, run_closed_loop, run_open_loop, LoadSummary};
 pub use server::{tool_from_abbrev, Gateway, GatewayConfig};

@@ -29,7 +29,7 @@ use crate::http::{self, ChunkedBody, Limits, Parse};
 use crate::wire;
 use fakeaudit_detectors::ToolId;
 use fakeaudit_server::{ServerConfig, ServerReport};
-use fakeaudit_telemetry::{Clock, Telemetry};
+use fakeaudit_telemetry::{Clock, SelfTimeProfile, Telemetry};
 use fakeaudit_twittersim::{AccountId, Platform};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -96,12 +96,16 @@ impl Shared {
     }
 
     fn count_request(&self, route: &'static str, status: u16) {
-        let status = status.to_string();
+        let status_s = status.to_string();
         self.telemetry.counter_add(
             "gateway.http_requests",
-            &[("route", route), ("status", &status)],
+            &[("route", route), ("status", &status_s)],
             1,
         );
+        if status >= 400 {
+            self.telemetry
+                .counter_add("gateway.http_errors", &[("route", route)], 1);
+        }
     }
 }
 
@@ -296,20 +300,96 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-/// Routes one parsed request. Returns whether the connection may be
-/// kept alive.
+/// The RED route label for a parsed request — the `route` dimension on
+/// `gateway.http_requests` / `gateway.http_errors` /
+/// `gateway.request_secs`.
+fn route_label(method: &str, segments: &[&str]) -> &'static str {
+    match (method, segments) {
+        ("GET", ["healthz"]) => "healthz",
+        ("GET", ["metrics"]) => "metrics",
+        ("GET", ["debug", "profile"]) => "debug_profile",
+        ("GET", ["debug", "vars"]) => "debug_vars",
+        ("POST", ["audit", _]) => "audit",
+        ("GET", ["audit", _, "stream"]) => "audit_stream",
+        _ => "other",
+    }
+}
+
+/// Routes one parsed request with RED accounting around it: every
+/// request records a `gateway.request` span plus a per-route duration
+/// observation whose exemplar carries the span id, so a hot `/metrics`
+/// line links straight to the worst trace. Returns whether the
+/// connection may be kept alive.
 fn route(shared: &Shared, request: &http::Request, stream: &mut TcpStream) -> io::Result<bool> {
+    let t0 = shared.clock.now_secs();
+    let result = dispatch_route(shared, request, stream);
+    let t1 = shared.clock.now_secs();
+    let path = request.path();
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let label = route_label(request.method.as_str(), &segments);
+    let span = shared.telemetry.root_context().child();
+    span.record("gateway.request", t0, t1, &[("route", label)]);
+    match span.span_id() {
+        Some(id) => shared.telemetry.observe_with_exemplar(
+            "gateway.request_secs",
+            &[("route", label)],
+            t1 - t0,
+            &id.to_string(),
+        ),
+        None => shared
+            .telemetry
+            .observe("gateway.request_secs", &[("route", label)], t1 - t0),
+    }
+    result
+}
+
+/// The route table proper (see [`route`] for the RED wrapper).
+fn dispatch_route(
+    shared: &Shared,
+    request: &http::Request,
+    stream: &mut TcpStream,
+) -> io::Result<bool> {
     let keep = request.keep_alive() && !shared.is_draining();
     let path = request.path().to_owned();
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
             let body = wire::health_json(
-                &shared.dispatcher.tools(),
+                &shared.dispatcher.lane_status(),
                 shared.clock.now_secs() - shared.started_at,
                 shared.is_draining(),
             );
             shared.count_request("healthz", 200);
+            http::write_response(stream, 200, "application/json", &[], body.as_bytes(), keep)?;
+            Ok(keep)
+        }
+        ("GET", ["debug", "profile"]) => {
+            // Fold the bounded in-memory trace buffer into self-time
+            // stacks. The buffer holds whatever the retention bound kept;
+            // for a seeded sim run the folded bytes are deterministic.
+            let profile = SelfTimeProfile::from_events(&shared.telemetry.events());
+            let body = profile.folded();
+            shared.count_request("debug_profile", 200);
+            http::write_response(
+                stream,
+                200,
+                "text/plain; charset=utf-8",
+                &[],
+                body.as_bytes(),
+                keep,
+            )?;
+            Ok(keep)
+        }
+        ("GET", ["debug", "vars"]) => {
+            let body = wire::debug_vars_json(
+                option_env!("CARGO_PKG_VERSION").unwrap_or("dev"),
+                shared.clock.now_secs() - shared.started_at,
+                shared.is_draining(),
+                shared.active_connections.load(Ordering::Relaxed),
+                shared.telemetry.dropped_events(),
+                &shared.dispatcher.lane_status(),
+            );
+            shared.count_request("debug_vars", 200);
             http::write_response(stream, 200, "application/json", &[], body.as_bytes(), keep)?;
             Ok(keep)
         }
@@ -328,7 +408,7 @@ fn route(shared: &Shared, request: &http::Request, stream: &mut TcpStream) -> io
         }
         ("POST", ["audit", id]) => handle_audit(shared, request, id, stream, keep),
         ("GET", ["audit", id, "stream"]) => handle_audit_stream(shared, request, id, stream),
-        (_, ["healthz"]) | (_, ["metrics"]) | (_, ["audit", ..]) => {
+        (_, ["healthz"]) | (_, ["metrics"]) | (_, ["debug", ..]) | (_, ["audit", ..]) => {
             shared.count_request("other", 405);
             let body = b"{\"error\":\"method not allowed\"}";
             http::write_response(stream, 405, "application/json", &[], body, keep)?;

@@ -5,7 +5,7 @@
 //! encoders are pure functions over already-computed values; nothing
 //! here touches sockets or clocks.
 
-use crate::dispatch::{Answered, Rejection};
+use crate::dispatch::{Answered, LaneStatus, Rejection};
 use fakeaudit_detectors::ToolId;
 use fakeaudit_telemetry::MetricsSnapshot;
 use fakeaudit_twittersim::AccountId;
@@ -92,17 +92,62 @@ pub fn rejection_status_and_json(rejection: &Rejection) -> (u16, String) {
     }
 }
 
-/// The `/healthz` body.
-pub fn health_json(tools: &[ToolId], uptime_secs: f64, draining: bool) -> String {
-    let mut out = String::with_capacity(128);
+/// One lane's `{"tool":…,"queue_depth":…,"breaker":…}` object, shared by
+/// `/healthz` and `/debug/vars`. `breaker` is the state key
+/// (`closed`/`open`/`half_open`) or `null` when the backends run none.
+fn lane_json(lane: &LaneStatus) -> String {
+    let breaker = match lane.breaker {
+        Some(state) => quoted(state.key()),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\"tool\":{},\"queue_depth\":{},\"breaker\":{breaker}}}",
+        quoted(lane.tool.abbrev()),
+        lane.queue_depth
+    )
+}
+
+/// The `/healthz` body: overall status plus per-tool breaker state and
+/// queue depth.
+pub fn health_json(lanes: &[LaneStatus], uptime_secs: f64, draining: bool) -> String {
+    let mut out = String::with_capacity(256);
     out.push_str("{\"status\":");
     out.push_str(if draining { "\"draining\"" } else { "\"ok\"" });
     let _ = write!(out, ",\"uptime_secs\":{},\"tools\":[", num(uptime_secs));
-    for (i, tool) in tools.iter().enumerate() {
+    for (i, lane) in lanes.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&quoted(tool.abbrev()));
+        out.push_str(&lane_json(lane));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `/debug/vars` body: build info plus the live operational gauges an
+/// operator checks first — expvar-style, one flat JSON object.
+pub fn debug_vars_json(
+    version: &str,
+    uptime_secs: f64,
+    draining: bool,
+    active_connections: i64,
+    dropped_trace_events: u64,
+    lanes: &[LaneStatus],
+) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"version\":{},\"uptime_secs\":{},\"draining\":{draining},\
+         \"active_connections\":{active_connections},\
+         \"dropped_trace_events\":{dropped_trace_events},\"tools\":[",
+        quoted(version),
+        num(uptime_secs),
+    );
+    for (i, lane) in lanes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&lane_json(lane));
     }
     out.push_str("]}");
     out
@@ -159,31 +204,50 @@ fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> Stri
     out
 }
 
+/// Help text for the metric families the stack emits; unknown names get
+/// a generic line so every family still carries `# HELP`.
+fn prom_help(name: &str) -> &'static str {
+    match name {
+        "server_requests" => "Requests by tool and outcome.",
+        "server_queue_depth" => "Admission-queue depth by tool.",
+        "server_latency_secs" => "End-to-end request latency in seconds.",
+        "gateway_http_requests" => "HTTP requests by route and status.",
+        "gateway_http_errors" => "HTTP responses with status >= 400, by route.",
+        "gateway_request_secs" => "HTTP request duration in seconds, by route.",
+        "breaker_transitions" => "Circuit-breaker state transitions by tool.",
+        "api_calls" => "Simulated platform API calls by endpoint.",
+        _ => "Audit-pipeline metric (see crates/telemetry).",
+    }
+}
+
 /// Renders a [`MetricsSnapshot`] in the Prometheus text exposition
-/// format: counters and gauges verbatim, histograms as cumulative
-/// `_bucket{le=…}` series plus `_sum` / `_count`.
+/// format (0.0.4): counters and gauges verbatim, histograms as
+/// cumulative `_bucket{le=…}` series plus `_sum` / `_count`, every
+/// family headed by `# HELP` + `# TYPE`. A histogram carrying an
+/// exemplar renders it OpenMetrics-style on the first bucket wide enough
+/// to hold it: `… # {trace_id="span#7"} 4.2`.
 ///
 /// Snapshot ordering is deterministic (sorted keys), so two scrapes of
 /// identical state render identical bytes — the same property the
 /// sim-side golden fixtures rely on elsewhere.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::with_capacity(4096);
-    let mut last_type_line = String::new();
-    let mut type_line = |out: &mut String, name: &str, kind: &str| {
-        let line = format!("# TYPE {name} {kind}\n");
-        if line != last_type_line {
-            out.push_str(&line);
-            last_type_line = line;
+    let mut last_header = String::new();
+    let mut header = |out: &mut String, name: &str, kind: &str| {
+        let lines = format!("# HELP {name} {}\n# TYPE {name} {kind}\n", prom_help(name));
+        if lines != last_header {
+            out.push_str(&lines);
+            last_header = lines;
         }
     };
     for (key, value) in &snapshot.counters {
         let name = prom_name(&key.name);
-        type_line(&mut out, &name, "counter");
+        header(&mut out, &name, "counter");
         let _ = writeln!(out, "{name}{} {value}", prom_labels(&key.labels, None));
     }
     for (key, value) in &snapshot.gauges {
         let name = prom_name(&key.name);
-        type_line(&mut out, &name, "gauge");
+        header(&mut out, &name, "gauge");
         let _ = writeln!(
             out,
             "{name}{} {}",
@@ -193,8 +257,9 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     }
     for (key, hist) in &snapshot.histograms {
         let name = prom_name(&key.name);
-        type_line(&mut out, &name, "histogram");
+        header(&mut out, &name, "histogram");
         let mut cumulative = 0u64;
+        let mut exemplar_pending = hist.exemplar.as_ref();
         for (bound, count) in &hist.buckets {
             cumulative += count;
             let le = if bound.is_finite() {
@@ -202,11 +267,20 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
             } else {
                 "+Inf".to_owned()
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{name}_bucket{} {cumulative}",
                 prom_labels(&key.labels, Some(("le", &le)))
             );
+            // Attach the exemplar to the bucket its value falls in (the
+            // first bound at or above it; +Inf catches the rest).
+            if let Some(ex) = exemplar_pending {
+                if ex.value <= *bound || bound.is_infinite() {
+                    let _ = write!(out, " # {{trace_id=\"{}\"}} {}", ex.trace_id, num(ex.value));
+                    exemplar_pending = None;
+                }
+            }
+            out.push('\n');
         }
         let _ = writeln!(
             out,
@@ -231,12 +305,44 @@ mod tests {
 
     #[test]
     fn health_json_shapes() {
-        let body = health_json(&[ToolId::FakeClassifier, ToolId::Twitteraudit], 1.5, false);
+        use fakeaudit_analytics::BreakerState;
+        let lanes = [
+            LaneStatus {
+                tool: ToolId::FakeClassifier,
+                queue_depth: 2,
+                breaker: Some(BreakerState::Closed),
+            },
+            LaneStatus {
+                tool: ToolId::Twitteraudit,
+                queue_depth: 0,
+                breaker: None,
+            },
+        ];
+        let body = health_json(&lanes, 1.5, false);
         assert_eq!(
             body,
-            "{\"status\":\"ok\",\"uptime_secs\":1.5,\"tools\":[\"FC\",\"TA\"]}"
+            "{\"status\":\"ok\",\"uptime_secs\":1.5,\"tools\":[\
+             {\"tool\":\"FC\",\"queue_depth\":2,\"breaker\":\"closed\"},\
+             {\"tool\":\"TA\",\"queue_depth\":0,\"breaker\":null}]}"
         );
         assert!(health_json(&[], 0.0, true).contains("\"draining\""));
+    }
+
+    #[test]
+    fn debug_vars_shape() {
+        use fakeaudit_analytics::BreakerState;
+        let lanes = [LaneStatus {
+            tool: ToolId::Twitteraudit,
+            queue_depth: 1,
+            breaker: Some(BreakerState::HalfOpen),
+        }];
+        let body = debug_vars_json("0.1.0", 2.0, false, 3, 17, &lanes);
+        assert_eq!(
+            body,
+            "{\"version\":\"0.1.0\",\"uptime_secs\":2,\"draining\":false,\
+             \"active_connections\":3,\"dropped_trace_events\":17,\"tools\":[\
+             {\"tool\":\"TA\",\"queue_depth\":1,\"breaker\":\"half_open\"}]}"
+        );
     }
 
     #[test]
@@ -272,9 +378,11 @@ mod tests {
         tel.observe("server.latency_secs", &[("tool", "TA")], 5.0);
         let text = prometheus_text(&tel.snapshot());
         assert!(text.contains("# TYPE server_requests counter"));
+        assert!(text.contains("# HELP server_requests "));
         assert!(text.contains("server_requests{outcome=\"completed\",tool=\"TA\"} 3"));
         assert!(text.contains("server_queue_depth{tool=\"TA\"} 2"));
         assert!(text.contains("# TYPE server_latency_secs histogram"));
+        assert!(text.contains("# HELP server_latency_secs "));
         assert!(text.contains("server_latency_secs_count{tool=\"TA\"} 2"));
         assert!(text.contains("server_latency_secs_sum{tool=\"TA\"} 5.5"));
         // Buckets are cumulative and end at +Inf.
@@ -289,5 +397,36 @@ mod tests {
         tel.counter_add("c", &[("tool", "SB")], 1);
         let text = prometheus_text(&tel.snapshot());
         assert_eq!(text.matches("# TYPE c counter").count(), 1);
+        assert_eq!(text.matches("# HELP c ").count(), 1);
+    }
+
+    #[test]
+    fn histogram_exemplar_renders_on_its_bucket() {
+        let tel = Telemetry::enabled();
+        tel.observe_with_exemplar("gateway.request_secs", &[("route", "audit")], 0.4, "span#7");
+        tel.observe("gateway.request_secs", &[("route", "audit")], 0.002);
+        let text = prometheus_text(&tel.snapshot());
+        // 0.4 falls in the (0.1, 1] bucket; the exemplar rides that line
+        // and no other.
+        assert!(
+            text.contains("gateway_request_secs_bucket{route=\"audit\",le=\"1\"} 2 # {trace_id=\"span#7\"} 0.4"),
+            "{text}"
+        );
+        assert_eq!(text.matches("trace_id").count(), 1);
+        // Without exemplars nothing extra renders.
+        let plain = Telemetry::enabled();
+        plain.observe("lat", &[], 1.0);
+        assert!(!prometheus_text(&plain.snapshot()).contains("trace_id"));
+    }
+
+    #[test]
+    fn overflow_exemplar_lands_on_inf_bucket() {
+        let tel = Telemetry::enabled();
+        tel.observe_with_exemplar("crawl.secs", &[], 100_000.0, "span#3");
+        let text = prometheus_text(&tel.snapshot());
+        assert!(
+            text.contains("crawl_secs_bucket{le=\"+Inf\"} 1 # {trace_id=\"span#3\"} 100000"),
+            "{text}"
+        );
     }
 }

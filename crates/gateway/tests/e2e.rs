@@ -162,7 +162,12 @@ fn health_audit_and_metrics_roundtrip() {
     let health = get(addr, "/healthz");
     assert_eq!(status_of(&health), 200);
     assert!(health.contains("\"status\":\"ok\""), "{health}");
-    assert!(health.contains("\"tools\":[\"TA\"]"), "{health}");
+    // Per-tool operational detail: queue depth plus breaker state (the
+    // scripted test backends run no breaker, hence null).
+    assert!(
+        health.contains("\"tools\":[{\"tool\":\"TA\",\"queue_depth\":0,\"breaker\":null}]"),
+        "{health}"
+    );
 
     let verdict = post_audit(addr, "/audit/42");
     assert_eq!(status_of(&verdict), 200, "{verdict}");
@@ -193,6 +198,93 @@ fn health_audit_and_metrics_roundtrip() {
     let report = gateway.shutdown();
     assert_eq!(report.completed(), 2);
     assert_eq!(report.shed(), 0);
+}
+
+#[test]
+fn metrics_exposition_carries_help_type_and_exemplars() {
+    let gateway = boot(
+        ServerConfig::default(),
+        vec![pool(ToolId::Twitteraudit, 1, Duration::ZERO, &[])],
+    );
+    let addr = gateway.local_addr();
+    assert_eq!(status_of(&post_audit(addr, "/audit/11")), 200);
+    let metrics = get(addr, "/metrics");
+    assert_eq!(status_of(&metrics), 200);
+    // The Prometheus text content-type, version pinned.
+    assert!(
+        metrics.contains("Content-Type: text/plain; version=0.0.4"),
+        "{metrics}"
+    );
+    // Every family leads with # HELP + # TYPE, histograms included.
+    assert!(
+        metrics.contains("# HELP gateway_http_requests "),
+        "{metrics}"
+    );
+    assert!(metrics.contains("# TYPE gateway_http_requests counter"));
+    assert!(
+        metrics.contains("# HELP gateway_request_secs "),
+        "{metrics}"
+    );
+    assert!(metrics.contains("# TYPE gateway_request_secs histogram"));
+    assert!(metrics.contains("# TYPE server_latency_secs histogram"));
+    // The audit route's duration histogram carries an exemplar linking
+    // to the gateway.request span of its worst request.
+    assert!(
+        metrics.contains("gateway_request_secs_bucket{route=\"audit\""),
+        "{metrics}"
+    );
+    assert!(metrics.contains("trace_id=\"span#"), "{metrics}");
+    gateway.shutdown();
+}
+
+#[test]
+fn debug_profile_returns_folded_stacks() {
+    let gateway = boot(
+        ServerConfig::default(),
+        vec![pool(ToolId::Twitteraudit, 1, Duration::ZERO, &[])],
+    );
+    let addr = gateway.local_addr();
+    assert_eq!(status_of(&post_audit(addr, "/audit/3")), 200);
+    let profile = get(addr, "/debug/profile");
+    assert_eq!(status_of(&profile), 200);
+    // Folded-stack lines: `root;child value`, aggregated self time.
+    assert!(
+        profile.contains("server.request;server.service "),
+        "{profile}"
+    );
+    assert!(
+        profile.contains("server.request;server.queue_wait "),
+        "{profile}"
+    );
+    // Each folded line is `stack <integer-micros>`.
+    let body = profile.split("\r\n\r\n").nth(1).expect("body");
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        let (stack, value) = line.rsplit_once(' ').expect("stack value");
+        assert!(!stack.is_empty());
+        value.parse::<u64>().expect("integer self-time micros");
+    }
+    gateway.shutdown();
+}
+
+#[test]
+fn debug_vars_reports_build_and_lane_state() {
+    let gateway = boot(
+        ServerConfig::default(),
+        vec![pool(ToolId::Twitteraudit, 1, Duration::ZERO, &[])],
+    );
+    let addr = gateway.local_addr();
+    let vars = get(addr, "/debug/vars");
+    assert_eq!(status_of(&vars), 200);
+    assert!(vars.contains("\"version\":"), "{vars}");
+    assert!(vars.contains("\"draining\":false"), "{vars}");
+    assert!(vars.contains("\"dropped_trace_events\":0"), "{vars}");
+    assert!(
+        vars.contains("{\"tool\":\"TA\",\"queue_depth\":0,\"breaker\":null}"),
+        "{vars}"
+    );
+    // Wrong method on a debug path is a 405, like the other known routes.
+    assert_eq!(status_of(&post_audit(addr, "/debug/vars")), 405);
+    gateway.shutdown();
 }
 
 #[test]

@@ -85,6 +85,14 @@ pub trait AuditBackend {
     }
     /// The degrade-to-stale answer, if any report for `target` exists.
     fn serve_stale(&self, target: AccountId) -> Option<ServiceResponse>;
+    /// The current circuit-breaker state, for backends that run one (an
+    /// armed `OnlineService`). `None` means no breaker — scripted test
+    /// backends and unarmed services. Surfaced so operational endpoints
+    /// (`/healthz`, `/debug/vars`) can report breaker health without
+    /// reaching into worker threads.
+    fn breaker_state(&self) -> Option<fakeaudit_analytics::BreakerState> {
+        None
+    }
 }
 
 impl<A: FollowerAuditor> AuditBackend for OnlineService<A> {
@@ -122,6 +130,10 @@ impl<A: FollowerAuditor> AuditBackend for OnlineService<A> {
 
     fn serve_stale(&self, target: AccountId) -> Option<ServiceResponse> {
         OnlineService::serve_stale(self, target)
+    }
+
+    fn breaker_state(&self) -> Option<fakeaudit_analytics::BreakerState> {
+        self.breaker().map(|b| b.state())
     }
 }
 

@@ -21,6 +21,9 @@
 //! * [`analyze`] — the trace-tree analysis layer: per-request waterfalls,
 //!   critical-path latency attribution, the Chrome trace-event exporter
 //!   and the sliding-window SLO evaluator;
+//! * [`profile`] — per-span self-time aggregation folding whole traces
+//!   into deterministic folded-stack flamegraph text, plus the opt-in
+//!   counting global allocator (feature `alloc-profile`);
 //! * [`report`] — the end-of-run summary table ([`RunReport`]).
 //!
 //! The entry point is [`Telemetry`], a cheaply cloneable handle that every
@@ -42,12 +45,18 @@
 //! assert!(RunReport::from_telemetry(&tel).render().contains("API calls"));
 //! ```
 
-#![forbid(unsafe_code)]
+// `forbid` everywhere except under `alloc-profile`, whose counting
+// global allocator is the one sanctioned `unsafe` block in the crate
+// (a `GlobalAlloc` impl cannot be written without it); `deny` still
+// requires that block to carry an explicit `#[allow]` + SAFETY note.
+#![cfg_attr(not(feature = "alloc-profile"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-profile", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod analyze;
 pub mod clock;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod sink;
 pub mod trace;
@@ -57,7 +66,8 @@ pub use analyze::{
     ToolAttribution, TraceTree,
 };
 pub use clock::{Clock, ManualClock, WallClock};
-pub use metrics::{HistogramSnapshot, MetricKey, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Exemplar, HistogramSnapshot, MetricKey, MetricsRegistry, MetricsSnapshot};
+pub use profile::{AllocCounts, AllocScope, SelfTimeProfile};
 pub use report::RunReport;
 pub use sink::JsonlSink;
 pub use trace::{EventKind, SpanId, TraceContext, TraceEvent};
@@ -191,6 +201,23 @@ impl Telemetry {
     pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: f64) {
         if let Some(inner) = &self.inner {
             inner.registry.observe(name, labels, v);
+        }
+    }
+
+    /// Records one histogram observation carrying an exemplar trace id,
+    /// so `/metrics` renderings can link the histogram's worst bucket
+    /// back to a concrete trace.
+    pub fn observe_with_exemplar(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        v: f64,
+        trace_id: &str,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner
+                .registry
+                .observe_with_exemplar(name, labels, v, trace_id);
         }
     }
 

@@ -63,6 +63,18 @@ impl fmt::Display for MetricKey {
     }
 }
 
+/// An exemplar: one concrete observation a histogram remembers alongside
+/// its aggregate shape, linking a `/metrics` line back to the trace that
+/// produced it. Histograms keep the exemplar of their **largest**
+/// observation — the worst case is the trace an operator wants to open.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// The observed value.
+    pub value: f64,
+    /// The trace identity of the observation, e.g. `span#42`.
+    pub trace_id: String,
+}
+
 /// Streaming histogram state: count/sum/min/max plus log-scale buckets.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
@@ -77,6 +89,9 @@ pub struct HistogramSnapshot {
     /// `(upper_bound, count)` pairs; the final pair uses
     /// [`f64::INFINITY`] as its bound.
     pub buckets: Vec<(f64, u64)>,
+    /// Exemplar of the largest observation recorded with a trace id
+    /// (`None` when no exemplar-carrying observation happened).
+    pub exemplar: Option<Exemplar>,
 }
 
 impl HistogramSnapshot {
@@ -140,6 +155,49 @@ impl HistogramSnapshot {
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
+
+    /// Merges `other` into `self`: counts and sums add, min/max widen,
+    /// buckets add pairwise when the bound layouts match (one side being
+    /// empty adopts the other's layout), and the exemplar with the larger
+    /// value survives. Merging snapshots with *different* non-empty bound
+    /// layouts keeps `self`'s buckets — count/sum/min/max stay exact but
+    /// quantile estimates then degrade, which the caller avoids by only
+    /// merging snapshots from registries sharing [`BUCKET_BOUNDS`] (all
+    /// of them, today).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        let bounds_match = self.buckets.len() == other.buckets.len()
+            && self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .all(|(&(a, _), &(b, _))| a == b || (a.is_infinite() && b.is_infinite()));
+        if self.buckets.is_empty() {
+            self.buckets = other.buckets.clone();
+        } else if bounds_match {
+            for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+                mine.1 += theirs.1;
+            }
+        }
+        let take_other = match (&self.exemplar, &other.exemplar) {
+            (_, None) => false,
+            (None, Some(_)) => true,
+            (Some(a), Some(b)) => b.value > a.value,
+        };
+        if take_other {
+            self.exemplar = other.exemplar.clone();
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -149,6 +207,7 @@ struct Histogram {
     min: f64,
     max: f64,
     buckets: [u64; BUCKET_BOUNDS.len() + 1],
+    exemplar: Option<Exemplar>,
 }
 
 impl Histogram {
@@ -159,6 +218,19 @@ impl Histogram {
             min: 0.0,
             max: 0.0,
             buckets: [0; BUCKET_BOUNDS.len() + 1],
+            exemplar: None,
+        }
+    }
+
+    fn observe_with_exemplar(&mut self, v: f64, trace_id: &str) {
+        self.observe(v);
+        // Keep the worst (largest) exemplar; ties keep the first seen so
+        // repeated identical observations stay deterministic.
+        if self.exemplar.as_ref().is_none_or(|e| v > e.value) {
+            self.exemplar = Some(Exemplar {
+                value: v,
+                trace_id: trace_id.to_string(),
+            });
         }
     }
 
@@ -196,6 +268,7 @@ impl Histogram {
             min: self.min,
             max: self.max,
             buckets,
+            exemplar: self.exemplar.clone(),
         }
     }
 }
@@ -240,6 +313,25 @@ impl MetricsRegistry {
             .entry(key)
             .or_insert_with(Histogram::new)
             .observe(v);
+    }
+
+    /// Records one observation tagged with an exemplar trace id. The
+    /// histogram keeps the exemplar of its largest tagged observation so
+    /// renderings can link to the worst trace.
+    pub fn observe_with_exemplar(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        v: f64,
+        trace_id: &str,
+    ) {
+        let key = MetricKey::new(name, labels);
+        self.inner
+            .lock()
+            .histograms
+            .entry(key)
+            .or_insert_with(Histogram::new)
+            .observe_with_exemplar(v, trace_id);
     }
 
     /// A deterministic (name-ordered) snapshot of every metric.
@@ -447,6 +539,7 @@ mod tests {
             min: 0.0,
             max: 0.0,
             buckets: vec![],
+            exemplar: None,
         };
         assert_eq!(h.quantile(0.5), 0.0);
         // The clamps hold on the degenerate shape too.
@@ -489,8 +582,102 @@ mod tests {
             min: 0.0,
             max: 0.0,
             buckets: vec![],
+            exemplar: None,
         };
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn exemplar_tracks_worst_observation() {
+        let r = MetricsRegistry::new();
+        r.observe_with_exemplar("lat", &[], 0.5, "span#1");
+        r.observe_with_exemplar("lat", &[], 4.0, "span#2");
+        r.observe_with_exemplar("lat", &[], 2.0, "span#3");
+        // Ties keep the first exemplar seen at that value.
+        r.observe_with_exemplar("lat", &[], 4.0, "span#9");
+        let s = r.snapshot();
+        let h = s.histogram("lat", &[]).unwrap();
+        let ex = h.exemplar.as_ref().unwrap();
+        assert_eq!(ex.trace_id, "span#2");
+        assert_eq!(ex.value, 4.0);
+        assert_eq!(h.count, 4);
+    }
+
+    #[test]
+    fn plain_observe_carries_no_exemplar() {
+        let r = MetricsRegistry::new();
+        r.observe("lat", &[], 1.0);
+        let s = r.snapshot();
+        assert!(s.histogram("lat", &[]).unwrap().exemplar.is_none());
+    }
+
+    #[test]
+    fn merge_adds_counts_and_widens_range() {
+        let r1 = MetricsRegistry::new();
+        let r2 = MetricsRegistry::new();
+        for v in [0.5, 2.0] {
+            r1.observe("lat", &[], v);
+        }
+        for v in [0.05, 40.0, 3.0] {
+            r2.observe("lat", &[], v);
+        }
+        let mut a = r1.snapshot().histogram("lat", &[]).unwrap().clone();
+        let b = r2.snapshot().histogram("lat", &[]).unwrap().clone();
+        a.merge(&b);
+        assert_eq!(a.count, 5);
+        assert!((a.sum - 45.55).abs() < 1e-9);
+        assert_eq!(a.min, 0.05);
+        assert_eq!(a.max, 40.0);
+        // Buckets added pairwise: the merged bucket counts total 5.
+        assert_eq!(a.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 5);
+        // Merged quantiles stay inside the widened range.
+        assert!(a.p50() >= a.min && a.p99() <= a.max);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_other_side() {
+        let r = MetricsRegistry::new();
+        r.observe_with_exemplar("lat", &[], 7.0, "span#5");
+        let full = r.snapshot().histogram("lat", &[]).unwrap().clone();
+        let mut empty = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: vec![],
+            exemplar: None,
+        };
+        empty.merge(&full);
+        assert_eq!(empty, full);
+        // And the mirror image: merging an empty side changes nothing.
+        let mut kept = full.clone();
+        kept.merge(&HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: vec![],
+            exemplar: None,
+        });
+        assert_eq!(kept, full);
+    }
+
+    #[test]
+    fn merge_keeps_larger_exemplar() {
+        let r1 = MetricsRegistry::new();
+        let r2 = MetricsRegistry::new();
+        r1.observe_with_exemplar("lat", &[], 9.0, "span#big");
+        r2.observe_with_exemplar("lat", &[], 1.0, "span#small");
+        let big = r1.snapshot().histogram("lat", &[]).unwrap().clone();
+        let small = r2.snapshot().histogram("lat", &[]).unwrap().clone();
+
+        let mut a = big.clone();
+        a.merge(&small);
+        assert_eq!(a.exemplar.as_ref().unwrap().trace_id, "span#big");
+
+        let mut b = small;
+        b.merge(&big);
+        assert_eq!(b.exemplar.as_ref().unwrap().trace_id, "span#big");
     }
 
     #[test]

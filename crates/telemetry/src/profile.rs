@@ -1,0 +1,406 @@
+//! Per-span self-time profiling: folded-stack flamegraph output and the
+//! opt-in allocation counters.
+//!
+//! The trace layer answers *where one request's time went*
+//! ([`TraceTree::waterfall`], [`Breakdown`](crate::Breakdown)); this
+//! module answers the aggregate question — *across every request, which
+//! span name on which call path burns the time* — by folding a whole
+//! trace into the classic folded-stack format:
+//!
+//! ```text
+//! server.request;server.service;service.request;api.call 1250000
+//! server.request;server.queue_wait 40000
+//! ```
+//!
+//! One line per distinct root-to-span path, the value being the path's
+//! **self time** (span duration minus the duration of its child spans)
+//! summed over every occurrence, in integer microseconds. The format is
+//! what `inferno-flamegraph`, `flamegraph.pl` and pprof's folded importer
+//! all consume, and integer values plus sorted lines make the output
+//! byte-deterministic: same seed, same trace, same folded bytes.
+//!
+//! The second half is allocation profiling. With the `alloc-profile`
+//! feature a [`CountingAllocator`] can be installed as a binary's global
+//! allocator; it counts every allocation and allocated byte into process
+//! globals that [`AllocScope`] deltas against, so a bench driver can
+//! report *allocations per request* next to its latency numbers. Without
+//! the feature every hook compiles to a zero-returning stub and the crate
+//! keeps its `forbid(unsafe_code)` guarantee.
+
+use crate::analyze::TraceTree;
+use crate::trace::EventKind;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A folded-stack self-time profile aggregated over a whole trace.
+///
+/// Build with [`SelfTimeProfile::from_tree`] (or
+/// [`SelfTimeProfile::from_events`]), render with
+/// [`SelfTimeProfile::folded`]; [`SelfTimeProfile::top`] gives the
+/// hottest stacks for table output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelfTimeProfile {
+    /// `stack -> self time in integer microseconds`, keyed by the
+    /// `root;child;…` path. A `BTreeMap` so iteration (and therefore the
+    /// folded rendering) is deterministic.
+    stacks: BTreeMap<String, u64>,
+}
+
+impl SelfTimeProfile {
+    /// Folds every span tree in `tree` into self-time stacks.
+    ///
+    /// Each span contributes its duration minus its child spans'
+    /// durations (clamped at zero — overlapping concurrent children can
+    /// legitimately sum past the parent), attributed to the full
+    /// `root;…;span` name path. Point events carry no time and are
+    /// skipped. Spans with identical name paths aggregate, which is the
+    /// entire point: ten thousand `api.call`s become one hot line.
+    pub fn from_tree(tree: &TraceTree) -> Self {
+        let mut profile = Self::default();
+        for &root in tree.roots() {
+            profile.fold_span(tree, root, "");
+        }
+        // Flat legacy spans (no id, no parent) sit outside every tree but
+        // still carry time; fold them as single-frame stacks.
+        for (i, e) in tree.events().iter().enumerate() {
+            if e.kind == EventKind::Span && e.id.is_none() && e.parent.is_none() {
+                profile.fold_span(tree, i, "");
+            }
+        }
+        profile
+    }
+
+    /// [`SelfTimeProfile::from_tree`] over a raw event slice.
+    pub fn from_events(events: &[crate::TraceEvent]) -> Self {
+        Self::from_tree(&TraceTree::build(events))
+    }
+
+    fn fold_span(&mut self, tree: &TraceTree, idx: usize, prefix: &str) {
+        let e = tree.event(idx);
+        if e.kind != EventKind::Span {
+            return;
+        }
+        let stack = if prefix.is_empty() {
+            e.name.clone()
+        } else {
+            format!("{prefix};{}", e.name)
+        };
+        let mut child_secs = 0.0;
+        if let Some(id) = e.id {
+            for &c in tree.children_of(id) {
+                let child = tree.event(c);
+                if child.kind == EventKind::Span {
+                    child_secs += (child.t1 - child.t0).max(0.0);
+                    self.fold_span(tree, c, &stack);
+                }
+            }
+        }
+        let self_secs = ((e.t1 - e.t0).max(0.0) - child_secs).max(0.0);
+        let micros = (self_secs * 1e6).round() as u64;
+        *self.stacks.entry(stack).or_insert(0) += micros;
+    }
+
+    /// Number of distinct stacks.
+    pub fn len(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// Whether the profile is empty (no spans folded).
+    pub fn is_empty(&self) -> bool {
+        self.stacks.is_empty()
+    }
+
+    /// Total self time across every stack, in microseconds. Equals the
+    /// summed duration of all root spans (up to rounding), since self
+    /// times partition each tree.
+    pub fn total_micros(&self) -> u64 {
+        self.stacks.values().sum()
+    }
+
+    /// The folded-stack rendering: one `stack value` line per distinct
+    /// path, sorted by stack name, newline-terminated. Zero-valued
+    /// stacks are kept — a span that appeared is part of the profile
+    /// even when its self time rounds to nothing.
+    pub fn folded(&self) -> String {
+        let mut out = String::with_capacity(self.stacks.len() * 48);
+        for (stack, micros) in &self.stacks {
+            let _ = writeln!(out, "{stack} {micros}");
+        }
+        out
+    }
+
+    /// The `n` hottest stacks by self time (ties broken by stack name,
+    /// so the order is deterministic), as `(stack, micros)` pairs.
+    pub fn top(&self, n: usize) -> Vec<(&str, u64)> {
+        let mut rows: Vec<(&str, u64)> =
+            self.stacks.iter().map(|(s, &v)| (s.as_str(), v)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        rows.truncate(n);
+        rows
+    }
+}
+
+/// A point-in-time reading of the process-wide allocation counters.
+///
+/// All zeros unless a [`CountingAllocator`] is installed as the global
+/// allocator (feature `alloc-profile`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocCounts {
+    /// Allocation calls observed.
+    pub allocs: u64,
+    /// Bytes requested across those calls.
+    pub bytes: u64,
+}
+
+impl AllocCounts {
+    /// Counter deltas since `earlier` (saturating, so a stale snapshot
+    /// cannot underflow).
+    pub fn since(&self, earlier: &AllocCounts) -> AllocCounts {
+        AllocCounts {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// A scope guard over the allocation counters: snapshot on
+/// [`AllocScope::start`], read the delta with [`AllocScope::delta`].
+///
+/// With `alloc-profile` off (or no [`CountingAllocator`] installed) the
+/// delta is always zero — callers need no feature gates of their own.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocScope {
+    at_start: AllocCounts,
+}
+
+impl AllocScope {
+    /// Opens a scope at the current counter values.
+    pub fn start() -> Self {
+        Self {
+            at_start: alloc_counts(),
+        }
+    }
+
+    /// Allocations and bytes since the scope opened.
+    pub fn delta(&self) -> AllocCounts {
+        alloc_counts().since(&self.at_start)
+    }
+}
+
+impl Default for AllocScope {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Whether this build carries the counting-allocator hooks. `false`
+/// means [`alloc_counts`] is a constant-zero stub.
+pub const fn alloc_profiling_available() -> bool {
+    cfg!(feature = "alloc-profile")
+}
+
+#[cfg(feature = "alloc-profile")]
+mod counting {
+    use super::AllocCounts;
+    use std::alloc::{GlobalAlloc, Layout};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// The current process-wide counters.
+    pub fn alloc_counts() -> AllocCounts {
+        AllocCounts {
+            allocs: ALLOCS.load(Ordering::Relaxed),
+            bytes: BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A counting wrapper around any [`GlobalAlloc`]. Install it as a
+    /// binary's global allocator to light up [`alloc_counts`]:
+    ///
+    /// ```ignore
+    /// #[global_allocator]
+    /// static ALLOC: CountingAllocator<std::alloc::System> =
+    ///     CountingAllocator::new(std::alloc::System);
+    /// ```
+    ///
+    /// Counting is two relaxed atomic adds per allocation — cheap enough
+    /// to leave on for a whole bench run, which is the use case: the
+    /// relative cost between runs is the measurement, not the absolute
+    /// nanoseconds.
+    #[derive(Debug)]
+    pub struct CountingAllocator<A> {
+        inner: A,
+    }
+
+    impl<A> CountingAllocator<A> {
+        /// Wraps `inner`.
+        pub const fn new(inner: A) -> Self {
+            Self { inner }
+        }
+    }
+
+    // SAFETY: delegates verbatim to the wrapped allocator; the only
+    // added behaviour is relaxed counter increments, which allocate
+    // nothing and cannot panic.
+    #[allow(unsafe_code)]
+    unsafe impl<A: GlobalAlloc> GlobalAlloc for CountingAllocator<A> {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            self.inner.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            self.inner.dealloc(ptr, layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            self.inner.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            self.inner.realloc(ptr, layout, new_size)
+        }
+    }
+}
+
+#[cfg(feature = "alloc-profile")]
+pub use counting::{alloc_counts, CountingAllocator};
+
+/// The current process-wide allocation counters — constant zeros in this
+/// build (feature `alloc-profile` off).
+#[cfg(not(feature = "alloc-profile"))]
+pub fn alloc_counts() -> AllocCounts {
+    AllocCounts::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    /// Two requests with the canonical server tree shape.
+    fn sample_telemetry() -> Telemetry {
+        let tel = Telemetry::enabled();
+        let root = tel.root_context();
+        for i in 0..2 {
+            let base = i as f64 * 10.0;
+            let req = root.child();
+            req.span("server.queue_wait", base, base + 0.5, &[]);
+            let svc = req.child();
+            let api = svc.span("api.call", base + 0.6, base + 2.6, &[]);
+            api.point("api.page", base + 1.0, &[]);
+            svc.record("server.service", base + 0.5, base + 3.0, &[]);
+            req.record("server.request", base, base + 3.0, &[]);
+        }
+        tel
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let tel = sample_telemetry();
+        let profile = SelfTimeProfile::from_events(&tel.events());
+        let folded = profile.folded();
+        // Per request: root 3.0s minus queue_wait 0.5 minus service 2.5
+        // leaves 0; service 2.5 minus api 2.0 leaves 0.5; two requests
+        // aggregate on the same paths.
+        assert_eq!(
+            folded,
+            "server.request 0\n\
+             server.request;server.queue_wait 1000000\n\
+             server.request;server.service 1000000\n\
+             server.request;server.service;api.call 4000000\n"
+        );
+        // Self times partition the trees: total equals both roots' 3s.
+        assert_eq!(profile.total_micros(), 6_000_000);
+        assert_eq!(profile.len(), 4);
+        assert!(!profile.is_empty());
+    }
+
+    #[test]
+    fn folding_is_deterministic() {
+        let a = SelfTimeProfile::from_events(&sample_telemetry().events());
+        let b = SelfTimeProfile::from_events(&sample_telemetry().events());
+        assert_eq!(a, b);
+        assert_eq!(a.folded(), b.folded());
+        assert_eq!(a.folded().as_bytes(), b.folded().as_bytes());
+    }
+
+    #[test]
+    fn top_orders_by_self_time_then_name() {
+        let profile = SelfTimeProfile::from_events(&sample_telemetry().events());
+        let top = profile.top(2);
+        assert_eq!(
+            top[0],
+            ("server.request;server.service;api.call", 4_000_000)
+        );
+        assert_eq!(top[1].1, 1_000_000);
+        // Ties at 1_000_000 break lexicographically.
+        assert_eq!(top[1].0, "server.request;server.queue_wait");
+        assert_eq!(profile.top(100).len(), profile.len());
+    }
+
+    #[test]
+    fn empty_trace_folds_to_nothing() {
+        let profile = SelfTimeProfile::from_events(&[]);
+        assert!(profile.is_empty());
+        assert_eq!(profile.folded(), "");
+        assert_eq!(profile.total_micros(), 0);
+        assert!(profile.top(5).is_empty());
+    }
+
+    #[test]
+    fn point_events_and_flat_spans_carry_no_stack_time() {
+        let tel = Telemetry::enabled();
+        // A flat legacy span (no id) still folds as a root of its own.
+        tel.span("legacy.flat", 0.0, 1.0, &[]);
+        let root = tel.root_context();
+        let req = root.span("server.request", 0.0, 2.0, &[]);
+        req.point("server.shed", 1.0, &[]);
+        let profile = SelfTimeProfile::from_events(&tel.events());
+        assert_eq!(
+            profile.folded(),
+            "legacy.flat 1000000\nserver.request 2000000\n"
+        );
+    }
+
+    #[test]
+    fn overlapping_children_clamp_at_zero_self_time() {
+        let tel = Telemetry::enabled();
+        let root = tel.root_context();
+        let req = root.child();
+        // Two concurrent children covering the whole parent interval.
+        req.span("api.call", 0.0, 1.0, &[]);
+        req.span("api.call", 0.0, 1.0, &[]);
+        req.record("server.request", 0.0, 1.0, &[]);
+        let profile = SelfTimeProfile::from_events(&tel.events());
+        assert_eq!(
+            profile.folded(),
+            "server.request 0\nserver.request;api.call 2000000\n"
+        );
+    }
+
+    #[test]
+    fn alloc_scope_is_a_safe_stub_without_the_feature() {
+        let scope = AllocScope::start();
+        let _v: Vec<u64> = (0..1000).collect();
+        let delta = scope.delta();
+        if !alloc_profiling_available() {
+            assert_eq!(delta, AllocCounts::default());
+        }
+        // `since` saturates rather than underflowing.
+        let zero = AllocCounts::default();
+        let some = AllocCounts {
+            allocs: 5,
+            bytes: 100,
+        };
+        assert_eq!(zero.since(&some), zero);
+        assert_eq!(some.since(&zero), some);
+    }
+}
