@@ -1,9 +1,41 @@
 //! Regenerates the service-under-load sweep (E8).
+//!
+//! With `--persist DIR` every answered audit is also appended to a
+//! columnar history store at `DIR`; the sweep then runs its cells
+//! serially so the segment stream is byte-deterministic for a seed.
 
 use fakeaudit_bench::options_from_env;
-use fakeaudit_core::experiments::service_load::{render, run_service_load};
+use fakeaudit_core::experiments::service_load::{render, run_service_load_persisted};
+use fakeaudit_server::flush_writer;
+use fakeaudit_store::open_shared;
+use fakeaudit_telemetry::Telemetry;
 
 fn main() {
     let opts = options_from_env();
-    println!("{}", render(&run_service_load(opts.scale, opts.seed)));
+    let writer = opts.persist.as_deref().map(|dir| {
+        open_shared(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open history store {dir}: {e}");
+            std::process::exit(1);
+        })
+    });
+    println!(
+        "{}",
+        render(&run_service_load_persisted(
+            opts.scale,
+            opts.seed,
+            writer.clone()
+        ))
+    );
+    if let (Some(writer), Some(dir)) = (&writer, opts.persist.as_deref()) {
+        match flush_writer(writer, &Telemetry::disabled()) {
+            Ok(h) => eprintln!(
+                "history: {} rows across {} segments in {dir}",
+                h.flushed_rows, h.segments
+            ),
+            Err(e) => {
+                eprintln!("history flush failed for {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

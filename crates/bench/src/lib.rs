@@ -35,12 +35,15 @@ use fakeaudit_population::{BuiltTarget, ClassMix, TargetScenario};
 use fakeaudit_twittersim::Platform;
 
 /// Parsed command-line options shared by every experiment binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOptions {
     /// Experiment scale.
     pub scale: Scale,
     /// Master seed.
     pub seed: u64,
+    /// Audit-history store directory (`--persist DIR`); experiments that
+    /// support it append every completed audit there.
+    pub persist: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -48,11 +51,13 @@ impl Default for RunOptions {
         Self {
             scale: Scale::full(),
             seed: 2014, // the paper's year
+            persist: None,
         }
     }
 }
 
-/// Parses `--quick` and `--seed <n>` from arbitrary argument iterators.
+/// Parses `--quick`, `--seed <n>` and `--persist <dir>` from arbitrary
+/// argument iterators.
 ///
 /// Unknown arguments are rejected with an error message so typos do not
 /// silently run the wrong configuration.
@@ -79,9 +84,15 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<RunOptions,
                     .ok_or_else(|| "--seed needs a value".to_string())?;
                 opts.seed = v.parse().map_err(|e| format!("invalid seed {v:?}: {e}"))?;
             }
+            "--persist" => {
+                opts.persist = Some(
+                    args.next()
+                        .ok_or_else(|| "--persist needs a directory".to_string())?,
+                );
+            }
             other => {
                 return Err(format!(
-                    "unknown argument {other:?} (try --quick, --seed N)"
+                    "unknown argument {other:?} (try --quick, --seed N, --persist DIR)"
                 ))
             }
         }
@@ -153,6 +164,13 @@ mod tests {
     #[test]
     fn rejects_bad_seed() {
         assert!(parse_args(args(&["--seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn persist_takes_a_directory() {
+        let o = parse_args(args(&["--persist", "history"])).unwrap();
+        assert_eq!(o.persist.as_deref(), Some("history"));
+        assert!(parse_args(args(&["--persist"])).is_err());
     }
 
     #[test]

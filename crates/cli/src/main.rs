@@ -24,11 +24,13 @@ use fakeaudit_detectors::{FakeProjectEngine, Socialbakers, StatusPeople, ToolId,
 use fakeaudit_gateway::{Gateway, GatewayConfig, ToolPool};
 use fakeaudit_population::{ClassMix, TargetScenario};
 use fakeaudit_server::{
-    generate, ArrivalProcess, LoadSpec, OverloadPolicy, ServerConfig, ServerSim,
+    flush_writer, generate, ArrivalProcess, LoadSpec, OverloadPolicy, ServerConfig, ServerSim,
 };
 use fakeaudit_stats::rng::derive_seed;
 use fakeaudit_stats::sample_size::{required_sample_size, worst_case_margin};
 use fakeaudit_stats::ConfidenceLevel;
+use fakeaudit_store::queries::{self, QueryKind, QueryOptions};
+use fakeaudit_store::{compact, open_shared, Store};
 use fakeaudit_telemetry::analyze::chrome_trace_json;
 use fakeaudit_telemetry::sink::parse_jsonl;
 use fakeaudit_telemetry::{
@@ -59,19 +61,22 @@ USAGE:
 
   fakeaudit serve-sim [--rate F] [--duration S] [--policy block|shed|degrade]
                       [--workers N] [--queue N] [--targets N] [--followers N]
-                      [--fc-sample N] [--burst] [--seed S] [--telemetry PATH]
-                      [--quiet]
+                      [--fc-sample N] [--burst] [--seed S] [--persist DIR]
+                      [--telemetry PATH] [--quiet]
       Run the four tools as a concurrent service on the simulated clock:
       open-loop Poisson arrivals (--burst adds a flash crowd) against a
       bounded admission queue, reporting throughput, latency percentiles
       and the shed/degrade behaviour of the chosen overload policy. With
       --telemetry the run is traced live: every request becomes a causal
       span tree (queue wait, service, cache/crawl) in the JSONL output.
+      With --persist every completed or degraded audit is appended to a
+      columnar history store in DIR (same seed, byte-identical segments)
+      for `fakeaudit query`.
 
   fakeaudit serve [--host H] [--port N] [--workers N] [--queue-depth N]
                   [--policy block|shed|degrade] [--accept-threads N]
                   [--targets N] [--seed S] [--duration SECS] [--full]
-                  [--telemetry PATH] [--quiet]
+                  [--persist DIR] [--telemetry PATH] [--quiet]
       Serve audits over real HTTP on the wall clock: the same prewarmed
       world, admission queues, overload policies and circuit breakers as
       serve-sim, behind POST /audit/:target, GET /audit/:target/stream,
@@ -81,15 +86,38 @@ USAGE:
       free port; the bound address is printed on stdout at startup.
       Each accept thread owns one connection at a time, so
       --accept-threads (default: core count) bounds concurrent
-      keep-alive connections — raise it for many slow clients.
+      keep-alive connections — raise it for many slow clients. With
+      --persist every answered audit lands in the history store in DIR
+      and GET /query/:kind serves the analytics below over HTTP.
 
-  fakeaudit chaos [--seed S] [--full]
+  fakeaudit query <timeseries|drift|retention|topk>
+                  [--dir DIR] [--format table|json] [--since S] [--until S]
+                  [--bucket S] [--k N] [--by ratio|cost]
+      Run one analytics query over a persisted audit history (written by
+      serve-sim/serve --persist, default --dir history). timeseries:
+      mean fake-ratio per target per time bucket; drift: per-tool
+      disagreement with the per-target majority verdict; retention:
+      cohorts of flagged targets still flagged N buckets later; topk:
+      targets ranked by mean fake ratio (--by ratio) or total crawl cost
+      (--by cost), capped at --k. --since/--until bound the scan to an
+      inclusive window of whole seconds and prune non-overlapping
+      segments via their zone maps. Exits nonzero for an unknown kind or
+      a missing store directory.
+
+  fakeaudit store <compact|stats> [--dir DIR]
+      Maintain a history store: stats prints per-segment row and byte
+      counts; compact merges every segment into one (deterministic
+      order), cutting per-segment overhead on long histories.
+
+  fakeaudit chaos [--seed S] [--full] [--persist DIR]
       Run the E10 chaos sweep: an injected per-call API fault rate
       (bursty 503/429/timeout/truncation) against three resilience arms
       — no retries, capped-backoff retries, retries behind a per-tool
       circuit breaker that degrades to stale — reporting goodput, tail
       latency, stale-served counts and circuit open time per cell. The
       sweep is seed-deterministic: same seed, byte-identical table.
+      --persist appends every answered audit to a history store at DIR
+      (cells run serially so the segment files are byte-deterministic).
 
   fakeaudit trace analyze --input PATH
       Read a JSONL trace and print per-tool latency attribution (queue /
@@ -159,6 +187,8 @@ fn main() {
     let result = match (parsed.command.as_deref(), parsed.action.as_deref()) {
         (Some("trace"), _) => cmd_trace(&parsed),
         (Some("bench"), _) => cmd_bench(&parsed),
+        (Some("query"), _) => cmd_query(&parsed),
+        (Some("store"), _) => cmd_store(&parsed),
         (Some(cmd), Some(action)) => Err(format!(
             "unexpected argument {action:?} after {cmd:?}\n\n{USAGE}"
         )),
@@ -288,9 +318,108 @@ fn cmd_chaos(args: &ParsedArgs) -> Result<(), String> {
     } else {
         fakeaudit_core::experiments::Scale::quick()
     };
-    let result = fakeaudit_core::experiments::chaos::run_chaos(scale, seed);
+    let persist_dir = args.raw("persist").map(str::to_string);
+    let writer = match &persist_dir {
+        Some(dir) => {
+            Some(open_shared(dir).map_err(|e| format!("cannot open history store {dir}: {e}"))?)
+        }
+        None => None,
+    };
+    let result =
+        fakeaudit_core::experiments::chaos::run_chaos_persisted(scale, seed, writer.clone());
     print!("{}", fakeaudit_core::experiments::chaos::render(&result));
+    if let (Some(writer), Some(dir)) = (&writer, &persist_dir) {
+        let health = flush_writer(writer, &Telemetry::disabled())
+            .map_err(|e| format!("history flush failed for {dir}: {e}"))?;
+        println!(
+            "  history: {} rows across {} segments in {dir} (try: fakeaudit query topk --dir {dir})",
+            health.flushed_rows, health.segments
+        );
+    }
     Ok(())
+}
+
+/// Builds [`QueryOptions`] from `--since/--until/--bucket/--k/--by`.
+fn query_options_from_args(args: &ParsedArgs) -> Result<QueryOptions, String> {
+    let mut opts = QueryOptions::default();
+    if args.raw("since").is_some() {
+        opts.since_secs = Some(args.get_or("since", 0i64).map_err(|e| e.to_string())?);
+    }
+    if args.raw("until").is_some() {
+        opts.until_secs = Some(args.get_or("until", 0i64).map_err(|e| e.to_string())?);
+    }
+    opts.bucket_secs = args
+        .get_or("bucket", opts.bucket_secs)
+        .map_err(|e| e.to_string())?;
+    if opts.bucket_secs <= 0 {
+        return Err("--bucket must be positive".into());
+    }
+    opts.k = args.get_or("k", opts.k).map_err(|e| e.to_string())?;
+    if opts.k == 0 {
+        return Err("--k must be positive".into());
+    }
+    if let Some(by) = args.raw("by") {
+        opts.by = by.parse()?;
+    }
+    Ok(opts)
+}
+
+fn cmd_query(args: &ParsedArgs) -> Result<(), String> {
+    let kind: QueryKind = args
+        .action
+        .as_deref()
+        .ok_or("query needs a kind: timeseries, drift, retention or topk")?
+        .parse()?;
+    let dir = args.raw("dir").unwrap_or("history");
+    let opts = query_options_from_args(args)?;
+    let format = args.raw("format").unwrap_or("table");
+    if format != "table" && format != "json" {
+        return Err(format!("--format must be table or json, got {format:?}"));
+    }
+    let store = Store::open(dir).map_err(|e| {
+        format!("cannot open store {dir:?}: {e} (write one with serve-sim/serve --persist {dir})")
+    })?;
+    let report = queries::run(&store, kind, &opts).map_err(|e| format!("query failed: {e}"))?;
+    if format == "json" {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_table());
+    }
+    Ok(())
+}
+
+fn cmd_store(args: &ParsedArgs) -> Result<(), String> {
+    let dir = args.raw("dir").unwrap_or("history");
+    match args.action.as_deref() {
+        Some("stats") => {
+            let store = Store::open(dir).map_err(|e| format!("cannot open store {dir:?}: {e}"))?;
+            let stats = store.stats();
+            println!(
+                "store {dir}: {} segments, {} rows, {} bytes",
+                stats.segments, stats.rows, stats.bytes
+            );
+            for &(seq, rows, bytes) in &stats.per_segment {
+                println!("  seg-{seq:08}.fas  {rows:>8} rows  {bytes:>10} bytes");
+            }
+            Ok(())
+        }
+        Some("compact") => {
+            let (before, rows) =
+                compact(dir).map_err(|e| format!("cannot compact store {dir:?}: {e}"))?;
+            if rows == 0 {
+                println!("store {dir} holds no rows — nothing to compact");
+            } else {
+                println!("compacted {before} segment(s) into 1 ({rows} rows) in {dir}");
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown store action {other:?} (try compact, stats)\n\n{USAGE}"
+        )),
+        None => Err(format!(
+            "store needs an action (compact or stats)\n\n{USAGE}"
+        )),
+    }
 }
 
 fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
@@ -363,6 +492,15 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
         },
         telemetry.clone(),
     );
+    let persist_dir = args.raw("persist").map(str::to_string);
+    let writer = match &persist_dir {
+        Some(dir) => {
+            let writer = open_shared(dir).map_err(|e| format!("cannot open store {dir:?}: {e}"))?;
+            sim.persist_into(writer.clone());
+            Some(writer)
+        }
+        None => None,
+    };
     let mut fc = OnlineService::new(
         FakeProjectEngine::with_default_model(derive_seed(seed, "serve-fc-model"))
             .with_sample_size(fc_sample),
@@ -457,6 +595,15 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
         println!(
             "  {:<6}{:>8} {:>8} {:>9} {:>6} {:>10} {:>10.0}",
             name, t.offered, t.completed, t.degraded, t.shed, t.max_queue_depth, t.busy_secs
+        );
+    }
+
+    if let (Some(writer), Some(dir)) = (&writer, &persist_dir) {
+        let health = flush_writer(writer, &telemetry)
+            .map_err(|e| format!("cannot flush store {dir:?}: {e}"))?;
+        println!(
+            "  history: {} rows across {} segments in {dir} (try: fakeaudit query topk --dir {dir})",
+            health.flushed_rows, health.segments
         );
     }
 
@@ -573,6 +720,7 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), String> {
     if accept_threads == 0 {
         return Err("--accept-threads must be positive".into());
     }
+    let persist_dir = args.raw("persist").map(str::to_string);
     let config = GatewayConfig {
         addr: format!("{host}:{port}"),
         accept_threads,
@@ -583,6 +731,7 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), String> {
             degraded_secs: 0.5,
             deadline_secs: None,
         },
+        persist: persist_dir.as_deref().map(Into::into),
         ..defaults
     };
     let platform = std::sync::Arc::new(world.platform.clone());
@@ -616,6 +765,12 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), String> {
         gateway.local_addr(),
         world.targets[0].as_u64()
     );
+    if let Some(dir) = &persist_dir {
+        println!(
+            "persisting audit history to {dir}; try: curl http://{}/query/topk",
+            gateway.local_addr()
+        );
+    }
     // CI and scripts probe for the "listening" line through a pipe, so
     // push it past stdout's block buffering now.
     {

@@ -31,6 +31,7 @@ use fakeaudit_detectors::engine::FollowerAuditor;
 use fakeaudit_detectors::{StatusPeople, ToolId, Twitteraudit};
 use fakeaudit_server::{OverloadPolicy, Request, ServerConfig, ServerSim};
 use fakeaudit_stats::rng::derive_seed;
+use fakeaudit_store::SharedWriter;
 use fakeaudit_telemetry::Telemetry;
 use fakeaudit_twitter_api::fault::{FaultPlan, RetryPolicy};
 use fakeaudit_twittersim::AccountId;
@@ -206,26 +207,32 @@ fn armed<A: FollowerAuditor + Clone>(
     s
 }
 
-/// Runs one sweep cell: fresh clones, one deterministic event loop, one
-/// bounded telemetry buffer harvested into the row.
-fn run_cell(
-    platform: &fakeaudit_twittersim::Platform,
-    base: &(OnlineService<StatusPeople>, OnlineService<Twitteraudit>),
-    trace: &[Request],
-    arm: Arm,
-    rate: f64,
+/// The inputs every sweep cell shares: the prewarmed world, the trace,
+/// the seed/config, and the history writer when the sweep persists.
+struct CellContext<'a> {
+    platform: &'a fakeaudit_twittersim::Platform,
+    base: &'a (OnlineService<StatusPeople>, OnlineService<Twitteraudit>),
+    trace: &'a [Request],
     seed: u64,
     config: ServerConfig,
-) -> ChaosRow {
+    persist: Option<SharedWriter>,
+}
+
+/// Runs one sweep cell: fresh clones, one deterministic event loop, one
+/// bounded telemetry buffer harvested into the row.
+fn run_cell(ctx: &CellContext<'_>, arm: Arm, rate: f64) -> ChaosRow {
     // Bounded event buffer: a chaos cell emits an unbounded stream of
     // fault/retry spans under high rates; the metrics the row needs
     // survive dropping old trace events.
     let telemetry = Telemetry::with_event_capacity(4_096);
-    let plan = FaultPlan::bursty(derive_seed(seed, "e10-plan"), rate, 6.0);
-    let mut sim = ServerSim::with_telemetry(platform, config, telemetry.clone());
-    sim.register(Box::new(armed(&base.0, plan, arm, &telemetry)));
-    sim.register(Box::new(armed(&base.1, plan, arm, &telemetry)));
-    let report = sim.run(trace);
+    let plan = FaultPlan::bursty(derive_seed(ctx.seed, "e10-plan"), rate, 6.0);
+    let mut sim = ServerSim::with_telemetry(ctx.platform, ctx.config, telemetry.clone());
+    if let Some(writer) = &ctx.persist {
+        sim.persist_into(writer.clone());
+    }
+    sim.register(Box::new(armed(&ctx.base.0, plan, arm, &telemetry)));
+    sim.register(Box::new(armed(&ctx.base.1, plan, arm, &telemetry)));
+    let report = sim.run(ctx.trace);
     let snap = telemetry.snapshot();
     let calls = snap.counter_total("api.calls");
     let faults = snap.counter_total("api.faults");
@@ -275,6 +282,20 @@ fn run_cell(
 ///
 /// Panics on internal inconsistencies only (scenario build, prewarm).
 pub fn run_chaos(scale: Scale, seed: u64) -> ChaosResult {
+    run_chaos_persisted(scale, seed, None)
+}
+
+/// Runs the E10 chaos sweep, optionally appending every answered audit
+/// to a shared history-store writer.
+///
+/// With a writer the cells run serially in grid order so the persisted
+/// segment stream is byte-deterministic; without one the sweep keeps the
+/// `crossbeam` fan-out.
+///
+/// # Panics
+///
+/// Panics on internal inconsistencies only (scenario build, prewarm).
+pub fn run_chaos_persisted(scale: Scale, seed: u64, persist: Option<SharedWriter>) -> ChaosResult {
     const TARGETS: usize = 4;
     let quick = scale.materialize_cap < 10_000;
     let rates: Vec<f64> = if quick {
@@ -301,21 +322,36 @@ pub fn run_chaos(scale: Scale, seed: u64) -> ChaosResult {
     let cells: Vec<(usize, usize)> = (0..arm_list.len())
         .flat_map(|a| (0..rates.len()).map(move |r| (a, r)))
         .collect();
-    let rows: Vec<ChaosRow> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = cells
+    let ctx = CellContext {
+        platform: &platform,
+        base: &base,
+        trace: &trace,
+        seed,
+        config,
+        persist,
+    };
+    let rows: Vec<ChaosRow> = if ctx.persist.is_some() {
+        cells
             .iter()
-            .map(|&(a, r)| {
-                let (platform, base, trace) = (&platform, &base, &trace);
-                let (arm, rate) = (arm_list[a], rates[r]);
-                s.spawn(move |_| run_cell(platform, base, trace, arm, rate, seed, config))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep cell panicked"))
+            .map(|&(a, r)| run_cell(&ctx, arm_list[a], rates[r]))
             .collect()
-    })
-    .expect("crossbeam scope");
+    } else {
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = cells
+                .iter()
+                .map(|&(a, r)| {
+                    let ctx = &ctx;
+                    let (arm, rate) = (arm_list[a], rates[r]);
+                    s.spawn(move |_| run_cell(ctx, arm, rate))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep cell panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope")
+    };
 
     ChaosResult {
         rows,

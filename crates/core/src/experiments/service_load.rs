@@ -27,6 +27,7 @@ use fakeaudit_detectors::{FakeProjectEngine, Socialbakers, StatusPeople, Twitter
 use fakeaudit_population::{BuiltTarget, ClassMix, TargetScenario};
 use fakeaudit_server::{generate, LoadSpec, OverloadPolicy, ServerConfig, ServerSim};
 use fakeaudit_stats::rng::derive_seed;
+use fakeaudit_store::SharedWriter;
 use fakeaudit_twittersim::{AccountId, Platform};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -252,9 +253,13 @@ fn run_cell(
     policy: OverloadPolicy,
     rate: f64,
     config: ServerConfig,
+    persist: Option<SharedWriter>,
 ) -> ServiceLoadRow {
     let clones = base.clone();
     let mut sim = ServerSim::new(platform, ServerConfig { policy, ..config });
+    if let Some(writer) = persist {
+        sim.persist_into(writer);
+    }
     sim.register(Box::new(clones.fc));
     sim.register(Box::new(clones.ta));
     sim.register(Box::new(clones.sp));
@@ -288,6 +293,23 @@ fn run_cell(
 ///
 /// Panics on internal inconsistencies only (scenario build, prewarm).
 pub fn run_service_load(scale: Scale, seed: u64) -> ServiceLoadResult {
+    run_service_load_persisted(scale, seed, None)
+}
+
+/// [`run_service_load`] with an optional audit-history writer. With a
+/// writer the cells run *serially* in grid order — every completed audit
+/// appends through the one shared writer, and serial order is what makes
+/// the resulting segment bytes a pure function of the seed. Without one
+/// the independent cells fan out across OS threads as before.
+///
+/// # Panics
+///
+/// Panics on internal inconsistencies only (scenario build, prewarm).
+pub fn run_service_load_persisted(
+    scale: Scale,
+    seed: u64,
+    persist: Option<SharedWriter>,
+) -> ServiceLoadResult {
     const TARGETS: usize = 4;
     let quick = scale.materialize_cap < 10_000;
     let rates: Vec<f64> = if quick {
@@ -320,26 +342,44 @@ pub fn run_service_load(scale: Scale, seed: u64) -> ServiceLoadResult {
         .collect();
 
     // Fan the independent cells across OS threads; collect in grid order
-    // so thread scheduling never reorders the table.
+    // so thread scheduling never reorders the table. A history writer
+    // forces the serial path: interleaved appends from concurrent cells
+    // would make the segment bytes depend on thread scheduling.
     let cells: Vec<(OverloadPolicy, usize)> = OverloadPolicy::ALL
         .iter()
         .flat_map(|&p| (0..rates.len()).map(move |i| (p, i)))
         .collect();
-    let rows: Vec<ServiceLoadRow> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = cells
+    let rows: Vec<ServiceLoadRow> = match persist {
+        Some(writer) => cells
             .iter()
             .map(|&(policy, i)| {
-                let (platform, base, trace) = (&platform, &base, &traces[i]);
-                let rate = rates[i];
-                s.spawn(move |_| run_cell(platform, base, trace, policy, rate, config))
+                run_cell(
+                    &platform,
+                    &base,
+                    &traces[i],
+                    policy,
+                    rates[i],
+                    config,
+                    Some(writer.clone()),
+                )
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep cell panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
+            .collect(),
+        None => crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = cells
+                .iter()
+                .map(|&(policy, i)| {
+                    let (platform, base, trace) = (&platform, &base, &traces[i]);
+                    let rate = rates[i];
+                    s.spawn(move |_| run_cell(platform, base, trace, policy, rate, config, None))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep cell panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope"),
+    };
 
     ServiceLoadResult {
         rows,
@@ -522,5 +562,43 @@ mod tests {
         }
         assert!(text.contains("thru (r/s)"));
         assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn persisted_sweep_matches_parallel_and_is_byte_deterministic() {
+        use fakeaudit_store::{open_shared, Store};
+        let base =
+            std::env::temp_dir().join(format!("fakeaudit-e8-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let dirs = [base.join("a"), base.join("b")];
+        for dir in &dirs {
+            let writer = open_shared(dir).expect("open store");
+            let table = run_service_load_persisted(Scale::quick(), 7, Some(writer.clone()));
+            // Serial persisted cells must reproduce the crossbeam table.
+            assert_eq!(&table, result());
+            let telemetry = fakeaudit_telemetry::Telemetry::disabled();
+            let health = fakeaudit_server::flush_writer(&writer, &telemetry).expect("flush");
+            assert!(health.flushed_rows > 0, "sweep persisted no audits");
+        }
+        let list = |dir: &std::path::Path| {
+            let mut names: Vec<String> = std::fs::read_dir(dir)
+                .expect("read store dir")
+                .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+                .collect();
+            names.sort();
+            names
+        };
+        let (a, b) = (list(&dirs[0]), list(&dirs[1]));
+        assert_eq!(a, b, "same seed must write the same segment files");
+        assert!(!a.is_empty());
+        for name in &a {
+            let left = std::fs::read(dirs[0].join(name)).expect("read a");
+            let right = std::fs::read(dirs[1].join(name)).expect("read b");
+            assert_eq!(left, right, "{name} differs between identical runs");
+        }
+        let store = Store::open(&dirs[0]).expect("open for read");
+        let answered: u64 = result().rows.iter().map(|r| r.completed + r.degraded).sum();
+        assert_eq!(store.total_rows(), answered, "one row per answered audit");
+        let _ = std::fs::remove_dir_all(&base);
     }
 }

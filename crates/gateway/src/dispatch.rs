@@ -27,9 +27,11 @@
 use fakeaudit_analytics::{BreakerState, ServiceError, ServiceResponse};
 use fakeaudit_detectors::ToolId;
 use fakeaudit_server::{
-    observe_request, Admission, AdmissionQueue, AuditBackend, OverloadPolicy, RequestOutcome,
-    RequestRecord, ServerConfig, ServerReport,
+    audit_record, flush_writer, observe_request, persist_record, writer_health, Admission,
+    AdmissionQueue, AuditBackend, OverloadPolicy, RequestOutcome, RequestRecord, ServerConfig,
+    ServerReport,
 };
+use fakeaudit_store::{SharedWriter, StoreHealth};
 use fakeaudit_telemetry::analyze::names;
 use fakeaudit_telemetry::{Clock, Telemetry, TraceContext};
 use fakeaudit_twittersim::{AccountId, Platform};
@@ -184,6 +186,33 @@ struct Shared {
     epoch_secs: f64,
     next_id: AtomicU64,
     records: Mutex<Vec<RequestRecord>>,
+    /// Columnar history writer; every answered request appends one row.
+    persist: Option<SharedWriter>,
+}
+
+impl Shared {
+    /// Appends one answered request to the history store, if persisting.
+    /// Timestamps land on the epoch clock (platform epoch + wall seconds
+    /// since gateway boot), mirroring the simulator's convention.
+    fn persist_completion(
+        &self,
+        id: u64,
+        target: AccountId,
+        finished: f64,
+        outcome_label: &str,
+        response: &ServiceResponse,
+    ) {
+        if let Some(writer) = &self.persist {
+            let record = audit_record(
+                target,
+                self.epoch_secs + finished,
+                outcome_label,
+                id,
+                response,
+            );
+            persist_record(writer, &self.telemetry, record);
+        }
+    }
 }
 
 /// Admission control + per-tool worker pools over real threads.
@@ -212,9 +241,25 @@ impl Dispatcher {
     pub fn start(
         platform: Arc<Platform>,
         pools: Vec<ToolPool>,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+        telemetry: Telemetry,
+    ) -> Self {
+        Self::start_with_persist(platform, pools, config, clock, telemetry, None)
+    }
+
+    /// [`Dispatcher::start`] plus an optional columnar-history writer:
+    /// every answered request (completed or degraded) appends one
+    /// [`fakeaudit_store::AuditRecord`]; [`Dispatcher::shutdown`] flushes
+    /// the writer's tail buffer after the drain, so no completed audit is
+    /// lost on Ctrl-C.
+    pub fn start_with_persist(
+        platform: Arc<Platform>,
+        pools: Vec<ToolPool>,
         mut config: ServerConfig,
         clock: Arc<dyn Clock>,
         telemetry: Telemetry,
+        persist: Option<SharedWriter>,
     ) -> Self {
         if let Some(pool) = pools.first() {
             config.workers_per_tool = pool.workers.len().max(1);
@@ -247,6 +292,7 @@ impl Dispatcher {
             epoch_secs,
             next_id: AtomicU64::new(0),
             records: Mutex::new(Vec::new()),
+            persist,
         });
         let mut workers = Vec::new();
         for (lane, pool) in lanes.iter().zip(pools) {
@@ -368,7 +414,8 @@ impl Dispatcher {
     }
 
     /// Stops accepting work, drains every queued job through the worker
-    /// pools, and joins the worker threads. Idempotent.
+    /// pools, joins the worker threads, and flushes any buffered store
+    /// rows so the persisted history is complete. Idempotent.
     pub fn shutdown(&self) {
         for lane in &self.shared.lanes {
             lane.state.lock().shutting_down = true;
@@ -378,6 +425,17 @@ impl Dispatcher {
         for handle in handles {
             let _ = handle.join();
         }
+        // Workers are joined: nothing appends concurrently, so this
+        // flush captures every completed audit.
+        if let Some(writer) = &self.shared.persist {
+            let _ = flush_writer(writer, &self.shared.telemetry);
+        }
+    }
+
+    /// The history writer's health (segment count, buffered rows, last
+    /// flush), or `None` when the gateway runs without `--persist`.
+    pub fn store_health(&self) -> Option<StoreHealth> {
+        self.shared.persist.as_ref().map(writer_health)
     }
 
     /// A point-in-time report over every request seen so far, aggregated
@@ -458,7 +516,7 @@ impl Shared {
         target: AccountId,
         arrived: f64,
         finished: f64,
-        _response: &ServiceResponse,
+        response: &ServiceResponse,
     ) {
         if self.root.is_enabled() {
             let target_s = target.to_string();
@@ -489,6 +547,7 @@ impl Shared {
             finished: Some(finished),
             outcome: RequestOutcome::Degraded,
         });
+        self.persist_completion(id, target, finished, "degraded", response);
     }
 }
 
@@ -592,6 +651,7 @@ fn serve_one(shared: &Shared, lane: &Lane, backend: &mut BoxedBackend, job: Job)
                     cached: response.served_from_cache,
                 },
             });
+            shared.persist_completion(job.id, job.target, finished, "completed", &response);
             let _ = job.events.send(JobEvent::Done(Box::new(Answered {
                 response,
                 source,

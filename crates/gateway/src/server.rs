@@ -28,11 +28,14 @@ use crate::dispatch::{Dispatcher, JobEvent, ToolPool};
 use crate::http::{self, ChunkedBody, Limits, Parse};
 use crate::wire;
 use fakeaudit_detectors::ToolId;
-use fakeaudit_server::{ServerConfig, ServerReport};
+use fakeaudit_server::{flush_writer, writer_health, ServerConfig, ServerReport};
+use fakeaudit_store::queries::{self, QueryKind, QueryOptions};
+use fakeaudit_store::{open_shared, SharedWriter, Store, StoreHealth};
 use fakeaudit_telemetry::{Clock, SelfTimeProfile, Telemetry};
 use fakeaudit_twittersim::{AccountId, Platform};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -63,6 +66,9 @@ pub struct GatewayConfig {
     /// Per-read socket timeout; an idle keep-alive connection is closed
     /// after this.
     pub read_timeout: Duration,
+    /// Directory for the columnar audit-history store. `None` (the
+    /// default) disables persistence and the `/query/:kind` routes.
+    pub persist: Option<PathBuf>,
 }
 
 impl Default for GatewayConfig {
@@ -74,6 +80,7 @@ impl Default for GatewayConfig {
             limits: Limits::default(),
             default_tool: ToolId::Twitteraudit,
             read_timeout: Duration::from_secs(10),
+            persist: None,
         }
     }
 }
@@ -88,11 +95,18 @@ struct Shared {
     started_at: f64,
     shutdown: AtomicBool,
     active_connections: AtomicI64,
+    persist: Option<(SharedWriter, PathBuf)>,
 }
 
 impl Shared {
     fn is_draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn store_health(&self) -> Option<StoreHealth> {
+        self.persist
+            .as_ref()
+            .map(|(writer, _)| writer_health(writer))
     }
 
     fn count_request(&self, route: &'static str, status: u16) {
@@ -148,12 +162,17 @@ impl Gateway {
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let dispatcher = Arc::new(Dispatcher::start(
+        let persist = match &config.persist {
+            Some(dir) => Some((open_shared(dir)?, dir.clone())),
+            None => None,
+        };
+        let dispatcher = Arc::new(Dispatcher::start_with_persist(
             platform,
             pools,
             config.server,
             Arc::clone(&clock),
             telemetry.clone(),
+            persist.as_ref().map(|(writer, _)| Arc::clone(writer)),
         ));
         let shared = Arc::new(Shared {
             dispatcher: Arc::clone(&dispatcher),
@@ -165,6 +184,7 @@ impl Gateway {
             read_timeout: config.read_timeout,
             shutdown: AtomicBool::new(false),
             active_connections: AtomicI64::new(0),
+            persist,
         });
         let listener = Arc::new(listener);
         let acceptors = (0..config.accept_threads.max(1))
@@ -311,6 +331,7 @@ fn route_label(method: &str, segments: &[&str]) -> &'static str {
         ("GET", ["debug", "vars"]) => "debug_vars",
         ("POST", ["audit", _]) => "audit",
         ("GET", ["audit", _, "stream"]) => "audit_stream",
+        ("GET", ["query", _]) => "query",
         _ => "other",
     }
 }
@@ -358,6 +379,7 @@ fn dispatch_route(
                 &shared.dispatcher.lane_status(),
                 shared.clock.now_secs() - shared.started_at,
                 shared.is_draining(),
+                shared.store_health().as_ref(),
             );
             shared.count_request("healthz", 200);
             http::write_response(stream, 200, "application/json", &[], body.as_bytes(), keep)?;
@@ -388,6 +410,7 @@ fn dispatch_route(
                 shared.active_connections.load(Ordering::Relaxed),
                 shared.telemetry.dropped_events(),
                 &shared.dispatcher.lane_status(),
+                shared.store_health().as_ref(),
             );
             shared.count_request("debug_vars", 200);
             http::write_response(stream, 200, "application/json", &[], body.as_bytes(), keep)?;
@@ -408,7 +431,12 @@ fn dispatch_route(
         }
         ("POST", ["audit", id]) => handle_audit(shared, request, id, stream, keep),
         ("GET", ["audit", id, "stream"]) => handle_audit_stream(shared, request, id, stream),
-        (_, ["healthz"]) | (_, ["metrics"]) | (_, ["debug", ..]) | (_, ["audit", ..]) => {
+        ("GET", ["query", kind]) => handle_query(shared, request, kind, stream, keep),
+        (_, ["healthz"])
+        | (_, ["metrics"])
+        | (_, ["debug", ..])
+        | (_, ["audit", ..])
+        | (_, ["query", ..]) => {
             shared.count_request("other", 405);
             let body = b"{\"error\":\"method not allowed\"}";
             http::write_response(stream, 405, "application/json", &[], body, keep)?;
@@ -560,4 +588,115 @@ fn handle_audit_stream(
     body.finish()?;
     shared.count_request("audit_stream", status);
     Ok(false)
+}
+
+/// Builds [`QueryOptions`] from the request's query string
+/// (`?since=&until=&bucket=&k=&by=`). Unset parameters keep defaults.
+fn query_options(request: &http::Request) -> Result<QueryOptions, String> {
+    let mut opts = QueryOptions::default();
+    if let Some(raw) = request.query_param("since") {
+        opts.since_secs = Some(
+            raw.parse::<i64>()
+                .map_err(|_| format!("bad since {raw:?} (want integer seconds)"))?,
+        );
+    }
+    if let Some(raw) = request.query_param("until") {
+        opts.until_secs = Some(
+            raw.parse::<i64>()
+                .map_err(|_| format!("bad until {raw:?} (want integer seconds)"))?,
+        );
+    }
+    if let Some(raw) = request.query_param("bucket") {
+        let bucket = raw
+            .parse::<i64>()
+            .map_err(|_| format!("bad bucket {raw:?} (want positive integer seconds)"))?;
+        if bucket <= 0 {
+            return Err(format!(
+                "bad bucket {raw:?} (want positive integer seconds)"
+            ));
+        }
+        opts.bucket_secs = bucket;
+    }
+    if let Some(raw) = request.query_param("k") {
+        let k = raw
+            .parse::<usize>()
+            .map_err(|_| format!("bad k {raw:?} (want positive integer)"))?;
+        if k == 0 {
+            return Err(format!("bad k {raw:?} (want positive integer)"));
+        }
+        opts.k = k;
+    }
+    if let Some(raw) = request.query_param("by") {
+        opts.by = raw.parse().map_err(|e: String| e)?;
+    }
+    Ok(opts)
+}
+
+/// `GET /query/:kind` — the analytics surface over the history store.
+/// Flushes the writer first so every persisted audit (including rows
+/// still in the buffer) is visible to the scan, then runs the query and
+/// returns its JSON report.
+fn handle_query(
+    shared: &Shared,
+    request: &http::Request,
+    kind: &str,
+    stream: &mut TcpStream,
+    keep: bool,
+) -> io::Result<bool> {
+    let respond = |shared: &Shared, stream: &mut TcpStream, status: u16, body: &str| {
+        shared.count_request("query", status);
+        http::write_response(
+            stream,
+            status,
+            "application/json",
+            &[],
+            body.as_bytes(),
+            keep,
+        )
+        .map(|()| keep)
+    };
+    let Some((writer, dir)) = shared.persist.as_ref() else {
+        let body = "{\"error\":\"no history store (start the gateway with --persist DIR)\"}";
+        return respond(shared, stream, 404, body);
+    };
+    let kind: QueryKind = match kind.parse() {
+        Ok(kind) => kind,
+        Err(msg) => {
+            return respond(shared, stream, 404, &format!("{{\"error\":{:?}}}", msg));
+        }
+    };
+    let opts = match query_options(request) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            return respond(shared, stream, 400, &format!("{{\"error\":{:?}}}", msg));
+        }
+    };
+    if flush_writer(writer, &shared.telemetry).is_err() {
+        return respond(shared, stream, 500, "{\"error\":\"store flush failed\"}");
+    }
+    let report = Store::open(dir).and_then(|store| queries::run(&store, kind, &opts));
+    match report {
+        Ok(report) => {
+            shared
+                .telemetry
+                .counter_add("store.queries", &[("kind", kind.as_str())], 1);
+            shared.telemetry.counter_add(
+                "store.query_rows_scanned",
+                &[("kind", kind.as_str())],
+                report.stats.rows_scanned,
+            );
+            shared.telemetry.counter_add(
+                "store.query_rows_pruned",
+                &[("kind", kind.as_str())],
+                report.stats.rows_pruned,
+            );
+            respond(shared, stream, 200, &report.to_json())
+        }
+        Err(err) => respond(
+            shared,
+            stream,
+            500,
+            &format!("{{\"error\":\"query failed: {err}\"}}"),
+        ),
+    }
 }

@@ -7,6 +7,7 @@
 
 use crate::dispatch::{Answered, LaneStatus, Rejection};
 use fakeaudit_detectors::ToolId;
+use fakeaudit_store::StoreHealth;
 use fakeaudit_telemetry::MetricsSnapshot;
 use fakeaudit_twittersim::AccountId;
 use std::fmt::Write as _;
@@ -107,9 +108,26 @@ fn lane_json(lane: &LaneStatus) -> String {
     )
 }
 
+/// The audit-history store state as a JSON value: an object when the
+/// gateway runs with `--persist`, `null` otherwise.
+fn store_json(store: Option<&StoreHealth>) -> String {
+    match store {
+        Some(health) => format!(
+            "{{\"segments\":{},\"buffered_rows\":{},\"flushed_rows\":{},\"last_flush_seq\":{}}}",
+            health.segments, health.buffered_rows, health.flushed_rows, health.last_flush_seq
+        ),
+        None => "null".to_owned(),
+    }
+}
+
 /// The `/healthz` body: overall status plus per-tool breaker state and
-/// queue depth.
-pub fn health_json(lanes: &[LaneStatus], uptime_secs: f64, draining: bool) -> String {
+/// queue depth, and — when persisting — the history store's state.
+pub fn health_json(
+    lanes: &[LaneStatus],
+    uptime_secs: f64,
+    draining: bool,
+    store: Option<&StoreHealth>,
+) -> String {
     let mut out = String::with_capacity(256);
     out.push_str("{\"status\":");
     out.push_str(if draining { "\"draining\"" } else { "\"ok\"" });
@@ -120,7 +138,7 @@ pub fn health_json(lanes: &[LaneStatus], uptime_secs: f64, draining: bool) -> St
         }
         out.push_str(&lane_json(lane));
     }
-    out.push_str("]}");
+    let _ = write!(out, "],\"store\":{}}}", store_json(store));
     out
 }
 
@@ -133,6 +151,7 @@ pub fn debug_vars_json(
     active_connections: i64,
     dropped_trace_events: u64,
     lanes: &[LaneStatus],
+    store: Option<&StoreHealth>,
 ) -> String {
     let mut out = String::with_capacity(256);
     let _ = write!(
@@ -149,7 +168,7 @@ pub fn debug_vars_json(
         }
         out.push_str(&lane_json(lane));
     }
-    out.push_str("]}");
+    let _ = write!(out, "],\"store\":{}}}", store_json(store));
     out
 }
 
@@ -318,14 +337,25 @@ mod tests {
                 breaker: None,
             },
         ];
-        let body = health_json(&lanes, 1.5, false);
+        let body = health_json(&lanes, 1.5, false, None);
         assert_eq!(
             body,
             "{\"status\":\"ok\",\"uptime_secs\":1.5,\"tools\":[\
              {\"tool\":\"FC\",\"queue_depth\":2,\"breaker\":\"closed\"},\
-             {\"tool\":\"TA\",\"queue_depth\":0,\"breaker\":null}]}"
+             {\"tool\":\"TA\",\"queue_depth\":0,\"breaker\":null}],\"store\":null}"
         );
-        assert!(health_json(&[], 0.0, true).contains("\"draining\""));
+        assert!(health_json(&[], 0.0, true, None).contains("\"draining\""));
+        let store = StoreHealth {
+            segments: 3,
+            buffered_rows: 5,
+            flushed_rows: 12,
+            last_flush_seq: 3,
+        };
+        let body = health_json(&[], 0.0, false, Some(&store));
+        assert!(body.contains(
+            "\"store\":{\"segments\":3,\"buffered_rows\":5,\
+             \"flushed_rows\":12,\"last_flush_seq\":3}"
+        ));
     }
 
     #[test]
@@ -336,12 +366,12 @@ mod tests {
             queue_depth: 1,
             breaker: Some(BreakerState::HalfOpen),
         }];
-        let body = debug_vars_json("0.1.0", 2.0, false, 3, 17, &lanes);
+        let body = debug_vars_json("0.1.0", 2.0, false, 3, 17, &lanes, None);
         assert_eq!(
             body,
             "{\"version\":\"0.1.0\",\"uptime_secs\":2,\"draining\":false,\
              \"active_connections\":3,\"dropped_trace_events\":17,\"tools\":[\
-             {\"tool\":\"TA\",\"queue_depth\":1,\"breaker\":\"half_open\"}]}"
+             {\"tool\":\"TA\",\"queue_depth\":1,\"breaker\":\"half_open\"}],\"store\":null}"
         );
     }
 

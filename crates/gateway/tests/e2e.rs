@@ -495,6 +495,79 @@ fn bind_failure_is_a_clean_error() {
 }
 
 #[test]
+fn query_surface_over_persisted_audits() {
+    let dir = std::env::temp_dir().join(format!("fakeaudit-gw-query-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = GatewayConfig {
+        accept_threads: 2,
+        persist: Some(dir.clone()),
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::bind(
+        config,
+        Arc::new(Platform::new()),
+        vec![pool(ToolId::Twitteraudit, 2, Duration::ZERO, &[])],
+        Arc::new(WallClock::new()),
+        Telemetry::enabled(),
+    )
+    .expect("bind with persist dir");
+    let addr = gateway.local_addr();
+    for i in 0..5 {
+        assert_eq!(
+            status_of(&post_audit(addr, &format!("/audit/{}", 40 + i))),
+            200
+        );
+    }
+
+    // /healthz and /debug/vars report live store state.
+    let health = get(addr, "/healthz");
+    assert!(health.contains("\"store\":{\"segments\":"), "{health}");
+    assert!(health.contains("\"buffered_rows\":"), "{health}");
+    let vars = get(addr, "/debug/vars");
+    assert!(vars.contains("\"store\":{\"segments\":"), "{vars}");
+
+    // Queries flush the write buffer first, so every completed audit is
+    // visible — including rows below the flush threshold.
+    let ts = get(addr, "/query/timeseries");
+    assert_eq!(status_of(&ts), 200, "{ts}");
+    assert!(ts.contains("\"kind\":\"timeseries\""), "{ts}");
+    assert!(ts.contains("\"target\":40"), "{ts}");
+    let topk = get(addr, "/query/topk?k=3&by=cost");
+    assert_eq!(status_of(&topk), 200, "{topk}");
+    assert!(topk.contains("\"rank\":1"), "{topk}");
+
+    // Unknown kinds and malformed parameters fail loudly.
+    assert_eq!(status_of(&get(addr, "/query/nope")), 404);
+    assert_eq!(status_of(&get(addr, "/query/timeseries?bucket=0")), 400);
+    assert_eq!(status_of(&get(addr, "/query/timeseries?since=abc")), 400);
+    assert_eq!(status_of(&get(addr, "/query/topk?by=magic")), 400);
+    assert_eq!(status_of(&post_audit(addr, "/query/timeseries")), 405);
+
+    // One more audit sits in the buffer after the last query's flush;
+    // shutdown's drain must make it durable.
+    assert_eq!(status_of(&post_audit(addr, "/audit/99")), 200);
+    gateway.shutdown();
+    let store = fakeaudit_store::Store::open(&dir).expect("open persisted store");
+    assert_eq!(store.total_rows(), 6, "shutdown must flush the tail row");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn query_without_persist_is_404() {
+    let gateway = boot(
+        ServerConfig::default(),
+        vec![pool(ToolId::Twitteraudit, 1, Duration::ZERO, &[])],
+    );
+    let addr = gateway.local_addr();
+    let resp = get(addr, "/query/timeseries");
+    assert_eq!(status_of(&resp), 404);
+    assert!(resp.contains("no history store"), "{resp}");
+    let health = get(addr, "/healthz");
+    assert!(health.contains("\"store\":null"), "{health}");
+    gateway.shutdown();
+}
+
+#[test]
 fn breaker_telemetry_flows_through_shared_names() {
     // The gateway records through the same metric vocabulary as the
     // simulator; a served request must show up under server.* names.

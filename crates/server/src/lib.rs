@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod persist;
 pub mod queue;
 pub mod sim;
 pub mod workload;
 
 pub use event::EventHeap;
+pub use persist::{audit_record, flush_writer, persist_record, writer_health};
 pub use queue::{Admission, AdmissionQueue, OverloadPolicy};
 pub use sim::{
     observe_request, AuditBackend, RequestOutcome, RequestRecord, ServerConfig, ServerReport,

@@ -19,10 +19,12 @@
 //! own cloned backends.
 
 use crate::event::EventHeap;
+use crate::persist::{audit_record, persist_record};
 use crate::queue::{Admission, AdmissionQueue, OverloadPolicy};
 use crate::workload::Request;
 use fakeaudit_analytics::{OnlineService, ServiceError, ServiceResponse};
 use fakeaudit_detectors::{FollowerAuditor, ToolId};
+use fakeaudit_store::SharedWriter;
 use fakeaudit_telemetry::analyze::names;
 use fakeaudit_telemetry::{Telemetry, TraceContext};
 use fakeaudit_twittersim::{AccountId, Platform};
@@ -562,6 +564,7 @@ pub struct ServerSim<'p> {
     makespan: f64,
     telemetry: Telemetry,
     root: TraceContext,
+    persist: Option<SharedWriter>,
 }
 
 impl<'p> ServerSim<'p> {
@@ -592,6 +595,32 @@ impl<'p> ServerSim<'p> {
             makespan: 0.0,
             telemetry,
             root,
+            persist: None,
+        }
+    }
+
+    /// Persists every answered request (completed or degraded) into the
+    /// columnar history store behind `writer`, stamped on the epoch
+    /// clock (platform epoch + server time). The simulator appends only;
+    /// flushing the tail buffer is the caller's job — it owns the writer
+    /// lifecycle and may share it across several runs.
+    pub fn persist_into(&mut self, writer: SharedWriter) -> &mut Self {
+        self.persist = Some(writer);
+        self
+    }
+
+    /// Appends one answered request to the history store, if persisting.
+    fn persist_completion(
+        &self,
+        req: &Request,
+        finished: f64,
+        outcome_label: &str,
+        resp: &ServiceResponse,
+    ) {
+        if let Some(writer) = &self.persist {
+            let epoch = self.platform.now().as_secs() as f64;
+            let record = audit_record(req.target, epoch + finished, outcome_label, req.id, resp);
+            persist_record(writer, &self.telemetry, record);
         }
     }
 
@@ -702,7 +731,7 @@ impl<'p> ServerSim<'p> {
     fn overloaded(&mut self, now: f64, idx: usize, req: Request) {
         let server = &mut self.servers[idx];
         if server.queue.policy() == OverloadPolicy::DegradeStale {
-            if server.backend.serve_stale(req.target).is_some() {
+            if let Some(resp) = server.backend.serve_stale(req.target) {
                 let finished = now + self.config.degraded_secs;
                 self.makespan = self.makespan.max(finished);
                 server.summary.degraded += 1;
@@ -732,6 +761,7 @@ impl<'p> ServerSim<'p> {
                     finished: Some(finished),
                     outcome: RequestOutcome::Degraded,
                 });
+                self.persist_completion(&req, finished, "degraded", &resp);
                 return;
             }
         }
@@ -816,6 +846,7 @@ impl<'p> ServerSim<'p> {
                         cached: resp.served_from_cache,
                     },
                 });
+                self.persist_completion(&req, finished, "completed", &resp);
                 heap.push(finished, Event::WorkerDone { server: idx });
             }
             Err(_) => {
@@ -1430,6 +1461,74 @@ mod tests {
             .snapshot()
             .histogram("server.latency_secs", &labels)
             .is_none());
+    }
+
+    #[test]
+    fn persisted_run_is_byte_deterministic_and_scannable() {
+        use crate::persist::flush_writer;
+        use fakeaudit_store::{Projection, ScanOptions, Store, StoreWriter};
+        use std::sync::{Arc, Mutex};
+
+        let run_into = |tag: &str| -> std::path::PathBuf {
+            let dir = std::env::temp_dir().join(format!(
+                "fakeaudit-sim-persist-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let writer = Arc::new(Mutex::new(StoreWriter::open(&dir, 3).unwrap()));
+            let platform = Platform::new();
+            let config = ServerConfig {
+                workers_per_tool: 1,
+                queue_capacity: 8,
+                policy: OverloadPolicy::Block,
+                ..ServerConfig::default()
+            };
+            let mut s = ServerSim::new(&platform, config);
+            s.register(Box::new(FakeBackend::new(ToolId::FakeClassifier, 2.0)));
+            s.persist_into(writer.clone());
+            let trace: Vec<Request> = (0..7)
+                .map(|i| request(i, i as f64 * 0.5, ToolId::FakeClassifier))
+                .collect();
+            let report = s.run(&trace);
+            assert_eq!(report.completed(), 7);
+            flush_writer(&writer, &Telemetry::disabled()).unwrap();
+            dir
+        };
+
+        let a = run_into("a");
+        let b = run_into("b");
+        // Same trace, same config => byte-identical segment files.
+        let read_all = |dir: &std::path::Path| -> Vec<(String, Vec<u8>)> {
+            let mut files: Vec<_> = std::fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap())
+                .map(|e| {
+                    (
+                        e.file_name().to_string_lossy().into_owned(),
+                        std::fs::read(e.path()).unwrap(),
+                    )
+                })
+                .collect();
+            files.sort();
+            files
+        };
+        assert_eq!(read_all(&a), read_all(&b));
+
+        let store = Store::open(&a).unwrap();
+        assert_eq!(store.total_rows(), 7);
+        assert_eq!(store.segment_count(), 3); // 3 + 3 + tail of 1
+        let scan = store
+            .scan(&ScanOptions {
+                projection: Projection::all(),
+                ..Default::default()
+            })
+            .unwrap();
+        // Every persisted row carries the request's trace id and tool.
+        let ids: Vec<u64> = scan.rows.iter().map(|r| r.trace_id).collect();
+        assert_eq!(ids, (0..7).collect::<Vec<_>>());
+        assert!(scan.rows.iter().all(|r| r.tool == "FC"));
+        std::fs::remove_dir_all(&a).unwrap();
+        std::fs::remove_dir_all(&b).unwrap();
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Primitive byte-level codecs: LEB128 varints, zigzag for signed
+//! deltas, fixed-width little-endian floats, and the two dictionary
+//! shapes (u64 values, strings) the segment columns build on.
+//!
+//! Every encoder is a pure function of its input, appending to a caller
+//! buffer — identical input always produces identical bytes, which is
+//! what makes whole segments byte-deterministic.
+
+use std::fmt;
+
+/// A malformed byte stream: truncated input, an over-long varint, or an
+/// out-of-range dictionary index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What the decoder was reading when it failed.
+    pub context: &'static str,
+    /// Byte offset (within the block being decoded) of the failure.
+    pub offset: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed {} at byte {}", self.context, self.offset)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A cursor over an immutable byte slice with decode helpers.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// The current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn err(&self, context: &'static str) -> DecodeError {
+        DecodeError {
+            context,
+            offset: self.pos,
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] when fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.err(context))?;
+        if end > self.buf.len() {
+            return Err(self.err(context));
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation or a varint longer than 10 bytes.
+    pub fn varint(&mut self, context: &'static str) -> Result<u64, DecodeError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self.buf.get(self.pos).ok_or_else(|| self.err(context))?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(self.err(context));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zigzag-encoded signed varint.
+    ///
+    /// # Errors
+    ///
+    /// As [`Reader::varint`].
+    pub fn zigzag(&mut self, context: &'static str) -> Result<i64, DecodeError> {
+        let raw = self.varint(context)?;
+        Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+    }
+
+    /// Reads a little-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, DecodeError> {
+        let b = self.bytes(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, DecodeError> {
+        let b = self.bytes(8, context)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads a little-endian f64 (bit-exact round trip).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation.
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+}
+
+/// Appends one LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends one zigzag-encoded signed varint.
+pub fn put_zigzag(out: &mut Vec<u8>, value: i64) {
+    put_varint(out, ((value << 1) ^ (value >> 63)) as u64);
+}
+
+/// Appends a little-endian u32.
+pub fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a little-endian u64.
+pub fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a little-endian f64 by bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, value: f64) {
+    put_u64(out, value.to_bits());
+}
+
+/// Dictionary-encodes a u64 column: distinct values in first-seen order,
+/// then one index per row. First-seen order makes the dictionary (and so
+/// the bytes) a pure function of the row stream.
+pub fn put_u64_dict(out: &mut Vec<u8>, values: &[u64]) {
+    let mut dict: Vec<u64> = Vec::new();
+    let mut indices: Vec<u64> = Vec::with_capacity(values.len());
+    for &v in values {
+        let idx = match dict.iter().position(|&d| d == v) {
+            Some(i) => i,
+            None => {
+                dict.push(v);
+                dict.len() - 1
+            }
+        };
+        indices.push(idx as u64);
+    }
+    put_u32(out, dict.len() as u32);
+    for &v in &dict {
+        put_varint(out, v);
+    }
+    for &i in &indices {
+        put_varint(out, i);
+    }
+}
+
+/// Decodes a [`put_u64_dict`] block: the dictionary plus the per-row
+/// index stream (indices validated against the dictionary length).
+///
+/// # Errors
+///
+/// [`DecodeError`] on truncation or an index past the dictionary.
+pub fn read_u64_dict(
+    r: &mut Reader<'_>,
+    rows: usize,
+    context: &'static str,
+) -> Result<(Vec<u64>, Vec<u32>), DecodeError> {
+    let n = r.u32(context)? as usize;
+    let mut dict = Vec::with_capacity(n);
+    for _ in 0..n {
+        dict.push(r.varint(context)?);
+    }
+    let mut indices = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let idx = r.varint(context)?;
+        if idx as usize >= n {
+            return Err(DecodeError {
+                context,
+                offset: r.pos(),
+            });
+        }
+        indices.push(idx as u32);
+    }
+    Ok((dict, indices))
+}
+
+/// Dictionary-encodes a string column (first-seen order, like
+/// [`put_u64_dict`]).
+pub fn put_str_dict(out: &mut Vec<u8>, values: &[&str]) {
+    let mut dict: Vec<&str> = Vec::new();
+    let mut indices: Vec<u64> = Vec::with_capacity(values.len());
+    for &v in values {
+        let idx = match dict.iter().position(|&d| d == v) {
+            Some(i) => i,
+            None => {
+                dict.push(v);
+                dict.len() - 1
+            }
+        };
+        indices.push(idx as u64);
+    }
+    put_u32(out, dict.len() as u32);
+    for &v in &dict {
+        put_varint(out, v.len() as u64);
+        out.extend_from_slice(v.as_bytes());
+    }
+    for &i in &indices {
+        put_varint(out, i);
+    }
+}
+
+/// Decodes a [`put_str_dict`] block.
+///
+/// # Errors
+///
+/// [`DecodeError`] on truncation, invalid UTF-8, or an index past the
+/// dictionary.
+pub fn read_str_dict(
+    r: &mut Reader<'_>,
+    rows: usize,
+    context: &'static str,
+) -> Result<(Vec<String>, Vec<u32>), DecodeError> {
+    let n = r.u32(context)? as usize;
+    let mut dict = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.varint(context)? as usize;
+        let bytes = r.bytes(len, context)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| DecodeError {
+            context,
+            offset: r.pos(),
+        })?;
+        dict.push(s.to_owned());
+    }
+    let mut indices = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let idx = r.varint(context)?;
+        if idx as usize >= n {
+            return Err(DecodeError {
+                context,
+                offset: r.pos(),
+            });
+        }
+        indices.push(idx as u32);
+    }
+    Ok((dict, indices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint("t").unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_signed() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_zigzag(&mut buf, v);
+            assert_eq!(Reader::new(&buf).zigzag("t").unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let buf = [0x80u8, 0x80];
+        assert!(Reader::new(&buf).varint("t").is_err());
+    }
+
+    #[test]
+    fn overlong_varint_errors() {
+        let buf = [0xffu8; 11];
+        assert!(Reader::new(&buf).varint("t").is_err());
+    }
+
+    #[test]
+    fn f64_is_bit_exact() {
+        for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::MAX, f64::NAN] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            let back = Reader::new(&buf).f64("t").unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn u64_dict_round_trips_and_is_first_seen_ordered() {
+        let values = [7u64, 3, 7, 9, 3, 7];
+        let mut buf = Vec::new();
+        put_u64_dict(&mut buf, &values);
+        let mut r = Reader::new(&buf);
+        let (dict, idx) = read_u64_dict(&mut r, values.len(), "t").unwrap();
+        assert_eq!(dict, vec![7, 3, 9]);
+        let back: Vec<u64> = idx.iter().map(|&i| dict[i as usize]).collect();
+        assert_eq!(back, values);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn str_dict_round_trips() {
+        let values = ["TA", "FC", "TA", "SB"];
+        let mut buf = Vec::new();
+        put_str_dict(&mut buf, &values);
+        let mut r = Reader::new(&buf);
+        let (dict, idx) = read_str_dict(&mut r, values.len(), "t").unwrap();
+        let back: Vec<&str> = idx.iter().map(|&i| dict[i as usize].as_str()).collect();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn dict_index_out_of_range_errors() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1); // dict of one value
+        put_varint(&mut buf, 5);
+        put_varint(&mut buf, 3); // index 3 into a 1-entry dict
+        let mut r = Reader::new(&buf);
+        assert!(read_u64_dict(&mut r, 1, "t").is_err());
+    }
+}

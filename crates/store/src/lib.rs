@@ -1,0 +1,32 @@
+//! Embedded columnar audit-history store.
+//!
+//! The paper's verdict tables are one-shot snapshots; this crate keeps
+//! the longitudinal record — every completed audit appended as an
+//! [`AuditRecord`] through a WAL-less [`StoreWriter`] that flushes
+//! immutable columnar segments (dictionary-encoded labels and targets,
+//! delta-encoded timestamps, zone-map min/max footers), byte-
+//! deterministic for a fixed record stream. The read side ([`Store`])
+//! scans with zone-map segment pruning and late materialization, and
+//! [`queries`] layers the analytical kinds (`timeseries`, `drift`,
+//! `retention`, `topk`) on top.
+//!
+//! Dependency-free by design: no serde, no allocator tricks, std only —
+//! callers (server sim, gateway, CLI, bench) wire the returned
+//! [`FlushInfo`]/[`ScanStats`] into telemetry themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encode;
+pub mod queries;
+mod record;
+mod segment;
+mod store;
+
+pub use encode::DecodeError;
+pub use record::{dominant_verdict, AuditRecord};
+pub use segment::{encode_segment, Column, Segment, ZoneMap, COLUMN_COUNT, DATA_START, MAGIC};
+pub use store::{
+    bucket_of, compact, open_shared, FlushInfo, Projection, ScanOptions, ScanResult, ScanRow,
+    ScanStats, SharedWriter, Store, StoreHealth, StoreStats, StoreWriter,
+};

@@ -1,0 +1,124 @@
+//! `drift`: per-tool disagreement with the per-target majority verdict
+//! over time — which detector wanders as purchased followers churn.
+
+use std::collections::BTreeMap;
+use std::io;
+
+use super::{Cell, QueryKind, QueryOptions, QueryReport};
+use crate::store::{bucket_of, Projection, ScanOptions, Store};
+
+pub(super) fn run(store: &Store, opts: &QueryOptions) -> io::Result<QueryReport> {
+    let scan = store.scan(&ScanOptions {
+        since_micros: opts.since_micros(),
+        until_micros: opts.until_micros(),
+        target: None,
+        projection: Projection {
+            ts: true,
+            target: true,
+            tool: true,
+            verdict: true,
+            ..Projection::none()
+        },
+    })?;
+
+    // Pass 1: majority verdict per (bucket, target). Ties break to the
+    // lexicographically smallest verdict, which BTreeMap iteration
+    // yields first.
+    let mut votes: BTreeMap<(i64, u64), BTreeMap<&str, u64>> = BTreeMap::new();
+    for row in &scan.rows {
+        let bucket = bucket_of(row.ts_micros, opts.bucket_secs);
+        *votes
+            .entry((bucket, row.target))
+            .or_default()
+            .entry(row.verdict.as_str())
+            .or_insert(0) += 1;
+    }
+    let majority: BTreeMap<(i64, u64), &str> = votes
+        .iter()
+        .map(|(&key, counts)| {
+            let mut best = ("", 0u64);
+            for (&verdict, &count) in counts {
+                if count > best.1 {
+                    best = (verdict, count);
+                }
+            }
+            (key, best.0)
+        })
+        .collect();
+
+    // Pass 2: per (bucket, tool), fraction of audits whose verdict
+    // differs from the majority for their (bucket, target).
+    let mut per_tool: BTreeMap<(i64, String), (u64, u64)> = BTreeMap::new();
+    for row in &scan.rows {
+        let bucket = bucket_of(row.ts_micros, opts.bucket_secs);
+        let disagrees = majority[&(bucket, row.target)] != row.verdict;
+        let entry = per_tool.entry((bucket, row.tool.clone())).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += u64::from(disagrees);
+    }
+
+    let bucket_secs = opts.bucket_secs.max(1);
+    let rows = per_tool
+        .into_iter()
+        .map(|((bucket, tool), (audits, disagreements))| {
+            vec![
+                Cell::Int(bucket * bucket_secs),
+                Cell::Str(tool),
+                Cell::UInt(audits),
+                Cell::Float(disagreements as f64 / audits as f64),
+            ]
+        })
+        .collect();
+
+    Ok(QueryReport {
+        kind: QueryKind::Drift,
+        columns: vec!["bucket_start_secs", "tool", "audits", "disagree_ratio"],
+        rows,
+        stats: scan.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{mixed_records, store_with};
+    use super::*;
+
+    #[test]
+    fn disagreement_measured_against_per_target_majority() {
+        let (store, dir) = store_with(&mixed_records(), 4, "drift");
+        let report = run(&store, &QueryOptions::default()).unwrap();
+        // Bucket 0: target 1 majority "fake" (2 votes); target 2 splits
+        // 1–1 between "fake"/"genuine" => tie breaks to "fake"
+        // (lexicographically smallest). So FC's genuine verdict on
+        // target 2 disagrees: FC = 1/2, TA = 0/2.
+        assert_eq!(
+            report.rows[0],
+            vec![
+                Cell::Int(0),
+                Cell::Str("FC".into()),
+                Cell::UInt(2),
+                Cell::Float(0.5)
+            ]
+        );
+        assert_eq!(
+            report.rows[1],
+            vec![
+                Cell::Int(0),
+                Cell::Str("TA".into()),
+                Cell::UInt(2),
+                Cell::Float(0.0)
+            ]
+        );
+        // Bucket 2: a single audit always agrees with itself.
+        assert_eq!(
+            *report.rows.last().unwrap(),
+            vec![
+                Cell::Int(120),
+                Cell::Str("TA".into()),
+                Cell::UInt(1),
+                Cell::Float(0.0)
+            ]
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

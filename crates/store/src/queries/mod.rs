@@ -1,0 +1,434 @@
+//! Analytical queries over a [`Store`](crate::Store).
+//!
+//! Each kind lives in its own module and declares the minimal
+//! [`Projection`](crate::Projection) it needs, so scans only decode the
+//! columns a query actually consumes. Results are deterministic: group
+//! keys are BTreeMap-ordered and every tie-break is explicit, so a fixed
+//! store yields byte-identical JSON and table renderings.
+
+mod drift;
+mod retention;
+mod timeseries;
+mod topk;
+
+use std::fmt;
+use std::io;
+use std::str::FromStr;
+
+use crate::store::{ScanStats, Store};
+
+/// The available query kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Mean fake-ratio per target over time buckets.
+    Timeseries,
+    /// Per-tool disagreement with the per-target majority verdict.
+    Drift,
+    /// Cohorts of flagged targets still flagged N buckets later.
+    Retention,
+    /// Targets ranked by fake ratio or crawl cost.
+    Topk,
+}
+
+impl QueryKind {
+    /// Every kind, in CLI listing order.
+    pub const ALL: [QueryKind; 4] = [
+        QueryKind::Timeseries,
+        QueryKind::Drift,
+        QueryKind::Retention,
+        QueryKind::Topk,
+    ];
+
+    /// The CLI / URL name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryKind::Timeseries => "timeseries",
+            QueryKind::Drift => "drift",
+            QueryKind::Retention => "retention",
+            QueryKind::Topk => "topk",
+        }
+    }
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for QueryKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "timeseries" => Ok(QueryKind::Timeseries),
+            "drift" => Ok(QueryKind::Drift),
+            "retention" => Ok(QueryKind::Retention),
+            "topk" => Ok(QueryKind::Topk),
+            other => Err(format!(
+                "unknown query kind '{other}' (expected timeseries|drift|retention|topk)"
+            )),
+        }
+    }
+}
+
+/// Ranking key for [`QueryKind::Topk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopkBy {
+    /// Mean fake-follower ratio (default).
+    #[default]
+    Ratio,
+    /// Total crawl cost in API calls.
+    Cost,
+}
+
+impl FromStr for TopkBy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ratio" => Ok(TopkBy::Ratio),
+            "cost" => Ok(TopkBy::Cost),
+            other => Err(format!("unknown topk key '{other}' (expected ratio|cost)")),
+        }
+    }
+}
+
+/// Shared query parameters. Time bounds are inclusive whole seconds on
+/// the store clock.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    /// Keep rows at or after this second.
+    pub since_secs: Option<i64>,
+    /// Keep rows at or before this second.
+    pub until_secs: Option<i64>,
+    /// Time-bucket width in seconds for timeseries/drift/retention.
+    pub bucket_secs: i64,
+    /// Result cap for topk; maximum cohort steps for retention.
+    pub k: usize,
+    /// Ranking key for topk.
+    pub by: TopkBy,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            since_secs: None,
+            until_secs: None,
+            bucket_secs: 60,
+            k: 10,
+            by: TopkBy::Ratio,
+        }
+    }
+}
+
+impl QueryOptions {
+    pub(crate) fn since_micros(&self) -> Option<i64> {
+        self.since_secs.map(|s| s.saturating_mul(1_000_000))
+    }
+
+    pub(crate) fn until_micros(&self) -> Option<i64> {
+        // Inclusive second bound => include every micro inside it.
+        self.until_secs
+            .map(|s| s.saturating_mul(1_000_000).saturating_add(999_999))
+    }
+}
+
+/// One typed cell of a query result, with a deterministic rendering
+/// shared by the JSON and table outputs (floats fixed to 4 decimals).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A signed integer (bucket starts, cohort ids).
+    Int(i64),
+    /// An unsigned integer (targets, counts).
+    UInt(u64),
+    /// A ratio or mean, rendered `%.4f`.
+    Float(f64),
+    /// A label.
+    Str(String),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Int(v) => v.to_string(),
+            Cell::UInt(v) => v.to_string(),
+            Cell::Float(v) => format!("{v:.4}"),
+            Cell::Str(s) => s.clone(),
+        }
+    }
+
+    fn render_json(&self) -> String {
+        match self {
+            Cell::Int(v) => v.to_string(),
+            Cell::UInt(v) => v.to_string(),
+            Cell::Float(v) => {
+                if v.is_finite() {
+                    format!("{v:.4}")
+                } else {
+                    "null".to_string()
+                }
+            }
+            Cell::Str(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+                out
+            }
+        }
+    }
+}
+
+/// A finished query: column names, rows of cells, and the scan work it
+/// took to produce them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReport {
+    /// Which query ran.
+    pub kind: QueryKind,
+    /// Column names, in row-cell order.
+    pub columns: Vec<&'static str>,
+    /// Result rows.
+    pub rows: Vec<Vec<Cell>>,
+    /// Scan accounting (segments pruned, rows scanned, ...).
+    pub stats: ScanStats,
+}
+
+impl QueryReport {
+    /// Renders the report as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"rows\":[");
+        for (ri, row) in self.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (ci, cell) in row.iter().enumerate() {
+                if ci > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(self.columns[ci]);
+                out.push_str("\":");
+                out.push_str(&cell.render_json());
+            }
+            out.push('}');
+        }
+        out.push_str("],\"stats\":{");
+        out.push_str(&format!(
+            "\"segments_total\":{},\"segments_pruned\":{},\"rows_scanned\":{},\"rows_pruned\":{},\"rows_selected\":{}",
+            self.stats.segments_total,
+            self.stats.segments_pruned,
+            self.stats.rows_scanned,
+            self.stats.rows_pruned,
+            self.stats.rows_selected
+        ));
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the report as an aligned plain-text table followed by a
+    /// one-line scan summary.
+    pub fn to_table(&self) -> String {
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(Cell::render).collect())
+            .collect();
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, col) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{col:>width$}", width = widths[i]));
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "# {} rows · scanned {} rows in {}/{} segments ({} rows pruned)\n",
+            self.rows.len(),
+            self.stats.rows_scanned,
+            self.stats.segments_total - self.stats.segments_pruned,
+            self.stats.segments_total,
+            self.stats.rows_pruned
+        ));
+        out
+    }
+}
+
+/// Runs `kind` against `store` with `opts`.
+///
+/// # Errors
+///
+/// I/O or `InvalidData` errors from the underlying scan.
+pub fn run(store: &Store, kind: QueryKind, opts: &QueryOptions) -> io::Result<QueryReport> {
+    match kind {
+        QueryKind::Timeseries => timeseries::run(store, opts),
+        QueryKind::Drift => drift::run(store, opts),
+        QueryKind::Retention => retention::run(store, opts),
+        QueryKind::Topk => topk::run(store, opts),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::record::AuditRecord;
+    use crate::store::{Store, StoreWriter};
+    use std::path::PathBuf;
+
+    /// Writes `records` into a throwaway store dir with the given flush
+    /// threshold and opens it for reading. Caller removes the dir.
+    pub fn store_with(records: &[AuditRecord], threshold: usize, tag: &str) -> (Store, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("fakeaudit-query-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = StoreWriter::open(&dir, threshold).unwrap();
+        for r in records {
+            w.append(r.clone()).unwrap();
+        }
+        w.flush().unwrap();
+        (Store::open(&dir).unwrap(), dir)
+    }
+
+    /// A small mixed-history fixture: two targets, two tools, three time
+    /// buckets at 60 s width.
+    pub fn mixed_records() -> Vec<AuditRecord> {
+        let mut out = Vec::new();
+        // bucket 0 (0..60 s): both targets flagged.
+        for (target, tool, verdict, ratio, fakes) in [
+            (1u64, "FC", "fake", 80.0, 400u64),
+            (1, "TA", "fake", 70.0, 350),
+            (2, "FC", "genuine", 10.0, 50),
+            (2, "TA", "fake", 60.0, 300),
+        ] {
+            out.push(AuditRecord {
+                target,
+                ts_micros: (out.len() as i64) * 1_000_000,
+                tool: tool.into(),
+                verdict: verdict.into(),
+                outcome: "completed".into(),
+                fake_ratio: ratio,
+                fake_count: fakes,
+                sample_size: 500,
+                api_calls: 3,
+                trace_id: out.len() as u64,
+            });
+        }
+        // bucket 1 (60..120 s): target 1 still flagged, target 2 clean.
+        for (target, tool, verdict, ratio, fakes) in [
+            (1u64, "FC", "fake", 75.0, 375u64),
+            (2, "FC", "genuine", 5.0, 0),
+        ] {
+            out.push(AuditRecord {
+                target,
+                ts_micros: 60_000_000 + (out.len() as i64) * 1_000_000,
+                tool: tool.into(),
+                verdict: verdict.into(),
+                outcome: "completed".into(),
+                fake_ratio: ratio,
+                fake_count: fakes,
+                sample_size: 500,
+                api_calls: 2,
+                trace_id: out.len() as u64,
+            });
+        }
+        // bucket 2 (120..180 s): only target 1, ratio decayed.
+        out.push(AuditRecord {
+            target: 1,
+            ts_micros: 121_000_000,
+            tool: "TA".into(),
+            verdict: "inactive".into(),
+            outcome: "completed".into(),
+            fake_ratio: 40.0,
+            fake_count: 200,
+            sample_size: 500,
+            api_calls: 2,
+            trace_id: 99,
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parses_and_rejects() {
+        assert_eq!(
+            "timeseries".parse::<QueryKind>().unwrap(),
+            QueryKind::Timeseries
+        );
+        assert_eq!("topk".parse::<QueryKind>().unwrap(), QueryKind::Topk);
+        assert!("bogus".parse::<QueryKind>().is_err());
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let cell = Cell::Str("a\"b\\c\nd".into());
+        assert_eq!(cell.render_json(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_renders_json_and_table_deterministically() {
+        let report = QueryReport {
+            kind: QueryKind::Topk,
+            columns: vec!["rank", "target", "mean_fake_ratio"],
+            rows: vec![
+                vec![Cell::UInt(1), Cell::UInt(42), Cell::Float(87.5)],
+                vec![Cell::UInt(2), Cell::UInt(7), Cell::Float(12.25)],
+            ],
+            stats: ScanStats {
+                segments_total: 4,
+                segments_pruned: 1,
+                rows_scanned: 30,
+                rows_pruned: 10,
+                rows_selected: 25,
+            },
+        };
+        assert_eq!(
+            report.to_json(),
+            "{\"kind\":\"topk\",\"rows\":[{\"rank\":1,\"target\":42,\"mean_fake_ratio\":87.5000},{\"rank\":2,\"target\":7,\"mean_fake_ratio\":12.2500}],\"stats\":{\"segments_total\":4,\"segments_pruned\":1,\"rows_scanned\":30,\"rows_pruned\":10,\"rows_selected\":25}}"
+        );
+        let table = report.to_table();
+        assert!(table.contains("rank"));
+        assert!(table.ends_with("# 2 rows · scanned 30 rows in 3/4 segments (10 rows pruned)\n"));
+        assert_eq!(report.to_table(), table);
+    }
+
+    #[test]
+    fn until_bound_is_inclusive_to_the_second() {
+        let opts = QueryOptions {
+            until_secs: Some(10),
+            ..Default::default()
+        };
+        assert_eq!(opts.until_micros(), Some(10_999_999));
+    }
+}

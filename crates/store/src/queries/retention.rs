@@ -1,0 +1,141 @@
+//! `retention`: cohort view of flagged targets — of the targets first
+//! seen flagged in bucket B, how many still audit as flagged N buckets
+//! later. The "Followers or Phantoms?" dropoff curve, computed from
+//! audit history instead of follower crawls.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+
+use super::{Cell, QueryKind, QueryOptions, QueryReport};
+use crate::store::{bucket_of, Projection, ScanOptions, Store};
+
+pub(super) fn run(store: &Store, opts: &QueryOptions) -> io::Result<QueryReport> {
+    let scan = store.scan(&ScanOptions {
+        since_micros: opts.since_micros(),
+        until_micros: opts.until_micros(),
+        target: None,
+        projection: Projection {
+            ts: true,
+            target: true,
+            fake_count: true,
+            ..Projection::none()
+        },
+    })?;
+
+    // Buckets where each target audited flagged (fake_count > 0), and
+    // each target's first-seen bucket (flagged or not) as its cohort.
+    let mut flagged_in: BTreeMap<u64, BTreeSet<i64>> = BTreeMap::new();
+    let mut first_seen: BTreeMap<u64, i64> = BTreeMap::new();
+    let mut max_bucket = i64::MIN;
+    for row in &scan.rows {
+        let bucket = bucket_of(row.ts_micros, opts.bucket_secs);
+        max_bucket = max_bucket.max(bucket);
+        first_seen
+            .entry(row.target)
+            .and_modify(|b| *b = (*b).min(bucket))
+            .or_insert(bucket);
+        if row.fake_count > 0 {
+            flagged_in.entry(row.target).or_default().insert(bucket);
+        }
+    }
+
+    // Cohort B = targets first seen in B that were flagged in B.
+    let mut cohorts: BTreeMap<i64, Vec<u64>> = BTreeMap::new();
+    for (&target, &bucket) in &first_seen {
+        if flagged_in.get(&target).is_some_and(|b| b.contains(&bucket)) {
+            cohorts.entry(bucket).or_default().push(target);
+        }
+    }
+
+    let bucket_secs = opts.bucket_secs.max(1);
+    let max_steps = opts.k.max(1) as i64;
+    let mut rows = Vec::new();
+    for (cohort_bucket, members) in &cohorts {
+        let size = members.len() as u64;
+        let horizon = (max_bucket - cohort_bucket).min(max_steps);
+        for step in 0..=horizon {
+            let at = cohort_bucket + step;
+            let still = members
+                .iter()
+                .filter(|t| flagged_in.get(t).is_some_and(|b| b.contains(&at)))
+                .count() as u64;
+            rows.push(vec![
+                Cell::Int(cohort_bucket * bucket_secs),
+                Cell::UInt(size),
+                Cell::Int(step),
+                Cell::UInt(still),
+                Cell::Float(still as f64 / size as f64),
+            ]);
+        }
+    }
+
+    Ok(QueryReport {
+        kind: QueryKind::Retention,
+        columns: vec![
+            "cohort_start_secs",
+            "cohort_size",
+            "step",
+            "still_flagged",
+            "retained_ratio",
+        ],
+        rows,
+        stats: scan.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{mixed_records, store_with};
+    use super::*;
+
+    #[test]
+    fn cohort_retention_tracks_flag_dropoff() {
+        let (store, dir) = store_with(&mixed_records(), 4, "ret");
+        let report = run(&store, &QueryOptions::default()).unwrap();
+        // Both targets first appear flagged in bucket 0 => one cohort of
+        // size 2. Bucket 1: target 1 flagged, target 2 clean (fakes 0).
+        // Bucket 2: only target 1 audits, still flagged.
+        assert_eq!(
+            report.rows,
+            vec![
+                vec![
+                    Cell::Int(0),
+                    Cell::UInt(2),
+                    Cell::Int(0),
+                    Cell::UInt(2),
+                    Cell::Float(1.0)
+                ],
+                vec![
+                    Cell::Int(0),
+                    Cell::UInt(2),
+                    Cell::Int(1),
+                    Cell::UInt(1),
+                    Cell::Float(0.5)
+                ],
+                vec![
+                    Cell::Int(0),
+                    Cell::UInt(2),
+                    Cell::Int(2),
+                    Cell::UInt(1),
+                    Cell::Float(0.5)
+                ],
+            ]
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn k_caps_steps() {
+        let (store, dir) = store_with(&mixed_records(), 4, "retk");
+        let report = run(
+            &store,
+            &QueryOptions {
+                k: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.rows.len(), 2); // steps 0 and 1 only
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,110 @@
+//! `timeseries`: mean fake-ratio per target over fixed time buckets —
+//! the longitudinal view of follower churn the one-shot paper tables
+//! cannot show.
+
+use std::io;
+
+use super::{Cell, QueryKind, QueryOptions, QueryReport};
+use crate::store::{bucket_of, Grouped, Projection, ScanOptions, Store};
+
+pub(super) fn run(store: &Store, opts: &QueryOptions) -> io::Result<QueryReport> {
+    let scan = store.scan(&ScanOptions {
+        since_micros: opts.since_micros(),
+        until_micros: opts.until_micros(),
+        target: None,
+        projection: Projection {
+            ts: true,
+            target: true,
+            fake_ratio: true,
+            ..Projection::none()
+        },
+    })?;
+
+    // (bucket, target) -> (ratio sum, audit count); BTreeMap keeps
+    // output order deterministic.
+    let mut groups: Grouped<u64, (f64, u64)> = Grouped::new();
+    for row in &scan.rows {
+        let bucket = bucket_of(row.ts_micros, opts.bucket_secs);
+        let entry = groups.entry((bucket, row.target)).or_insert((0.0, 0));
+        entry.0 += row.fake_ratio;
+        entry.1 += 1;
+    }
+
+    let bucket_secs = opts.bucket_secs.max(1);
+    let rows = groups
+        .into_iter()
+        .map(|((bucket, target), (sum, count))| {
+            vec![
+                Cell::Int(bucket * bucket_secs),
+                Cell::UInt(target),
+                Cell::UInt(count),
+                Cell::Float(sum / count as f64),
+            ]
+        })
+        .collect();
+
+    Ok(QueryReport {
+        kind: QueryKind::Timeseries,
+        columns: vec!["bucket_start_secs", "target", "audits", "mean_fake_ratio"],
+        rows,
+        stats: scan.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{mixed_records, store_with};
+    use super::*;
+
+    #[test]
+    fn buckets_and_means_are_exact() {
+        let (store, dir) = store_with(&mixed_records(), 3, "ts");
+        let report = run(&store, &QueryOptions::default()).unwrap();
+        // bucket 0: target 1 mean (80+70)/2, target 2 mean (10+60)/2.
+        assert_eq!(
+            report.rows[0],
+            vec![
+                Cell::Int(0),
+                Cell::UInt(1),
+                Cell::UInt(2),
+                Cell::Float(75.0)
+            ]
+        );
+        assert_eq!(
+            report.rows[1],
+            vec![
+                Cell::Int(0),
+                Cell::UInt(2),
+                Cell::UInt(2),
+                Cell::Float(35.0)
+            ]
+        );
+        // bucket 2: the decayed solo audit of target 1.
+        assert_eq!(
+            *report.rows.last().unwrap(),
+            vec![
+                Cell::Int(120),
+                Cell::UInt(1),
+                Cell::UInt(1),
+                Cell::Float(40.0)
+            ]
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn window_restricts_buckets() {
+        let (store, dir) = store_with(&mixed_records(), 3, "tsw");
+        let report = run(
+            &store,
+            &QueryOptions {
+                since_secs: Some(60),
+                until_secs: Some(119),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.rows.iter().all(|r| r[0] == Cell::Int(60)));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

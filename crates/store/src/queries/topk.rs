@@ -1,0 +1,123 @@
+//! `topk`: targets ranked by mean fake-ratio or total crawl cost.
+
+use std::collections::BTreeMap;
+use std::io;
+
+use super::{Cell, QueryKind, QueryOptions, QueryReport, TopkBy};
+use crate::store::{Projection, ScanOptions, Store};
+
+pub(super) fn run(store: &Store, opts: &QueryOptions) -> io::Result<QueryReport> {
+    let scan = store.scan(&ScanOptions {
+        since_micros: opts.since_micros(),
+        until_micros: opts.until_micros(),
+        target: None,
+        projection: Projection {
+            ts: true,
+            target: true,
+            fake_ratio: true,
+            api_calls: true,
+            ..Projection::none()
+        },
+    })?;
+
+    // target -> (ratio sum, audits, total api calls)
+    let mut per_target: BTreeMap<u64, (f64, u64, u64)> = BTreeMap::new();
+    for row in &scan.rows {
+        let entry = per_target.entry(row.target).or_insert((0.0, 0, 0));
+        entry.0 += row.fake_ratio;
+        entry.1 += 1;
+        entry.2 += row.api_calls;
+    }
+
+    let mut ranked: Vec<(u64, f64, u64, u64)> = per_target
+        .into_iter()
+        .map(|(target, (sum, audits, cost))| (target, sum / audits as f64, audits, cost))
+        .collect();
+    // Sort by the chosen key descending; ties break by target id
+    // ascending so equal scores order deterministically.
+    ranked.sort_by(|a, b| {
+        let key = match opts.by {
+            TopkBy::Ratio => b.1.total_cmp(&a.1),
+            TopkBy::Cost => b.3.cmp(&a.3),
+        };
+        key.then(a.0.cmp(&b.0))
+    });
+    ranked.truncate(opts.k.max(1));
+
+    let rows = ranked
+        .into_iter()
+        .enumerate()
+        .map(|(i, (target, mean, audits, cost))| {
+            vec![
+                Cell::UInt(i as u64 + 1),
+                Cell::UInt(target),
+                Cell::UInt(audits),
+                Cell::Float(mean),
+                Cell::UInt(cost),
+            ]
+        })
+        .collect();
+
+    Ok(QueryReport {
+        kind: QueryKind::Topk,
+        columns: vec![
+            "rank",
+            "target",
+            "audits",
+            "mean_fake_ratio",
+            "total_api_calls",
+        ],
+        rows,
+        stats: scan.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{mixed_records, store_with};
+    use super::*;
+
+    #[test]
+    fn ranks_by_mean_ratio_descending() {
+        let (store, dir) = store_with(&mixed_records(), 3, "topk");
+        let report = run(&store, &QueryOptions::default()).unwrap();
+        // target 1: (80+70+75+40)/4 = 66.25; target 2: (10+60+5)/3 = 25.
+        assert_eq!(
+            report.rows,
+            vec![
+                vec![
+                    Cell::UInt(1),
+                    Cell::UInt(1),
+                    Cell::UInt(4),
+                    Cell::Float(66.25),
+                    Cell::UInt(10)
+                ],
+                vec![
+                    Cell::UInt(2),
+                    Cell::UInt(2),
+                    Cell::UInt(3),
+                    Cell::Float(25.0),
+                    Cell::UInt(8)
+                ],
+            ]
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn cost_key_and_k_cap() {
+        let (store, dir) = store_with(&mixed_records(), 3, "topkc");
+        let report = run(
+            &store,
+            &QueryOptions {
+                by: TopkBy::Cost,
+                k: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0][1], Cell::UInt(1)); // 10 calls > 8
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,107 @@
+//! The row shape persisted by the store: one completed audit of one
+//! target by one tool, stamped with the serving clock.
+
+/// One completed audit observation.
+///
+/// This is the write-side unit: every field is a plain scalar or short
+/// label so the columnar layout stays dense. Timestamps are microseconds
+/// so both the discrete-event sim clock (fractional seconds) and the
+/// wall clock round-trip without loss at the resolutions either produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRecord {
+    /// Audited account id.
+    pub target: u64,
+    /// Completion time in microseconds since the store epoch.
+    pub ts_micros: i64,
+    /// Short tool label (`FC`, `TA`, `SP`, `SB`).
+    pub tool: String,
+    /// Dominant verdict label for the audited sample
+    /// (`fake` / `inactive` / `genuine`).
+    pub verdict: String,
+    /// How the request finished (`completed`, `degraded_stale`, ...).
+    pub outcome: String,
+    /// Fake-follower share of the assessed sample, in percent (0–100).
+    pub fake_ratio: f64,
+    /// Followers judged fake in the assessed sample.
+    pub fake_count: u64,
+    /// Followers assessed.
+    pub sample_size: u64,
+    /// Crawl cost: Twitter API calls spent on this audit.
+    pub api_calls: u64,
+    /// Trace id of the serving request (0 when untraced).
+    pub trace_id: u64,
+}
+
+impl AuditRecord {
+    /// Converts fractional seconds on the serving clock into the store's
+    /// microsecond timestamps, saturating at the i64 range.
+    pub fn micros_from_secs(secs: f64) -> i64 {
+        let micros = secs * 1_000_000.0;
+        if micros >= i64::MAX as f64 {
+            i64::MAX
+        } else if micros <= i64::MIN as f64 {
+            i64::MIN
+        } else {
+            micros as i64
+        }
+    }
+
+    /// The timestamp in whole seconds (floor).
+    pub fn ts_secs(&self) -> i64 {
+        self.ts_micros.div_euclid(1_000_000)
+    }
+}
+
+/// Picks the dominant verdict label from per-class counts, breaking ties
+/// toward the more alarming class: `fake` > `inactive` > `genuine`.
+pub fn dominant_verdict(fake: u64, inactive: u64, genuine: u64) -> &'static str {
+    if fake >= inactive && fake >= genuine {
+        "fake"
+    } else if inactive >= genuine {
+        "inactive"
+    } else {
+        "genuine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_round_trip_at_sim_resolution() {
+        let ts = AuditRecord::micros_from_secs(12.345_678);
+        assert_eq!(ts, 12_345_678);
+    }
+
+    #[test]
+    fn micros_saturate() {
+        assert_eq!(AuditRecord::micros_from_secs(f64::MAX), i64::MAX);
+        assert_eq!(AuditRecord::micros_from_secs(f64::MIN), i64::MIN);
+    }
+
+    #[test]
+    fn ts_secs_floors_negatives() {
+        let rec = AuditRecord {
+            target: 1,
+            ts_micros: -1,
+            tool: "FC".into(),
+            verdict: "fake".into(),
+            outcome: "completed".into(),
+            fake_ratio: 0.0,
+            fake_count: 0,
+            sample_size: 0,
+            api_calls: 0,
+            trace_id: 0,
+        };
+        assert_eq!(rec.ts_secs(), -1);
+    }
+
+    #[test]
+    fn dominant_verdict_breaks_ties_toward_alarm() {
+        assert_eq!(dominant_verdict(5, 5, 5), "fake");
+        assert_eq!(dominant_verdict(0, 3, 3), "inactive");
+        assert_eq!(dominant_verdict(0, 0, 1), "genuine");
+        assert_eq!(dominant_verdict(2, 9, 1), "inactive");
+    }
+}

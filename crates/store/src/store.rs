@@ -1,0 +1,746 @@
+//! Directory-level store: the WAL-less segment writer and the scanning
+//! reader with zone-map pruning and late materialization.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::record::AuditRecord;
+use crate::segment::{encode_segment, Column, Segment};
+
+/// File name of segment `seq` (1-based).
+fn segment_name(seq: u64) -> String {
+    format!("seg-{seq:08}.fas")
+}
+
+/// Parses `seg-%08d.fas`; `None` for anything else in the directory.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".fas")?;
+    if digits.len() != 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Sorted `(seq, path)` list of segment files under `dir`.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_name) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_by_key(|&(seq, _)| seq);
+    Ok(out)
+}
+
+fn data_err(err: impl std::error::Error) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+}
+
+/// Summary of one buffer flush.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushInfo {
+    /// Path of the segment just written.
+    pub path: PathBuf,
+    /// Its 1-based sequence number.
+    pub seq: u64,
+    /// Rows it holds.
+    pub rows: usize,
+    /// Its encoded size in bytes.
+    pub bytes: usize,
+}
+
+/// Writer-side view of store state, for health endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreHealth {
+    /// Segments written by this writer plus any found at open.
+    pub segments: u64,
+    /// Rows sitting in the in-memory buffer, not yet durable.
+    pub buffered_rows: u64,
+    /// Rows flushed into segments over this writer's lifetime.
+    pub flushed_rows: u64,
+    /// Sequence number of the most recent flush (0 = none yet).
+    pub last_flush_seq: u64,
+}
+
+/// Appends audit records, buffering in memory and flushing immutable
+/// columnar segments once the buffer reaches the flush threshold.
+///
+/// WAL-less by design: rows in the buffer are lost on crash, which is
+/// acceptable for replayable audit history; callers flush explicitly at
+/// shutdown (the gateway does so during its two-phase drain).
+#[derive(Debug)]
+pub struct StoreWriter {
+    dir: PathBuf,
+    flush_threshold: usize,
+    buffer: Vec<AuditRecord>,
+    next_seq: u64,
+    segments: u64,
+    flushed_rows: u64,
+    last_flush_seq: u64,
+}
+
+impl StoreWriter {
+    /// Default rows-per-segment flush threshold.
+    pub const DEFAULT_FLUSH_THRESHOLD: usize = 1024;
+
+    /// Opens (creating if needed) a store directory for appending.
+    /// Numbering continues after any existing segments.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or listing the directory.
+    pub fn open(dir: impl Into<PathBuf>, flush_threshold: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let existing = list_segments(&dir)?;
+        let next_seq = existing.last().map_or(1, |&(seq, _)| seq + 1);
+        Ok(Self {
+            dir,
+            flush_threshold: flush_threshold.max(1),
+            buffer: Vec::new(),
+            next_seq,
+            segments: existing.len() as u64,
+            flushed_rows: 0,
+            last_flush_seq: 0,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one record; flushes a segment when the buffer reaches the
+    /// threshold, returning its [`FlushInfo`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the segment file.
+    pub fn append(&mut self, record: AuditRecord) -> io::Result<Option<FlushInfo>> {
+        self.buffer.push(record);
+        if self.buffer.len() >= self.flush_threshold {
+            return self.flush().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Flushes the buffer into one segment. No-op result when empty.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the segment file.
+    pub fn flush(&mut self) -> io::Result<FlushInfo> {
+        if self.buffer.is_empty() {
+            return Ok(FlushInfo {
+                path: self.dir.clone(),
+                seq: self.last_flush_seq,
+                rows: 0,
+                bytes: 0,
+            });
+        }
+        let bytes = encode_segment(&self.buffer);
+        let seq = self.next_seq;
+        let path = self.dir.join(segment_name(seq));
+        fs::write(&path, &bytes)?;
+        let rows = self.buffer.len();
+        self.buffer.clear();
+        self.next_seq += 1;
+        self.segments += 1;
+        self.flushed_rows += rows as u64;
+        self.last_flush_seq = seq;
+        Ok(FlushInfo {
+            path,
+            seq,
+            rows,
+            bytes: bytes.len(),
+        })
+    }
+
+    /// Current writer-side health counters.
+    pub fn health(&self) -> StoreHealth {
+        StoreHealth {
+            segments: self.segments,
+            buffered_rows: self.buffer.len() as u64,
+            flushed_rows: self.flushed_rows,
+            last_flush_seq: self.last_flush_seq,
+        }
+    }
+}
+
+/// A writer handle shareable across gateway worker threads.
+pub type SharedWriter = Arc<Mutex<StoreWriter>>;
+
+/// Creates a [`SharedWriter`] with the default flush threshold.
+///
+/// # Errors
+///
+/// As [`StoreWriter::open`].
+pub fn open_shared(dir: impl Into<PathBuf>) -> io::Result<SharedWriter> {
+    Ok(Arc::new(Mutex::new(StoreWriter::open(
+        dir,
+        StoreWriter::DEFAULT_FLUSH_THRESHOLD,
+    )?)))
+}
+
+/// Which columns a scan materializes. Start from [`Projection::none`]
+/// and enable only what the query consumes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Projection {
+    /// Materialize timestamps.
+    pub ts: bool,
+    /// Materialize target ids.
+    pub target: bool,
+    /// Materialize tool labels.
+    pub tool: bool,
+    /// Materialize verdict labels.
+    pub verdict: bool,
+    /// Materialize outcome labels.
+    pub outcome: bool,
+    /// Materialize fake ratios.
+    pub fake_ratio: bool,
+    /// Materialize fake counts.
+    pub fake_count: bool,
+    /// Materialize sample sizes.
+    pub sample_size: bool,
+    /// Materialize API-call counts.
+    pub api_calls: bool,
+    /// Materialize trace ids.
+    pub trace_id: bool,
+}
+
+impl Projection {
+    /// Nothing projected (row selection only).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Every column projected.
+    pub fn all() -> Self {
+        Self {
+            ts: true,
+            target: true,
+            tool: true,
+            verdict: true,
+            outcome: true,
+            fake_ratio: true,
+            fake_count: true,
+            sample_size: true,
+            api_calls: true,
+            trace_id: true,
+        }
+    }
+}
+
+/// Scan filter + projection. Bounds are inclusive microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanOptions {
+    /// Keep rows with `ts >= since_micros`.
+    pub since_micros: Option<i64>,
+    /// Keep rows with `ts <= until_micros`.
+    pub until_micros: Option<i64>,
+    /// Keep rows for exactly this target.
+    pub target: Option<u64>,
+    /// Columns to materialize for selected rows.
+    pub projection: Projection,
+}
+
+/// One materialized row. Unprojected columns hold defaults — callers
+/// read only what they projected.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScanRow {
+    /// Timestamp (micros) when projected.
+    pub ts_micros: i64,
+    /// Target id when projected.
+    pub target: u64,
+    /// Tool label when projected.
+    pub tool: String,
+    /// Verdict label when projected.
+    pub verdict: String,
+    /// Outcome label when projected.
+    pub outcome: String,
+    /// Fake ratio when projected.
+    pub fake_ratio: f64,
+    /// Fake count when projected.
+    pub fake_count: u64,
+    /// Sample size when projected.
+    pub sample_size: u64,
+    /// API calls when projected.
+    pub api_calls: u64,
+    /// Trace id when projected.
+    pub trace_id: u64,
+}
+
+/// Work accounting for one scan — the numbers E13 plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanStats {
+    /// Segments in the store.
+    pub segments_total: u64,
+    /// Segments skipped entirely via zone maps.
+    pub segments_pruned: u64,
+    /// Rows in segments that were opened.
+    pub rows_scanned: u64,
+    /// Rows in segments that were never opened.
+    pub rows_pruned: u64,
+    /// Rows that passed the filters.
+    pub rows_selected: u64,
+}
+
+/// Rows plus the work it took to find them.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScanResult {
+    /// Selected rows in `(ts, segment, row)` order.
+    pub rows: Vec<ScanRow>,
+    /// Scan work accounting.
+    pub stats: ScanStats,
+}
+
+/// Store-wide size summary (`fakeaudit store stats`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Segment count.
+    pub segments: u64,
+    /// Total rows across segments.
+    pub rows: u64,
+    /// Total encoded bytes.
+    pub bytes: u64,
+    /// Per-segment `(seq, rows, bytes)` in sequence order.
+    pub per_segment: Vec<(u64, u64, u64)>,
+}
+
+/// Read-side handle over a store directory. Opens segment headers
+/// eagerly (cheap) and column blocks lazily per scan.
+#[derive(Debug)]
+pub struct Store {
+    segments: Vec<(u64, Segment)>,
+}
+
+impl Store {
+    /// Opens every segment header in `dir`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the directory does not exist; `InvalidData` for a
+    /// malformed segment; other I/O errors reading files.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        if !dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("store directory not found: {}", dir.display()),
+            ));
+        }
+        let mut segments = Vec::new();
+        for (seq, path) in list_segments(dir)? {
+            let seg = Segment::parse(fs::read(&path)?).map_err(data_err)?;
+            segments.push((seq, seg));
+        }
+        Ok(Self { segments })
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total rows across all segments.
+    pub fn total_rows(&self) -> u64 {
+        self.segments.iter().map(|(_, s)| s.rows() as u64).sum()
+    }
+
+    /// Timestamp span `(min, max)` in microseconds across every
+    /// segment's zone map, or `None` for an empty store. Header-only —
+    /// no column block is decoded.
+    pub fn ts_bounds(&self) -> Option<(i64, i64)> {
+        self.segments
+            .iter()
+            .map(|(_, s)| (s.zone().ts_min, s.zone().ts_max))
+            .reduce(|(lo, hi), (a, b)| (lo.min(a), hi.max(b)))
+    }
+
+    /// Size summary for `store stats`.
+    pub fn stats(&self) -> StoreStats {
+        let per_segment: Vec<(u64, u64, u64)> = self
+            .segments
+            .iter()
+            .map(|(seq, s)| (*seq, s.rows() as u64, s.byte_len() as u64))
+            .collect();
+        StoreStats {
+            segments: per_segment.len() as u64,
+            rows: per_segment.iter().map(|&(_, r, _)| r).sum(),
+            bytes: per_segment.iter().map(|&(_, _, b)| b).sum(),
+            per_segment,
+        }
+    }
+
+    /// Scans the store: zone-map pruning first, then per-segment late
+    /// materialization — timestamps (and targets if filtered) decode
+    /// first to build the selection; projected columns decode only for
+    /// segments with survivors, and only selected rows materialize.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for malformed column blocks.
+    pub fn scan(&self, opts: &ScanOptions) -> io::Result<ScanResult> {
+        let mut result = ScanResult::default();
+        result.stats.segments_total = self.segments.len() as u64;
+        for (_, seg) in &self.segments {
+            let zone = seg.zone();
+            let pruned = !zone.overlaps_window(opts.since_micros, opts.until_micros)
+                || opts.target.is_some_and(|t| !zone.may_contain_target(t));
+            if pruned {
+                result.stats.segments_pruned += 1;
+                result.stats.rows_pruned += seg.rows() as u64;
+                continue;
+            }
+            result.stats.rows_scanned += seg.rows() as u64;
+
+            let ts = seg.decode_ts().map_err(data_err)?;
+            let targets_for_filter = if opts.target.is_some() {
+                Some(seg.decode_targets().map_err(data_err)?)
+            } else {
+                None
+            };
+            let selected: Vec<usize> = (0..seg.rows())
+                .filter(|&i| {
+                    opts.since_micros.is_none_or(|s| ts[i] >= s)
+                        && opts.until_micros.is_none_or(|u| ts[i] <= u)
+                        && targets_for_filter
+                            .as_ref()
+                            .is_none_or(|t| Some(t[i]) == opts.target)
+                })
+                .collect();
+            if selected.is_empty() {
+                continue;
+            }
+            result.stats.rows_selected += selected.len() as u64;
+
+            let p = opts.projection;
+            let targets = if p.target {
+                match targets_for_filter {
+                    Some(t) => Some(t),
+                    None => Some(seg.decode_targets().map_err(data_err)?),
+                }
+            } else {
+                None
+            };
+            let tools = if p.tool {
+                Some(seg.decode_strings(Column::Tool).map_err(data_err)?)
+            } else {
+                None
+            };
+            let verdicts = if p.verdict {
+                Some(seg.decode_strings(Column::Verdict).map_err(data_err)?)
+            } else {
+                None
+            };
+            let outcomes = if p.outcome {
+                Some(seg.decode_strings(Column::Outcome).map_err(data_err)?)
+            } else {
+                None
+            };
+            let ratios = if p.fake_ratio {
+                Some(seg.decode_ratios().map_err(data_err)?)
+            } else {
+                None
+            };
+            let fake_counts = if p.fake_count {
+                Some(seg.decode_counts(Column::FakeCount).map_err(data_err)?)
+            } else {
+                None
+            };
+            let samples = if p.sample_size {
+                Some(seg.decode_counts(Column::SampleSize).map_err(data_err)?)
+            } else {
+                None
+            };
+            let api_calls = if p.api_calls {
+                Some(seg.decode_counts(Column::ApiCalls).map_err(data_err)?)
+            } else {
+                None
+            };
+            let trace_ids = if p.trace_id {
+                Some(seg.decode_counts(Column::TraceId).map_err(data_err)?)
+            } else {
+                None
+            };
+
+            for &i in &selected {
+                let mut row = ScanRow::default();
+                if p.ts {
+                    row.ts_micros = ts[i];
+                }
+                if let Some(t) = &targets {
+                    row.target = t[i];
+                }
+                if let Some((dict, idx)) = &tools {
+                    row.tool = dict[idx[i] as usize].clone();
+                }
+                if let Some((dict, idx)) = &verdicts {
+                    row.verdict = dict[idx[i] as usize].clone();
+                }
+                if let Some((dict, idx)) = &outcomes {
+                    row.outcome = dict[idx[i] as usize].clone();
+                }
+                if let Some(r) = &ratios {
+                    row.fake_ratio = r[i];
+                }
+                if let Some(c) = &fake_counts {
+                    row.fake_count = c[i];
+                }
+                if let Some(s) = &samples {
+                    row.sample_size = s[i];
+                }
+                if let Some(a) = &api_calls {
+                    row.api_calls = a[i];
+                }
+                if let Some(t) = &trace_ids {
+                    row.trace_id = t[i];
+                }
+                result.rows.push(row);
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// Merges every segment in `dir` into a single segment numbered 1, in
+/// `(seq, row)` order — deterministic for a fixed store. Returns
+/// `(segments_before, rows)`.
+///
+/// # Errors
+///
+/// I/O or `InvalidData` errors reading segments, or writing the merged
+/// one.
+pub fn compact(dir: impl AsRef<Path>) -> io::Result<(u64, u64)> {
+    let dir = dir.as_ref();
+    let entries = list_segments(dir)?;
+    let mut all: Vec<AuditRecord> = Vec::new();
+    for (_, path) in &entries {
+        let seg = Segment::parse(fs::read(path)?).map_err(data_err)?;
+        all.extend(seg.decode_all().map_err(data_err)?);
+    }
+    if all.is_empty() {
+        return Ok((entries.len() as u64, 0));
+    }
+    let bytes = encode_segment(&all);
+    let tmp = dir.join("seg-compact.tmp");
+    fs::write(&tmp, &bytes)?;
+    for (_, path) in &entries {
+        fs::remove_file(path)?;
+    }
+    fs::rename(&tmp, dir.join(segment_name(1)))?;
+    Ok((entries.len() as u64, all.len() as u64))
+}
+
+/// Groups rows into fixed-width time buckets keyed by floor-division of
+/// the row's whole-second timestamp — shared by the query kinds.
+pub fn bucket_of(ts_micros: i64, bucket_secs: i64) -> i64 {
+    ts_micros
+        .div_euclid(1_000_000)
+        .div_euclid(bucket_secs.max(1))
+}
+
+/// Deterministic `(bucket, key) -> values` grouping helper.
+pub type Grouped<K, V> = BTreeMap<(i64, K), V>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(n: usize, base_target: u64) -> Vec<AuditRecord> {
+        (0..n)
+            .map(|i| AuditRecord {
+                target: base_target + (i as u64 % 3),
+                ts_micros: i as i64 * 2_000_000,
+                tool: ["FC", "TA"][i % 2].to_string(),
+                verdict: "fake".to_string(),
+                outcome: "completed".to_string(),
+                fake_ratio: i as f64,
+                fake_count: i as u64,
+                sample_size: 100,
+                api_calls: 2,
+                trace_id: i as u64,
+            })
+            .collect()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fakeaudit-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writer_flushes_at_threshold_and_reader_round_trips() {
+        let dir = temp_dir("rt");
+        let mut w = StoreWriter::open(&dir, 4).unwrap();
+        let recs = records(10, 100);
+        let mut flushes = 0;
+        for r in &recs {
+            if w.append(r.clone()).unwrap().is_some() {
+                flushes += 1;
+            }
+        }
+        assert_eq!(flushes, 2); // 10 rows / threshold 4 => 2 full segments
+        let tail = w.flush().unwrap();
+        assert_eq!(tail.rows, 2);
+        assert_eq!(w.health().segments, 3);
+        assert_eq!(w.health().buffered_rows, 0);
+        assert_eq!(w.health().flushed_rows, 10);
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.segment_count(), 3);
+        let result = store
+            .scan(&ScanOptions {
+                projection: Projection::all(),
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(result.rows.len(), 10);
+        // Scan order is (segment, row) order == append order here.
+        for (i, row) in result.rows.iter().enumerate() {
+            assert_eq!(row.ts_micros, recs[i].ts_micros);
+            assert_eq!(row.target, recs[i].target);
+            assert_eq!(row.tool, recs[i].tool);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopened_writer_continues_numbering() {
+        let dir = temp_dir("reopen");
+        let mut w = StoreWriter::open(&dir, 2).unwrap();
+        for r in records(2, 1) {
+            w.append(r).unwrap();
+        }
+        drop(w);
+        let mut w2 = StoreWriter::open(&dir, 2).unwrap();
+        assert_eq!(w2.health().segments, 1);
+        for r in records(2, 1) {
+            w2.append(r).unwrap();
+        }
+        let names: Vec<u64> = list_segments(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(names, vec![1, 2]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn time_window_prunes_segments_and_matches_full_scan() {
+        let dir = temp_dir("prune");
+        let mut w = StoreWriter::open(&dir, 5).unwrap();
+        for r in records(20, 7) {
+            w.append(r).unwrap();
+        }
+        w.flush().unwrap();
+        let store = Store::open(&dir).unwrap();
+
+        // Window covering rows 0..=4 (ts 0..=8s) hits only segment 1.
+        let windowed = store
+            .scan(&ScanOptions {
+                since_micros: Some(0),
+                until_micros: Some(8_000_000),
+                projection: Projection::all(),
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(windowed.stats.segments_pruned >= 3);
+        assert!(windowed.stats.rows_pruned > 0);
+
+        // Pruned scan must equal a brute-force filter of the full scan.
+        let full = store
+            .scan(&ScanOptions {
+                projection: Projection::all(),
+                ..Default::default()
+            })
+            .unwrap();
+        let expected: Vec<&ScanRow> = full
+            .rows
+            .iter()
+            .filter(|r| r.ts_micros <= 8_000_000)
+            .collect();
+        assert_eq!(windowed.rows.len(), expected.len());
+        for (got, want) in windowed.rows.iter().zip(expected) {
+            assert_eq!(got, want);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn target_filter_uses_zone_map() {
+        let dir = temp_dir("target");
+        let mut w = StoreWriter::open(&dir, 5).unwrap();
+        for r in records(5, 10) {
+            w.append(r).unwrap();
+        }
+        for r in records(5, 500) {
+            w.append(r).unwrap();
+        }
+        w.flush().unwrap();
+        let store = Store::open(&dir).unwrap();
+        let result = store
+            .scan(&ScanOptions {
+                target: Some(501),
+                projection: Projection::all(),
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(result.stats.segments_pruned, 1);
+        assert!(result.rows.iter().all(|r| r.target == 501));
+        assert!(!result.rows.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_merges_to_one_segment_preserving_rows() {
+        let dir = temp_dir("compact");
+        let mut w = StoreWriter::open(&dir, 3).unwrap();
+        for r in records(9, 42) {
+            w.append(r).unwrap();
+        }
+        w.flush().unwrap();
+        let before = Store::open(&dir).unwrap();
+        let full_before = before
+            .scan(&ScanOptions {
+                projection: Projection::all(),
+                ..Default::default()
+            })
+            .unwrap();
+        let (was, rows) = compact(&dir).unwrap();
+        assert_eq!(was, 3);
+        assert_eq!(rows, 9);
+        let after = Store::open(&dir).unwrap();
+        assert_eq!(after.segment_count(), 1);
+        let full_after = after
+            .scan(&ScanOptions {
+                projection: Projection::all(),
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(full_before.rows, full_after.rows);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_dir_is_not_found() {
+        let err = Store::open("/nonexistent/fakeaudit-store-xyz").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn bucket_of_floors_negatives() {
+        assert_eq!(bucket_of(0, 60), 0);
+        assert_eq!(bucket_of(59_999_999, 60), 0);
+        assert_eq!(bucket_of(60_000_000, 60), 1);
+        assert_eq!(bucket_of(-1, 60), -1);
+    }
+}

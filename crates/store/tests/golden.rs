@@ -1,0 +1,195 @@
+//! The golden segment: a fixed, RNG-free record stream whose encoded
+//! segment files and query outputs are compared byte-for-byte against
+//! committed fixtures. Any change to the dictionary order, delta/varint
+//! encoding, zone-map layout, directory arithmetic or the query JSON
+//! rendering shows up here as a diff — the repo-level guarantee that a
+//! store written today stays readable (and identical) tomorrow.
+//!
+//! Regenerate after an *intentional* format change with:
+//! `cargo test -p fakeaudit-store --test golden -- --ignored regenerate`
+//! and commit the diff alongside a format-version note in DESIGN.md §15.
+
+use fakeaudit_store::queries::{self, QueryKind, QueryOptions, TopkBy};
+use fakeaudit_store::{Store, StoreWriter};
+use std::path::PathBuf;
+
+const SEG_1: &[u8] = include_bytes!("golden/seg-00000001.fas");
+const SEG_2: &[u8] = include_bytes!("golden/seg-00000002.fas");
+const SEG_3: &[u8] = include_bytes!("golden/seg-00000003.fas");
+
+/// 120 synthetic audits in completion order: five targets, all four
+/// tools, 45-second spacing starting at the sim epoch (432 000 000 s) —
+/// the same clock domain `serve-sim --persist` writes. Arithmetic only;
+/// any drift here is a deliberate fixture change.
+fn fixture_records() -> Vec<fakeaudit_store::AuditRecord> {
+    let tools = ["FC", "TA", "SP", "SB"];
+    let verdicts = ["fake", "inactive", "genuine"];
+    let outcomes = ["completed", "completed", "completed", "degraded_stale"];
+    (0..120usize)
+        .map(|i| {
+            let fake_count = ((i as u64) * 37) % 400;
+            let sample_size = 900 + (i as u64 % 7) * 100;
+            fakeaudit_store::AuditRecord {
+                target: 100 + (i as u64 % 5) * 111,
+                ts_micros: 432_000_000_000_000 + i as i64 * 45_000_000,
+                tool: tools[i % 4].to_string(),
+                verdict: verdicts[i % 3].to_string(),
+                outcome: outcomes[i % 4].to_string(),
+                fake_ratio: fake_count as f64 * 100.0 / sample_size as f64,
+                fake_count,
+                sample_size,
+                api_calls: 3 + (i as u64 % 4),
+                trace_id: i as u64 + 1,
+            }
+        })
+        .collect()
+}
+
+/// Writes the fixture stream at threshold 48 (segments of 48/48/24 rows,
+/// disjoint time ranges — so windowed queries must prune) into a scratch
+/// store and returns its directory.
+fn write_fixture_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fakeaudit-golden-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut writer = StoreWriter::open(&dir, 48).expect("open writer");
+    for r in fixture_records() {
+        writer.append(r).expect("append");
+    }
+    writer.flush().expect("final flush");
+    dir
+}
+
+/// The pinned query set: every kind, defaults, plus the windowed
+/// timeseries that exercises zone-map pruning (first 1000 seconds —
+/// segment 1 only; segments 2 and 3 must be pruned).
+fn pinned_queries() -> Vec<(&'static str, QueryKind, QueryOptions)> {
+    vec![
+        (
+            "timeseries",
+            QueryKind::Timeseries,
+            QueryOptions {
+                bucket_secs: 600,
+                ..QueryOptions::default()
+            },
+        ),
+        ("drift", QueryKind::Drift, QueryOptions::default()),
+        (
+            "retention",
+            QueryKind::Retention,
+            QueryOptions {
+                bucket_secs: 900,
+                ..QueryOptions::default()
+            },
+        ),
+        (
+            "topk",
+            QueryKind::Topk,
+            QueryOptions {
+                k: 3,
+                by: TopkBy::Cost,
+                ..QueryOptions::default()
+            },
+        ),
+        (
+            "timeseries_windowed",
+            QueryKind::Timeseries,
+            QueryOptions {
+                since_secs: Some(432_000_000),
+                until_secs: Some(432_001_000),
+                bucket_secs: 600,
+                ..QueryOptions::default()
+            },
+        ),
+    ]
+}
+
+#[test]
+fn segment_bytes_match_the_committed_fixture() {
+    let dir = write_fixture_store("bytes");
+    for (name, pinned) in [
+        ("seg-00000001.fas", SEG_1),
+        ("seg-00000002.fas", SEG_2),
+        ("seg-00000003.fas", SEG_3),
+    ] {
+        let written = std::fs::read(dir.join(name)).expect(name);
+        assert_eq!(
+            written, pinned,
+            "{name} drifted from the committed fixture — the segment \
+             format changed; see the regeneration note in this file"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn committed_segments_parse_and_query() {
+    // Read side of the guarantee: a store made of the *committed* bytes
+    // (not freshly encoded ones) still opens, scans and aggregates.
+    let dir = std::env::temp_dir().join(format!("fakeaudit-golden-read-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    for (name, bytes) in [
+        ("seg-00000001.fas", SEG_1),
+        ("seg-00000002.fas", SEG_2),
+        ("seg-00000003.fas", SEG_3),
+    ] {
+        std::fs::write(dir.join(name), bytes).expect(name);
+    }
+    let store = Store::open(&dir).expect("open committed store");
+    assert_eq!(store.total_rows(), 120);
+    for (name, kind, opts) in pinned_queries() {
+        let report = queries::run(&store, kind, &opts).expect(name);
+        let pinned = std::fs::read_to_string(
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("tests/golden")
+                .join(format!("query_{name}.json")),
+        )
+        .unwrap_or_else(|e| panic!("missing pinned output for {name}: {e}"));
+        assert_eq!(
+            format!("{}\n", report.to_json()),
+            pinned,
+            "{name} output drifted from the committed fixture"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn windowed_fixture_query_prunes_segments() {
+    let dir = write_fixture_store("prune");
+    let store = Store::open(&dir).expect("open store");
+    let (name, kind, opts) = pinned_queries().pop().expect("windowed query pinned last");
+    assert_eq!(name, "timeseries_windowed");
+    let report = queries::run(&store, kind, &opts).expect("windowed query");
+    assert_eq!(report.stats.segments_total, 3);
+    assert_eq!(
+        report.stats.segments_pruned, 2,
+        "zone maps must skip segments 2 and 3"
+    );
+    assert_eq!(report.stats.rows_pruned, 72);
+    assert_eq!(report.stats.rows_scanned, 48);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Rewrites every fixture under `tests/golden/`. Run explicitly (see the
+/// module docs) after an intentional format change, then commit the diff.
+#[test]
+#[ignore = "regenerates the committed fixtures; run only on intentional format changes"]
+fn regenerate() {
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    std::fs::create_dir_all(&golden).expect("mkdir golden");
+    let dir = write_fixture_store("regen");
+    for name in ["seg-00000001.fas", "seg-00000002.fas", "seg-00000003.fas"] {
+        std::fs::copy(dir.join(name), golden.join(name)).expect(name);
+    }
+    let store = Store::open(&dir).expect("open store");
+    for (name, kind, opts) in pinned_queries() {
+        let report = queries::run(&store, kind, &opts).expect(name);
+        std::fs::write(
+            golden.join(format!("query_{name}.json")),
+            format!("{}\n", report.to_json()),
+        )
+        .expect(name);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,189 @@
+//! Property tests for the columnar store: whatever the record stream and
+//! flush cadence, (1) reading a store back yields exactly the appended
+//! records in append order, (2) a time/target-windowed scan returns
+//! exactly what filtering a full scan would — zone-map pruning may skip
+//! work but never rows — and (3) identical record streams produce
+//! byte-identical segment files.
+
+use fakeaudit_store::{AuditRecord, Projection, ScanOptions, Store, StoreWriter};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fresh scratch directory per proptest case.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "fakeaudit-store-prop-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+prop_compose! {
+    /// A plausible audit row: small target/label spaces so dictionaries
+    /// and zone maps actually get exercised, timestamps wide enough to
+    /// cover both sim (epoch-relative) and wall clocks.
+    fn record()(
+        target in 0u64..40,
+        ts_micros in -1_000_000_000i64..1_000_000_000_000_000,
+        tool in prop::sample::select(vec!["FC", "TA", "SP", "SB"]),
+        verdict in prop::sample::select(vec!["fake", "inactive", "genuine"]),
+        outcome in prop::sample::select(vec!["completed", "degraded_stale"]),
+        fake_ratio in 0.0f64..100.0,
+        fake_count in 0u64..10_000,
+        sample_size in 1u64..10_000,
+        api_calls in 0u64..500,
+        trace_id in 0u64..1_000_000,
+    ) -> AuditRecord {
+        AuditRecord {
+            target,
+            ts_micros,
+            tool: tool.to_string(),
+            verdict: verdict.to_string(),
+            outcome: outcome.to_string(),
+            fake_ratio,
+            fake_count,
+            sample_size,
+            api_calls,
+            trace_id,
+        }
+    }
+}
+
+/// Writes `records` at the given flush threshold and closes the writer
+/// with a final flush.
+fn write_store(dir: &Path, records: &[AuditRecord], threshold: usize) {
+    let mut writer = StoreWriter::open(dir, threshold).expect("open writer");
+    for r in records {
+        writer.append(r.clone()).expect("append");
+    }
+    if !records.is_empty() {
+        writer.flush().expect("final flush");
+    }
+}
+
+fn full_scan(store: &Store) -> Vec<AuditRecord> {
+    store
+        .scan(&ScanOptions {
+            projection: Projection::all(),
+            ..ScanOptions::default()
+        })
+        .expect("scan")
+        .rows
+        .into_iter()
+        .map(|row| AuditRecord {
+            target: row.target,
+            ts_micros: row.ts_micros,
+            tool: row.tool,
+            verdict: row.verdict,
+            outcome: row.outcome,
+            fake_ratio: row.fake_ratio,
+            fake_count: row.fake_count,
+            sample_size: row.sample_size,
+            api_calls: row.api_calls,
+            trace_id: row.trace_id,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trips_any_flush_cadence(
+        records in prop::collection::vec(record(), 0..160),
+        threshold in 1usize..64,
+    ) {
+        let dir = scratch_dir("roundtrip");
+        write_store(&dir, &records, threshold);
+        let store = Store::open(&dir).expect("open store");
+        prop_assert_eq!(store.total_rows(), records.len() as u64);
+        prop_assert_eq!(full_scan(&store), records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn windowed_scan_equals_filtered_full_scan(
+        records in prop::collection::vec(record(), 1..160),
+        threshold in 1usize..48,
+        window in (-1_000_000_000i64..1_000_000_000_000_000,
+                   -1_000_000_000i64..1_000_000_000_000_000),
+        target in prop::option::of(0u64..40),
+    ) {
+        let (a, b) = window;
+        let (since, until) = (a.min(b), a.max(b));
+        let dir = scratch_dir("window");
+        write_store(&dir, &records, threshold);
+        let store = Store::open(&dir).expect("open store");
+
+        let windowed = store
+            .scan(&ScanOptions {
+                since_micros: Some(since),
+                until_micros: Some(until),
+                target,
+                projection: Projection::all(),
+            })
+            .expect("windowed scan");
+        let expected: Vec<AuditRecord> = records
+            .iter()
+            .filter(|r| {
+                r.ts_micros >= since
+                    && r.ts_micros <= until
+                    && target.is_none_or(|t| r.target == t)
+            })
+            .cloned()
+            .collect();
+
+        // Pruning may skip whole segments but must never change results.
+        let got: Vec<AuditRecord> = windowed
+            .rows
+            .iter()
+            .map(|row| AuditRecord {
+                target: row.target,
+                ts_micros: row.ts_micros,
+                tool: row.tool.clone(),
+                verdict: row.verdict.clone(),
+                outcome: row.outcome.clone(),
+                fake_ratio: row.fake_ratio,
+                fake_count: row.fake_count,
+                sample_size: row.sample_size,
+                api_calls: row.api_calls,
+                trace_id: row.trace_id,
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+
+        // Work accounting conserves rows: every stored row is either
+        // scanned or pruned, and selections come only from scanned ones.
+        let stats = windowed.stats;
+        prop_assert_eq!(stats.rows_scanned + stats.rows_pruned, records.len() as u64);
+        prop_assert_eq!(stats.rows_selected, windowed.rows.len() as u64);
+        prop_assert!(stats.rows_selected <= stats.rows_scanned);
+        prop_assert!(stats.segments_pruned <= stats.segments_total);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn identical_streams_write_identical_bytes(
+        records in prop::collection::vec(record(), 1..100),
+        threshold in 1usize..32,
+    ) {
+        let (dir_a, dir_b) = (scratch_dir("bytes-a"), scratch_dir("bytes-b"));
+        write_store(&dir_a, &records, threshold);
+        write_store(&dir_b, &records, threshold);
+        let mut names: Vec<String> = std::fs::read_dir(&dir_a)
+            .expect("read dir")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .collect();
+        names.sort();
+        prop_assert!(!names.is_empty());
+        for name in &names {
+            let a = std::fs::read(dir_a.join(name)).expect("read a");
+            let b = std::fs::read(dir_b.join(name)).expect("read b");
+            prop_assert_eq!(a, b, "{} differs between identical streams", name);
+        }
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+}
