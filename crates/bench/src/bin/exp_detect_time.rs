@@ -1,0 +1,124 @@
+//! E14 — fault-burst detection time across alert window configs
+//! (`exp_detect_time`).
+//!
+//! Replays the PR-5 `FaultPlan` burst process as a request-completion
+//! stream and feeds the identical stream to one `SloMonitor` per window
+//! config, measuring time-to-detect and time-to-resolve against the
+//! ground-truth fault clusters (see `experiments::detect_time`). Writes
+//! `results/BENCH_monitor.json`.
+//!
+//! Unlike E11/E13 this runs entirely on the simulated clock — same seed
+//! ⇒ byte-identical JSON on any machine — so the artifact doubles as a
+//! regression fixture, not just a trajectory upload.
+//!
+//! Usage: `exp_detect_time [--quick] [--seed N] [--out PATH]`
+
+use fakeaudit_bench::{parse_args, RunOptions};
+use fakeaudit_core::experiments::detect_time::{render, run_detect_time, DetectTimeResult};
+use std::fmt::Write as _;
+
+struct DetectOptions {
+    run: RunOptions,
+    out: String,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Splits `--out` off and hands the rest to the shared bench parser.
+fn options() -> DetectOptions {
+    let mut rest = Vec::new();
+    let mut out = "results/BENCH_monitor.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => fail("--out needs a path"),
+            },
+            _ => rest.push(arg),
+        }
+    }
+    match parse_args(rest.into_iter()) {
+        Ok(run) => DetectOptions { run, out },
+        Err(msg) => fail(&format!("{msg} (also: --out PATH)")),
+    }
+}
+
+fn render_json(seed: u64, r: &DetectTimeResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"monitor\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\n    \"seed\": {seed},\n    \"duration_secs\": {:.1},\n    \
+         \"step_secs\": {:.1},\n    \"fault_rate\": {},\n    \"burst_factor\": {:.1},\n    \
+         \"requests\": {},\n    \"faults\": {},\n    \"incidents\": {}\n  }},",
+        r.duration_secs,
+        r.step_secs,
+        r.fault_rate,
+        r.burst_factor,
+        r.requests,
+        r.faults,
+        r.bursts.len(),
+    );
+    let _ = writeln!(out, "  \"scenarios\": [");
+    for (i, row) in r.rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"short_secs\": {:.1}, \"long_secs\": {:.1}, \
+             \"burn_threshold\": {:.1}, \"pending_secs\": {:.1}, \"clear_secs\": {:.1}, \
+             \"bursts\": {}, \"detected\": {}, \"fresh\": {}, \"carryover\": {}, \
+             \"missed\": {}, \"false_firings\": {}, \"mean_ttd_secs\": {:.1}, \
+             \"max_ttd_secs\": {:.1}, \"mean_ttr_secs\": {:.1}, \"transitions\": {}}}",
+            row.config.name,
+            row.config.short_secs,
+            row.config.long_secs,
+            row.config.burn_threshold,
+            row.config.pending_secs,
+            row.config.clear_secs,
+            row.bursts,
+            row.detected,
+            row.fresh,
+            row.carryover,
+            row.missed,
+            row.false_firings,
+            row.mean_ttd_secs,
+            row.max_ttd_secs,
+            row.mean_ttr_secs,
+            row.transitions,
+        );
+        let _ = writeln!(out, "{}", if i + 1 < r.rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    let opts = options();
+    let seed = opts.run.seed;
+    let result = run_detect_time(opts.run.scale, seed);
+    print!("{}", render(&result));
+
+    if result.bursts.is_empty() {
+        fail("fault stream produced no ground-truth incidents — nothing measured");
+    }
+    if result.rows.iter().all(|row| row.detected == 0) {
+        fail("no window config detected any incident — the monitor is blind");
+    }
+
+    let json = render_json(seed, &result);
+    if let Some(parent) = std::path::Path::new(&opts.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(&opts.out, &json) {
+        Ok(()) => println!("wrote {}", opts.out),
+        Err(e) => fail(&format!("cannot write {}: {e}", opts.out)),
+    }
+}

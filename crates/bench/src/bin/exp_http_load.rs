@@ -17,9 +17,11 @@
 //! golden fixture, so it is uploaded from CI rather than committed.
 //!
 //! Usage: `exp_http_load [--quick] [--seed N] [--secs S] [--out PATH]
-//! [--profile-out PATH]` (`--quick` shrinks the world and halves the
-//! open-loop windows; `--profile-out` writes the run's folded self-time
-//! stacks in flamegraph-collapsed format).
+//! [--profile-out PATH] [--slo]` (`--quick` shrinks the world and halves
+//! the open-loop windows; `--profile-out` writes the run's folded
+//! self-time stacks in flamegraph-collapsed format; `--slo` arms the
+//! PR-9 burn-rate monitor so the ledger can price its overhead — compare
+//! a `--slo` run against a plain one with `fakeaudit bench compare`).
 //!
 //! Built with `--features alloc-profile`, the process heap routes
 //! through the telemetry counting allocator and the JSON's `config`
@@ -37,7 +39,7 @@ use fakeaudit_gateway::{
 use fakeaudit_server::workload::{generate, ArrivalProcess, LoadSpec, Request};
 use fakeaudit_server::{OverloadPolicy, ServerConfig};
 use fakeaudit_stats::rng::derive_seed;
-use fakeaudit_telemetry::{AllocScope, SelfTimeProfile, Telemetry, WallClock};
+use fakeaudit_telemetry::{AllocScope, MonitorConfig, SelfTimeProfile, Telemetry, WallClock};
 use std::sync::Arc;
 
 // With the alloc-profile feature every heap operation of the whole
@@ -65,6 +67,7 @@ struct HttpLoadOptions {
     secs: f64,
     out: String,
     profile_out: Option<String>,
+    slo: bool,
 }
 
 fn fail(msg: &str) -> ! {
@@ -79,6 +82,7 @@ fn options() -> HttpLoadOptions {
     let mut secs = None;
     let mut out = "results/BENCH_gateway.json".to_owned();
     let mut profile_out = None;
+    let mut slo = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -94,13 +98,14 @@ fn options() -> HttpLoadOptions {
                 Some(v) => profile_out = Some(v),
                 None => fail("--profile-out needs a path"),
             },
+            "--slo" => slo = true,
             _ => rest.push(arg),
         }
     }
     let run = match parse_args(rest.into_iter()) {
         Ok(opts) => opts,
         Err(msg) => fail(&format!(
-            "{msg} (also: --secs S, --out PATH, --profile-out PATH)"
+            "{msg} (also: --secs S, --out PATH, --profile-out PATH, --slo)"
         )),
     };
     let quick = run.scale != fakeaudit_core::experiments::Scale::full();
@@ -109,6 +114,7 @@ fn options() -> HttpLoadOptions {
         secs: secs.unwrap_or(if quick { 5.0 } else { 10.0 }),
         out,
         profile_out,
+        slo,
     }
 }
 
@@ -177,6 +183,7 @@ fn main() {
             degraded_secs: 0.5,
             deadline_secs: None,
         },
+        slo: opts.slo.then(|| MonitorConfig::wall_default(seed)),
         ..GatewayConfig::default()
     };
     let platform = Arc::new(world.platform.clone());
@@ -244,6 +251,7 @@ fn main() {
     let flash = run_open_loop(addr, "flash_crowd", &schedule, 1.0, SENDERS);
 
     let alloc_delta = alloc_scope.delta();
+    let monitor_counts = gateway.monitor().map(|m| m.counts());
     let report = gateway.shutdown();
     let breaker_trips: u64 = telemetry
         .snapshot()
@@ -284,6 +292,15 @@ fn main() {
         report.shed(),
         breaker_trips
     );
+    if let Some(c) = monitor_counts {
+        println!(
+            "SLO monitor: {} pending, {} fired, {} resolved, {} traces kept",
+            c.pending,
+            c.firing,
+            c.resolved,
+            c.traces_kept + c.traces_sampled
+        );
+    }
 
     let mut config = vec![
         ("seed", seed.to_string()),
@@ -294,6 +311,7 @@ fn main() {
         ("open_loop_senders", SENDERS.to_string()),
         ("policy", "\"shed\"".to_owned()),
         ("open_loop_secs", format!("{:.1}", opts.secs)),
+        ("slo", opts.slo.to_string()),
     ];
     let answered: u64 = scenarios.iter().map(|s| s.answered).sum();
     if fakeaudit_telemetry::profile::alloc_profiling_available() && answered > 0 {

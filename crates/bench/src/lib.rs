@@ -18,6 +18,7 @@
 //! | `exp_service_load` | service under offered load (E8) |
 //! | `exp_latency_attribution` | latency attribution under load (E9) |
 //! | `exp_http_load` | wall-clock gateway bench (E11) |
+//! | `exp_detect_time` | fault-burst detection time (E14) |
 //!
 //! All binaries accept `--quick` (reduced scale) and `--seed <n>`.
 //!

@@ -34,11 +34,11 @@ use fakeaudit_store::{compact, open_shared, Store};
 use fakeaudit_telemetry::analyze::chrome_trace_json;
 use fakeaudit_telemetry::sink::parse_jsonl;
 use fakeaudit_telemetry::{
-    ChromeTraceOptions, LatencyAttribution, RunReport, SelfTimeProfile, SloSpec, Telemetry,
-    TraceEvent, TraceTree, WallClock,
+    ChromeTraceOptions, LatencyAttribution, MonitorConfig, RunReport, SelfTimeProfile, SloMonitor,
+    SloSpec, Telemetry, TraceEvent, TraceTree, WallClock,
 };
 use fakeaudit_twitter_api::crawl::CrawlBudget;
-use fakeaudit_twitter_api::{ApiConfig, ApiSession};
+use fakeaudit_twitter_api::{ApiConfig, ApiSession, FaultPlan, RetryPolicy};
 use fakeaudit_twittersim::Platform;
 
 const USAGE: &str = "\
@@ -62,6 +62,7 @@ USAGE:
   fakeaudit serve-sim [--rate F] [--duration S] [--policy block|shed|degrade]
                       [--workers N] [--queue N] [--targets N] [--followers N]
                       [--fc-sample N] [--burst] [--seed S] [--persist DIR]
+                      [--slo] [--fault-rate F] [--alert-log PATH]
                       [--telemetry PATH] [--quiet]
       Run the four tools as a concurrent service on the simulated clock:
       open-loop Poisson arrivals (--burst adds a flash crowd) against a
@@ -71,12 +72,16 @@ USAGE:
       span tree (queue wait, service, cache/crawl) in the JSONL output.
       With --persist every completed or degraded audit is appended to a
       columnar history store in DIR (same seed, byte-identical segments)
-      for `fakeaudit query`.
+      for `fakeaudit query`. --slo attaches the streaming SLO monitor
+      (multi-window burn-rate alerts on the simulated clock) and prints
+      its alert log; --fault-rate injects bursty retry-free API faults
+      so the alerts have something to fire on; --alert-log writes the
+      rendered log to PATH — same seed, byte-identical file.
 
   fakeaudit serve [--host H] [--port N] [--workers N] [--queue-depth N]
                   [--policy block|shed|degrade] [--accept-threads N]
                   [--targets N] [--seed S] [--duration SECS] [--full]
-                  [--persist DIR] [--telemetry PATH] [--quiet]
+                  [--persist DIR] [--slo] [--telemetry PATH] [--quiet]
       Serve audits over real HTTP on the wall clock: the same prewarmed
       world, admission queues, overload policies and circuit breakers as
       serve-sim, behind POST /audit/:target, GET /audit/:target/stream,
@@ -88,7 +93,10 @@ USAGE:
       --accept-threads (default: core count) bounds concurrent
       keep-alive connections — raise it for many slow clients. With
       --persist every answered audit lands in the history store in DIR
-      and GET /query/:kind serves the analytics below over HTTP.
+      and GET /query/:kind serves the analytics below over HTTP. --slo
+      attaches the wall-clock SLO monitor: GET /alerts streams the
+      burn-rate alert state, GET /metrics/history the metrics ring, and
+      /healthz gains per-route SLO status.
 
   fakeaudit query <timeseries|drift|retention|topk>
                   [--dir DIR] [--format table|json] [--since S] [--until S]
@@ -431,9 +439,16 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
     let followers: usize = args.get_or("followers", 2_000).map_err(|e| e.to_string())?;
     let fc_sample: u64 = args.get_or("fc-sample", 1_200).map_err(|e| e.to_string())?;
     let seed: u64 = args.get_or("seed", 2_014).map_err(|e| e.to_string())?;
+    let fault_rate: f64 = args.get_or("fault-rate", 0.0).map_err(|e| e.to_string())?;
+    let alert_log = args.raw("alert-log").map(str::to_string);
+    // --alert-log implies the monitor; --fault-rate alone does not.
+    let slo = args.flag("slo") || alert_log.is_some();
     let quiet = args.flag("quiet");
     if !(rate > 0.0) || !(duration > 0.0) {
         return Err("--rate and --duration must be positive".into());
+    }
+    if !(0.0..1.0).contains(&fault_rate) {
+        return Err("--fault-rate must be in [0, 1)".into());
     }
     if targets_n == 0 || followers == 0 {
         return Err("--targets and --followers must be positive".into());
@@ -469,8 +484,16 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
     if !quiet {
         eprintln!("prewarming the four tools ...");
     }
+    // With fault injection the caches run at zero TTL (as in E10):
+    // against a prewarmed warm cache almost no request would reach the
+    // API, and the injected faults would never surface.
     let unquoted = |p: ServiceProfile| ServiceProfile {
         daily_quota: None,
+        cache_ttl_days: if fault_rate > 0.0 {
+            Some(0)
+        } else {
+            p.cache_ttl_days
+        },
         ..p
     };
     // Live tracing: an enabled handle makes every request a causal span
@@ -501,6 +524,11 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
         }
         None => None,
     };
+    let monitor = slo.then(|| {
+        let monitor = SloMonitor::new(MonitorConfig::sim_default(seed), telemetry.clone());
+        sim.with_monitor(monitor.clone());
+        monitor
+    });
     let mut fc = OnlineService::new(
         FakeProjectEngine::with_default_model(derive_seed(seed, "serve-fc-model"))
             .with_sample_size(fc_sample),
@@ -528,10 +556,21 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
         sp.prewarm(&platform, t).map_err(|e| e.to_string())?;
         sb.prewarm(&platform, t).map_err(|e| e.to_string())?;
     }
-    sim.register(Box::new(fc));
-    sim.register(Box::new(ta));
-    sim.register(Box::new(sp));
-    sim.register(Box::new(sb));
+    if fault_rate > 0.0 {
+        // Bursty, retry-free faults: failures reach the request path
+        // (and thus the SLO monitor) instead of being absorbed by
+        // backoff, so a demo run has incidents worth alerting on.
+        let plan = FaultPlan::bursty(derive_seed(seed, "serve-faults"), fault_rate, 6.0);
+        sim.register(Box::new(fc.with_fault_plan(plan, RetryPolicy::none())));
+        sim.register(Box::new(ta.with_fault_plan(plan, RetryPolicy::none())));
+        sim.register(Box::new(sp.with_fault_plan(plan, RetryPolicy::none())));
+        sim.register(Box::new(sb.with_fault_plan(plan, RetryPolicy::none())));
+    } else {
+        sim.register(Box::new(fc));
+        sim.register(Box::new(ta));
+        sim.register(Box::new(sp));
+        sim.register(Box::new(sb));
+    }
 
     let process = if args.flag("burst") {
         ArrivalProcess::FlashCrowd {
@@ -605,6 +644,29 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
             "  history: {} rows across {} segments in {dir} (try: fakeaudit query topk --dir {dir})",
             health.flushed_rows, health.segments
         );
+    }
+
+    if let Some(monitor) = &monitor {
+        let counts = monitor.counts();
+        println!(
+            "\nSLO monitor: {} pending, {} fired, {} resolved \
+             ({} active at end)",
+            counts.pending,
+            counts.firing,
+            counts.resolved,
+            counts.active_pending + counts.active_firing
+        );
+        let log = monitor.render_alert_log();
+        if log.is_empty() {
+            println!("  alert log: empty (no burn-rate breaches)");
+        } else {
+            print!("{log}");
+        }
+        if let Some(path) = &alert_log {
+            std::fs::write(path, &log)
+                .map_err(|e| format!("cannot write alert log {path:?}: {e}"))?;
+            println!("  alert log written to {path}");
+        }
     }
 
     if let Some(path) = args.raw("telemetry") {
@@ -721,6 +783,7 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), String> {
         return Err("--accept-threads must be positive".into());
     }
     let persist_dir = args.raw("persist").map(str::to_string);
+    let slo = args.flag("slo");
     let config = GatewayConfig {
         addr: format!("{host}:{port}"),
         accept_threads,
@@ -732,6 +795,7 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), String> {
             deadline_secs: None,
         },
         persist: persist_dir.as_deref().map(Into::into),
+        slo: slo.then(|| MonitorConfig::wall_default(seed)),
         ..defaults
     };
     let platform = std::sync::Arc::new(world.platform.clone());
@@ -771,6 +835,12 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), String> {
             gateway.local_addr()
         );
     }
+    if slo {
+        println!(
+            "SLO monitor armed; try: curl http://{0}/alerts and http://{0}/metrics/history",
+            gateway.local_addr()
+        );
+    }
     // CI and scripts probe for the "listening" line through a pipe, so
     // push it past stdout's block buffering now.
     {
@@ -794,6 +864,7 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), String> {
             break;
         }
     }
+    let monitor_counts = gateway.monitor().map(|m| m.counts());
     let report = gateway.shutdown();
 
     println!(
@@ -822,6 +893,12 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), String> {
         println!(
             "  {:<4} offered {:>6}, done {:>6}, degraded {:>4}, shed {:>4}, max queue {:>3}",
             name, t.offered, t.completed, t.degraded, t.shed, t.max_queue_depth
+        );
+    }
+    if let Some(counts) = monitor_counts {
+        println!(
+            "  SLO monitor: {} pending, {} fired, {} resolved, {} traces kept",
+            counts.pending, counts.firing, counts.resolved, counts.traces_kept
         );
     }
 

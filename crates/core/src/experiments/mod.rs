@@ -15,6 +15,7 @@
 //! | E8 | service under offered load (extension) | [`service_load`] |
 //! | E9 | latency attribution under load (extension) | [`latency_attribution`] |
 //! | E10 | audit under an unreliable API (extension) | [`chaos`] |
+//! | E14 | fault-burst detection time (extension) | [`detect_time`] |
 //! | A1 | ablation: prefix vs uniform sampling | [`ablation`] |
 //! | A2 | ablation: cache policy (latency vs staleness) | [`cache_ablation`] |
 //!
@@ -30,6 +31,7 @@ pub mod cache_ablation;
 pub mod chaos;
 pub mod crawl;
 pub mod deep_dive;
+pub mod detect_time;
 pub mod disagreement;
 pub mod fc_training;
 pub mod latency_attribution;

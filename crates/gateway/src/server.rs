@@ -31,7 +31,7 @@ use fakeaudit_detectors::ToolId;
 use fakeaudit_server::{flush_writer, writer_health, ServerConfig, ServerReport};
 use fakeaudit_store::queries::{self, QueryKind, QueryOptions};
 use fakeaudit_store::{open_shared, SharedWriter, Store, StoreHealth};
-use fakeaudit_telemetry::{Clock, SelfTimeProfile, Telemetry};
+use fakeaudit_telemetry::{Clock, MonitorConfig, SelfTimeProfile, SloMonitor, Telemetry};
 use fakeaudit_twittersim::{AccountId, Platform};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -69,6 +69,10 @@ pub struct GatewayConfig {
     /// Directory for the columnar audit-history store. `None` (the
     /// default) disables persistence and the `/query/:kind` routes.
     pub persist: Option<PathBuf>,
+    /// Streaming SLO monitor configuration. `None` (the default)
+    /// disables the monitor, the background tick thread, and the
+    /// `/alerts` + `/metrics/history` routes.
+    pub slo: Option<MonitorConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -81,6 +85,7 @@ impl Default for GatewayConfig {
             default_tool: ToolId::Twitteraudit,
             read_timeout: Duration::from_secs(10),
             persist: None,
+            slo: None,
         }
     }
 }
@@ -96,6 +101,17 @@ struct Shared {
     shutdown: AtomicBool,
     active_connections: AtomicI64,
     persist: Option<(SharedWriter, PathBuf)>,
+    monitor: Option<SloMonitor>,
+}
+
+thread_local! {
+    /// The status code the current request's handler reported via
+    /// [`Shared::count_request`]. Connections are handled end-to-end on
+    /// one accept thread, so the per-thread cell is per-request state:
+    /// [`route`] resets it before dispatch and reads it after, to feed
+    /// the SLO monitor an ok/error verdict without threading a status
+    /// return through every handler.
+    static LAST_STATUS: std::cell::Cell<u16> = const { std::cell::Cell::new(200) };
 }
 
 impl Shared {
@@ -110,6 +126,7 @@ impl Shared {
     }
 
     fn count_request(&self, route: &'static str, status: u16) {
+        LAST_STATUS.with(|cell| cell.set(status));
         let status_s = status.to_string();
         self.telemetry.counter_add(
             "gateway.http_requests",
@@ -133,6 +150,7 @@ pub struct Gateway {
     dispatcher: Arc<Dispatcher>,
     listener: Arc<TcpListener>,
     acceptors: Vec<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
     addr: SocketAddr,
 }
 
@@ -174,6 +192,9 @@ impl Gateway {
             telemetry.clone(),
             persist.as_ref().map(|(writer, _)| Arc::clone(writer)),
         ));
+        let monitor = config
+            .slo
+            .map(|slo| SloMonitor::new(slo, telemetry.clone()));
         let shared = Arc::new(Shared {
             dispatcher: Arc::clone(&dispatcher),
             telemetry,
@@ -185,6 +206,31 @@ impl Gateway {
             shutdown: AtomicBool::new(false),
             active_connections: AtomicI64::new(0),
             persist,
+            monitor,
+        });
+        // The monitor's tick thread: evaluates the alert rules every
+        // bucket on the gateway's clock, polling the drain flag often
+        // enough that shutdown never waits a full bucket.
+        let ticker = shared.monitor.clone().map(|monitor| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gw-slo-tick".to_owned())
+                .spawn(move || {
+                    let step = monitor.config().bucket_secs.max(0.01);
+                    let mut next = shared.clock.now_secs() + step;
+                    while !shared.is_draining() {
+                        std::thread::sleep(Duration::from_millis(20));
+                        let now = shared.clock.now_secs();
+                        if now >= next {
+                            monitor.tick(now);
+                            next = now + step;
+                        }
+                    }
+                    // One final evaluation so the tail of the run is
+                    // reflected in the last /alerts state.
+                    monitor.tick(shared.clock.now_secs());
+                })
+                .expect("spawn slo tick thread")
         });
         let listener = Arc::new(listener);
         let acceptors = (0..config.accept_threads.max(1))
@@ -202,6 +248,7 @@ impl Gateway {
             dispatcher,
             listener,
             acceptors,
+            ticker,
             addr,
         })
     }
@@ -221,6 +268,12 @@ impl Gateway {
         &self.shared.telemetry
     }
 
+    /// The streaming SLO monitor, when the gateway runs one (`slo` set
+    /// in [`GatewayConfig`]).
+    pub fn monitor(&self) -> Option<&SloMonitor> {
+        self.shared.monitor.as_ref()
+    }
+
     /// Stops accepting, drains in-flight requests and queued jobs, joins
     /// every thread, and returns the final report.
     pub fn shutdown(self) -> ServerReport {
@@ -238,6 +291,9 @@ impl Gateway {
                 std::thread::sleep(Duration::from_millis(1));
             }
             let _ = handle.join();
+        }
+        if let Some(ticker) = self.ticker {
+            let _ = ticker.join();
         }
         self.dispatcher.shutdown();
         self.dispatcher.report()
@@ -327,6 +383,8 @@ fn route_label(method: &str, segments: &[&str]) -> &'static str {
     match (method, segments) {
         ("GET", ["healthz"]) => "healthz",
         ("GET", ["metrics"]) => "metrics",
+        ("GET", ["metrics", "history"]) => "metrics_history",
+        ("GET", ["alerts"]) => "alerts",
         ("GET", ["debug", "profile"]) => "debug_profile",
         ("GET", ["debug", "vars"]) => "debug_vars",
         ("POST", ["audit", _]) => "audit",
@@ -342,6 +400,7 @@ fn route_label(method: &str, segments: &[&str]) -> &'static str {
 /// line links straight to the worst trace. Returns whether the
 /// connection may be kept alive.
 fn route(shared: &Shared, request: &http::Request, stream: &mut TcpStream) -> io::Result<bool> {
+    LAST_STATUS.with(|cell| cell.set(200));
     let t0 = shared.clock.now_secs();
     let result = dispatch_route(shared, request, stream);
     let t1 = shared.clock.now_secs();
@@ -361,6 +420,12 @@ fn route(shared: &Shared, request: &http::Request, stream: &mut TcpStream) -> io
             .telemetry
             .observe("gateway.request_secs", &[("route", label)], t1 - t0),
     }
+    if let Some(monitor) = &shared.monitor {
+        // The handler reported its status through count_request on this
+        // thread; 5xx is the server's failure, 4xx the client's.
+        let status = LAST_STATUS.with(std::cell::Cell::get);
+        monitor.observe_request(label, t1, Some(t1 - t0), status < 500, span.span_id());
+    }
     result
 }
 
@@ -375,14 +440,54 @@ fn dispatch_route(
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
+            let slo = shared.monitor.as_ref().map(|m| m.route_status());
             let body = wire::health_json(
                 &shared.dispatcher.lane_status(),
                 shared.clock.now_secs() - shared.started_at,
                 shared.is_draining(),
                 shared.store_health().as_ref(),
+                slo.as_deref(),
             );
             shared.count_request("healthz", 200);
             http::write_response(stream, 200, "application/json", &[], body.as_bytes(), keep)?;
+            Ok(keep)
+        }
+        ("GET", ["alerts"]) => {
+            let (status, body) = match &shared.monitor {
+                Some(monitor) => (200, monitor.alerts_json()),
+                None => (
+                    404,
+                    "{\"error\":\"no slo monitor (start the gateway with --slo)\"}".to_owned(),
+                ),
+            };
+            shared.count_request("alerts", status);
+            http::write_response(
+                stream,
+                status,
+                "application/json",
+                &[],
+                body.as_bytes(),
+                keep,
+            )?;
+            Ok(keep)
+        }
+        ("GET", ["metrics", "history"]) => {
+            let (status, body) = match &shared.monitor {
+                Some(monitor) => (200, monitor.history_json()),
+                None => (
+                    404,
+                    "{\"error\":\"no slo monitor (start the gateway with --slo)\"}".to_owned(),
+                ),
+            };
+            shared.count_request("metrics_history", status);
+            http::write_response(
+                stream,
+                status,
+                "application/json",
+                &[],
+                body.as_bytes(),
+                keep,
+            )?;
             Ok(keep)
         }
         ("GET", ["debug", "profile"]) => {
@@ -403,6 +508,10 @@ fn dispatch_route(
             Ok(keep)
         }
         ("GET", ["debug", "vars"]) => {
+            let counts = shared.monitor.as_ref().map(|m| m.counts());
+            let monitor = counts
+                .as_ref()
+                .map(|c| (c, shared.telemetry.retention_stats()));
             let body = wire::debug_vars_json(
                 option_env!("CARGO_PKG_VERSION").unwrap_or("dev"),
                 shared.clock.now_secs() - shared.started_at,
@@ -411,6 +520,7 @@ fn dispatch_route(
                 shared.telemetry.dropped_events(),
                 &shared.dispatcher.lane_status(),
                 shared.store_health().as_ref(),
+                monitor,
             );
             shared.count_request("debug_vars", 200);
             http::write_response(stream, 200, "application/json", &[], body.as_bytes(), keep)?;
@@ -434,6 +544,8 @@ fn dispatch_route(
         ("GET", ["query", kind]) => handle_query(shared, request, kind, stream, keep),
         (_, ["healthz"])
         | (_, ["metrics"])
+        | (_, ["metrics", "history"])
+        | (_, ["alerts"])
         | (_, ["debug", ..])
         | (_, ["audit", ..])
         | (_, ["query", ..]) => {

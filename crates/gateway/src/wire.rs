@@ -8,7 +8,7 @@
 use crate::dispatch::{Answered, LaneStatus, Rejection};
 use fakeaudit_detectors::ToolId;
 use fakeaudit_store::StoreHealth;
-use fakeaudit_telemetry::MetricsSnapshot;
+use fakeaudit_telemetry::{AlertPhase, MetricsSnapshot, MonitorCounts, RetentionStats};
 use fakeaudit_twittersim::AccountId;
 use std::fmt::Write as _;
 
@@ -120,13 +120,40 @@ fn store_json(store: Option<&StoreHealth>) -> String {
     }
 }
 
+/// The per-route SLO block as a JSON value: an array of
+/// `{"route":…,"status":…}` when the gateway runs a monitor (`--slo`),
+/// `null` otherwise.
+fn slo_json(slo: Option<&[(String, AlertPhase)]>) -> String {
+    match slo {
+        Some(routes) => {
+            let mut out = String::from("[");
+            for (i, (route, phase)) in routes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"route\":{},\"status\":{}}}",
+                    quoted(route),
+                    quoted(phase.as_str())
+                );
+            }
+            out.push(']');
+            out
+        }
+        None => "null".to_owned(),
+    }
+}
+
 /// The `/healthz` body: overall status plus per-tool breaker state and
-/// queue depth, and — when persisting — the history store's state.
+/// queue depth, the per-route SLO status when a monitor runs, and —
+/// when persisting — the history store's state.
 pub fn health_json(
     lanes: &[LaneStatus],
     uptime_secs: f64,
     draining: bool,
     store: Option<&StoreHealth>,
+    slo: Option<&[(String, AlertPhase)]>,
 ) -> String {
     let mut out = String::with_capacity(256);
     out.push_str("{\"status\":");
@@ -138,8 +165,42 @@ pub fn health_json(
         }
         out.push_str(&lane_json(lane));
     }
-    let _ = write!(out, "],\"store\":{}}}", store_json(store));
+    let _ = write!(
+        out,
+        "],\"slo\":{},\"store\":{}}}",
+        slo_json(slo),
+        store_json(store)
+    );
     out
+}
+
+/// The monitor block for `/debug/vars` as a JSON value: cumulative
+/// alert-transition and trace-sampling counters plus the parked-lane
+/// state, or `null` when no monitor runs.
+fn monitor_json(monitor: Option<(&MonitorCounts, Option<RetentionStats>)>) -> String {
+    match monitor {
+        Some((counts, retention)) => {
+            let retention = retention.unwrap_or_default();
+            format!(
+                "{{\"alerts_pending\":{},\"alerts_firing\":{},\"alerts_resolved\":{},\
+                 \"active_pending\":{},\"active_firing\":{},\
+                 \"traces_kept\":{},\"traces_sampled\":{},\"traces_dropped\":{},\
+                 \"protected_trees\":{},\"parked_events\":{},\"parked_dropped\":{}}}",
+                counts.pending,
+                counts.firing,
+                counts.resolved,
+                counts.active_pending,
+                counts.active_firing,
+                counts.traces_kept,
+                counts.traces_sampled,
+                counts.traces_dropped,
+                retention.protected,
+                retention.parked,
+                retention.parked_dropped
+            )
+        }
+        None => "null".to_owned(),
+    }
 }
 
 /// The `/debug/vars` body: build info plus the live operational gauges an
@@ -152,6 +213,7 @@ pub fn debug_vars_json(
     dropped_trace_events: u64,
     lanes: &[LaneStatus],
     store: Option<&StoreHealth>,
+    monitor: Option<(&MonitorCounts, Option<RetentionStats>)>,
 ) -> String {
     let mut out = String::with_capacity(256);
     let _ = write!(
@@ -168,7 +230,12 @@ pub fn debug_vars_json(
         }
         out.push_str(&lane_json(lane));
     }
-    let _ = write!(out, "],\"store\":{}}}", store_json(store));
+    let _ = write!(
+        out,
+        "],\"monitor\":{},\"store\":{}}}",
+        monitor_json(monitor),
+        store_json(store)
+    );
     out
 }
 
@@ -235,6 +302,10 @@ fn prom_help(name: &str) -> &'static str {
         "gateway_request_secs" => "HTTP request duration in seconds, by route.",
         "breaker_transitions" => "Circuit-breaker state transitions by tool.",
         "api_calls" => "Simulated platform API calls by endpoint.",
+        "monitor_alerts" => "SLO alert state-machine transitions by resulting state.",
+        "monitor_alerts_firing" => "SLO alert machines currently firing.",
+        "monitor_alerts_pending" => "SLO alert machines currently pending.",
+        "monitor_traces" => "Tail-sampling decisions on finished request trees.",
         _ => "Audit-pipeline metric (see crates/telemetry).",
     }
 }
@@ -337,24 +408,34 @@ mod tests {
                 breaker: None,
             },
         ];
-        let body = health_json(&lanes, 1.5, false, None);
+        let body = health_json(&lanes, 1.5, false, None, None);
         assert_eq!(
             body,
             "{\"status\":\"ok\",\"uptime_secs\":1.5,\"tools\":[\
              {\"tool\":\"FC\",\"queue_depth\":2,\"breaker\":\"closed\"},\
-             {\"tool\":\"TA\",\"queue_depth\":0,\"breaker\":null}],\"store\":null}"
+             {\"tool\":\"TA\",\"queue_depth\":0,\"breaker\":null}],\
+             \"slo\":null,\"store\":null}"
         );
-        assert!(health_json(&[], 0.0, true, None).contains("\"draining\""));
+        assert!(health_json(&[], 0.0, true, None, None).contains("\"draining\""));
         let store = StoreHealth {
             segments: 3,
             buffered_rows: 5,
             flushed_rows: 12,
             last_flush_seq: 3,
         };
-        let body = health_json(&[], 0.0, false, Some(&store));
+        let body = health_json(&[], 0.0, false, Some(&store), None);
         assert!(body.contains(
             "\"store\":{\"segments\":3,\"buffered_rows\":5,\
              \"flushed_rows\":12,\"last_flush_seq\":3}"
+        ));
+        let slo = vec![
+            ("audit".to_owned(), AlertPhase::Firing),
+            ("query".to_owned(), AlertPhase::Idle),
+        ];
+        let body = health_json(&[], 0.0, false, None, Some(&slo));
+        assert!(body.contains(
+            "\"slo\":[{\"route\":\"audit\",\"status\":\"firing\"},\
+             {\"route\":\"query\",\"status\":\"ok\"}]"
         ));
     }
 
@@ -366,13 +447,45 @@ mod tests {
             queue_depth: 1,
             breaker: Some(BreakerState::HalfOpen),
         }];
-        let body = debug_vars_json("0.1.0", 2.0, false, 3, 17, &lanes, None);
+        let body = debug_vars_json("0.1.0", 2.0, false, 3, 17, &lanes, None, None);
         assert_eq!(
             body,
             "{\"version\":\"0.1.0\",\"uptime_secs\":2,\"draining\":false,\
              \"active_connections\":3,\"dropped_trace_events\":17,\"tools\":[\
-             {\"tool\":\"TA\",\"queue_depth\":1,\"breaker\":\"half_open\"}],\"store\":null}"
+             {\"tool\":\"TA\",\"queue_depth\":1,\"breaker\":\"half_open\"}],\
+             \"monitor\":null,\"store\":null}"
         );
+        let counts = MonitorCounts {
+            pending: 4,
+            firing: 2,
+            resolved: 4,
+            active_pending: 0,
+            active_firing: 1,
+            traces_kept: 9,
+            traces_sampled: 3,
+            traces_dropped: 88,
+        };
+        let retention = RetentionStats {
+            protected: 12,
+            parked: 7,
+            parked_dropped: 0,
+        };
+        let body = debug_vars_json(
+            "dev",
+            0.0,
+            false,
+            0,
+            0,
+            &[],
+            None,
+            Some((&counts, Some(retention))),
+        );
+        assert!(body.contains(
+            "\"monitor\":{\"alerts_pending\":4,\"alerts_firing\":2,\"alerts_resolved\":4,\
+             \"active_pending\":0,\"active_firing\":1,\
+             \"traces_kept\":9,\"traces_sampled\":3,\"traces_dropped\":88,\
+             \"protected_trees\":12,\"parked_events\":7,\"parked_dropped\":0}"
+        ));
     }
 
     #[test]

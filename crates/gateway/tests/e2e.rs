@@ -568,6 +568,119 @@ fn query_without_persist_is_404() {
 }
 
 #[test]
+fn slo_monitor_fires_on_burst_then_resolves() {
+    use fakeaudit_telemetry::{BurnRule, MonitorConfig};
+    // Sub-second windows so a shed burst walks the full
+    // Pending → Firing → Resolved arc inside the test.
+    let slo = MonitorConfig {
+        bucket_secs: 0.05,
+        availability_objective: 0.99,
+        latency_quantile: 0.95,
+        latency_objective_secs: 10.0,
+        rules: vec![BurnRule::new("fast", 0.5, 2.0, 2.0, 0.1, 0.3)],
+        history_capacity: 32,
+        history_interval_secs: 0.2,
+        sample_keep: 1.0,
+        parked_capacity: 1024,
+        seed: 7,
+    };
+    let config = GatewayConfig {
+        accept_threads: 4,
+        server: ServerConfig {
+            workers_per_tool: 1,
+            queue_capacity: 1,
+            policy: OverloadPolicy::Shed,
+            ..ServerConfig::default()
+        },
+        default_tool: ToolId::Twitteraudit,
+        read_timeout: Duration::from_secs(5),
+        slo: Some(slo),
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::bind(
+        config,
+        Arc::new(Platform::new()),
+        vec![pool(
+            ToolId::Twitteraudit,
+            1,
+            Duration::from_millis(80),
+            &[],
+        )],
+        Arc::new(WallClock::new()),
+        Telemetry::enabled(),
+    )
+    .expect("bind ephemeral port");
+    let addr = gateway.local_addr();
+
+    // Before any monitor-visible traffic the surfaces are wired but
+    // quiet: /healthz carries an slo array, /debug/vars a monitor block.
+    assert!(get(addr, "/healthz").contains("\"slo\":["));
+    assert!(get(addr, "/debug/vars").contains("\"monitor\":{\"alerts_pending\":"));
+
+    // A 5xx burst: 8 concurrent audits into capacity 2 must shed.
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                scope.spawn(move || status_of(&post_audit(addr, &format!("/audit/{}", 300 + i))))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(statuses.iter().any(|&s| s == 503), "{statuses:?}");
+
+    let poll = |needle: &str, deadline: Duration| -> String {
+        let start = std::time::Instant::now();
+        loop {
+            let body = get(addr, "/alerts");
+            if body.contains(needle) {
+                return body;
+            }
+            assert!(
+                start.elapsed() < deadline,
+                "no {needle:?} within {deadline:?}; last body: {body}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    };
+    // The alert must fire on the audit route, then — with the burst
+    // over and the windows drained — resolve on its own.
+    let firing = poll("\"to\":\"firing\"", Duration::from_secs(10));
+    assert!(firing.contains("\"route\":\"audit\""), "{firing}");
+    assert!(
+        firing.contains("\"exemplar\":\"span#"),
+        "firing alert must carry an exemplar: {firing}"
+    );
+    poll("\"to\":\"resolved\"", Duration::from_secs(15));
+
+    // The exemplar tree is pinned: its span id is still in the buffer.
+    let resolved = get(addr, "/alerts");
+    let vars = get(addr, "/debug/vars");
+    assert!(vars.contains("\"traces_kept\":"), "{vars}");
+    let history = get(addr, "/metrics/history");
+    assert!(history.contains("\"frames\":[{"), "{history}");
+    assert!(history.contains("\"counter_deltas\""), "{history}");
+    let report = gateway.shutdown();
+    assert!(report.shed() >= 1);
+    drop(resolved);
+}
+
+#[test]
+fn slo_routes_404_without_monitor() {
+    let gateway = boot(
+        ServerConfig::default(),
+        vec![pool(ToolId::Twitteraudit, 1, Duration::ZERO, &[])],
+    );
+    let addr = gateway.local_addr();
+    let alerts = get(addr, "/alerts");
+    assert_eq!(status_of(&alerts), 404);
+    assert!(alerts.contains("no slo monitor"), "{alerts}");
+    assert_eq!(status_of(&get(addr, "/metrics/history")), 404);
+    assert!(get(addr, "/healthz").contains("\"slo\":null"));
+    assert!(get(addr, "/debug/vars").contains("\"monitor\":null"));
+    gateway.shutdown();
+}
+
+#[test]
 fn breaker_telemetry_flows_through_shared_names() {
     // The gateway records through the same metric vocabulary as the
     // simulator; a served request must show up under server.* names.

@@ -26,7 +26,7 @@ use fakeaudit_analytics::{OnlineService, ServiceError, ServiceResponse};
 use fakeaudit_detectors::{FollowerAuditor, ToolId};
 use fakeaudit_store::SharedWriter;
 use fakeaudit_telemetry::analyze::names;
-use fakeaudit_telemetry::{Telemetry, TraceContext};
+use fakeaudit_telemetry::{SloMonitor, SpanId, Telemetry, TraceContext};
 use fakeaudit_twittersim::{AccountId, Platform};
 use std::sync::OnceLock;
 
@@ -565,6 +565,7 @@ pub struct ServerSim<'p> {
     telemetry: Telemetry,
     root: TraceContext,
     persist: Option<SharedWriter>,
+    monitor: Option<SloMonitor>,
 }
 
 impl<'p> ServerSim<'p> {
@@ -596,7 +597,20 @@ impl<'p> ServerSim<'p> {
             telemetry,
             root,
             persist: None,
+            monitor: None,
         }
+    }
+
+    /// Attaches a streaming SLO monitor driven on the sim clock: the
+    /// event loop feeds it one observation per finished request (keyed
+    /// by tool abbreviation) and ticks it every
+    /// [`MonitorConfig::bucket_secs`](fakeaudit_telemetry::MonitorConfig::bucket_secs)
+    /// of simulated time, then runs the ticks past the makespan until
+    /// every window has drained, so alerts raised by the tail of the
+    /// trace still resolve deterministically.
+    pub fn with_monitor(&mut self, monitor: SloMonitor) -> &mut Self {
+        self.monitor = Some(monitor);
+        self
     }
 
     /// Persists every answered request (completed or degraded) into the
@@ -652,7 +666,20 @@ impl<'p> ServerSim<'p> {
         for req in trace {
             heap.push(req.at, Event::Arrival(*req));
         }
+        let tick_secs = self
+            .monitor
+            .as_ref()
+            .map(|m| m.config().bucket_secs.max(f64::EPSILON));
+        let mut next_tick = tick_secs.unwrap_or(0.0);
         while let Some((now, event)) = heap.pop() {
+            if let (Some(monitor), Some(step)) = (&self.monitor, tick_secs) {
+                // The monitor sees time advance in bucket-sized steps,
+                // interleaved with the events in heap order.
+                while next_tick <= now {
+                    monitor.tick(next_tick);
+                    next_tick += step;
+                }
+            }
             self.makespan = self.makespan.max(now);
             match event {
                 Event::Arrival(req) => self.on_arrival(now, req, &mut heap),
@@ -660,6 +687,22 @@ impl<'p> ServerSim<'p> {
                     self.servers[server].idle_workers += 1;
                     self.drain_queue(now, server, &mut heap);
                 }
+            }
+        }
+        if let (Some(monitor), Some(step)) = (&self.monitor, tick_secs) {
+            // Drain: tick until every window has emptied and every
+            // clear dwell could have been served, so in-flight alerts
+            // resolve before the report is cut.
+            let drain = monitor
+                .config()
+                .rules
+                .iter()
+                .map(|r| r.long_secs.max(r.short_secs) + r.pending_secs + r.clear_secs)
+                .fold(0.0, f64::max);
+            let end = self.makespan + drain + step;
+            while next_tick <= end {
+                monitor.tick(next_tick);
+                next_tick += step;
             }
         }
         let report = ServerReport {
@@ -704,6 +747,7 @@ impl<'p> ServerSim<'p> {
                 finished: None,
                 outcome: RequestOutcome::Shed,
             });
+            self.observe_monitor(req.tool, now, None, false, None);
             return;
         };
         self.servers[idx].summary.offered += 1;
@@ -715,6 +759,24 @@ impl<'p> ServerSim<'p> {
         match self.servers[idx].queue.offer(req) {
             Admission::Enqueued | Admission::Blocked => {}
             Admission::Overloaded => self.overloaded(now, idx, req),
+        }
+    }
+
+    /// Feeds one finished request to the attached monitor, if any.
+    /// Routes are keyed by tool abbreviation, matching the metric
+    /// labels; `ok` is the client-visible verdict (shed, failed and
+    /// expired are not ok) and `root` the request's trace-tree root for
+    /// the tail sampler.
+    fn observe_monitor(
+        &self,
+        tool: ToolId,
+        end_secs: f64,
+        latency_secs: Option<f64>,
+        ok: bool,
+        root: Option<SpanId>,
+    ) {
+        if let Some(monitor) = &self.monitor {
+            monitor.observe_request(tool.abbrev(), end_secs, latency_secs, ok, root);
         }
     }
 
@@ -735,10 +797,12 @@ impl<'p> ServerSim<'p> {
                 let finished = now + self.config.degraded_secs;
                 self.makespan = self.makespan.max(finished);
                 server.summary.degraded += 1;
+                let mut root_id = None;
                 if self.root.is_enabled() {
                     let tool = req.tool.abbrev();
                     let target = req.target.to_string();
                     let req_ctx = self.root.child();
+                    root_id = req_ctx.span_id();
                     req_ctx.span(
                         names::SERVER_SERVICE,
                         now,
@@ -762,6 +826,7 @@ impl<'p> ServerSim<'p> {
                     outcome: RequestOutcome::Degraded,
                 });
                 self.persist_completion(&req, finished, "degraded", &resp);
+                self.observe_monitor(req.tool, finished, Some(finished - req.at), true, root_id);
                 return;
             }
         }
@@ -776,6 +841,7 @@ impl<'p> ServerSim<'p> {
             finished: None,
             outcome: RequestOutcome::Shed,
         });
+        self.observe_monitor(req.tool, now, None, false, None);
     }
 
     /// Occupies one worker with `req`. Failures are instantaneous, so the
@@ -847,6 +913,13 @@ impl<'p> ServerSim<'p> {
                     },
                 });
                 self.persist_completion(&req, finished, "completed", &resp);
+                self.observe_monitor(
+                    req.tool,
+                    finished,
+                    Some(finished - req.at),
+                    true,
+                    req_ctx.span_id(),
+                );
                 heap.push(finished, Event::WorkerDone { server: idx });
             }
             Err(_) => {
@@ -861,6 +934,11 @@ impl<'p> ServerSim<'p> {
                     finished: Some(now),
                     outcome: RequestOutcome::Failed,
                 });
+                // The request and service span ids were allocated before
+                // the backend ran, so any API-fault evidence the backend
+                // traced hangs under them: hand the monitor that tree as
+                // the failure exemplar.
+                self.observe_monitor(req.tool, now, Some(now - req.at), false, req_ctx.span_id());
             }
         }
     }
@@ -886,6 +964,7 @@ impl<'p> ServerSim<'p> {
                     finished: Some(now),
                     outcome: RequestOutcome::Expired,
                 });
+                self.observe_monitor(req.tool, now, None, false, None);
                 continue;
             }
             self.start_service(now, idx, req, heap);

@@ -1,9 +1,12 @@
 //! Property tests for admission control and the event loop: the
 //! invariants ISSUE 3 pins down — bounded queues stay bounded, per-tool
 //! service order is FIFO, and no request is ever lost or double-counted,
-//! whatever the policy — plus the live-tracing invariants of ISSUE 4:
-//! every offered request is trace-accounted exactly once, and request
-//! trees are well-formed (parents exist, child intervals nest).
+//! whatever the policy — plus the live-tracing invariants of ISSUE 4
+//! (every offered request is trace-accounted exactly once, and request
+//! trees are well-formed) and the SLO-monitor invariants of ISSUE 9:
+//! the alert state machine never skips a state, the alert log is a
+//! deterministic function of the observation stream, and histogram
+//! snapshots merge losslessly.
 
 use fakeaudit_analytics::{ServiceError, ServiceResponse};
 use fakeaudit_detectors::{AuditOutcome, ToolId, VerdictCounts};
@@ -12,7 +15,9 @@ use fakeaudit_server::{
     ServerSim,
 };
 use fakeaudit_telemetry::analyze::names;
-use fakeaudit_telemetry::{Telemetry, TraceEvent, TraceTree};
+use fakeaudit_telemetry::{
+    BurnRule, MonitorConfig, SloMonitor, Telemetry, TraceEvent, TraceTree, TransitionKind,
+};
 use fakeaudit_twittersim::{AccountId, Platform, SimTime};
 use proptest::prelude::*;
 
@@ -134,6 +139,51 @@ fn run_traced(
     }
     let report = sim.run(trace);
     (report, telemetry.events())
+}
+
+/// A tight monitor config for property runs: 1 s buckets, two burn
+/// rules with different dwell geometry so rule interleavings are
+/// exercised, both signals live.
+fn monitor_config(seed: u64) -> MonitorConfig {
+    MonitorConfig {
+        bucket_secs: 1.0,
+        availability_objective: 0.99,
+        latency_quantile: 0.95,
+        latency_objective_secs: 1.0,
+        rules: vec![
+            BurnRule::new("fast", 3.0, 9.0, 2.0, 2.0, 3.0),
+            BurnRule::new("slow", 6.0, 18.0, 1.5, 4.0, 6.0),
+        ],
+        history_capacity: 8,
+        history_interval_secs: 16.0,
+        sample_keep: 0.5,
+        parked_capacity: 64,
+        seed,
+    }
+}
+
+/// Replays `stream` (one request per second; `(ok, slow)` per request)
+/// through a fresh monitor, ticking every bucket and draining past the
+/// end so every raised alert can resolve.
+fn run_monitor(seed: u64, stream: &[(bool, bool)]) -> SloMonitor {
+    let config = monitor_config(seed);
+    let monitor = SloMonitor::new(config, Telemetry::enabled());
+    let mut next_tick = 1.0f64;
+    for (i, &(ok, slow)) in stream.iter().enumerate() {
+        let t = i as f64 + 0.5;
+        while next_tick <= t {
+            monitor.tick(next_tick);
+            next_tick += 1.0;
+        }
+        let latency = if slow { 2.0 } else { 0.1 };
+        monitor.observe_request("R", t, Some(latency), ok, None);
+    }
+    let drain = stream.len() as f64 + 18.0 + 4.0 + 6.0 + 1.0;
+    while next_tick <= drain {
+        monitor.tick(next_tick);
+        next_tick += 1.0;
+    }
+    monitor
 }
 
 proptest! {
@@ -319,5 +369,104 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Whatever the observation stream, every alert machine walks
+    /// `pending → firing → resolved` without skipping a state: the
+    /// per-(rule, signal) transition sequence starts at `pending`,
+    /// `firing` only follows `pending`, and a new `pending` only follows
+    /// `resolved` — and after the drain no alert is left open.
+    #[test]
+    fn alert_machine_never_skips_states(
+        seed in any::<u64>(),
+        stream in prop::collection::vec(any::<(bool, bool)>(), 1..120),
+    ) {
+        let monitor = run_monitor(seed, &stream);
+        let log = monitor.transitions();
+        let mut machines: std::collections::BTreeMap<String, Option<TransitionKind>> =
+            std::collections::BTreeMap::new();
+        let mut last_at = f64::NEG_INFINITY;
+        for t in &log {
+            prop_assert!(t.at_secs >= last_at, "log must be time-ordered");
+            last_at = t.at_secs;
+            let key = format!("{}/{}/{}", t.route, t.rule, t.signal);
+            let prev = machines.entry(key.clone()).or_default();
+            let legal = match (*prev, t.to) {
+                (None | Some(TransitionKind::Resolved), TransitionKind::Pending) => true,
+                (Some(TransitionKind::Pending), TransitionKind::Firing) => true,
+                (
+                    Some(TransitionKind::Pending) | Some(TransitionKind::Firing),
+                    TransitionKind::Resolved,
+                ) => true,
+                _ => false,
+            };
+            prop_assert!(legal, "{key}: {:?} -> {:?}", prev, t.to);
+            *prev = Some(t.to);
+        }
+        for (key, last) in &machines {
+            prop_assert!(
+                matches!(last, Some(TransitionKind::Resolved)),
+                "{key} left open after drain: {last:?}"
+            );
+        }
+        let counts = monitor.counts();
+        prop_assert_eq!(counts.active_firing, 0);
+        prop_assert_eq!(counts.active_pending, 0);
+        prop_assert_eq!(counts.pending, counts.resolved);
+        prop_assert!(counts.firing <= counts.pending);
+    }
+
+    /// The alert log is a pure function of (seed, observation stream):
+    /// two replays render byte-identical logs and identical counters.
+    #[test]
+    fn alert_log_is_deterministic(
+        seed in any::<u64>(),
+        stream in prop::collection::vec(any::<(bool, bool)>(), 1..80),
+    ) {
+        let a = run_monitor(seed, &stream);
+        let b = run_monitor(seed, &stream);
+        prop_assert_eq!(a.render_alert_log(), b.render_alert_log());
+        prop_assert_eq!(a.counts(), b.counts());
+        prop_assert_eq!(a.alerts_json(), b.alerts_json());
+    }
+
+    /// Merging histogram snapshots whose observations landed in disjoint
+    /// bucket ranges is lossless: counts and sums add, min/max span both
+    /// sides, and every merged bucket carries exactly the side that
+    /// populated it.
+    #[test]
+    fn histogram_merge_is_lossless_on_disjoint_buckets(
+        lows in prop::collection::vec(0.0015f64..0.009, 1..40),
+        highs in prop::collection::vec(15.0f64..55.0, 1..40),
+    ) {
+        let t_low = Telemetry::enabled();
+        let t_high = Telemetry::enabled();
+        for &v in &lows {
+            t_low.observe("m", &[], v);
+        }
+        for &v in &highs {
+            t_high.observe("m", &[], v);
+        }
+        let a = t_low.snapshot().histogram("m", &[]).expect("low histogram").clone();
+        let b = t_high.snapshot().histogram("m", &[]).expect("high histogram").clone();
+        let mut merged = a.clone();
+        merged.merge(&b);
+
+        prop_assert_eq!(merged.count, a.count + b.count);
+        prop_assert!((merged.sum - (a.sum + b.sum)).abs() < 1e-9);
+        prop_assert_eq!(merged.min, a.min);
+        prop_assert_eq!(merged.max, b.max);
+        prop_assert_eq!(merged.buckets.len(), a.buckets.len());
+        for (i, &(bound, count)) in merged.buckets.iter().enumerate() {
+            prop_assert_eq!(bound, a.buckets[i].0);
+            prop_assert_eq!(count, a.buckets[i].1 + b.buckets[i].1);
+            // Disjoint ranges: no bucket is populated by both sides.
+            prop_assert!(a.buckets[i].1 == 0 || b.buckets[i].1 == 0);
+        }
+        // The merged quantiles stay inside the observed range and
+        // straddle the gap: the median of a lopsided merge lands on the
+        // heavier side's bucket.
+        let q50 = merged.quantile(0.5);
+        prop_assert!(q50 >= merged.min && q50 <= merged.max);
     }
 }

@@ -21,6 +21,11 @@
 //! * [`analyze`] — the trace-tree analysis layer: per-request waterfalls,
 //!   critical-path latency attribution, the Chrome trace-event exporter
 //!   and the sliding-window SLO evaluator;
+//! * [`monitor`] — the *streaming* half of the SLO story: per-route
+//!   sliding time-bucket windows, multi-window multi-burn-rate alerting
+//!   with a `Pending → Firing → Resolved` state machine, a fixed-capacity
+//!   metrics history ring, and the tail-based trace sampler that decides
+//!   which request trees the bounded trace buffer must retain;
 //! * [`profile`] — per-span self-time aggregation folding whole traces
 //!   into deterministic folded-stack flamegraph text, plus the opt-in
 //!   counting global allocator (feature `alloc-profile`);
@@ -56,6 +61,7 @@
 pub mod analyze;
 pub mod clock;
 pub mod metrics;
+pub mod monitor;
 pub mod profile;
 pub mod report;
 pub mod sink;
@@ -67,16 +73,65 @@ pub use analyze::{
 };
 pub use clock::{Clock, ManualClock, WallClock};
 pub use metrics::{Exemplar, HistogramSnapshot, MetricKey, MetricsRegistry, MetricsSnapshot};
+pub use monitor::{
+    AlertPhase, AlertTransition, BurnRule, HistoryFrame, MonitorConfig, MonitorCounts, Signal,
+    SloMonitor, TransitionKind,
+};
 pub use profile::{AllocCounts, AllocScope, SelfTimeProfile};
 pub use report::RunReport;
 pub use sink::JsonlSink;
 pub use trace::{EventKind, SpanId, TraceContext, TraceEvent};
 
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Tail-sampling retention state: which request trees must survive
+/// trace-buffer eviction, and the side lane holding protected events the
+/// ring would otherwise have dropped.
+#[derive(Debug, Default)]
+struct Retention {
+    /// Span id → root span id of its request tree, registered when the
+    /// span's context is opened (parents are opened before children, so
+    /// the parent's root is always known by then).
+    roots: HashMap<u64, u64>,
+    /// Root ids whose whole tree must survive eviction: error, slow, and
+    /// alert-exemplar trees, plus the seeded-probabilistic keepers.
+    protected: HashSet<u64>,
+    /// Protected events rescued from ring eviction, oldest first.
+    parked: VecDeque<TraceEvent>,
+    /// Bound on `parked`; beyond it even protected events are dropped
+    /// (and counted) rather than growing without limit.
+    parked_capacity: usize,
+    /// Protected events the parked lane itself had to drop.
+    parked_dropped: u64,
+}
+
+impl Retention {
+    /// Caps the span→root index: past the threshold, mappings for
+    /// unprotected trees are discarded (their events fall back to plain
+    /// oldest-first eviction, which is what they would get anyway).
+    fn prune_roots(&mut self) {
+        const MAX_ROOTS: usize = 1 << 18;
+        if self.roots.len() > MAX_ROOTS {
+            let protected = &self.protected;
+            self.roots.retain(|_, root| protected.contains(root));
+        }
+    }
+}
+
+/// A point-in-time view of the tail-sampling retention state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetentionStats {
+    /// Root ids currently pinned against eviction.
+    pub protected: usize,
+    /// Protected events rescued into the parked lane so far.
+    pub parked: usize,
+    /// Protected events the bounded parked lane itself dropped.
+    pub parked_dropped: u64,
+}
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -89,6 +144,11 @@ struct Inner {
     event_capacity: Option<usize>,
     /// Events evicted oldest-first once the buffer hit its bound.
     dropped_events: AtomicU64,
+    /// Fast-path flag for [`Inner::retention`]: avoids a second lock per
+    /// recorded span when no sampler is installed (the default).
+    retention_on: AtomicBool,
+    /// Tail-sampling state; `None` until a monitor installs it.
+    retention: Mutex<Option<Retention>>,
 }
 
 /// A shared telemetry handle: either disabled (every call is a no-op
@@ -156,17 +216,109 @@ impl Telemetry {
             .map(|inner| SpanId(inner.span_ids.fetch_add(1, Ordering::Relaxed) + 1))
     }
 
+    /// Installs tail-sampling retention on this handle's trace buffer:
+    /// from now on, span→root lineage is tracked as contexts open, and
+    /// events of trees pinned via [`Telemetry::protect_tree`] survive
+    /// ring eviction in a bounded side lane of `parked_capacity` events.
+    ///
+    /// Without a bound ([`Telemetry::enabled`]) nothing is ever evicted,
+    /// so retention only changes behaviour on bounded handles. Installing
+    /// twice keeps the existing state and tightens nothing.
+    pub fn enable_tail_retention(&self, parked_capacity: usize) {
+        if let Some(inner) = &self.inner {
+            let mut retention = inner.retention.lock();
+            if retention.is_none() {
+                *retention = Some(Retention {
+                    parked_capacity: parked_capacity.max(1),
+                    ..Retention::default()
+                });
+            }
+            inner.retention_on.store(true, Ordering::Release);
+        }
+    }
+
+    /// Pins the request tree rooted at `root` against trace-buffer
+    /// eviction. No-op unless [`Telemetry::enable_tail_retention`] ran.
+    pub fn protect_tree(&self, root: SpanId) {
+        if let Some(inner) = &self.inner {
+            if inner.retention_on.load(Ordering::Acquire) {
+                if let Some(ret) = inner.retention.lock().as_mut() {
+                    ret.protected.insert(root.0);
+                }
+            }
+        }
+    }
+
+    /// The tail-sampling retention counters, when installed.
+    pub fn retention_stats(&self) -> Option<RetentionStats> {
+        let inner = self.inner.as_ref()?;
+        let retention = inner.retention.lock();
+        retention.as_ref().map(|ret| RetentionStats {
+            protected: ret.protected.len(),
+            parked: ret.parked.len(),
+            parked_dropped: ret.parked_dropped,
+        })
+    }
+
+    /// Records `id`'s tree lineage while retention is on: the root of a
+    /// span is its parent's root, or itself at the top of a tree. Called
+    /// by [`TraceContext::child`], where parent ids are always known.
+    pub(crate) fn register_span(&self, id: SpanId, parent: Option<SpanId>) {
+        if let Some(inner) = &self.inner {
+            if inner.retention_on.load(Ordering::Acquire) {
+                if let Some(ret) = inner.retention.lock().as_mut() {
+                    let root = match parent {
+                        Some(p) => ret.roots.get(&p.0).copied().unwrap_or(p.0),
+                        None => id.0,
+                    };
+                    ret.roots.insert(id.0, root);
+                    ret.prune_roots();
+                }
+            }
+        }
+    }
+
     /// Appends a fully built record to the trace, evicting the oldest
-    /// event first when a buffer bound is set and reached.
+    /// event first when a buffer bound is set and reached. With tail
+    /// retention installed, evicted events of protected trees are parked
+    /// instead of dropped.
     pub(crate) fn push_event(&self, event: TraceEvent) {
         if let Some(inner) = &self.inner {
             let mut events = inner.events.lock();
             if inner.event_capacity.is_some_and(|cap| events.len() >= cap) {
-                events.pop_front();
-                inner.dropped_events.fetch_add(1, Ordering::Relaxed);
+                if let Some(evicted) = events.pop_front() {
+                    if !self.park_if_protected(inner, evicted) {
+                        inner.dropped_events.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
             events.push_back(event);
         }
+    }
+
+    /// Moves `evicted` to the parked lane when its tree is protected;
+    /// returns whether it was rescued. The tree of a span is looked up by
+    /// its own id, of a point by its parent's.
+    fn park_if_protected(&self, inner: &Inner, evicted: TraceEvent) -> bool {
+        if !inner.retention_on.load(Ordering::Acquire) {
+            return false;
+        }
+        let Some(ret) = &mut *inner.retention.lock() else {
+            return false;
+        };
+        let Some(member) = evicted.id.or(evicted.parent) else {
+            return false;
+        };
+        let root = ret.roots.get(&member.0).copied().unwrap_or(member.0);
+        if !ret.protected.contains(&root) {
+            return false;
+        }
+        if ret.parked.len() >= ret.parked_capacity {
+            ret.parked_dropped += 1;
+            return false;
+        }
+        ret.parked.push_back(evicted);
+        true
     }
 
     /// Records a closed span `[t0, t1]` in simulated seconds.
@@ -229,10 +381,21 @@ impl Telemetry {
         }
     }
 
-    /// A copy of the trace so far (empty when disabled).
+    /// A copy of the trace so far (empty when disabled). With tail
+    /// retention installed, parked events — protected-tree events rescued
+    /// from ring eviction, which are older than everything still in the
+    /// ring — come first.
     pub fn events(&self) -> Vec<TraceEvent> {
         match &self.inner {
-            Some(inner) => inner.events.lock().iter().cloned().collect(),
+            Some(inner) => {
+                let events = inner.events.lock();
+                let retention = inner.retention.lock();
+                let mut out: Vec<TraceEvent> = retention
+                    .as_ref()
+                    .map_or_else(Vec::new, |r| r.parked.iter().cloned().collect());
+                out.extend(events.iter().cloned());
+                out
+            }
             None => Vec::new(),
         }
     }

@@ -229,9 +229,15 @@ impl TraceContext {
     /// without recording anything yet. Call [`TraceContext::record`] on
     /// the returned context once the interval is known.
     pub fn child(&self) -> TraceContext {
+        let current = self.telemetry.alloc_span_id();
+        if let Some(id) = current {
+            // Tree lineage for the tail sampler: a span's root is fixed
+            // the moment its context opens, before any event lands.
+            self.telemetry.register_span(id, self.current);
+        }
         TraceContext {
             telemetry: self.telemetry.clone(),
-            current: self.telemetry.alloc_span_id(),
+            current,
             parent: self.current,
             offset: self.offset,
         }
