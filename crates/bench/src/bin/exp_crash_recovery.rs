@@ -1,0 +1,148 @@
+//! E15 — crash recovery under fault injection (`exp_crash_recovery`).
+//!
+//! Sweeps seeded crash points × fsync policies × crash modes over the
+//! fault-injecting in-memory filesystem, plus a seeded-bit-flip
+//! corruption arm, and scores rows acked vs recovered, acked rows
+//! lost, WAL replays and quarantined segments (see
+//! `experiments::crash_recovery`). Writes
+//! `results/BENCH_recovery.json`.
+//!
+//! Like E14 this runs entirely off the wall clock — every fault is a
+//! scripted op index — so same seed ⇒ byte-identical JSON on any
+//! machine and the artifact doubles as a regression fixture for the
+//! store's durability floors: the run aborts (exit 2) if `on-append`
+//! ever loses an acked row, if `on-flush` loses a flush-acked row, or
+//! if a corrupted segment fails an open instead of degrading.
+//!
+//! Usage: `exp_crash_recovery [--quick] [--seed N] [--out PATH]`
+
+use fakeaudit_bench::{parse_args, RunOptions};
+use fakeaudit_core::experiments::crash_recovery::{
+    render, run_crash_recovery, CrashRecoveryResult,
+};
+use std::fmt::Write as _;
+
+struct RecoveryOptions {
+    run: RunOptions,
+    out: String,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Splits `--out` off and hands the rest to the shared bench parser.
+fn options() -> RecoveryOptions {
+    let mut rest = Vec::new();
+    let mut out = "results/BENCH_recovery.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => fail("--out needs a path"),
+            },
+            _ => rest.push(arg),
+        }
+    }
+    match parse_args(rest.into_iter()) {
+        Ok(run) => RecoveryOptions { run, out },
+        Err(msg) => fail(&format!("{msg} (also: --out PATH)")),
+    }
+}
+
+fn render_json(seed: u64, r: &CrashRecoveryResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"recovery\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\n    \"seed\": {seed},\n    \"crash_points\": {},\n    \
+         \"rows_per_run\": {},\n    \"flush_threshold\": {}\n  }},",
+        r.crash_points, r.rows_per_run, r.flush_threshold,
+    );
+    let _ = writeln!(out, "  \"scenarios\": [");
+    for (i, c) in r.cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"fsync\": \"{}\", \"mode\": \"{}\", \"runs\": {}, \"op_space\": {}, \
+             \"rows_acked\": {}, \"rows_flush_acked\": {}, \"rows_recovered\": {}, \
+             \"acked_rows_lost\": {}, \"max_acked_lost\": {}, \"flushed_rows_lost\": {}, \
+             \"wal_rows_recovered\": {}, \"quarantined_segments\": {}}}",
+            c.fsync,
+            c.mode,
+            c.runs,
+            c.op_space,
+            c.rows_acked,
+            c.rows_flush_acked,
+            c.rows_recovered,
+            c.acked_rows_lost,
+            c.max_acked_lost,
+            c.flushed_rows_lost,
+            c.wal_rows_recovered,
+            c.quarantined_segments,
+        );
+        let _ = writeln!(out, "{}", if i + 1 < r.cells.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
+    let cr = &r.corruption;
+    let _ = writeln!(
+        out,
+        "  \"corruption\": {{\"flips\": {}, \"rows_per_store\": {}, \"verify_flagged\": {}, \
+         \"opens_failed\": {}, \"quarantined_segments\": {}, \"rows_served\": {}, \
+         \"rows_expected\": {}}}",
+        cr.flips,
+        cr.rows_per_store,
+        cr.verify_flagged,
+        cr.opens_failed,
+        cr.quarantined_segments,
+        cr.rows_served,
+        cr.rows_expected,
+    );
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    let opts = options();
+    let seed = opts.run.seed;
+    let result = run_crash_recovery(opts.run.scale, seed);
+    print!("{}", render(&result));
+
+    // The durability floors are the point of the artifact: refuse to
+    // write a fixture that documents a broken promise.
+    for c in &result.cells {
+        if c.fsync == "on-append" && c.acked_rows_lost != 0 {
+            fail(&format!(
+                "{}/{}: on-append lost {} acked rows — the ack is broken",
+                c.fsync, c.mode, c.acked_rows_lost
+            ));
+        }
+        if c.fsync != "never" && c.flushed_rows_lost != 0 {
+            fail(&format!(
+                "{}/{}: lost {} rows whose flush was acked",
+                c.fsync, c.mode, c.flushed_rows_lost
+            ));
+        }
+    }
+    let cr = &result.corruption;
+    if cr.opens_failed != 0 {
+        fail("a corrupted segment failed Store::open instead of degrading");
+    }
+    if cr.verify_flagged != cr.flips {
+        fail("verify missed a seeded bit flip");
+    }
+
+    let json = render_json(seed, &result);
+    if let Some(parent) = std::path::Path::new(&opts.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(&opts.out, &json) {
+        Ok(()) => println!("wrote {}", opts.out),
+        Err(e) => fail(&format!("cannot write {}: {e}", opts.out)),
+    }
+}

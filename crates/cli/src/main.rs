@@ -30,7 +30,7 @@ use fakeaudit_stats::rng::derive_seed;
 use fakeaudit_stats::sample_size::{required_sample_size, worst_case_margin};
 use fakeaudit_stats::ConfidenceLevel;
 use fakeaudit_store::queries::{self, QueryKind, QueryOptions};
-use fakeaudit_store::{compact, open_shared, Store};
+use fakeaudit_store::{compact, open_shared_with, repair, verify, FsyncPolicy, Store};
 use fakeaudit_telemetry::analyze::chrome_trace_json;
 use fakeaudit_telemetry::sink::parse_jsonl;
 use fakeaudit_telemetry::{
@@ -62,7 +62,8 @@ USAGE:
   fakeaudit serve-sim [--rate F] [--duration S] [--policy block|shed|degrade]
                       [--workers N] [--queue N] [--targets N] [--followers N]
                       [--fc-sample N] [--burst] [--seed S] [--persist DIR]
-                      [--slo] [--fault-rate F] [--alert-log PATH]
+                      [--fsync never|on-flush|on-append] [--slo]
+                      [--fault-rate F] [--alert-log PATH]
                       [--telemetry PATH] [--quiet]
       Run the four tools as a concurrent service on the simulated clock:
       open-loop Poisson arrivals (--burst adds a flash crowd) against a
@@ -81,7 +82,8 @@ USAGE:
   fakeaudit serve [--host H] [--port N] [--workers N] [--queue-depth N]
                   [--policy block|shed|degrade] [--accept-threads N]
                   [--targets N] [--seed S] [--duration SECS] [--full]
-                  [--persist DIR] [--slo] [--telemetry PATH] [--quiet]
+                  [--persist DIR] [--fsync never|on-flush|on-append]
+                  [--slo] [--telemetry PATH] [--quiet]
       Serve audits over real HTTP on the wall clock: the same prewarmed
       world, admission queues, overload policies and circuit breakers as
       serve-sim, behind POST /audit/:target, GET /audit/:target/stream,
@@ -112,12 +114,16 @@ USAGE:
       segments via their zone maps. Exits nonzero for an unknown kind or
       a missing store directory.
 
-  fakeaudit store <compact|stats> [--dir DIR]
+  fakeaudit store <compact|stats|verify|repair> [--dir DIR]
       Maintain a history store: stats prints per-segment row and byte
       counts; compact merges every segment into one (deterministic
-      order), cutting per-segment overhead on long histories.
+      order), cutting per-segment overhead on long histories; verify
+      deep-checks every segment checksum and WAL without writing
+      anything, exiting nonzero on corruption; repair runs the same
+      startup recovery a reopen would (settle interrupted compactions,
+      quarantine corrupt segments as .bad, drop stale WALs).
 
-  fakeaudit chaos [--seed S] [--full] [--persist DIR]
+  fakeaudit chaos [--seed S] [--full] [--persist DIR] [--fsync P]
       Run the E10 chaos sweep: an injected per-call API fault rate
       (bursty 503/429/timeout/truncation) against three resilience arms
       — no retries, capped-backoff retries, retries behind a per-tool
@@ -162,6 +168,10 @@ USAGE:
       Show this message.
 
 OPTIONS:
+  --fsync P          Ack-time durability floor for --persist stores:
+                     on-append fsyncs the write-ahead log before acking
+                     every row, on-flush (default) fsyncs at segment
+                     flush, never skips fsync entirely.
   --telemetry PATH   Trace the run on the simulated clock: write the span /
                      event stream as JSON lines to PATH and print a metrics
                      summary (API calls, rate-limit waits, cache hit ratio,
@@ -327,10 +337,12 @@ fn cmd_chaos(args: &ParsedArgs) -> Result<(), String> {
         fakeaudit_core::experiments::Scale::quick()
     };
     let persist_dir = args.raw("persist").map(str::to_string);
+    let fsync = fsync_from_args(args)?;
     let writer = match &persist_dir {
-        Some(dir) => {
-            Some(open_shared(dir).map_err(|e| format!("cannot open history store {dir}: {e}"))?)
-        }
+        Some(dir) => Some(
+            open_shared_with(dir, fsync)
+                .map_err(|e| format!("cannot open history store {dir}: {e}"))?,
+        ),
         None => None,
     };
     let result =
@@ -345,6 +357,15 @@ fn cmd_chaos(args: &ParsedArgs) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Parses `--fsync never|on-flush|on-append` (default: on-flush).
+fn fsync_from_args(args: &ParsedArgs) -> Result<FsyncPolicy, String> {
+    match args.raw("fsync") {
+        None => Ok(FsyncPolicy::default()),
+        Some(s) => FsyncPolicy::parse(s)
+            .ok_or_else(|| format!("--fsync must be never, on-flush or on-append, got {s:?}")),
+    }
 }
 
 /// Builds [`QueryOptions`] from `--since/--until/--bucket/--k/--by`.
@@ -421,11 +442,56 @@ fn cmd_store(args: &ParsedArgs) -> Result<(), String> {
             }
             Ok(())
         }
+        Some("verify") => {
+            let report = verify(dir).map_err(|e| format!("cannot verify store {dir:?}: {e}"))?;
+            println!(
+                "store {dir}: {} segment(s) ok ({} rows), {} acked row(s) in the WAL",
+                report.segments_ok, report.segment_rows, report.wal_rows
+            );
+            for note in &report.notes {
+                println!("  note: {note}");
+            }
+            for issue in &report.issues {
+                println!("  CORRUPT: {issue}");
+            }
+            if report.issues.is_empty() {
+                println!("  all checksums verified");
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} corrupt segment(s) in {dir} (run `fakeaudit store repair` to quarantine)",
+                    report.issues.len()
+                ))
+            }
+        }
+        Some("repair") => {
+            let report = repair(dir).map_err(|e| format!("cannot repair store {dir:?}: {e}"))?;
+            println!(
+                "store {dir}: {} healthy segment(s), {} row(s) replayable from the WAL",
+                report.segments_ok, report.wal_rows_recovered
+            );
+            if report.compact_resumed {
+                println!("  settled an interrupted compaction");
+            }
+            for q in &report.quarantined {
+                println!("  quarantined {} ({})", q.name, q.error);
+            }
+            if report.stale_wals_removed > 0 {
+                println!("  removed {} stale WAL file(s)", report.stale_wals_removed);
+            }
+            if report.tmp_files_removed > 0 {
+                println!("  swept {} staging file(s)", report.tmp_files_removed);
+            }
+            if report.is_clean() {
+                println!("  nothing to repair");
+            }
+            Ok(())
+        }
         Some(other) => Err(format!(
-            "unknown store action {other:?} (try compact, stats)\n\n{USAGE}"
+            "unknown store action {other:?} (try compact, stats, verify, repair)\n\n{USAGE}"
         )),
         None => Err(format!(
-            "store needs an action (compact or stats)\n\n{USAGE}"
+            "store needs an action (compact, stats, verify or repair)\n\n{USAGE}"
         )),
     }
 }
@@ -516,9 +582,11 @@ fn cmd_serve_sim(args: &ParsedArgs) -> Result<(), String> {
         telemetry.clone(),
     );
     let persist_dir = args.raw("persist").map(str::to_string);
+    let fsync = fsync_from_args(args)?;
     let writer = match &persist_dir {
         Some(dir) => {
-            let writer = open_shared(dir).map_err(|e| format!("cannot open store {dir:?}: {e}"))?;
+            let writer = open_shared_with(dir, fsync)
+                .map_err(|e| format!("cannot open store {dir:?}: {e}"))?;
             sim.persist_into(writer.clone());
             Some(writer)
         }
@@ -795,6 +863,7 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), String> {
             deadline_secs: None,
         },
         persist: persist_dir.as_deref().map(Into::into),
+        fsync: fsync_from_args(args)?,
         slo: slo.then(|| MonitorConfig::wall_default(seed)),
         ..defaults
     };

@@ -16,6 +16,7 @@
 //! | E9 | latency attribution under load (extension) | [`latency_attribution`] |
 //! | E10 | audit under an unreliable API (extension) | [`chaos`] |
 //! | E14 | fault-burst detection time (extension) | [`detect_time`] |
+//! | E15 | crash recovery under fault injection (extension) | [`crash_recovery`] |
 //! | A1 | ablation: prefix vs uniform sampling | [`ablation`] |
 //! | A2 | ablation: cache policy (latency vs staleness) | [`cache_ablation`] |
 //!
@@ -29,6 +30,7 @@ pub mod bias;
 pub mod burst;
 pub mod cache_ablation;
 pub mod chaos;
+pub mod crash_recovery;
 pub mod crawl;
 pub mod deep_dive;
 pub mod detect_time;

@@ -30,7 +30,7 @@ use crate::wire;
 use fakeaudit_detectors::ToolId;
 use fakeaudit_server::{flush_writer, writer_health, ServerConfig, ServerReport};
 use fakeaudit_store::queries::{self, QueryKind, QueryOptions};
-use fakeaudit_store::{open_shared, SharedWriter, Store, StoreHealth};
+use fakeaudit_store::{open_shared_with, FsyncPolicy, SharedWriter, Store, StoreHealth};
 use fakeaudit_telemetry::{Clock, MonitorConfig, SelfTimeProfile, SloMonitor, Telemetry};
 use fakeaudit_twittersim::{AccountId, Platform};
 use std::io::{self, Read};
@@ -69,6 +69,10 @@ pub struct GatewayConfig {
     /// Directory for the columnar audit-history store. `None` (the
     /// default) disables persistence and the `/query/:kind` routes.
     pub persist: Option<PathBuf>,
+    /// Ack-time durability floor for the history store's write-ahead
+    /// log (`--fsync never|on-flush|on-append`). Ignored without
+    /// `persist`.
+    pub fsync: FsyncPolicy,
     /// Streaming SLO monitor configuration. `None` (the default)
     /// disables the monitor, the background tick thread, and the
     /// `/alerts` + `/metrics/history` routes.
@@ -85,6 +89,7 @@ impl Default for GatewayConfig {
             default_tool: ToolId::Twitteraudit,
             read_timeout: Duration::from_secs(10),
             persist: None,
+            fsync: FsyncPolicy::default(),
             slo: None,
         }
     }
@@ -181,7 +186,7 @@ impl Gateway {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let persist = match &config.persist {
-            Some(dir) => Some((open_shared(dir)?, dir.clone())),
+            Some(dir) => Some((open_shared_with(dir, config.fsync)?, dir.clone())),
             None => None,
         };
         let dispatcher = Arc::new(Dispatcher::start_with_persist(

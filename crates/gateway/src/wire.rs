@@ -113,8 +113,17 @@ fn lane_json(lane: &LaneStatus) -> String {
 fn store_json(store: Option<&StoreHealth>) -> String {
     match store {
         Some(health) => format!(
-            "{{\"segments\":{},\"buffered_rows\":{},\"flushed_rows\":{},\"last_flush_seq\":{}}}",
-            health.segments, health.buffered_rows, health.flushed_rows, health.last_flush_seq
+            "{{\"segments\":{},\"buffered_rows\":{},\"flushed_rows\":{},\"last_flush_seq\":{},\
+             \"degraded\":{},\"dropped_rows\":{},\"quarantined_segments\":{},\
+             \"wal_recovered_rows\":{}}}",
+            health.segments,
+            health.buffered_rows,
+            health.flushed_rows,
+            health.last_flush_seq,
+            health.degraded,
+            health.dropped_rows,
+            health.quarantined_segments,
+            health.wal_recovered_rows
         ),
         None => "null".to_owned(),
     }
@@ -422,11 +431,17 @@ mod tests {
             buffered_rows: 5,
             flushed_rows: 12,
             last_flush_seq: 3,
+            degraded: true,
+            dropped_rows: 2,
+            quarantined_segments: 1,
+            wal_recovered_rows: 7,
         };
         let body = health_json(&[], 0.0, false, Some(&store), None);
         assert!(body.contains(
             "\"store\":{\"segments\":3,\"buffered_rows\":5,\
-             \"flushed_rows\":12,\"last_flush_seq\":3}"
+             \"flushed_rows\":12,\"last_flush_seq\":3,\
+             \"degraded\":true,\"dropped_rows\":2,\
+             \"quarantined_segments\":1,\"wal_recovered_rows\":7}"
         ));
         let slo = vec![
             ("audit".to_owned(), AlertPhase::Firing),

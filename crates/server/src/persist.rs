@@ -9,7 +9,11 @@
 //!
 //! Append failures are counted (`store.append_errors`), not propagated:
 //! history is an observability surface, and losing a row must never fail
-//! the request that produced it.
+//! the request that produced it. The writer itself degrades after a
+//! bounded run of consecutive I/O errors (it keeps serving and counts
+//! dropped rows instead of journaling); this module mirrors that state
+//! into `store.degraded` / `store.dropped_rows` and the startup
+//! recovery outcome into `store.recovery.*` gauges.
 
 use fakeaudit_analytics::ServiceResponse;
 use fakeaudit_store::{dominant_verdict, AuditRecord, SharedWriter, StoreHealth};
@@ -43,6 +47,23 @@ pub fn audit_record(
     }
 }
 
+/// Emits the health fields that track durability trouble: the degraded
+/// flag, rows dropped while degraded, and the startup recovery outcome.
+fn emit_durability_gauges(telemetry: &Telemetry, health: &StoreHealth) {
+    telemetry.gauge_set("store.degraded", &[], f64::from(u8::from(health.degraded)));
+    telemetry.gauge_set("store.dropped_rows", &[], health.dropped_rows as f64);
+    telemetry.gauge_set(
+        "store.recovery.quarantined_segments",
+        &[],
+        health.quarantined_segments as f64,
+    );
+    telemetry.gauge_set(
+        "store.recovery.wal_rows",
+        &[],
+        health.wal_recovered_rows as f64,
+    );
+}
+
 /// Appends one record through a shared writer, emitting `store.*`
 /// metrics for the append and for any segment flush it triggered.
 pub fn persist_record(writer: &SharedWriter, telemetry: &Telemetry, record: AuditRecord) {
@@ -50,10 +71,18 @@ pub fn persist_record(writer: &SharedWriter, telemetry: &Telemetry, record: Audi
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
     };
-    match guard.append(record) {
+    let result = guard.append(record);
+    let health = guard.health();
+    drop(guard);
+    emit_durability_gauges(telemetry, &health);
+    match result {
         Ok(flush) => {
-            let health = guard.health();
-            drop(guard);
+            if health.degraded {
+                // The writer accepted the row in-memory only; it is not
+                // journaled and counts as dropped, not appended.
+                telemetry.counter_add("store.rows_dropped", &[], 1);
+                return;
+            }
             telemetry.counter_add("store.rows_appended", &[], 1);
             telemetry.gauge_set("store.buffered_rows", &[], health.buffered_rows as f64);
             if let Some(info) = flush {
@@ -64,7 +93,6 @@ pub fn persist_record(writer: &SharedWriter, telemetry: &Telemetry, record: Audi
             }
         }
         Err(_) => {
-            drop(guard);
             telemetry.counter_add("store.append_errors", &[], 1);
         }
     }
@@ -84,6 +112,7 @@ pub fn flush_writer(writer: &SharedWriter, telemetry: &Telemetry) -> std::io::Re
     let info = guard.flush()?;
     let health = guard.health();
     drop(guard);
+    emit_durability_gauges(telemetry, &health);
     if info.rows > 0 {
         telemetry.counter_add("store.segments_flushed", &[], 1);
         telemetry.counter_add("store.flushed_rows", &[], info.rows as u64);
@@ -181,6 +210,41 @@ mod tests {
             .unwrap();
         assert_eq!(rows.rows.len(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_writer_keeps_serving_and_counts_drops() {
+        use fakeaudit_store::{FaultScript, FsyncPolicy, MemIo};
+        // Every mutating I/O op fails (without crashing), so the first
+        // journal append errors and, after the bounded retry budget,
+        // the writer degrades instead of failing requests.
+        let io = Arc::new(MemIo::with_script(FaultScript {
+            fail_from_op: Some(0),
+            ..FaultScript::default()
+        }));
+        let writer = Arc::new(Mutex::new(
+            StoreWriter::open_with(io, "/store", 4, FsyncPolicy::OnAppend).unwrap(),
+        ));
+        let tel = Telemetry::enabled();
+        let resp = response(1, 0, 1);
+        for i in 0..12u64 {
+            persist_record(
+                &writer,
+                &tel,
+                audit_record(AccountId(i), i as f64, "completed", i, &resp),
+            );
+        }
+        let health = writer_health(&writer);
+        assert!(health.degraded);
+        assert_eq!(health.dropped_rows, 12);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("store.rows_appended", &[]), None);
+        let errors = snap.counter("store.append_errors", &[]).unwrap();
+        let dropped = snap.counter("store.rows_dropped", &[]).unwrap();
+        assert_eq!(errors + dropped, 12);
+        assert!(dropped >= 1, "degraded appends must be counted as drops");
+        assert_eq!(snap.gauge("store.degraded", &[]), Some(1.0));
+        assert_eq!(snap.gauge("store.dropped_rows", &[]), Some(12.0));
     }
 
     #[test]

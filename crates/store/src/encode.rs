@@ -8,6 +8,37 @@
 
 use std::fmt;
 
+/// IEEE CRC-32 lookup table (reflected polynomial 0xEDB88320), built at
+/// compile time so the store crate stays dependency-free.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 (the zlib/gzip/PNG polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
 /// A malformed byte stream: truncated input, an over-long varint, or an
 /// out-of-range dictionary index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -287,6 +318,27 @@ pub fn read_str_dict(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"the audit history must survive the machine".to_vec();
+        let base = crc32(&data);
+        for offset in 0..data.len() {
+            for bit in 0..8 {
+                let mut copy = data.clone();
+                copy[offset] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip at {offset}:{bit} undetected");
+            }
+        }
+    }
 
     #[test]
     fn varint_round_trips_edge_values() {

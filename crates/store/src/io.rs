@@ -1,0 +1,670 @@
+//! The I/O seam between store logic and the filesystem.
+//!
+//! Everything that touches bytes-on-disk — the segment writer, the WAL,
+//! compaction and recovery — goes through [`StoreIo`], so durability
+//! logic can be exercised against a deterministic in-memory filesystem
+//! ([`MemIo`]) with scripted faults (torn writes, dropped syncs,
+//! crash-at-step) instead of hoping a real `kill -9` lands somewhere
+//! interesting. Production uses [`RealIo`], a thin `std::fs` wrapper
+//! that adds the directory-fsync discipline `std` leaves implicit.
+//!
+//! [`MemIo`] models POSIX durability pessimistically:
+//!
+//! * written/appended bytes survive a crash only up to the file's last
+//!   `sync_file` watermark (a rewrite resets the watermark to zero);
+//! * created, renamed and removed names survive a crash only after a
+//!   `sync_dir` of their directory;
+//! * a crash ([`MemIo::reboot`]) discards everything volatile and
+//!   fails every in-flight operation with an error.
+//!
+//! Any recovery path that survives this model survives a kinder real
+//! filesystem too.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// File operations the store needs, in the shape recovery reasoning
+/// wants: whole-file reads/writes, appends, explicit file and directory
+/// syncs, and atomic renames.
+pub trait StoreIo: Send + Sync + std::fmt::Debug {
+    /// Creates `dir` and any missing parents.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating directories.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// File names (not paths) directly under `dir`, sorted.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors listing the directory (including it not existing).
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Whether `dir` exists as a directory.
+    fn dir_exists(&self, dir: &Path) -> bool;
+
+    /// Whether `path` exists as a file.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Reads the whole file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, including `NotFound`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates or truncates `path` with exactly `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Appends `bytes` to `path`, creating it if missing.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Fsyncs the file's contents.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors syncing.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Fsyncs the directory, making created/renamed/removed names in it
+    /// durable.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors syncing.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (replacing `to` if present).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors renaming.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes the file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors removing, including `NotFound`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// A shareable I/O handle.
+pub type SharedIo = Arc<dyn StoreIo>;
+
+/// The production implementation over `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl RealIo {
+    /// A shared handle to the real filesystem.
+    pub fn shared() -> SharedIo {
+        Arc::new(RealIo)
+    }
+}
+
+impl StoreIo for RealIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn dir_exists(&self, dir: &Path) -> bool {
+        dir.is_dir()
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.is_file()
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(bytes)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    #[cfg(unix)]
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        std::fs::File::open(dir)?.sync_all()
+    }
+
+    #[cfg(not(unix))]
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        // Directories cannot be opened for syncing off unix; renames are
+        // still atomic, only name durability across power loss weakens.
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+}
+
+/// What a scripted crash does to the operation it lands on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrashMode {
+    /// The operation never happens; the machine dies first.
+    Before,
+    /// Writes and appends apply only this fraction of their bytes to the
+    /// volatile state before the crash (torn write). Non-write
+    /// operations behave as [`CrashMode::Before`].
+    Torn(f64),
+    /// The operation fully applies (volatile), then the machine dies.
+    After,
+}
+
+/// A deterministic fault script for [`MemIo`]. All effects key off the
+/// mutating-operation counter, so a sweep over `crash_at_op` visits
+/// every interesting interleaving exactly once — no RNG required.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultScript {
+    /// Crash when the Nth mutating operation (0-based) runs.
+    pub crash_at_op: Option<u64>,
+    /// How the crash interacts with that operation.
+    pub crash_mode: Option<CrashMode>,
+    /// `sync_file`/`sync_dir` return `Ok` but durably do nothing — a
+    /// lying disk.
+    pub drop_syncs: bool,
+    /// Every mutating operation from this index on fails with an I/O
+    /// error (no crash) — a persistently sick disk, for degrade paths.
+    pub fail_from_op: Option<u64>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct MemFile {
+    bytes: Vec<u8>,
+    /// How many leading bytes a crash preserves (the fsync watermark).
+    synced_len: usize,
+}
+
+/// The namespace is modeled POSIX-style: names are directory entries
+/// pointing at inodes. `rename`/`remove`/`write` mutate the volatile
+/// (`live`) namespace immediately; the `durable` namespace only catches
+/// up at `sync_dir`, so a crash after an unsynced rename correctly
+/// leaves the *old* name pointing at the file's inode.
+#[derive(Debug, Default)]
+struct MemState {
+    inodes: BTreeMap<u64, MemFile>,
+    /// Live (volatile) namespace: what reads and lists observe.
+    live: BTreeMap<PathBuf, u64>,
+    /// Crash-durable namespace, snapshotted per-directory by `sync_dir`.
+    durable: BTreeMap<PathBuf, u64>,
+    dirs: BTreeSet<PathBuf>,
+    next_inode: u64,
+    ops: u64,
+    crashed: bool,
+}
+
+impl MemState {
+    fn alloc_inode(&mut self, file: MemFile) -> u64 {
+        let id = self.next_inode;
+        self.next_inode += 1;
+        self.inodes.insert(id, file);
+        id
+    }
+}
+
+/// A deterministic in-memory [`StoreIo`] with scripted fault injection.
+///
+/// See the module docs for the durability model. [`MemIo::reboot`]
+/// simulates the power cycle: volatile state is discarded and the
+/// instance becomes usable again, exposing exactly what a crash-
+/// consistent filesystem would.
+#[derive(Debug)]
+pub struct MemIo {
+    state: Mutex<MemState>,
+    script: FaultScript,
+}
+
+impl MemIo {
+    /// A fault-free in-memory filesystem.
+    pub fn new() -> Self {
+        Self::with_script(FaultScript::default())
+    }
+
+    /// An in-memory filesystem with the given fault script.
+    pub fn with_script(script: FaultScript) -> Self {
+        Self {
+            state: Mutex::new(MemState::default()),
+            script,
+        }
+    }
+
+    /// A shared handle.
+    pub fn shared(script: FaultScript) -> Arc<Self> {
+        Arc::new(Self::with_script(script))
+    }
+
+    /// Mutating operations performed so far (the crash-sweep domain).
+    pub fn op_count(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Whether the scripted crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// Simulates the power cycle after a crash: the namespace reverts
+    /// to its last `sync_dir` snapshot, every surviving inode truncates
+    /// to its fsync watermark, and operations work again.
+    pub fn reboot(&self) {
+        let mut st = self.lock();
+        st.live = st.durable.clone();
+        let live_ids: BTreeSet<u64> = st.live.values().copied().collect();
+        for (&id, file) in st.inodes.iter_mut() {
+            if live_ids.contains(&id) {
+                let keep = file.synced_len.min(file.bytes.len());
+                file.bytes.truncate(keep);
+                file.synced_len = keep;
+            }
+        }
+        st.inodes.retain(|id, _| live_ids.contains(id));
+        st.crashed = false;
+    }
+
+    /// Flips one bit of a file's (durable and volatile) content — the
+    /// corruption primitive behind the quarantine tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file does not exist or `offset` is out of range.
+    pub fn flip_bit(&self, path: &Path, offset: usize, bit: u8) {
+        let mut st = self.lock();
+        let id = *st.live.get(path).expect("flip_bit: no such file");
+        let file = st.inodes.get_mut(&id).expect("live entry has an inode");
+        file.bytes[offset] ^= 1 << (bit % 8);
+        // Keep the corruption across reboots.
+        file.synced_len = file.synced_len.max(offset + 1);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn crash_err() -> io::Error {
+        io::Error::other("simulated crash: machine is down until reboot")
+    }
+
+    fn fault_err() -> io::Error {
+        io::Error::other("simulated I/O error")
+    }
+
+    /// Gates one mutating operation: counts it, fires scripted faults.
+    /// Returns the crash mode to apply (`None` = run normally).
+    fn gate(st: &mut MemState, script: &FaultScript) -> io::Result<Option<CrashMode>> {
+        if st.crashed {
+            return Err(Self::crash_err());
+        }
+        let op = st.ops;
+        st.ops += 1;
+        if let Some(fail_from) = script.fail_from_op {
+            if op >= fail_from && script.crash_at_op.is_none() {
+                return Err(Self::fault_err());
+            }
+        }
+        if script.crash_at_op == Some(op) {
+            st.crashed = true;
+            return Ok(Some(script.crash_mode.unwrap_or(CrashMode::Before)));
+        }
+        Ok(None)
+    }
+
+    fn read_gate(st: &MemState) -> io::Result<()> {
+        if st.crashed {
+            return Err(Self::crash_err());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MemIo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StoreIo for MemIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        Self::read_gate(&st)?;
+        // Directory creation is kept out of the fault model: every
+        // protocol under test starts from an existing directory.
+        let mut cur = PathBuf::new();
+        for comp in dir.components() {
+            cur.push(comp);
+            st.dirs.insert(cur.clone());
+        }
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let st = self.lock();
+        Self::read_gate(&st)?;
+        if !st.dirs.contains(dir) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such directory: {}", dir.display()),
+            ));
+        }
+        Ok(st
+            .live
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name().and_then(|n| n.to_str()))
+            .map(str::to_owned)
+            .collect())
+    }
+
+    fn dir_exists(&self, dir: &Path) -> bool {
+        let st = self.lock();
+        !st.crashed && st.dirs.contains(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let st = self.lock();
+        !st.crashed && st.live.contains_key(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let st = self.lock();
+        Self::read_gate(&st)?;
+        st.live
+            .get(path)
+            .and_then(|id| st.inodes.get(id))
+            .map(|f| f.bytes.clone())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no such file: {}", path.display()),
+                )
+            })
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::gate(&mut st, &self.script)?;
+        let keep = match crash {
+            Some(CrashMode::Before) => return Err(Self::crash_err()),
+            Some(CrashMode::Torn(frac)) => (bytes.len() as f64 * frac) as usize,
+            Some(CrashMode::After) | None => bytes.len(),
+        };
+        // A rewrite allocates a fresh inode with a zero watermark:
+        // nothing of the new content is durable until the next
+        // sync_file, and an old durable dirent keeps the old inode.
+        let id = st.alloc_inode(MemFile {
+            bytes: bytes[..keep].to_vec(),
+            synced_len: 0,
+        });
+        st.live.insert(path.to_path_buf(), id);
+        if crash.is_some() {
+            return Err(Self::crash_err());
+        }
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::gate(&mut st, &self.script)?;
+        let keep = match crash {
+            Some(CrashMode::Before) => return Err(Self::crash_err()),
+            Some(CrashMode::Torn(frac)) => (bytes.len() as f64 * frac) as usize,
+            Some(CrashMode::After) | None => bytes.len(),
+        };
+        let id = match st.live.get(path) {
+            Some(&id) => id,
+            None => {
+                let id = st.alloc_inode(MemFile::default());
+                st.live.insert(path.to_path_buf(), id);
+                id
+            }
+        };
+        st.inodes
+            .get_mut(&id)
+            .expect("live entry has an inode")
+            .bytes
+            .extend_from_slice(&bytes[..keep]);
+        if crash.is_some() {
+            return Err(Self::crash_err());
+        }
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::gate(&mut st, &self.script)?;
+        if matches!(crash, Some(CrashMode::Before) | Some(CrashMode::Torn(_))) {
+            return Err(Self::crash_err());
+        }
+        if !self.script.drop_syncs {
+            let id = *st.live.get(path).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no such file: {}", path.display()),
+                )
+            })?;
+            let file = st.inodes.get_mut(&id).expect("live entry has an inode");
+            file.synced_len = file.bytes.len();
+        }
+        if crash.is_some() {
+            return Err(Self::crash_err());
+        }
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::gate(&mut st, &self.script)?;
+        if matches!(crash, Some(CrashMode::Before) | Some(CrashMode::Torn(_))) {
+            return Err(Self::crash_err());
+        }
+        if !self.script.drop_syncs {
+            let under: Vec<(PathBuf, u64)> = st
+                .live
+                .iter()
+                .filter(|(p, _)| p.parent() == Some(dir))
+                .map(|(p, &id)| (p.clone(), id))
+                .collect();
+            st.durable.retain(|p, _| p.parent() != Some(dir));
+            st.durable.extend(under);
+        }
+        if crash.is_some() {
+            return Err(Self::crash_err());
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::gate(&mut st, &self.script)?;
+        if matches!(crash, Some(CrashMode::Before) | Some(CrashMode::Torn(_))) {
+            return Err(Self::crash_err());
+        }
+        let id = st.live.remove(from).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", from.display()),
+            )
+        })?;
+        st.live.insert(to.to_path_buf(), id);
+        if crash.is_some() {
+            return Err(Self::crash_err());
+        }
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::gate(&mut st, &self.script)?;
+        if matches!(crash, Some(CrashMode::Before) | Some(CrashMode::Torn(_))) {
+            return Err(Self::crash_err());
+        }
+        st.live.remove(path).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", path.display()),
+            )
+        })?;
+        if crash.is_some() {
+            return Err(Self::crash_err());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> PathBuf {
+        PathBuf::from("/mem")
+    }
+
+    #[test]
+    fn unsynced_bytes_vanish_on_reboot() {
+        let io = MemIo::new();
+        io.create_dir_all(&dir()).unwrap();
+        let path = dir().join("f");
+        io.write(&path, b"hello").unwrap();
+        io.sync_dir(&dir()).unwrap();
+        io.sync_file(&path).unwrap();
+        io.append(&path, b" world").unwrap();
+        io.reboot();
+        assert_eq!(io.read(&path).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn unsynced_names_vanish_on_reboot() {
+        let io = MemIo::new();
+        io.create_dir_all(&dir()).unwrap();
+        let path = dir().join("f");
+        io.write(&path, b"x").unwrap();
+        io.sync_file(&path).unwrap();
+        // No sync_dir: the name never became durable.
+        io.reboot();
+        assert!(!io.exists(&path));
+    }
+
+    #[test]
+    fn rename_durability_needs_dir_sync() {
+        let io = MemIo::new();
+        io.create_dir_all(&dir()).unwrap();
+        let a = dir().join("a");
+        let b = dir().join("b");
+        io.write(&a, b"x").unwrap();
+        io.sync_file(&a).unwrap();
+        io.sync_dir(&dir()).unwrap();
+        io.rename(&a, &b).unwrap();
+        io.reboot();
+        // The rename was volatile: the old name survives.
+        assert!(io.exists(&a));
+        assert!(!io.exists(&b));
+    }
+
+    #[test]
+    fn crash_script_fires_and_reboot_recovers() {
+        let io = MemIo::with_script(FaultScript {
+            crash_at_op: Some(2),
+            crash_mode: Some(CrashMode::Torn(0.5)),
+            ..FaultScript::default()
+        });
+        io.create_dir_all(&dir()).unwrap();
+        let path = dir().join("f");
+        io.write(&path, b"aaaa").unwrap(); // op 0
+        io.sync_file(&path).unwrap(); // op 1
+        let err = io.append(&path, b"bbbb").unwrap_err(); // op 2: torn, crash
+        assert!(err.to_string().contains("crash"));
+        assert!(io.crashed());
+        assert!(io.read(&path).is_err());
+        io.reboot();
+        // Only the synced prefix survived; name was never dir-synced, so
+        // nothing survived at all.
+        assert!(!io.exists(&path));
+    }
+
+    #[test]
+    fn unsynced_remove_resurrects_on_reboot() {
+        let io = MemIo::new();
+        io.create_dir_all(&dir()).unwrap();
+        let path = dir().join("f");
+        io.write(&path, b"keep").unwrap();
+        io.sync_file(&path).unwrap();
+        io.sync_dir(&dir()).unwrap();
+        io.remove(&path).unwrap();
+        io.reboot();
+        // The unlink never reached the directory block.
+        assert_eq!(io.read(&path).unwrap(), b"keep");
+    }
+
+    #[test]
+    fn dropped_syncs_leave_nothing_durable() {
+        let io = MemIo::with_script(FaultScript {
+            drop_syncs: true,
+            ..FaultScript::default()
+        });
+        io.create_dir_all(&dir()).unwrap();
+        let path = dir().join("f");
+        io.write(&path, b"x").unwrap();
+        io.sync_file(&path).unwrap();
+        io.sync_dir(&dir()).unwrap();
+        io.reboot();
+        assert!(!io.exists(&path));
+    }
+
+    #[test]
+    fn fail_from_op_errors_without_crashing() {
+        let io = MemIo::with_script(FaultScript {
+            fail_from_op: Some(1),
+            ..FaultScript::default()
+        });
+        io.create_dir_all(&dir()).unwrap();
+        let path = dir().join("f");
+        io.write(&path, b"x").unwrap(); // op 0: fine
+        assert!(io.write(&path, b"y").is_err()); // op 1+: sick disk
+        assert!(io.write(&path, b"z").is_err());
+        assert!(!io.crashed());
+        // Reads still work: the machine is up, the disk is sick.
+        assert_eq!(io.read(&path).unwrap(), b"x");
+    }
+}

@@ -2,31 +2,47 @@
 //!
 //! The paper's verdict tables are one-shot snapshots; this crate keeps
 //! the longitudinal record — every completed audit appended as an
-//! [`AuditRecord`] through a WAL-less [`StoreWriter`] that flushes
-//! immutable columnar segments (dictionary-encoded labels and targets,
-//! delta-encoded timestamps, zone-map min/max footers), byte-
-//! deterministic for a fixed record stream. The read side ([`Store`])
+//! [`AuditRecord`] through a [`StoreWriter`] that journals each row to
+//! a checksummed write-ahead log before acking, then flushes immutable
+//! columnar segments (dictionary-encoded labels and targets,
+//! delta-encoded timestamps, zone-map min/max footers, per-column and
+//! whole-file CRC32s), byte-deterministic for a fixed record stream.
+//! Flushes and compactions are atomic and crash-safe (stage → sync →
+//! rename → sync), the ack-time durability floor is an [`FsyncPolicy`]
+//! knob, and opening either side runs a recovery routine that replays
+//! the WAL tail and quarantines corrupt segments instead of failing —
+//! all of it provable in-process against the deterministic
+//! fault-injecting filesystem in [`io`]. The read side ([`Store`])
 //! scans with zone-map segment pruning and late materialization, and
 //! [`queries`] layers the analytical kinds (`timeseries`, `drift`,
 //! `retention`, `topk`) on top.
 //!
 //! Dependency-free by design: no serde, no allocator tricks, std only —
 //! callers (server sim, gateway, CLI, bench) wire the returned
-//! [`FlushInfo`]/[`ScanStats`] into telemetry themselves.
+//! [`FlushInfo`]/[`ScanStats`]/[`RecoveryReport`] into telemetry
+//! themselves.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod encode;
+pub mod io;
 pub mod queries;
 mod record;
 mod segment;
 mod store;
+pub mod wal;
 
-pub use encode::DecodeError;
+pub use encode::{crc32, DecodeError};
+pub use io::{CrashMode, FaultScript, MemIo, RealIo, SharedIo, StoreIo};
 pub use record::{dominant_verdict, AuditRecord};
-pub use segment::{encode_segment, Column, Segment, ZoneMap, COLUMN_COUNT, DATA_START, MAGIC};
+pub use segment::{
+    encode_segment, Column, Segment, SegmentVersion, ZoneMap, COLUMN_COUNT, DATA_START,
+    DATA_START_V1, FOOTER_LEN, MAGIC, MAGIC_V1,
+};
 pub use store::{
-    bucket_of, compact, open_shared, FlushInfo, Projection, ScanOptions, ScanResult, ScanRow,
-    ScanStats, SharedWriter, Store, StoreHealth, StoreStats, StoreWriter,
+    bucket_of, compact, compact_with, open_shared, open_shared_with, repair, repair_with, verify,
+    verify_with, FlushInfo, FsyncPolicy, Projection, QuarantinedSegment, RecoveryReport,
+    ScanOptions, ScanResult, ScanRow, ScanStats, SharedWriter, Store, StoreHealth, StoreStats,
+    StoreWriter, VerifyReport,
 };

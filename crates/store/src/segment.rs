@@ -1,18 +1,27 @@
 //! Immutable columnar segment files.
 //!
-//! Layout (all integers little-endian):
+//! Current layout — v2, checksummed (all integers little-endian):
 //!
 //! ```text
 //! offset  size  field
-//!      0     8  magic  b"FAKSEG1\n"
+//!      0     8  magic  b"FAKSEG2\n"
 //!      8     4  row_count                u32
 //!     12    48  zone map: ts_min/ts_max  i64 ×2
 //!               target_min/target_max    u64 ×2
 //!               ratio_min/ratio_max      f64 ×2 (bit pattern)
-//!     60    80  directory: 10 × (offset u32, len u32), offsets
-//!               relative to the data area starting at byte 140
-//!    140     —  column blocks, in directory order
+//!     60   120  directory: 10 × (offset u32, len u32, crc32 u32),
+//!               offsets relative to the data area at byte 180
+//!    180     —  column blocks, contiguous, in directory order
+//!   last     4  footer: CRC-32 of every preceding byte
 //! ```
+//!
+//! [`Segment::parse`] verifies the footer CRC and requires the
+//! directory to tile the data area exactly (contiguous, no gaps), so
+//! any single flipped bit or truncated tail is a [`DecodeError`] —
+//! never a panic, never silently wrong rows. The per-column CRCs are
+//! re-checked lazily when a column is decoded, which localizes damage
+//! for `store verify` diagnostics. v1 files (`FAKSEG1\n`, no
+//! checksums, data at byte 140) are still readable.
 //!
 //! Column order: `0 ts` (zigzag-varint deltas off ts_min), `1 target`
 //! (u64 dict), `2 tool` / `3 verdict` / `4 outcome` (string dicts),
@@ -24,17 +33,32 @@
 //! the golden fixture and the CI double-run `cmp` pin.
 
 use crate::encode::{
-    put_f64, put_str_dict, put_u32, put_u64, put_u64_dict, put_varint, put_zigzag, read_str_dict,
-    read_u64_dict, DecodeError, Reader,
+    crc32, put_f64, put_str_dict, put_u32, put_u64, put_u64_dict, put_varint, put_zigzag,
+    read_str_dict, read_u64_dict, DecodeError, Reader,
 };
 use crate::record::AuditRecord;
 
-/// File magic for segment v1.
-pub const MAGIC: &[u8; 8] = b"FAKSEG1\n";
+/// File magic for the current segment version (v2).
+pub const MAGIC: &[u8; 8] = b"FAKSEG2\n";
+/// File magic for legacy v1 segments (readable, no longer written).
+pub const MAGIC_V1: &[u8; 8] = b"FAKSEG1\n";
 /// Number of column blocks in a segment.
 pub const COLUMN_COUNT: usize = 10;
-/// Byte offset where column data begins.
-pub const DATA_START: usize = 140;
+/// Byte offset where column data begins in a v2 segment.
+pub const DATA_START: usize = 180;
+/// Byte offset where column data begins in a legacy v1 segment.
+pub const DATA_START_V1: usize = 140;
+/// Size of the v2 trailing whole-file CRC.
+pub const FOOTER_LEN: usize = 4;
+
+/// On-disk format revision of a parsed segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentVersion {
+    /// Legacy: no checksums, 8-byte directory entries, data at 140.
+    V1,
+    /// Current: per-column + footer CRC-32, data at 180.
+    V2,
+}
 
 /// Columns a scan can project. Decoding is per-column, so asking for
 /// fewer columns skips real work (late materialization).
@@ -191,7 +215,8 @@ pub fn encode_segment(records: &[AuditRecord]) -> Vec<u8> {
         put_varint(&mut blocks[9], r.trace_id);
     }
 
-    let mut out = Vec::with_capacity(DATA_START + blocks.iter().map(Vec::len).sum::<usize>());
+    let mut out =
+        Vec::with_capacity(DATA_START + blocks.iter().map(Vec::len).sum::<usize>() + FOOTER_LEN);
     out.extend_from_slice(MAGIC);
     put_u32(&mut out, records.len() as u32);
     out.extend_from_slice(&zm.ts_min.to_le_bytes());
@@ -204,41 +229,74 @@ pub fn encode_segment(records: &[AuditRecord]) -> Vec<u8> {
     for block in &blocks {
         put_u32(&mut out, offset);
         put_u32(&mut out, block.len() as u32);
+        put_u32(&mut out, crc32(block));
         offset += block.len() as u32;
     }
     debug_assert_eq!(out.len(), DATA_START);
     for block in &blocks {
         out.extend_from_slice(block);
     }
+    let footer = crc32(&out);
+    put_u32(&mut out, footer);
     out
 }
 
 /// A parsed segment: header and zone map decoded eagerly, column blocks
-/// decoded on demand.
+/// decoded on demand (their CRCs re-checked at decode time on v2).
 #[derive(Debug)]
 pub struct Segment {
     buf: Vec<u8>,
+    version: SegmentVersion,
     rows: usize,
     zone: ZoneMap,
     directory: [(u32, u32); COLUMN_COUNT],
+    column_crcs: [u32; COLUMN_COUNT],
 }
 
 impl Segment {
-    /// Parses a segment file image, validating magic, header, and that
-    /// every directory entry stays inside the buffer.
+    /// Parses a segment file image, validating magic, header, directory
+    /// tiling, and (v2) the trailing whole-file CRC. Any truncation or
+    /// bit flip of a v2 image is reported here, before a single column
+    /// is decoded.
     ///
     /// # Errors
     ///
-    /// [`DecodeError`] for a bad magic, truncated header, or a directory
-    /// entry pointing past the end of the file.
+    /// [`DecodeError`] for a bad magic, truncated header, a directory
+    /// that does not exactly tile the data area, or a footer CRC
+    /// mismatch.
     pub fn parse(buf: Vec<u8>) -> Result<Self, DecodeError> {
         let mut r = Reader::new(&buf);
         let magic = r.bytes(8, "segment magic")?;
-        if magic != MAGIC {
+        let version = if magic == MAGIC {
+            SegmentVersion::V2
+        } else if magic == MAGIC_V1 {
+            SegmentVersion::V1
+        } else {
             return Err(DecodeError {
                 context: "segment magic",
                 offset: 0,
             });
+        };
+        let (data_start, footer_len) = match version {
+            SegmentVersion::V2 => (DATA_START, FOOTER_LEN),
+            SegmentVersion::V1 => (DATA_START_V1, 0),
+        };
+        if version == SegmentVersion::V2 {
+            if buf.len() < DATA_START + FOOTER_LEN {
+                return Err(DecodeError {
+                    context: "segment footer crc",
+                    offset: buf.len(),
+                });
+            }
+            let body = &buf[..buf.len() - FOOTER_LEN];
+            let stored =
+                u32::from_le_bytes(buf[buf.len() - FOOTER_LEN..].try_into().expect("4 bytes"));
+            if crc32(body) != stored {
+                return Err(DecodeError {
+                    context: "segment footer crc",
+                    offset: buf.len() - FOOTER_LEN,
+                });
+            }
         }
         let rows = r.u32("segment row count")? as usize;
         if rows == 0 {
@@ -256,30 +314,65 @@ impl Segment {
             ratio_max: r.f64("zone map")?,
         };
         let mut directory = [(0u32, 0u32); COLUMN_COUNT];
-        for entry in &mut directory {
+        let mut column_crcs = [0u32; COLUMN_COUNT];
+        for (entry, crc) in directory.iter_mut().zip(column_crcs.iter_mut()) {
             *entry = (r.u32("directory")?, r.u32("directory")?);
+            if version == SegmentVersion::V2 {
+                *crc = r.u32("directory")?;
+            }
         }
-        let data_len = buf.len().saturating_sub(DATA_START);
-        for &(off, len) in &directory {
-            let end = off as usize + len as usize;
-            if end > data_len {
-                return Err(DecodeError {
-                    context: "directory",
-                    offset: DATA_START,
-                });
+        let data_len = buf.len().saturating_sub(data_start + footer_len);
+        match version {
+            SegmentVersion::V2 => {
+                // v2 directories must tile the data area exactly: any
+                // gap, overlap, or over/under-run (e.g. truncation) is
+                // structural corruption, independent of the CRCs.
+                let mut expected = 0usize;
+                for &(off, len) in &directory {
+                    if off as usize != expected {
+                        return Err(DecodeError {
+                            context: "directory",
+                            offset: data_start,
+                        });
+                    }
+                    expected += len as usize;
+                }
+                if expected != data_len {
+                    return Err(DecodeError {
+                        context: "directory",
+                        offset: data_start,
+                    });
+                }
+            }
+            SegmentVersion::V1 => {
+                for &(off, len) in &directory {
+                    if off as usize + len as usize > data_len {
+                        return Err(DecodeError {
+                            context: "directory",
+                            offset: data_start,
+                        });
+                    }
+                }
             }
         }
         Ok(Self {
             buf,
+            version,
             rows,
             zone,
             directory,
+            column_crcs,
         })
     }
 
     /// Number of rows in the segment.
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// The on-disk format revision this segment was parsed from.
+    pub fn version(&self) -> SegmentVersion {
+        self.version
     }
 
     /// The segment's min/max footer.
@@ -297,9 +390,53 @@ impl Segment {
         self.directory[col.slot()].1 as usize
     }
 
+    fn data_start(&self) -> usize {
+        match self.version {
+            SegmentVersion::V2 => DATA_START,
+            SegmentVersion::V1 => DATA_START_V1,
+        }
+    }
+
     fn block(&self, slot: usize) -> &[u8] {
         let (off, len) = self.directory[slot];
-        &self.buf[DATA_START + off as usize..DATA_START + (off + len) as usize]
+        let start = self.data_start();
+        &self.buf[start + off as usize..start + (off + len) as usize]
+    }
+
+    /// A column block with its v2 CRC re-verified, localizing any
+    /// damage for diagnostics.
+    fn checked_block(&self, slot: usize, context: &'static str) -> Result<&[u8], DecodeError> {
+        let block = self.block(slot);
+        if self.version == SegmentVersion::V2 && crc32(block) != self.column_crcs[slot] {
+            return Err(DecodeError { context, offset: 0 });
+        }
+        Ok(block)
+    }
+
+    /// Re-verifies every column CRC (v2; a no-op success on v1),
+    /// without decoding. Used by `store verify` to localize corruption.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] naming the first column whose block bytes do not
+    /// match their directory CRC.
+    pub fn verify_columns(&self) -> Result<(), DecodeError> {
+        const CONTEXTS: [&str; COLUMN_COUNT] = [
+            "ts column",
+            "target column",
+            "tool column",
+            "verdict column",
+            "outcome column",
+            "fake_ratio column",
+            "fake_count column",
+            "sample_size column",
+            "api_calls column",
+            "trace_id column",
+        ];
+        for (slot, context) in CONTEXTS.iter().enumerate() {
+            self.checked_block(slot, context)?;
+        }
+        Ok(())
     }
 
     /// Decodes the timestamp column (micros).
@@ -308,7 +445,7 @@ impl Segment {
     ///
     /// [`DecodeError`] on a malformed block.
     pub fn decode_ts(&self) -> Result<Vec<i64>, DecodeError> {
-        let mut r = Reader::new(self.block(0));
+        let mut r = Reader::new(self.checked_block(0, "ts column")?);
         let mut out = Vec::with_capacity(self.rows);
         for _ in 0..self.rows {
             out.push(self.zone.ts_min + r.zigzag("ts column")?);
@@ -322,7 +459,7 @@ impl Segment {
     ///
     /// [`DecodeError`] on a malformed block.
     pub fn decode_targets(&self) -> Result<Vec<u64>, DecodeError> {
-        let mut r = Reader::new(self.block(1));
+        let mut r = Reader::new(self.checked_block(1, "target column")?);
         let (dict, idx) = read_u64_dict(&mut r, self.rows, "target column")?;
         Ok(idx.iter().map(|&i| dict[i as usize]).collect())
     }
@@ -347,7 +484,7 @@ impl Segment {
                 })
             }
         };
-        let mut r = Reader::new(self.block(slot));
+        let mut r = Reader::new(self.checked_block(slot, context)?);
         read_str_dict(&mut r, self.rows, context)
     }
 
@@ -357,7 +494,7 @@ impl Segment {
     ///
     /// [`DecodeError`] on a malformed block.
     pub fn decode_ratios(&self) -> Result<Vec<f64>, DecodeError> {
-        let mut r = Reader::new(self.block(5));
+        let mut r = Reader::new(self.checked_block(5, "fake_ratio column")?);
         let mut out = Vec::with_capacity(self.rows);
         for _ in 0..self.rows {
             out.push(r.f64("fake_ratio column")?);
@@ -385,7 +522,7 @@ impl Segment {
                 })
             }
         };
-        let mut r = Reader::new(self.block(slot));
+        let mut r = Reader::new(self.checked_block(slot, context)?);
         let mut out = Vec::with_capacity(self.rows);
         for _ in 0..self.rows {
             out.push(r.varint(context)?);
@@ -521,6 +658,59 @@ mod tests {
         let records = vec![sample_records().remove(0)];
         let seg = Segment::parse(encode_segment(&records)).unwrap();
         assert_eq!(seg.decode_all().unwrap(), records);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected_at_parse() {
+        let buf = encode_segment(&sample_records()[..4]);
+        for offset in 0..buf.len() {
+            for bit in 0..8u8 {
+                let mut copy = buf.clone();
+                copy[offset] ^= 1 << bit;
+                assert!(
+                    Segment::parse(copy).is_err(),
+                    "flip at {offset}:{bit} parsed cleanly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_prefix_truncation_is_rejected() {
+        let buf = encode_segment(&sample_records()[..4]);
+        for k in 0..buf.len() {
+            assert!(
+                Segment::parse(buf[..k].to_vec()).is_err(),
+                "prefix of {k} bytes parsed cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_segments_remain_readable() {
+        // Hand-build a v1 image from the v2 encoder output: v1 magic,
+        // 8-byte directory entries, no CRCs, data at byte 140.
+        let records = sample_records();
+        let v2 = encode_segment(&records);
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        v1.extend_from_slice(&v2[8..60]); // row count + zone map
+        for slot in 0..COLUMN_COUNT {
+            let entry = 60 + slot * 12;
+            v1.extend_from_slice(&v2[entry..entry + 8]); // offset + len
+        }
+        assert_eq!(v1.len(), DATA_START_V1);
+        v1.extend_from_slice(&v2[DATA_START..v2.len() - FOOTER_LEN]);
+        let seg = Segment::parse(v1).unwrap();
+        assert_eq!(seg.version(), SegmentVersion::V1);
+        assert_eq!(seg.decode_all().unwrap(), records);
+    }
+
+    #[test]
+    fn verify_columns_passes_on_sound_segment() {
+        let seg = Segment::parse(encode_segment(&sample_records())).unwrap();
+        assert_eq!(seg.version(), SegmentVersion::V2);
+        seg.verify_columns().unwrap();
     }
 
     #[test]

@@ -1,14 +1,30 @@
-//! Directory-level store: the WAL-less segment writer and the scanning
+//! Directory-level store: the WAL-backed segment writer, startup
+//! recovery with quarantine, crash-safe compaction, and the scanning
 //! reader with zone-map pruning and late materialization.
+//!
+//! Every byte that reaches disk goes through the [`StoreIo`] seam, so
+//! the whole durability protocol is exercised under deterministic
+//! fault injection (see `crates/store/src/io.rs`).
 
-use std::collections::BTreeMap;
-use std::fs;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use crate::encode::crc32;
+use crate::io::{RealIo, SharedIo, StoreIo};
 use crate::record::AuditRecord;
 use crate::segment::{encode_segment, Column, Segment};
+use crate::wal;
+
+/// Marker file carrying a CRC'd plan of an in-flight compaction.
+const COMPACT_INTENT: &str = "compact.intent";
+/// Staging file a compaction writes before renaming into place.
+const COMPACT_TMP: &str = "seg-compact.tmp";
+/// Staging file recovery uses to rewrite a torn WAL atomically.
+const WAL_CONSOLIDATE_TMP: &str = "wal-consolidate.tmp";
+/// Suffix appended when recovery quarantines a corrupt segment.
+const QUARANTINE_SUFFIX: &str = ".bad";
 
 /// File name of segment `seq` (1-based).
 fn segment_name(seq: u64) -> String {
@@ -24,21 +40,274 @@ fn parse_segment_name(name: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-/// Sorted `(seq, path)` list of segment files under `dir`.
-fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
-    let mut out = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_name) {
-            out.push((seq, entry.path()));
-        }
-    }
-    out.sort_by_key(|&(seq, _)| seq);
-    Ok(out)
-}
-
 fn data_err(err: impl std::error::Error) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+}
+
+/// When the writer calls fsync — the durability/latency trade the
+/// operator picks (`--fsync`).
+///
+/// | policy      | guaranteed after a crash                         |
+/// |-------------|--------------------------------------------------|
+/// | `on-append` | every acked row (WAL entry synced before ack)    |
+/// | `on-flush`  | every flushed segment; buffered rows best-effort |
+/// | `never`     | nothing — whatever the OS happened to write back |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// No fsync at all: fastest, no durability floor.
+    Never,
+    /// Fsync segment data + directory at flush; WAL appends unsynced.
+    #[default]
+    OnFlush,
+    /// Additionally fsync the WAL on every append, before acking.
+    OnAppend,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling (`never` / `on-flush` / `on-append`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "never" => Some(Self::Never),
+            "on-flush" => Some(Self::OnFlush),
+            "on-append" => Some(Self::OnAppend),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Never => "never",
+            Self::OnFlush => "on-flush",
+            Self::OnAppend => "on-append",
+        }
+    }
+}
+
+/// One segment set aside by recovery instead of failing the open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedSegment {
+    /// Original file name (now renamed with a `.bad` suffix).
+    pub name: String,
+    /// Why it failed to parse.
+    pub error: String,
+}
+
+/// What startup recovery found and did. Surfaced through
+/// [`StoreHealth`], `/healthz`, `/debug/vars`, and `store verify`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Segments that parsed cleanly.
+    pub segments_ok: u64,
+    /// Segments quarantined (renamed `*.bad`, skipped, still served
+    /// around).
+    pub quarantined: Vec<QuarantinedSegment>,
+    /// Acked rows replayed from the WAL tail.
+    pub wal_rows_recovered: u64,
+    /// Torn-tail WAL bytes discarded during replay.
+    pub wal_bytes_discarded: u64,
+    /// WALs whose segment already existed (deleted as stale).
+    pub stale_wals_removed: u64,
+    /// Leftover `*.tmp` staging files deleted.
+    pub tmp_files_removed: u64,
+    /// Whether an interrupted compaction was completed or rolled back.
+    pub compact_resumed: bool,
+}
+
+impl RecoveryReport {
+    /// True when recovery found a pristine directory: nothing
+    /// quarantined, replayed, discarded, or cleaned up.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+            && self.wal_rows_recovered == 0
+            && self.wal_bytes_discarded == 0
+            && self.stale_wals_removed == 0
+            && self.tmp_files_removed == 0
+            && !self.compact_resumed
+    }
+}
+
+/// Serializes a compaction plan: CRC32 header, then `dest <name>` and
+/// one `rm <name>` per victim. The CRC makes a torn intent detectably
+/// invalid, which recovery treats as "the compact never committed".
+fn intent_payload(dest: &str, victims: &[String]) -> Vec<u8> {
+    let mut text = String::new();
+    text.push_str("dest ");
+    text.push_str(dest);
+    text.push('\n');
+    for v in victims {
+        text.push_str("rm ");
+        text.push_str(v);
+        text.push('\n');
+    }
+    let mut out = Vec::with_capacity(4 + text.len());
+    out.extend_from_slice(&crc32(text.as_bytes()).to_le_bytes());
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+fn parse_intent(buf: &[u8]) -> Option<(String, Vec<String>)> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let stored = u32::from_le_bytes(buf[..4].try_into().ok()?);
+    let text = std::str::from_utf8(&buf[4..]).ok()?;
+    if crc32(text.as_bytes()) != stored {
+        return None;
+    }
+    let mut dest = None;
+    let mut victims = Vec::new();
+    for line in text.lines() {
+        if let Some(d) = line.strip_prefix("dest ") {
+            dest = Some(d.to_owned());
+        } else if let Some(v) = line.strip_prefix("rm ") {
+            victims.push(v.to_owned());
+        } else if !line.is_empty() {
+            return None;
+        }
+    }
+    Some((dest?, victims))
+}
+
+/// Settles an interrupted compaction, idempotently. A valid durable
+/// intent means the merged segment was already fully written and
+/// synced, so the compact is rolled *forward* (rename if still staged,
+/// then delete victims). A torn or missing-output intent rolls back —
+/// every victim is still intact because victims are only deleted after
+/// the destination is durable.
+fn resume_compact(io: &dyn StoreIo, dir: &Path) -> io::Result<()> {
+    let intent_path = dir.join(COMPACT_INTENT);
+    let tmp = dir.join(COMPACT_TMP);
+    match io.read(&intent_path).ok().and_then(|b| parse_intent(&b)) {
+        None => {
+            let _ = io.remove(&intent_path);
+            if io.exists(&tmp) {
+                let _ = io.remove(&tmp);
+            }
+        }
+        Some((dest, victims)) => {
+            let dest_path = dir.join(&dest);
+            if io.exists(&tmp) {
+                io.rename(&tmp, &dest_path)?;
+            }
+            if io.exists(&dest_path) {
+                for v in &victims {
+                    if *v == dest {
+                        continue;
+                    }
+                    let p = dir.join(v);
+                    if io.exists(&p) {
+                        io.remove(&p)?;
+                    }
+                }
+            }
+            io.remove(&intent_path)?;
+        }
+    }
+    io.sync_dir(dir)
+}
+
+/// Everything startup recovery hands back to an opener.
+struct Recovered {
+    report: RecoveryReport,
+    /// Healthy segments, sorted by sequence.
+    healthy: Vec<(u64, Segment)>,
+    /// Acked rows replayed from live WALs, in append order.
+    wal_records: Vec<AuditRecord>,
+    /// Sequence numbers of the live WAL files those rows came from.
+    live_wals: Vec<u64>,
+    /// One past the highest segment name seen (healthy or quarantined).
+    next_seq: u64,
+}
+
+/// The shared startup recovery routine: resume/roll back compaction,
+/// sweep staging files, quarantine corrupt segments, drop stale WALs,
+/// and replay the live WAL tail. Never fails because of corruption —
+/// only on real I/O errors.
+fn recover_dir(io: &dyn StoreIo, dir: &Path) -> io::Result<Recovered> {
+    let mut report = RecoveryReport::default();
+    let mut names = io.list(dir)?;
+    if names.iter().any(|n| n == COMPACT_INTENT) {
+        resume_compact(io, dir)?;
+        report.compact_resumed = true;
+        names = io.list(dir)?;
+    }
+    let mut dirty = false;
+    for name in names.iter().filter(|n| n.ends_with(".tmp")) {
+        if io.remove(&dir.join(name)).is_ok() {
+            report.tmp_files_removed += 1;
+            dirty = true;
+        }
+    }
+
+    let mut seg_names: Vec<(u64, String)> = names
+        .iter()
+        .filter_map(|n| parse_segment_name(n).map(|s| (s, n.clone())))
+        .collect();
+    seg_names.sort();
+    let mut wal_names: Vec<(u64, String)> = names
+        .iter()
+        .filter_map(|n| wal::parse_wal_name(n).map(|s| (s, n.clone())))
+        .collect();
+    wal_names.sort();
+
+    let mut max_seg_seq = 0u64;
+    let mut healthy = Vec::new();
+    let mut healthy_seqs = BTreeSet::new();
+    for (seq, name) in seg_names {
+        max_seg_seq = max_seg_seq.max(seq);
+        let path = dir.join(&name);
+        match Segment::parse(io.read(&path)?) {
+            Ok(seg) => {
+                healthy.push((seq, seg));
+                healthy_seqs.insert(seq);
+                report.segments_ok += 1;
+            }
+            Err(err) => {
+                // Quarantine instead of failing open: move the corpse
+                // aside (best effort) and serve everything else.
+                let bad = dir.join(format!("{name}{QUARANTINE_SUFFIX}"));
+                let _ = io.remove(&bad);
+                let _ = io.rename(&path, &bad);
+                dirty = true;
+                report.quarantined.push(QuarantinedSegment {
+                    name,
+                    error: err.to_string(),
+                });
+            }
+        }
+    }
+
+    let mut wal_records = Vec::new();
+    let mut live_wals = Vec::new();
+    for (seq, name) in wal_names {
+        let path = dir.join(&name);
+        if healthy_seqs.contains(&seq) {
+            // Its segment landed durably: every row is already in the
+            // segment, so the journal is stale by construction.
+            if io.remove(&path).is_ok() {
+                report.stale_wals_removed += 1;
+                dirty = true;
+            }
+        } else {
+            let replayed = wal::replay(&io.read(&path)?);
+            report.wal_rows_recovered += replayed.records.len() as u64;
+            report.wal_bytes_discarded += replayed.discarded_bytes;
+            wal_records.extend(replayed.records);
+            live_wals.push(seq);
+        }
+    }
+
+    if dirty {
+        let _ = io.sync_dir(dir);
+    }
+    Ok(Recovered {
+        report,
+        healthy,
+        wal_records,
+        live_wals,
+        next_seq: max_seg_seq + 1,
+    })
 }
 
 /// Summary of one buffer flush.
@@ -59,55 +328,147 @@ pub struct FlushInfo {
 pub struct StoreHealth {
     /// Segments written by this writer plus any found at open.
     pub segments: u64,
-    /// Rows sitting in the in-memory buffer, not yet durable.
+    /// Rows sitting in the in-memory buffer, journaled but not yet in
+    /// a segment.
     pub buffered_rows: u64,
     /// Rows flushed into segments over this writer's lifetime.
     pub flushed_rows: u64,
     /// Sequence number of the most recent flush (0 = none yet).
     pub last_flush_seq: u64,
+    /// Whether persistence gave up after repeated I/O errors. The
+    /// writer keeps accepting (and dropping) rows so serving survives
+    /// a sick disk; a successful explicit flush revives it.
+    pub degraded: bool,
+    /// Rows dropped to errors or degraded mode, never journaled.
+    pub dropped_rows: u64,
+    /// Corrupt segments quarantined at open.
+    pub quarantined_segments: u64,
+    /// Acked rows recovered from the WAL at open.
+    pub wal_recovered_rows: u64,
 }
 
-/// Appends audit records, buffering in memory and flushing immutable
-/// columnar segments once the buffer reaches the flush threshold.
+/// Appends audit records: each row is journaled to the write-ahead log
+/// before it is acked, buffered in memory, and flushed into an
+/// immutable columnar segment once the buffer reaches the threshold.
 ///
-/// WAL-less by design: rows in the buffer are lost on crash, which is
-/// acceptable for replayable audit history; callers flush explicitly at
-/// shutdown (the gateway does so during its two-phase drain).
+/// Flushes are atomic and (per [`FsyncPolicy`]) durable: the segment
+/// is staged as `<name>.tmp`, synced, renamed into place, and the
+/// directory synced before the journal is discarded. Opening runs the
+/// shared recovery routine, so a writer pointed at a crashed directory
+/// starts with every acked row back in its buffer.
 #[derive(Debug)]
 pub struct StoreWriter {
+    io: SharedIo,
     dir: PathBuf,
     flush_threshold: usize,
+    fsync: FsyncPolicy,
     buffer: Vec<AuditRecord>,
     next_seq: u64,
     segments: u64,
     flushed_rows: u64,
     last_flush_seq: u64,
+    /// Whether the current WAL file's *name* has been made durable via
+    /// a directory sync (needed once per generation under `on-append`).
+    wal_name_durable: bool,
+    recovery: RecoveryReport,
+    consecutive_io_errors: u32,
+    degraded: bool,
+    dropped_rows: u64,
 }
 
 impl StoreWriter {
     /// Default rows-per-segment flush threshold.
     pub const DEFAULT_FLUSH_THRESHOLD: usize = 1024;
 
-    /// Opens (creating if needed) a store directory for appending.
-    /// Numbering continues after any existing segments.
+    /// Consecutive I/O failures before the writer degrades (stops
+    /// persisting, keeps serving).
+    pub const MAX_CONSECUTIVE_IO_ERRORS: u32 = 8;
+
+    /// Opens (creating if needed) a store directory for appending,
+    /// with the real filesystem and the default fsync policy.
     ///
     /// # Errors
     ///
-    /// I/O errors creating or listing the directory.
+    /// As [`StoreWriter::open_with`].
     pub fn open(dir: impl Into<PathBuf>, flush_threshold: usize) -> io::Result<Self> {
+        Self::open_with(
+            RealIo::shared(),
+            dir,
+            flush_threshold,
+            FsyncPolicy::default(),
+        )
+    }
+
+    /// Opens a store directory over an explicit [`StoreIo`] with an
+    /// explicit fsync policy. Runs startup recovery: an interrupted
+    /// compaction is settled, corrupt segments are quarantined,
+    /// leftover staging files are swept, and acked rows are replayed
+    /// from the WAL into the buffer (flushing immediately if they
+    /// already exceed the threshold). Numbering continues after any
+    /// existing segments.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating, listing, or reading the directory — never
+    /// corruption, which is quarantined instead.
+    pub fn open_with(
+        io: SharedIo,
+        dir: impl Into<PathBuf>,
+        flush_threshold: usize,
+        fsync: FsyncPolicy,
+    ) -> io::Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        let existing = list_segments(&dir)?;
-        let next_seq = existing.last().map_or(1, |&(seq, _)| seq + 1);
-        Ok(Self {
+        io.create_dir_all(&dir)?;
+        let rec = recover_dir(io.as_ref(), &dir)?;
+        let next_seq = rec.next_seq;
+
+        // Consolidate the recovered tail into this writer's journal.
+        // Fast path: the one live WAL is already ours and intact.
+        let aligned = rec.live_wals == [next_seq] && rec.report.wal_bytes_discarded == 0;
+        let mut wal_name_durable = false;
+        if aligned {
+            wal_name_durable = true; // it was listed, so its name survived
+        } else if !rec.wal_records.is_empty() {
+            // Rewrite atomically: torn tails must not be appended past.
+            let tmp = dir.join(WAL_CONSOLIDATE_TMP);
+            io.write(&tmp, &wal::encode_entries(&rec.wal_records))?;
+            io.sync_file(&tmp)?;
+            io.rename(&tmp, &dir.join(wal::wal_name(next_seq)))?;
+            for &seq in &rec.live_wals {
+                if seq != next_seq {
+                    let _ = io.remove(&dir.join(wal::wal_name(seq)));
+                }
+            }
+            io.sync_dir(&dir)?;
+            wal_name_durable = true;
+        } else if !rec.live_wals.is_empty() {
+            // Live WALs that replayed to nothing: just garbage tails.
+            for &seq in &rec.live_wals {
+                let _ = io.remove(&dir.join(wal::wal_name(seq)));
+            }
+            let _ = io.sync_dir(&dir);
+        }
+
+        let mut writer = Self {
+            io,
             dir,
             flush_threshold: flush_threshold.max(1),
-            buffer: Vec::new(),
+            fsync,
+            buffer: rec.wal_records,
             next_seq,
-            segments: existing.len() as u64,
+            segments: rec.report.segments_ok,
             flushed_rows: 0,
             last_flush_seq: 0,
-        })
+            wal_name_durable,
+            recovery: rec.report,
+            consecutive_io_errors: 0,
+            degraded: false,
+            dropped_rows: 0,
+        };
+        if writer.buffer.len() >= writer.flush_threshold {
+            writer.flush()?;
+        }
+        Ok(writer)
     }
 
     /// The store directory.
@@ -115,25 +476,75 @@ impl StoreWriter {
         &self.dir
     }
 
-    /// Appends one record; flushes a segment when the buffer reaches the
-    /// threshold, returning its [`FlushInfo`].
+    /// The fsync policy this writer runs under.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync
+    }
+
+    /// What startup recovery found when this writer opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Journals one record ahead of the ack. Under `on-append` this
+    /// syncs the WAL (and, once per generation, the directory) before
+    /// returning — the row is crash-durable when this returns `Ok`.
+    fn wal_append(&mut self, record: &AuditRecord) -> io::Result<()> {
+        let path = self.dir.join(wal::wal_name(self.next_seq));
+        self.io.append(&path, &wal::encode_entry(record))?;
+        if self.fsync == FsyncPolicy::OnAppend {
+            self.io.sync_file(&path)?;
+            if !self.wal_name_durable {
+                self.io.sync_dir(&self.dir)?;
+                self.wal_name_durable = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn note_io_error(&mut self) {
+        self.consecutive_io_errors += 1;
+        if self.consecutive_io_errors >= Self::MAX_CONSECUTIVE_IO_ERRORS {
+            self.degraded = true;
+        }
+    }
+
+    /// Appends one record; flushes a segment when the buffer reaches
+    /// the threshold, returning its [`FlushInfo`]. While degraded the
+    /// row is counted as dropped and `Ok(None)` is returned so serving
+    /// continues.
     ///
     /// # Errors
     ///
-    /// I/O errors writing the segment file.
+    /// I/O errors journaling or flushing. A journaling error means the
+    /// row was dropped; a flush error means it is buffered and
+    /// journaled, and the flush will be retried.
     pub fn append(&mut self, record: AuditRecord) -> io::Result<Option<FlushInfo>> {
+        if self.degraded {
+            self.dropped_rows += 1;
+            return Ok(None);
+        }
+        if let Err(err) = self.wal_append(&record) {
+            self.dropped_rows += 1;
+            self.note_io_error();
+            return Err(err);
+        }
         self.buffer.push(record);
         if self.buffer.len() >= self.flush_threshold {
             return self.flush().map(Some);
         }
+        self.consecutive_io_errors = 0;
         Ok(None)
     }
 
-    /// Flushes the buffer into one segment. No-op result when empty.
+    /// Flushes the buffer into one segment, atomically and durably per
+    /// the fsync policy. No-op result when empty. A successful flush
+    /// also revives a degraded writer.
     ///
     /// # Errors
     ///
-    /// I/O errors writing the segment file.
+    /// I/O errors staging, syncing, or renaming the segment; the
+    /// buffer is kept so the flush can be retried.
     pub fn flush(&mut self) -> io::Result<FlushInfo> {
         if self.buffer.is_empty() {
             return Ok(FlushInfo {
@@ -143,16 +554,46 @@ impl StoreWriter {
                 bytes: 0,
             });
         }
+        match self.flush_inner() {
+            Ok(info) => {
+                self.degraded = false;
+                self.consecutive_io_errors = 0;
+                Ok(info)
+            }
+            Err(err) => {
+                self.note_io_error();
+                Err(err)
+            }
+        }
+    }
+
+    fn flush_inner(&mut self) -> io::Result<FlushInfo> {
         let bytes = encode_segment(&self.buffer);
         let seq = self.next_seq;
-        let path = self.dir.join(segment_name(seq));
-        fs::write(&path, &bytes)?;
+        let name = segment_name(seq);
+        let path = self.dir.join(&name);
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        self.io.write(&tmp, &bytes)?;
+        if self.fsync != FsyncPolicy::Never {
+            self.io.sync_file(&tmp)?;
+        }
+        self.io.rename(&tmp, &path)?;
+        if self.fsync != FsyncPolicy::Never {
+            self.io.sync_dir(&self.dir)?;
+        }
+        // The segment is in place: the journal is now stale by the
+        // naming rule, so even a failed delete here is harmless.
+        let wal_path = self.dir.join(wal::wal_name(seq));
+        if self.io.exists(&wal_path) {
+            let _ = self.io.remove(&wal_path);
+        }
         let rows = self.buffer.len();
         self.buffer.clear();
         self.next_seq += 1;
         self.segments += 1;
         self.flushed_rows += rows as u64;
         self.last_flush_seq = seq;
+        self.wal_name_durable = false;
         Ok(FlushInfo {
             path,
             seq,
@@ -168,6 +609,10 @@ impl StoreWriter {
             buffered_rows: self.buffer.len() as u64,
             flushed_rows: self.flushed_rows,
             last_flush_seq: self.last_flush_seq,
+            degraded: self.degraded,
+            dropped_rows: self.dropped_rows,
+            quarantined_segments: self.recovery.quarantined.len() as u64,
+            wal_recovered_rows: self.recovery.wal_rows_recovered,
         }
     }
 }
@@ -175,15 +620,28 @@ impl StoreWriter {
 /// A writer handle shareable across gateway worker threads.
 pub type SharedWriter = Arc<Mutex<StoreWriter>>;
 
-/// Creates a [`SharedWriter`] with the default flush threshold.
+/// Creates a [`SharedWriter`] with the default flush threshold and
+/// fsync policy.
 ///
 /// # Errors
 ///
 /// As [`StoreWriter::open`].
 pub fn open_shared(dir: impl Into<PathBuf>) -> io::Result<SharedWriter> {
-    Ok(Arc::new(Mutex::new(StoreWriter::open(
+    open_shared_with(dir, FsyncPolicy::default())
+}
+
+/// Creates a [`SharedWriter`] with the default flush threshold and an
+/// explicit fsync policy.
+///
+/// # Errors
+///
+/// As [`StoreWriter::open_with`].
+pub fn open_shared_with(dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> io::Result<SharedWriter> {
+    Ok(Arc::new(Mutex::new(StoreWriter::open_with(
+        RealIo::shared(),
         dir,
         StoreWriter::DEFAULT_FLUSH_THRESHOLD,
+        fsync,
     )?)))
 }
 
@@ -312,34 +770,59 @@ pub struct StoreStats {
     pub per_segment: Vec<(u64, u64, u64)>,
 }
 
-/// Read-side handle over a store directory. Opens segment headers
-/// eagerly (cheap) and column blocks lazily per scan.
+/// Read-side handle over a store directory. Opening runs startup
+/// recovery — corrupt segments are quarantined rather than failing the
+/// open, and acked rows in the WAL tail are materialized as an
+/// in-memory segment so scans see them.
 #[derive(Debug)]
 pub struct Store {
     segments: Vec<(u64, Segment)>,
+    recovery: RecoveryReport,
 }
 
 impl Store {
-    /// Opens every segment header in `dir`.
+    /// Opens every segment in `dir` on the real filesystem.
     ///
     /// # Errors
     ///
-    /// `NotFound` when the directory does not exist; `InvalidData` for a
-    /// malformed segment; other I/O errors reading files.
+    /// As [`Store::open_with`].
     pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
-        let dir = dir.as_ref();
-        if !dir.is_dir() {
+        Self::open_with(&RealIo, dir.as_ref())
+    }
+
+    /// Opens every segment in `dir` over an explicit [`StoreIo`],
+    /// running the shared recovery routine first.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the directory does not exist; other I/O errors
+    /// reading files. Corruption never fails the open — it is
+    /// quarantined and reported via [`Store::recovery`].
+    pub fn open_with(io: &dyn StoreIo, dir: &Path) -> io::Result<Self> {
+        if !io.dir_exists(dir) {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
                 format!("store directory not found: {}", dir.display()),
             ));
         }
-        let mut segments = Vec::new();
-        for (seq, path) in list_segments(dir)? {
-            let seg = Segment::parse(fs::read(&path)?).map_err(data_err)?;
-            segments.push((seq, seg));
+        let rec = recover_dir(io, dir)?;
+        let mut segments = rec.healthy;
+        if !rec.wal_records.is_empty() {
+            // The unflushed tail becomes a synthetic trailing segment,
+            // so every scan path (pruning, projection) applies to it.
+            let seg = Segment::parse(encode_segment(&rec.wal_records))
+                .expect("fresh encoding always parses");
+            segments.push((rec.next_seq, seg));
         }
-        Ok(Self { segments })
+        Ok(Self {
+            segments,
+            recovery: rec.report,
+        })
+    }
+
+    /// What startup recovery found when this store opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// Number of segments.
@@ -508,33 +991,200 @@ impl Store {
     }
 }
 
-/// Merges every segment in `dir` into a single segment numbered 1, in
-/// `(seq, row)` order — deterministic for a fixed store. Returns
-/// `(segments_before, rows)`.
+/// Merges every healthy segment in `dir` (plus any live WAL tail) into
+/// a single segment numbered 1, in `(seq, row)` order — deterministic
+/// for a fixed store. Returns `(segments_before, rows)`.
+///
+/// Crash-safe via an intent file: the merged segment is staged and
+/// synced, a CRC'd `compact.intent` naming the destination and every
+/// victim is made durable, and only then is the staging file renamed
+/// and the victims deleted. Recovery rolls an interrupted compact
+/// forward (intent durable) or back (intent torn) — never losing rows
+/// and never leaving duplicates.
 ///
 /// # Errors
 ///
-/// I/O or `InvalidData` errors reading segments, or writing the merged
-/// one.
+/// I/O errors, or `InvalidData` if a healthy-looking segment fails to
+/// decode.
 pub fn compact(dir: impl AsRef<Path>) -> io::Result<(u64, u64)> {
-    let dir = dir.as_ref();
-    let entries = list_segments(dir)?;
+    compact_with(&RealIo, dir.as_ref())
+}
+
+/// [`compact`] over an explicit [`StoreIo`].
+///
+/// # Errors
+///
+/// As [`compact`].
+pub fn compact_with(io: &dyn StoreIo, dir: &Path) -> io::Result<(u64, u64)> {
+    // Settle any interrupted prior compact and quarantine corruption
+    // first, so the merge only sees healthy rows.
+    let rec = recover_dir(io, dir)?;
+    let segments_before = rec.healthy.len() as u64;
     let mut all: Vec<AuditRecord> = Vec::new();
-    for (_, path) in &entries {
-        let seg = Segment::parse(fs::read(path)?).map_err(data_err)?;
+    let mut victims: Vec<String> = Vec::new();
+    let dest = segment_name(1);
+    for (seq, seg) in &rec.healthy {
         all.extend(seg.decode_all().map_err(data_err)?);
+        let name = segment_name(*seq);
+        if name != dest {
+            victims.push(name);
+        }
+    }
+    all.extend(rec.wal_records);
+    for &seq in &rec.live_wals {
+        victims.push(wal::wal_name(seq));
     }
     if all.is_empty() {
-        return Ok((entries.len() as u64, 0));
+        return Ok((segments_before, 0));
     }
+
     let bytes = encode_segment(&all);
-    let tmp = dir.join("seg-compact.tmp");
-    fs::write(&tmp, &bytes)?;
-    for (_, path) in &entries {
-        fs::remove_file(path)?;
+    let tmp = dir.join(COMPACT_TMP);
+    io.write(&tmp, &bytes)?;
+    io.sync_file(&tmp)?;
+    let intent = dir.join(COMPACT_INTENT);
+    io.write(&intent, &intent_payload(&dest, &victims))?;
+    io.sync_file(&intent)?;
+    io.sync_dir(dir)?; // commit point: staged bytes + plan are durable
+    io.rename(&tmp, &dir.join(&dest))?;
+    io.sync_dir(dir)?;
+    for v in &victims {
+        let p = dir.join(v);
+        if io.exists(&p) {
+            io.remove(&p)?;
+        }
     }
-    fs::rename(&tmp, dir.join(segment_name(1)))?;
-    Ok((entries.len() as u64, all.len() as u64))
+    io.remove(&intent)?;
+    io.sync_dir(dir)?;
+    Ok((segments_before, all.len() as u64))
+}
+
+/// Read-only integrity check of a store directory — what `fakeaudit
+/// store verify` prints. Unlike opening, this mutates nothing: it
+/// deep-verifies every segment (footer, per-column CRCs, full decode)
+/// and classifies WALs and recovery leftovers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VerifyReport {
+    /// Segments that deep-verified cleanly.
+    pub segments_ok: u64,
+    /// Rows across healthy segments.
+    pub segment_rows: u64,
+    /// Acked rows waiting in live WALs.
+    pub wal_rows: u64,
+    /// Hard problems: corrupt segments. Non-empty ⇒ verification
+    /// fails (the CLI exits nonzero).
+    pub issues: Vec<String>,
+    /// Recoverable leftovers (stale WALs, torn tails, staging files,
+    /// an interrupted compact, quarantined corpses) that the next open
+    /// will settle.
+    pub notes: Vec<String>,
+}
+
+impl VerifyReport {
+    /// Whether every segment verified cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Deep-verifies `dir` on the real filesystem without mutating it.
+///
+/// # Errors
+///
+/// `NotFound` when the directory does not exist; other I/O errors
+/// reading files.
+pub fn verify(dir: impl AsRef<Path>) -> io::Result<VerifyReport> {
+    verify_with(&RealIo, dir.as_ref())
+}
+
+/// [`verify`] over an explicit [`StoreIo`].
+///
+/// # Errors
+///
+/// As [`verify`].
+pub fn verify_with(io: &dyn StoreIo, dir: &Path) -> io::Result<VerifyReport> {
+    if !io.dir_exists(dir) {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("store directory not found: {}", dir.display()),
+        ));
+    }
+    let names = io.list(dir)?;
+    let mut report = VerifyReport::default();
+    let mut healthy_seqs = BTreeSet::new();
+    for name in &names {
+        let Some(seq) = parse_segment_name(name) else {
+            continue;
+        };
+        let deep = Segment::parse(io.read(&dir.join(name))?)
+            .and_then(|seg| seg.verify_columns().and_then(|()| seg.decode_all()));
+        match deep {
+            Ok(rows) => {
+                report.segments_ok += 1;
+                report.segment_rows += rows.len() as u64;
+                healthy_seqs.insert(seq);
+            }
+            Err(err) => report.issues.push(format!("{name}: {err}")),
+        }
+    }
+    for name in &names {
+        if let Some(seq) = wal::parse_wal_name(name) {
+            let replayed = wal::replay(&io.read(&dir.join(name))?);
+            if healthy_seqs.contains(&seq) {
+                report.notes.push(format!(
+                    "{name}: stale (segment {seq} exists); removed on next open"
+                ));
+            } else {
+                report.wal_rows += replayed.records.len() as u64;
+                if replayed.discarded_bytes > 0 {
+                    report.notes.push(format!(
+                        "{name}: torn tail, {} byte(s) discarded on replay",
+                        replayed.discarded_bytes
+                    ));
+                }
+            }
+        } else if name.ends_with(".tmp") {
+            report.notes.push(format!(
+                "{name}: leftover staging file; removed on next open"
+            ));
+        } else if name == COMPACT_INTENT {
+            report.notes.push(format!(
+                "{name}: interrupted compaction; settled on next open"
+            ));
+        } else if name.ends_with(QUARANTINE_SUFFIX) {
+            report
+                .notes
+                .push(format!("{name}: quarantined by an earlier recovery"));
+        }
+    }
+    Ok(report)
+}
+
+/// Runs startup recovery on `dir` without keeping the store open —
+/// what `fakeaudit store repair` does: settles interrupted compacts,
+/// quarantines corrupt segments, sweeps staging files and stale WALs.
+/// The WAL tail itself is left in place for the next writer.
+///
+/// # Errors
+///
+/// `NotFound` when the directory does not exist; other I/O errors.
+pub fn repair(dir: impl AsRef<Path>) -> io::Result<RecoveryReport> {
+    repair_with(&RealIo, dir.as_ref())
+}
+
+/// [`repair`] over an explicit [`StoreIo`].
+///
+/// # Errors
+///
+/// As [`repair`].
+pub fn repair_with(io: &dyn StoreIo, dir: &Path) -> io::Result<RecoveryReport> {
+    if !io.dir_exists(dir) {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("store directory not found: {}", dir.display()),
+        ));
+    }
+    Ok(recover_dir(io, dir)?.report)
 }
 
 /// Groups rows into fixed-width time buckets keyed by floor-division of
@@ -551,6 +1201,17 @@ pub type Grouped<K, V> = BTreeMap<(i64, K), V>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
+
+    /// Sorted segment sequence numbers on the real filesystem.
+    fn seg_seqs(dir: &Path) -> Vec<u64> {
+        let mut out: Vec<u64> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.unwrap().file_name().to_str().and_then(parse_segment_name))
+            .collect();
+        out.sort_unstable();
+        out
+    }
 
     fn records(n: usize, base_target: u64) -> Vec<AuditRecord> {
         (0..n)
@@ -625,13 +1286,148 @@ mod tests {
         for r in records(2, 1) {
             w2.append(r).unwrap();
         }
-        let names: Vec<u64> = list_segments(&dir)
-            .unwrap()
-            .into_iter()
-            .map(|(s, _)| s)
-            .collect();
-        assert_eq!(names, vec![1, 2]);
+        assert_eq!(seg_seqs(&dir), vec![1, 2]);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unflushed_rows_survive_writer_drop_via_wal() {
+        let dir = temp_dir("waltail");
+        let recs = records(7, 9);
+        {
+            let mut w = StoreWriter::open(&dir, 100).unwrap();
+            for r in &recs {
+                w.append(r.clone()).unwrap();
+            }
+            // No flush: the writer dies with everything buffered.
+        }
+        assert_eq!(seg_seqs(&dir), Vec::<u64>::new());
+
+        // A reader sees the journaled tail as a synthetic segment.
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.recovery().wal_rows_recovered, 7);
+        let rows = store
+            .scan(&ScanOptions {
+                projection: Projection::all(),
+                ..Default::default()
+            })
+            .unwrap()
+            .rows;
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[3].ts_micros, recs[3].ts_micros);
+
+        // A reopened writer gets the rows back in its buffer and a
+        // flush makes them a real segment, discarding the journal.
+        let mut w = StoreWriter::open(&dir, 100).unwrap();
+        assert_eq!(w.health().wal_recovered_rows, 7);
+        assert_eq!(w.health().buffered_rows, 7);
+        let info = w.flush().unwrap();
+        assert_eq!(info.rows, 7);
+        assert!(!fs::read_dir(&dir).unwrap().any(|e| {
+            e.unwrap()
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("wal-"))
+        }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_segment_is_quarantined_not_fatal() {
+        let dir = temp_dir("quarantine");
+        let mut w = StoreWriter::open(&dir, 3).unwrap();
+        for r in records(9, 5) {
+            w.append(r).unwrap();
+        }
+        w.flush().unwrap();
+        drop(w);
+
+        // Flip one bit in the middle of segment 2.
+        let victim = dir.join(segment_name(2));
+        let mut bytes = fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&victim, &bytes).unwrap();
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.recovery().quarantined.len(), 1);
+        assert_eq!(store.recovery().quarantined[0].name, segment_name(2));
+        assert_eq!(store.segment_count(), 2);
+        assert_eq!(store.total_rows(), 6);
+        assert!(dir.join(format!("{}.bad", segment_name(2))).exists());
+        assert!(!victim.exists());
+
+        // The writer skips the freed number: new data never collides
+        // with the quarantined corpse.
+        let mut w = StoreWriter::open(&dir, 3).unwrap();
+        assert_eq!(w.health().quarantined_segments, 0); // already moved
+        for r in records(3, 5) {
+            w.append(r).unwrap();
+        }
+        assert_eq!(seg_seqs(&dir), vec![1, 3, 4]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_leaves_no_staging_or_intent_files() {
+        let dir = temp_dir("compactclean");
+        let mut w = StoreWriter::open(&dir, 2).unwrap();
+        for r in records(5, 3) {
+            w.append(r).unwrap();
+        }
+        drop(w); // one row still journaled
+
+        let (was, rows) = compact(&dir).unwrap();
+        assert_eq!(was, 2);
+        assert_eq!(rows, 5); // the WAL tail row is folded in
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![segment_name(1)]);
+        assert_eq!(Store::open(&dir).unwrap().total_rows(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_flags_corruption_and_stays_read_only() {
+        let dir = temp_dir("verify");
+        let mut w = StoreWriter::open(&dir, 2).unwrap();
+        for r in records(5, 3) {
+            w.append(r).unwrap();
+        }
+        drop(w);
+
+        let clean = verify(&dir).unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(clean.segments_ok, 2);
+        assert_eq!(clean.segment_rows, 4);
+        assert_eq!(clean.wal_rows, 1);
+
+        let victim = dir.join(segment_name(1));
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes[200] ^= 0x01;
+        fs::write(&victim, &bytes).unwrap();
+        let dirty = verify(&dir).unwrap();
+        assert!(!dirty.is_clean());
+        assert_eq!(dirty.issues.len(), 1);
+        // verify must not have touched the corrupt file.
+        assert!(victim.exists());
+
+        // repair quarantines it.
+        let report = repair(&dir).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(!victim.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_policy_parses_cli_spellings() {
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("on-flush"), Some(FsyncPolicy::OnFlush));
+        assert_eq!(FsyncPolicy::parse("on-append"), Some(FsyncPolicy::OnAppend));
+        assert_eq!(FsyncPolicy::parse("always"), None);
+        assert_eq!(FsyncPolicy::OnAppend.as_str(), "on-append");
     }
 
     #[test]

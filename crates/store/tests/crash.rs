@@ -1,0 +1,271 @@
+//! Deterministic crash-recovery sweep over the fault-injecting
+//! filesystem: for every I/O operation index a run can crash at, every
+//! crash mode (before the op, torn write, after the op) and every
+//! [`FsyncPolicy`], kill the writer mid-run, reboot the simulated disk
+//! (dropping everything unsynced), and reopen. The invariants:
+//!
+//! 1. Recovery never fails and never fabricates rows: what comes back
+//!    is always a prefix of the appended stream, in order.
+//! 2. `fsync = on-append` never loses an acked row.
+//! 3. `fsync = on-flush` never loses a row whose segment flush was
+//!    acked.
+//! 4. Recovery is idempotent: opening the rebooted directory twice
+//!    yields the same rows.
+//!
+//! The same harness drives E15 (`exp_crash_recovery`); these tests are
+//! the fine-grained every-op version of that experiment's sweep.
+
+use fakeaudit_store::{
+    compact_with, verify_with, AuditRecord, CrashMode, FaultScript, FsyncPolicy, MemIo, Projection,
+    ScanOptions, Store, StoreWriter,
+};
+use std::path::Path;
+use std::sync::Arc;
+
+const DIR: &str = "/history";
+const THRESHOLD: usize = 4;
+const ROWS: u64 = 25;
+
+/// A distinct, recognisable row: `trace_id` carries the append index.
+fn row(i: u64) -> AuditRecord {
+    AuditRecord {
+        target: 100 + i % 5,
+        ts_micros: i as i64 * 45_000_000,
+        tool: ["FC", "TA", "SP", "SB"][(i % 4) as usize].to_string(),
+        verdict: ["fake", "inactive", "genuine"][(i % 3) as usize].to_string(),
+        outcome: "completed".to_string(),
+        fake_ratio: i as f64,
+        fake_count: i * 3,
+        sample_size: 900,
+        api_calls: 4,
+        trace_id: i,
+    }
+}
+
+/// Scans the recovered store and returns the `trace_id` sequence.
+fn recovered_ids(io: &MemIo) -> Vec<u64> {
+    let store = Store::open_with(io, Path::new(DIR)).expect("recovery must never fail open");
+    store
+        .scan(&ScanOptions {
+            projection: Projection::all(),
+            ..ScanOptions::default()
+        })
+        .expect("scan after recovery")
+        .rows
+        .iter()
+        .map(|r| r.trace_id)
+        .collect()
+}
+
+/// One crashed run: append up to [`ROWS`] rows until the injected crash
+/// kills I/O, reboot, recover. Returns (acked appends, rows covered by
+/// acked flushes, recovered trace_ids).
+fn crashed_run(crash_at: u64, mode: CrashMode, fsync: FsyncPolicy) -> (u64, u64, Vec<u64>) {
+    let io = MemIo::shared(FaultScript {
+        crash_at_op: Some(crash_at),
+        crash_mode: Some(mode),
+        ..FaultScript::default()
+    });
+    let mut acked = 0u64;
+    let mut flush_acked = 0u64;
+    // Opening an empty directory performs no mutating I/O, so the
+    // scripted crash always lands inside the append/flush path.
+    let mut writer = StoreWriter::open_with(
+        Arc::clone(&io) as Arc<dyn fakeaudit_store::StoreIo>,
+        DIR,
+        THRESHOLD,
+        fsync,
+    )
+    .expect("open on pristine dir");
+    for i in 0..ROWS {
+        match writer.append(row(i)) {
+            Ok(flush) => {
+                acked += 1;
+                if let Some(info) = flush {
+                    flush_acked += info.rows as u64;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    drop(writer);
+    io.reboot();
+    (acked, flush_acked, recovered_ids(&io))
+}
+
+fn assert_prefix(recovered: &[u64], label: &str) {
+    for (pos, &id) in recovered.iter().enumerate() {
+        assert_eq!(
+            id, pos as u64,
+            "{label}: recovered rows must be the appended prefix, got {recovered:?}"
+        );
+    }
+}
+
+#[test]
+fn every_crash_point_recovers_to_an_ordered_prefix() {
+    for fsync in [
+        FsyncPolicy::Never,
+        FsyncPolicy::OnFlush,
+        FsyncPolicy::OnAppend,
+    ] {
+        for mode in [CrashMode::Before, CrashMode::Torn(0.5), CrashMode::After] {
+            for crash_at in 1..=60 {
+                let label = format!("fsync={} mode={mode:?} crash_at={crash_at}", fsync.as_str());
+                let (acked, flush_acked, recovered) = crashed_run(crash_at, mode, fsync);
+                assert_prefix(&recovered, &label);
+                let n = recovered.len() as u64;
+                match fsync {
+                    // Every acked row survives; the in-flight row may
+                    // too (journaled durably, crash before the ack).
+                    FsyncPolicy::OnAppend => assert!(
+                        n >= acked,
+                        "{label}: lost acked rows (acked {acked}, recovered {n})"
+                    ),
+                    // Every row whose flush was acked survives.
+                    FsyncPolicy::OnFlush => assert!(
+                        n >= flush_acked,
+                        "{label}: lost flushed rows (flushed {flush_acked}, recovered {n})"
+                    ),
+                    // No floor, only the prefix property above.
+                    FsyncPolicy::Never => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn recovery_is_idempotent_across_reopens() {
+    for crash_at in [3, 9, 17, 33, 49] {
+        let (_, _, first) = {
+            let io = MemIo::shared(FaultScript {
+                crash_at_op: Some(crash_at),
+                crash_mode: Some(CrashMode::Torn(0.25)),
+                ..FaultScript::default()
+            });
+            let mut writer = StoreWriter::open_with(
+                Arc::clone(&io) as Arc<dyn fakeaudit_store::StoreIo>,
+                DIR,
+                THRESHOLD,
+                FsyncPolicy::OnAppend,
+            )
+            .expect("open");
+            for i in 0..ROWS {
+                if writer.append(row(i)).is_err() {
+                    break;
+                }
+            }
+            drop(writer);
+            io.reboot();
+            let a = recovered_ids(&io);
+            let b = recovered_ids(&io);
+            assert_eq!(a, b, "crash_at={crash_at}: double recovery must agree");
+            // After recovery settles the directory, verify is clean.
+            let report = verify_with(io.as_ref(), Path::new(DIR)).expect("verify");
+            assert!(
+                report.issues.is_empty(),
+                "crash_at={crash_at}: verify found corruption after recovery: {:?}",
+                report.issues
+            );
+            (0, 0, a)
+        };
+        assert_prefix(&first, &format!("crash_at={crash_at}"));
+    }
+}
+
+#[test]
+fn dropped_syncs_still_recover_an_ordered_prefix() {
+    // A disk that acks fsync but never persists: the durability floor
+    // is gone, but recovery must still come up with an ordered prefix.
+    for crash_at in [5, 12, 27, 44] {
+        let io = MemIo::shared(FaultScript {
+            crash_at_op: Some(crash_at),
+            crash_mode: Some(CrashMode::After),
+            drop_syncs: true,
+            ..FaultScript::default()
+        });
+        let mut writer = StoreWriter::open_with(
+            Arc::clone(&io) as Arc<dyn fakeaudit_store::StoreIo>,
+            DIR,
+            THRESHOLD,
+            FsyncPolicy::OnAppend,
+        )
+        .expect("open");
+        for i in 0..ROWS {
+            if writer.append(row(i)).is_err() {
+                break;
+            }
+        }
+        drop(writer);
+        io.reboot();
+        assert_prefix(
+            &recovered_ids(&io),
+            &format!("drop_syncs crash_at={crash_at}"),
+        );
+    }
+}
+
+/// Number of mutating I/O ops a fault-free setup (24 rows, 6 flushed
+/// segments) performs, so compact-crash scripts can skip past it.
+fn setup_store(io: &Arc<MemIo>) -> u64 {
+    let mut writer = StoreWriter::open_with(
+        Arc::clone(io) as Arc<dyn fakeaudit_store::StoreIo>,
+        DIR,
+        THRESHOLD,
+        FsyncPolicy::OnFlush,
+    )
+    .expect("open");
+    for i in 0..24 {
+        writer.append(row(i)).expect("append");
+    }
+    assert_eq!(
+        writer.health().segments,
+        6,
+        "setup expects 24 rows to land in 6 full segments"
+    );
+    drop(writer);
+    io.op_count()
+}
+
+#[test]
+fn compact_crash_at_any_op_never_loses_rows() {
+    // Dry run to measure where setup ends and how long compact runs.
+    let dry = MemIo::shared(FaultScript::default());
+    let setup_ops = setup_store(&dry);
+    compact_with(dry.as_ref(), Path::new(DIR)).expect("fault-free compact");
+    let compact_ops = dry.op_count() - setup_ops;
+    assert!(compact_ops > 0);
+
+    for k in 0..compact_ops {
+        for mode in [CrashMode::Before, CrashMode::Torn(0.5), CrashMode::After] {
+            let io = MemIo::shared(FaultScript {
+                crash_at_op: Some(setup_ops + k),
+                crash_mode: Some(mode),
+                ..FaultScript::default()
+            });
+            let ops = setup_store(&io);
+            assert_eq!(ops, setup_ops, "setup must be deterministic");
+            let crashed = compact_with(io.as_ref(), Path::new(DIR)).is_err();
+            assert!(crashed, "k={k} {mode:?}: scripted crash must surface");
+            io.reboot();
+            let recovered = recovered_ids(&io);
+            assert_eq!(
+                recovered,
+                (0..24).collect::<Vec<u64>>(),
+                "k={k} {mode:?}: compact crash lost or reordered rows"
+            );
+            // The settled directory verifies clean and a retried
+            // compact completes.
+            let report = verify_with(io.as_ref(), Path::new(DIR)).expect("verify");
+            assert!(
+                report.issues.is_empty(),
+                "k={k} {mode:?}: {:?}",
+                report.issues
+            );
+            let (_, rows) = compact_with(io.as_ref(), Path::new(DIR)).expect("retry compact");
+            assert_eq!(rows, 24, "k={k} {mode:?}: retried compact row count");
+            assert_eq!(recovered_ids(&io), (0..24).collect::<Vec<u64>>());
+        }
+    }
+}

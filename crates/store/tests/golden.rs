@@ -8,6 +8,11 @@
 //! Regenerate after an *intentional* format change with:
 //! `cargo test -p fakeaudit-store --test golden -- --ignored regenerate`
 //! and commit the diff alongside a format-version note in DESIGN.md §15.
+//!
+//! Format history: the committed segments are v2 (`FAKSEG2\n`) —
+//! per-column CRC32s in the directory plus a whole-file footer CRC
+//! (DESIGN.md §17). The v1 fixtures were regenerated at the bump;
+//! v1 readability is pinned separately in `segment.rs` unit tests.
 
 use fakeaudit_store::queries::{self, QueryKind, QueryOptions, TopkBy};
 use fakeaudit_store::{Store, StoreWriter};
